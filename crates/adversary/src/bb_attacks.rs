@@ -1,0 +1,68 @@
+//! Attacks on the Byzantine Broadcast reduction.
+
+use meba_core::bb::BbMsg;
+use meba_core::signing::{sign_payload, BbValueSig};
+use meba_core::{SystemConfig, Value};
+use meba_crypto::{ProcessId, SecretKey};
+use meba_sim::{Actor, Message, Round, RoundCtx};
+use std::marker::PhantomData;
+
+/// A Byzantine BB *sender* that signs two different values and sends one
+/// to each half of the system, then goes silent. Correct processes must
+/// still agree (on either value or `⊥`) — validity does not apply to a
+/// faulty sender.
+pub struct EquivocatingSender<V, FM> {
+    cfg: SystemConfig,
+    key: SecretKey,
+    value_a: V,
+    value_b: V,
+    group_a: Vec<ProcessId>,
+    group_b: Vec<ProcessId>,
+    _fm: PhantomData<fn() -> FM>,
+}
+
+impl<V: Value, FM: Message> EquivocatingSender<V, FM> {
+    /// Creates the equivocating sender.
+    pub fn new(
+        cfg: SystemConfig,
+        key: SecretKey,
+        value_a: V,
+        value_b: V,
+        group_a: Vec<ProcessId>,
+        group_b: Vec<ProcessId>,
+    ) -> Self {
+        EquivocatingSender { cfg, key, value_a, value_b, group_a, group_b, _fm: PhantomData }
+    }
+}
+
+impl<V: Value, FM: Message> Actor for EquivocatingSender<V, FM> {
+    type Msg = BbMsg<V, FM>;
+
+    fn id(&self) -> ProcessId {
+        self.key.id()
+    }
+
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, Self::Msg>) {
+        if ctx.round() != Round(0) {
+            return;
+        }
+        let sig_a = sign_payload(
+            &self.key,
+            &BbValueSig { session: self.cfg.session(), value: &self.value_a },
+        );
+        let sig_b = sign_payload(
+            &self.key,
+            &BbValueSig { session: self.cfg.session(), value: &self.value_b },
+        );
+        for &p in &self.group_a {
+            ctx.send(p, BbMsg::SenderValue { value: self.value_a.clone(), sig: sig_a.clone() });
+        }
+        for &p in &self.group_b {
+            ctx.send(p, BbMsg::SenderValue { value: self.value_b.clone(), sig: sig_b.clone() });
+        }
+    }
+
+    fn done(&self) -> bool {
+        true
+    }
+}

@@ -1,0 +1,36 @@
+//! Byzantine strategy library for the `meba` workspace.
+//!
+//! Every adversary is an ordinary [`meba_sim::Actor`]: it holds the secret
+//! keys of the corrupted processes (and nothing more), sees its inbox
+//! (a round early, under the simulator's rushing schedule), and may send
+//! arbitrary well-typed messages. Unforgeability is enforced by the crypto
+//! API, so these strategies express exactly the power the paper's
+//! adversary has.
+//!
+//! * [`wrappers`] — crash faults and outbox tampering over any correct
+//!   actor;
+//! * [`chaos`] — a seeded replay fuzzer for property tests;
+//! * [`weak_ba_attacks`] — vote-splitting (E8) and late-help (E9) leaders;
+//! * [`bb_attacks`] — the equivocating designated sender;
+//! * [`fallback_attacks`] — Dolev–Strong equivocation, graded-agreement
+//!   certificate splits;
+//! * [`strong_ba_attacks`] — the equivocating strong-BA leader.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bb_attacks;
+pub mod chaos;
+pub mod fallback_attacks;
+pub mod strong_ba_attacks;
+pub mod wasteful;
+pub mod weak_ba_attacks;
+pub mod wrappers;
+
+pub use bb_attacks::EquivocatingSender;
+pub use chaos::ChaosActor;
+pub use fallback_attacks::{DsEquivocatingSender, GaSplitEchoer};
+pub use strong_ba_attacks::EquivocatingStrongLeader;
+pub use wasteful::{WastefulBbLeader, WastefulWeakLeader};
+pub use weak_ba_attacks::{LateHelperLeader, SplitVoteLeader};
+pub use wrappers::{send_only_to, CrashActor, TransformActor};

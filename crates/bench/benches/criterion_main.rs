@@ -1,0 +1,48 @@
+//! T1 — wall-clock microbenchmarks (criterion): crypto primitives and
+//! whole-protocol simulation runs. These complement the word-count
+//! experiments with CPU-time sanity numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meba_bench::runs::{run_bb, run_strong_ba, run_weak_ba, BbAdversary, WbaAdversary};
+use meba_crypto::{trusted_setup, Signable};
+
+fn bench_crypto(c: &mut Criterion) {
+    let (pki, keys) = trusted_setup(33, 1);
+    let msg = b"benchmark message";
+    c.bench_function("crypto/sign", |b| b.iter(|| keys[0].sign(msg)));
+    let sig = keys[0].sign(msg);
+    c.bench_function("crypto/verify", |b| b.iter(|| pki.verify(msg, &sig).unwrap()));
+    let shares: Vec<_> = keys.iter().take(25).map(|k| k.sign(msg)).collect();
+    c.bench_function("crypto/combine_25_of_33", |b| {
+        b.iter(|| pki.combine(25, msg, &shares).unwrap())
+    });
+    let qc = pki.combine(25, msg, &shares).unwrap();
+    c.bench_function("crypto/verify_threshold", |b| {
+        b.iter(|| pki.verify_threshold(msg, &qc).unwrap())
+    });
+    let payload = meba_core::signing::HelpReqSig { session: 0 };
+    c.bench_function("crypto/payload_encoding", |b| b.iter(|| payload.signing_bytes()));
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol-sim");
+    g.sample_size(10);
+    for n in [9usize, 17, 33] {
+        g.bench_with_input(BenchmarkId::new("bb_failure_free", n), &n, |b, &n| {
+            b.iter(|| run_bb(n, BbAdversary::FailureFree))
+        });
+        g.bench_with_input(BenchmarkId::new("weak_ba_failure_free", n), &n, |b, &n| {
+            b.iter(|| run_weak_ba(n, WbaAdversary::FailureFree))
+        });
+        g.bench_with_input(BenchmarkId::new("strong_ba_failure_free", n), &n, |b, &n| {
+            b.iter(|| run_strong_ba(n, 0, false))
+        });
+    }
+    g.bench_with_input(BenchmarkId::new("weak_ba_fallback_f_eq_t", 17), &17usize, |b, &n| {
+        b.iter(|| run_weak_ba(n, WbaAdversary::CrashFollowers((n - 1) / 2)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_crypto, bench_protocols);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! E2 — Table 1, row "Weak BA": upper bound `O(n(f+1))` multi-valued,
+//! lower bound `Ω(n)`.
+//!
+//! Sweeps `f` under wasteful Byzantine leaders (cost-maximizing) and `n`
+//! at `f = 0`, and shows the quadratic regime once `f ≥ (n-t-1)/2` forces
+//! the fallback.
+
+use meba_bench::fit::{fit_affine, growth_order};
+use meba_bench::runs::{run_weak_ba, WbaAdversary};
+use meba_bench::table::{flt, num, Table};
+
+fn main() {
+    let n = 33usize;
+    let t = (n - 1) / 2;
+    let bound = (n - t - 1) / 2;
+    println!("=== E2: weak BA — words vs f (n = {n}, t = {t}, adaptive bound = {bound}) ===\n");
+    let mut tab = Table::new(&["f", "words", "words/(n(f+1))", "fallback?", "non-silent leaders"]);
+    let mut staircase = Vec::new();
+    for f in 0..=t {
+        // Stop the sweep shortly after the fallback regime begins.
+        if f > bound + 2 {
+            break;
+        }
+        let adv =
+            if f == 0 { WbaAdversary::FailureFree } else { WbaAdversary::WastefulLeaders(f) };
+        let s = run_weak_ba(n, adv);
+        assert!(s.agreement, "agreement at f={f}");
+        if !s.fallback_used {
+            staircase.push((f as f64, s.words as f64));
+        }
+        tab.row(&[
+            num(f as u64),
+            num(s.words),
+            flt(s.words as f64 / (n as f64 * (f + 1) as f64)),
+            s.fallback_used.to_string(),
+            num(s.nonsilent_leaders as u64),
+        ]);
+    }
+    tab.print();
+    let (a, b) = fit_affine(&staircase);
+    println!(
+        "\nadaptive regime fit: words ≈ {a:.0} + {b:.1}·f = n·({:.2} + {:.2}·f)",
+        a / n as f64,
+        b / n as f64
+    );
+    println!("both coefficients Θ(n) ⇒ words = O(n·(f+1)).");
+    assert!(b > 0.5 * n as f64 && a < 20.0 * n as f64);
+
+    println!("\n=== E2: words vs n at f = 0 ===\n");
+    let mut t2 = Table::new(&["n", "words", "words/n"]);
+    let mut lin = Vec::new();
+    for n in [9usize, 17, 33, 65, 97] {
+        let s = run_weak_ba(n, WbaAdversary::FailureFree);
+        assert!(s.agreement && !s.fallback_used);
+        lin.push((n as f64, s.words as f64));
+        t2.row(&[num(n as u64), num(s.words), flt(s.words as f64 / n as f64)]);
+    }
+    t2.print();
+    let o = growth_order(&lin);
+    println!("\ngrowth order at f = 0: n^{o:.2} (Table 1 lower bound is Ω(n))");
+    assert!(o < 1.3, "failure-free weak BA must be ~linear");
+
+    println!("\n=== E2: the fallback regime is quadratic, not worse ===\n");
+    let mut t3 = Table::new(&["n", "f=t words", "words/n^2"]);
+    let mut quad = Vec::new();
+    for n in [9usize, 17, 33] {
+        let t = (n - 1) / 2;
+        let s = run_weak_ba(n, WbaAdversary::CrashFollowers(t));
+        assert!(s.agreement);
+        assert!(s.fallback_used, "f = t must fall back");
+        quad.push((n as f64, s.words as f64));
+        t3.row(&[num(n as u64), num(s.words), flt(s.words as f64 / (n * n) as f64)]);
+    }
+    t3.print();
+    let o = growth_order(&quad);
+    println!("\ngrowth order at f = t: n^{o:.2} (worst case O(n²), never cubic)");
+    assert!(o < 2.6, "fallback regime must stay quadratic-order");
+}

@@ -1,0 +1,130 @@
+//! Regenerates the complete experiment dataset behind `EXPERIMENTS.md` as
+//! one markdown report on stdout.
+//!
+//! ```text
+//! cargo run --release -p meba-bench --bin report > report.md
+//! ```
+//!
+//! Unlike the per-experiment bench binaries (which assert shapes), this
+//! binary only measures and prints — it is the "give me all the numbers"
+//! entry point.
+
+use meba_bench::fit::growth_order;
+use meba_bench::runs::*;
+
+fn section(title: &str) {
+    println!("\n## {title}\n");
+}
+
+fn main() {
+    println!("# meba experiment report");
+    println!("\nDeterministic lockstep-simulator measurements; see EXPERIMENTS.md");
+    println!("for interpretation against the paper's claims.");
+
+    section("E1 — adaptive BB vs f (n = 33, wasteful leaders) and vs n (f = 0)");
+    println!("| f | BB words | fallback | Dolev-Strong |");
+    println!("|---|---|---|---|");
+    for f in 0..=6usize {
+        let adv = if f == 0 { BbAdversary::FailureFree } else { BbAdversary::WastefulLeaders(f) };
+        let s = run_bb(33, adv);
+        let ds = run_dolev_strong(33, f);
+        println!("| {f} | {} | {} | {} |", s.words, s.fallback_used, ds.words);
+    }
+    println!();
+    println!("| n | BB f=0 | Dolev-Strong | speedup |");
+    println!("|---|---|---|---|");
+    let mut bb_pts = Vec::new();
+    for n in [9usize, 17, 33, 65] {
+        let s = run_bb(n, BbAdversary::FailureFree);
+        let ds = run_dolev_strong(n, 0);
+        bb_pts.push((n as f64, s.words as f64));
+        println!(
+            "| {n} | {} | {} | {:.2}x |",
+            s.words,
+            ds.words,
+            ds.words as f64 / s.words as f64
+        );
+    }
+    println!("\nBB failure-free growth order: n^{:.2}", growth_order(&bb_pts));
+
+    section("E2 — weak BA vs f and vs n");
+    println!("| f | words | fallback |");
+    println!("|---|---|---|");
+    for f in [0usize, 2, 4, 6, 8, 9, 10] {
+        let adv = if f == 0 { WbaAdversary::FailureFree } else { WbaAdversary::WastefulLeaders(f) };
+        let s = run_weak_ba(33, adv);
+        println!("| {f} | {} | {} |", s.words, s.fallback_used);
+    }
+
+    section("E3 — strong BA and the fallback standalone");
+    println!("| n | Alg5 f=0 | Alg5 f=1 | recursive BA (f=0) |");
+    println!("|---|---|---|---|");
+    for n in [9usize, 17, 33] {
+        let a = run_strong_ba(n, 0, false);
+        let b = run_strong_ba(n, 1, false);
+        let r = run_recursive_ba(n, 0);
+        println!("| {n} | {} | {} | {} |", a.words, b.words, r.words);
+    }
+
+    section("E4 — words vs constituent signatures (failure-free weak BA)");
+    println!("| n | words | constituent sigs |");
+    println!("|---|---|---|");
+    for n in [9usize, 17, 33, 65, 97] {
+        let s = run_weak_ba(n, WbaAdversary::FailureFree);
+        println!("| {n} | {} | {} |", s.words, s.constituent_sigs);
+    }
+
+    section("E5 — component breakdown of BB (n = 17)");
+    let scenarios = [
+        ("f=0", BbAdversary::FailureFree),
+        ("f=2 wasteful", BbAdversary::WastefulLeaders(2)),
+        ("f=t crashed", BbAdversary::CrashFollowers(8)),
+    ];
+    println!("| component | f=0 | f=2 wasteful | f=t crashed |");
+    println!("|---|---|---|---|");
+    let stats: Vec<_> = scenarios.iter().map(|(_, a)| run_bb(17, *a)).collect();
+    for comp in ["bb/dissemination", "bb/vetting", "weak-ba/phases", "weak-ba/help", "fallback"] {
+        print!("| {comp} ");
+        for s in &stats {
+            print!("| {} ", s.by_component.get(comp).copied().unwrap_or(0));
+        }
+        println!("|");
+    }
+
+    section("E6/E7 — crossover and latency (n = 33)");
+    println!("| f | words | first decision | fallback |");
+    println!("|---|---|---|---|");
+    for f in 0..=10usize {
+        let adv = if f == 0 { WbaAdversary::FailureFree } else { WbaAdversary::WastefulLeaders(f) };
+        let s = run_weak_ba(33, adv);
+        println!("| {f} | {} | {} | {} |", s.words, s.decided_first, s.fallback_used);
+    }
+
+    section("E8/E9 — ablations (deterministic attack outcomes)");
+    let (a8n, _) = run_split_vote_attack(true);
+    let (a8p, _) = run_split_vote_attack(false);
+    let (a9off, _) = run_late_help_attack(false);
+    let (a9on, _) = run_late_help_attack(true);
+    println!("| ablation | weakened config | paper config |");
+    println!("|---|---|---|");
+    println!(
+        "| E8 quorum threshold | agreement {} | agreement {} |",
+        if a8n { "held" } else { "VIOLATED" },
+        if a8p { "held" } else { "VIOLATED" }
+    );
+    println!(
+        "| E9 safety window | agreement {} | agreement {} |",
+        if a9off { "held" } else { "VIOLATED" },
+        if a9on { "held" } else { "VIOLATED" }
+    );
+
+    section("E11 — rotating-leader strong BA extension (n = 33, crashed leaders)");
+    println!("| f | Alg 5 | rotating | rotating fallback |");
+    println!("|---|---|---|---|");
+    for f in 0..=4usize {
+        let a = run_strong_ba(33, f, true);
+        let r = run_rotating_strong(33, f);
+        println!("| {f} | {} | {} | {} |", a.words, r.words, r.fallback_used);
+    }
+    println!("\n_Report complete._");
+}

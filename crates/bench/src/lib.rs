@@ -1,0 +1,21 @@
+//! Benchmark harness for the `meba` workspace.
+//!
+//! One module per concern:
+//!
+//! * [`runs`] — builds and executes a single protocol configuration under
+//!   a named adversary and returns its [`runs::RunStats`];
+//! * [`table`] — plain-text table rendering for the bench binaries;
+//! * [`fit`] — tiny least-squares helpers used to report complexity
+//!   shapes (`c·n·(f+1)`, `c·n²`).
+//!
+//! The `benches/` directory contains one binary per experiment in
+//! `DESIGN.md` §2 (E1–E11 plus wall-clock criterion benches). Each prints
+//! the table/figure series the paper's Table 1 implies and asserts the
+//! qualitative shape (who wins, by what order, where crossovers fall).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fit;
+pub mod runs;
+pub mod table;

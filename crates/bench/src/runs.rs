@@ -1,0 +1,530 @@
+//! Single-configuration protocol runs under named adversaries.
+
+use meba_adversary::{
+    EquivocatingSender, LateHelperLeader, SplitVoteLeader, WastefulBbLeader, WastefulWeakLeader,
+};
+use meba_core::{
+    AlwaysValid, Bb, Decision, LockstepAdapter, RotatingStrongBa, StrongBa, SubProtocol,
+    SystemConfig, WeakBa,
+};
+use meba_crypto::{trusted_setup, ProcessId, SecretKey};
+use meba_fallback::{DolevStrongBb, RecursiveBa, RecursiveBaFactory};
+use meba_sim::{AnyActor, IdleActor, Metrics, SimBuilder};
+use std::collections::BTreeMap;
+
+type BbProc = Bb<u64, RecursiveBaFactory>;
+type BbM = <BbProc as SubProtocol>::Msg;
+type WbaProc = WeakBa<u64, AlwaysValid, RecursiveBaFactory>;
+type WbaM = <WbaProc as SubProtocol>::Msg;
+type SbaProc = StrongBa<RecursiveBaFactory>;
+type SbaM = <SbaProc as SubProtocol>::Msg;
+
+/// Outcome of one run.
+#[derive(Clone, Debug)]
+pub struct RunStats {
+    /// System size.
+    pub n: usize,
+    /// Actual failures injected.
+    pub f: usize,
+    /// Words sent by correct processes (the paper's metric).
+    pub words: u64,
+    /// Messages sent by correct processes.
+    pub messages: u64,
+    /// Constituent signatures sent by correct processes.
+    pub constituent_sigs: u64,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Earliest/latest decision steps among correct processes.
+    pub decided_first: u64,
+    /// Latest decision step among correct processes.
+    pub decided_last: u64,
+    /// Whether any correct process ran the fallback.
+    pub fallback_used: bool,
+    /// Whether all correct decisions were equal.
+    pub agreement: bool,
+    /// Per-component correct words (experiment E5).
+    pub by_component: BTreeMap<String, u64>,
+    /// Count of correct processes that led a non-silent phase.
+    pub nonsilent_leaders: usize,
+}
+
+fn stats_from(metrics: &Metrics, n: usize, f: usize) -> RunStats {
+    RunStats {
+        n,
+        f,
+        words: metrics.correct.words,
+        messages: metrics.correct.messages,
+        constituent_sigs: metrics.correct.constituent_sigs,
+        rounds: metrics.rounds,
+        decided_first: 0,
+        decided_last: 0,
+        fallback_used: false,
+        agreement: true,
+        by_component: metrics.by_component.iter().map(|(k, v)| (k.clone(), v.words)).collect(),
+        nonsilent_leaders: 0,
+    }
+}
+
+/// Adversary menu for BB runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BbAdversary {
+    /// No failures.
+    FailureFree,
+    /// `f` crashed followers (silent from the start).
+    CrashFollowers(usize),
+    /// `f` cost-maximizing Byzantine leaders (`p1..pf`) that waste their
+    /// vetting and BA phases — realizes the `O(n(f+1))` staircase.
+    WastefulLeaders(usize),
+    /// The designated sender never sends.
+    SilentSender,
+    /// The sender signs two values and splits the system.
+    EquivocatingSender,
+}
+
+impl BbAdversary {
+    /// Number of corrupted processes.
+    pub fn f(&self) -> usize {
+        match self {
+            BbAdversary::FailureFree => 0,
+            BbAdversary::CrashFollowers(f) | BbAdversary::WastefulLeaders(f) => *f,
+            BbAdversary::SilentSender | BbAdversary::EquivocatingSender => 1,
+        }
+    }
+}
+
+/// Runs adaptive BB (sender `p0`, value 7) under the given adversary.
+pub fn run_bb(n: usize, adversary: BbAdversary) -> RunStats {
+    let cfg = SystemConfig::new(n, 0).unwrap();
+    let (pki, keys) = trusted_setup(n, 0xb0b);
+    let sender = ProcessId(0);
+    let value = 7u64;
+    let f = adversary.f();
+    assert!(f <= cfg.t(), "f={f} exceeds t={}", cfg.t());
+
+    let mut byz: Vec<u32> = Vec::new();
+    let mut actors: Vec<Box<dyn AnyActor<Msg = BbM>>> = Vec::new();
+    for (i, key) in keys.iter().cloned().enumerate() {
+        let id = ProcessId(i as u32);
+        let actor: Box<dyn AnyActor<Msg = BbM>> = match adversary {
+            BbAdversary::CrashFollowers(f) if i >= 1 && i <= f => {
+                byz.push(i as u32);
+                Box::new(IdleActor::new(id))
+            }
+            BbAdversary::WastefulLeaders(f) if i >= 1 && i <= f => {
+                byz.push(i as u32);
+                Box::new(WastefulBbLeader::<u64, _>::new(cfg, id, i as u32))
+            }
+            BbAdversary::SilentSender if i == 0 => {
+                byz.push(0);
+                Box::new(IdleActor::new(id))
+            }
+            BbAdversary::EquivocatingSender if i == 0 => {
+                byz.push(0);
+                let half = (n - 1) / 2 + 1;
+                Box::new(EquivocatingSender::new(
+                    cfg,
+                    key,
+                    1u64,
+                    2u64,
+                    (1..half as u32).map(ProcessId).collect(),
+                    (half as u32..n as u32).map(ProcessId).collect(),
+                ))
+            }
+            _ => {
+                let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+                let bb = if id == sender {
+                    Bb::new_sender(cfg, id, key, pki.clone(), factory, value)
+                } else {
+                    Bb::new(cfg, id, key, pki.clone(), factory, sender)
+                };
+                Box::new(LockstepAdapter::new(id, bb))
+            }
+        };
+        actors.push(actor);
+    }
+    let mut b = SimBuilder::new(actors);
+    for &c in &byz {
+        b = b.corrupt(ProcessId(c));
+    }
+    let mut sim = b.build();
+    sim.run_until_done(60 * n as u64 + 4_000).expect("bb run terminated");
+
+    let mut stats = stats_from(sim.metrics(), n, f);
+    let mut decisions: Vec<Decision<u64>> = Vec::new();
+    let (mut first, mut last) = (u64::MAX, 0u64);
+    for i in (0..n as u32).filter(|i| !byz.contains(i)) {
+        let a: &LockstepAdapter<BbProc> =
+            sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+        decisions.push(a.inner().output().expect("decided"));
+        let d = a.inner().decided_at().expect("decided step");
+        first = first.min(d);
+        last = last.max(d);
+        stats.fallback_used |= a.inner().used_fallback();
+        stats.nonsilent_leaders += a.inner().led_nonsilent_phase() as usize;
+    }
+    stats.agreement = decisions.windows(2).all(|w| w[0] == w[1]);
+    stats.decided_first = first;
+    stats.decided_last = last;
+    stats
+}
+
+/// Adversary menu for weak BA runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WbaAdversary {
+    /// No failures.
+    FailureFree,
+    /// `f` crashed processes `p1..pf`.
+    CrashFollowers(usize),
+    /// `f` wasteful Byzantine leaders `p1..pf`.
+    WastefulLeaders(usize),
+}
+
+impl WbaAdversary {
+    /// Number of corrupted processes.
+    pub fn f(&self) -> usize {
+        match self {
+            WbaAdversary::FailureFree => 0,
+            WbaAdversary::CrashFollowers(f) | WbaAdversary::WastefulLeaders(f) => *f,
+        }
+    }
+}
+
+/// Runs adaptive weak BA (all inputs 5) under the given adversary.
+pub fn run_weak_ba(n: usize, adversary: WbaAdversary) -> RunStats {
+    let cfg = SystemConfig::new(n, 0).unwrap();
+    let (pki, keys) = trusted_setup(n, 0x3a3a);
+    let f = adversary.f();
+    assert!(f <= cfg.t());
+
+    let mut byz: Vec<u32> = Vec::new();
+    let mut actors: Vec<Box<dyn AnyActor<Msg = WbaM>>> = Vec::new();
+    for (i, key) in keys.iter().cloned().enumerate() {
+        let id = ProcessId(i as u32);
+        let actor: Box<dyn AnyActor<Msg = WbaM>> = match adversary {
+            WbaAdversary::CrashFollowers(f) if i >= 1 && i <= f => {
+                byz.push(i as u32);
+                Box::new(IdleActor::new(id))
+            }
+            WbaAdversary::WastefulLeaders(f) if i >= 1 && i <= f => {
+                byz.push(i as u32);
+                Box::new(WastefulWeakLeader::new(cfg, id, i as u32, 99u64))
+            }
+            _ => {
+                let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+                let wba = WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory, 5u64);
+                Box::new(LockstepAdapter::new(id, wba))
+            }
+        };
+        actors.push(actor);
+    }
+    let mut b = SimBuilder::new(actors);
+    for &c in &byz {
+        b = b.corrupt(ProcessId(c));
+    }
+    let mut sim = b.build();
+    sim.run_until_done(60 * n as u64 + 4_000).expect("weak ba run terminated");
+
+    let mut stats = stats_from(sim.metrics(), n, f);
+    let mut decisions = Vec::new();
+    let (mut first, mut last) = (u64::MAX, 0u64);
+    for i in (0..n as u32).filter(|i| !byz.contains(i)) {
+        let a: &LockstepAdapter<WbaProc> =
+            sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+        decisions.push(a.inner().output().expect("decided"));
+        let d = a.inner().decided_at().expect("decided step");
+        first = first.min(d);
+        last = last.max(d);
+        stats.fallback_used |= a.inner().used_fallback();
+        stats.nonsilent_leaders += a.inner().led_nonsilent_phase() as usize;
+    }
+    stats.agreement = decisions.windows(2).all(|w| w[0] == w[1]);
+    stats.decided_first = first;
+    stats.decided_last = last;
+    stats
+}
+
+/// Runs binary strong BA (all inputs `true`) with `f` crashed followers
+/// (crash the leader instead by passing `crash_leader`).
+pub fn run_strong_ba(n: usize, f: usize, crash_leader: bool) -> RunStats {
+    let cfg = SystemConfig::new(n, 0).unwrap();
+    let (pki, keys) = trusted_setup(n, 0x5ba);
+    assert!(f <= cfg.t());
+    let byz: Vec<u32> = if crash_leader {
+        (0..f as u32).collect()
+    } else {
+        (1..=f as u32).collect()
+    };
+    let mut actors: Vec<Box<dyn AnyActor<Msg = SbaM>>> = Vec::new();
+    for (i, key) in keys.iter().cloned().enumerate() {
+        let id = ProcessId(i as u32);
+        if byz.contains(&(i as u32)) {
+            actors.push(Box::new(IdleActor::new(id)));
+        } else {
+            let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+            let sba = StrongBa::new(cfg, id, key, pki.clone(), factory, true);
+            actors.push(Box::new(LockstepAdapter::new(id, sba)));
+        }
+    }
+    let mut b = SimBuilder::new(actors);
+    for &c in &byz {
+        b = b.corrupt(ProcessId(c));
+    }
+    let mut sim = b.build();
+    sim.run_until_done(60 * n as u64 + 4_000).expect("strong ba run terminated");
+
+    let mut stats = stats_from(sim.metrics(), n, f);
+    let mut decisions = Vec::new();
+    let (mut first, mut last) = (u64::MAX, 0u64);
+    for i in (0..n as u32).filter(|i| !byz.contains(i)) {
+        let a: &LockstepAdapter<SbaProc> =
+            sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+        decisions.push(a.inner().output().expect("decided"));
+        let d = a.inner().decided_at().expect("decided step");
+        first = first.min(d);
+        last = last.max(d);
+        stats.fallback_used |= a.inner().used_fallback();
+    }
+    stats.agreement = decisions.windows(2).all(|w| w[0] == w[1]);
+    stats.decided_first = first;
+    stats.decided_last = last;
+    stats
+}
+
+/// Runs the rotating-leader strong BA extension (all inputs `true`) with
+/// the first `f` processes crashed (the leaders of the first `f`
+/// attempts — the hardest placement for the rotation).
+pub fn run_rotating_strong(n: usize, f: usize) -> RunStats {
+    let cfg = SystemConfig::new(n, 0).unwrap();
+    let (pki, keys) = trusted_setup(n, 0x40);
+    assert!(f <= cfg.t());
+    let byz: Vec<u32> = (0..f as u32).collect();
+    type RbaProc = RotatingStrongBa<RecursiveBaFactory>;
+    type RbaM = <RbaProc as SubProtocol>::Msg;
+    let mut actors: Vec<Box<dyn AnyActor<Msg = RbaM>>> = Vec::new();
+    for (i, key) in keys.iter().cloned().enumerate() {
+        let id = ProcessId(i as u32);
+        if byz.contains(&(i as u32)) {
+            actors.push(Box::new(IdleActor::new(id)));
+        } else {
+            let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+            let rba = RotatingStrongBa::new(cfg, id, key, pki.clone(), factory, true);
+            actors.push(Box::new(LockstepAdapter::new(id, rba)));
+        }
+    }
+    let mut b = SimBuilder::new(actors);
+    for &c in &byz {
+        b = b.corrupt(ProcessId(c));
+    }
+    let mut sim = b.build();
+    sim.run_until_done(60 * n as u64 + 4_000).expect("rotating strong ba terminated");
+    let mut stats = stats_from(sim.metrics(), n, f);
+    let mut decisions = Vec::new();
+    let (mut first, mut last) = (u64::MAX, 0u64);
+    for i in (0..n as u32).filter(|i| !byz.contains(i)) {
+        let a: &LockstepAdapter<RbaProc> =
+            sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+        decisions.push(a.inner().output().expect("decided"));
+        let d = a.inner().decided_at().expect("decided step");
+        first = first.min(d);
+        last = last.max(d);
+        stats.fallback_used |= a.inner().used_fallback();
+    }
+    stats.agreement = decisions.windows(2).all(|w| w[0] == w[1]);
+    stats.decided_first = first;
+    stats.decided_last = last;
+    stats
+}
+
+/// Runs the Dolev–Strong BB baseline with `f` crashed followers.
+pub fn run_dolev_strong(n: usize, f: usize) -> RunStats {
+    let cfg = SystemConfig::new(n, 0).unwrap();
+    let (pki, keys) = trusted_setup(n, 0xd5);
+    let sender = ProcessId(0);
+    let byz: Vec<u32> = (1..=f as u32).collect();
+    let mut actors: Vec<Box<dyn AnyActor<Msg = meba_fallback::DsBbMsg<u64>>>> = Vec::new();
+    for (i, key) in keys.iter().cloned().enumerate() {
+        let id = ProcessId(i as u32);
+        if byz.contains(&(i as u32)) {
+            actors.push(Box::new(IdleActor::new(id)));
+        } else {
+            let input = (id == sender).then_some(7u64);
+            let ds = DolevStrongBb::new(&cfg, sender, id, key, pki.clone(), input);
+            actors.push(Box::new(LockstepAdapter::new(id, ds)));
+        }
+    }
+    let mut b = SimBuilder::new(actors);
+    for &c in &byz {
+        b = b.corrupt(ProcessId(c));
+    }
+    let mut sim = b.build();
+    sim.run_until_done(10 * n as u64 + 100).expect("dolev-strong run terminated");
+    let mut stats = stats_from(sim.metrics(), n, f);
+    stats.decided_first = cfg.t() as u64 + 1;
+    stats.decided_last = cfg.t() as u64 + 1;
+    stats
+}
+
+/// Runs the recursive fallback BA standalone with `f` crashed processes
+/// (unanimous input 1).
+pub fn run_recursive_ba(n: usize, f: usize) -> RunStats {
+    let cfg = SystemConfig::new(n, 0).unwrap();
+    let (pki, keys) = trusted_setup(n, 0x4ec);
+    let byz: Vec<u32> = (0..f as u32).map(|i| 2 * i + 1).collect();
+    let mut actors: Vec<Box<dyn AnyActor<Msg = meba_fallback::RecBaMsg<u64>>>> = Vec::new();
+    for (i, key) in keys.iter().cloned().enumerate() {
+        let id = ProcessId(i as u32);
+        if byz.contains(&(i as u32)) {
+            actors.push(Box::new(IdleActor::new(id)));
+        } else {
+            let rb = RecursiveBa::new(cfg, id, key, pki.clone(), 1u64);
+            actors.push(Box::new(LockstepAdapter::new(id, rb)));
+        }
+    }
+    let mut b = SimBuilder::new(actors);
+    for &c in &byz {
+        b = b.corrupt(ProcessId(c));
+    }
+    let mut sim = b.build();
+    sim.run_until_done(40 * n as u64 + 200).expect("recursive ba run terminated");
+    stats_from(sim.metrics(), n, f)
+}
+
+/// Runs the E8 split-vote attack and reports whether agreement held.
+/// Returns `(agreement, decisions_of_correct)`.
+pub fn run_split_vote_attack(naive_quorum: bool) -> (bool, Vec<Decision<u64>>) {
+    let n = 7usize;
+    let mut cfg = SystemConfig::new(n, 0xe8).unwrap();
+    if naive_quorum {
+        cfg = cfg.unsafe_with_quorum(cfg.idk_threshold());
+    }
+    let (pki, keys) = trusted_setup(n, 0xe8);
+    let byz = [1u32, 3, 5];
+    let cohort: Vec<SecretKey> = byz.iter().map(|&i| keys[i as usize].clone()).collect();
+    let mut actors: Vec<Box<dyn AnyActor<Msg = WbaM>>> = Vec::new();
+    for (i, key) in keys.iter().cloned().enumerate() {
+        let id = ProcessId(i as u32);
+        if i as u32 == 1 {
+            actors.push(Box::new(SplitVoteLeader::new(
+                cfg,
+                id,
+                pki.clone(),
+                cohort.clone(),
+                1,
+                100u64,
+                200u64,
+                vec![ProcessId(0), ProcessId(2)],
+                vec![ProcessId(4), ProcessId(6)],
+            )));
+        } else if byz.contains(&(i as u32)) {
+            actors.push(Box::new(IdleActor::new(id)));
+        } else {
+            let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+            let wba = WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory, 7u64);
+            actors.push(Box::new(LockstepAdapter::new(id, wba)));
+        }
+    }
+    let mut b = SimBuilder::new(actors);
+    for &c in &byz {
+        b = b.corrupt(ProcessId(c));
+    }
+    let mut sim = b.build();
+    sim.run_until_done(4_000).expect("attack run terminated");
+    let decisions: Vec<Decision<u64>> = [0u32, 2, 4, 6]
+        .iter()
+        .map(|&i| {
+            let a: &LockstepAdapter<WbaProc> =
+                sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+            a.inner().output().expect("decided")
+        })
+        .collect();
+    let agreement = decisions.windows(2).all(|w| w[0] == w[1]);
+    (agreement, decisions)
+}
+
+/// Runs the E9 late-help attack; `window` controls whether the paper's
+/// 2δ safety window is active. Returns `(agreement, decisions)`.
+pub fn run_late_help_attack(window: bool) -> (bool, Vec<Decision<u64>>) {
+    let n = 7usize;
+    let cfg = SystemConfig::new(n, 0xe9).unwrap();
+    let (pki, keys) = trusted_setup(n, 0xe9);
+    let byz = [1u32, 3, 5];
+    let cohort: Vec<SecretKey> = byz.iter().map(|&i| keys[i as usize].clone()).collect();
+    let mut actors: Vec<Box<dyn AnyActor<Msg = WbaM>>> = Vec::new();
+    for (i, key) in keys.iter().cloned().enumerate() {
+        let id = ProcessId(i as u32);
+        if i as u32 == 1 {
+            actors.push(Box::new(LateHelperLeader::new(
+                cfg,
+                id,
+                pki.clone(),
+                cohort.clone(),
+                1,
+                20u64,
+                ProcessId(0),
+            )));
+        } else if byz.contains(&(i as u32)) {
+            actors.push(Box::new(IdleActor::new(id)));
+        } else {
+            let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+            let mut wba = WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory, 10u64);
+            if !window {
+                wba.disable_safety_window();
+            }
+            actors.push(Box::new(LockstepAdapter::new(id, wba)));
+        }
+    }
+    let mut b = SimBuilder::new(actors);
+    for &c in &byz {
+        b = b.corrupt(ProcessId(c));
+    }
+    let mut sim = b.build();
+    sim.run_until_done(4_000).expect("attack run terminated");
+    let decisions: Vec<Decision<u64>> = [0u32, 2, 4, 6]
+        .iter()
+        .map(|&i| {
+            let a: &LockstepAdapter<WbaProc> =
+                sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+            a.inner().output().expect("decided")
+        })
+        .collect();
+    let agreement = decisions.windows(2).all(|w| w[0] == w[1]);
+    (agreement, decisions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bb_failure_free_linear() {
+        let s = run_bb(9, BbAdversary::FailureFree);
+        assert!(s.agreement);
+        assert!(!s.fallback_used);
+        assert!(s.words <= 25 * 9);
+    }
+
+    #[test]
+    fn wasteful_leaders_stay_adaptive_below_bound() {
+        // n = 17, bound = 4: f = 2 wasteful leaders must not trigger the
+        // fallback.
+        let s = run_weak_ba(17, WbaAdversary::WastefulLeaders(2));
+        assert!(s.agreement);
+        assert!(!s.fallback_used, "f below the bound must stay adaptive");
+    }
+
+    #[test]
+    fn dolev_strong_flat_in_f() {
+        let a = run_dolev_strong(9, 0);
+        let b = run_dolev_strong(9, 2);
+        assert!(b.words <= a.words, "crashes cannot increase DS cost");
+        assert!(a.words >= (9 * 9) as u64 / 4, "DS is quadratic-order even at f=0");
+    }
+
+    #[test]
+    fn attack_runners_reproduce_ablations() {
+        assert!(!run_split_vote_attack(true).0);
+        assert!(run_split_vote_attack(false).0);
+        assert!(!run_late_help_attack(false).0);
+        assert!(run_late_help_attack(true).0);
+    }
+}

@@ -1,0 +1,735 @@
+//! Adaptive Byzantine Broadcast (Algorithms 1 and 2, §5).
+//!
+//! BB is reduced to weak BA with the `BB_valid` predicate: a value is
+//! valid iff it is signed by the designated sender, or it is an `idk`
+//! quorum certificate signed by `t + 1` processes. The reduction has three
+//! parts:
+//!
+//! 1. **Dissemination** (round 1): the sender broadcasts `⟨v⟩_sender`.
+//! 2. **Vetting** (`n` leader-based phases × 3 rounds): a leader that has
+//!    no BA input yet asks for help; processes forward their value or a
+//!    signed `idk`; the leader broadcasts a sender-signed value, a
+//!    forwarded certificate, or a fresh `idk` quorum certificate. Phases
+//!    whose leader already holds a value are **silent**, so only
+//!    `O(f + 1)` phases are non-silent (Lemma 9 / §5.1).
+//! 3. **Weak BA** over the vetted values; a decision is the sender's value
+//!    if the BA output is of the form `⟨v⟩_sender`, else `⊥`.
+//!
+//! Implementation note (documented deviation): Algorithm 2 line 23 only
+//! lets a leader re-broadcast *sender-signed* values, and line 25 only
+//! *fresh* `idk` shares. A Byzantine leader, however, can place an idk
+//! certificate at some correct processes only; a later correct leader
+//! would then receive neither a sender-signed value nor `t + 1` fresh
+//! `idk`s and its phase would vet nothing. We therefore also let a leader
+//! re-broadcast a forwarded *valid* `idk` certificate. This preserves
+//! Lemma 10/12 (when the sender is correct no `idk` certificate can exist
+//! at all, so nothing new becomes broadcastable) and restores Lemma 9 in
+//! that corner.
+
+use crate::config::SystemConfig;
+use crate::decision::Decision;
+use crate::signing::{sign_payload, verify_payload, BbIdkSig, BbValueSig};
+use crate::subprotocol::{FallbackFactory, SubProtocol};
+use crate::validity::Validity;
+use crate::value::Value;
+use crate::weak_ba::{FallbackMsgOf, WeakBa, WeakBaMsg};
+use meba_crypto::{Encoder, Pki, ProcessId, SecretKey, Signable, Signature, ThresholdSignature};
+use meba_crypto::WordCost;
+use meba_sim::{Dest, Message};
+use std::collections::BTreeMap;
+
+/// The weak BA value domain of the BB reduction: either the sender's
+/// signed value or an `idk` quorum certificate.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BbBaValue<V> {
+    /// `⟨v⟩_sender`.
+    Signed {
+        /// The sender's value.
+        value: V,
+        /// The sender's signature over [`BbValueSig`].
+        sig: Signature,
+    },
+    /// `QC_idk` from vetting phase `phase`: proof that `t + 1` processes
+    /// had no value.
+    IdkQuorum {
+        /// The phase whose `idk` shares were batched.
+        phase: u32,
+        /// `(t+1, n)`-threshold certificate over [`BbIdkSig`].
+        qc: ThresholdSignature,
+    },
+}
+
+impl<V: Value> Value for BbBaValue<V> {
+    fn encode_value(&self, enc: &mut Encoder) {
+        match self {
+            BbBaValue::Signed { value, sig } => {
+                enc.put_u32(0);
+                value.encode_value(enc);
+                sig.encode(enc);
+            }
+            BbBaValue::IdkQuorum { phase, qc } => {
+                enc.put_u32(1);
+                enc.put_u32(*phase);
+                qc.encode(enc);
+            }
+        }
+    }
+
+    fn value_words(&self) -> u64 {
+        match self {
+            BbBaValue::Signed { value, sig } => value.value_words() + sig.words(),
+            BbBaValue::IdkQuorum { qc, .. } => qc.words(),
+        }
+    }
+}
+
+/// The `BB_valid` predicate (§5): signed by the sender, or signed by
+/// `t + 1` processes.
+#[derive(Clone, Debug)]
+pub struct BbValidity {
+    cfg: SystemConfig,
+    pki: Pki,
+    sender: ProcessId,
+}
+
+impl BbValidity {
+    /// Creates the predicate for a BB instance with the given sender.
+    pub fn new(cfg: SystemConfig, pki: Pki, sender: ProcessId) -> Self {
+        BbValidity { cfg, pki, sender }
+    }
+}
+
+impl<V: Value> Validity<BbBaValue<V>> for BbValidity {
+    fn validate(&self, v: &BbBaValue<V>) -> bool {
+        match v {
+            BbBaValue::Signed { value, sig } => {
+                sig.signer() == self.sender
+                    && verify_payload(
+                        &self.pki,
+                        &BbValueSig { session: self.cfg.session(), value },
+                        sig,
+                    )
+            }
+            BbBaValue::IdkQuorum { phase, qc } => {
+                *phase >= 1
+                    && *phase as usize <= self.cfg.n()
+                    && qc.threshold() == self.cfg.idk_threshold()
+                    && self
+                        .pki
+                        .verify_threshold(
+                            &BbIdkSig { session: self.cfg.session(), phase: *phase }
+                                .signing_bytes(),
+                            qc,
+                        )
+                        .is_ok()
+            }
+        }
+    }
+}
+
+/// Wire messages of the BB protocol. `FM` is the fallback message type.
+#[derive(Clone, Debug)]
+pub enum BbMsg<V, FM> {
+    /// `⟨v⟩_sender` broadcast in round 1 (Alg 1 line 2).
+    SenderValue {
+        /// The sender's value.
+        value: V,
+        /// Signature over [`BbValueSig`].
+        sig: Signature,
+    },
+    /// `⟨help_req, j⟩_leader` (Alg 2 line 16).
+    VetHelpReq {
+        /// Vetting phase.
+        phase: u32,
+    },
+    /// `⟨v_i, j⟩` forwarded to the leader (line 19).
+    VetValue {
+        /// Vetting phase.
+        phase: u32,
+        /// The responder's current BA value.
+        value: BbBaValue<V>,
+    },
+    /// `⟨idk, j⟩_p` (line 21).
+    VetIdk {
+        /// Vetting phase.
+        phase: u32,
+        /// Signature over [`BbIdkSig`].
+        sig: Signature,
+    },
+    /// The leader's vetting broadcast (lines 24 / 27).
+    Vetted {
+        /// Vetting phase.
+        phase: u32,
+        /// The vetted value.
+        value: BbBaValue<V>,
+    },
+    /// Embedded weak BA traffic (Alg 1 line 9).
+    Ba(WeakBaMsg<BbBaValue<V>, FM>),
+}
+
+impl<V: Value, FM: Message> Message for BbMsg<V, FM> {
+    fn words(&self) -> u64 {
+        match self {
+            BbMsg::SenderValue { value, sig } => value.value_words() + sig.words(),
+            BbMsg::VetHelpReq { .. } => 1,
+            BbMsg::VetValue { value, .. } | BbMsg::Vetted { value, .. } => value.value_words(),
+            BbMsg::VetIdk { sig, .. } => sig.words(),
+            BbMsg::Ba(m) => m.words(),
+        }
+    }
+
+    fn constituent_sigs(&self) -> u64 {
+        match self {
+            BbMsg::SenderValue { sig, .. } | BbMsg::VetIdk { sig, .. } => sig.constituent_sigs(),
+            BbMsg::VetHelpReq { .. } => 0,
+            BbMsg::VetValue { value, .. } | BbMsg::Vetted { value, .. } => match value {
+                BbBaValue::Signed { sig, .. } => sig.constituent_sigs(),
+                BbBaValue::IdkQuorum { qc, .. } => qc.constituent_sigs(),
+            },
+            BbMsg::Ba(m) => m.constituent_sigs(),
+        }
+    }
+
+    fn component(&self) -> &'static str {
+        match self {
+            BbMsg::SenderValue { .. } => "bb/dissemination",
+            BbMsg::VetHelpReq { .. }
+            | BbMsg::VetValue { .. }
+            | BbMsg::VetIdk { .. }
+            | BbMsg::Vetted { .. } => "bb/vetting",
+            BbMsg::Ba(m) => m.component(),
+        }
+    }
+}
+
+/// Rounds per vetting phase.
+pub const VET_ROUNDS: u64 = 3;
+
+/// The full wire-message type of a [`Bb`] built with factory `F`.
+pub type BbMsgOf<V, F> = BbMsg<V, FallbackMsgOf<BbBaValue<V>, F>>;
+
+/// An addressed outgoing message batch of a [`Bb`].
+pub type BbOutbox<V, F> = Vec<(Dest, BbMsgOf<V, F>)>;
+
+/// The adaptive Byzantine Broadcast state machine (one per process).
+pub struct Bb<V, F>
+where
+    V: Value,
+    F: FallbackFactory<BbBaValue<V>>,
+{
+    cfg: SystemConfig,
+    me: ProcessId,
+    key: SecretKey,
+    pki: Pki,
+    factory: F,
+    sender: ProcessId,
+    sender_input: Option<V>,
+
+    vi: Option<BbBaValue<V>>,
+    requested_phase: bool,
+    nonsilent_as_leader: bool,
+    ba: Option<WeakBa<BbBaValue<V>, BbValidity, F>>,
+    decision: Option<Decision<V>>,
+    decided_at: Option<u64>,
+    stalled: bool,
+    finished: bool,
+}
+
+impl<V, F> Bb<V, F>
+where
+    V: Value,
+    F: FallbackFactory<BbBaValue<V>>,
+{
+    /// Creates a non-sender participant.
+    pub fn new(
+        cfg: SystemConfig,
+        me: ProcessId,
+        key: SecretKey,
+        pki: Pki,
+        factory: F,
+        sender: ProcessId,
+    ) -> Self {
+        Bb {
+            cfg,
+            me,
+            key,
+            pki,
+            factory,
+            sender,
+            sender_input: None,
+            vi: None,
+            requested_phase: false,
+            nonsilent_as_leader: false,
+            ba: None,
+            decision: None,
+            decided_at: None,
+            stalled: false,
+            finished: false,
+        }
+    }
+
+    /// Creates the designated sender with its input `v_sender`.
+    pub fn new_sender(
+        cfg: SystemConfig,
+        me: ProcessId,
+        key: SecretKey,
+        pki: Pki,
+        factory: F,
+        input: V,
+    ) -> Self {
+        let mut bb = Self::new(cfg, me, key, pki, factory, me);
+        bb.sender_input = Some(input);
+        bb
+    }
+
+    /// First step of the embedded weak BA.
+    pub fn ba_start(cfg: &SystemConfig) -> u64 {
+        1 + cfg.n() as u64 * VET_ROUNDS
+    }
+
+    /// Worst-case schedule length of a whole BB instance (dissemination,
+    /// vetting, embedded weak BA including its fallback).
+    pub fn max_schedule(cfg: &SystemConfig, factory: &F) -> u64 {
+        Self::ba_start(cfg) + WeakBa::<BbBaValue<V>, BbValidity, F>::max_schedule(cfg, factory)
+    }
+
+    /// The BB decision: the sender's value, or `⊥`.
+    pub fn decision(&self) -> Option<&Decision<V>> {
+        self.decision.as_ref()
+    }
+
+    /// Step at which the decision was reached (for latency profiles).
+    ///
+    /// This is when the *embedded weak BA* settled, not when the full
+    /// fixed schedule finished — the quantity experiment E7 plots.
+    pub fn decided_at(&self) -> Option<u64> {
+        match &self.ba {
+            Some(ba) => ba.decided_at().map(|s| s + Self::ba_start(&self.cfg)),
+            None => self.decided_at,
+        }
+    }
+
+    /// Whether this process initiated a non-silent vetting phase.
+    pub fn led_nonsilent_phase(&self) -> bool {
+        self.nonsilent_as_leader
+    }
+
+    /// Whether the embedded weak BA executed its fallback.
+    pub fn used_fallback(&self) -> bool {
+        self.ba.as_ref().is_some_and(|ba| ba.used_fallback())
+    }
+
+    /// Whether this process stalled for lack of a vetted value — never
+    /// true for a correctly-scheduled process (Lemma 11); exposed so
+    /// harnesses can distinguish a stall from a slow run.
+    pub fn stalled(&self) -> bool {
+        self.stalled
+    }
+
+    fn validity(&self) -> BbValidity {
+        BbValidity::new(self.cfg, self.pki.clone(), self.sender)
+    }
+
+    fn vet_phase_of_step(&self, step: u64) -> Option<(u32, u64)> {
+        let n = self.cfg.n() as u64;
+        if step >= 1 && step < 1 + n * VET_ROUNDS {
+            let s = step - 1;
+            Some(((s / VET_ROUNDS) as u32 + 1, s % VET_ROUNDS))
+        } else {
+            None
+        }
+    }
+
+    fn run_vet_step(
+        &mut self,
+        phase: u32,
+        sub: u64,
+        inbox: &[(ProcessId, BbMsgOf<V, F>)],
+        out: &mut BbOutbox<V, F>,
+    ) {
+        let leader = self.cfg.leader_of_phase(phase);
+        let is_leader = leader == self.me;
+        match sub {
+            // Round 1: a value-less leader asks for help (lines 15–16).
+            0 => {
+                self.requested_phase = false;
+                if is_leader && self.vi.is_none() {
+                    self.requested_phase = true;
+                    self.nonsilent_as_leader = true;
+                    out.push((Dest::All, BbMsg::VetHelpReq { phase }));
+                }
+            }
+            // Round 2: answer the leader (lines 17–21).
+            1 => {
+                let asked = inbox
+                    .iter()
+                    .any(|(from, m)| *from == leader && matches!(m, BbMsg::VetHelpReq { phase: p } if *p == phase));
+                if asked {
+                    match &self.vi {
+                        Some(v) => out.push((
+                            Dest::To(leader),
+                            BbMsg::VetValue { phase, value: v.clone() },
+                        )),
+                        None => {
+                            let sig = sign_payload(
+                                &self.key,
+                                &BbIdkSig { session: self.cfg.session(), phase },
+                            );
+                            out.push((Dest::To(leader), BbMsg::VetIdk { phase, sig }));
+                        }
+                    }
+                }
+            }
+            // Round 3 (leader): broadcast a sender-signed value, a
+            // forwarded certificate, or a fresh idk certificate
+            // (lines 22–27).
+            2 => {
+                if !is_leader || !self.requested_phase {
+                    return;
+                }
+                let validity = self.validity();
+                let mut signed: Option<BbBaValue<V>> = None;
+                let mut forwarded_qc: Option<BbBaValue<V>> = None;
+                let mut idk_sigs: BTreeMap<ProcessId, Signature> = BTreeMap::new();
+                let payload = BbIdkSig { session: self.cfg.session(), phase };
+                for (from, msg) in inbox {
+                    match msg {
+                        BbMsg::VetValue { phase: p, value } if *p == phase => {
+                            if !validity.validate(value) {
+                                continue;
+                            }
+                            match value {
+                                BbBaValue::Signed { .. } if signed.is_none() => {
+                                    signed = Some(value.clone());
+                                }
+                                BbBaValue::IdkQuorum { .. } if forwarded_qc.is_none() => {
+                                    forwarded_qc = Some(value.clone());
+                                }
+                                _ => {}
+                            }
+                        }
+                        BbMsg::VetIdk { phase: p, sig } if *p == phase
+                            && sig.signer() == *from && verify_payload(&self.pki, &payload, sig) => {
+                                idk_sigs.insert(*from, sig.clone());
+                            }
+                        _ => {}
+                    }
+                }
+                if let Some(v) = signed {
+                    out.push((Dest::All, BbMsg::Vetted { phase, value: v }));
+                } else if let Some(v) = forwarded_qc {
+                    out.push((Dest::All, BbMsg::Vetted { phase, value: v }));
+                } else if idk_sigs.len() >= self.cfg.idk_threshold() {
+                    let qc = self
+                        .pki
+                        .combine(
+                            self.cfg.idk_threshold(),
+                            &payload.signing_bytes(),
+                            &idk_sigs.into_values().collect::<Vec<_>>(),
+                        )
+                        .expect("verified shares combine");
+                    out.push((
+                        Dest::All,
+                        BbMsg::Vetted { phase, value: BbBaValue::IdkQuorum { phase, qc } },
+                    ));
+                }
+            }
+            _ => unreachable!("vetting phase has 3 rounds"),
+        }
+    }
+}
+
+impl<V, F> SubProtocol for Bb<V, F>
+where
+    V: Value,
+    F: FallbackFactory<BbBaValue<V>>,
+{
+    type Msg = BbMsg<V, FallbackMsgOf<BbBaValue<V>, F>>;
+    type Output = Decision<V>;
+
+    fn on_step(
+        &mut self,
+        step: u64,
+        inbox: &[(ProcessId, Self::Msg)],
+        out: &mut Vec<(Dest, Self::Msg)>,
+    ) {
+        if self.finished {
+            return;
+        }
+        let validity = self.validity();
+
+        // --- Global handlers.
+        for (from, msg) in inbox {
+            match msg {
+                // Round-1 dissemination (Alg 1 lines 3–4).
+                BbMsg::SenderValue { value, sig } if *from == self.sender && step == 1 => {
+                    let candidate = BbBaValue::Signed { value: value.clone(), sig: sig.clone() };
+                    if self.vi.is_none() && validity.validate(&candidate) {
+                        self.vi = Some(candidate);
+                    }
+                }
+                // Phase returns (Alg 1 lines 7–8): adopt any valid vetted
+                // value broadcast by the matching phase leader.
+                BbMsg::Vetted { phase, value }
+                    if *phase >= 1
+                        && *phase as usize <= self.cfg.n()
+                        && *from == self.cfg.leader_of_phase(*phase)
+                        && validity.validate(value)
+                    => {
+                        self.vi = Some(value.clone());
+                    }
+                _ => {}
+            }
+        }
+
+        // --- Scheduled actions.
+        if step == 0 {
+            if let Some(v) = &self.sender_input {
+                let sig = sign_payload(
+                    &self.key,
+                    &BbValueSig { session: self.cfg.session(), value: v },
+                );
+                out.push((Dest::All, BbMsg::SenderValue { value: v.clone(), sig }));
+            }
+        } else if let Some((phase, sub)) = self.vet_phase_of_step(step) {
+            self.run_vet_step(phase, sub, inbox, out);
+        }
+
+        // --- Embedded weak BA (Alg 1 lines 9–13).
+        let ba_start = Self::ba_start(&self.cfg);
+        if step >= ba_start && !self.stalled {
+            if step == ba_start {
+                // Lemma 11 guarantees every correct process holds a valid
+                // value here. A process that does not (possible only for a
+                // Byzantine-scheduled wrapper, e.g. an honest-until-crash
+                // actor under rushed delivery) must not panic the harness;
+                // it stalls instead — loudly visible for correct actors
+                // as a termination failure.
+                let Some(input) = self.vi.clone() else {
+                    self.stalled = true;
+                    return;
+                };
+                self.ba = Some(WeakBa::new(
+                    self.cfg,
+                    self.me,
+                    self.key.clone(),
+                    self.pki.clone(),
+                    self.validity(),
+                    self.factory.clone(),
+                    input,
+                ));
+            }
+            let ba = self.ba.as_mut().expect("weak BA instantiated at ba_start");
+            let ba_inbox: Vec<(ProcessId, WeakBaMsg<BbBaValue<V>, _>)> = inbox
+                .iter()
+                .filter_map(|(from, m)| match m {
+                    BbMsg::Ba(inner) => Some((*from, inner.clone())),
+                    _ => None,
+                })
+                .collect();
+            let mut ba_out = Vec::new();
+            ba.on_step(step - ba_start, &ba_inbox, &mut ba_out);
+            for (dest, m) in ba_out {
+                out.push((dest, BbMsg::Ba(m)));
+            }
+            if ba.done() {
+                let ba_decision = ba.output().expect("done implies output");
+                self.decision = Some(match ba_decision {
+                    Decision::Value(BbBaValue::Signed { value, sig })
+                        if validity.validate(&BbBaValue::Signed {
+                            value: value.clone(),
+                            sig: sig.clone(),
+                        }) =>
+                    {
+                        Decision::Value(value)
+                    }
+                    _ => Decision::Bot,
+                });
+                self.finished = true;
+            }
+        }
+
+        if self.decision.is_some() && self.decided_at.is_none() {
+            self.decided_at = Some(step);
+        }
+    }
+
+    fn output(&self) -> Option<Decision<V>> {
+        if self.finished {
+            self.decision.clone()
+        } else {
+            None
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.finished
+    }
+}
+
+impl<V, F> std::fmt::Debug for Bb<V, F>
+where
+    V: Value,
+    F: FallbackFactory<BbBaValue<V>>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bb")
+            .field("me", &self.me)
+            .field("sender", &self.sender)
+            .field("decision", &self.decision)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fallback::EchoFallbackFactory;
+    use crate::subprotocol::LockstepAdapter;
+    use meba_crypto::trusted_setup;
+    use meba_sim::{AnyActor, IdleActor, SimBuilder, Simulation};
+
+    type BbP = Bb<u64, EchoFallbackFactory>;
+    type Msg = <BbP as SubProtocol>::Msg;
+
+    fn make_sim(n: usize, sender: u32, input: u64, crashed: &[u32]) -> Simulation<Msg> {
+        let cfg = SystemConfig::new(n, 3).unwrap();
+        let (pki, keys) = trusted_setup(n, 21);
+        let mut actors: Vec<Box<dyn AnyActor<Msg = Msg>>> = Vec::new();
+        for (i, key) in keys.into_iter().enumerate() {
+            let id = ProcessId(i as u32);
+            if crashed.contains(&(i as u32)) {
+                actors.push(Box::new(IdleActor::new(id)));
+                continue;
+            }
+            let bb = if i as u32 == sender {
+                Bb::new_sender(cfg, id, key, pki.clone(), EchoFallbackFactory, input)
+            } else {
+                Bb::new(cfg, id, key, pki.clone(), EchoFallbackFactory, ProcessId(sender))
+            };
+            actors.push(Box::new(LockstepAdapter::new(id, bb)));
+        }
+        let mut b = SimBuilder::new(actors);
+        for &c in crashed {
+            b = b.corrupt(ProcessId(c));
+        }
+        b.build()
+    }
+
+    fn decisions(sim: &Simulation<Msg>, crashed: &[u32]) -> Vec<Decision<u64>> {
+        (0..sim.n() as u32)
+            .filter(|i| !crashed.contains(i))
+            .map(|i| {
+                let a: &LockstepAdapter<BbP> =
+                    sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+                a.inner().output().expect("decided")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn correct_sender_failure_free_delivers_value() {
+        let mut sim = make_sim(7, 0, 99, &[]);
+        sim.run_until_done(400).unwrap();
+        let ds = decisions(&sim, &[]);
+        assert!(ds.iter().all(|d| *d == Decision::Value(99)), "validity: {ds:?}");
+    }
+
+    #[test]
+    fn silent_sender_decides_bot() {
+        // The "sender" crashes before sending: all correct must agree on ⊥.
+        let crashed = [0u32];
+        let mut sim = make_sim(7, 0, 0, &crashed);
+        sim.run_until_done(400).unwrap();
+        let ds = decisions(&sim, &crashed);
+        assert!(ds.iter().all(|d| d.is_bot()), "expected ⊥, got {ds:?}");
+    }
+
+    #[test]
+    fn correct_sender_with_crashes_below_bound() {
+        // n=9, t=4, adaptive bound 2: one crashed non-sender.
+        let crashed = [4u32];
+        let mut sim = make_sim(9, 0, 5, &crashed);
+        sim.run_until_done(600).unwrap();
+        let ds = decisions(&sim, &crashed);
+        assert!(ds.iter().all(|d| *d == Decision::Value(5)));
+        for i in (0..9u32).filter(|i| !crashed.contains(i)) {
+            let a: &LockstepAdapter<BbP> =
+                sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+            assert!(!a.inner().used_fallback());
+        }
+    }
+
+    #[test]
+    fn failure_free_vetting_is_all_silent() {
+        let mut sim = make_sim(7, 2, 1, &[]);
+        sim.run_until_done(400).unwrap();
+        for i in 0..7u32 {
+            let a: &LockstepAdapter<BbP> =
+                sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+            assert!(!a.inner().led_nonsilent_phase(), "p{i} should have been silent");
+        }
+    }
+
+    #[test]
+    fn silent_sender_vetting_goes_nonsilent_once() {
+        let crashed = [0u32];
+        let mut sim = make_sim(7, 0, 0, &crashed);
+        sim.run_until_done(400).unwrap();
+        // The first correct leader (p1, phase 1) vets an idk certificate;
+        // every later leader holds a value and stays silent.
+        let nonsilent: Vec<u32> = (1..7u32)
+            .filter(|&i| {
+                let a: &LockstepAdapter<BbP> =
+                    sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+                a.inner().led_nonsilent_phase()
+            })
+            .collect();
+        assert_eq!(nonsilent, vec![1]);
+    }
+
+    #[test]
+    fn bb_valid_predicate() {
+        let cfg = SystemConfig::new(7, 3).unwrap();
+        let (pki, keys) = trusted_setup(7, 21);
+        let sender = ProcessId(2);
+        let validity = BbValidity::new(cfg, pki.clone(), sender);
+
+        let good = BbBaValue::Signed {
+            value: 9u64,
+            sig: sign_payload(&keys[2], &BbValueSig { session: cfg.session(), value: &9u64 }),
+        };
+        assert!(validity.validate(&good));
+
+        // Signed by the wrong process.
+        let forged = BbBaValue::Signed {
+            value: 9u64,
+            sig: sign_payload(&keys[1], &BbValueSig { session: cfg.session(), value: &9u64 }),
+        };
+        assert!(!validity.validate(&forged));
+
+        // idk quorum with t+1 signers.
+        let payload = BbIdkSig { session: cfg.session(), phase: 3 };
+        let shares: Vec<_> = keys.iter().take(4).map(|k| sign_payload(k, &payload)).collect();
+        let qc = pki.combine(4, &payload.signing_bytes(), &shares).unwrap();
+        let idk = BbBaValue::<u64>::IdkQuorum { phase: 3, qc: qc.clone() };
+        assert!(Validity::<BbBaValue<u64>>::validate(&validity, &idk));
+
+        // Wrong phase claimed.
+        let wrong = BbBaValue::<u64>::IdkQuorum { phase: 4, qc };
+        assert!(!Validity::<BbBaValue<u64>>::validate(&validity, &wrong));
+    }
+
+    #[test]
+    fn words_failure_free_linear_in_n() {
+        for n in [5usize, 9, 17] {
+            let mut sim = make_sim(n, 0, 1, &[]);
+            sim.run_until_done(800).unwrap();
+            let words = sim.metrics().correct_words();
+            assert!(
+                words <= 22 * n as u64,
+                "n={n}: failure-free BB used {words} words"
+            );
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! The "simple and efficient reduction from BB to strong BA" (§5):
+//! the designated sender sends its value to all processes, then everyone
+//! runs a strong BA on what it received.
+//!
+//! The paper discusses this reduction to motivate why it needs *weak* BA
+//! instead: no adaptive multi-valued strong BA existed, so the reduction
+//! could not give adaptive BB. For the **binary** domain, however, the
+//! reduction composes with Algorithm 5 (or the rotating extension) and
+//! gives a correct binary BB:
+//!
+//! * sender correct ⇒ all correct processes enter the BA with the
+//!   sender's bit ⇒ strong unanimity delivers it (BB validity);
+//! * sender Byzantine ⇒ the BA's agreement still yields a common bit.
+//!
+//! Processes that receive nothing default to `false`, which is sound for
+//! binary BB: with a correct sender everyone receives the bit, and with a
+//! Byzantine sender any common output is acceptable.
+//!
+//! This module exists for paper fidelity and for the comparison bench —
+//! it is the baseline the weak-BA reduction (Algorithms 1–2) improves on
+//! for multi-valued domains.
+
+use crate::config::SystemConfig;
+use crate::signing::{sign_payload, verify_payload, BbValueSig};
+use crate::strong_ba::{StrongBa, StrongBaMsg, StrongFallbackMsgOf};
+use crate::subprotocol::{FallbackFactory, SubProtocol};
+use meba_crypto::{Pki, ProcessId, SecretKey, Signature};
+use meba_sim::{Dest, Message};
+
+/// Wire messages of the reduction: the dissemination round plus embedded
+/// strong BA traffic.
+#[derive(Clone, Debug)]
+pub enum BbViaStrongMsg<FM> {
+    /// `⟨v⟩_sender` (round 1 of the reduction).
+    SenderBit {
+        /// The sender's bit.
+        value: bool,
+        /// Signature over [`BbValueSig`] (domain-shared with the adaptive
+        /// BB so the sender cannot equivocate across reductions either).
+        sig: Signature,
+    },
+    /// Embedded strong BA traffic.
+    Ba(StrongBaMsg<FM>),
+}
+
+impl<FM: Message> Message for BbViaStrongMsg<FM> {
+    fn words(&self) -> u64 {
+        match self {
+            BbViaStrongMsg::SenderBit { sig, .. } => 1 + sig.words(),
+            BbViaStrongMsg::Ba(m) => m.words(),
+        }
+    }
+    fn constituent_sigs(&self) -> u64 {
+        match self {
+            BbViaStrongMsg::SenderBit { sig, .. } => sig.constituent_sigs(),
+            BbViaStrongMsg::Ba(m) => m.constituent_sigs(),
+        }
+    }
+    fn component(&self) -> &'static str {
+        match self {
+            BbViaStrongMsg::SenderBit { .. } => "bb/dissemination",
+            BbViaStrongMsg::Ba(m) => m.component(),
+        }
+    }
+}
+
+use meba_crypto::WordCost;
+
+/// Binary Byzantine Broadcast via the §5 reduction to strong BA
+/// (Algorithm 5 inside).
+pub struct BbViaStrongBa<F>
+where
+    F: FallbackFactory<bool>,
+{
+    cfg: SystemConfig,
+    me: ProcessId,
+    key: SecretKey,
+    pki: Pki,
+    factory: F,
+    sender: ProcessId,
+    sender_input: Option<bool>,
+    received: Option<bool>,
+    ba: Option<StrongBa<F>>,
+    finished: bool,
+}
+
+impl<F> BbViaStrongBa<F>
+where
+    F: FallbackFactory<bool>,
+{
+    /// Creates a non-sender participant.
+    pub fn new(
+        cfg: SystemConfig,
+        me: ProcessId,
+        key: SecretKey,
+        pki: Pki,
+        factory: F,
+        sender: ProcessId,
+    ) -> Self {
+        BbViaStrongBa {
+            cfg,
+            me,
+            key,
+            pki,
+            factory,
+            sender,
+            sender_input: None,
+            received: None,
+            ba: None,
+            finished: false,
+        }
+    }
+
+    /// Creates the designated sender with input `bit`.
+    pub fn new_sender(
+        cfg: SystemConfig,
+        me: ProcessId,
+        key: SecretKey,
+        pki: Pki,
+        factory: F,
+        bit: bool,
+    ) -> Self {
+        let mut bb = Self::new(cfg, me, key, pki, factory, me);
+        bb.sender_input = Some(bit);
+        bb
+    }
+
+    /// The BA starts right after dissemination.
+    pub fn ba_start() -> u64 {
+        2
+    }
+
+    /// The decision, if reached.
+    pub fn decision(&self) -> Option<bool> {
+        self.ba.as_ref().and_then(|ba| ba.decision())
+    }
+}
+
+impl<F> SubProtocol for BbViaStrongBa<F>
+where
+    F: FallbackFactory<bool>,
+{
+    type Msg = BbViaStrongMsg<StrongFallbackMsgOf<F>>;
+    type Output = bool;
+
+    fn on_step(
+        &mut self,
+        step: u64,
+        inbox: &[(ProcessId, Self::Msg)],
+        out: &mut Vec<(Dest, Self::Msg)>,
+    ) {
+        if self.finished {
+            return;
+        }
+        match step {
+            0 => {
+                if let Some(bit) = self.sender_input {
+                    let sig = sign_payload(
+                        &self.key,
+                        &BbValueSig { session: self.cfg.session(), value: &bit },
+                    );
+                    out.push((Dest::All, BbViaStrongMsg::SenderBit { value: bit, sig }));
+                }
+            }
+            1 => {
+                for (from, msg) in inbox {
+                    if let BbViaStrongMsg::SenderBit { value, sig } = msg {
+                        if *from == self.sender
+                            && sig.signer() == self.sender
+                            && verify_payload(
+                                &self.pki,
+                                &BbValueSig { session: self.cfg.session(), value },
+                                sig,
+                            )
+                        {
+                            self.received = Some(*value);
+                            break;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        if step >= Self::ba_start() {
+            if step == Self::ba_start() {
+                // Default bit `false` when the (necessarily Byzantine)
+                // sender skipped us.
+                let input = self.received.unwrap_or(false);
+                self.ba = Some(StrongBa::new(
+                    self.cfg,
+                    self.me,
+                    self.key.clone(),
+                    self.pki.clone(),
+                    self.factory.clone(),
+                    input,
+                ));
+            }
+            let ba = self.ba.as_mut().expect("BA instantiated at ba_start");
+            let ba_inbox: Vec<(ProcessId, StrongBaMsg<_>)> = inbox
+                .iter()
+                .filter_map(|(from, m)| match m {
+                    BbViaStrongMsg::Ba(inner) => Some((*from, inner.clone())),
+                    _ => None,
+                })
+                .collect();
+            let mut ba_out = Vec::new();
+            ba.on_step(step - Self::ba_start(), &ba_inbox, &mut ba_out);
+            for (dest, m) in ba_out {
+                out.push((dest, BbViaStrongMsg::Ba(m)));
+            }
+            if ba.done() {
+                self.finished = true;
+            }
+        }
+    }
+
+    fn output(&self) -> Option<bool> {
+        if self.finished {
+            self.decision()
+        } else {
+            None
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.finished
+    }
+}
+
+impl<F> std::fmt::Debug for BbViaStrongBa<F>
+where
+    F: FallbackFactory<bool>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BbViaStrongBa")
+            .field("me", &self.me)
+            .field("sender", &self.sender)
+            .field("decision", &self.decision())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fallback::EchoFallbackFactory;
+    use crate::subprotocol::LockstepAdapter;
+    use meba_crypto::trusted_setup;
+    use meba_sim::{AnyActor, IdleActor, SimBuilder, Simulation};
+
+    type P = BbViaStrongBa<EchoFallbackFactory>;
+    type Msg = <P as SubProtocol>::Msg;
+
+    fn make_sim(n: usize, sender: u32, bit: bool, crashed: &[u32]) -> Simulation<Msg> {
+        let cfg = SystemConfig::new(n, 0xba).unwrap();
+        let (pki, keys) = trusted_setup(n, 0xba);
+        let mut actors: Vec<Box<dyn AnyActor<Msg = Msg>>> = Vec::new();
+        for (i, key) in keys.into_iter().enumerate() {
+            let id = ProcessId(i as u32);
+            if crashed.contains(&(i as u32)) {
+                actors.push(Box::new(IdleActor::new(id)));
+                continue;
+            }
+            let bb = if i as u32 == sender {
+                BbViaStrongBa::new_sender(cfg, id, key, pki.clone(), EchoFallbackFactory, bit)
+            } else {
+                BbViaStrongBa::new(
+                    cfg,
+                    id,
+                    key,
+                    pki.clone(),
+                    EchoFallbackFactory,
+                    ProcessId(sender),
+                )
+            };
+            actors.push(Box::new(LockstepAdapter::new(id, bb)));
+        }
+        let mut b = SimBuilder::new(actors);
+        for &c in crashed {
+            b = b.corrupt(ProcessId(c));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn correct_sender_delivers_both_bits() {
+        for bit in [true, false] {
+            let mut sim = make_sim(7, 2, bit, &[]);
+            sim.run_until_done(200).unwrap();
+            for i in 0..7u32 {
+                let a: &LockstepAdapter<P> =
+                    sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+                assert_eq!(a.inner().output(), Some(bit));
+            }
+        }
+    }
+
+    #[test]
+    fn silent_sender_agrees_on_default() {
+        let mut sim = make_sim(7, 0, true, &[0]);
+        sim.run_until_done(300).unwrap();
+        for i in 1..7u32 {
+            let a: &LockstepAdapter<P> =
+                sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+            assert_eq!(a.inner().output(), Some(false), "default bit agreed");
+        }
+    }
+
+    #[test]
+    fn failure_free_is_linear_like_alg5() {
+        for n in [9usize, 17, 33] {
+            let mut sim = make_sim(n, 0, true, &[]);
+            sim.run_until_done(300).unwrap();
+            let words = sim.metrics().correct_words();
+            assert!(words <= 11 * n as u64, "n={n}: {words} words");
+        }
+    }
+
+    #[test]
+    fn crashed_follower_still_agrees() {
+        let mut sim = make_sim(7, 0, true, &[4]);
+        sim.run_until_done(400).unwrap();
+        for i in (0..7u32).filter(|&i| i != 4) {
+            let a: &LockstepAdapter<P> =
+                sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+            assert_eq!(a.inner().output(), Some(true), "validity survives the fallback");
+        }
+    }
+}

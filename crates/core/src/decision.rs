@@ -1,0 +1,96 @@
+//! Decision values: a protocol output is either a value or the default
+//! `⊥`.
+
+use std::fmt;
+
+/// Output of an agreement protocol: a value, or the default `⊥` permitted
+//  by unique validity when more than one valid value exists in the run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Decision<V> {
+    /// A concrete decided value.
+    Value(V),
+    /// The default value `⊥`.
+    Bot,
+}
+
+impl<V> Decision<V> {
+    /// Returns the decided value, if not `⊥`.
+    pub fn value(&self) -> Option<&V> {
+        match self {
+            Decision::Value(v) => Some(v),
+            Decision::Bot => None,
+        }
+    }
+
+    /// Whether the decision is `⊥`.
+    pub fn is_bot(&self) -> bool {
+        matches!(self, Decision::Bot)
+    }
+
+    /// Converts into an `Option`, mapping `⊥` to `None`.
+    pub fn into_option(self) -> Option<V> {
+        match self {
+            Decision::Value(v) => Some(v),
+            Decision::Bot => None,
+        }
+    }
+
+    /// Maps the value, preserving `⊥`.
+    pub fn map<U>(self, f: impl FnOnce(V) -> U) -> Decision<U> {
+        match self {
+            Decision::Value(v) => Decision::Value(f(v)),
+            Decision::Bot => Decision::Bot,
+        }
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for Decision<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decision::Value(v) => write!(f, "Decision({v:?})"),
+            Decision::Bot => write!(f, "Decision(⊥)"),
+        }
+    }
+}
+
+impl<V> From<V> for Decision<V> {
+    fn from(v: V) -> Self {
+        Decision::Value(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let d: Decision<u64> = Decision::Value(4);
+        assert_eq!(d.value(), Some(&4));
+        assert!(!d.is_bot());
+        assert_eq!(d.into_option(), Some(4));
+
+        let b: Decision<u64> = Decision::Bot;
+        assert_eq!(b.value(), None);
+        assert!(b.is_bot());
+        assert_eq!(b.into_option(), None);
+    }
+
+    #[test]
+    fn map_preserves_bot() {
+        assert_eq!(Decision::Value(2).map(|v| v * 2), Decision::Value(4));
+        assert_eq!(Decision::<u64>::Bot.map(|v| v * 2), Decision::Bot);
+    }
+
+    #[test]
+    fn debug_renders_bot() {
+        assert_eq!(format!("{:?}", Decision::<u64>::Bot), "Decision(⊥)");
+        assert_eq!(format!("{:?}", Decision::Value(1u64)), "Decision(1)");
+    }
+
+    #[test]
+    fn from_value() {
+        let d: Decision<u64> = 7.into();
+        assert_eq!(d, Decision::Value(7));
+    }
+}

@@ -1,0 +1,276 @@
+//! Signed payloads and quorum-certificate proofs used by the protocols.
+//!
+//! Every signature in Algorithms 1–5 binds a domain tag, the session id,
+//! and the semantic fields the correctness proofs rely on:
+//!
+//! * weak BA votes bind `(value, level)` so a commit certificate proves
+//!   its `commit_level` (Alg 4 line 43, "level is valid according to
+//!   `QC_commit(v)`");
+//! * weak BA decide shares bind `(value, phase)` so at most one finalize
+//!   certificate exists per phase value (Lemma 15);
+//! * BB idk shares bind the phase so stale certificates cannot be
+//!   replayed as fresh ones.
+
+use crate::config::SystemConfig;
+use crate::value::Value;
+use meba_crypto::{Encoder, Pki, Signable, Signature, ThresholdSignature};
+
+/// `⟨vote, v, level⟩` — weak BA vote share (Alg 4 line 34).
+#[derive(Debug)]
+pub struct VoteSig<'a, V> {
+    /// Session id from [`SystemConfig::session`].
+    pub session: u64,
+    /// The proposed value.
+    pub value: &'a V,
+    /// The phase that will become the commit level.
+    pub level: u32,
+}
+
+impl<V: Value> Signable for VoteSig<'_, V> {
+    const DOMAIN: &'static str = "meba/weakba/vote";
+    fn encode_fields(&self, enc: &mut Encoder) {
+        enc.put_u64(self.session);
+        self.value.encode_value(enc);
+        enc.put_u32(self.level);
+    }
+}
+
+/// `⟨decide, v, j⟩` — weak BA decide share (Alg 4 line 44).
+#[derive(Debug)]
+pub struct DecideSig<'a, V> {
+    /// Session id.
+    pub session: u64,
+    /// The value being finalized.
+    pub value: &'a V,
+    /// The phase forming the finalize certificate.
+    pub phase: u32,
+}
+
+impl<V: Value> Signable for DecideSig<'_, V> {
+    const DOMAIN: &'static str = "meba/weakba/decide";
+    fn encode_fields(&self, enc: &mut Encoder) {
+        enc.put_u64(self.session);
+        self.value.encode_value(enc);
+        enc.put_u32(self.phase);
+    }
+}
+
+/// `⟨help_req⟩` — weak BA help request (Alg 3 line 6).
+#[derive(Debug)]
+pub struct HelpReqSig {
+    /// Session id.
+    pub session: u64,
+}
+
+impl Signable for HelpReqSig {
+    const DOMAIN: &'static str = "meba/weakba/help_req";
+    fn encode_fields(&self, enc: &mut Encoder) {
+        enc.put_u64(self.session);
+    }
+}
+
+/// `⟨v⟩_sender` — the BB sender's signed input (Alg 1 line 2).
+#[derive(Debug)]
+pub struct BbValueSig<'a, V> {
+    /// Session id.
+    pub session: u64,
+    /// The broadcast value.
+    pub value: &'a V,
+}
+
+impl<V: Value> Signable for BbValueSig<'_, V> {
+    const DOMAIN: &'static str = "meba/bb/value";
+    fn encode_fields(&self, enc: &mut Encoder) {
+        enc.put_u64(self.session);
+        self.value.encode_value(enc);
+    }
+}
+
+/// `⟨idk, j⟩_p` — BB vetting "I don't know" share (Alg 2 line 21).
+#[derive(Debug)]
+pub struct BbIdkSig {
+    /// Session id.
+    pub session: u64,
+    /// Vetting phase.
+    pub phase: u32,
+}
+
+impl Signable for BbIdkSig {
+    const DOMAIN: &'static str = "meba/bb/idk";
+    fn encode_fields(&self, enc: &mut Encoder) {
+        enc.put_u64(self.session);
+        enc.put_u32(self.phase);
+    }
+}
+
+/// `⟨v⟩_p` — strong BA input share (Alg 5 line 2).
+#[derive(Debug)]
+pub struct StrongInputSig {
+    /// Session id.
+    pub session: u64,
+    /// The binary input.
+    pub value: bool,
+}
+
+impl Signable for StrongInputSig {
+    const DOMAIN: &'static str = "meba/strongba/input";
+    fn encode_fields(&self, enc: &mut Encoder) {
+        enc.put_u64(self.session);
+        enc.put_bool(self.value);
+    }
+}
+
+/// `⟨decide, v⟩_p` — strong BA decide share (Alg 5 line 8).
+#[derive(Debug)]
+pub struct StrongDecideSig {
+    /// Session id.
+    pub session: u64,
+    /// The binary value.
+    pub value: bool,
+}
+
+impl Signable for StrongDecideSig {
+    const DOMAIN: &'static str = "meba/strongba/decide";
+    fn encode_fields(&self, enc: &mut Encoder) {
+        enc.put_u64(self.session);
+        enc.put_bool(self.value);
+    }
+}
+
+/// A weak BA commit certificate: `⌈(n+t+1)/2⌉` votes on `(value, level)`
+/// (Alg 4 lines 40–42).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CommitProof {
+    /// The phase in which the votes were cast (the commit level).
+    pub level: u32,
+    /// Quorum certificate over [`VoteSig`] with the quorum threshold.
+    pub qc: ThresholdSignature,
+}
+
+impl CommitProof {
+    /// Verifies that this proof commits `value` at its level.
+    pub fn verify<V: Value>(&self, cfg: &SystemConfig, pki: &Pki, value: &V) -> bool {
+        self.qc.threshold() == cfg.quorum()
+            && pki
+                .verify_threshold(
+                    &VoteSig { session: cfg.session(), value, level: self.level }.signing_bytes(),
+                    &self.qc,
+                )
+                .is_ok()
+    }
+}
+
+/// A weak BA finalize certificate: `⌈(n+t+1)/2⌉` decide shares on
+/// `(value, phase)` (Alg 4 lines 49–51). Stored as `decide_proof`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DecideProof {
+    /// The phase that finalized.
+    pub phase: u32,
+    /// Quorum certificate over [`DecideSig`].
+    pub qc: ThresholdSignature,
+}
+
+impl DecideProof {
+    /// Verifies that this proof finalizes `value`.
+    pub fn verify<V: Value>(&self, cfg: &SystemConfig, pki: &Pki, value: &V) -> bool {
+        self.qc.threshold() == cfg.quorum()
+            && pki
+                .verify_threshold(
+                    &DecideSig { session: cfg.session(), value, phase: self.phase }.signing_bytes(),
+                    &self.qc,
+                )
+                .is_ok()
+    }
+}
+
+/// Convenience: sign a [`Signable`] with a secret key.
+pub fn sign_payload<S: Signable>(key: &meba_crypto::SecretKey, payload: &S) -> Signature {
+    key.sign(&payload.signing_bytes())
+}
+
+/// Convenience: verify an individual signature over a [`Signable`].
+pub fn verify_payload<S: Signable>(pki: &Pki, payload: &S, sig: &Signature) -> bool {
+    pki.verify(&payload.signing_bytes(), sig).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meba_crypto::trusted_setup;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::new(7, 99).unwrap()
+    }
+
+    #[test]
+    fn vote_binds_value_and_level() {
+        let a = VoteSig { session: 1, value: &7u64, level: 2 }.signing_bytes();
+        let b = VoteSig { session: 1, value: &7u64, level: 3 }.signing_bytes();
+        let c = VoteSig { session: 1, value: &8u64, level: 2 }.signing_bytes();
+        let d = VoteSig { session: 2, value: &7u64, level: 2 }.signing_bytes();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn vote_and_decide_domains_differ() {
+        let v = VoteSig { session: 1, value: &7u64, level: 2 }.signing_bytes();
+        let d = DecideSig { session: 1, value: &7u64, phase: 2 }.signing_bytes();
+        assert_ne!(v, d);
+    }
+
+    #[test]
+    fn commit_proof_roundtrip() {
+        let cfg = cfg();
+        let (pki, keys) = trusted_setup(cfg.n(), 5);
+        let value = 42u64;
+        let payload = VoteSig { session: cfg.session(), value: &value, level: 3 };
+        let shares: Vec<_> =
+            keys.iter().take(cfg.quorum()).map(|k| sign_payload(k, &payload)).collect();
+        let qc = pki.combine(cfg.quorum(), &payload.signing_bytes(), &shares).unwrap();
+        let proof = CommitProof { level: 3, qc };
+        assert!(proof.verify(&cfg, &pki, &value));
+        assert!(!proof.verify(&cfg, &pki, &43u64));
+        // Tampering with the level breaks verification.
+        let bad = CommitProof { level: 4, qc: proof.qc.clone() };
+        assert!(!bad.verify(&cfg, &pki, &value));
+    }
+
+    #[test]
+    fn commit_proof_rejects_wrong_threshold() {
+        let cfg = cfg();
+        let (pki, keys) = trusted_setup(cfg.n(), 5);
+        let value = 1u64;
+        let payload = VoteSig { session: cfg.session(), value: &value, level: 1 };
+        // t+1 = 4 < quorum = 6: a certificate with a lower threshold is
+        // not a commit proof even though it verifies as a (4, n) cert.
+        let shares: Vec<_> = keys.iter().take(4).map(|k| sign_payload(k, &payload)).collect();
+        let qc = pki.combine(4, &payload.signing_bytes(), &shares).unwrap();
+        assert!(!CommitProof { level: 1, qc }.verify(&cfg, &pki, &value));
+    }
+
+    #[test]
+    fn decide_proof_roundtrip() {
+        let cfg = cfg();
+        let (pki, keys) = trusted_setup(cfg.n(), 5);
+        let value = 9u64;
+        let payload = DecideSig { session: cfg.session(), value: &value, phase: 2 };
+        let shares: Vec<_> =
+            keys.iter().skip(1).take(cfg.quorum()).map(|k| sign_payload(k, &payload)).collect();
+        let qc = pki.combine(cfg.quorum(), &payload.signing_bytes(), &shares).unwrap();
+        let proof = DecideProof { phase: 2, qc };
+        assert!(proof.verify(&cfg, &pki, &value));
+        assert!(!DecideProof { phase: 3, qc: proof.qc.clone() }.verify(&cfg, &pki, &value));
+    }
+
+    #[test]
+    fn individual_payload_sign_verify() {
+        let cfg = cfg();
+        let (pki, keys) = trusted_setup(cfg.n(), 5);
+        let payload = BbIdkSig { session: cfg.session(), phase: 4 };
+        let sig = sign_payload(&keys[2], &payload);
+        assert!(verify_payload(&pki, &payload, &sig));
+        assert!(!verify_payload(&pki, &BbIdkSig { session: cfg.session(), phase: 5 }, &sig));
+    }
+}

@@ -1,0 +1,323 @@
+//! Composition framework: sub-protocols, lockstep embedding, and the
+//! paper's `2δ` skew-tolerant fallback adapter.
+//!
+//! The paper composes protocols as black boxes (Figure 1): BB runs a weak
+//! BA after its vetting phases; weak BA and strong BA hand off to
+//! `A_fallback` with round duration `δ' = 2δ` because correct processes may
+//! start it up to `δ` apart (Lemmas 17–18). [`SubProtocol`] is the
+//! composable state-machine interface; [`LockstepAdapter`] runs one as a
+//! top-level simulator actor; [`SkewAdapter`] embeds one with the paper's
+//! doubled-round, buffered-window semantics.
+
+use crate::value::Value;
+use meba_crypto::ProcessId;
+use meba_sim::{Actor, Dest, Message, RoundCtx};
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+
+/// A synchronous protocol state machine, advanced one *step* at a time.
+///
+/// Step semantics: at step `s`, the machine consumes messages sent by
+/// peers at their step `s - 1`, and emits messages that peers consume at
+/// their step `s + 1`. Steps map to simulator rounds 1:1 when embedded in
+/// lockstep, or 1:2 under the [`SkewAdapter`].
+pub trait SubProtocol: Send + 'static {
+    /// Message type exchanged by this protocol.
+    type Msg: Message;
+    /// Decision type.
+    type Output: Clone + Debug + Send + 'static;
+
+    /// Executes step `s`.
+    fn on_step(
+        &mut self,
+        step: u64,
+        inbox: &[(ProcessId, Self::Msg)],
+        out: &mut Vec<(Dest, Self::Msg)>,
+    );
+
+    /// The decision, once reached.
+    fn output(&self) -> Option<Self::Output>;
+
+    /// Whether the machine has completed its entire schedule (it may keep
+    /// answering messages until then even after deciding).
+    fn done(&self) -> bool;
+}
+
+/// Runs a [`SubProtocol`] directly as a simulator [`Actor`]
+/// (step = round).
+///
+/// # Examples
+///
+/// ```ignore
+/// let actor = LockstepAdapter::new(me, weak_ba);
+/// ```
+pub struct LockstepAdapter<P: SubProtocol> {
+    me: ProcessId,
+    inner: P,
+}
+
+impl<P: SubProtocol> LockstepAdapter<P> {
+    /// Wraps `inner`, which will run for process `me` from round 0.
+    pub fn new(me: ProcessId, inner: P) -> Self {
+        LockstepAdapter { me, inner }
+    }
+
+    /// The wrapped protocol, for inspecting decisions after a run.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: SubProtocol> Actor for LockstepAdapter<P> {
+    type Msg = P::Msg;
+
+    fn id(&self) -> ProcessId {
+        self.me
+    }
+
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, P::Msg>) {
+        let inbox: Vec<(ProcessId, P::Msg)> =
+            ctx.inbox().iter().map(|e| (e.from, e.msg.clone())).collect();
+        let mut out = Vec::new();
+        self.inner.on_step(ctx.round().as_u64(), &inbox, &mut out);
+        for (dest, msg) in out {
+            match dest {
+                Dest::To(p) => ctx.send(p, msg),
+                Dest::All => ctx.broadcast(msg),
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.inner.done()
+    }
+}
+
+/// A sub-protocol message tagged with its sender's *virtual step*, used by
+/// the [`SkewAdapter`].
+#[derive(Clone, Debug)]
+pub struct SkewEnvelope<M> {
+    /// Virtual step at which the message was sent.
+    pub vstep: u64,
+    /// The inner message.
+    pub msg: M,
+}
+
+/// Embeds a [`SubProtocol`] whose participants may start up to `δ` (one
+/// round) apart — the fallback situation of Lemmas 17–18.
+///
+/// The inner protocol runs with round duration `2δ` (one virtual step per
+/// two host rounds). Incoming messages are buffered by virtual step and
+/// consumed when the local machine reaches the matching step, which
+/// realizes the paper's acceptance window `[t_r − δ, t_r + 2δ]`: with
+/// start skew ≤ 1 host round, a peer's step-`s` message (sent at
+/// `peer_start + 2s`, delivered one round later) always arrives before the
+/// local step `s + 1` executes at `local_start + 2(s + 1)`.
+pub struct SkewAdapter<P: SubProtocol> {
+    inner: P,
+    start: u64,
+    next_vstep: u64,
+    buffer: BTreeMap<u64, Vec<(ProcessId, P::Msg)>>,
+}
+
+impl<P: SubProtocol> SkewAdapter<P> {
+    /// Wraps `inner`, which starts executing at host round `start`.
+    pub fn new(inner: P, start: u64) -> Self {
+        SkewAdapter { inner, start, next_vstep: 0, buffer: BTreeMap::new() }
+    }
+
+    /// Buffers an incoming tagged message.
+    pub fn deliver(&mut self, from: ProcessId, env: SkewEnvelope<P::Msg>) {
+        // Discard messages from virtual steps already consumed; they are
+        // outside the paper's acceptance window (only a Byzantine sender
+        // can produce them, since correct skew is bounded by δ).
+        if env.vstep + 1 >= self.next_vstep {
+            self.buffer.entry(env.vstep).or_default().push((from, env.msg));
+        }
+    }
+
+    /// Advances the adapter by one host round; emits tagged outgoing
+    /// messages when a virtual step fires.
+    pub fn tick(&mut self, host_round: u64, out: &mut Vec<(Dest, SkewEnvelope<P::Msg>)>) {
+        if host_round < self.start || !(host_round - self.start).is_multiple_of(2) {
+            return;
+        }
+        let vstep = (host_round - self.start) / 2;
+        if vstep != self.next_vstep || self.inner.done() {
+            return;
+        }
+        // Step s consumes messages tagged s - 1.
+        let inbox = if vstep == 0 {
+            Vec::new()
+        } else {
+            self.buffer.remove(&(vstep - 1)).unwrap_or_default()
+        };
+        let mut inner_out = Vec::new();
+        self.inner.on_step(vstep, &inbox, &mut inner_out);
+        for (dest, msg) in inner_out {
+            out.push((dest, SkewEnvelope { vstep, msg }));
+        }
+        self.next_vstep = vstep + 1;
+    }
+
+    /// Whether the inner protocol has finished.
+    pub fn done(&self) -> bool {
+        self.inner.done()
+    }
+
+    /// The inner protocol.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: SubProtocol> Debug for SkewAdapter<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SkewAdapter")
+            .field("start", &self.start)
+            .field("next_vstep", &self.next_vstep)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Constructs a fallback strong BA instance (`A_fallback` in the paper).
+///
+/// The adaptive protocols treat the quadratic strong BA as a black box:
+/// anything implementing this factory plugs in. The canonical
+/// implementation is `meba_fallback::RecursiveBaFactory`; `meba-core`
+/// ships [`crate::fallback::EchoFallbackFactory`] for crash-fault testing.
+pub trait FallbackFactory<V: Value>: Clone + Send + 'static {
+    /// The protocol type produced.
+    type Protocol: SubProtocol<Output = V>;
+
+    /// Instantiates the fallback for process `me` with initial value
+    /// `input` (the paper's `bu_decision`).
+    fn create(&self, me: ProcessId, input: V) -> Self::Protocol;
+
+    /// Worst-case number of virtual steps an instance needs to complete.
+    /// Multi-shot drivers (e.g. `meba-smr`) use this to size fixed,
+    /// system-wide schedules; the host protocols themselves just tick the
+    /// instance until [`SubProtocol::done`].
+    fn max_steps(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    struct Num(#[allow(dead_code)] u64);
+    impl Message for Num {
+        fn words(&self) -> u64 {
+            1
+        }
+    }
+
+    /// Echoes its step count; decides after 3 steps on the count of
+    /// step-tagged messages it received.
+    struct Counter {
+        received: Vec<(u64, usize)>,
+        out_value: u64,
+        decided: Option<u64>,
+    }
+
+    impl SubProtocol for Counter {
+        type Msg = Num;
+        type Output = u64;
+        fn on_step(&mut self, step: u64, inbox: &[(ProcessId, Num)], out: &mut Vec<(Dest, Num)>) {
+            self.received.push((step, inbox.len()));
+            if step < 3 {
+                out.push((Dest::All, Num(self.out_value + step)));
+            }
+            if step == 3 {
+                self.decided = Some(inbox.len() as u64);
+            }
+        }
+        fn output(&self) -> Option<u64> {
+            self.decided
+        }
+        fn done(&self) -> bool {
+            self.decided.is_some()
+        }
+    }
+
+    #[test]
+    fn skew_adapter_runs_every_other_round() {
+        let c = Counter { received: vec![], out_value: 0, decided: None };
+        let mut ad = SkewAdapter::new(c, 4);
+        let mut out = Vec::new();
+        for r in 0..12 {
+            ad.tick(r, &mut out);
+        }
+        // Steps fire at host rounds 4, 6, 8, 10.
+        assert_eq!(ad.inner().received.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert!(ad.done());
+        // Steps 0..2 each emitted one broadcast.
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[1].1.vstep, 1);
+    }
+
+    #[test]
+    fn skew_adapter_buffers_by_vstep() {
+        let c = Counter { received: vec![], out_value: 0, decided: None };
+        let mut ad = SkewAdapter::new(c, 0);
+        // Deliver two step-0 messages and one step-2 message up front
+        // (as if from peers one round ahead).
+        ad.deliver(ProcessId(1), SkewEnvelope { vstep: 0, msg: Num(1) });
+        ad.deliver(ProcessId(2), SkewEnvelope { vstep: 0, msg: Num(2) });
+        ad.deliver(ProcessId(1), SkewEnvelope { vstep: 2, msg: Num(3) });
+        let mut out = Vec::new();
+        for r in 0..8 {
+            ad.tick(r, &mut out);
+        }
+        let steps = &ad.inner().received;
+        assert_eq!(steps[0], (0, 0));
+        assert_eq!(steps[1], (1, 2), "step 1 consumes the two step-0 messages");
+        assert_eq!(steps[2], (2, 0));
+        assert_eq!(steps[3], (3, 1), "step 3 consumes the step-2 message");
+        assert_eq!(ad.inner().output(), Some(1));
+    }
+
+    #[test]
+    fn skew_adapter_discards_stale_vsteps() {
+        let c = Counter { received: vec![], out_value: 0, decided: None };
+        let mut ad = SkewAdapter::new(c, 0);
+        let mut out = Vec::new();
+        for r in 0..6 {
+            ad.tick(r, &mut out);
+        }
+        // next_vstep is now 3; a vstep-0 message is stale Byzantine noise.
+        ad.deliver(ProcessId(1), SkewEnvelope { vstep: 0, msg: Num(9) });
+        assert!(ad.buffer.is_empty());
+        // vstep-2 is exactly the window edge and still accepted.
+        ad.deliver(ProcessId(1), SkewEnvelope { vstep: 2, msg: Num(9) });
+        assert_eq!(ad.buffer.len(), 1);
+    }
+
+    #[test]
+    fn skewed_peers_stay_within_window() {
+        // Two peers starting one round apart exchange all messages in time.
+        let mk = |v| Counter { received: vec![], out_value: v, decided: None };
+        let mut a = SkewAdapter::new(mk(10), 4);
+        let mut b = SkewAdapter::new(mk(20), 5);
+        for r in 0..16u64 {
+            let mut out_a = Vec::new();
+            let mut out_b = Vec::new();
+            a.tick(r, &mut out_a);
+            b.tick(r, &mut out_b);
+            // Deliver next round (δ = 1): here we just deliver immediately
+            // after both ticked, which is equivalent for cross-delivery.
+            for (_, env) in out_a {
+                b.deliver(ProcessId(0), env);
+            }
+            for (_, env) in out_b {
+                a.deliver(ProcessId(1), env);
+            }
+        }
+        // Each peer consumed exactly one message per step 1..3.
+        assert_eq!(a.inner().output(), Some(1));
+        assert_eq!(b.inner().output(), Some(1));
+        let got_a: Vec<usize> = a.inner().received.iter().map(|(_, c)| *c).collect();
+        assert_eq!(got_a, vec![0, 1, 1, 1]);
+    }
+}

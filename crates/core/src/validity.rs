@@ -1,0 +1,78 @@
+//! External validity predicates (unique validity, Definition 3).
+//!
+//! Weak BA is parameterized by a locally-computable predicate
+//! `validate(v)`. Unique validity then guarantees: a decided `v` is either
+//! `⊥` or valid, and `⊥` is only decided when more than one valid value
+//! exists in the run. The "right" predicate makes this surprisingly
+//! powerful — the BB reduction (§5) instantiates it with
+//! [`crate::bb::BbValidity`].
+
+use crate::value::Value;
+
+/// A locally-computable boolean predicate over candidate values.
+pub trait Validity<V>: Clone + Send + 'static {
+    /// Whether `v` is a valid decision value.
+    fn validate(&self, v: &V) -> bool;
+}
+
+/// Accepts every value — reduces unique validity to "⊥ only under
+/// disagreement", useful for standalone weak BA runs and benches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AlwaysValid;
+
+impl<V: Value> Validity<V> for AlwaysValid {
+    fn validate(&self, _v: &V) -> bool {
+        true
+    }
+}
+
+/// Wraps a closure as a predicate.
+///
+/// # Examples
+///
+/// ```
+/// use meba_core::validity::{FnValidity, Validity};
+///
+/// let even = FnValidity::new(|v: &u64| v % 2 == 0);
+/// assert!(even.validate(&4));
+/// assert!(!even.validate(&3));
+/// ```
+#[derive(Clone)]
+pub struct FnValidity<F>(F);
+
+impl<F> FnValidity<F> {
+    /// Wraps `f`.
+    pub fn new(f: F) -> Self {
+        FnValidity(f)
+    }
+}
+
+impl<F> std::fmt::Debug for FnValidity<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FnValidity(..)")
+    }
+}
+
+impl<V: Value, F: Fn(&V) -> bool + Clone + Send + 'static> Validity<V> for FnValidity<F> {
+    fn validate(&self, v: &V) -> bool {
+        (self.0)(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_valid_accepts_everything() {
+        assert!(Validity::<u64>::validate(&AlwaysValid, &0));
+        assert!(Validity::<bool>::validate(&AlwaysValid, &false));
+    }
+
+    #[test]
+    fn fn_validity_delegates() {
+        let p = FnValidity::new(|v: &u64| *v < 10);
+        assert!(p.validate(&9));
+        assert!(!p.validate(&10));
+    }
+}

@@ -1,0 +1,90 @@
+//! Agreement values.
+//!
+//! Protocols are generic over the proposed value type. A [`Value`] must be
+//! canonically encodable (so signatures over it are well-defined words) and
+//! totally ordered (for deterministic tie-breaking in baselines).
+
+use meba_crypto::Encoder;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A value processes can propose, sign, and decide.
+pub trait Value: Clone + Eq + Ord + Hash + Debug + Send + 'static {
+    /// Writes the canonical encoding used inside signed messages.
+    fn encode_value(&self, enc: &mut Encoder);
+
+    /// Words the value occupies on the wire. The paper assumes values from
+    /// a finite domain, i.e. one word; variable-size payloads may override.
+    fn value_words(&self) -> u64 {
+        1
+    }
+}
+
+impl Value for bool {
+    fn encode_value(&self, enc: &mut Encoder) {
+        enc.put_bool(*self);
+    }
+}
+
+impl Value for u32 {
+    fn encode_value(&self, enc: &mut Encoder) {
+        enc.put_u32(*self);
+    }
+}
+
+impl Value for u64 {
+    fn encode_value(&self, enc: &mut Encoder) {
+        enc.put_u64(*self);
+    }
+}
+
+impl Value for String {
+    fn encode_value(&self, enc: &mut Encoder) {
+        enc.put_bytes(self.as_bytes());
+    }
+    fn value_words(&self) -> u64 {
+        // One word per 8 bytes of payload, at least one.
+        (self.len() as u64).div_ceil(8).max(1)
+    }
+}
+
+impl Value for Vec<u8> {
+    fn encode_value(&self, enc: &mut Encoder) {
+        enc.put_bytes(self);
+    }
+    fn value_words(&self) -> u64 {
+        (self.len() as u64).div_ceil(8).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc<V: Value>(v: &V) -> Vec<u8> {
+        let mut e = Encoder::new();
+        v.encode_value(&mut e);
+        e.into_bytes()
+    }
+
+    #[test]
+    fn scalar_encodings_distinguish_values() {
+        assert_ne!(enc(&1u64), enc(&2u64));
+        assert_ne!(enc(&true), enc(&false));
+        assert_ne!(enc(&1u32), enc(&1u64));
+    }
+
+    #[test]
+    fn scalar_values_cost_one_word() {
+        assert_eq!(42u64.value_words(), 1);
+        assert_eq!(true.value_words(), 1);
+    }
+
+    #[test]
+    fn string_words_scale_with_length() {
+        assert_eq!(String::from("x").value_words(), 1);
+        assert_eq!("x".repeat(8).value_words(), 1);
+        assert_eq!("x".repeat(9).value_words(), 2);
+        assert_eq!(Vec::from([0u8; 17]).value_words(), 3);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error types for signature verification and certificate assembly.
+
+use crate::ProcessId;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by verification or combination of signatures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// The signature tag does not verify against the claimed signer and
+    /// message.
+    BadSignature {
+        /// Claimed signer.
+        signer: ProcessId,
+    },
+    /// A signer identity is outside the PKI's process set.
+    UnknownSigner {
+        /// The out-of-range identity.
+        signer: ProcessId,
+    },
+    /// The same process contributed more than one share.
+    DuplicateSigner {
+        /// The duplicated identity.
+        signer: ProcessId,
+    },
+    /// Fewer valid shares than the scheme's threshold.
+    InsufficientShares {
+        /// Shares required by the `(k, n)` scheme.
+        needed: usize,
+        /// Valid, distinct shares supplied.
+        got: usize,
+    },
+    /// A threshold or aggregate signature was presented for a different
+    /// message than it certifies.
+    MessageMismatch,
+    /// The threshold parameter is zero or exceeds `n`.
+    BadThreshold {
+        /// Offending threshold.
+        k: usize,
+        /// System size.
+        n: usize,
+    },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::BadSignature { signer } => {
+                write!(f, "signature by {signer} does not verify")
+            }
+            CryptoError::UnknownSigner { signer } => {
+                write!(f, "signer {signer} is not part of the PKI")
+            }
+            CryptoError::DuplicateSigner { signer } => {
+                write!(f, "duplicate share from {signer}")
+            }
+            CryptoError::InsufficientShares { needed, got } => {
+                write!(f, "needed {needed} distinct valid shares, got {got}")
+            }
+            CryptoError::MessageMismatch => {
+                write!(f, "certificate does not certify the presented message")
+            }
+            CryptoError::BadThreshold { k, n } => {
+                write!(f, "invalid threshold {k} for system of {n} processes")
+            }
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = CryptoError::InsufficientShares { needed: 4, got: 2 };
+        let s = e.to_string();
+        assert!(s.starts_with("needed 4"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<CryptoError>();
+    }
+}

@@ -1,0 +1,86 @@
+//! Process identities.
+//!
+//! The trusted setup (PKI) assigns every process a stable identity
+//! `p0, p1, …, p(n-1)`; identities double as indices into round-robin
+//! leader rotations throughout the workspace.
+
+use std::fmt;
+
+/// Identity of a process in the system `Π = {p0, …, p(n-1)}`.
+///
+/// # Examples
+///
+/// ```
+/// use meba_crypto::ProcessId;
+///
+/// let p = ProcessId(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct ProcessId(pub u32);
+
+impl ProcessId {
+    /// The identity's position in `Π`, usable as a vector index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over all identities of a system of `n` processes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use meba_crypto::ProcessId;
+    /// let all: Vec<_> = ProcessId::all(3).collect();
+    /// assert_eq!(all, vec![ProcessId(0), ProcessId(1), ProcessId(2)]);
+    /// ```
+    pub fn all(n: usize) -> impl Iterator<Item = ProcessId> {
+        (0..n as u32).map(ProcessId)
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for ProcessId {
+    fn from(v: u32) -> Self {
+        ProcessId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ProcessId(0) < ProcessId(1));
+        assert_eq!(ProcessId(7).index(), 7);
+    }
+
+    #[test]
+    fn all_enumerates_in_order() {
+        assert_eq!(ProcessId::all(0).count(), 0);
+        let v: Vec<_> = ProcessId::all(4).collect();
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[3], ProcessId(3));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", ProcessId(12)), "p12");
+        assert_eq!(format!("{:?}", ProcessId(12)), "p12");
+    }
+}

@@ -1,0 +1,602 @@
+//! Trusted public-key infrastructure with ideal signature schemes.
+//!
+//! The paper (§2) "abstracts away the details of cryptography and
+//! assumes the threshold signature schemes are ideal". This module
+//! realizes that abstraction inside the simulation:
+//!
+//! * Every process holds a [`SecretKey`] only the trusted setup can mint.
+//! * [`Signature`], [`ThresholdSignature`] and [`AggregateSignature`] have
+//!   **private constructors** — the only way to obtain one is to hold the
+//!   relevant secret keys and call the signing/combining API. A Byzantine
+//!   process in the simulation therefore cannot forge a certificate it
+//!   could not forge under an ideal scheme.
+//! * Tags are HMAC-SHA256 under per-process keys derived from a master
+//!   secret held by the [`Pki`] verification handle, which exposes no key
+//!   material.
+//!
+//! Word accounting follows the paper's model: each signature object —
+//! individual, threshold, or aggregate — costs **one word** (see
+//! [`crate::words::WordCost`]), while its *constituent* signature count
+//! (used by experiment E4 to reproduce the Dolev–Reischuk `Ω(nt)`
+//! signature bound) is `1`, `k`, and `|signers|` respectively.
+
+use crate::error::CryptoError;
+use crate::hmac::{ct_eq, hmac_sha256, HmacSha256};
+use crate::ids::ProcessId;
+use crate::sha256::Digest;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// Domain-separation tags for the three schemes.
+const DOM_SIGN: &[u8] = b"meba/sig/v1";
+const DOM_THRESH: &[u8] = b"meba/thresh/v1";
+const DOM_AGG: &[u8] = b"meba/agg/v1";
+const DOM_SK: &[u8] = b"meba/sk/v1";
+
+/// Runs the trusted setup: generates a PKI for `n` processes and the
+/// per-process secret keys.
+///
+/// The caller (the simulation harness) distributes each [`SecretKey`] to
+/// its process; the [`Pki`] handle is public and may be cloned freely.
+///
+/// # Examples
+///
+/// ```
+/// use meba_crypto::pki::trusted_setup;
+///
+/// let (pki, keys) = trusted_setup(4, 42);
+/// let sig = keys[1].sign(b"hello");
+/// assert!(pki.verify(b"hello", &sig).is_ok());
+/// assert!(pki.verify(b"tampered", &sig).is_err());
+/// ```
+pub fn trusted_setup(n: usize, seed: u64) -> (Pki, Vec<SecretKey>) {
+    assert!(n > 0, "a system needs at least one process");
+    let master = hmac_sha256(&seed.to_be_bytes(), b"meba master secret");
+    let inner = Arc::new(PkiInner { master, n });
+    let pki = Pki { inner: inner.clone() };
+    let keys = ProcessId::all(n)
+        .map(|id| SecretKey { id, key: inner.secret_for(id) })
+        .collect();
+    (pki, keys)
+}
+
+struct PkiInner {
+    master: [u8; 32],
+    n: usize,
+}
+
+impl PkiInner {
+    fn secret_for(&self, id: ProcessId) -> [u8; 32] {
+        let mut mac = HmacSha256::new(&self.master);
+        mac.update(DOM_SK);
+        mac.update(&id.0.to_be_bytes());
+        mac.finalize()
+    }
+}
+
+/// Public verification handle for the system's signature schemes.
+///
+/// Cheap to clone (shared internals). Exposes *no* key material: holding a
+/// `Pki` lets a process verify anything but sign nothing.
+#[derive(Clone)]
+pub struct Pki {
+    inner: Arc<PkiInner>,
+}
+
+impl fmt::Debug for Pki {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pki").field("n", &self.inner.n).finish_non_exhaustive()
+    }
+}
+
+impl Pki {
+    /// Number of processes in the system.
+    pub fn n(&self) -> usize {
+        self.inner.n
+    }
+
+    fn check_signer(&self, signer: ProcessId) -> Result<(), CryptoError> {
+        if signer.index() >= self.inner.n {
+            Err(CryptoError::UnknownSigner { signer })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn sig_tag(&self, signer: ProcessId, msg: &[u8]) -> [u8; 32] {
+        let sk = self.inner.secret_for(signer);
+        let mut mac = HmacSha256::new(&sk);
+        mac.update(DOM_SIGN);
+        mac.update(msg);
+        mac.finalize()
+    }
+
+    /// Verifies an individual signature on `msg`.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::UnknownSigner`] if the claimed signer is outside the
+    /// system, [`CryptoError::BadSignature`] if the tag does not verify.
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> Result<(), CryptoError> {
+        self.check_signer(sig.signer)?;
+        if ct_eq(&self.sig_tag(sig.signer, msg), &sig.tag) {
+            Ok(())
+        } else {
+            Err(CryptoError::BadSignature { signer: sig.signer })
+        }
+    }
+
+    fn thresh_tag(&self, k: usize, digest: &Digest) -> [u8; 32] {
+        let mut mac = HmacSha256::new(&self.inner.master);
+        mac.update(DOM_THRESH);
+        mac.update(&(k as u64).to_be_bytes());
+        mac.update(digest.as_bytes());
+        mac.finalize()
+    }
+
+    /// Batches `k` (or more) unique valid signatures on `msg` into a
+    /// `(k, n)`-threshold signature — one word, per the paper's model.
+    ///
+    /// Invalid shares are rejected (not silently skipped) so a correct
+    /// leader never wastes a round on a certificate that will not verify.
+    ///
+    /// # Errors
+    ///
+    /// * [`CryptoError::BadThreshold`] — `k == 0` or `k > n`.
+    /// * [`CryptoError::DuplicateSigner`] — two shares from one process.
+    /// * [`CryptoError::BadSignature`] / [`CryptoError::UnknownSigner`] —
+    ///   an invalid share.
+    /// * [`CryptoError::InsufficientShares`] — fewer than `k` shares.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use meba_crypto::pki::trusted_setup;
+    ///
+    /// let (pki, keys) = trusted_setup(5, 1);
+    /// let shares: Vec<_> = keys.iter().take(3).map(|k| k.sign(b"v")).collect();
+    /// let qc = pki.combine(3, b"v", &shares)?;
+    /// assert!(pki.verify_threshold(b"v", &qc).is_ok());
+    /// # Ok::<(), meba_crypto::CryptoError>(())
+    /// ```
+    pub fn combine(
+        &self,
+        k: usize,
+        msg: &[u8],
+        shares: &[Signature],
+    ) -> Result<ThresholdSignature, CryptoError> {
+        if k == 0 || k > self.inner.n {
+            return Err(CryptoError::BadThreshold { k, n: self.inner.n });
+        }
+        let mut seen = BTreeSet::new();
+        for s in shares {
+            self.verify(msg, s)?;
+            if !seen.insert(s.signer) {
+                return Err(CryptoError::DuplicateSigner { signer: s.signer });
+            }
+        }
+        if seen.len() < k {
+            return Err(CryptoError::InsufficientShares { needed: k, got: seen.len() });
+        }
+        let digest = Digest::of(msg);
+        Ok(ThresholdSignature { threshold: k, digest, tag: self.thresh_tag(k, &digest) })
+    }
+
+    /// Verifies that `ts` certifies `msg` under its `(k, n)` scheme.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::MessageMismatch`] if the certificate was issued for a
+    /// different message or its tag does not verify.
+    pub fn verify_threshold(&self, msg: &[u8], ts: &ThresholdSignature) -> Result<(), CryptoError> {
+        let digest = Digest::of(msg);
+        if digest != ts.digest {
+            return Err(CryptoError::MessageMismatch);
+        }
+        if ct_eq(&self.thresh_tag(ts.threshold, &digest), &ts.tag) {
+            Ok(())
+        } else {
+            Err(CryptoError::MessageMismatch)
+        }
+    }
+
+    fn agg_tag(&self, signers: &BTreeSet<ProcessId>, digest: &Digest) -> [u8; 32] {
+        let mut mac = HmacSha256::new(&self.inner.master);
+        mac.update(DOM_AGG);
+        for s in signers {
+            mac.update(&s.0.to_be_bytes());
+        }
+        mac.update(digest.as_bytes());
+        mac.finalize()
+    }
+
+    /// Aggregates individual signatures on `msg` into a multi-signature
+    /// with an explicit signer set (BLS-style; one word plus the signer
+    /// bitmap, which the word model also counts as one word).
+    ///
+    /// # Errors
+    ///
+    /// Same share-validation errors as [`Pki::combine`]; an empty share
+    /// list yields [`CryptoError::InsufficientShares`].
+    pub fn aggregate(
+        &self,
+        msg: &[u8],
+        shares: &[Signature],
+    ) -> Result<AggregateSignature, CryptoError> {
+        if shares.is_empty() {
+            return Err(CryptoError::InsufficientShares { needed: 1, got: 0 });
+        }
+        let mut signers = BTreeSet::new();
+        for s in shares {
+            self.verify(msg, s)?;
+            if !signers.insert(s.signer) {
+                return Err(CryptoError::DuplicateSigner { signer: s.signer });
+            }
+        }
+        let digest = Digest::of(msg);
+        let tag = self.agg_tag(&signers, &digest);
+        Ok(AggregateSignature { signers, digest, tag })
+    }
+
+    /// Extends an aggregate with one more signature on the same message
+    /// (used by Dolev–Strong style forwarding chains).
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::MessageMismatch`] if `agg` does not certify `msg`;
+    /// [`CryptoError::DuplicateSigner`] if the signer already contributed;
+    /// plus individual-signature errors for `extra`.
+    pub fn extend_aggregate(
+        &self,
+        msg: &[u8],
+        agg: &AggregateSignature,
+        extra: &Signature,
+    ) -> Result<AggregateSignature, CryptoError> {
+        self.verify_aggregate(msg, agg)?;
+        self.verify(msg, extra)?;
+        if agg.signers.contains(&extra.signer) {
+            return Err(CryptoError::DuplicateSigner { signer: extra.signer });
+        }
+        let mut signers = agg.signers.clone();
+        signers.insert(extra.signer);
+        let tag = self.agg_tag(&signers, &agg.digest);
+        Ok(AggregateSignature { signers, digest: agg.digest, tag })
+    }
+
+    /// Verifies an aggregate signature on `msg`.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::MessageMismatch`] on digest or tag mismatch;
+    /// [`CryptoError::UnknownSigner`] if the signer set leaves the system.
+    pub fn verify_aggregate(
+        &self,
+        msg: &[u8],
+        agg: &AggregateSignature,
+    ) -> Result<(), CryptoError> {
+        for &s in &agg.signers {
+            self.check_signer(s)?;
+        }
+        let digest = Digest::of(msg);
+        if digest != agg.digest {
+            return Err(CryptoError::MessageMismatch);
+        }
+        if ct_eq(&self.agg_tag(&agg.signers, &digest), &agg.tag) {
+            Ok(())
+        } else {
+            Err(CryptoError::MessageMismatch)
+        }
+    }
+}
+
+/// Signing key of a single process.
+///
+/// Only the trusted setup can create one; the harness hands each process
+/// (and the adversary, for corrupted processes) its key.
+#[derive(Clone)]
+pub struct SecretKey {
+    id: ProcessId,
+    key: [u8; 32],
+}
+
+impl fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SecretKey({})", self.id)
+    }
+}
+
+impl SecretKey {
+    /// The identity this key signs for.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Signs `msg`, producing `⟨msg⟩_p` in the paper's notation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use meba_crypto::pki::trusted_setup;
+    ///
+    /// let (pki, keys) = trusted_setup(3, 7);
+    /// let sig = keys[0].sign(b"proposal");
+    /// assert_eq!(sig.signer(), keys[0].id());
+    /// assert!(pki.verify(b"proposal", &sig).is_ok());
+    /// ```
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        let mut mac = HmacSha256::new(&self.key);
+        mac.update(DOM_SIGN);
+        mac.update(msg);
+        Signature { signer: self.id, tag: mac.finalize() }
+    }
+}
+
+/// An individual signature `⟨m⟩_p`. One word.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Signature {
+    signer: ProcessId,
+    tag: [u8; 32],
+}
+
+impl Signature {
+    /// The claimed signer (authenticated once [`Pki::verify`] succeeds).
+    pub fn signer(&self) -> ProcessId {
+        self.signer
+    }
+
+    /// Writes the signature's canonical wire encoding (signer + tag) into
+    /// `enc`, so values embedding signatures hash deterministically.
+    pub fn encode(&self, enc: &mut crate::encoding::Encoder) {
+        enc.put_id(self.signer);
+        enc.put_bytes(&self.tag);
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sig({})", self.signer)
+    }
+}
+
+/// A `(k, n)`-threshold signature: `k` unique signatures batched into one
+/// word. Does not reveal the signer set, matching real threshold schemes.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThresholdSignature {
+    threshold: usize,
+    digest: Digest,
+    tag: [u8; 32],
+}
+
+impl ThresholdSignature {
+    /// The scheme threshold `k` this certificate proves.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Digest of the certified message.
+    pub fn digest(&self) -> Digest {
+        self.digest
+    }
+
+    /// Writes the certificate's canonical wire encoding into `enc`.
+    pub fn encode(&self, enc: &mut crate::encoding::Encoder) {
+        enc.put_u64(self.threshold as u64);
+        enc.put_digest(&self.digest);
+        enc.put_bytes(&self.tag);
+    }
+}
+
+impl fmt::Debug for ThresholdSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ThreshSig(k={}, {:?})", self.threshold, self.digest)
+    }
+}
+
+/// A multi-signature with an explicit signer set. One word.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AggregateSignature {
+    signers: BTreeSet<ProcessId>,
+    digest: Digest,
+    tag: [u8; 32],
+}
+
+impl AggregateSignature {
+    /// Set of processes that signed.
+    pub fn signers(&self) -> &BTreeSet<ProcessId> {
+        &self.signers
+    }
+
+    /// Number of constituent signatures.
+    pub fn len(&self) -> usize {
+        self.signers.len()
+    }
+
+    /// Whether the signer set is empty (never true for a constructed
+    /// aggregate, but required by convention alongside [`len`](Self::len)).
+    pub fn is_empty(&self) -> bool {
+        self.signers.is_empty()
+    }
+
+    /// Digest of the certified message.
+    pub fn digest(&self) -> Digest {
+        self.digest
+    }
+
+    /// Whether `p` contributed to this aggregate.
+    pub fn contains(&self, p: ProcessId) -> bool {
+        self.signers.contains(&p)
+    }
+
+    /// Writes the aggregate's canonical wire encoding into `enc`.
+    pub fn encode(&self, enc: &mut crate::encoding::Encoder) {
+        enc.put_u64(self.signers.len() as u64);
+        for s in &self.signers {
+            enc.put_id(*s);
+        }
+        enc.put_digest(&self.digest);
+        enc.put_bytes(&self.tag);
+    }
+}
+
+impl fmt::Debug for AggregateSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AggSig({:?}, {:?})", self.signers, self.digest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: usize) -> (Pki, Vec<SecretKey>) {
+        trusted_setup(n, 0xfeed)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let (pki, keys) = setup(4);
+        for k in &keys {
+            let sig = k.sign(b"m");
+            assert!(pki.verify(b"m", &sig).is_ok());
+        }
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let (pki, keys) = setup(3);
+        let sig = keys[0].sign(b"m");
+        assert_eq!(
+            pki.verify(b"m2", &sig),
+            Err(CryptoError::BadSignature { signer: ProcessId(0) })
+        );
+    }
+
+    #[test]
+    fn cross_seed_keys_do_not_verify() {
+        let (pki_a, _) = trusted_setup(3, 1);
+        let (_, keys_b) = trusted_setup(3, 2);
+        let sig = keys_b[0].sign(b"m");
+        assert!(pki_a.verify(b"m", &sig).is_err());
+    }
+
+    #[test]
+    fn deterministic_setup() {
+        let (pki1, keys1) = trusted_setup(3, 9);
+        let (pki2, keys2) = trusted_setup(3, 9);
+        let s1 = keys1[2].sign(b"x");
+        let s2 = keys2[2].sign(b"x");
+        assert_eq!(s1, s2);
+        assert!(pki1.verify(b"x", &s2).is_ok());
+        assert!(pki2.verify(b"x", &s1).is_ok());
+    }
+
+    #[test]
+    fn combine_happy_path() {
+        let (pki, keys) = setup(7);
+        let shares: Vec<_> = keys.iter().take(4).map(|k| k.sign(b"v")).collect();
+        let qc = pki.combine(4, b"v", &shares).unwrap();
+        assert_eq!(qc.threshold(), 4);
+        assert!(pki.verify_threshold(b"v", &qc).is_ok());
+        assert!(pki.verify_threshold(b"w", &qc).is_err());
+    }
+
+    #[test]
+    fn combine_accepts_surplus_shares() {
+        let (pki, keys) = setup(5);
+        let shares: Vec<_> = keys.iter().map(|k| k.sign(b"v")).collect();
+        assert!(pki.combine(3, b"v", &shares).is_ok());
+    }
+
+    #[test]
+    fn combine_rejects_duplicates() {
+        let (pki, keys) = setup(5);
+        let s = keys[0].sign(b"v");
+        let shares = vec![s.clone(), s, keys[1].sign(b"v")];
+        assert_eq!(
+            pki.combine(3, b"v", &shares),
+            Err(CryptoError::DuplicateSigner { signer: ProcessId(0) })
+        );
+    }
+
+    #[test]
+    fn combine_rejects_insufficient() {
+        let (pki, keys) = setup(5);
+        let shares: Vec<_> = keys.iter().take(2).map(|k| k.sign(b"v")).collect();
+        assert_eq!(
+            pki.combine(3, b"v", &shares),
+            Err(CryptoError::InsufficientShares { needed: 3, got: 2 })
+        );
+    }
+
+    #[test]
+    fn combine_rejects_mixed_messages() {
+        let (pki, keys) = setup(5);
+        let shares = vec![keys[0].sign(b"v"), keys[1].sign(b"w"), keys[2].sign(b"v")];
+        assert!(matches!(
+            pki.combine(3, b"v", &shares),
+            Err(CryptoError::BadSignature { .. })
+        ));
+    }
+
+    #[test]
+    fn combine_rejects_bad_threshold() {
+        let (pki, keys) = setup(3);
+        let shares: Vec<_> = keys.iter().map(|k| k.sign(b"v")).collect();
+        assert!(matches!(pki.combine(0, b"v", &shares), Err(CryptoError::BadThreshold { .. })));
+        assert!(matches!(pki.combine(4, b"v", &shares), Err(CryptoError::BadThreshold { .. })));
+    }
+
+    #[test]
+    fn threshold_sig_binds_threshold_value() {
+        // A (2,n) certificate must not verify as a (3,n) certificate.
+        let (pki, keys) = setup(5);
+        let shares: Vec<_> = keys.iter().take(3).map(|k| k.sign(b"v")).collect();
+        let qc2 = pki.combine(2, b"v", &shares).unwrap();
+        let qc3 = pki.combine(3, b"v", &shares).unwrap();
+        assert_ne!(qc2, qc3);
+        assert_eq!(qc2.threshold(), 2);
+    }
+
+    #[test]
+    fn aggregate_roundtrip_and_extend() {
+        let (pki, keys) = setup(6);
+        let shares: Vec<_> = keys.iter().take(2).map(|k| k.sign(b"v")).collect();
+        let agg = pki.aggregate(b"v", &shares).unwrap();
+        assert_eq!(agg.len(), 2);
+        assert!(pki.verify_aggregate(b"v", &agg).is_ok());
+
+        let extended = pki.extend_aggregate(b"v", &agg, &keys[4].sign(b"v")).unwrap();
+        assert_eq!(extended.len(), 3);
+        assert!(extended.contains(ProcessId(4)));
+        assert!(pki.verify_aggregate(b"v", &extended).is_ok());
+
+        // Extending with an existing signer fails.
+        assert_eq!(
+            pki.extend_aggregate(b"v", &extended, &keys[0].sign(b"v")),
+            Err(CryptoError::DuplicateSigner { signer: ProcessId(0) })
+        );
+    }
+
+    #[test]
+    fn aggregate_rejects_empty_and_wrong_message() {
+        let (pki, keys) = setup(3);
+        assert!(matches!(
+            pki.aggregate(b"v", &[]),
+            Err(CryptoError::InsufficientShares { .. })
+        ));
+        let agg = pki.aggregate(b"v", &[keys[0].sign(b"v")]).unwrap();
+        assert_eq!(pki.verify_aggregate(b"w", &agg), Err(CryptoError::MessageMismatch));
+    }
+
+    #[test]
+    fn unknown_signer_rejected() {
+        let (pki_small, _) = trusted_setup(2, 5);
+        let (_, keys_big) = trusted_setup(4, 5);
+        let sig = keys_big[3].sign(b"m");
+        assert_eq!(
+            pki_small.verify(b"m", &sig),
+            Err(CryptoError::UnknownSigner { signer: ProcessId(3) })
+        );
+    }
+}

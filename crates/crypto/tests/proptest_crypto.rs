@@ -1,0 +1,145 @@
+//! Property tests for the cryptographic substrate: streaming/oneshot
+//! equivalence, signature unforgeability across messages and signers, and
+//! certificate-assembly invariants.
+
+use meba_crypto::{trusted_setup, CryptoError, Digest, ProcessId, Signable};
+use meba_crypto::hmac::hmac_sha256;
+use meba_crypto::sha256::Sha256;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn sha256_streaming_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..600), split in 0usize..600) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Digest::of(&data));
+    }
+
+    #[test]
+    fn sha256_is_injective_on_samples(a in proptest::collection::vec(any::<u8>(), 0..64), b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        if a != b {
+            prop_assert_ne!(Digest::of(&a), Digest::of(&b));
+        }
+    }
+
+    #[test]
+    fn hmac_distinguishes_keys_and_messages(
+        k1 in proptest::collection::vec(any::<u8>(), 1..48),
+        k2 in proptest::collection::vec(any::<u8>(), 1..48),
+        m in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        if k1 != k2 {
+            prop_assert_ne!(hmac_sha256(&k1, &m), hmac_sha256(&k2, &m));
+        }
+    }
+
+    #[test]
+    fn signatures_bind_signer_and_message(
+        n in 2usize..12,
+        signer in 0u32..12,
+        msg in proptest::collection::vec(any::<u8>(), 0..64),
+        other in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let signer = signer % n as u32;
+        let (pki, keys) = trusted_setup(n, 7);
+        let sig = keys[signer as usize].sign(&msg);
+        prop_assert!(pki.verify(&msg, &sig).is_ok());
+        prop_assert_eq!(sig.signer(), ProcessId(signer));
+        if other != msg {
+            prop_assert!(pki.verify(&other, &sig).is_err());
+        }
+    }
+
+    #[test]
+    fn combine_threshold_boundary(n in 3usize..14, k in 1usize..14, have in 0usize..14) {
+        let k = k.min(n);
+        let have = have.min(n);
+        let (pki, keys) = trusted_setup(n, 3);
+        let msg = b"combine boundary";
+        let shares: Vec<_> = keys.iter().take(have).map(|key| key.sign(msg)).collect();
+        let result = pki.combine(k, msg, &shares);
+        if have >= k {
+            let qc = result.unwrap();
+            prop_assert_eq!(qc.threshold(), k);
+            prop_assert!(pki.verify_threshold(msg, &qc).is_ok());
+        } else {
+            prop_assert_eq!(result, Err(CryptoError::InsufficientShares { needed: k, got: have }));
+        }
+    }
+
+    #[test]
+    fn aggregates_grow_one_signer_at_a_time(n in 2usize..10, order in proptest::collection::vec(0u32..10, 1..10)) {
+        let (pki, keys) = trusted_setup(n, 5);
+        let msg = b"agg";
+        let mut agg = None;
+        let mut seen = std::collections::BTreeSet::new();
+        for idx in order {
+            let idx = (idx % n as u32) as usize;
+            let sig = keys[idx].sign(msg);
+            match &agg {
+                None => {
+                    agg = Some(pki.aggregate(msg, &[sig]).unwrap());
+                    seen.insert(idx);
+                }
+                Some(a) => {
+                    let r = pki.extend_aggregate(msg, a, &sig);
+                    if seen.insert(idx) {
+                        agg = Some(r.unwrap());
+                    } else {
+                        prop_assert!(r.is_err(), "duplicate signer must be rejected");
+                    }
+                }
+            }
+        }
+        let agg = agg.unwrap();
+        prop_assert_eq!(agg.len(), seen.len());
+        prop_assert!(pki.verify_aggregate(msg, &agg).is_ok());
+    }
+
+    #[test]
+    fn cross_setup_certificates_fail(seed_a in 0u64..1000, seed_b in 1000u64..2000, n in 3usize..8) {
+        let (pki_a, _) = trusted_setup(n, seed_a);
+        let (_, keys_b) = trusted_setup(n, seed_b);
+        let msg = b"cross";
+        let shares: Vec<_> = keys_b.iter().map(|k| k.sign(msg)).collect();
+        // Shares from a different setup never verify, so no certificate
+        // can be assembled against pki_a.
+        prop_assert!(pki_a.combine(2, msg, &shares).is_err());
+        prop_assert!(pki_a.aggregate(msg, &shares).is_err());
+    }
+}
+
+/// A signable with adversary-controlled fields: distinct field values must
+/// produce distinct signing bytes (no encoding ambiguity).
+struct Blob<'a> {
+    a: &'a [u8],
+    b: &'a [u8],
+}
+
+impl Signable for Blob<'_> {
+    const DOMAIN: &'static str = "proptest/blob";
+    fn encode_fields(&self, enc: &mut meba_crypto::Encoder) {
+        enc.put_bytes(self.a);
+        enc.put_bytes(self.b);
+    }
+}
+
+proptest! {
+    #[test]
+    fn field_boundaries_are_unambiguous(
+        a1 in proptest::collection::vec(any::<u8>(), 0..16),
+        b1 in proptest::collection::vec(any::<u8>(), 0..16),
+        a2 in proptest::collection::vec(any::<u8>(), 0..16),
+        b2 in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let x = Blob { a: &a1, b: &b1 }.signing_bytes();
+        let y = Blob { a: &a2, b: &b2 }.signing_bytes();
+        if (a1, b1) != (a2, b2) {
+            prop_assert_ne!(x, y, "moving a field boundary must change the bytes");
+        } else {
+            prop_assert_eq!(x, y);
+        }
+    }
+}

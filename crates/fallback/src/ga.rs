@@ -1,0 +1,369 @@
+//! Graded agreement over a participant scope (5 rounds, `O(m²)` words).
+//!
+//! The building block of the recursive fallback BA, in the role Momose–Ren
+//! give their graded agreement. Participants start with a value and end
+//! with `(value, grade)`, `grade ∈ {0, 1, 2}`:
+//!
+//! * **Validity**: if the scope has an honest majority and all its honest
+//!   members input `v`, every honest member outputs `(v, 2)`.
+//! * **Consistency**: if the scope has an honest majority and some honest
+//!   member outputs grade 2 on `v`, every honest member outputs grade ≥ 1
+//!   with value `v`.
+//!
+//! # Protocol (round per step; `maj = ⌊m/2⌋ + 1`)
+//!
+//! 1. Broadcast the signed input.
+//! 2. For any value with `maj` distinct input signatures, batch a
+//!    first-level certificate `C1(v)` and echo it.
+//! 3. If exactly one certified value was seen, broadcast a signed vote
+//!    carrying its `C1`; if two were seen, broadcast the conflicting pair.
+//! 4. Batch `maj` votes into `C2(v)` and broadcast it. Tentatively grade 2
+//!    if a unique `C2` formed and no conflicting `C1`s are known.
+//! 5. Adopt received `C2`s for grade 1.
+//!
+//! # Why grade 2 is safe to finalize in round 4
+//!
+//! Suppose honest `i` forms `C2(v)` with no conflict known by round 4.
+//! Any `C2(w ≠ v)` needs `maj` vote signatures, hence (honest majority) at
+//! least one honest vote for `w`; that voter broadcast its vote *with
+//! `C1(w)` attached* in round 3, so `i` would know both `C1(v)` (from the
+//! votes it batched) and `C1(w)` by round 4 — contradiction. So no
+//! conflicting `C2` can ever exist, and `i`'s own `C2(v)` broadcast makes
+//! every honest member reach grade ≥ 1 with `v` in round 5. A conflict
+//! surfacing only *after* round 4 therefore cannot invalidate the grade-2
+//! output — the argument is structural, not evidence-based, which is what
+//! makes the final round injection-proof.
+
+use crate::instance::{InstanceId, Scope};
+use crate::messages::{GaInputSig, GaVoteSig, RecBaMsg};
+use meba_core::Value;
+use meba_crypto::{Pki, ProcessId, SecretKey, Signable, Signature, ThresholdSignature};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Number of steps a graded agreement occupies.
+pub const GA_STEPS: u64 = 5;
+
+/// One participant's graded-agreement state machine.
+#[derive(Debug)]
+pub struct GaInstance<V> {
+    inst: InstanceId,
+    session: u64,
+    key: SecretKey,
+    pki: Pki,
+    scope: Scope,
+    thr: usize,
+    input: V,
+    input_sigs: BTreeMap<V, BTreeMap<ProcessId, Signature>>,
+    c1_seen: BTreeMap<V, ThresholdSignature>,
+    votes: BTreeMap<V, BTreeMap<ProcessId, Signature>>,
+    conflicted: bool,
+    tentative2: Option<V>,
+    c2_seen: BTreeSet<V>,
+    result: Option<(V, u8)>,
+}
+
+impl<V: Value> GaInstance<V> {
+    /// Creates a participant with the given input.
+    pub fn new(
+        inst: InstanceId,
+        session: u64,
+        _me: ProcessId,
+        key: SecretKey,
+        pki: Pki,
+        input: V,
+    ) -> Self {
+        let scope = inst.scope;
+        GaInstance {
+            inst,
+            session,
+            key,
+            pki,
+            scope,
+            thr: scope.majority(),
+            input,
+            input_sigs: BTreeMap::new(),
+            c1_seen: BTreeMap::new(),
+            votes: BTreeMap::new(),
+            conflicted: false,
+            tentative2: None,
+            c2_seen: BTreeSet::new(),
+            result: None,
+        }
+    }
+
+    /// The `(value, grade)` output, available after the final step.
+    pub fn result(&self) -> Option<&(V, u8)> {
+        self.result.as_ref()
+    }
+
+    fn input_payload<'a>(&self, value: &'a V) -> GaInputSig<'a, V> {
+        GaInputSig { session: self.session, inst: self.inst, value }
+    }
+
+    fn vote_payload<'a>(&self, value: &'a V) -> GaVoteSig<'a, V> {
+        GaVoteSig { session: self.session, inst: self.inst, value }
+    }
+
+    fn c1_valid(&self, value: &V, c1: &ThresholdSignature) -> bool {
+        c1.threshold() == self.thr
+            && self.pki.verify_threshold(&self.input_payload(value).signing_bytes(), c1).is_ok()
+    }
+
+    fn note_c1(&mut self, value: &V, c1: &ThresholdSignature) {
+        if self.c1_valid(value, c1) {
+            self.c1_seen.entry(value.clone()).or_insert_with(|| c1.clone());
+            if self.c1_seen.len() >= 2 {
+                self.conflicted = true;
+            }
+        }
+    }
+
+    /// Executes local step `k` (0-based); outgoing messages are broadcast
+    /// to the scope by the caller.
+    pub fn on_step(
+        &mut self,
+        k: u64,
+        inbox: &[(ProcessId, &RecBaMsg<V>)],
+        out: &mut Vec<RecBaMsg<V>>,
+    ) {
+        match k {
+            0 => {
+                let sig = self.key.sign(&self.input_payload(&self.input).signing_bytes());
+                out.push(RecBaMsg::GaInput {
+                    inst: self.inst,
+                    value: self.input.clone(),
+                    sig,
+                });
+            }
+            1 => {
+                for (_, msg) in inbox {
+                    if let RecBaMsg::GaInput { inst, value, sig } = msg {
+                        if *inst == self.inst
+                            && self.scope.contains(sig.signer())
+                            && self
+                                .pki
+                                .verify(&self.input_payload(value).signing_bytes(), sig)
+                                .is_ok()
+                        {
+                            self.input_sigs
+                                .entry(value.clone())
+                                .or_default()
+                                .insert(sig.signer(), sig.clone());
+                        }
+                    }
+                }
+                // Echo a certificate for every sufficiently-signed value
+                // (at most 3 can qualify; the bound keeps the word cost
+                // constant per process).
+                let certifiable: Vec<(V, Vec<Signature>)> = self
+                    .input_sigs
+                    .iter()
+                    .filter(|(_, sigs)| sigs.len() >= self.thr)
+                    .map(|(v, sigs)| (v.clone(), sigs.values().cloned().collect()))
+                    .collect();
+                for (value, shares) in certifiable.into_iter().take(3) {
+                    let c1 = self
+                        .pki
+                        .combine(self.thr, &self.input_payload(&value).signing_bytes(), &shares)
+                        .expect("verified shares combine");
+                    self.note_c1(&value, &c1);
+                    out.push(RecBaMsg::GaEcho { inst: self.inst, value, c1 });
+                }
+            }
+            2 => {
+                for (_, msg) in inbox {
+                    if let RecBaMsg::GaEcho { inst, value, c1 } = msg {
+                        if *inst == self.inst {
+                            self.note_c1(value, c1);
+                        }
+                    }
+                }
+                if self.c1_seen.len() == 1 {
+                    let (value, c1) =
+                        self.c1_seen.iter().next().map(|(v, c)| (v.clone(), c.clone())).expect(
+                            "len checked",
+                        );
+                    let sig = self.key.sign(&self.vote_payload(&value).signing_bytes());
+                    out.push(RecBaMsg::GaVote { inst: self.inst, value, sig, c1 });
+                } else if self.conflicted {
+                    let mut it = self.c1_seen.iter();
+                    let (v1, c1a) = it.next().expect("conflicted implies two");
+                    let (v2, c1b) = it.next().expect("conflicted implies two");
+                    out.push(RecBaMsg::GaConflict {
+                        inst: self.inst,
+                        v1: v1.clone(),
+                        c1a: c1a.clone(),
+                        v2: v2.clone(),
+                        c1b: c1b.clone(),
+                    });
+                }
+            }
+            3 => {
+                let msgs: Vec<RecBaMsg<V>> =
+                    inbox.iter().map(|(_, m)| (*m).clone()).collect();
+                for msg in &msgs {
+                    match msg {
+                        RecBaMsg::GaVote { inst, value, sig, c1 } if *inst == self.inst => {
+                            self.note_c1(value, c1);
+                            if self.scope.contains(sig.signer())
+                                && self
+                                    .pki
+                                    .verify(&self.vote_payload(value).signing_bytes(), sig)
+                                    .is_ok()
+                            {
+                                self.votes
+                                    .entry(value.clone())
+                                    .or_default()
+                                    .insert(sig.signer(), sig.clone());
+                            }
+                        }
+                        RecBaMsg::GaConflict { inst, v1, c1a, v2, c1b } if *inst == self.inst
+                            && v1 != v2 && self.c1_valid(v1, c1a) && self.c1_valid(v2, c1b) => {
+                                self.conflicted = true;
+                            }
+                        _ => {}
+                    }
+                }
+                let mut formed: Vec<V> = Vec::new();
+                let combinable: Vec<(V, Vec<Signature>)> = self
+                    .votes
+                    .iter()
+                    .filter(|(_, sigs)| sigs.len() >= self.thr)
+                    .map(|(v, sigs)| (v.clone(), sigs.values().cloned().collect()))
+                    .collect();
+                for (value, shares) in combinable.into_iter().take(2) {
+                    let c2 = self
+                        .pki
+                        .combine(self.thr, &self.vote_payload(&value).signing_bytes(), &shares)
+                        .expect("verified shares combine");
+                    self.c2_seen.insert(value.clone());
+                    out.push(RecBaMsg::GaCert2 { inst: self.inst, value: value.clone(), c2 });
+                    formed.push(value);
+                }
+                if formed.len() == 1 && !self.conflicted {
+                    self.tentative2 = Some(formed.remove(0));
+                }
+            }
+            4 => {
+                for (_, msg) in inbox {
+                    if let RecBaMsg::GaCert2 { inst, value, c2 } = msg {
+                        if *inst == self.inst
+                            && c2.threshold() == self.thr
+                            && self
+                                .pki
+                                .verify_threshold(&self.vote_payload(value).signing_bytes(), c2)
+                                .is_ok()
+                        {
+                            self.c2_seen.insert(value.clone());
+                        }
+                    }
+                }
+                self.result = Some(if let Some(v) = self.tentative2.take() {
+                    (v, 2)
+                } else if let Some(v) = self.c2_seen.iter().next() {
+                    (v.clone(), 1)
+                } else {
+                    (self.input.clone(), 0)
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meba_crypto::trusted_setup;
+
+    /// Drives a set of GA instances in lockstep; `silent` members produce
+    /// no messages (crash faults).
+    fn run_ga(inputs: &[u64], silent: &[u32]) -> Vec<Option<(u64, u8)>> {
+        let n = inputs.len();
+        let (pki, keys) = trusted_setup(n, 77);
+        let inst = InstanceId::new(Scope::full(n), 0);
+        let mut nodes: Vec<Option<GaInstance<u64>>> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| {
+                if silent.contains(&(i as u32)) {
+                    None
+                } else {
+                    Some(GaInstance::new(
+                        inst,
+                        0,
+                        ProcessId(i as u32),
+                        k.clone(),
+                        pki.clone(),
+                        inputs[i],
+                    ))
+                }
+            })
+            .collect();
+        let mut pending: Vec<(ProcessId, RecBaMsg<u64>)> = Vec::new();
+        for k in 0..GA_STEPS {
+            let inbox: Vec<(ProcessId, &RecBaMsg<u64>)> =
+                pending.iter().map(|(p, m)| (*p, m)).collect();
+            let mut next: Vec<(ProcessId, RecBaMsg<u64>)> = Vec::new();
+            for (i, node) in nodes.iter_mut().enumerate() {
+                if let Some(node) = node {
+                    let mut out = Vec::new();
+                    node.on_step(k, &inbox, &mut out);
+                    for m in out {
+                        next.push((ProcessId(i as u32), m));
+                    }
+                }
+            }
+            pending = next;
+        }
+        nodes.iter().map(|n| n.as_ref().and_then(|n| n.result().cloned())).collect()
+    }
+
+    #[test]
+    fn unanimous_inputs_grade_two() {
+        let out = run_ga(&[9, 9, 9, 9, 9], &[]);
+        for r in out {
+            assert_eq!(r, Some((9, 2)));
+        }
+    }
+
+    #[test]
+    fn unanimous_with_minority_crashes_still_grade_two() {
+        let out = run_ga(&[4, 4, 4, 4, 4, 4, 4], &[5, 6]);
+        for r in out.iter().take(5) {
+            assert_eq!(*r, Some((4, 2)));
+        }
+    }
+
+    #[test]
+    fn split_inputs_consistent() {
+        // 3 vs 2: the majority value can reach a certificate.
+        let out = run_ga(&[1, 1, 1, 2, 2], &[]);
+        let grades: Vec<_> = out.iter().map(|r| r.unwrap()).collect();
+        // Consistency: if anyone graded 2 on v, everyone must hold v with
+        // grade >= 1.
+        if let Some((v2, _)) = grades.iter().find(|(_, g)| *g == 2) {
+            for (v, g) in &grades {
+                assert!(*g >= 1, "grade-2 exists, all must be >= 1");
+                assert_eq!(v, v2);
+            }
+        }
+    }
+
+    #[test]
+    fn even_split_cannot_certify() {
+        // 2 vs 2 inputs in a 4-member scope: majority threshold 3 never
+        // reached, all grade 0 keeping their inputs.
+        let out = run_ga(&[1, 1, 2, 2], &[]);
+        assert_eq!(out[0], Some((1, 0)));
+        assert_eq!(out[3], Some((2, 0)));
+    }
+
+    #[test]
+    fn half_crashes_degrade_but_do_not_mislead() {
+        // 3 of 5 crashed: threshold 3 unreachable by the 2 survivors.
+        let out = run_ga(&[7, 7, 7, 7, 7], &[2, 3, 4]);
+        assert_eq!(out[0], Some((7, 0)));
+        assert_eq!(out[1], Some((7, 0)));
+    }
+}

@@ -1,0 +1,316 @@
+//! Signed gradecast: graded broadcast with a designated sender.
+//!
+//! Classic primitive (Feldman–Micali lineage): the sender broadcasts a
+//! signed value; every participant outputs `(value, grade)` with
+//! `grade ∈ {0, 1, 2}` such that, for scopes with an honest majority:
+//!
+//! * **Validity** — an honest sender's value is output with grade 2 by
+//!   every honest participant;
+//! * **Consistency** — if any honest participant outputs grade 2 on `v`,
+//!   every honest participant outputs `v` with grade ≥ 1 (in particular
+//!   no conflicting grade-2 outputs exist).
+//!
+//! # Construction
+//!
+//! One sender round followed by a full [`GaInstance`] among the
+//! participants that received a validly sender-signed value (others
+//! observe and can still reach grade 1 via `C2` certificates). This
+//! inherits the GA's *structural* grade-2 argument — a conflicting `C2`
+//! is impossible once any honest participant forms one — which is what
+//! makes the final round immune to last-minute evidence injection, the
+//! classic pitfall of blame-based gradecasts.
+//!
+//! Six steps total (1 sender round + [`GA_STEPS`]). `O(m²)` words.
+
+use crate::ga::{GaInstance, GA_STEPS};
+use crate::instance::InstanceId;
+use crate::messages::{GaVoteSig, GcValSig, RecBaMsg};
+use meba_core::Value;
+use meba_crypto::{Pki, ProcessId, SecretKey, Signable};
+use std::collections::BTreeSet;
+
+/// Total steps a gradecast occupies.
+pub const GRADECAST_STEPS: u64 = 1 + GA_STEPS;
+
+/// One participant's gradecast state machine.
+#[derive(Debug)]
+pub struct Gradecast<V> {
+    inst: InstanceId,
+    session: u64,
+    me: ProcessId,
+    key: SecretKey,
+    pki: Pki,
+    sender: ProcessId,
+    /// `Some` at the designated sender.
+    input: Option<V>,
+    /// The first validly sender-signed value received.
+    received: Option<V>,
+    ga: Option<GaInstance<V>>,
+    /// `C2`-certified values observed (for grade-1 fallback at
+    /// participants the sender skipped).
+    c2_seen: BTreeSet<V>,
+    result: Option<(Option<V>, u8)>,
+}
+
+impl<V: Value> Gradecast<V> {
+    /// Creates a participant; `input` is `Some` only at `sender`.
+    pub fn new(
+        inst: InstanceId,
+        session: u64,
+        me: ProcessId,
+        key: SecretKey,
+        pki: Pki,
+        sender: ProcessId,
+        input: Option<V>,
+    ) -> Self {
+        Gradecast {
+            inst,
+            session,
+            me,
+            key,
+            pki,
+            sender,
+            input,
+            received: None,
+            ga: None,
+            c2_seen: BTreeSet::new(),
+            result: None,
+        }
+    }
+
+    /// The `(value, grade)` output, available after the final step.
+    /// Grade 0 outputs carry no value.
+    pub fn result(&self) -> Option<&(Option<V>, u8)> {
+        self.result.as_ref()
+    }
+
+    fn sender_payload<'a>(&self, value: &'a V) -> GcValSig<'a, V> {
+        GcValSig { session: self.session, inst: self.inst, sender: self.sender, value }
+    }
+
+    /// Executes local step `k`; outgoing messages are broadcast to the
+    /// scope by the caller.
+    pub fn on_step(
+        &mut self,
+        k: u64,
+        inbox: &[(ProcessId, &RecBaMsg<V>)],
+        out: &mut Vec<RecBaMsg<V>>,
+    ) {
+        // Track C2 certificates at any step (observers need them).
+        for (_, msg) in inbox {
+            if let RecBaMsg::GaCert2 { inst, value, c2 } = msg {
+                if *inst == self.inst
+                    && c2.threshold() == self.inst.scope.majority()
+                    && self
+                        .pki
+                        .verify_threshold(
+                            &GaVoteSig { session: self.session, inst: self.inst, value }
+                                .signing_bytes(),
+                            c2,
+                        )
+                        .is_ok()
+                {
+                    self.c2_seen.insert(value.clone());
+                }
+            }
+        }
+        if k == 0 {
+            if self.me == self.sender {
+                if let Some(v) = self.input.clone() {
+                    let sig = self.key.sign(&self.sender_payload(&v).signing_bytes());
+                    self.received = Some(v.clone());
+                    out.push(RecBaMsg::GcSend { inst: self.inst, value: v, sig });
+                }
+            }
+            return;
+        }
+        if k == 1 {
+            // Adopt the first validly sender-signed value.
+            if self.received.is_none() {
+                for (_, msg) in inbox {
+                    if let RecBaMsg::GcSend { inst, value, sig } = msg {
+                        if *inst == self.inst
+                            && sig.signer() == self.sender
+                            && self.pki.verify(&self.sender_payload(value).signing_bytes(), sig).is_ok()
+                        {
+                            self.received = Some(value.clone());
+                            break;
+                        }
+                    }
+                }
+            }
+            if let Some(v) = self.received.clone() {
+                self.ga = Some(GaInstance::new(
+                    self.inst,
+                    self.session,
+                    self.me,
+                    self.key.clone(),
+                    self.pki.clone(),
+                    v,
+                ));
+            }
+        }
+        // Steps 1..=GA_STEPS map to GA steps 0..GA_STEPS-1.
+        if (1..=GA_STEPS).contains(&k) {
+            if let Some(ga) = &mut self.ga {
+                ga.on_step(k - 1, inbox, out);
+            }
+        }
+        if k == GA_STEPS {
+            self.result = Some(match &self.ga {
+                Some(ga) => match ga.result() {
+                    Some((v, 0)) => {
+                        // The GA kept our input with no certificate; we
+                        // only know the sender said v — grade 1 requires
+                        // a certificate, so downgrade honestly.
+                        if self.c2_seen.contains(v) {
+                            (Some(v.clone()), 1)
+                        } else {
+                            (None, 0)
+                        }
+                    }
+                    Some((v, g)) => (Some(v.clone()), *g),
+                    None => (None, 0),
+                },
+                // Observer: a certificate read off the wire gives grade 1.
+                None => match self.c2_seen.iter().next() {
+                    Some(v) => (Some(v.clone()), 1),
+                    None => (None, 0),
+                },
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Scope;
+    use meba_crypto::trusted_setup;
+
+    /// Drives gradecast participants in lockstep. `inputs[sender]` is the
+    /// sender's value; `equivocate` optionally makes the (Byzantine)
+    /// sender sign a second value and split the scope.
+    fn run(
+        n: usize,
+        sender: u32,
+        value: u64,
+        silent: &[u32],
+        equivocate: Option<u64>,
+    ) -> Vec<Option<(Option<u64>, u8)>> {
+        let (pki, keys) = trusted_setup(n, 55);
+        let inst = InstanceId::new(Scope::full(n), 7);
+        let mut nodes: Vec<Option<Gradecast<u64>>> = (0..n)
+            .map(|i| {
+                if silent.contains(&(i as u32)) {
+                    None
+                } else {
+                    let input = (i as u32 == sender).then_some(value);
+                    Some(Gradecast::new(
+                        inst,
+                        0,
+                        ProcessId(i as u32),
+                        keys[i].clone(),
+                        pki.clone(),
+                        ProcessId(sender),
+                        input,
+                    ))
+                }
+            })
+            .collect();
+        let mut pending: Vec<(ProcessId, RecBaMsg<u64>)> = Vec::new();
+        for k in 0..GRADECAST_STEPS {
+            let mut inbox: Vec<(ProcessId, &RecBaMsg<u64>)> =
+                pending.iter().map(|(p, m)| (*p, m)).collect();
+            // Byzantine equivocation: inject a second sender-signed value
+            // to the upper half at step 1.
+            let extra: Vec<(ProcessId, RecBaMsg<u64>)> = if k == 1 {
+                match equivocate {
+                    Some(w) => {
+                        let payload = GcValSig {
+                            session: 0,
+                            inst,
+                            sender: ProcessId(sender),
+                            value: &w,
+                        };
+                        let sig = keys[sender as usize].sign(&payload.signing_bytes());
+                        vec![(
+                            ProcessId(sender),
+                            RecBaMsg::GcSend { inst, value: w, sig },
+                        )]
+                    }
+                    None => vec![],
+                }
+            } else {
+                vec![]
+            };
+            let extra_refs: Vec<(ProcessId, &RecBaMsg<u64>)> =
+                extra.iter().map(|(p, m)| (*p, m)).collect();
+            let mut next = Vec::new();
+            for (i, node) in nodes.iter_mut().enumerate() {
+                if let Some(node) = node {
+                    let mut view = inbox.clone();
+                    // Deliver the equivocating copy only to the upper half.
+                    if i >= n / 2 {
+                        view.extend(extra_refs.iter().cloned());
+                    }
+                    let mut out = Vec::new();
+                    node.on_step(k, &view, &mut out);
+                    for m in out {
+                        next.push((ProcessId(i as u32), m));
+                    }
+                }
+            }
+            inbox.clear();
+            pending = next;
+        }
+        nodes.iter().map(|o| o.as_ref().and_then(|g| g.result().cloned())).collect()
+    }
+
+    #[test]
+    fn honest_sender_all_grade_two() {
+        let out = run(7, 2, 44, &[], None);
+        for r in out {
+            assert_eq!(r, Some((Some(44), 2)));
+        }
+    }
+
+    #[test]
+    fn honest_sender_with_crashes_still_grade_two() {
+        let out = run(7, 0, 9, &[5, 6], None);
+        for r in out.iter().take(5) {
+            assert_eq!(*r, Some((Some(9), 2)));
+        }
+    }
+
+    #[test]
+    fn silent_sender_all_grade_zero() {
+        let out = run(5, 1, 3, &[1], None);
+        for (i, r) in out.iter().enumerate() {
+            if i != 1 {
+                assert_eq!(*r, Some((None, 0)), "p{i}");
+            }
+        }
+    }
+
+    #[test]
+    fn equivocating_sender_consistency_holds() {
+        // Byzantine sender signs 10 and 20, splitting the scope.
+        let out = run(7, 0, 10, &[0], Some(20));
+        let honest: Vec<(Option<u64>, u8)> = out.into_iter().flatten().collect();
+        // Consistency: grade-2 pins everyone's value.
+        if let Some((Some(v2), _)) = honest.iter().find(|(_, g)| *g == 2) {
+            for (v, g) in &honest {
+                assert!(*g >= 1, "grade-2 exists: {honest:?}");
+                assert_eq!(v.as_ref(), Some(v2), "value split: {honest:?}");
+            }
+        }
+        // Never two conflicting grade-2 outputs.
+        let twos: Vec<u64> = honest
+            .iter()
+            .filter(|(_, g)| *g == 2)
+            .filter_map(|(v, _)| *v)
+            .collect();
+        assert!(twos.windows(2).all(|w| w[0] == w[1]), "{honest:?}");
+    }
+}

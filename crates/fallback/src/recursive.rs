@@ -1,0 +1,522 @@
+//! The quadratic fallback strong BA: recursive halving over graded
+//! agreements, in the shape of Momose–Ren's optimal-communication BA.
+//!
+//! `RecBA(P)` for a participant scope `P`:
+//!
+//! 1. If `|P| ≤ B` (base size): run interactive consistency
+//!    ([`crate::ds::IcInstance`]) and return its decision.
+//! 2. Otherwise split `P` into halves `L`, `R` and run
+//!    `GA(P) → RecBA(L) → Cert(L) → GA(P) → RecBA(R) → Cert(R)`,
+//!    where `Cert(C)` has each member of `C` broadcast a signed share of
+//!    its recursive decision to all of `P`, and every member of `P` whose
+//!    last grade is `< 2` adopts the value carried by `⌊|C|/2⌋ + 1`
+//!    distinct shares.
+//!
+//! # Correctness sketch (induction over scopes with honest majority)
+//!
+//! *Strong unanimity*: unanimous honest inputs give grade 2 in every GA
+//! (GA validity), so certificates are never adopted and the common value
+//! survives to the output.
+//!
+//! *Agreement*: at most one half of an honest-majority scope can be
+//! Byzantine-majority (pigeonhole, tested exhaustively in
+//! `instance::tests`). Consider the good half `C`. By GA consistency,
+//! when any honest process holds grade 2 on `v`, *all* honest hold `v`,
+//! so `C`'s honest members enter `RecBA(C)` unanimously with `v`, decide
+//! `v` (induction), and the unique certificate (a Byzantine minority in
+//! `C` cannot reach `⌊|C|/2⌋ + 1` distinct shares) re-distributes `v` —
+//! adopters and grade-2 keepers agree. When no honest grade 2 exists,
+//! everyone adopts the unique certificate. If the *bad* half comes second
+//! it cannot undo this: the GA before it turns the already-unanimous
+//! honest value into grade 2 everywhere, and grade-2 holders ignore
+//! certificates.
+//!
+//! *Termination* is structural: the schedule is a fixed function of `n`.
+//!
+//! # Complexity
+//!
+//! Each level runs two GAs and two certificate exchanges over `m`
+//! processes — `O(m²)` words — and recurses on halves:
+//! `T(m) = 2·T(m/2) + O(m²) = O(m²)`, the quadratic shape the paper needs
+//! from `A_fallback` (§6). The measured constant is validated in
+//! experiment E3.
+
+use crate::ds::{ic_steps, IcInstance};
+use crate::ga::{GaInstance, GA_STEPS};
+use crate::instance::{InstanceId, Scope};
+use crate::messages::{RecBaMsg, RecDecideSig};
+use meba_core::{FallbackFactory, SubProtocol, SystemConfig, Value};
+use meba_crypto::{Pki, ProcessId, SecretKey, Signable};
+use meba_sim::Dest;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Scopes of at most this many members run the interactive-consistency
+/// base case instead of recursing.
+pub const BASE_SCOPE: usize = 4;
+
+/// Sequence tag for certificate instances (distinct from the GA tags 0/1).
+const CERT_SEQ: u8 = 250;
+
+#[derive(Clone, Copy, Debug)]
+enum SegKind {
+    Ga(u8),
+    Ic,
+    Cert { child: Scope },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Segment {
+    start: u64,
+    len: u64,
+    scope: Scope,
+    kind: SegKind,
+}
+
+fn build_plan(scope: Scope, start: u64, segs: &mut Vec<Segment>, base: usize) -> u64 {
+    if scope.len() <= base {
+        let len = ic_steps(&scope);
+        segs.push(Segment { start, len, scope, kind: SegKind::Ic });
+        return start + len;
+    }
+    let (l, r) = scope.split();
+    let mut s = start;
+    segs.push(Segment { start: s, len: GA_STEPS, scope, kind: SegKind::Ga(0) });
+    s += GA_STEPS;
+    s = build_plan(l, s, segs, base);
+    segs.push(Segment { start: s, len: 2, scope, kind: SegKind::Cert { child: l } });
+    s += 2;
+    segs.push(Segment { start: s, len: GA_STEPS, scope, kind: SegKind::Ga(1) });
+    s += GA_STEPS;
+    s = build_plan(r, s, segs, base);
+    segs.push(Segment { start: s, len: 2, scope, kind: SegKind::Cert { child: r } });
+    s += 2;
+    s
+}
+
+/// Total virtual steps the recursive BA needs for a system of `n`
+/// processes (default base size).
+pub fn recursive_ba_steps(n: usize) -> u64 {
+    recursive_ba_steps_with_base(n, BASE_SCOPE)
+}
+
+/// Total virtual steps with an explicit base-case size (ablation E10).
+pub fn recursive_ba_steps_with_base(n: usize, base: usize) -> u64 {
+    let mut segs = Vec::new();
+    build_plan(Scope::full(n), 0, &mut segs, base.max(1)) + 1
+}
+
+/// One participant of the recursive fallback BA.
+pub struct RecursiveBa<V: Value> {
+    cfg: SystemConfig,
+    me: ProcessId,
+    key: SecretKey,
+    pki: Pki,
+    plan: Vec<Segment>,
+    end: u64,
+    seg_idx: usize,
+    /// Stack of `(scope, value, grade)` — one level per recursion depth
+    /// this process is currently a member of.
+    levels: Vec<(Scope, V, u8)>,
+    active_ga: Option<GaInstance<V>>,
+    active_ic: Option<IcInstance<V>>,
+    cert_shares: BTreeMap<V, BTreeSet<ProcessId>>,
+    output: Option<V>,
+}
+
+impl<V: Value> RecursiveBa<V> {
+    /// Creates a participant with initial value `input` and the default
+    /// base-case size.
+    pub fn new(cfg: SystemConfig, me: ProcessId, key: SecretKey, pki: Pki, input: V) -> Self {
+        Self::with_base(cfg, me, key, pki, input, BASE_SCOPE)
+    }
+
+    /// Creates a participant with an explicit base-case size: scopes of
+    /// at most `base` members run interactive consistency instead of
+    /// recursing (the base-size ablation, experiment E10). Larger bases
+    /// trade recursion overhead for the IC's `O(B³)`-ish base cost.
+    pub fn with_base(
+        cfg: SystemConfig,
+        me: ProcessId,
+        key: SecretKey,
+        pki: Pki,
+        input: V,
+        base: usize,
+    ) -> Self {
+        let base = base.max(1);
+        let mut plan = Vec::new();
+        let end = build_plan(Scope::full(cfg.n()), 0, &mut plan, base);
+        RecursiveBa {
+            cfg,
+            me,
+            key,
+            pki,
+            plan,
+            end,
+            seg_idx: 0,
+            levels: vec![(Scope::full(cfg.n()), input, 0)],
+            active_ga: None,
+            active_ic: None,
+            cert_shares: BTreeMap::new(),
+            output: None,
+        }
+    }
+
+    fn cert_inst(child: Scope) -> InstanceId {
+        InstanceId::new(child, CERT_SEQ)
+    }
+
+    fn top(&mut self) -> &mut (Scope, V, u8) {
+        self.levels.last_mut().expect("root level always present")
+    }
+
+    fn scope_broadcast(
+        &self,
+        scope: Scope,
+        msgs: Vec<RecBaMsg<V>>,
+        out: &mut Vec<(Dest, RecBaMsg<V>)>,
+    ) {
+        for msg in msgs {
+            for m in scope.members() {
+                out.push((Dest::To(m), msg.clone()));
+            }
+        }
+    }
+
+    fn enter_segment(&mut self, seg: Segment, out: &mut Vec<(Dest, RecBaMsg<V>)>) {
+        // Descend one recursion level when a child segment begins.
+        if seg.scope.contains(self.me) {
+            let (top_scope, top_value, _) = self.top().clone();
+            if seg.scope != top_scope && seg.scope.len() < top_scope.len() {
+                self.levels.push((seg.scope, top_value, 0));
+            }
+        }
+        match seg.kind {
+            SegKind::Ga(seq) => {
+                if seg.scope.contains(self.me) {
+                    let input = self.top().1.clone();
+                    self.active_ga = Some(GaInstance::new(
+                        InstanceId::new(seg.scope, seq),
+                        self.cfg.session(),
+                        self.me,
+                        self.key.clone(),
+                        self.pki.clone(),
+                        input,
+                    ));
+                }
+            }
+            SegKind::Ic => {
+                if seg.scope.contains(self.me) {
+                    let input = self.top().1.clone();
+                    self.active_ic = Some(IcInstance::new(
+                        InstanceId::new(seg.scope, 0),
+                        self.cfg.session(),
+                        self.me,
+                        self.key.clone(),
+                        self.pki.clone(),
+                        input,
+                    ));
+                }
+            }
+            SegKind::Cert { child } => {
+                self.cert_shares.clear();
+                if child.contains(self.me) {
+                    // Pop the child level: its value is this member's
+                    // recursive decision, to be attested.
+                    let (popped_scope, decision, _) =
+                        self.levels.pop().expect("child level present");
+                    debug_assert_eq!(popped_scope, child, "stack discipline");
+                    let payload = RecDecideSig {
+                        session: self.cfg.session(),
+                        inst: Self::cert_inst(child),
+                        value: &decision,
+                    };
+                    let sig = self.key.sign(&payload.signing_bytes());
+                    self.scope_broadcast(
+                        seg.scope,
+                        vec![RecBaMsg::CertShare {
+                            inst: Self::cert_inst(child),
+                            value: decision,
+                            sig,
+                        }],
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl<V: Value> SubProtocol for RecursiveBa<V> {
+    type Msg = RecBaMsg<V>;
+    type Output = V;
+
+    fn on_step(
+        &mut self,
+        step: u64,
+        inbox: &[(ProcessId, RecBaMsg<V>)],
+        out: &mut Vec<(Dest, RecBaMsg<V>)>,
+    ) {
+        if self.output.is_some() {
+            return;
+        }
+        if step >= self.end {
+            debug_assert_eq!(self.levels.len(), 1, "all child levels popped");
+            self.output = Some(self.levels[0].1.clone());
+            return;
+        }
+        // Advance to the segment containing `step` (the plan is
+        // contiguous, so entry happens exactly at each segment's start).
+        while self.seg_idx < self.plan.len() {
+            let seg = self.plan[self.seg_idx];
+            if step < seg.start + seg.len {
+                break;
+            }
+            self.seg_idx += 1;
+        }
+        let seg = self.plan[self.seg_idx];
+        let k = step - seg.start;
+        if k == 0 {
+            self.enter_segment(seg, out);
+        }
+
+        let borrowed: Vec<(ProcessId, &RecBaMsg<V>)> =
+            inbox.iter().map(|(p, m)| (*p, m)).collect();
+        match seg.kind {
+            SegKind::Ga(_) => {
+                if let Some(ga) = &mut self.active_ga {
+                    let mut msgs = Vec::new();
+                    ga.on_step(k, &borrowed, &mut msgs);
+                    if k == GA_STEPS - 1 {
+                        if let Some((v, g)) = ga.result().cloned() {
+                            let top = self.top();
+                            debug_assert_eq!(top.0, seg.scope);
+                            top.1 = v;
+                            top.2 = g;
+                        }
+                        self.active_ga = None;
+                    }
+                    self.scope_broadcast(seg.scope, msgs, out);
+                }
+            }
+            SegKind::Ic => {
+                if let Some(ic) = &mut self.active_ic {
+                    let mut msgs = Vec::new();
+                    ic.on_step(k, &borrowed, &mut msgs);
+                    if k == seg.len - 1 {
+                        if let Some(v) = ic.decision().cloned() {
+                            let top = self.top();
+                            debug_assert_eq!(top.0, seg.scope);
+                            top.1 = v;
+                        }
+                        self.active_ic = None;
+                    }
+                    self.scope_broadcast(seg.scope, msgs, out);
+                }
+            }
+            SegKind::Cert { child } => {
+                if k == 1 && seg.scope.contains(self.me) {
+                    let inst = Self::cert_inst(child);
+                    for (_, msg) in inbox {
+                        if let RecBaMsg::CertShare { inst: i, value, sig } = msg {
+                            if *i == inst && child.contains(sig.signer()) {
+                                let payload = RecDecideSig {
+                                    session: self.cfg.session(),
+                                    inst,
+                                    value,
+                                };
+                                if self.pki.verify(&payload.signing_bytes(), sig).is_ok() {
+                                    self.cert_shares
+                                        .entry(value.clone())
+                                        .or_default()
+                                        .insert(sig.signer());
+                                }
+                            }
+                        }
+                    }
+                    let winner = self
+                        .cert_shares
+                        .iter()
+                        .filter(|(_, signers)| signers.len() >= child.majority())
+                        .max_by(|a, b| a.1.len().cmp(&b.1.len()).then(b.0.cmp(a.0)))
+                        .map(|(v, _)| v.clone());
+                    if let Some(v) = winner {
+                        let top = self.top();
+                        debug_assert_eq!(top.0, seg.scope);
+                        if top.2 < 2 {
+                            top.1 = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn output(&self) -> Option<V> {
+        self.output.clone()
+    }
+
+    fn done(&self) -> bool {
+        self.output.is_some()
+    }
+}
+
+impl<V: Value> std::fmt::Debug for RecursiveBa<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecursiveBa")
+            .field("me", &self.me)
+            .field("levels", &self.levels.len())
+            .field("output", &self.output)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Factory wiring [`RecursiveBa`] into the adaptive protocols as their
+/// `A_fallback`.
+#[derive(Clone)]
+pub struct RecursiveBaFactory {
+    cfg: SystemConfig,
+    key: SecretKey,
+    pki: Pki,
+}
+
+impl RecursiveBaFactory {
+    /// Creates the factory for one process (holding its signing key).
+    pub fn new(cfg: SystemConfig, key: SecretKey, pki: Pki) -> Self {
+        RecursiveBaFactory { cfg, key, pki }
+    }
+}
+
+impl std::fmt::Debug for RecursiveBaFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecursiveBaFactory").finish_non_exhaustive()
+    }
+}
+
+impl<V: Value> FallbackFactory<V> for RecursiveBaFactory {
+    type Protocol = RecursiveBa<V>;
+
+    fn create(&self, me: ProcessId, input: V) -> RecursiveBa<V> {
+        debug_assert_eq!(self.key.id(), me, "factory key must belong to the running process");
+        RecursiveBa::new(self.cfg, me, self.key.clone(), self.pki.clone(), input)
+    }
+
+    fn max_steps(&self) -> u64 {
+        recursive_ba_steps(self.cfg.n())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meba_core::LockstepAdapter;
+    use meba_crypto::trusted_setup;
+    use meba_sim::{AnyActor, IdleActor, SimBuilder, Simulation};
+
+    type Msg = RecBaMsg<u64>;
+
+    fn make_sim(inputs: &[u64], crashed: &[u32]) -> Simulation<Msg> {
+        let n = inputs.len();
+        let cfg = SystemConfig::new(n, 1).unwrap();
+        let (pki, keys) = trusted_setup(n, 3);
+        let mut actors: Vec<Box<dyn AnyActor<Msg = Msg>>> = Vec::new();
+        for (i, key) in keys.into_iter().enumerate() {
+            let id = ProcessId(i as u32);
+            if crashed.contains(&(i as u32)) {
+                actors.push(Box::new(IdleActor::new(id)));
+            } else {
+                let rb = RecursiveBa::new(cfg, id, key, pki.clone(), inputs[i]);
+                actors.push(Box::new(LockstepAdapter::new(id, rb)));
+            }
+        }
+        let mut b = SimBuilder::new(actors);
+        for &c in crashed {
+            b = b.corrupt(ProcessId(c));
+        }
+        b.build()
+    }
+
+    fn outputs(sim: &Simulation<Msg>, crashed: &[u32]) -> Vec<u64> {
+        (0..sim.n() as u32)
+            .filter(|i| !crashed.contains(i))
+            .map(|i| {
+                let a: &LockstepAdapter<RecursiveBa<u64>> =
+                    sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+                a.inner().output().expect("decided")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plan_is_contiguous_and_quadratic() {
+        for n in [5usize, 9, 17, 33, 65] {
+            let mut segs = Vec::new();
+            let end = build_plan(Scope::full(n), 0, &mut segs, BASE_SCOPE);
+            let mut cursor = 0;
+            for seg in &segs {
+                assert_eq!(seg.start, cursor, "plan must be gap-free");
+                cursor += seg.len;
+            }
+            assert_eq!(cursor, end);
+            // Rounds are linear-ish in n (2 T(m/2) + c recursion).
+            assert!(end <= 30 * n as u64);
+        }
+    }
+
+    #[test]
+    fn unanimous_small_system() {
+        let mut sim = make_sim(&[5, 5, 5], &[]);
+        sim.run_until_done(100).unwrap();
+        assert!(outputs(&sim, &[]).iter().all(|&v| v == 5));
+    }
+
+    #[test]
+    fn unanimous_recursive_system() {
+        // n = 9 recurses: 9 -> (5, 4) -> ((3, 2), 4).
+        let mut sim = make_sim(&[7; 9], &[]);
+        sim.run_until_done(400).unwrap();
+        assert!(outputs(&sim, &[]).iter().all(|&v| v == 7), "strong unanimity");
+    }
+
+    #[test]
+    fn mixed_inputs_agree() {
+        let mut sim = make_sim(&[1, 2, 3, 4, 5, 6, 7, 8, 9], &[]);
+        sim.run_until_done(400).unwrap();
+        let outs = outputs(&sim, &[]);
+        assert!(outs.windows(2).all(|w| w[0] == w[1]), "agreement: {outs:?}");
+    }
+
+    #[test]
+    fn unanimity_survives_max_crashes() {
+        // n = 9, t = 4 crashes — the regime the adaptive protocols
+        // delegate to this fallback.
+        let crashed = [0u32, 2, 5, 7];
+        let mut sim = make_sim(&[3; 9], &crashed);
+        sim.run_until_done(400).unwrap();
+        assert!(outputs(&sim, &crashed).iter().all(|&v| v == 3), "strong unanimity");
+    }
+
+    #[test]
+    fn agreement_survives_max_crashes_mixed_inputs() {
+        let crashed = [1u32, 3, 6, 8];
+        let mut sim = make_sim(&[2, 9, 2, 9, 2, 9, 2, 9, 2], &crashed);
+        sim.run_until_done(400).unwrap();
+        let outs = outputs(&sim, &crashed);
+        assert!(outs.windows(2).all(|w| w[0] == w[1]), "agreement: {outs:?}");
+    }
+
+    #[test]
+    fn words_scale_quadratically() {
+        let mut words = Vec::new();
+        for n in [9usize, 17, 33] {
+            let mut sim = make_sim(&vec![1u64; n], &[]);
+            sim.run_until_done(2000).unwrap();
+            words.push((n, sim.metrics().correct_words()));
+        }
+        // Quadratic shape: words(2n)/words(n) should be around 4 and well
+        // below the cubic ratio 8.
+        for w in words.windows(2) {
+            let ratio = w[1].1 as f64 / w[0].1 as f64;
+            assert!(ratio > 2.0 && ratio < 7.0, "ratio {ratio} for {:?}", w);
+        }
+    }
+}

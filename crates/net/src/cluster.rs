@@ -1,0 +1,386 @@
+//! A threaded, wall-clock cluster runtime.
+//!
+//! Runs the same [`meba_sim::Actor`] state machines as the lockstep simulator, but
+//! with one OS thread per process, crossbeam channels as reliable
+//! authenticated links, and real time: round `r` spans
+//! `[start + r·δ, start + (r+1)·δ)`. A message sent during round `r` is
+//! processed by its recipient in round `r + 1` (matching the synchrony
+//! assumption as long as `δ` comfortably exceeds scheduling jitter plus
+//! processing time; the runtime asserts this by construction because
+//! channels deliver in microseconds).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use meba_crypto::ProcessId;
+use meba_sim::{AnyActor, Dest, Envelope, Message, Metrics, Round, RoundCtx};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A message in flight, tagged with its send round.
+struct Wire<M> {
+    from: ProcessId,
+    sent_round: u64,
+    msg: M,
+}
+
+/// Outcome of a cluster run.
+pub struct ClusterReport<M: Message> {
+    /// Accumulated communication metrics (same accounting as the
+    /// simulator).
+    pub metrics: Metrics,
+    /// Rounds executed before the cluster stopped.
+    pub rounds: u64,
+    /// The actors, returned for decision inspection.
+    pub actors: Vec<Box<dyn AnyActor<Msg = M>>>,
+    /// Whether every correct actor reported done before the round budget
+    /// ran out.
+    pub completed: bool,
+    /// Rounds in which some thread finished its processing *after* the
+    /// round's deadline — synchrony-assumption violations. A non-zero
+    /// count means `δ` is too small for this machine/protocol and the
+    /// run's synchrony guarantees were at risk.
+    pub overruns: u64,
+}
+
+/// Configuration of a [`run_cluster`] invocation.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Round duration `δ`.
+    pub delta: Duration,
+    /// Hard cap on rounds.
+    pub max_rounds: u64,
+    /// Byzantine identities (excluded from correct-word accounting and
+    /// from the done-check).
+    pub corrupt: Vec<ProcessId>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig { delta: Duration::from_millis(2), max_rounds: 10_000, corrupt: Vec::new() }
+    }
+}
+
+/// Runs `actors` as a real-time cluster until every correct actor is done
+/// or the round budget is exhausted.
+///
+/// # Panics
+///
+/// Panics if `actors` is empty or ids are not `p0..p(n-1)` in order.
+///
+/// # Examples
+///
+/// See the `threaded_cluster` example at the workspace root.
+pub fn run_cluster<M: Message>(
+    actors: Vec<Box<dyn AnyActor<Msg = M>>>,
+    config: ClusterConfig,
+) -> ClusterReport<M> {
+    let n = actors.len();
+    assert!(n > 0, "cluster needs at least one actor");
+    for (i, a) in actors.iter().enumerate() {
+        assert_eq!(a.id().index(), i, "actor {i} has id {}", a.id());
+    }
+    let mut txs: Vec<Sender<Wire<M>>> = Vec::with_capacity(n);
+    let mut rxs: Vec<Receiver<Wire<M>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let metrics = Arc::new(Mutex::new(Metrics::default()));
+    let overruns = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let done_flags: Arc<Vec<AtomicBool>> =
+        Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
+    let start = Instant::now() + Duration::from_millis(5);
+    let corrupt: Arc<Vec<bool>> = Arc::new(
+        (0..n).map(|i| config.corrupt.iter().any(|c| c.index() == i)).collect(),
+    );
+
+    let mut handles = Vec::with_capacity(n);
+    for (i, mut actor) in actors.into_iter().enumerate() {
+        let me = ProcessId(i as u32);
+        let rx = rxs.remove(0);
+        let txs = txs.clone();
+        let metrics = metrics.clone();
+        let overruns = overruns.clone();
+        let stop = stop.clone();
+        let done_flags = done_flags.clone();
+        let corrupt = corrupt.clone();
+        let delta = config.delta;
+        let max_rounds = config.max_rounds;
+        let handle = std::thread::spawn(move || {
+            let mut buffer: Vec<Wire<M>> = Vec::new();
+            let mut round = 0u64;
+            while round < max_rounds && !stop.load(Ordering::SeqCst) {
+                let round_start = start + delta * round as u32;
+                let now = Instant::now();
+                if round_start > now {
+                    std::thread::sleep(round_start - now);
+                }
+                buffer.extend(rx.try_iter());
+                let mut inbox: Vec<Envelope<M>> = Vec::new();
+                let mut keep: Vec<Wire<M>> = Vec::new();
+                for w in buffer.drain(..) {
+                    if w.sent_round < round {
+                        inbox.push(Envelope { from: w.from, msg: w.msg });
+                    } else {
+                        keep.push(w);
+                    }
+                }
+                buffer = keep;
+                let mut ctx = RoundCtx::new(Round(round), me, n, &inbox);
+                actor.on_round(&mut ctx);
+                let outbox = ctx.take_outbox();
+                let sender_correct = !corrupt[i];
+                for (dest, msg) in outbox {
+                    let words = msg.words().max(1);
+                    let sigs = msg.constituent_sigs();
+                    let component = msg.component();
+                    let targets: Vec<usize> = match dest {
+                        Dest::To(p) if p.index() < n => vec![p.index()],
+                        Dest::To(_) => vec![],
+                        Dest::All => (0..n).collect(),
+                    };
+                    for target in targets {
+                        if target != i {
+                            metrics.lock().record(
+                                me,
+                                sender_correct,
+                                component,
+                                round,
+                                words,
+                                sigs,
+                            );
+                        }
+                        let _ = txs[target].send(Wire {
+                            from: me,
+                            sent_round: round,
+                            msg: msg.clone(),
+                        });
+                    }
+                }
+                // Synchrony monitoring: processing past the round's
+                // deadline means a peer may have missed this round's
+                // messages.
+                if Instant::now() > round_start + delta {
+                    overruns.fetch_add(1, Ordering::Relaxed);
+                }
+                done_flags[i].store(actor.done(), Ordering::SeqCst);
+                // The lowest-indexed thread doubles as the coordinator.
+                if i == 0 {
+                    let all_done = (0..n)
+                        .filter(|&j| !corrupt[j])
+                        .all(|j| done_flags[j].load(Ordering::SeqCst));
+                    if all_done {
+                        stop.store(true, Ordering::SeqCst);
+                    }
+                }
+                round += 1;
+            }
+            (actor, round)
+        });
+        handles.push(handle);
+    }
+
+    let mut actors_back: Vec<Box<dyn AnyActor<Msg = M>>> = Vec::with_capacity(n);
+    let mut max_round = 0;
+    for h in handles {
+        let (actor, rounds) = h.join().expect("cluster thread panicked");
+        max_round = max_round.max(rounds);
+        actors_back.push(actor);
+    }
+    actors_back.sort_by_key(|a| a.id().index());
+    let completed = (0..n)
+        .filter(|&j| !corrupt[j])
+        .all(|j| done_flags[j].load(Ordering::SeqCst));
+    let mut metrics = Arc::try_unwrap(metrics)
+        .map(|m| m.into_inner())
+        .unwrap_or_else(|arc| arc.lock().clone());
+    metrics.rounds = max_round;
+    ClusterReport {
+        metrics,
+        rounds: max_round,
+        actors: actors_back,
+        completed,
+        overruns: overruns.load(Ordering::Relaxed),
+    }
+}
+
+impl<M: Message> std::fmt::Debug for ClusterReport<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterReport")
+            .field("rounds", &self.rounds)
+            .field("completed", &self.completed)
+            .field("correct_words", &self.metrics.correct.words)
+            .field("overruns", &self.overruns)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meba_sim::{Actor, IdleActor};
+
+    #[derive(Clone, Debug)]
+    struct Ping(#[allow(dead_code)] u64);
+    impl Message for Ping {
+        fn words(&self) -> u64 {
+            1
+        }
+    }
+
+    struct Gossip {
+        id: ProcessId,
+        heard: usize,
+        target: usize,
+    }
+    impl Actor for Gossip {
+        type Msg = Ping;
+        fn id(&self) -> ProcessId {
+            self.id
+        }
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_, Ping>) {
+            if ctx.round() == Round(0) {
+                ctx.broadcast(Ping(self.id.0 as u64));
+            }
+            self.heard += ctx.inbox().len();
+        }
+        fn done(&self) -> bool {
+            self.heard >= self.target
+        }
+    }
+
+    #[test]
+    fn cluster_delivers_broadcasts_next_round() {
+        let n = 4;
+        let actors: Vec<Box<dyn AnyActor<Msg = Ping>>> = (0..n)
+            .map(|i| {
+                Box::new(Gossip { id: ProcessId(i as u32), heard: 0, target: n }) as _
+            })
+            .collect();
+        let report = run_cluster(actors, ClusterConfig::default());
+        assert!(report.completed);
+        for a in &report.actors {
+            let g: &Gossip = a.as_any().downcast_ref().unwrap();
+            assert_eq!(g.heard, n, "every broadcast (incl. own) delivered once");
+        }
+        // 4 broadcasts × 3 remote copies.
+        assert_eq!(report.metrics.correct.words, 12);
+    }
+
+    #[test]
+    fn cluster_respects_corrupt_accounting() {
+        let n = 3;
+        let actors: Vec<Box<dyn AnyActor<Msg = Ping>>> = (0..n)
+            .map(|i| {
+                Box::new(Gossip { id: ProcessId(i as u32), heard: 0, target: n }) as _
+            })
+            .collect();
+        let cfg = ClusterConfig { corrupt: vec![ProcessId(1)], ..Default::default() };
+        let report = run_cluster(actors, cfg);
+        assert_eq!(report.metrics.correct.words, 4); // 2 correct × 2 remote
+        assert_eq!(report.metrics.byzantine.words, 2);
+    }
+
+    #[test]
+    fn cluster_stops_at_round_budget() {
+        let actors: Vec<Box<dyn AnyActor<Msg = Ping>>> =
+            vec![Box::new(Gossip { id: ProcessId(0), heard: 0, target: 99 })];
+        let cfg = ClusterConfig { max_rounds: 5, ..Default::default() };
+        let report = run_cluster(actors, cfg);
+        assert!(!report.completed);
+        assert_eq!(report.rounds, 5);
+    }
+
+    #[test]
+    fn idle_actors_count_as_done() {
+        let actors: Vec<Box<dyn AnyActor<Msg = Ping>>> = vec![
+            Box::new(Gossip { id: ProcessId(0), heard: 0, target: 1 }),
+            Box::new(IdleActor::new(ProcessId(1))),
+        ];
+        let report = run_cluster(actors, ClusterConfig::default());
+        assert!(report.completed);
+    }
+}
+
+#[cfg(test)]
+mod overrun_tests {
+    use super::*;
+    use meba_sim::Actor;
+
+    #[derive(Clone, Debug)]
+    struct Noop;
+    impl Message for Noop {
+        fn words(&self) -> u64 {
+            1
+        }
+    }
+
+    struct Sleeper {
+        id: ProcessId,
+        rounds: u64,
+    }
+    impl Actor for Sleeper {
+        type Msg = Noop;
+        fn id(&self) -> ProcessId {
+            self.id
+        }
+        fn on_round(&mut self, _ctx: &mut meba_sim::RoundCtx<'_, Noop>) {
+            self.rounds += 1;
+            // Deliberately exceed the 1 ms round duration.
+            std::thread::sleep(Duration::from_millis(3));
+        }
+        fn done(&self) -> bool {
+            self.rounds >= 3
+        }
+    }
+
+    #[test]
+    fn overruns_are_detected() {
+        let actors: Vec<Box<dyn AnyActor<Msg = Noop>>> =
+            vec![Box::new(Sleeper { id: ProcessId(0), rounds: 0 })];
+        let report = run_cluster(
+            actors,
+            ClusterConfig {
+                delta: Duration::from_millis(1),
+                max_rounds: 10,
+                corrupt: vec![],
+            },
+        );
+        assert!(report.overruns > 0, "slow rounds must be flagged");
+    }
+
+    #[test]
+    fn fast_rounds_do_not_overrun() {
+        #[derive(Debug)]
+        struct Quick {
+            id: ProcessId,
+            rounds: u64,
+        }
+        impl Actor for Quick {
+            type Msg = Noop;
+            fn id(&self) -> ProcessId {
+                self.id
+            }
+            fn on_round(&mut self, _ctx: &mut meba_sim::RoundCtx<'_, Noop>) {
+                self.rounds += 1;
+            }
+            fn done(&self) -> bool {
+                self.rounds >= 3
+            }
+        }
+        let actors: Vec<Box<dyn AnyActor<Msg = Noop>>> =
+            vec![Box::new(Quick { id: ProcessId(0), rounds: 0 })];
+        let report = run_cluster(
+            actors,
+            ClusterConfig {
+                delta: Duration::from_millis(20),
+                max_rounds: 10,
+                corrupt: vec![],
+            },
+        );
+        assert_eq!(report.overruns, 0);
+    }
+}

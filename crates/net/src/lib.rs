@@ -1,0 +1,14 @@
+//! Real-time threaded runtime for `meba` actors.
+//!
+//! The lockstep simulator (`meba-sim`) measures word complexity under a
+//! normalized `δ = 1` round; this crate runs the *same* actor state
+//! machines on one OS thread per process with crossbeam channels as
+//! reliable links and a wall-clock `δ`, demonstrating the protocols under
+//! real concurrency. See the `threaded_cluster` example.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cluster;
+
+pub use cluster::{run_cluster, ClusterConfig, ClusterReport};

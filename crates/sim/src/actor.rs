@@ -1,0 +1,208 @@
+//! The actor model: protocol state machines driven by synchronous rounds.
+
+use crate::round::Round;
+use meba_crypto::ProcessId;
+use std::fmt;
+
+/// A protocol message deliverable by the simulator.
+///
+/// `words` / `constituent_sigs` implement the paper's complexity model
+/// (§2); `component` tags the message for per-component breakdowns
+/// (experiment E5: Figure 1 composition).
+pub trait Message: Clone + fmt::Debug + Send + 'static {
+    /// Words this message occupies (at least 1 by the model).
+    fn words(&self) -> u64;
+
+    /// Individual signatures represented inside the message (threshold
+    /// signatures count their threshold).
+    fn constituent_sigs(&self) -> u64 {
+        0
+    }
+
+    /// Which protocol component produced the message (for breakdowns).
+    fn component(&self) -> &'static str {
+        "protocol"
+    }
+}
+
+/// A message together with its authenticated network-level sender.
+///
+/// Links are reliable and authenticated (paper §2): if a correct process
+/// receives an envelope claiming `from = p` and `p` is correct, then `p`
+/// really sent it. The simulator enforces this by stamping envelopes
+/// itself.
+#[derive(Clone, Debug)]
+pub struct Envelope<M> {
+    /// Network-level sender (unforgeable).
+    pub from: ProcessId,
+    /// Payload.
+    pub msg: M,
+}
+
+/// Destination of an outgoing message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dest {
+    /// One process.
+    To(ProcessId),
+    /// Every process, including the sender.
+    All,
+}
+
+/// Per-round execution context handed to an actor.
+///
+/// Provides this round's inbox and collects outgoing messages. Messages
+/// sent during round `r` are delivered in round `r + 1` (`δ = 1`).
+#[derive(Debug)]
+pub struct RoundCtx<'a, M> {
+    round: Round,
+    me: ProcessId,
+    n: usize,
+    inbox: &'a [Envelope<M>],
+    outbox: Vec<(Dest, M)>,
+}
+
+impl<'a, M: Message> RoundCtx<'a, M> {
+    /// Builds a context for one round. Public so alternative runtimes
+    /// (e.g. the threaded `meba-net` cluster) can drive actors; the
+    /// lockstep simulator uses it internally.
+    pub fn new(round: Round, me: ProcessId, n: usize, inbox: &'a [Envelope<M>]) -> Self {
+        RoundCtx { round, me, n, inbox, outbox: Vec::new() }
+    }
+
+    /// Consumes the context, returning the collected outgoing messages.
+    /// Counterpart of [`RoundCtx::new`] for alternative runtimes.
+    pub fn take_outbox(self) -> Vec<(Dest, M)> {
+        self.outbox
+    }
+
+    /// Current round.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Identity of the executing process.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// System size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Messages delivered this round (sent during the previous round).
+    pub fn inbox(&self) -> &[Envelope<M>] {
+        self.inbox
+    }
+
+    /// Messages in the inbox from a specific sender.
+    pub fn from(&self, p: ProcessId) -> impl Iterator<Item = &M> {
+        self.inbox.iter().filter(move |e| e.from == p).map(|e| &e.msg)
+    }
+
+    /// Sends `msg` to `to` at the end of this round.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.outbox.push((Dest::To(to), msg));
+    }
+
+    /// Broadcasts `msg` to all `n` processes (including self).
+    pub fn broadcast(&mut self, msg: M) {
+        self.outbox.push((Dest::All, msg));
+    }
+
+    pub(crate) fn into_outbox(self) -> Vec<(Dest, M)> {
+        self.outbox
+    }
+}
+
+/// A process: a deterministic state machine advanced once per round.
+///
+/// Correct processes implement the protocol; Byzantine processes (see the
+/// `meba-adversary` crate) implement arbitrary behaviour over the same
+/// interface — the simulator gives them no extra powers beyond the keys
+/// they hold and (optionally) rushing delivery.
+pub trait Actor: Send {
+    /// The message type this actor exchanges.
+    type Msg: Message;
+
+    /// This actor's identity.
+    fn id(&self) -> ProcessId;
+
+    /// Executes one synchronous round.
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, Self::Msg>);
+
+    /// Whether the actor has terminated (used for early simulation stop).
+    /// Termination in the protocols means "decided and finished its
+    /// schedule", not merely "decided" — deciders may still need to answer
+    /// help requests.
+    fn done(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct TestMsg(u64);
+    impl Message for TestMsg {
+        fn words(&self) -> u64 {
+            1
+        }
+    }
+
+    #[test]
+    fn ctx_collects_outbox() {
+        let inbox = vec![Envelope { from: ProcessId(1), msg: TestMsg(9) }];
+        let mut ctx = RoundCtx::new(Round(0), ProcessId(0), 3, &inbox);
+        assert_eq!(ctx.inbox().len(), 1);
+        assert_eq!(ctx.from(ProcessId(1)).count(), 1);
+        assert_eq!(ctx.from(ProcessId(2)).count(), 0);
+        ctx.send(ProcessId(2), TestMsg(1));
+        ctx.broadcast(TestMsg(2));
+        let out = ctx.into_outbox();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, Dest::To(ProcessId(2)));
+        assert_eq!(out[1].0, Dest::All);
+    }
+}
+
+/// An actor that does nothing: models a process that has crashed from the
+/// start (the simplest Byzantine behaviour) or an unused slot.
+///
+/// # Examples
+///
+/// ```
+/// use meba_crypto::ProcessId;
+/// use meba_sim::{Actor, IdleActor};
+///
+/// # #[derive(Clone, Debug)] struct M;
+/// # impl meba_sim::Message for M { fn words(&self) -> u64 { 1 } }
+/// let idle: IdleActor<M> = IdleActor::new(ProcessId(2));
+/// assert_eq!(idle.id(), ProcessId(2));
+/// assert!(idle.done());
+/// ```
+#[derive(Debug)]
+pub struct IdleActor<M> {
+    id: ProcessId,
+    _msg: std::marker::PhantomData<fn() -> M>,
+}
+
+impl<M> IdleActor<M> {
+    /// Creates an idle actor with the given identity.
+    pub fn new(id: ProcessId) -> Self {
+        IdleActor { id, _msg: std::marker::PhantomData }
+    }
+}
+
+impl<M: Message> Actor for IdleActor<M> {
+    type Msg = M;
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+    fn on_round(&mut self, _ctx: &mut RoundCtx<'_, M>) {}
+    fn done(&self) -> bool {
+        true
+    }
+}

@@ -1,0 +1,153 @@
+//! Communication-complexity accounting.
+//!
+//! The paper measures "the maximum number of words sent by all correct
+//! processes, across all runs" (§2). The simulator therefore splits every
+//! counter by whether the sender is correct; protocol complexity reads
+//! [`Metrics::correct`], while Byzantine traffic is tracked separately for
+//! diagnostics. Constituent-signature counts reproduce the Dolev–Reischuk
+//! `Ω(nt)` signature bound (experiment E4).
+
+use meba_crypto::ProcessId;
+use std::collections::BTreeMap;
+
+/// A bundle of communication counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Counters {
+    /// Total words sent.
+    pub words: u64,
+    /// Total point-to-point messages sent (a broadcast counts `n - 1`).
+    pub messages: u64,
+    /// Total constituent signatures sent (threshold sig of threshold `k`
+    /// counts `k`).
+    pub constituent_sigs: u64,
+}
+
+impl Counters {
+    /// Adds one message's costs.
+    pub fn record(&mut self, words: u64, sigs: u64) {
+        self.words += words;
+        self.messages += 1;
+        self.constituent_sigs += sigs;
+    }
+
+    /// Component-wise sum.
+    pub fn merge(&mut self, other: &Counters) {
+        self.words += other.words;
+        self.messages += other.messages;
+        self.constituent_sigs += other.constituent_sigs;
+    }
+}
+
+/// Full accounting for one simulation run.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct Metrics {
+    /// Words/messages/signatures sent by correct processes (the paper's
+    /// communication complexity).
+    pub correct: Counters,
+    /// Traffic originated by Byzantine processes (not part of protocol
+    /// complexity; useful for sanity checks).
+    pub byzantine: Counters,
+    /// Correct-process counters broken down by message component tag
+    /// (experiment E5).
+    pub by_component: BTreeMap<String, Counters>,
+    /// Correct-process words per round, indexed by round number
+    /// (experiment E7 latency profiles).
+    pub words_per_round: Vec<u64>,
+    /// Per-process counters (correct and Byzantine alike).
+    pub per_process: BTreeMap<u32, Counters>,
+    /// Number of rounds executed.
+    pub rounds: u64,
+}
+
+impl Metrics {
+    /// Records one sent message.
+    pub fn record(
+        &mut self,
+        sender: ProcessId,
+        sender_correct: bool,
+        component: &'static str,
+        round: u64,
+        words: u64,
+        sigs: u64,
+    ) {
+        self.per_process.entry(sender.0).or_default().record(words, sigs);
+        if sender_correct {
+            self.correct.record(words, sigs);
+            self.by_component.entry(component.to_string()).or_default().record(words, sigs);
+            if self.words_per_round.len() <= round as usize {
+                self.words_per_round.resize(round as usize + 1, 0);
+            }
+            self.words_per_round[round as usize] += words;
+        } else {
+            self.byzantine.record(words, sigs);
+        }
+    }
+
+    /// Words sent by correct processes — the paper's headline metric.
+    pub fn correct_words(&self) -> u64 {
+        self.correct.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_and_byzantine_split() {
+        let mut m = Metrics::default();
+        m.record(ProcessId(0), true, "bb", 0, 3, 2);
+        m.record(ProcessId(1), false, "bb", 0, 100, 50);
+        assert_eq!(m.correct.words, 3);
+        assert_eq!(m.correct.messages, 1);
+        assert_eq!(m.correct.constituent_sigs, 2);
+        assert_eq!(m.byzantine.words, 100);
+        assert_eq!(m.correct_words(), 3);
+    }
+
+    #[test]
+    fn component_breakdown() {
+        let mut m = Metrics::default();
+        m.record(ProcessId(0), true, "bb", 0, 1, 0);
+        m.record(ProcessId(0), true, "weak-ba", 1, 2, 1);
+        m.record(ProcessId(2), true, "weak-ba", 1, 2, 1);
+        assert_eq!(m.by_component["bb"].words, 1);
+        assert_eq!(m.by_component["weak-ba"].words, 4);
+        assert_eq!(m.by_component["weak-ba"].messages, 2);
+    }
+
+    #[test]
+    fn per_round_series_grows() {
+        let mut m = Metrics::default();
+        m.record(ProcessId(0), true, "x", 4, 7, 0);
+        assert_eq!(m.words_per_round, vec![0, 0, 0, 0, 7]);
+    }
+
+    #[test]
+    fn merge_counters() {
+        let mut a = Counters { words: 1, messages: 2, constituent_sigs: 3 };
+        let b = Counters { words: 10, messages: 20, constituent_sigs: 30 };
+        a.merge(&b);
+        assert_eq!(a, Counters { words: 11, messages: 22, constituent_sigs: 33 });
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+
+    #[test]
+    fn metrics_roundtrip_through_json() {
+        let mut m = Metrics::default();
+        m.record(ProcessId(0), true, "bb/vetting", 0, 3, 2);
+        m.record(ProcessId(1), false, "fallback", 2, 5, 1);
+        m.rounds = 3;
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Metrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.correct, m.correct);
+        assert_eq!(back.byzantine, m.byzantine);
+        assert_eq!(back.words_per_round, m.words_per_round);
+        assert_eq!(back.rounds, 3);
+        assert_eq!(back.by_component.get("bb/vetting"), m.by_component.get("bb/vetting"));
+    }
+}

@@ -1,0 +1,26 @@
+//! State-machine replication over repeated adaptive Byzantine Broadcast.
+//!
+//! The paper's introduction motivates adaptive BA precisely for "many
+//! distributed systems" that run agreement continuously and whose runs
+//! are usually failure-free. This crate is that downstream consumer: a
+//! replicated log where slot `k` is one adaptive BB instance with
+//! rotating proposer `p_{k mod n}`. Clean slots cost the adaptive
+//! `O(n(f+1))` price; a faulty proposer merely yields a `⊥` (no-op) slot.
+//!
+//! Slots run on a **fixed, system-wide schedule** of
+//! [`ReplicatedLog::slot_rounds`] rounds each (the worst-case BB schedule,
+//! fallback included), so all correct replicas stay in lockstep without
+//! any extra coordination; the session id of slot `k` domain-separates
+//! its signatures from every other slot.
+//!
+//! # Examples
+//!
+//! See `examples/replicated_log.rs` at the workspace root and the tests
+//! in this crate.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod log;
+
+pub use log::{LogEntry, ReplicatedLog, SmrMsg};

@@ -1,0 +1,323 @@
+//! The replicated log: one adaptive BB instance per slot.
+
+use meba_core::bb::{Bb, BbBaValue, BbMsg};
+use meba_core::{Decision, FallbackFactory, SubProtocol, SystemConfig, Value};
+use meba_crypto::{Pki, ProcessId, SecretKey};
+use meba_sim::{Actor, Dest, Message, RoundCtx};
+use std::collections::VecDeque;
+
+/// Message type of the fallback for the BB value domain.
+type FbMsg<V, F> =
+    <<F as FallbackFactory<BbBaValue<V>>>::Protocol as SubProtocol>::Msg;
+
+/// A slot-tagged BB message.
+#[derive(Clone, Debug)]
+pub struct SmrMsg<V, FM> {
+    /// Which slot's BB instance this belongs to.
+    pub slot: u64,
+    /// The wrapped BB message.
+    pub inner: BbMsg<V, FM>,
+}
+
+impl<V: Value, FM: Message> Message for SmrMsg<V, FM> {
+    fn words(&self) -> u64 {
+        self.inner.words()
+    }
+    fn constituent_sigs(&self) -> u64 {
+        self.inner.constituent_sigs()
+    }
+    fn component(&self) -> &'static str {
+        self.inner.component()
+    }
+}
+
+/// A committed log entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogEntry<V> {
+    /// Slot index.
+    pub slot: u64,
+    /// The slot's designated proposer.
+    pub proposer: ProcessId,
+    /// The agreed entry; `⊥` means the slot was skipped (faulty proposer).
+    pub entry: Decision<V>,
+}
+
+/// One replica of the replicated log.
+///
+/// Runs `total_slots` BB instances back to back on a fixed schedule of
+/// [`ReplicatedLog::slot_rounds`] rounds each. The proposer of slot `k`
+/// is `p_{k mod n}`; when it is this replica's turn it proposes the next
+/// queued command (or the no-op value).
+pub struct ReplicatedLog<V, F>
+where
+    V: Value,
+    F: FallbackFactory<BbBaValue<V>>,
+{
+    cfg: SystemConfig,
+    me: ProcessId,
+    key: SecretKey,
+    pki: Pki,
+    factory: F,
+    slot_rounds: u64,
+    total_slots: u64,
+    noop: V,
+    pending: VecDeque<V>,
+    current: Option<Bb<V, F>>,
+    log: Vec<LogEntry<V>>,
+}
+
+impl<V, F> ReplicatedLog<V, F>
+where
+    V: Value,
+    F: FallbackFactory<BbBaValue<V>>,
+{
+    /// Creates a replica. `commands` are proposed, in order, whenever
+    /// this replica is the slot proposer; `noop` is proposed when the
+    /// queue is empty.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        cfg: SystemConfig,
+        me: ProcessId,
+        key: SecretKey,
+        pki: Pki,
+        factory: F,
+        total_slots: u64,
+        commands: Vec<V>,
+        noop: V,
+    ) -> Self {
+        let slot_rounds = Self::slot_rounds(&cfg, &factory);
+        ReplicatedLog {
+            cfg,
+            me,
+            key,
+            pki,
+            factory,
+            slot_rounds,
+            total_slots,
+            noop,
+            pending: commands.into(),
+            current: None,
+            log: Vec::new(),
+        }
+    }
+
+    /// Fixed number of rounds allocated per slot: the worst-case BB
+    /// schedule, fallback included.
+    pub fn slot_rounds(cfg: &SystemConfig, factory: &F) -> u64 {
+        Bb::<V, F>::max_schedule(cfg, factory) + 2
+    }
+
+    /// Total rounds the whole log needs.
+    pub fn total_rounds(&self) -> u64 {
+        self.slot_rounds * self.total_slots
+    }
+
+    /// The committed log so far.
+    pub fn log(&self) -> &[LogEntry<V>] {
+        &self.log
+    }
+
+    /// The committed commands (skipping `⊥` slots).
+    pub fn committed(&self) -> impl Iterator<Item = &V> {
+        self.log.iter().filter_map(|e| e.entry.value())
+    }
+
+    fn slot_cfg(&self, slot: u64) -> SystemConfig {
+        // Domain-separate each slot's signatures.
+        self.cfg.with_session(self.cfg.session().wrapping_mul(1_000_003).wrapping_add(slot))
+    }
+
+    fn open_slot(&mut self, slot: u64) {
+        let proposer = ProcessId((slot % self.cfg.n() as u64) as u32);
+        let cfg = self.slot_cfg(slot);
+        let bb = if proposer == self.me {
+            let cmd = self.pending.pop_front().unwrap_or_else(|| self.noop.clone());
+            Bb::new_sender(cfg, self.me, self.key.clone(), self.pki.clone(), self.factory.clone(), cmd)
+        } else {
+            Bb::new(cfg, self.me, self.key.clone(), self.pki.clone(), self.factory.clone(), proposer)
+        };
+        self.current = Some(bb);
+    }
+
+    fn close_slot(&mut self, slot: u64) {
+        let proposer = ProcessId((slot % self.cfg.n() as u64) as u32);
+        let entry = self
+            .current
+            .take()
+            .and_then(|bb| bb.output())
+            // A BB that did not finish inside the worst-case schedule can
+            // only be a Byzantine-scheduled wrapper; a correct replica
+            // records ⊥ and stays aligned with its peers.
+            .unwrap_or(Decision::Bot);
+        self.log.push(LogEntry { slot, proposer, entry });
+    }
+}
+
+impl<V, F> Actor for ReplicatedLog<V, F>
+where
+    V: Value,
+    F: FallbackFactory<BbBaValue<V>>,
+{
+    type Msg = SmrMsg<V, FbMsg<V, F>>;
+
+    fn id(&self) -> ProcessId {
+        self.me
+    }
+
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, Self::Msg>) {
+        let r = ctx.round().as_u64();
+        let slot = r / self.slot_rounds;
+        if slot >= self.total_slots {
+            return;
+        }
+        let step = r % self.slot_rounds;
+        if step == 0 {
+            self.open_slot(slot);
+        }
+        #[allow(clippy::type_complexity)]
+        let inbox: Vec<(ProcessId, BbMsg<V, FbMsg<V, F>>)> = ctx
+            .inbox()
+            .iter()
+            .filter(|e| e.msg.slot == slot)
+            .map(|e| (e.from, e.msg.inner.clone()))
+            .collect();
+        let mut out = Vec::new();
+        if let Some(bb) = &mut self.current {
+            bb.on_step(step, &inbox, &mut out);
+        }
+        for (dest, inner) in out {
+            let msg = SmrMsg { slot, inner };
+            match dest {
+                Dest::To(p) => ctx.send(p, msg),
+                Dest::All => ctx.broadcast(msg),
+            }
+        }
+        if step == self.slot_rounds - 1 {
+            self.close_slot(slot);
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.log.len() as u64 >= self.total_slots
+    }
+}
+
+impl<V, F> std::fmt::Debug for ReplicatedLog<V, F>
+where
+    V: Value,
+    F: FallbackFactory<BbBaValue<V>>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicatedLog")
+            .field("me", &self.me)
+            .field("committed", &self.log.len())
+            .field("total_slots", &self.total_slots)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meba_crypto::trusted_setup;
+    use meba_fallback::RecursiveBaFactory;
+    use meba_sim::{AnyActor, IdleActor, SimBuilder, Simulation};
+
+    type Log = ReplicatedLog<u64, RecursiveBaFactory>;
+    type Msg = <Log as Actor>::Msg;
+
+    fn make_sim(n: usize, slots: u64, commands: Vec<Vec<u64>>, crashed: &[u32]) -> Simulation<Msg> {
+        let cfg = SystemConfig::new(n, 9).unwrap();
+        let (pki, keys) = trusted_setup(n, 77);
+        let mut actors: Vec<Box<dyn AnyActor<Msg = Msg>>> = Vec::new();
+        for (i, key) in keys.into_iter().enumerate() {
+            let id = ProcessId(i as u32);
+            if crashed.contains(&(i as u32)) {
+                actors.push(Box::new(IdleActor::new(id)));
+                continue;
+            }
+            let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+            let log = ReplicatedLog::new(
+                cfg,
+                id,
+                key,
+                pki.clone(),
+                factory,
+                slots,
+                commands.get(i).cloned().unwrap_or_default(),
+                0u64, // no-op
+            );
+            actors.push(Box::new(log));
+        }
+        let mut b = SimBuilder::new(actors);
+        for &c in crashed {
+            b = b.corrupt(ProcessId(c));
+        }
+        b.build()
+    }
+
+    fn logs(sim: &Simulation<Msg>, crashed: &[u32]) -> Vec<Vec<LogEntry<u64>>> {
+        (0..sim.n() as u32)
+            .filter(|i| !crashed.contains(i))
+            .map(|i| {
+                let l: &Log = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+                l.log().to_vec()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn failure_free_log_replicates_commands() {
+        let n = 5;
+        let commands: Vec<Vec<u64>> = (0..n).map(|i| vec![100 + i as u64]).collect();
+        let mut sim = make_sim(n, 3, commands, &[]);
+        let budget = {
+            let l: &Log = sim.actor(ProcessId(0)).as_any().downcast_ref().unwrap();
+            l.total_rounds() + 2
+        };
+        sim.run_until_done(budget).unwrap();
+        let all = logs(&sim, &[]);
+        for l in &all {
+            assert_eq!(l, &all[0], "logs must be identical");
+        }
+        // Slots 0,1,2 proposed by p0,p1,p2 with their first commands.
+        let committed: Vec<u64> =
+            all[0].iter().filter_map(|e| e.entry.value().copied()).collect();
+        assert_eq!(committed, vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn crashed_proposer_slot_skips_but_stays_aligned() {
+        let n = 5;
+        let commands: Vec<Vec<u64>> = (0..n).map(|i| vec![100 + i as u64]).collect();
+        // p1 crashed: slot 1 must be ⊥, slots 0 and 2 commit.
+        let crashed = [1u32];
+        let mut sim = make_sim(n, 3, commands, &crashed);
+        sim.run_until_done(20_000).unwrap();
+        let all = logs(&sim, &crashed);
+        for l in &all {
+            assert_eq!(l, &all[0], "logs must be identical");
+        }
+        assert_eq!(all[0][0].entry, Decision::Value(100));
+        assert_eq!(all[0][1].entry, Decision::Bot, "crashed proposer slot skipped");
+        assert_eq!(all[0][2].entry, Decision::Value(102));
+    }
+
+    #[test]
+    fn empty_queue_proposes_noop() {
+        let n = 5;
+        let mut sim = make_sim(n, 1, vec![vec![]; n], &[]);
+        sim.run_until_done(20_000).unwrap();
+        let all = logs(&sim, &[]);
+        assert_eq!(all[0][0].entry, Decision::Value(0), "no-op committed");
+    }
+
+    #[test]
+    fn slot_schedule_is_fixed_and_positive() {
+        let cfg = SystemConfig::new(5, 0).unwrap();
+        let (pki, keys) = trusted_setup(5, 1);
+        let factory = RecursiveBaFactory::new(cfg, keys[0].clone(), pki);
+        let rounds = Log::slot_rounds(&cfg, &factory);
+        assert!(rounds > 40, "must cover phases + help + fallback, got {rounds}");
+    }
+}

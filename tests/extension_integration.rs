@@ -1,0 +1,238 @@
+//! Integration tests for the extension components: the rotating-leader
+//! strong BA with the real fallback (incl. on real threads), the
+//! replicated log under a Byzantine proposer, and weak BA with a
+//! restrictive external predicate.
+
+mod common;
+
+use common::round_budget;
+use meba::adversary::EquivocatingSender;
+use meba::core::strong_ba_rotating::RotatingStrongBa;
+use meba::core::validity::FnValidity;
+use meba::net::{run_cluster, ClusterConfig};
+use meba::prelude::*;
+use meba::smr::SmrMsg;
+use std::time::Duration;
+
+type Rba = RotatingStrongBa<RecursiveBaFactory>;
+type RbaM = <Rba as SubProtocol>::Msg;
+
+fn rotating_actors(
+    n: usize,
+    inputs: &[bool],
+    crashed: &[u32],
+) -> (Vec<Box<dyn AnyActor<Msg = RbaM>>>, SystemConfig) {
+    let cfg = SystemConfig::new(n, 0x20).unwrap();
+    let (pki, keys) = trusted_setup(n, 0x20);
+    let mut actors: Vec<Box<dyn AnyActor<Msg = RbaM>>> = Vec::new();
+    for (i, key) in keys.into_iter().enumerate() {
+        let id = ProcessId(i as u32);
+        if crashed.contains(&(i as u32)) {
+            actors.push(Box::new(IdleActor::new(id)));
+        } else {
+            let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+            let rba = RotatingStrongBa::new(cfg, id, key, pki.clone(), factory, inputs[i]);
+            actors.push(Box::new(LockstepAdapter::new(id, rba)));
+        }
+    }
+    (actors, cfg)
+}
+
+#[test]
+fn rotating_with_real_fallback_beyond_bound() {
+    // f = t crashes: the rotation cannot finish; the *real* recursive
+    // fallback must deliver unanimity.
+    let n = 9usize;
+    let crashed = [0u32, 2, 4, 6];
+    let (actors, _) = rotating_actors(n, &[true; 9], &crashed);
+    let mut b = SimBuilder::new(actors);
+    for &c in &crashed {
+        b = b.corrupt(ProcessId(c));
+    }
+    let mut sim = b.build();
+    sim.run_until_done(round_budget(n)).unwrap();
+    for i in (0..n as u32).filter(|i| !crashed.contains(i)) {
+        let a: &LockstepAdapter<Rba> =
+            sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+        assert_eq!(a.inner().output(), Some(true));
+        assert!(a.inner().used_fallback());
+    }
+}
+
+#[test]
+fn rotating_on_threads() {
+    let n = 7usize;
+    let crashed = ProcessId(0);
+    let (actors, _) = rotating_actors(n, &[true; 7], &[0]);
+    let report = run_cluster(
+        actors,
+        ClusterConfig {
+            delta: Duration::from_millis(2),
+            max_rounds: 3_000,
+            corrupt: vec![crashed],
+        },
+    );
+    assert!(report.completed);
+    for a in report.actors.iter().filter(|a| a.id() != crashed) {
+        let l: &LockstepAdapter<Rba> = a.as_any().downcast_ref().unwrap();
+        assert_eq!(l.inner().output(), Some(true));
+        assert!(!l.inner().used_fallback(), "leader rotation avoids the fallback on threads too");
+    }
+}
+
+#[test]
+fn replicated_log_with_equivocating_proposer_slot() {
+    // Slot 1's proposer (p1) equivocates inside its BB instance; all
+    // correct replicas must still hold identical logs.
+    type Log = ReplicatedLog<u64, RecursiveBaFactory>;
+    type Msg = <Log as Actor>::Msg;
+    let n = 5usize;
+    let slots = 3u64;
+    let cfg = SystemConfig::new(n, 9).unwrap();
+    let (pki, keys) = trusted_setup(n, 77);
+    let factory0 = RecursiveBaFactory::new(cfg, keys[0].clone(), pki.clone());
+    let slot_rounds = Log::slot_rounds(&cfg, &factory0);
+
+    /// Byzantine replica: honest silence except an equivocating
+    /// `SenderValue` burst at the start of its own slot.
+    struct EquivocatingReplica {
+        me: ProcessId,
+        slot: u64,
+        slot_rounds: u64,
+        inner: EquivocatingSender<u64, <RecursiveBa<BbBaValue<u64>> as SubProtocol>::Msg>,
+    }
+    impl Actor for EquivocatingReplica {
+        type Msg = Msg;
+        fn id(&self) -> ProcessId {
+            self.me
+        }
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_, Msg>) {
+            let r = ctx.round().as_u64();
+            if r / self.slot_rounds != self.slot {
+                return;
+            }
+            let step = r % self.slot_rounds;
+            // Drive the inner equivocator with the slot-local round.
+            let inbox = vec![];
+            let mut shadow = RoundCtx::new(Round(step), self.me, ctx.n(), &inbox);
+            self.inner.on_round(&mut shadow);
+            for (dest, inner) in shadow.take_outbox() {
+                let msg = SmrMsg { slot: self.slot, inner };
+                match dest {
+                    meba::sim::Dest::To(p) => ctx.send(p, msg),
+                    meba::sim::Dest::All => ctx.broadcast(msg),
+                }
+            }
+        }
+        fn done(&self) -> bool {
+            true
+        }
+    }
+    use meba_sim::RoundCtx;
+
+    let byz = ProcessId(1);
+    let mut actors: Vec<Box<dyn AnyActor<Msg = Msg>>> = Vec::new();
+    for (i, key) in keys.iter().cloned().enumerate() {
+        let id = ProcessId(i as u32);
+        if id == byz {
+            // Recompute the per-slot session the honest replicas use.
+            let slot_cfg =
+                cfg.with_session(cfg.session().wrapping_mul(1_000_003).wrapping_add(1));
+            actors.push(Box::new(EquivocatingReplica {
+                me: id,
+                slot: 1,
+                slot_rounds,
+                inner: EquivocatingSender::new(
+                    slot_cfg,
+                    key,
+                    111,
+                    222,
+                    vec![ProcessId(0), ProcessId(2)],
+                    vec![ProcessId(3), ProcessId(4)],
+                ),
+            }));
+        } else {
+            let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+            let log: Log = ReplicatedLog::new(
+                cfg,
+                id,
+                key,
+                pki.clone(),
+                factory,
+                slots,
+                vec![10 * (i as u64 + 1)],
+                0,
+            );
+            actors.push(Box::new(log));
+        }
+    }
+    let mut sim = SimBuilder::new(actors).corrupt(byz).build();
+    sim.run_until_done(slot_rounds * slots + 10).unwrap();
+
+    let mut reference: Option<Vec<LogEntry<u64>>> = None;
+    for i in (0..n as u32).filter(|&i| ProcessId(i) != byz) {
+        let l: &Log = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+        assert_eq!(l.log().len(), slots as usize, "p{i} committed all slots");
+        match &reference {
+            None => reference = Some(l.log().to_vec()),
+            Some(r) => assert_eq!(l.log(), &r[..], "p{i} diverged"),
+        }
+    }
+    let log = reference.unwrap();
+    // Slots 0 and 2 (honest proposers) committed their commands.
+    assert_eq!(log[0].entry, Decision::Value(10));
+    assert_eq!(log[2].entry, Decision::Value(30));
+    // Slot 1: the equivocator — any agreed entry (111, 222, or ⊥) is fine.
+    assert!(matches!(
+        log[1].entry,
+        Decision::Value(111) | Decision::Value(222) | Decision::Bot
+    ));
+}
+
+#[test]
+fn weak_ba_restrictive_predicate_rejects_byzantine_proposals() {
+    // Predicate: only even values are valid. A Byzantine leader proposing
+    // an odd value gets no votes; the next correct leader's even value
+    // wins. (All correct inputs are even, per the validity precondition.)
+    use meba::adversary::WastefulWeakLeader;
+    type Wba = WeakBa<u64, FnValidity<fn(&u64) -> bool>, RecursiveBaFactory>;
+    type Msg = <Wba as SubProtocol>::Msg;
+    fn is_even(v: &u64) -> bool {
+        v.is_multiple_of(2)
+    }
+    let n = 7usize;
+    let cfg = SystemConfig::new(n, 0x77).unwrap();
+    let (pki, keys) = trusted_setup(n, 0x77);
+    let byz = ProcessId(1); // phase-1 leader proposes 99 (odd, invalid)
+    let mut actors: Vec<Box<dyn AnyActor<Msg = Msg>>> = Vec::new();
+    for (i, key) in keys.into_iter().enumerate() {
+        let id = ProcessId(i as u32);
+        if id == byz {
+            actors.push(Box::new(WastefulWeakLeader::new(cfg, id, 1, 99u64)));
+        } else {
+            let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+            let wba: Wba = WeakBa::new(
+                cfg,
+                id,
+                key,
+                pki.clone(),
+                FnValidity::new(is_even as fn(&u64) -> bool),
+                factory,
+                8u64,
+            );
+            actors.push(Box::new(LockstepAdapter::new(id, wba)));
+        }
+    }
+    let mut sim = SimBuilder::new(actors).corrupt(byz).build();
+    sim.run_until_done(round_budget(n)).unwrap();
+    for i in (0..n as u32).filter(|&i| ProcessId(i) != byz) {
+        let a: &LockstepAdapter<Wba> =
+            sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+        let d = a.inner().output().expect("decided");
+        assert_eq!(
+            d,
+            Decision::Value(8),
+            "the invalid proposal must be ignored and the correct value decided"
+        );
+    }
+}

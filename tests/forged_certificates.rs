@@ -1,0 +1,288 @@
+//! Certificate-forgery rejection tests: a Byzantine process sends
+//! structurally valid messages carrying *wrong* certificates (lower
+//! thresholds, mismatched levels/phases, replayed sessions) and correct
+//! processes must ignore every one of them.
+
+mod common;
+
+use common::{round_budget, WbaM, WbaProc};
+use meba::core::signing::{sign_payload, CommitProof, DecideProof, DecideSig, VoteSig};
+use meba::core::weak_ba::WeakBaMsg;
+use meba::prelude::*;
+use meba_sim::RoundCtx;
+
+/// A Byzantine actor that fires a fixed batch of crafted messages at a
+/// given round and is otherwise silent.
+struct Injector {
+    me: ProcessId,
+    round: u64,
+    payload: Vec<WbaM>,
+}
+
+impl Actor for Injector {
+    type Msg = WbaM;
+    fn id(&self) -> ProcessId {
+        self.me
+    }
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, WbaM>) {
+        if ctx.round().as_u64() == self.round {
+            for m in self.payload.drain(..) {
+                ctx.broadcast(m);
+            }
+        }
+    }
+    fn done(&self) -> bool {
+        true
+    }
+}
+
+fn run_with_injection(payload: Vec<WbaM>, at_round: u64) -> Vec<Decision<u64>> {
+    let n = 7usize;
+    let cfg = SystemConfig::new(n, 0xf0).unwrap();
+    let (pki, keys) = trusted_setup(n, 0xf0);
+    let byz = ProcessId(1);
+    let mut actors: Vec<Box<dyn AnyActor<Msg = WbaM>>> = Vec::new();
+    for (i, key) in keys.iter().cloned().enumerate() {
+        let id = ProcessId(i as u32);
+        if id == byz {
+            actors.push(Box::new(Injector { me: id, round: at_round, payload: payload.clone() }));
+        } else {
+            let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+            let wba: WbaProc =
+                WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory, 5u64);
+            actors.push(Box::new(LockstepAdapter::new(id, wba)));
+        }
+    }
+    let mut sim = SimBuilder::new(actors).corrupt(byz).build();
+    sim.run_until_done(round_budget(n)).unwrap();
+    (0..n as u32)
+        .filter(|&i| ProcessId(i) != byz)
+        .map(|i| {
+            let a: &LockstepAdapter<WbaProc> =
+                sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+            a.inner().output().expect("decided")
+        })
+        .collect()
+}
+
+/// Note: p1 is the phase-1 leader and we replace it with the injector, so
+/// the honest run decides the phase-2 leader's value (5) — any forged
+/// early decision on a different value would surface as disagreement or a
+/// wrong value.
+const HONEST_OUTCOME: Decision<u64> = Decision::Value(5);
+
+#[test]
+fn underfilled_finalize_certificate_is_rejected() {
+    // A finalize "certificate" batched at threshold t+1 = 4 instead of the
+    // quorum 6. The byz cohort alone cannot reach 6, but 4 signatures are
+    // trivially available... except only p1 is corrupted here, so we
+    // build it from p1's signature repeated? Impossible — combine rejects
+    // duplicates. Instead: a (1, n) certificate from p1 alone.
+    let n = 7usize;
+    let cfg = SystemConfig::new(n, 0xf0).unwrap();
+    let (pki, keys) = trusted_setup(n, 0xf0);
+    let forged_value = 666u64;
+    let payload = DecideSig { session: cfg.session(), value: &forged_value, phase: 1 };
+    let share = sign_payload(&keys[1], &payload);
+    let qc = pki
+        .combine(1, &meba_crypto::Signable::signing_bytes(&payload), &[share])
+        .unwrap();
+    let msg = WeakBaMsg::FinalizeCert {
+        phase: 1,
+        value: forged_value,
+        proof: DecideProof { phase: 1, qc },
+    };
+    // Injected at round 4 so it arrives at the finalize-adoption step.
+    let ds = run_with_injection(vec![msg], 4);
+    assert!(ds.iter().all(|d| *d == HONEST_OUTCOME), "forged finalize accepted: {ds:?}");
+}
+
+#[test]
+fn commit_certificate_with_wrong_level_is_rejected() {
+    // A real-looking commit certificate whose claimed level (3) does not
+    // match the level its signatures bind (1).
+    let n = 7usize;
+    let cfg = SystemConfig::new(n, 0xf0).unwrap();
+    let (pki, keys) = trusted_setup(n, 0xf0);
+    let forged_value = 666u64;
+    let payload = VoteSig { session: cfg.session(), value: &forged_value, level: 1 };
+    let share = sign_payload(&keys[1], &payload);
+    let qc = pki
+        .combine(1, &meba_crypto::Signable::signing_bytes(&payload), &[share])
+        .unwrap();
+    let msg = WeakBaMsg::CommitCert {
+        phase: 1,
+        value: forged_value,
+        proof: CommitProof { level: 3, qc },
+    };
+    let ds = run_with_injection(vec![msg], 1);
+    assert!(ds.iter().all(|d| *d == HONEST_OUTCOME), "level-forged commit accepted: {ds:?}");
+}
+
+#[test]
+fn cross_session_certificate_is_rejected() {
+    // A quorum-sized certificate from a *different session* (all 7 keys
+    // of a parallel setup sign it): structurally perfect, semantically
+    // stale.
+    let n = 7usize;
+    let cfg = SystemConfig::new(n, 0xf0).unwrap();
+    let other_cfg = SystemConfig::new(n, 0xdead).unwrap();
+    let (pki, keys) = trusted_setup(n, 0xf0);
+    let forged_value = 666u64;
+    let payload =
+        DecideSig { session: other_cfg.session(), value: &forged_value, phase: 1 };
+    let shares: Vec<_> =
+        keys.iter().take(cfg.quorum()).map(|k| sign_payload(k, &payload)).collect();
+    let qc = pki
+        .combine(cfg.quorum(), &meba_crypto::Signable::signing_bytes(&payload), &shares)
+        .unwrap();
+    let msg = WeakBaMsg::FinalizeCert {
+        phase: 1,
+        value: forged_value,
+        proof: DecideProof { phase: 1, qc },
+    };
+    let ds = run_with_injection(vec![msg], 4);
+    assert!(ds.iter().all(|d| *d == HONEST_OUTCOME), "cross-session cert accepted: {ds:?}");
+}
+
+#[test]
+fn phase_mismatched_finalize_is_rejected() {
+    // Signatures bind phase 2 but the message claims phase 1 (whose
+    // arrival round this is). Either interpretation must fail: the proof
+    // verifies only for phase 2, and a phase-2 cert cannot arrive at
+    // phase 1's slot.
+    let n = 7usize;
+    let cfg = SystemConfig::new(n, 0xf0).unwrap();
+    let (pki, keys) = trusted_setup(n, 0xf0);
+    let forged_value = 666u64;
+    let payload = DecideSig { session: cfg.session(), value: &forged_value, phase: 2 };
+    let shares: Vec<_> =
+        keys.iter().take(cfg.quorum()).map(|k| sign_payload(k, &payload)).collect();
+    let qc = pki
+        .combine(cfg.quorum(), &meba_crypto::Signable::signing_bytes(&payload), &shares)
+        .unwrap();
+    let msgs = vec![
+        WeakBaMsg::FinalizeCert {
+            phase: 1,
+            value: forged_value,
+            proof: DecideProof { phase: 2, qc: qc.clone() },
+        },
+        WeakBaMsg::FinalizeCert {
+            phase: 1,
+            value: forged_value,
+            proof: DecideProof { phase: 1, qc },
+        },
+    ];
+    let ds = run_with_injection(msgs, 4);
+    assert!(ds.iter().all(|d| *d == HONEST_OUTCOME), "phase-mismatched cert accepted: {ds:?}");
+}
+
+#[test]
+fn help_with_valid_looking_but_wrong_threshold_is_rejected() {
+    // Help answers carry finalize proofs; an undecided process must not
+    // adopt one whose certificate threshold is below the quorum even if
+    // the signatures are genuine.
+    let n = 7usize;
+    let cfg = SystemConfig::new(n, 0xf0).unwrap();
+    let (pki, keys) = trusted_setup(n, 0xf0);
+    let forged_value = 666u64;
+    let payload = DecideSig { session: cfg.session(), value: &forged_value, phase: 1 };
+    let shares: Vec<_> = keys.iter().take(4).map(|k| sign_payload(k, &payload)).collect();
+    let qc = pki
+        .combine(4, &meba_crypto::Signable::signing_bytes(&payload), &shares)
+        .unwrap();
+    let msg = WeakBaMsg::Help { value: forged_value, proof: DecideProof { phase: 1, qc } };
+    // Injected one round before the help-adoption step (n phases × 5 + 1).
+    let help_adopt = 7 * 5 + 1;
+    let ds = run_with_injection(vec![msg], help_adopt);
+    assert!(ds.iter().all(|d| *d == HONEST_OUTCOME), "weak help proof accepted: {ds:?}");
+}
+
+mod strong_ba_forgeries {
+    use super::common::{round_budget, SbaM, SbaProc};
+    use meba::core::signing::{sign_payload, StrongDecideSig, StrongInputSig};
+    use meba::core::strong_ba::StrongBaMsg;
+    use meba::prelude::*;
+    use meba_crypto::Signable;
+    use meba_sim::RoundCtx;
+
+    struct Injector {
+        me: ProcessId,
+        round: u64,
+        payload: Vec<SbaM>,
+    }
+    impl Actor for Injector {
+        type Msg = SbaM;
+        fn id(&self) -> ProcessId {
+            self.me
+        }
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_, SbaM>) {
+            if ctx.round().as_u64() == self.round {
+                for m in self.payload.drain(..) {
+                    ctx.broadcast(m);
+                }
+            }
+        }
+        fn done(&self) -> bool {
+            true
+        }
+    }
+
+    /// Runs strong BA (all correct input `true`) with p3 replaced by an
+    /// injector firing `payload` at `round`.
+    fn run(payload: Vec<SbaM>, round: u64) -> Vec<bool> {
+        let n = 7usize;
+        let cfg = SystemConfig::new(n, 0x5f).unwrap();
+        let (pki, keys) = trusted_setup(n, 0x5f);
+        let byz = ProcessId(3);
+        let mut actors: Vec<Box<dyn AnyActor<Msg = SbaM>>> = Vec::new();
+        for (i, key) in keys.iter().cloned().enumerate() {
+            let id = ProcessId(i as u32);
+            if id == byz {
+                actors.push(Box::new(Injector { me: id, round, payload: payload.clone() }));
+            } else {
+                let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+                let sba: SbaProc = StrongBa::new(cfg, id, key, pki.clone(), factory, true);
+                actors.push(Box::new(LockstepAdapter::new(id, sba)));
+            }
+        }
+        let mut sim = SimBuilder::new(actors).corrupt(byz).build();
+        sim.run_until_done(round_budget(n)).unwrap();
+        (0..n as u32)
+            .filter(|&i| ProcessId(i) != byz)
+            .map(|i| {
+                let a: &LockstepAdapter<SbaProc> =
+                    sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+                a.inner().output().expect("decided")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn decide_cert_from_non_leader_is_ignored() {
+        // A perfectly valid-looking decide certificate... except it comes
+        // from p3, not the leader, and its threshold is forged low.
+        let cfg = SystemConfig::new(7, 0x5f).unwrap();
+        let (pki, keys) = trusted_setup(7, 0x5f);
+        let payload = StrongDecideSig { session: cfg.session(), value: false };
+        let share = sign_payload(&keys[3], &payload);
+        let qc = pki.combine(1, &payload.signing_bytes(), &[share]).unwrap();
+        let ds = run(vec![StrongBaMsg::DecideCert { value: false, qc }], 3);
+        // With a fault present (the injector never sends its decide
+        // share) the run falls back; strong unanimity still gives true.
+        assert!(ds.iter().all(|&d| d), "forged decide cert accepted: {ds:?}");
+    }
+
+    #[test]
+    fn propose_with_wrong_threshold_is_ignored() {
+        // A propose "certificate" with a single signature instead of t+1:
+        // correct processes must not decide-share for it.
+        let cfg = SystemConfig::new(7, 0x5f).unwrap();
+        let (pki, keys) = trusted_setup(7, 0x5f);
+        let payload = StrongInputSig { session: cfg.session(), value: false };
+        let share = sign_payload(&keys[3], &payload);
+        let qc = pki.combine(1, &payload.signing_bytes(), &[share]).unwrap();
+        let ds = run(vec![StrongBaMsg::Propose { value: false, qc }], 1);
+        assert!(ds.iter().all(|&d| d), "weak propose cert accepted: {ds:?}");
+    }
+}

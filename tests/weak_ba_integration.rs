@@ -1,0 +1,153 @@
+//! Integration tests: adaptive weak BA (Algorithms 3–4) with the real
+//! recursive fallback, under crash, wasteful-leader, and chaos
+//! adversaries.
+
+mod common;
+
+use common::*;
+use meba::adversary::WastefulWeakLeader;
+use meba::prelude::*;
+
+#[test]
+fn unanimity_failure_free() {
+    for n in [3usize, 5, 7, 9, 11] {
+        let faults = vec![Fault::None; n];
+        let mut sim = weak_ba_sim(&vec![4u64; n], &faults);
+        sim.run_until_done(round_budget(n)).unwrap();
+        let d = assert_agreement(&weak_ba_decisions(&sim, &faults));
+        assert_eq!(d, Decision::Value(4), "unique validity with unanimous inputs, n={n}");
+    }
+}
+
+#[test]
+fn agreement_mixed_inputs() {
+    let inputs = [9u64, 8, 7, 6, 5, 4, 3, 2, 1];
+    let faults = vec![Fault::None; 9];
+    let mut sim = weak_ba_sim(&inputs, &faults);
+    sim.run_until_done(round_budget(9)).unwrap();
+    let d = assert_agreement(&weak_ba_decisions(&sim, &faults));
+    // With AlwaysValid any of the inputs (or ⊥) is a legal outcome, but
+    // with no faults the first leader's proposal must win.
+    assert_eq!(d, Decision::Value(inputs[1]));
+}
+
+#[test]
+fn lemma6_no_fallback_below_bound() {
+    // n = 13, t = 6: bound = 3. Try f = 0, 1, 2 crashes: never fall back.
+    for f in 0..3usize {
+        let mut faults = vec![Fault::None; 13];
+        for i in 0..f {
+            faults[2 * i + 1] = Fault::Idle;
+        }
+        let mut sim = weak_ba_sim(&[5u64; 13], &faults);
+        sim.run_until_done(round_budget(13)).unwrap();
+        assert_agreement(&weak_ba_decisions(&sim, &faults));
+        for i in (0..13).filter(|&i| !faults[i].is_byzantine()) {
+            let a: &LockstepAdapter<WbaProc> =
+                sim.actor(ProcessId(i as u32)).as_any().downcast_ref().unwrap();
+            assert!(!a.inner().used_fallback(), "Lemma 6 violated at f={f}, p{i}");
+        }
+    }
+}
+
+#[test]
+fn max_crashes_use_fallback_and_agree() {
+    // n = 9, t = 4 crashes: quorum unreachable, everyone must fall back.
+    let mut faults = vec![Fault::None; 9];
+    for i in [1usize, 3, 5, 7] {
+        faults[i] = Fault::Idle;
+    }
+    let mut sim = weak_ba_sim(&[2u64; 9], &faults);
+    sim.run_until_done(round_budget(9)).unwrap();
+    let d = assert_agreement(&weak_ba_decisions(&sim, &faults));
+    assert_eq!(d, Decision::Value(2), "unanimous inputs must survive the fallback");
+    for i in [0usize, 2, 4, 6, 8] {
+        let a: &LockstepAdapter<WbaProc> =
+            sim.actor(ProcessId(i as u32)).as_any().downcast_ref().unwrap();
+        assert!(a.inner().used_fallback(), "p{i} should have fallen back");
+    }
+}
+
+#[test]
+fn late_crash_mid_phases_agrees() {
+    // Crash processes in the middle of the phase schedule.
+    let mut faults = vec![Fault::None; 9];
+    faults[1] = Fault::CrashAt(7);
+    faults[2] = Fault::CrashAt(12);
+    let mut sim = weak_ba_sim(&[6u64; 9], &faults);
+    sim.run_until_done(round_budget(9)).unwrap();
+    let d = assert_agreement(&weak_ba_decisions(&sim, &faults));
+    assert_eq!(d, Decision::Value(6));
+}
+
+#[test]
+fn wasteful_leaders_realize_linear_growth_and_agreement_holds() {
+    // Byzantine leaders p1..p3 each initiate a phase and withhold the
+    // certificate; the first correct leader then decides everyone.
+    let n = 9usize;
+    let cfg = SystemConfig::new(n, 0x3a).unwrap();
+    let (pki, keys) = trusted_setup(n, 0xfeed);
+    let mut actors: Vec<Box<dyn AnyActor<Msg = WbaM>>> = Vec::new();
+    let byz = [1u32, 2, 3];
+    for (i, key) in keys.into_iter().enumerate() {
+        let id = ProcessId(i as u32);
+        if byz.contains(&(i as u32)) {
+            actors.push(Box::new(WastefulWeakLeader::new(cfg, id, i as u32, 777u64)));
+        } else {
+            let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+            let wba: WbaProc =
+                WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory, 5u64);
+            actors.push(Box::new(LockstepAdapter::new(id, wba)));
+        }
+    }
+    let mut b = SimBuilder::new(actors);
+    for &c in &byz {
+        b = b.corrupt(ProcessId(c));
+    }
+    let mut sim = b.build();
+    sim.run_until_done(round_budget(n)).unwrap();
+    let faults: Vec<Fault> = (0..n)
+        .map(|i| if byz.contains(&(i as u32)) { Fault::Idle } else { Fault::None })
+        .collect();
+    let d = assert_agreement(&weak_ba_decisions(&sim, &faults));
+    // Wasted proposals are valid under AlwaysValid, so the decision may be
+    // the attacker's value or the first correct leader's — agreement is
+    // what matters; validity is trivial under AlwaysValid.
+    assert!(matches!(d, Decision::Value(_)));
+}
+
+#[test]
+fn chaos_replays_do_not_break_agreement() {
+    for seed in [11u64, 22, 33] {
+        let mut faults = vec![Fault::None; 7];
+        faults[2] = Fault::Chaos(seed);
+        faults[6] = Fault::Chaos(seed ^ 0xabcd);
+        let mut sim = weak_ba_sim(&[3, 3, 0, 3, 3, 3, 0], &faults);
+        sim.run_until_done(round_budget(7)).unwrap();
+        assert_agreement(&weak_ba_decisions(&sim, &faults));
+    }
+}
+
+#[test]
+fn complexity_envelope_failure_free() {
+    for n in [5usize, 9, 17, 33] {
+        let faults = vec![Fault::None; n];
+        let mut sim = weak_ba_sim(&vec![1u64; n], &faults);
+        sim.run_until_done(round_budget(n)).unwrap();
+        let words = sim.metrics().correct_words();
+        assert!(words <= 16 * n as u64, "n={n}: {words} words");
+    }
+}
+
+#[test]
+fn commit_level_machinery_engages() {
+    // With unanimous inputs and no faults, commits happen in phase 1.
+    let faults = vec![Fault::None; 5];
+    let mut sim = weak_ba_sim(&[8, 8, 8, 8, 8], &faults);
+    sim.run_until_done(round_budget(5)).unwrap();
+    for i in 0..5 {
+        let a: &LockstepAdapter<WbaProc> =
+            sim.actor(ProcessId(i as u32)).as_any().downcast_ref().unwrap();
+        assert_eq!(a.inner().commit_level(), 1, "p{i} committed in phase 1");
+    }
+}
