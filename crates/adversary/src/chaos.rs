@@ -28,7 +28,12 @@ impl<M: Message> ChaosActor<M> {
     /// Creates a chaos actor with a deterministic seed; `intensity` is the
     /// number of replay attempts per round.
     pub fn new(id: ProcessId, seed: u64, intensity: u32) -> Self {
-        ChaosActor { id, rng: StdRng::seed_from_u64(seed ^ u64::from(id.0)), pool: Vec::new(), intensity }
+        ChaosActor {
+            id,
+            rng: StdRng::seed_from_u64(seed ^ u64::from(id.0)),
+            pool: Vec::new(),
+            intensity,
+        }
     }
 }
 
@@ -116,10 +121,7 @@ mod tests {
             let inbox = vec![Envelope { from: ProcessId(0), msg: M(1) }];
             let mut ctx = RoundCtx::new(meba_sim::Round(0), ProcessId(1), 4, &inbox);
             a.on_round(&mut ctx);
-            ctx.take_outbox()
-                .into_iter()
-                .map(|(d, _)| format!("{d:?}"))
-                .collect::<Vec<_>>()
+            ctx.take_outbox().into_iter().map(|(d, _)| format!("{d:?}")).collect::<Vec<_>>()
         };
         assert_eq!(run(9), run(9));
     }

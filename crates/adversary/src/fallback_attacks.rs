@@ -39,17 +39,11 @@ impl<V: Value> DsEquivocatingSender<V> {
 
     fn chain(&self, value: &V) -> DsBbMsg<V> {
         let inst = InstanceId::new(Scope::full(self.cfg.n()), 0);
-        let payload = DsValSig {
-            session: self.cfg.session(),
-            inst,
-            ds_sender: self.key.id(),
-            value,
-        };
+        let payload =
+            DsValSig { session: self.cfg.session(), inst, ds_sender: self.key.id(), value };
         let sig = self.key.sign(&payload.signing_bytes());
-        let agg = self
-            .pki
-            .aggregate(&payload.signing_bytes(), &[sig])
-            .expect("own signature aggregates");
+        let agg =
+            self.pki.aggregate(&payload.signing_bytes(), &[sig]).expect("own signature aggregates");
         DsBbMsg { value: value.clone(), agg }
     }
 }
@@ -143,11 +137,8 @@ impl<V: Value> Actor for GaSplitEchoer<V, RecBaMsg<V>> {
         for e in ctx.inbox() {
             if let RecBaMsg::GaInput { inst, value, sig } = &e.msg {
                 if *inst == self.inst {
-                    let payload = GaInputSig {
-                        session: self.cfg.session(),
-                        inst: self.inst,
-                        value,
-                    };
+                    let payload =
+                        GaInputSig { session: self.cfg.session(), inst: self.inst, value };
                     if self.pki.verify(&payload.signing_bytes(), sig).is_ok() {
                         self.input_sigs
                             .entry(value.clone())
@@ -165,10 +156,7 @@ impl<V: Value> Actor for GaSplitEchoer<V, RecBaMsg<V>> {
                     GaInputSig { session: self.cfg.session(), inst: self.inst, value: &value };
                 for key in &self.cohort {
                     let sig = key.sign(&payload.signing_bytes());
-                    self.input_sigs
-                        .entry(value.clone())
-                        .or_default()
-                        .insert(key.id(), sig);
+                    self.input_sigs.entry(value.clone()).or_default().insert(key.id(), sig);
                 }
             }
         } else if r == 1 {
@@ -183,9 +171,7 @@ impl<V: Value> Actor for GaSplitEchoer<V, RecBaMsg<V>> {
                 if let Some(sigs) = self.input_sigs.get(&value) {
                     if sigs.len() >= thr {
                         let shares: Vec<Signature> = sigs.values().cloned().collect();
-                        if let Ok(c1) =
-                            self.pki.combine(thr, &payload.signing_bytes(), &shares)
-                        {
+                        if let Ok(c1) = self.pki.combine(thr, &payload.signing_bytes(), &shares) {
                             for &p in &group {
                                 ctx.send(
                                     p,

@@ -9,6 +9,8 @@
 //!
 //! * [`wrappers`] — crash faults and outbox tampering over any correct
 //!   actor;
+//! * [`link_faults`] — a correct actor behind lossy/laggy outbound links
+//!   (shared [`meba_sim::faults::LinkPolicy`] schedules);
 //! * [`chaos`] — a seeded replay fuzzer for property tests;
 //! * [`weak_ba_attacks`] — vote-splitting (E8) and late-help (E9) leaders;
 //! * [`bb_attacks`] — the equivocating designated sender;
@@ -22,6 +24,7 @@
 pub mod bb_attacks;
 pub mod chaos;
 pub mod fallback_attacks;
+pub mod link_faults;
 pub mod strong_ba_attacks;
 pub mod wasteful;
 pub mod weak_ba_attacks;
@@ -30,6 +33,7 @@ pub mod wrappers;
 pub use bb_attacks::EquivocatingSender;
 pub use chaos::ChaosActor;
 pub use fallback_attacks::{DsEquivocatingSender, GaSplitEchoer};
+pub use link_faults::LossyLinkActor;
 pub use strong_ba_attacks::EquivocatingStrongLeader;
 pub use wasteful::{WastefulBbLeader, WastefulWeakLeader};
 pub use weak_ba_attacks::{LateHelperLeader, SplitVoteLeader};

@@ -14,7 +14,9 @@
 //!   fallback participant; with the window disabled the fallback can
 //!   contradict it.
 
-use meba_core::signing::{sign_payload, verify_payload, CommitProof, DecideProof, DecideSig, VoteSig};
+use meba_core::signing::{
+    sign_payload, verify_payload, CommitProof, DecideProof, DecideSig, VoteSig,
+};
 use meba_core::weak_ba::{WeakBaMsg, PHASE_ROUNDS};
 use meba_core::{SystemConfig, Value};
 use meba_crypto::{Pki, ProcessId, SecretKey, Signable, Signature};
@@ -172,8 +174,7 @@ impl<V: Value, FM: Message> Actor for SplitVoteLeader<V, FM> {
                 (self.value_a.clone(), &mut self.votes_a, self.group_a.clone()),
                 (self.value_b.clone(), &mut self.votes_b, self.group_b.clone()),
             ] {
-                let payload =
-                    VoteSig { session: cfg.session(), value: &value, level: self.phase };
+                let payload = VoteSig { session: cfg.session(), value: &value, level: self.phase };
                 if let Some(qc) = top_up_and_combine(&cfg, &pki, &self.cohort, &payload, votes) {
                     let cert = WeakBaMsg::CommitCert {
                         phase: self.phase,
@@ -280,8 +281,7 @@ impl<V: Value, FM: Message> Actor for LateHelperLeader<V, FM> {
         if r == base {
             ctx.broadcast(WeakBaMsg::Propose { phase: self.phase, value: self.value.clone() });
         } else if r == base + 2 {
-            let payload =
-                VoteSig { session: cfg.session(), value: &self.value, level: self.phase };
+            let payload = VoteSig { session: cfg.session(), value: &self.value, level: self.phase };
             if let Some(qc) =
                 top_up_and_combine(&cfg, &pki, &self.cohort, &payload, &mut self.votes)
             {

@@ -156,8 +156,7 @@ mod tests {
 
     #[test]
     fn transform_can_drop_everything() {
-        let mut a =
-            TransformActor::new(Talker { id: ProcessId(0), rounds: 0 }, |_, _| Vec::new());
+        let mut a = TransformActor::new(Talker { id: ProcessId(0), rounds: 0 }, |_, _| Vec::new());
         let inbox = vec![];
         let mut ctx = RoundCtx::new(Round(0), ProcessId(0), 3, &inbox);
         a.on_round(&mut ctx);

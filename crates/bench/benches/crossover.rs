@@ -16,8 +16,7 @@ fn main() {
     let mut tab = Table::new(&["f", "adversary", "words", "f/bound", "fallback?", "regime"]);
     let mut first_fallback_f: Option<usize> = None;
     for f in 0..=t {
-        let adv =
-            if f == 0 { WbaAdversary::FailureFree } else { WbaAdversary::WastefulLeaders(f) };
+        let adv = if f == 0 { WbaAdversary::FailureFree } else { WbaAdversary::WastefulLeaders(f) };
         let s = run_weak_ba(n, adv);
         assert!(s.agreement, "agreement at f={f}");
         if s.fallback_used && first_fallback_f.is_none() {

@@ -17,8 +17,7 @@ fn main() {
         Table::new(&["f", "first decision", "last decision", "total rounds", "fallback?"]);
     let mut prev_first = 0;
     for f in 0..=(bound + 2) {
-        let adv =
-            if f == 0 { WbaAdversary::FailureFree } else { WbaAdversary::WastefulLeaders(f) };
+        let adv = if f == 0 { WbaAdversary::FailureFree } else { WbaAdversary::WastefulLeaders(f) };
         let s = run_weak_ba(n, adv);
         assert!(s.agreement);
         tab.row(&[
@@ -29,10 +28,7 @@ fn main() {
             s.fallback_used.to_string(),
         ]);
         if f > 0 && f <= bound && prev_first > 0 {
-            assert!(
-                s.decided_first >= prev_first,
-                "each wasted phase delays the first decision"
-            );
+            assert!(s.decided_first >= prev_first, "each wasted phase delays the first decision");
         }
         prev_first = s.decided_first;
     }

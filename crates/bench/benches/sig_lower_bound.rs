@@ -13,14 +13,7 @@ use meba_bench::table::{flt, num, Table};
 
 fn main() {
     println!("=== E4: failure-free weak BA — words vs constituent signatures ===\n");
-    let mut t = Table::new(&[
-        "n",
-        "t",
-        "words",
-        "constituent sigs",
-        "sigs/(n*t)",
-        "sigs per word",
-    ]);
+    let mut t = Table::new(&["n", "t", "words", "constituent sigs", "sigs/(n*t)", "sigs per word"]);
     let mut words_pts = Vec::new();
     let mut sig_pts = Vec::new();
     for n in [9usize, 17, 33, 65, 97] {

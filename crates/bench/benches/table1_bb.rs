@@ -17,7 +17,8 @@ fn main() {
         let t = (n - 1) / 2;
         (n - t - 1) / 2
     };
-    let mut t1 = Table::new(&["f", "adaptive BB words", "Δ vs f-1", "fallback?", "Dolev-Strong words"]);
+    let mut t1 =
+        Table::new(&["f", "adaptive BB words", "Δ vs f-1", "fallback?", "Dolev-Strong words"]);
     let mut staircase = Vec::new();
     let mut prev = None;
     for f in 0..=bound.min(6) {
@@ -28,13 +29,7 @@ fn main() {
         staircase.push((f as f64, s.words as f64));
         let delta = prev.map_or("-".to_string(), |p: u64| num(s.words - p));
         prev = Some(s.words);
-        t1.row(&[
-            num(f as u64),
-            num(s.words),
-            delta,
-            s.fallback_used.to_string(),
-            num(ds.words),
-        ]);
+        t1.row(&[num(f as u64), num(s.words), delta, s.fallback_used.to_string(), num(ds.words)]);
     }
     t1.print();
     let (a, b) = fit_affine(&staircase);
@@ -48,7 +43,8 @@ fn main() {
     assert!(a < 30.0 * n as f64, "the f=0 intercept must be O(n)");
 
     println!("\n=== E1: words vs n at f = 0 (failure-free common case) ===\n");
-    let mut t2 = Table::new(&["n", "adaptive BB", "words/n", "Dolev-Strong", "DS words/n^2", "speedup"]);
+    let mut t2 =
+        Table::new(&["n", "adaptive BB", "words/n", "Dolev-Strong", "DS words/n^2", "speedup"]);
     let mut lin = Vec::new();
     let mut ds_quad = Vec::new();
     for n in [9usize, 17, 33, 65] {

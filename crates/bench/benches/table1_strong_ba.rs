@@ -17,12 +17,7 @@ fn main() {
         let s = run_strong_ba(n, 0, false);
         assert!(s.agreement && !s.fallback_used, "Lemma 8 at n={n}");
         lin.push((n as f64, s.words as f64));
-        t1.row(&[
-            num(n as u64),
-            num(s.words),
-            flt(s.words as f64 / n as f64),
-            num(s.decided_last),
-        ]);
+        t1.row(&[num(n as u64), num(s.words), flt(s.words as f64 / n as f64), num(s.decided_last)]);
     }
     t1.print();
     let o = growth_order(&lin);
@@ -55,12 +50,7 @@ fn main() {
     for n in [9usize, 17, 33, 65] {
         let s = run_recursive_ba(n, 0);
         fb.push((n as f64, s.words as f64));
-        t3.row(&[
-            num(n as u64),
-            num(s.words),
-            flt(s.words as f64 / (n * n) as f64),
-            num(s.rounds),
-        ]);
+        t3.row(&[num(n as u64), num(s.words), flt(s.words as f64 / (n * n) as f64), num(s.rounds)]);
     }
     t3.print();
     let o = growth_order(&fb);

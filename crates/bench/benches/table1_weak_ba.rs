@@ -21,8 +21,7 @@ fn main() {
         if f > bound + 2 {
             break;
         }
-        let adv =
-            if f == 0 { WbaAdversary::FailureFree } else { WbaAdversary::WastefulLeaders(f) };
+        let adv = if f == 0 { WbaAdversary::FailureFree } else { WbaAdversary::WastefulLeaders(f) };
         let s = run_weak_ba(n, adv);
         assert!(s.agreement, "agreement at f={f}");
         if !s.fallback_used {

@@ -38,12 +38,7 @@ fn main() {
         let s = run_bb(n, BbAdversary::FailureFree);
         let ds = run_dolev_strong(n, 0);
         bb_pts.push((n as f64, s.words as f64));
-        println!(
-            "| {n} | {} | {} | {:.2}x |",
-            s.words,
-            ds.words,
-            ds.words as f64 / s.words as f64
-        );
+        println!("| {n} | {} | {} | {:.2}x |", s.words, ds.words, ds.words as f64 / s.words as f64);
     }
     println!("\nBB failure-free growth order: n^{:.2}", growth_order(&bb_pts));
 

@@ -62,8 +62,7 @@ mod tests {
 
     #[test]
     fn growth_order_detects_linear() {
-        let pts: Vec<(f64, f64)> =
-            [4.0, 8.0, 16.0].iter().map(|&x| (x, 5.0 * x + 1.0)).collect();
+        let pts: Vec<(f64, f64)> = [4.0, 8.0, 16.0].iter().map(|&x| (x, 5.0 * x + 1.0)).collect();
         let o = growth_order(&pts);
         assert!(o > 0.9 && o < 1.1, "order {o}");
     }

@@ -153,8 +153,7 @@ pub fn run_bb(n: usize, adversary: BbAdversary) -> RunStats {
     let mut decisions: Vec<Decision<u64>> = Vec::new();
     let (mut first, mut last) = (u64::MAX, 0u64);
     for i in (0..n as u32).filter(|i| !byz.contains(i)) {
-        let a: &LockstepAdapter<BbProc> =
-            sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+        let a: &LockstepAdapter<BbProc> = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
         decisions.push(a.inner().output().expect("decided"));
         let d = a.inner().decided_at().expect("decided step");
         first = first.min(d);
@@ -228,8 +227,7 @@ pub fn run_weak_ba(n: usize, adversary: WbaAdversary) -> RunStats {
     let mut decisions = Vec::new();
     let (mut first, mut last) = (u64::MAX, 0u64);
     for i in (0..n as u32).filter(|i| !byz.contains(i)) {
-        let a: &LockstepAdapter<WbaProc> =
-            sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+        let a: &LockstepAdapter<WbaProc> = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
         decisions.push(a.inner().output().expect("decided"));
         let d = a.inner().decided_at().expect("decided step");
         first = first.min(d);
@@ -249,11 +247,8 @@ pub fn run_strong_ba(n: usize, f: usize, crash_leader: bool) -> RunStats {
     let cfg = SystemConfig::new(n, 0).unwrap();
     let (pki, keys) = trusted_setup(n, 0x5ba);
     assert!(f <= cfg.t());
-    let byz: Vec<u32> = if crash_leader {
-        (0..f as u32).collect()
-    } else {
-        (1..=f as u32).collect()
-    };
+    let byz: Vec<u32> =
+        if crash_leader { (0..f as u32).collect() } else { (1..=f as u32).collect() };
     let mut actors: Vec<Box<dyn AnyActor<Msg = SbaM>>> = Vec::new();
     for (i, key) in keys.iter().cloned().enumerate() {
         let id = ProcessId(i as u32);
@@ -276,8 +271,7 @@ pub fn run_strong_ba(n: usize, f: usize, crash_leader: bool) -> RunStats {
     let mut decisions = Vec::new();
     let (mut first, mut last) = (u64::MAX, 0u64);
     for i in (0..n as u32).filter(|i| !byz.contains(i)) {
-        let a: &LockstepAdapter<SbaProc> =
-            sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+        let a: &LockstepAdapter<SbaProc> = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
         decisions.push(a.inner().output().expect("decided"));
         let d = a.inner().decided_at().expect("decided step");
         first = first.min(d);
@@ -321,8 +315,7 @@ pub fn run_rotating_strong(n: usize, f: usize) -> RunStats {
     let mut decisions = Vec::new();
     let (mut first, mut last) = (u64::MAX, 0u64);
     for i in (0..n as u32).filter(|i| !byz.contains(i)) {
-        let a: &LockstepAdapter<RbaProc> =
-            sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+        let a: &LockstepAdapter<RbaProc> = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
         decisions.push(a.inner().output().expect("decided"));
         let d = a.inner().decided_at().expect("decided step");
         first = first.min(d);

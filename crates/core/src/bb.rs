@@ -33,8 +33,8 @@ use crate::subprotocol::{FallbackFactory, SubProtocol};
 use crate::validity::Validity;
 use crate::value::Value;
 use crate::weak_ba::{FallbackMsgOf, WeakBa, WeakBaMsg};
-use meba_crypto::{Encoder, Pki, ProcessId, SecretKey, Signable, Signature, ThresholdSignature};
 use meba_crypto::WordCost;
+use meba_crypto::{Encoder, Pki, ProcessId, SecretKey, Signable, Signature, ThresholdSignature};
 use meba_sim::{Dest, Message};
 use std::collections::BTreeMap;
 
@@ -361,15 +361,13 @@ where
             }
             // Round 2: answer the leader (lines 17–21).
             1 => {
-                let asked = inbox
-                    .iter()
-                    .any(|(from, m)| *from == leader && matches!(m, BbMsg::VetHelpReq { phase: p } if *p == phase));
+                let asked = inbox.iter().any(|(from, m)| {
+                    *from == leader && matches!(m, BbMsg::VetHelpReq { phase: p } if *p == phase)
+                });
                 if asked {
                     match &self.vi {
-                        Some(v) => out.push((
-                            Dest::To(leader),
-                            BbMsg::VetValue { phase, value: v.clone() },
-                        )),
+                        Some(v) => out
+                            .push((Dest::To(leader), BbMsg::VetValue { phase, value: v.clone() })),
                         None => {
                             let sig = sign_payload(
                                 &self.key,
@@ -408,10 +406,13 @@ where
                                 _ => {}
                             }
                         }
-                        BbMsg::VetIdk { phase: p, sig } if *p == phase
-                            && sig.signer() == *from && verify_payload(&self.pki, &payload, sig) => {
-                                idk_sigs.insert(*from, sig.clone());
-                            }
+                        BbMsg::VetIdk { phase: p, sig }
+                            if *p == phase
+                                && sig.signer() == *from
+                                && verify_payload(&self.pki, &payload, sig) =>
+                        {
+                            idk_sigs.insert(*from, sig.clone());
+                        }
                         _ => {}
                     }
                 }
@@ -474,10 +475,10 @@ where
                     if *phase >= 1
                         && *phase as usize <= self.cfg.n()
                         && *from == self.cfg.leader_of_phase(*phase)
-                        && validity.validate(value)
-                    => {
-                        self.vi = Some(value.clone());
-                    }
+                        && validity.validate(value) =>
+                {
+                    self.vi = Some(value.clone());
+                }
                 _ => {}
             }
         }
@@ -485,10 +486,8 @@ where
         // --- Scheduled actions.
         if step == 0 {
             if let Some(v) = &self.sender_input {
-                let sig = sign_payload(
-                    &self.key,
-                    &BbValueSig { session: self.cfg.session(), value: v },
-                );
+                let sig =
+                    sign_payload(&self.key, &BbValueSig { session: self.cfg.session(), value: v });
                 out.push((Dest::All, BbMsg::SenderValue { value: v.clone(), sig }));
             }
         } else if let Some((phase, sub)) = self.vet_phase_of_step(step) {
@@ -654,8 +653,7 @@ mod tests {
         let ds = decisions(&sim, &crashed);
         assert!(ds.iter().all(|d| *d == Decision::Value(5)));
         for i in (0..9u32).filter(|i| !crashed.contains(i)) {
-            let a: &LockstepAdapter<BbP> =
-                sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+            let a: &LockstepAdapter<BbP> = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
             assert!(!a.inner().used_fallback());
         }
     }
@@ -665,8 +663,7 @@ mod tests {
         let mut sim = make_sim(7, 2, 1, &[]);
         sim.run_until_done(400).unwrap();
         for i in 0..7u32 {
-            let a: &LockstepAdapter<BbP> =
-                sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+            let a: &LockstepAdapter<BbP> = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
             assert!(!a.inner().led_nonsilent_phase(), "p{i} should have been silent");
         }
     }
@@ -726,10 +723,7 @@ mod tests {
             let mut sim = make_sim(n, 0, 1, &[]);
             sim.run_until_done(800).unwrap();
             let words = sim.metrics().correct_words();
-            assert!(
-                words <= 22 * n as u64,
-                "n={n}: failure-free BB used {words} words"
-            );
+            assert!(words <= 22 * n as u64, "n={n}: failure-free BB used {words} words");
         }
     }
 }

@@ -300,8 +300,7 @@ mod tests {
         let mut sim = make_sim(7, 0, true, &[0]);
         sim.run_until_done(300).unwrap();
         for i in 1..7u32 {
-            let a: &LockstepAdapter<P> =
-                sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+            let a: &LockstepAdapter<P> = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
             assert_eq!(a.inner().output(), Some(false), "default bit agreed");
         }
     }
@@ -321,8 +320,7 @@ mod tests {
         let mut sim = make_sim(7, 0, true, &[4]);
         sim.run_until_done(400).unwrap();
         for i in (0..7u32).filter(|&i| i != 4) {
-            let a: &LockstepAdapter<P> =
-                sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+            let a: &LockstepAdapter<P> = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
             assert_eq!(a.inner().output(), Some(true), "validity survives the fallback");
         }
     }

@@ -119,8 +119,7 @@ impl SystemConfig {
     /// The safety quorum `⌈(n + t + 1)/2⌉` (§6): two quorums of this size
     /// intersect in at least one correct process.
     pub fn quorum(&self) -> usize {
-        self.quorum_override
-            .unwrap_or_else(|| meba_crypto::quorum_threshold(self.n, self.t))
+        self.quorum_override.unwrap_or_else(|| meba_crypto::quorum_threshold(self.n, self.t))
     }
 
     /// The `t + 1` threshold (idk certificates, fallback certificates,

@@ -23,9 +23,9 @@
 pub mod bb;
 pub mod bb_via_strong;
 pub mod config;
-mod message_costs;
 pub mod decision;
 pub mod fallback;
+mod message_costs;
 pub mod signing;
 pub mod strong_ba;
 pub mod strong_ba_rotating;

@@ -63,11 +63,7 @@ fn weak_ba_message_costs() {
         ),
         (WeakBaMsg::HelpReq { sig: vote_sig.clone() }, 1, 1),
         (WeakBaMsg::Help { value: v, proof: decide.clone() }, 2, cfg.quorum() as u64),
-        (
-            WeakBaMsg::FallbackCert { qc: qc.clone(), decision: None },
-            1,
-            cfg.quorum() as u64,
-        ),
+        (WeakBaMsg::FallbackCert { qc: qc.clone(), decision: None }, 1, cfg.quorum() as u64),
         (
             WeakBaMsg::FallbackCert { qc: qc.clone(), decision: Some((v, decide.clone())) },
             3,
@@ -89,8 +85,7 @@ fn bb_message_costs() {
     let idk_payload = BbIdkSig { session: 1, phase: 2 };
     let shares: Vec<_> =
         keys.iter().take(cfg.idk_threshold()).map(|k| sign_payload(k, &idk_payload)).collect();
-    let idk_qc =
-        pki.combine(cfg.idk_threshold(), &idk_payload.signing_bytes(), &shares).unwrap();
+    let idk_qc = pki.combine(cfg.idk_threshold(), &idk_payload.signing_bytes(), &shares).unwrap();
     let signed = BbBaValue::Signed { value: 9u64, sig: sender_sig.clone() };
     let quorum_v = BbBaValue::<u64>::IdkQuorum { phase: 2, qc: idk_qc };
 
@@ -98,11 +93,7 @@ fn bb_message_costs() {
         (BbMsg::SenderValue { value: 9, sig: sender_sig }, 2, 1),
         (BbMsg::VetHelpReq { phase: 2 }, 1, 0),
         (BbMsg::VetValue { phase: 2, value: signed.clone() }, 2, 1),
-        (
-            BbMsg::VetValue { phase: 2, value: quorum_v.clone() },
-            1,
-            cfg.idk_threshold() as u64,
-        ),
+        (BbMsg::VetValue { phase: 2, value: quorum_v.clone() }, 1, cfg.idk_threshold() as u64),
         (BbMsg::Vetted { phase: 2, value: signed }, 2, 1),
         (BbMsg::Vetted { phase: 2, value: quorum_v }, 1, cfg.idk_threshold() as u64),
     ];
@@ -117,11 +108,8 @@ fn strong_ba_message_costs() {
     let (cfg, pki, keys) = fixtures();
     let input_payload = StrongInputSig { session: 1, value: true };
     let sig = sign_payload(&keys[0], &input_payload);
-    let shares: Vec<_> = keys
-        .iter()
-        .take(cfg.idk_threshold())
-        .map(|k| sign_payload(k, &input_payload))
-        .collect();
+    let shares: Vec<_> =
+        keys.iter().take(cfg.idk_threshold()).map(|k| sign_payload(k, &input_payload)).collect();
     let propose_qc =
         pki.combine(cfg.idk_threshold(), &input_payload.signing_bytes(), &shares).unwrap();
     let decide_payload = StrongDecideSig { session: 1, value: true };
@@ -130,23 +118,11 @@ fn strong_ba_message_costs() {
 
     let cases: Vec<(SbaM, u64, u64)> = vec![
         (StrongBaMsg::Input { value: true, sig: sig.clone() }, 2, 1),
-        (
-            StrongBaMsg::Propose { value: true, qc: propose_qc },
-            2,
-            cfg.idk_threshold() as u64,
-        ),
+        (StrongBaMsg::Propose { value: true, qc: propose_qc }, 2, cfg.idk_threshold() as u64),
         (StrongBaMsg::DecideShare { value: true, sig }, 2, 1),
-        (
-            StrongBaMsg::DecideCert { value: true, qc: decide_qc.clone() },
-            2,
-            cfg.n() as u64,
-        ),
+        (StrongBaMsg::DecideCert { value: true, qc: decide_qc.clone() }, 2, cfg.n() as u64),
         (StrongBaMsg::Fallback { decision: None }, 1, 0),
-        (
-            StrongBaMsg::Fallback { decision: Some((true, decide_qc)) },
-            2,
-            cfg.n() as u64,
-        ),
+        (StrongBaMsg::Fallback { decision: Some((true, decide_qc)) }, 2, cfg.n() as u64),
     ];
     for (msg, words, sigs) in cases {
         assert_eq!(msg.words(), words, "words of {msg:?}");

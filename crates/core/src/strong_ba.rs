@@ -22,8 +22,7 @@ use meba_sim::{Dest, Message};
 use std::collections::BTreeMap;
 
 /// Message type of the fallback used by [`StrongBa`] instances.
-pub type StrongFallbackMsgOf<F> =
-    <<F as FallbackFactory<bool>>::Protocol as SubProtocol>::Msg;
+pub type StrongFallbackMsgOf<F> = <<F as FallbackFactory<bool>>::Protocol as SubProtocol>::Msg;
 
 /// Wire messages of binary strong BA.
 #[derive(Clone, Debug)]
@@ -314,36 +313,32 @@ where
                 out.push((Dest::To(leader), StrongBaMsg::Input { value: self.input, sig }));
             }
             // Round 2 (leader): batch t+1 matching inputs (lines 3–6).
-            1
-                if self.me == leader => {
-                    let mut by_value: BTreeMap<bool, BTreeMap<ProcessId, Signature>> =
-                        BTreeMap::new();
-                    for (from, msg) in inbox {
-                        if let StrongBaMsg::Input { value, sig } = msg {
-                            let payload =
-                                StrongInputSig { session: self.cfg.session(), value: *value };
-                            if sig.signer() == *from && verify_payload(&self.pki, &payload, sig) {
-                                by_value.entry(*value).or_default().insert(*from, sig.clone());
-                            }
-                        }
-                    }
-                    for (value, sigs) in by_value {
-                        if sigs.len() >= self.cfg.idk_threshold() {
-                            let payload =
-                                StrongInputSig { session: self.cfg.session(), value };
-                            let qc = self
-                                .pki
-                                .combine(
-                                    self.cfg.idk_threshold(),
-                                    &payload.signing_bytes(),
-                                    &sigs.into_values().collect::<Vec<_>>(),
-                                )
-                                .expect("verified shares combine");
-                            out.push((Dest::All, StrongBaMsg::Propose { value, qc }));
-                            break;
+            1 if self.me == leader => {
+                let mut by_value: BTreeMap<bool, BTreeMap<ProcessId, Signature>> = BTreeMap::new();
+                for (from, msg) in inbox {
+                    if let StrongBaMsg::Input { value, sig } = msg {
+                        let payload = StrongInputSig { session: self.cfg.session(), value: *value };
+                        if sig.signer() == *from && verify_payload(&self.pki, &payload, sig) {
+                            by_value.entry(*value).or_default().insert(*from, sig.clone());
                         }
                     }
                 }
+                for (value, sigs) in by_value {
+                    if sigs.len() >= self.cfg.idk_threshold() {
+                        let payload = StrongInputSig { session: self.cfg.session(), value };
+                        let qc = self
+                            .pki
+                            .combine(
+                                self.cfg.idk_threshold(),
+                                &payload.signing_bytes(),
+                                &sigs.into_values().collect::<Vec<_>>(),
+                            )
+                            .expect("verified shares combine");
+                        out.push((Dest::All, StrongBaMsg::Propose { value, qc }));
+                        break;
+                    }
+                }
+            }
             // Round 3: decide-share for the first valid proposal
             // (lines 7–8).
             2 => {
@@ -375,44 +370,40 @@ where
                 }
             }
             // Round 4 (leader): batch n decide shares (lines 9–12).
-            3
-                if self.me == leader => {
-                    let mut by_value: BTreeMap<bool, BTreeMap<ProcessId, Signature>> =
-                        BTreeMap::new();
-                    for (from, msg) in inbox {
-                        if let StrongBaMsg::DecideShare { value, sig } = msg {
-                            let payload =
-                                StrongDecideSig { session: self.cfg.session(), value: *value };
-                            if sig.signer() == *from && verify_payload(&self.pki, &payload, sig) {
-                                by_value.entry(*value).or_default().insert(*from, sig.clone());
-                            }
-                        }
-                    }
-                    for (value, sigs) in by_value {
-                        if sigs.len() == self.cfg.n() {
-                            let payload =
-                                StrongDecideSig { session: self.cfg.session(), value };
-                            let qc = self
-                                .pki
-                                .combine(
-                                    self.cfg.n(),
-                                    &payload.signing_bytes(),
-                                    &sigs.into_values().collect::<Vec<_>>(),
-                                )
-                                .expect("verified shares combine");
-                            out.push((Dest::All, StrongBaMsg::DecideCert { value, qc }));
-                            break;
+            3 if self.me == leader => {
+                let mut by_value: BTreeMap<bool, BTreeMap<ProcessId, Signature>> = BTreeMap::new();
+                for (from, msg) in inbox {
+                    if let StrongBaMsg::DecideShare { value, sig } = msg {
+                        let payload =
+                            StrongDecideSig { session: self.cfg.session(), value: *value };
+                        if sig.signer() == *from && verify_payload(&self.pki, &payload, sig) {
+                            by_value.entry(*value).or_default().insert(*from, sig.clone());
                         }
                     }
                 }
+                for (value, sigs) in by_value {
+                    if sigs.len() == self.cfg.n() {
+                        let payload = StrongDecideSig { session: self.cfg.session(), value };
+                        let qc = self
+                            .pki
+                            .combine(
+                                self.cfg.n(),
+                                &payload.signing_bytes(),
+                                &sigs.into_values().collect::<Vec<_>>(),
+                            )
+                            .expect("verified shares combine");
+                        out.push((Dest::All, StrongBaMsg::DecideCert { value, qc }));
+                        break;
+                    }
+                }
+            }
             // Round 5: anyone still undecided triggers the fallback
             // (lines 16–18). The decide certificate, if any, was adopted
             // by the global handler above this match.
-            4
-                if self.decision.is_none() && self.fallback_start.is_none() => {
-                    out.push((Dest::All, StrongBaMsg::Fallback { decision: None }));
-                    self.fallback_start = Some(step + 2);
-                }
+            4 if self.decision.is_none() && self.fallback_start.is_none() => {
+                out.push((Dest::All, StrongBaMsg::Fallback { decision: None }));
+                self.fallback_start = Some(step + 2);
+            }
             _ => {}
         }
 
@@ -499,8 +490,7 @@ mod tests {
             if crashed.contains(&(i as u32)) {
                 actors.push(Box::new(IdleActor::new(id)));
             } else {
-                let sba =
-                    StrongBa::new(cfg, id, key, pki.clone(), EchoFallbackFactory, inputs[i]);
+                let sba = StrongBa::new(cfg, id, key, pki.clone(), EchoFallbackFactory, inputs[i]);
                 actors.push(Box::new(LockstepAdapter::new(id, sba)));
             }
         }
@@ -528,8 +518,7 @@ mod tests {
         sim.run_until_done(100).unwrap();
         assert!(decisions(&sim, &[]).iter().all(|&d| d));
         for i in 0..7u32 {
-            let a: &LockstepAdapter<Sba> =
-                sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+            let a: &LockstepAdapter<Sba> = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
             assert!(!a.inner().used_fallback(), "Lemma 8: no fallback when f = 0");
         }
     }
@@ -566,8 +555,7 @@ mod tests {
         // Strong unanimity among correct: all correct proposed true.
         assert!(ds.iter().all(|&d| d));
         for i in 1..7u32 {
-            let a: &LockstepAdapter<Sba> =
-                sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+            let a: &LockstepAdapter<Sba> = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
             assert!(a.inner().used_fallback());
         }
     }

@@ -277,10 +277,7 @@ where
                             &self.key,
                             &StrongInputSig { session: self.cfg.session(), value: self.input },
                         );
-                        out.push((
-                            Dest::To(leader),
-                            StrongBaMsg::Input { value: self.input, sig },
-                        ));
+                        out.push((Dest::To(leader), StrongBaMsg::Input { value: self.input, sig }));
                     }
                 }
                 // Leader: batch t+1 matching inputs into a propose cert.
@@ -290,24 +287,17 @@ where
                             BTreeMap::new();
                         for (from, msg) in inbox {
                             if let StrongBaMsg::Input { value, sig } = msg {
-                                let payload = StrongInputSig {
-                                    session: self.cfg.session(),
-                                    value: *value,
-                                };
-                                if sig.signer() == *from
-                                    && verify_payload(&self.pki, &payload, sig)
+                                let payload =
+                                    StrongInputSig { session: self.cfg.session(), value: *value };
+                                if sig.signer() == *from && verify_payload(&self.pki, &payload, sig)
                                 {
-                                    by_value
-                                        .entry(*value)
-                                        .or_default()
-                                        .insert(*from, sig.clone());
+                                    by_value.entry(*value).or_default().insert(*from, sig.clone());
                                 }
                             }
                         }
                         for (value, sigs) in by_value {
                             if sigs.len() >= self.cfg.idk_threshold() {
-                                let payload =
-                                    StrongInputSig { session: self.cfg.session(), value };
+                                let payload = StrongInputSig { session: self.cfg.session(), value };
                                 let qc = self
                                     .pki
                                     .combine(
@@ -332,18 +322,12 @@ where
                                 StrongInputSig { session: self.cfg.session(), value: *value };
                             let valid = *from == leader
                                 && qc.threshold() == self.cfg.idk_threshold()
-                                && self
-                                    .pki
-                                    .verify_threshold(&payload.signing_bytes(), qc)
-                                    .is_ok();
+                                && self.pki.verify_threshold(&payload.signing_bytes(), qc).is_ok();
                             if valid && self.signed_value.is_none_or(|sv| sv == *value) {
                                 self.signed_value = Some(*value);
                                 let sig = sign_payload(
                                     &self.key,
-                                    &StrongDecideSig {
-                                        session: self.cfg.session(),
-                                        value: *value,
-                                    },
+                                    &StrongDecideSig { session: self.cfg.session(), value: *value },
                                 );
                                 out.push((
                                     Dest::To(leader),
@@ -361,17 +345,11 @@ where
                             BTreeMap::new();
                         for (from, msg) in inbox {
                             if let StrongBaMsg::DecideShare { value, sig } = msg {
-                                let payload = StrongDecideSig {
-                                    session: self.cfg.session(),
-                                    value: *value,
-                                };
-                                if sig.signer() == *from
-                                    && verify_payload(&self.pki, &payload, sig)
+                                let payload =
+                                    StrongDecideSig { session: self.cfg.session(), value: *value };
+                                if sig.signer() == *from && verify_payload(&self.pki, &payload, sig)
                                 {
-                                    by_value
-                                        .entry(*value)
-                                        .or_default()
-                                        .insert(*from, sig.clone());
+                                    by_value.entry(*value).or_default().insert(*from, sig.clone());
                                 }
                             }
                         }
@@ -485,8 +463,14 @@ mod tests {
             if crashed.contains(&(i as u32)) {
                 actors.push(Box::new(IdleActor::new(id)));
             } else {
-                let rba =
-                    RotatingStrongBa::new(cfg, id, key, pki.clone(), EchoFallbackFactory, inputs[i]);
+                let rba = RotatingStrongBa::new(
+                    cfg,
+                    id,
+                    key,
+                    pki.clone(),
+                    EchoFallbackFactory,
+                    inputs[i],
+                );
                 actors.push(Box::new(LockstepAdapter::new(id, rba)));
             }
         }
@@ -515,8 +499,7 @@ mod tests {
         let ds = decisions(&sim, &[]);
         assert!(ds.iter().all(|&d| d));
         for i in 0..7u32 {
-            let a: &LockstepAdapter<Rba> =
-                sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+            let a: &LockstepAdapter<Rba> = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
             assert!(!a.inner().used_fallback());
             assert_eq!(a.inner().decided_at(), Some(4), "first attempt decides");
         }
@@ -534,8 +517,7 @@ mod tests {
         let ds = decisions(&sim, &crashed);
         assert!(ds.iter().all(|&d| d), "strong unanimity");
         for i in 1..9u32 {
-            let a: &LockstepAdapter<Rba> =
-                sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+            let a: &LockstepAdapter<Rba> = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
             assert!(!a.inner().used_fallback(), "p{i} must not fall back");
             assert_eq!(a.inner().decided_at(), Some(8), "second attempt decides");
         }

@@ -250,7 +250,10 @@ mod tests {
             ad.tick(r, &mut out);
         }
         // Steps fire at host rounds 4, 6, 8, 10.
-        assert_eq!(ad.inner().received.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            ad.inner().received.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
         assert!(ad.done());
         // Steps 0..2 each emitted one broadcast.
         assert_eq!(out.len(), 3);

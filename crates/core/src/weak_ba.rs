@@ -416,10 +416,7 @@ where
         qc.threshold() == self.cfg.idk_threshold()
             && self
                 .pki
-                .verify_threshold(
-                    &HelpReqSig { session: self.cfg.session() }.signing_bytes(),
-                    qc,
-                )
+                .verify_threshold(&HelpReqSig { session: self.cfg.session() }.signing_bytes(), qc)
                 .is_ok()
     }
 
@@ -495,10 +492,7 @@ where
                 if is_leader && self.undecided() {
                     self.nonsilent_as_leader = true;
                     self.scratch.my_proposal = Some(self.input.clone());
-                    out.push((
-                        Dest::All,
-                        WeakBaMsg::Propose { phase, value: self.input.clone() },
-                    ));
+                    out.push((Dest::All, WeakBaMsg::Propose { phase, value: self.input.clone() }));
                 }
             }
             // Round 2: vote for the first valid proposal, or report an
@@ -555,16 +549,18 @@ where
                 let mut votes: BTreeMap<ProcessId, Signature> = BTreeMap::new();
                 for (from, msg) in inbox {
                     match msg {
-                        WeakBaMsg::CommitReply { phase: p, value, proof } if *p == phase
-                            && proof.verify(&self.cfg, &self.pki, value)
+                        WeakBaMsg::CommitReply { phase: p, value, proof }
+                            if *p == phase
+                                && proof.verify(&self.cfg, &self.pki, value)
                                 && best_commit
                                     .as_ref()
-                                    .is_none_or(|(_, b)| proof.level > b.level)
-                            => {
-                                best_commit = Some((value.clone(), proof.clone()));
-                            }
-                        WeakBaMsg::Vote { phase: p, value, sig } if *p == phase
-                            && *value == my_value
+                                    .is_none_or(|(_, b)| proof.level > b.level) =>
+                        {
+                            best_commit = Some((value.clone(), proof.clone()));
+                        }
+                        WeakBaMsg::Vote { phase: p, value, sig }
+                            if *p == phase
+                                && *value == my_value
                                 && sig.signer() == *from
                                 && verify_payload(
                                     &self.pki,
@@ -574,10 +570,10 @@ where
                                         level: phase,
                                     },
                                     sig,
-                                )
-                            => {
-                                votes.insert(*from, sig.clone());
-                            }
+                                ) =>
+                        {
+                            votes.insert(*from, sig.clone());
+                        }
                         _ => {}
                     }
                 }
@@ -585,11 +581,8 @@ where
                     self.scratch.commit_sent = Some(w.clone());
                     out.push((Dest::All, WeakBaMsg::CommitCert { phase, value: w, proof }));
                 } else if votes.len() >= self.cfg.quorum() {
-                    let payload = VoteSig {
-                        session: self.cfg.session(),
-                        value: &my_value,
-                        level: phase,
-                    };
+                    let payload =
+                        VoteSig { session: self.cfg.session(), value: &my_value, level: phase };
                     let shares: Vec<Signature> = votes.into_values().collect();
                     let qc = self
                         .pki
@@ -765,9 +758,7 @@ where
         let certs: Vec<(ThresholdSignature, Option<(V, DecideProof)>)> = inbox
             .iter()
             .filter_map(|(_, m)| match m {
-                WeakBaMsg::FallbackCert { qc, decision } => {
-                    Some((qc.clone(), decision.clone()))
-                }
+                WeakBaMsg::FallbackCert { qc, decision } => Some((qc.clone(), decision.clone())),
                 _ => None,
             })
             .collect();
@@ -795,8 +786,7 @@ where
         } else if step == help_step {
             // Alg 3 lines 5–6.
             if self.undecided() {
-                let sig =
-                    sign_payload(&self.key, &HelpReqSig { session: self.cfg.session() });
+                let sig = sign_payload(&self.key, &HelpReqSig { session: self.cfg.session() });
                 out.push((Dest::All, WeakBaMsg::HelpReq { sig }));
             }
         } else if step == help_step + 1 {
@@ -819,8 +809,7 @@ where
                     }
                 }
             }
-            if self.help_sigs.len() >= self.cfg.idk_threshold() && self.fallback_start.is_none()
-            {
+            if self.help_sigs.len() >= self.cfg.idk_threshold() && self.fallback_start.is_none() {
                 let shares: Vec<Signature> = self.help_sigs.values().cloned().collect();
                 let qc = self
                     .pki
@@ -963,8 +952,7 @@ mod tests {
         assert!(ds.iter().all(|d| *d == Decision::Value(42)));
         // No fallback ran.
         for i in 0..n as u32 {
-            let a: &LockstepAdapter<Wba> =
-                sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+            let a: &LockstepAdapter<Wba> = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
             assert!(!a.inner().used_fallback());
         }
     }
@@ -989,8 +977,7 @@ mod tests {
         let ds = decisions(&sim, &[1]);
         assert!(ds.iter().all(|d| *d == Decision::Value(7)));
         for i in (0..9u32).filter(|i| *i != 1) {
-            let a: &LockstepAdapter<Wba> =
-                sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+            let a: &LockstepAdapter<Wba> = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
             assert!(!a.inner().used_fallback(), "Lemma 6: no fallback below the bound");
         }
     }
@@ -1005,8 +992,7 @@ mod tests {
         let ds = decisions(&sim, &crashed);
         assert!(ds.iter().all(|d| *d == Decision::Value(8)), "strong unanimity via fallback");
         for i in 0..3u32 {
-            let a: &LockstepAdapter<Wba> =
-                sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+            let a: &LockstepAdapter<Wba> = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
             assert!(a.inner().used_fallback());
         }
     }
@@ -1029,10 +1015,7 @@ mod tests {
             sim.run_until_done(600).unwrap();
             let words = sim.metrics().correct_words();
             // O(n(f+1)) with f=0: generously c*n with c = 16.
-            assert!(
-                words <= 16 * n as u64,
-                "n={n}: failure-free weak BA used {words} words"
-            );
+            assert!(words <= 16 * n as u64, "n={n}: failure-free weak BA used {words} words");
         }
     }
 
@@ -1044,8 +1027,7 @@ mod tests {
         // Only the phase-1 leader should have gone non-silent.
         let mut nonsilent = 0;
         for i in 0..n as u32 {
-            let a: &LockstepAdapter<Wba> =
-                sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+            let a: &LockstepAdapter<Wba> = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
             if a.inner().led_nonsilent_phase() {
                 nonsilent += 1;
             }

@@ -17,10 +17,10 @@ use std::fmt;
 /// assert_eq!(p.index(), 3);
 /// assert_eq!(p.to_string(), "p3");
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcessId(pub u32);
+
+serde::impl_serde_newtype!(ProcessId);
 
 impl ProcessId {
     /// The identity's position in `Π`, usable as a vector index.

@@ -55,9 +55,7 @@ pub fn trusted_setup(n: usize, seed: u64) -> (Pki, Vec<SecretKey>) {
     let master = hmac_sha256(&seed.to_be_bytes(), b"meba master secret");
     let inner = Arc::new(PkiInner { master, n });
     let pki = Pki { inner: inner.clone() };
-    let keys = ProcessId::all(n)
-        .map(|id| SecretKey { id, key: inner.secret_for(id) })
-        .collect();
+    let keys = ProcessId::all(n).map(|id| SecretKey { id, key: inner.secret_for(id) }).collect();
     (pki, keys)
 }
 
@@ -533,10 +531,7 @@ mod tests {
     fn combine_rejects_mixed_messages() {
         let (pki, keys) = setup(5);
         let shares = vec![keys[0].sign(b"v"), keys[1].sign(b"w"), keys[2].sign(b"v")];
-        assert!(matches!(
-            pki.combine(3, b"v", &shares),
-            Err(CryptoError::BadSignature { .. })
-        ));
+        assert!(matches!(pki.combine(3, b"v", &shares), Err(CryptoError::BadSignature { .. })));
     }
 
     #[test]
@@ -581,10 +576,7 @@ mod tests {
     #[test]
     fn aggregate_rejects_empty_and_wrong_message() {
         let (pki, keys) = setup(3);
-        assert!(matches!(
-            pki.aggregate(b"v", &[]),
-            Err(CryptoError::InsufficientShares { .. })
-        ));
+        assert!(matches!(pki.aggregate(b"v", &[]), Err(CryptoError::InsufficientShares { .. })));
         let agg = pki.aggregate(b"v", &[keys[0].sign(b"v")]).unwrap();
         assert_eq!(pki.verify_aggregate(b"w", &agg), Err(CryptoError::MessageMismatch));
     }

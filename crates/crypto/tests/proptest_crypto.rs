@@ -2,9 +2,9 @@
 //! equivalence, signature unforgeability across messages and signers, and
 //! certificate-assembly invariants.
 
-use meba_crypto::{trusted_setup, CryptoError, Digest, ProcessId, Signable};
 use meba_crypto::hmac::hmac_sha256;
 use meba_crypto::sha256::Sha256;
+use meba_crypto::{trusted_setup, CryptoError, Digest, ProcessId, Signable};
 use proptest::prelude::*;
 
 proptest! {

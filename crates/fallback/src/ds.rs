@@ -131,11 +131,8 @@ impl<V: meba_core::Value> DsCore<V> {
             }
         }
         if k == self.rounds && self.output.is_none() {
-            self.output = Some(if self.accepted.len() == 1 {
-                Some(self.accepted[0].clone())
-            } else {
-                None
-            });
+            self.output =
+                Some(if self.accepted.len() == 1 { Some(self.accepted[0].clone()) } else { None });
         }
     }
 }
@@ -281,10 +278,7 @@ impl<V: meba_core::Value> IcInstance<V> {
             for (_, msg) in inbox {
                 if let RecBaMsg::DsForward { inst, ds_sender, value, agg } = msg {
                     if *inst == self.inst {
-                        by_sender
-                            .entry(*ds_sender)
-                            .or_default()
-                            .push((value.clone(), agg.clone()));
+                        by_sender.entry(*ds_sender).or_default().push((value.clone(), agg.clone()));
                     }
                 }
             }
@@ -492,8 +486,7 @@ mod chain_hardening_tests {
         n: usize,
     ) -> (u64, meba_crypto::AggregateSignature) {
         let inst = InstanceId::new(Scope::full(n), 0);
-        let payload =
-            DsValSig { session: 0, inst, ds_sender: ProcessId(sender), value: &value };
+        let payload = DsValSig { session: 0, inst, ds_sender: ProcessId(sender), value: &value };
         let sigs: Vec<_> =
             signers.iter().map(|&i| keys[i].sign(&payload.signing_bytes())).collect();
         (value, pki.aggregate(&payload.signing_bytes(), &sigs).unwrap())

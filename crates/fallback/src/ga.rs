@@ -129,11 +129,7 @@ impl<V: Value> GaInstance<V> {
         match k {
             0 => {
                 let sig = self.key.sign(&self.input_payload(&self.input).signing_bytes());
-                out.push(RecBaMsg::GaInput {
-                    inst: self.inst,
-                    value: self.input.clone(),
-                    sig,
-                });
+                out.push(RecBaMsg::GaInput { inst: self.inst, value: self.input.clone(), sig });
             }
             1 => {
                 for (_, msg) in inbox {
@@ -179,10 +175,12 @@ impl<V: Value> GaInstance<V> {
                     }
                 }
                 if self.c1_seen.len() == 1 {
-                    let (value, c1) =
-                        self.c1_seen.iter().next().map(|(v, c)| (v.clone(), c.clone())).expect(
-                            "len checked",
-                        );
+                    let (value, c1) = self
+                        .c1_seen
+                        .iter()
+                        .next()
+                        .map(|(v, c)| (v.clone(), c.clone()))
+                        .expect("len checked");
                     let sig = self.key.sign(&self.vote_payload(&value).signing_bytes());
                     out.push(RecBaMsg::GaVote { inst: self.inst, value, sig, c1 });
                 } else if self.conflicted {
@@ -199,8 +197,7 @@ impl<V: Value> GaInstance<V> {
                 }
             }
             3 => {
-                let msgs: Vec<RecBaMsg<V>> =
-                    inbox.iter().map(|(_, m)| (*m).clone()).collect();
+                let msgs: Vec<RecBaMsg<V>> = inbox.iter().map(|(_, m)| (*m).clone()).collect();
                 for msg in &msgs {
                     match msg {
                         RecBaMsg::GaVote { inst, value, sig, c1 } if *inst == self.inst => {
@@ -217,10 +214,14 @@ impl<V: Value> GaInstance<V> {
                                     .insert(sig.signer(), sig.clone());
                             }
                         }
-                        RecBaMsg::GaConflict { inst, v1, c1a, v2, c1b } if *inst == self.inst
-                            && v1 != v2 && self.c1_valid(v1, c1a) && self.c1_valid(v2, c1b) => {
-                                self.conflicted = true;
-                            }
+                        RecBaMsg::GaConflict { inst, v1, c1a, v2, c1b }
+                            if *inst == self.inst
+                                && v1 != v2
+                                && self.c1_valid(v1, c1a)
+                                && self.c1_valid(v2, c1b) =>
+                        {
+                            self.conflicted = true;
+                        }
                         _ => {}
                     }
                 }

@@ -131,7 +131,10 @@ impl<V: Value> Gradecast<V> {
                     if let RecBaMsg::GcSend { inst, value, sig } = msg {
                         if *inst == self.inst
                             && sig.signer() == self.sender
-                            && self.pki.verify(&self.sender_payload(value).signing_bytes(), sig).is_ok()
+                            && self
+                                .pki
+                                .verify(&self.sender_payload(value).signing_bytes(), sig)
+                                .is_ok()
                         {
                             self.received = Some(value.clone());
                             break;
@@ -227,17 +230,10 @@ mod tests {
             let extra: Vec<(ProcessId, RecBaMsg<u64>)> = if k == 1 {
                 match equivocate {
                     Some(w) => {
-                        let payload = GcValSig {
-                            session: 0,
-                            inst,
-                            sender: ProcessId(sender),
-                            value: &w,
-                        };
+                        let payload =
+                            GcValSig { session: 0, inst, sender: ProcessId(sender), value: &w };
                         let sig = keys[sender as usize].sign(&payload.signing_bytes());
-                        vec![(
-                            ProcessId(sender),
-                            RecBaMsg::GcSend { inst, value: w, sig },
-                        )]
+                        vec![(ProcessId(sender), RecBaMsg::GcSend { inst, value: w, sig })]
                     }
                     None => vec![],
                 }
@@ -306,11 +302,8 @@ mod tests {
             }
         }
         // Never two conflicting grade-2 outputs.
-        let twos: Vec<u64> = honest
-            .iter()
-            .filter(|(_, g)| *g == 2)
-            .filter_map(|(v, _)| *v)
-            .collect();
+        let twos: Vec<u64> =
+            honest.iter().filter(|(_, g)| *g == 2).filter_map(|(v, _)| *v).collect();
         assert!(twos.windows(2).all(|w| w[0] == w[1]), "{honest:?}");
     }
 }

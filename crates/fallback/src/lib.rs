@@ -33,4 +33,6 @@ pub use ga::{GaInstance, GA_STEPS};
 pub use gradecast::{Gradecast, GRADECAST_STEPS};
 pub use instance::{InstanceId, Scope};
 pub use messages::{DsBbMsg, RecBaMsg};
-pub use recursive::{recursive_ba_steps, recursive_ba_steps_with_base, RecursiveBa, RecursiveBaFactory, BASE_SCOPE};
+pub use recursive::{
+    recursive_ba_steps, recursive_ba_steps_with_base, RecursiveBa, RecursiveBaFactory, BASE_SCOPE,
+};

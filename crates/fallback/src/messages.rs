@@ -281,10 +281,10 @@ mod tests {
     #[test]
     fn ds_payload_binds_sender() {
         let inst = InstanceId::new(Scope::full(4), 0);
-        let a = DsValSig { session: 1, inst, ds_sender: ProcessId(0), value: &5u64 }
-            .signing_bytes();
-        let b = DsValSig { session: 1, inst, ds_sender: ProcessId(1), value: &5u64 }
-            .signing_bytes();
+        let a =
+            DsValSig { session: 1, inst, ds_sender: ProcessId(0), value: &5u64 }.signing_bytes();
+        let b =
+            DsValSig { session: 1, inst, ds_sender: ProcessId(1), value: &5u64 }.signing_bytes();
         assert_ne!(a, b);
     }
 

@@ -279,8 +279,7 @@ impl<V: Value> SubProtocol for RecursiveBa<V> {
             self.enter_segment(seg, out);
         }
 
-        let borrowed: Vec<(ProcessId, &RecBaMsg<V>)> =
-            inbox.iter().map(|(p, m)| (*p, m)).collect();
+        let borrowed: Vec<(ProcessId, &RecBaMsg<V>)> = inbox.iter().map(|(p, m)| (*p, m)).collect();
         match seg.kind {
             SegKind::Ga(_) => {
                 if let Some(ga) = &mut self.active_ga {
@@ -319,11 +318,8 @@ impl<V: Value> SubProtocol for RecursiveBa<V> {
                     for (_, msg) in inbox {
                         if let RecBaMsg::CertShare { inst: i, value, sig } = msg {
                             if *i == inst && child.contains(sig.signer()) {
-                                let payload = RecDecideSig {
-                                    session: self.cfg.session(),
-                                    inst,
-                                    value,
-                                };
+                                let payload =
+                                    RecDecideSig { session: self.cfg.session(), inst, value };
                                 if self.pki.verify(&payload.signing_bytes(), sig).is_ok() {
                                     self.cert_shares
                                         .entry(value.clone())

@@ -1,19 +1,48 @@
-//! A threaded, wall-clock cluster runtime.
+//! A threaded, wall-clock cluster runtime with link-fault injection and
+//! round-latency observability.
 //!
-//! Runs the same [`meba_sim::Actor`] state machines as the lockstep simulator, but
-//! with one OS thread per process, crossbeam channels as reliable
-//! authenticated links, and real time: round `r` spans
-//! `[start + r·δ, start + (r+1)·δ)`. A message sent during round `r` is
-//! processed by its recipient in round `r + 1` (matching the synchrony
-//! assumption as long as `δ` comfortably exceeds scheduling jitter plus
-//! processing time; the runtime asserts this by construction because
-//! channels deliver in microseconds).
+//! Runs the same [`meba_sim::Actor`] state machines as the lockstep
+//! simulator, but with one OS thread per process, bounded crossbeam
+//! channels as authenticated links, and real time: round `r` spans
+//! `[start + r·δ, start + (r+1)·δ)` and a message sent during round `r` is
+//! processed by its recipient in round `r + 1`.
+//!
+//! Beyond the happy path, the runtime models the network the paper's
+//! synchrony assumption abstracts away:
+//!
+//! * **Link faults** — a per-sender [`LinkPolicy`]
+//!   ([`ClusterConfig::link_policy`]) can drop, delay, or partition
+//!   directed links; the protocols must ride out the loss (or the caller
+//!   asserts they don't).
+//! * **Observability** — every thread records its per-round processing
+//!   latency into [`Metrics::round_latency`] and every directed link's
+//!   sent/delivered/dropped/delayed counts into [`Metrics::per_link`].
+//! * **Backpressure** — links are bounded
+//!   ([`ClusterConfig::channel_capacity`]); a full link blocks the sender
+//!   (counted in [`ClusterReport::backpressure`]) instead of ballooning
+//!   memory.
+//! * **Graceful degradation** — when processing overruns δ for
+//!   [`ClusterConfig::overrun_window`] consecutive rounds, the coordinator
+//!   either stretches δ ([`OverrunAction::Escalate`]) or stops the run
+//!   with a structured [`ClusterDiagnostic`] ([`OverrunAction::Abort`]).
+//!
+//! # Coordination
+//!
+//! Thread 0 doubles as the coordinator: after finishing round `r` it
+//! publishes exactly one decision — stop after `r` (recording whether the
+//! run completed) or approve round `r + 1`. Worker threads never execute
+//! a round that was not approved, so every thread executes the same set
+//! of rounds and [`ClusterReport::completed`] is the coordinator's own
+//! recorded verdict rather than a racy post-join recomputation.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use meba_crypto::ProcessId;
+use meba_sim::faults::{Link, LinkFate, LinkPolicy};
 use meba_sim::{AnyActor, Dest, Envelope, Message, Metrics, Round, RoundCtx};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -24,45 +53,267 @@ struct Wire<M> {
     msg: M,
 }
 
+/// Per-sender factory for [`LinkPolicy`] instances: called once per
+/// process thread with that process's id; the returned policy governs all
+/// of its outbound links.
+pub type LinkPolicyFactory = Arc<dyn Fn(ProcessId) -> Box<dyn LinkPolicy> + Send + Sync>;
+
+/// What the coordinator does about sustained synchrony overruns (see
+/// [`ClusterConfig::overrun_window`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OverrunAction {
+    /// Keep running and only count overruns (the default).
+    Count,
+    /// Multiply δ by `multiplier` (capped at `max_delta`) and keep going —
+    /// the run trades latency for restored synchrony.
+    Escalate {
+        /// Factor applied to the current δ on each escalation.
+        multiplier: u32,
+        /// Upper bound on the escalated δ.
+        max_delta: Duration,
+    },
+    /// Stop the run and report a [`ClusterDiagnostic`].
+    Abort,
+}
+
+/// Why a run was aborted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbortReason {
+    /// Processing overran δ for `consecutive` coordinator rounds, meeting
+    /// the configured `window`.
+    SustainedOverruns {
+        /// Consecutive overrunning rounds observed.
+        consecutive: u32,
+        /// The configured [`ClusterConfig::overrun_window`].
+        window: u32,
+    },
+    /// A worker thread waited unreasonably long for the coordinator to
+    /// approve its next round — the coordinator stalled or died.
+    CoordinatorStalled,
+}
+
+/// Structured diagnostic attached to an aborted run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterDiagnostic {
+    /// What went wrong.
+    pub reason: AbortReason,
+    /// Last round that was executed before the stop.
+    pub round: u64,
+    /// Total overruns observed at the time of the abort.
+    pub overruns: u64,
+    /// Effective δ when the run stopped.
+    pub delta: Duration,
+}
+
+impl fmt::Display for ClusterDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.reason {
+            AbortReason::SustainedOverruns { consecutive, window } => write!(
+                f,
+                "aborted at round {}: {} consecutive overrunning rounds (window {}), \
+                 {} total overruns, δ = {:?}",
+                self.round, consecutive, window, self.overruns, self.delta
+            ),
+            AbortReason::CoordinatorStalled => write!(
+                f,
+                "aborted at round {}: coordinator stalled (δ = {:?}, {} overruns)",
+                self.round, self.delta, self.overruns
+            ),
+        }
+    }
+}
+
+/// One δ-escalation event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Escalation {
+    /// First round paced with the new δ.
+    pub at_round: u64,
+    /// δ before the escalation.
+    pub old_delta: Duration,
+    /// δ after the escalation.
+    pub new_delta: Duration,
+}
+
 /// Outcome of a cluster run.
 pub struct ClusterReport<M: Message> {
-    /// Accumulated communication metrics (same accounting as the
-    /// simulator).
+    /// Accumulated communication metrics (same word accounting as the
+    /// simulator), including the per-round processing-latency histogram
+    /// ([`Metrics::round_latency`]) and per-link delivery counters
+    /// ([`Metrics::per_link`]).
     pub metrics: Metrics,
     /// Rounds executed before the cluster stopped.
     pub rounds: u64,
     /// The actors, returned for decision inspection.
     pub actors: Vec<Box<dyn AnyActor<Msg = M>>>,
     /// Whether every correct actor reported done before the round budget
-    /// ran out.
+    /// ran out — the coordinator's recorded stop verdict.
     pub completed: bool,
     /// Rounds in which some thread finished its processing *after* the
     /// round's deadline — synchrony-assumption violations. A non-zero
-    /// count means `δ` is too small for this machine/protocol and the
-    /// run's synchrony guarantees were at risk.
+    /// count means δ is tight for this machine/protocol.
     pub overruns: u64,
+    /// Times a sender blocked on a full link (bounded-channel
+    /// backpressure).
+    pub backpressure: u64,
+    /// δ-escalations performed under [`OverrunAction::Escalate`].
+    pub escalations: Vec<Escalation>,
+    /// Present iff the run was stopped early by the overrun policy or a
+    /// coordinator stall.
+    pub aborted: Option<ClusterDiagnostic>,
 }
 
 /// Configuration of a [`run_cluster`] invocation.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ClusterConfig {
-    /// Round duration `δ`.
+    /// Round duration δ.
     pub delta: Duration,
     /// Hard cap on rounds.
     pub max_rounds: u64,
     /// Byzantine identities (excluded from correct-word accounting and
     /// from the done-check).
     pub corrupt: Vec<ProcessId>,
+    /// Link-fault injection: each sender thread instantiates one policy
+    /// for its outbound links. `None` means reliable links.
+    ///
+    /// Stock policies and determinism guarantees live in
+    /// [`meba_sim::faults`]. Self-links are never consulted.
+    pub link_policy: Option<LinkPolicyFactory>,
+    /// Capacity of each process's inbound channel. A full channel blocks
+    /// senders (backpressure) rather than dropping or buffering without
+    /// bound. Must comfortably exceed `n ×` the per-round message volume;
+    /// the default (1024) is generous for the protocols in this
+    /// workspace.
+    pub channel_capacity: usize,
+    /// Number of consecutive overrunning coordinator rounds that triggers
+    /// [`ClusterConfig::overrun_action`].
+    pub overrun_window: u32,
+    /// Reaction to sustained overruns.
+    pub overrun_action: OverrunAction,
+}
+
+impl fmt::Debug for ClusterConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClusterConfig")
+            .field("delta", &self.delta)
+            .field("max_rounds", &self.max_rounds)
+            .field("corrupt", &self.corrupt)
+            .field("link_policy", &self.link_policy.as_ref().map(|_| "<factory>"))
+            .field("channel_capacity", &self.channel_capacity)
+            .field("overrun_window", &self.overrun_window)
+            .field("overrun_action", &self.overrun_action)
+            .finish()
+    }
 }
 
 impl Default for ClusterConfig {
     fn default() -> Self {
-        ClusterConfig { delta: Duration::from_millis(2), max_rounds: 10_000, corrupt: Vec::new() }
+        ClusterConfig {
+            delta: Duration::from_millis(2),
+            max_rounds: 10_000,
+            corrupt: Vec::new(),
+            link_policy: None,
+            channel_capacity: 1024,
+            overrun_window: 3,
+            overrun_action: OverrunAction::Count,
+        }
     }
 }
 
-/// Runs `actors` as a real-time cluster until every correct actor is done
-/// or the round budget is exhausted.
+/// One pacing regime: rounds from `from_round` on start at
+/// `offset_ns + (r - from_round) · delta_ns` nanoseconds past the cluster
+/// epoch. All arithmetic is `u128`, so no round index can truncate or
+/// wrap the schedule.
+#[derive(Clone, Copy)]
+struct Segment {
+    from_round: u64,
+    offset_ns: u128,
+    delta_ns: u128,
+}
+
+/// Deadline schedule shared by all threads; escalations append segments.
+struct Pacer {
+    epoch: Instant,
+    segments: RwLock<Vec<Segment>>,
+}
+
+impl Pacer {
+    fn new(epoch: Instant, delta: Duration) -> Self {
+        let seg = Segment { from_round: 0, offset_ns: 0, delta_ns: delta.as_nanos().max(1) };
+        Pacer { epoch, segments: RwLock::new(vec![seg]) }
+    }
+
+    fn segment_for(&self, round: u64) -> Segment {
+        let segments = self.segments.read();
+        *segments.iter().rev().find(|s| s.from_round <= round).unwrap_or(&segments[0])
+    }
+
+    /// Wall-clock start of `round` (== deadline of `round - 1`).
+    fn round_start(&self, round: u64) -> Instant {
+        let s = self.segment_for(round);
+        let ns = s.offset_ns + u128::from(round - s.from_round) * s.delta_ns;
+        self.epoch + Duration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
+    }
+
+    /// Effective δ for `round`.
+    fn delta_at(&self, round: u64) -> Duration {
+        let ns = self.segment_for(round).delta_ns;
+        Duration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
+    }
+
+    /// Re-paces rounds from `from_round` on with `new_delta`. Rounds
+    /// before `from_round` keep their schedule, so already-approved
+    /// deadlines never move.
+    fn escalate(&self, from_round: u64, new_delta: Duration) {
+        let mut segments = self.segments.write();
+        let last = *segments.last().expect("pacer always has a segment");
+        debug_assert!(from_round >= last.from_round);
+        let offset_ns = last.offset_ns + u128::from(from_round - last.from_round) * last.delta_ns;
+        segments.push(Segment { from_round, offset_ns, delta_ns: new_delta.as_nanos().max(1) });
+    }
+}
+
+/// Coordinator's stop verdict, written exactly once.
+struct Outcome {
+    completed: bool,
+    rounds: u64,
+    aborted: Option<ClusterDiagnostic>,
+}
+
+/// State shared by all cluster threads.
+struct Control {
+    pacer: Pacer,
+    /// Number of rounds approved for execution; round `r` may run iff
+    /// `r < approved`.
+    approved: AtomicU64,
+    /// First round that must NOT be executed (`u64::MAX` while running).
+    stop_at: AtomicU64,
+    outcome: Mutex<Option<Outcome>>,
+    overruns: AtomicU64,
+    backpressure: AtomicU64,
+    done_flags: Vec<AtomicBool>,
+    escalations: Mutex<Vec<Escalation>>,
+    metrics: Mutex<Metrics>,
+}
+
+impl Control {
+    fn record_outcome(&self, outcome: Outcome, stop_at: u64) {
+        let mut slot = self.outcome.lock();
+        if slot.is_none() {
+            *slot = Some(outcome);
+        }
+        drop(slot);
+        self.stop_at.store(stop_at, Ordering::SeqCst);
+    }
+}
+
+/// What a worker learned while waiting for round approval.
+enum Approval {
+    Go,
+    Stop,
+}
+
+/// Runs `actors` as a real-time cluster until every correct actor is done,
+/// the round budget is exhausted, or the overrun policy stops the run.
 ///
 /// # Panics
 ///
@@ -70,7 +321,8 @@ impl Default for ClusterConfig {
 ///
 /// # Examples
 ///
-/// See the `threaded_cluster` example at the workspace root.
+/// See the `threaded_cluster` and `fault_injection` examples at the
+/// workspace root.
 pub fn run_cluster<M: Message>(
     actors: Vec<Box<dyn AnyActor<Msg = M>>>,
     config: ClusterConfig,
@@ -83,105 +335,42 @@ pub fn run_cluster<M: Message>(
     let mut txs: Vec<Sender<Wire<M>>> = Vec::with_capacity(n);
     let mut rxs: Vec<Receiver<Wire<M>>> = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = bounded(config.channel_capacity.max(1));
         txs.push(tx);
         rxs.push(rx);
     }
-    let metrics = Arc::new(Mutex::new(Metrics::default()));
-    let overruns = Arc::new(std::sync::atomic::AtomicU64::new(0));
-    let stop = Arc::new(AtomicBool::new(false));
-    let done_flags: Arc<Vec<AtomicBool>> =
-        Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
-    let start = Instant::now() + Duration::from_millis(5);
-    let corrupt: Arc<Vec<bool>> = Arc::new(
-        (0..n).map(|i| config.corrupt.iter().any(|c| c.index() == i)).collect(),
-    );
+    let ctrl = Arc::new(Control {
+        pacer: Pacer::new(Instant::now() + Duration::from_millis(5), config.delta),
+        approved: AtomicU64::new(1),
+        stop_at: AtomicU64::new(u64::MAX),
+        outcome: Mutex::new(None),
+        overruns: AtomicU64::new(0),
+        backpressure: AtomicU64::new(0),
+        done_flags: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        escalations: Mutex::new(Vec::new()),
+        metrics: Mutex::new(Metrics::default()),
+    });
+    let corrupt: Arc<Vec<bool>> =
+        Arc::new((0..n).map(|i| config.corrupt.iter().any(|c| c.index() == i)).collect());
 
     let mut handles = Vec::with_capacity(n);
-    for (i, mut actor) in actors.into_iter().enumerate() {
+    for (i, actor) in actors.into_iter().enumerate() {
         let me = ProcessId(i as u32);
         let rx = rxs.remove(0);
         let txs = txs.clone();
-        let metrics = metrics.clone();
-        let overruns = overruns.clone();
-        let stop = stop.clone();
-        let done_flags = done_flags.clone();
+        let ctrl = ctrl.clone();
         let corrupt = corrupt.clone();
-        let delta = config.delta;
-        let max_rounds = config.max_rounds;
-        let handle = std::thread::spawn(move || {
-            let mut buffer: Vec<Wire<M>> = Vec::new();
-            let mut round = 0u64;
-            while round < max_rounds && !stop.load(Ordering::SeqCst) {
-                let round_start = start + delta * round as u32;
-                let now = Instant::now();
-                if round_start > now {
-                    std::thread::sleep(round_start - now);
-                }
-                buffer.extend(rx.try_iter());
-                let mut inbox: Vec<Envelope<M>> = Vec::new();
-                let mut keep: Vec<Wire<M>> = Vec::new();
-                for w in buffer.drain(..) {
-                    if w.sent_round < round {
-                        inbox.push(Envelope { from: w.from, msg: w.msg });
-                    } else {
-                        keep.push(w);
-                    }
-                }
-                buffer = keep;
-                let mut ctx = RoundCtx::new(Round(round), me, n, &inbox);
-                actor.on_round(&mut ctx);
-                let outbox = ctx.take_outbox();
-                let sender_correct = !corrupt[i];
-                for (dest, msg) in outbox {
-                    let words = msg.words().max(1);
-                    let sigs = msg.constituent_sigs();
-                    let component = msg.component();
-                    let targets: Vec<usize> = match dest {
-                        Dest::To(p) if p.index() < n => vec![p.index()],
-                        Dest::To(_) => vec![],
-                        Dest::All => (0..n).collect(),
-                    };
-                    for target in targets {
-                        if target != i {
-                            metrics.lock().record(
-                                me,
-                                sender_correct,
-                                component,
-                                round,
-                                words,
-                                sigs,
-                            );
-                        }
-                        let _ = txs[target].send(Wire {
-                            from: me,
-                            sent_round: round,
-                            msg: msg.clone(),
-                        });
-                    }
-                }
-                // Synchrony monitoring: processing past the round's
-                // deadline means a peer may have missed this round's
-                // messages.
-                if Instant::now() > round_start + delta {
-                    overruns.fetch_add(1, Ordering::Relaxed);
-                }
-                done_flags[i].store(actor.done(), Ordering::SeqCst);
-                // The lowest-indexed thread doubles as the coordinator.
-                if i == 0 {
-                    let all_done = (0..n)
-                        .filter(|&j| !corrupt[j])
-                        .all(|j| done_flags[j].load(Ordering::SeqCst));
-                    if all_done {
-                        stop.store(true, Ordering::SeqCst);
-                    }
-                }
-                round += 1;
-            }
-            (actor, round)
-        });
-        handles.push(handle);
+        let policy = config.link_policy.as_ref().map(|f| f(me));
+        let cfg = WorkerConfig {
+            max_rounds: config.max_rounds,
+            overrun_window: config.overrun_window,
+            overrun_action: config.overrun_action.clone(),
+        };
+        handles.push(std::thread::spawn(move || {
+            run_process(me, actor, rx, txs, policy, ctrl, corrupt, cfg)
+        }));
     }
+    drop(txs);
 
     let mut actors_back: Vec<Box<dyn AnyActor<Msg = M>>> = Vec::with_capacity(n);
     let mut max_round = 0;
@@ -191,19 +380,300 @@ pub fn run_cluster<M: Message>(
         actors_back.push(actor);
     }
     actors_back.sort_by_key(|a| a.id().index());
-    let completed = (0..n)
-        .filter(|&j| !corrupt[j])
-        .all(|j| done_flags[j].load(Ordering::SeqCst));
-    let mut metrics = Arc::try_unwrap(metrics)
-        .map(|m| m.into_inner())
-        .unwrap_or_else(|arc| arc.lock().clone());
-    metrics.rounds = max_round;
+
+    let ctrl = Arc::try_unwrap(ctrl).unwrap_or_else(|_| panic!("cluster threads still alive"));
+    let outcome = ctrl.outcome.into_inner();
+    let (completed, rounds, aborted) = match outcome {
+        Some(o) => (o.completed, o.rounds, o.aborted),
+        // Only reachable if every thread exited on the max_rounds
+        // belt-and-braces check before the coordinator could decide.
+        None => (false, max_round, None),
+    };
+    let mut metrics = ctrl.metrics.into_inner();
+    metrics.rounds = rounds.max(max_round);
     ClusterReport {
         metrics,
-        rounds: max_round,
+        rounds: rounds.max(max_round),
         actors: actors_back,
         completed,
-        overruns: overruns.load(Ordering::Relaxed),
+        overruns: ctrl.overruns.into_inner(),
+        backpressure: ctrl.backpressure.into_inner(),
+        escalations: ctrl.escalations.into_inner(),
+        aborted,
+    }
+}
+
+/// Per-thread slice of the cluster configuration.
+struct WorkerConfig {
+    max_rounds: u64,
+    overrun_window: u32,
+    overrun_action: OverrunAction,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_process<M: Message>(
+    me: ProcessId,
+    mut actor: Box<dyn AnyActor<Msg = M>>,
+    rx: Receiver<Wire<M>>,
+    txs: Vec<Sender<Wire<M>>>,
+    mut policy: Option<Box<dyn LinkPolicy>>,
+    ctrl: Arc<Control>,
+    corrupt: Arc<Vec<bool>>,
+    cfg: WorkerConfig,
+) -> (Box<dyn AnyActor<Msg = M>>, u64) {
+    let n = txs.len();
+    let i = me.index();
+    let is_coordinator = i == 0;
+    let sender_correct = !corrupt[i];
+    // Messages received early (sent_round >= current round) wait here.
+    let mut buffer: Vec<Wire<M>> = Vec::new();
+    // Fault-delayed outbound messages, keyed by their transmit round.
+    let mut pending: BTreeMap<u64, Vec<(usize, Wire<M>)>> = BTreeMap::new();
+    // Coordinator-only escalation bookkeeping.
+    let mut overruns_seen = 0u64;
+    let mut consecutive_overruns = 0u32;
+    let mut round = 0u64;
+
+    'rounds: while round < cfg.max_rounds {
+        if ctrl.stop_at.load(Ordering::SeqCst) <= round {
+            break;
+        }
+        if !is_coordinator {
+            match wait_for_approval(&ctrl, round) {
+                Approval::Go => {}
+                Approval::Stop => break 'rounds,
+            }
+        }
+        let round_start = ctrl.pacer.round_start(round);
+        let now = Instant::now();
+        if round_start > now {
+            std::thread::sleep(round_start - now);
+        }
+        let proc_start = Instant::now();
+
+        // Transmit fault-delayed messages whose release round arrived.
+        // They keep their original sent_round, so the recipient processes
+        // them on arrival — `delay` rounds past the synchrony bound.
+        if let Some(due) = pending.remove(&round) {
+            for (target, wire) in due {
+                send_wire(&txs[target], wire, &ctrl);
+            }
+        }
+
+        // Drain the inbound link into this round's inbox; record
+        // deliveries per link.
+        buffer.extend(rx.try_iter());
+        let mut inbox: Vec<Envelope<M>> = Vec::new();
+        let mut keep: Vec<Wire<M>> = Vec::new();
+        {
+            let mut metrics = ctrl.metrics.lock();
+            for w in buffer.drain(..) {
+                if w.sent_round < round {
+                    if w.from != me {
+                        metrics.link_mut(w.from, me).delivered += 1;
+                    }
+                    inbox.push(Envelope { from: w.from, msg: w.msg });
+                } else {
+                    keep.push(w);
+                }
+            }
+        }
+        buffer = keep;
+
+        let mut ctx = RoundCtx::new(Round(round), me, n, &inbox);
+        actor.on_round(&mut ctx);
+        let outbox = ctx.take_outbox();
+        for (dest, msg) in outbox {
+            let words = msg.words().max(1);
+            let sigs = msg.constituent_sigs();
+            let component = msg.component();
+            let targets: Vec<usize> = match dest {
+                Dest::To(p) if p.index() < n => vec![p.index()],
+                Dest::To(_) => vec![],
+                Dest::All => (0..n).collect(),
+            };
+            for target in targets {
+                let wire = Wire { from: me, sent_round: round, msg: msg.clone() };
+                if target == i {
+                    // Self-delivery: process memory, not a link — no
+                    // policy, no per-link stats, no word accounting.
+                    send_wire(&txs[target], wire, &ctrl);
+                    continue;
+                }
+                let to = ProcessId(target as u32);
+                let fate = match &mut policy {
+                    Some(p) => p.fate(Link { from: me, to }, round),
+                    None => LinkFate::Deliver,
+                };
+                {
+                    let mut metrics = ctrl.metrics.lock();
+                    metrics.record(me, sender_correct, component, round, words, sigs);
+                    let stats = metrics.link_mut(me, to);
+                    stats.sent += 1;
+                    match fate {
+                        LinkFate::Deliver => {}
+                        LinkFate::Drop => stats.dropped += 1,
+                        LinkFate::DelayRounds(_) => stats.delayed += 1,
+                    }
+                }
+                match fate {
+                    LinkFate::Deliver => send_wire(&txs[target], wire, &ctrl),
+                    LinkFate::Drop => {}
+                    LinkFate::DelayRounds(k) => {
+                        pending.entry(round + k).or_default().push((target, wire));
+                    }
+                }
+            }
+        }
+
+        // Observability: per-round processing latency and synchrony
+        // monitoring. Processing past the round's deadline means a peer
+        // may have missed this round's messages.
+        let proc_end = Instant::now();
+        let latency_us =
+            u64::try_from(proc_end.duration_since(proc_start).as_micros()).unwrap_or(u64::MAX);
+        ctrl.metrics.lock().round_latency.record_us(latency_us);
+        let deadline = ctrl.pacer.round_start(round + 1);
+        if proc_end > deadline {
+            ctrl.overruns.fetch_add(1, Ordering::Relaxed);
+        }
+        ctrl.done_flags[i].store(actor.done(), Ordering::SeqCst);
+
+        if is_coordinator {
+            coordinate(&ctrl, &corrupt, &cfg, round, &mut overruns_seen, &mut consecutive_overruns);
+        }
+        round += 1;
+    }
+    (actor, round)
+}
+
+/// Sends one wire message, counting backpressure blocks. A disconnected
+/// link (the peer already stopped) loses the message, which is fine: the
+/// run is over for that peer.
+fn send_wire<M: Message>(tx: &Sender<Wire<M>>, wire: Wire<M>, ctrl: &Control) {
+    match tx.try_send(wire) {
+        Ok(()) => {}
+        Err(TrySendError::Full(wire)) => {
+            ctrl.backpressure.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(wire);
+        }
+        Err(TrySendError::Disconnected(_)) => {}
+    }
+}
+
+/// The coordinator's end-of-round decision: stop (exactly one recorded
+/// outcome) or approve the next round, possibly escalating δ first.
+fn coordinate(
+    ctrl: &Control,
+    corrupt: &[bool],
+    cfg: &WorkerConfig,
+    round: u64,
+    overruns_seen: &mut u64,
+    consecutive_overruns: &mut u32,
+) {
+    let n = corrupt.len();
+    let all_done =
+        (0..n).filter(|&j| !corrupt[j]).all(|j| ctrl.done_flags[j].load(Ordering::SeqCst));
+    if all_done {
+        ctrl.record_outcome(
+            Outcome { completed: true, rounds: round + 1, aborted: None },
+            round + 1,
+        );
+        return;
+    }
+    if round + 1 >= cfg.max_rounds {
+        ctrl.record_outcome(
+            Outcome { completed: false, rounds: round + 1, aborted: None },
+            round + 1,
+        );
+        return;
+    }
+
+    // Overrun bookkeeping: "this round overran" means the global counter
+    // moved since the coordinator last looked. (Laggard threads may
+    // attribute an overrun to the next coordinator round — the window is
+    // a sustained-degradation heuristic, not an exact per-round flag.)
+    let overruns_now = ctrl.overruns.load(Ordering::Relaxed);
+    if overruns_now > *overruns_seen {
+        *consecutive_overruns += 1;
+    } else {
+        *consecutive_overruns = 0;
+    }
+    *overruns_seen = overruns_now;
+
+    if *consecutive_overruns >= cfg.overrun_window {
+        match &cfg.overrun_action {
+            OverrunAction::Count => {}
+            OverrunAction::Escalate { multiplier, max_delta } => {
+                let old_delta = ctrl.pacer.delta_at(round + 1);
+                let new_delta = old_delta.saturating_mul((*multiplier).max(2)).min(*max_delta);
+                if new_delta > old_delta {
+                    // Round r+1 is already approved under the old pacing;
+                    // the new δ takes effect at r+2.
+                    ctrl.pacer.escalate(round + 2, new_delta);
+                    ctrl.escalations.lock().push(Escalation {
+                        at_round: round + 2,
+                        old_delta,
+                        new_delta,
+                    });
+                }
+                *consecutive_overruns = 0;
+            }
+            OverrunAction::Abort => {
+                ctrl.record_outcome(
+                    Outcome {
+                        completed: false,
+                        rounds: round + 1,
+                        aborted: Some(ClusterDiagnostic {
+                            reason: AbortReason::SustainedOverruns {
+                                consecutive: *consecutive_overruns,
+                                window: cfg.overrun_window,
+                            },
+                            round,
+                            overruns: overruns_now,
+                            delta: ctrl.pacer.delta_at(round),
+                        }),
+                    },
+                    round + 1,
+                );
+                return;
+            }
+        }
+    }
+    ctrl.approved.store(round + 2, Ordering::SeqCst);
+}
+
+/// Blocks a worker until its next round is approved or the run stops. A
+/// multi-minute wait means the coordinator died mid-run; the worker then
+/// stops the cluster with a [`AbortReason::CoordinatorStalled`]
+/// diagnostic instead of spinning forever.
+fn wait_for_approval(ctrl: &Control, round: u64) -> Approval {
+    let stall_after = ctrl.pacer.delta_at(round).saturating_mul(64).max(Duration::from_secs(60));
+    let wait_start = Instant::now();
+    loop {
+        if ctrl.stop_at.load(Ordering::SeqCst) <= round {
+            return Approval::Stop;
+        }
+        if ctrl.approved.load(Ordering::SeqCst) > round {
+            return Approval::Go;
+        }
+        if wait_start.elapsed() > stall_after {
+            ctrl.record_outcome(
+                Outcome {
+                    completed: false,
+                    rounds: round,
+                    aborted: Some(ClusterDiagnostic {
+                        reason: AbortReason::CoordinatorStalled,
+                        round,
+                        overruns: ctrl.overruns.load(Ordering::Relaxed),
+                        delta: ctrl.pacer.delta_at(round),
+                    }),
+                },
+                round,
+            );
+            return Approval::Stop;
+        }
+        std::thread::sleep(Duration::from_micros(100));
     }
 }
 
@@ -214,6 +684,9 @@ impl<M: Message> std::fmt::Debug for ClusterReport<M> {
             .field("completed", &self.completed)
             .field("correct_words", &self.metrics.correct.words)
             .field("overruns", &self.overruns)
+            .field("backpressure", &self.backpressure)
+            .field("escalations", &self.escalations.len())
+            .field("aborted", &self.aborted)
             .finish_non_exhaustive()
     }
 }
@@ -252,16 +725,20 @@ mod tests {
         }
     }
 
+    fn gossips(targets: &[usize]) -> Vec<Box<dyn AnyActor<Msg = Ping>>> {
+        targets
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Box::new(Gossip { id: ProcessId(i as u32), heard: 0, target: t }) as _)
+            .collect()
+    }
+
     #[test]
     fn cluster_delivers_broadcasts_next_round() {
         let n = 4;
-        let actors: Vec<Box<dyn AnyActor<Msg = Ping>>> = (0..n)
-            .map(|i| {
-                Box::new(Gossip { id: ProcessId(i as u32), heard: 0, target: n }) as _
-            })
-            .collect();
-        let report = run_cluster(actors, ClusterConfig::default());
+        let report = run_cluster(gossips(&[n; 4]), ClusterConfig::default());
         assert!(report.completed);
+        assert!(report.aborted.is_none());
         for a in &report.actors {
             let g: &Gossip = a.as_any().downcast_ref().unwrap();
             assert_eq!(g.heard, n, "every broadcast (incl. own) delivered once");
@@ -272,24 +749,16 @@ mod tests {
 
     #[test]
     fn cluster_respects_corrupt_accounting() {
-        let n = 3;
-        let actors: Vec<Box<dyn AnyActor<Msg = Ping>>> = (0..n)
-            .map(|i| {
-                Box::new(Gossip { id: ProcessId(i as u32), heard: 0, target: n }) as _
-            })
-            .collect();
         let cfg = ClusterConfig { corrupt: vec![ProcessId(1)], ..Default::default() };
-        let report = run_cluster(actors, cfg);
+        let report = run_cluster(gossips(&[3; 3]), cfg);
         assert_eq!(report.metrics.correct.words, 4); // 2 correct × 2 remote
         assert_eq!(report.metrics.byzantine.words, 2);
     }
 
     #[test]
     fn cluster_stops_at_round_budget() {
-        let actors: Vec<Box<dyn AnyActor<Msg = Ping>>> =
-            vec![Box::new(Gossip { id: ProcessId(0), heard: 0, target: 99 })];
         let cfg = ClusterConfig { max_rounds: 5, ..Default::default() };
-        let report = run_cluster(actors, cfg);
+        let report = run_cluster(gossips(&[99]), cfg);
         assert!(!report.completed);
         assert_eq!(report.rounds, 5);
     }
@@ -302,6 +771,78 @@ mod tests {
         ];
         let report = run_cluster(actors, ClusterConfig::default());
         assert!(report.completed);
+    }
+
+    #[test]
+    fn latency_histogram_and_link_counters_are_recorded() {
+        let report = run_cluster(gossips(&[2; 2]), ClusterConfig::default());
+        assert!(report.completed);
+        // Two threads × ≥ 2 rounds: at least 4 latency samples.
+        assert!(report.metrics.round_latency.count() >= 4);
+        // Each process broadcast once; one message per directed link.
+        let l01 = report.metrics.link(ProcessId(0), ProcessId(1));
+        let l10 = report.metrics.link(ProcessId(1), ProcessId(0));
+        assert_eq!((l01.sent, l01.delivered, l01.dropped), (1, 1, 0));
+        assert_eq!((l10.sent, l10.delivered, l10.dropped), (1, 1, 0));
+        // Self-links are never recorded.
+        assert!(report
+            .metrics
+            .per_link
+            .keys()
+            .all(|k| { k != &Metrics::link_key(ProcessId(0), ProcessId(0)) }));
+    }
+
+    #[test]
+    fn dropped_links_are_counted_and_not_delivered() {
+        use meba_sim::faults::ReliableLinks;
+        // p1's outbound links all drop; inbound links to p1 are fine.
+        let factory: LinkPolicyFactory = Arc::new(|me: ProcessId| {
+            if me == ProcessId(1) {
+                Box::new(|_l: Link, _r: u64| LinkFate::Drop) as Box<dyn LinkPolicy>
+            } else {
+                Box::new(ReliableLinks)
+            }
+        });
+        // p0/p2 can only ever hear themselves + each other; p1 hears all 3.
+        let cfg = ClusterConfig { link_policy: Some(factory), ..Default::default() };
+        let report = run_cluster(gossips(&[2, 3, 2]), cfg);
+        assert!(report.completed, "gossip must finish without p1's traffic");
+        let l10 = report.metrics.link(ProcessId(1), ProcessId(0));
+        assert_eq!((l10.sent, l10.dropped, l10.delivered), (1, 1, 0));
+        let l01 = report.metrics.link(ProcessId(0), ProcessId(1));
+        assert_eq!((l01.sent, l01.dropped, l01.delivered), (1, 0, 1));
+        assert_eq!(report.metrics.total_dropped(), 2);
+        // Dropped messages still count as sent words (3 × 2 remote).
+        assert_eq!(report.metrics.correct.words, 6);
+    }
+
+    #[test]
+    fn delayed_links_arrive_late_and_are_counted() {
+        let factory: LinkPolicyFactory = Arc::new(|_me: ProcessId| {
+            Box::new(|l: Link, _r: u64| {
+                if l.from == ProcessId(0) {
+                    LinkFate::DelayRounds(2)
+                } else {
+                    LinkFate::Deliver
+                }
+            }) as Box<dyn LinkPolicy>
+        });
+        let cfg = ClusterConfig { link_policy: Some(factory), ..Default::default() };
+        let report = run_cluster(gossips(&[2, 2]), cfg);
+        assert!(report.completed);
+        let l01 = report.metrics.link(ProcessId(0), ProcessId(1));
+        assert_eq!((l01.delayed, l01.delivered), (1, 1), "delayed but eventually delivered");
+        // The delayed message surfaces ≥ 2 rounds late, so the run lasts
+        // strictly longer than the fault-free 2-round gossip.
+        assert!(report.rounds > 2, "rounds = {}", report.rounds);
+    }
+
+    #[test]
+    fn report_debug_is_informative() {
+        let report = run_cluster(gossips(&[1]), ClusterConfig::default());
+        let s = format!("{report:?}");
+        assert!(s.contains("completed"));
+        assert!(s.contains("backpressure"));
     }
 }
 
@@ -321,6 +862,8 @@ mod overrun_tests {
     struct Sleeper {
         id: ProcessId,
         rounds: u64,
+        sleep: Duration,
+        done_after: u64,
     }
     impl Actor for Sleeper {
         type Msg = Noop;
@@ -329,27 +872,26 @@ mod overrun_tests {
         }
         fn on_round(&mut self, _ctx: &mut meba_sim::RoundCtx<'_, Noop>) {
             self.rounds += 1;
-            // Deliberately exceed the 1 ms round duration.
-            std::thread::sleep(Duration::from_millis(3));
+            // Deliberately exceed the configured round duration.
+            std::thread::sleep(self.sleep);
         }
         fn done(&self) -> bool {
-            self.rounds >= 3
+            self.rounds >= self.done_after
         }
+    }
+
+    fn sleeper(sleep: Duration, done_after: u64) -> Vec<Box<dyn AnyActor<Msg = Noop>>> {
+        vec![Box::new(Sleeper { id: ProcessId(0), rounds: 0, sleep, done_after })]
     }
 
     #[test]
     fn overruns_are_detected() {
-        let actors: Vec<Box<dyn AnyActor<Msg = Noop>>> =
-            vec![Box::new(Sleeper { id: ProcessId(0), rounds: 0 })];
         let report = run_cluster(
-            actors,
-            ClusterConfig {
-                delta: Duration::from_millis(1),
-                max_rounds: 10,
-                corrupt: vec![],
-            },
+            sleeper(Duration::from_millis(3), 3),
+            ClusterConfig { delta: Duration::from_millis(1), max_rounds: 10, ..Default::default() },
         );
         assert!(report.overruns > 0, "slow rounds must be flagged");
+        assert!(report.aborted.is_none(), "default action only counts");
     }
 
     #[test]
@@ -378,9 +920,83 @@ mod overrun_tests {
             ClusterConfig {
                 delta: Duration::from_millis(20),
                 max_rounds: 10,
-                corrupt: vec![],
+                ..Default::default()
             },
         );
         assert_eq!(report.overruns, 0);
+        assert!(report.metrics.round_latency.max_us() < 20_000);
+    }
+
+    #[test]
+    fn sustained_overruns_abort_with_diagnostic() {
+        let report = run_cluster(
+            sleeper(Duration::from_millis(4), 1_000),
+            ClusterConfig {
+                delta: Duration::from_millis(1),
+                max_rounds: 200,
+                overrun_window: 2,
+                overrun_action: OverrunAction::Abort,
+                ..Default::default()
+            },
+        );
+        assert!(!report.completed);
+        let diag = report.aborted.expect("abort must attach a diagnostic");
+        match diag.reason {
+            AbortReason::SustainedOverruns { consecutive, window } => {
+                assert_eq!(window, 2);
+                assert!(consecutive >= 2);
+            }
+            other => panic!("unexpected abort reason {other:?}"),
+        }
+        assert!(diag.overruns >= 2);
+        assert_eq!(diag.delta, Duration::from_millis(1));
+        assert!(report.rounds < 200, "abort must stop the run early");
+        let rendered = diag.to_string();
+        assert!(rendered.contains("consecutive overrunning rounds"), "{rendered}");
+    }
+
+    #[test]
+    fn escalation_stretches_delta_until_rounds_fit() {
+        let report = run_cluster(
+            sleeper(Duration::from_millis(3), 12),
+            ClusterConfig {
+                delta: Duration::from_millis(1),
+                max_rounds: 100,
+                overrun_window: 1,
+                overrun_action: OverrunAction::Escalate {
+                    multiplier: 4,
+                    max_delta: Duration::from_millis(64),
+                },
+                ..Default::default()
+            },
+        );
+        assert!(report.completed, "escalation must let the sleeper finish");
+        assert!(report.aborted.is_none());
+        assert!(!report.escalations.is_empty(), "δ must have been escalated");
+        for e in &report.escalations {
+            assert!(e.new_delta > e.old_delta);
+            assert!(e.new_delta <= Duration::from_millis(64));
+        }
+    }
+
+    #[test]
+    fn escalation_respects_max_delta_cap() {
+        let report = run_cluster(
+            sleeper(Duration::from_millis(3), 6),
+            ClusterConfig {
+                delta: Duration::from_millis(1),
+                max_rounds: 50,
+                overrun_window: 1,
+                overrun_action: OverrunAction::Escalate {
+                    multiplier: 100,
+                    max_delta: Duration::from_millis(2),
+                },
+                ..Default::default()
+            },
+        );
+        // The cap keeps δ at 2 ms (< 3 ms sleep), so overruns persist, but
+        // the run still finishes — escalation never aborts.
+        assert!(report.completed);
+        assert!(report.escalations.len() <= 1, "capped δ can only escalate once");
     }
 }

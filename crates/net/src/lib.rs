@@ -2,13 +2,20 @@
 //!
 //! The lockstep simulator (`meba-sim`) measures word complexity under a
 //! normalized `δ = 1` round; this crate runs the *same* actor state
-//! machines on one OS thread per process with crossbeam channels as
-//! reliable links and a wall-clock `δ`, demonstrating the protocols under
-//! real concurrency. See the `threaded_cluster` example.
+//! machines on one OS thread per process with bounded crossbeam channels
+//! as links and a wall-clock `δ`, demonstrating the protocols under real
+//! concurrency — including injected link faults
+//! ([`ClusterConfig::link_policy`]), per-round latency observability, and
+//! graceful degradation when δ turns out too small
+//! ([`cluster::OverrunAction`]). See the `threaded_cluster` and
+//! `fault_injection` examples.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cluster;
 
-pub use cluster::{run_cluster, ClusterConfig, ClusterReport};
+pub use cluster::{
+    run_cluster, AbortReason, ClusterConfig, ClusterDiagnostic, ClusterReport, Escalation,
+    LinkPolicyFactory, OverrunAction,
+};

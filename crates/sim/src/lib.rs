@@ -47,13 +47,18 @@
 #![forbid(unsafe_code)]
 
 pub mod actor;
+pub mod faults;
 pub mod metrics;
 pub mod round;
 pub mod runner;
 pub mod trace;
 
 pub use actor::{Actor, Dest, Envelope, IdleActor, Message, RoundCtx};
-pub use metrics::{Counters, Metrics};
+pub use faults::{
+    BernoulliDrop, Link, LinkFate, LinkPolicy, OneShotPartition, PolicyStack, RandomDelay,
+    ReliableLinks,
+};
+pub use metrics::{Counters, LatencyHistogram, LinkStats, Metrics};
 pub use round::Round;
 pub use runner::{AnyActor, RunError, SimBuilder, Simulation};
 pub use trace::{Trace, TraceEvent};

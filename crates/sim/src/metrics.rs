@@ -10,8 +10,132 @@
 use meba_crypto::ProcessId;
 use std::collections::BTreeMap;
 
+/// Number of power-of-two latency buckets: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` µs (bucket 0 additionally holds sub-microsecond
+/// samples), and the last bucket is open-ended — `2^21` µs ≈ 2 s, beyond
+/// any sane round duration.
+const LATENCY_BUCKETS: usize = 22;
+
+/// A power-of-two histogram of per-round processing latencies, in
+/// microseconds.
+///
+/// Recorded by the threaded cluster runtime: each process contributes one
+/// sample per round — the time from the round's scheduled start until it
+/// finished processing and sending. Comparing the histogram's tail against
+/// `δ` shows how much synchrony headroom a run had.
+///
+/// # Examples
+///
+/// ```
+/// use meba_sim::metrics::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::default();
+/// h.record_us(3);
+/// h.record_us(900);
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.max_us(), 900);
+/// assert!(h.quantile(1.0) >= 900);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+serde::impl_serde_struct!(LatencyHistogram { buckets, count, sum_us, max_us });
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: vec![0; LATENCY_BUCKETS], count: 0, sum_us: 0, max_us: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample.
+    pub fn record_us(&mut self, us: u64) {
+        let idx =
+            if us == 0 { 0 } else { ((63 - us.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1) };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample, in µs.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Mean sample, in µs (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Raw bucket counts; bucket `i` covers `[2^i, 2^(i+1))` µs.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// An upper bound on the `q`-quantile (`q ∈ [0, 1]`), in µs: the
+    /// exclusive upper edge of the first bucket at which the cumulative
+    /// count reaches `q · count`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return 1u64 << (i + 1);
+            }
+        }
+        self.max_us
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+}
+
+/// Delivery accounting for one directed link.
+///
+/// `sent` counts messages handed to the link; `delivered` counts messages
+/// the recipient actually drained into an inbox. Under [`ReliableLinks`]
+/// the two converge when the run ends cleanly; `dropped`/`delayed` count
+/// fault-injection decisions ([`crate::faults::LinkFate`]).
+///
+/// [`ReliableLinks`]: crate::faults::ReliableLinks
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages the sender put on the link (before fault injection).
+    pub sent: u64,
+    /// Messages the recipient drained into a round inbox.
+    pub delivered: u64,
+    /// Messages dropped by a [`crate::faults::LinkPolicy`].
+    pub dropped: u64,
+    /// Messages delayed past `δ` by a [`crate::faults::LinkPolicy`].
+    pub delayed: u64,
+}
+
+serde::impl_serde_struct!(LinkStats { sent, delivered, dropped, delayed });
+
 /// A bundle of communication counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Counters {
     /// Total words sent.
     pub words: u64,
@@ -21,6 +145,8 @@ pub struct Counters {
     /// counts `k`).
     pub constituent_sigs: u64,
 }
+
+serde::impl_serde_struct!(Counters { words, messages, constituent_sigs });
 
 impl Counters {
     /// Adds one message's costs.
@@ -39,7 +165,7 @@ impl Counters {
 }
 
 /// Full accounting for one simulation run.
-#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Metrics {
     /// Words/messages/signatures sent by correct processes (the paper's
     /// communication complexity).
@@ -57,7 +183,25 @@ pub struct Metrics {
     pub per_process: BTreeMap<u32, Counters>,
     /// Number of rounds executed.
     pub rounds: u64,
+    /// Per-round processing latencies (µs) — populated by the threaded
+    /// cluster runtime; empty for lockstep runs, where rounds have no
+    /// wall-clock extent.
+    pub round_latency: LatencyHistogram,
+    /// Delivery accounting per directed link, keyed `"p0->p1"` (see
+    /// [`Metrics::link_key`]). Self-links are never recorded.
+    pub per_link: BTreeMap<String, LinkStats>,
 }
+
+serde::impl_serde_struct!(Metrics {
+    correct,
+    byzantine,
+    by_component,
+    words_per_round,
+    per_process,
+    rounds,
+    round_latency,
+    per_link,
+});
 
 impl Metrics {
     /// Records one sent message.
@@ -86,6 +230,28 @@ impl Metrics {
     /// Words sent by correct processes — the paper's headline metric.
     pub fn correct_words(&self) -> u64 {
         self.correct.words
+    }
+
+    /// Canonical [`Metrics::per_link`] key for the directed link
+    /// `from → to`.
+    pub fn link_key(from: ProcessId, to: ProcessId) -> String {
+        format!("{from}->{to}")
+    }
+
+    /// Mutable delivery stats for `from → to`, created on first use.
+    pub fn link_mut(&mut self, from: ProcessId, to: ProcessId) -> &mut LinkStats {
+        self.per_link.entry(Self::link_key(from, to)).or_default()
+    }
+
+    /// Delivery stats for `from → to` (zeroed if the link never carried a
+    /// message).
+    pub fn link(&self, from: ProcessId, to: ProcessId) -> LinkStats {
+        self.per_link.get(&Self::link_key(from, to)).copied().unwrap_or_default()
+    }
+
+    /// Sum of `dropped` over all links.
+    pub fn total_dropped(&self) -> u64 {
+        self.per_link.values().map(|s| s.dropped).sum()
     }
 }
 
@@ -130,6 +296,51 @@ mod tests {
         a.merge(&b);
         assert_eq!(a, Counters { words: 11, messages: 22, constituent_sigs: 33 });
     }
+
+    #[test]
+    fn latency_histogram_buckets_and_quantiles() {
+        let mut h = LatencyHistogram::default();
+        for us in [0, 1, 2, 3, 500, 1_000, 4_000_000] {
+            h.record_us(us);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max_us(), 4_000_000);
+        assert_eq!(h.buckets()[0], 2); // 0 and 1
+        assert_eq!(h.buckets()[1], 2); // 2 and 3
+        assert_eq!(h.buckets()[8], 1); // 500 ∈ [256, 512)
+        assert_eq!(h.buckets()[9], 1); // 1000 ∈ [512, 1024)
+        assert_eq!(h.buckets()[21], 1); // open-ended tail
+        assert!(h.quantile(0.5) <= 512);
+        assert!(h.quantile(1.0) >= 2_097_152);
+        assert_eq!(LatencyHistogram::default().quantile(0.9), 0);
+    }
+
+    #[test]
+    fn latency_histogram_merge() {
+        let mut a = LatencyHistogram::default();
+        a.record_us(10);
+        let mut b = LatencyHistogram::default();
+        b.record_us(100);
+        b.record_us(7);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max_us(), 100);
+        assert_eq!(a.mean_us(), 39);
+    }
+
+    #[test]
+    fn per_link_accounting() {
+        let mut m = Metrics::default();
+        m.link_mut(ProcessId(0), ProcessId(1)).sent += 3;
+        m.link_mut(ProcessId(0), ProcessId(1)).dropped += 1;
+        m.link_mut(ProcessId(1), ProcessId(0)).delivered += 2;
+        assert_eq!(m.link(ProcessId(0), ProcessId(1)).sent, 3);
+        assert_eq!(m.link(ProcessId(0), ProcessId(1)).dropped, 1);
+        assert_eq!(m.link(ProcessId(1), ProcessId(0)).delivered, 2);
+        assert_eq!(m.link(ProcessId(2), ProcessId(0)), LinkStats::default());
+        assert_eq!(m.total_dropped(), 1);
+        assert_eq!(Metrics::link_key(ProcessId(0), ProcessId(1)), "p0->p1");
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +353,9 @@ mod serde_tests {
         m.record(ProcessId(0), true, "bb/vetting", 0, 3, 2);
         m.record(ProcessId(1), false, "fallback", 2, 5, 1);
         m.rounds = 3;
+        m.round_latency.record_us(250);
+        m.link_mut(ProcessId(0), ProcessId(1)).sent = 4;
+        m.link_mut(ProcessId(0), ProcessId(1)).dropped = 1;
         let json = serde_json::to_string(&m).unwrap();
         let back: Metrics = serde_json::from_str(&json).unwrap();
         assert_eq!(back.correct, m.correct);
@@ -149,5 +363,7 @@ mod serde_tests {
         assert_eq!(back.words_per_round, m.words_per_round);
         assert_eq!(back.rounds, 3);
         assert_eq!(back.by_component.get("bb/vetting"), m.by_component.get("bb/vetting"));
+        assert_eq!(back.round_latency, m.round_latency);
+        assert_eq!(back.per_link, m.per_link);
     }
 }

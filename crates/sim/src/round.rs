@@ -18,10 +18,10 @@ use std::ops::{Add, AddAssign, Sub};
 /// assert_eq!(r, Round(5));
 /// assert_eq!(r - Round(3), 2);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Round(pub u64);
+
+serde::impl_serde_newtype!(Round);
 
 impl Round {
     /// The following round.

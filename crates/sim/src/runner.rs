@@ -12,10 +12,12 @@
 //! function of the actors' initial states.
 
 use crate::actor::{Actor, Dest, Envelope, RoundCtx};
+use crate::faults::{Link, LinkFate, LinkPolicy};
 use crate::metrics::Metrics;
 use crate::round::Round;
 use meba_crypto::ProcessId;
 use std::any::Any;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -62,6 +64,7 @@ pub struct SimBuilder<M: crate::actor::Message> {
     crash_at: Vec<Option<u64>>,
     rushing: bool,
     trace_capacity: Option<usize>,
+    link_policy: Option<Box<dyn LinkPolicy>>,
 }
 
 impl<M: crate::actor::Message> fmt::Debug for SimBuilder<M> {
@@ -86,6 +89,7 @@ impl<M: crate::actor::Message> SimBuilder<M> {
             crash_at: vec![None; n],
             rushing: true,
             trace_capacity: None,
+            link_policy: None,
         }
     }
 
@@ -107,6 +111,20 @@ impl<M: crate::actor::Message> SimBuilder<M> {
     /// inspection (see [`crate::trace::Trace`]). Off by default.
     pub fn trace(mut self, capacity: usize) -> Self {
         self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Injects link faults: every non-self point-to-point delivery asks
+    /// `policy` for its [`LinkFate`] — dropped messages vanish, delayed
+    /// messages arrive `k` rounds past the synchrony bound. While a
+    /// policy is installed, per-link delivery counters are recorded into
+    /// [`Metrics::per_link`]. Off by default (reliable links, zero
+    /// overhead).
+    ///
+    /// Word accounting is unaffected: the paper counts words *sent* by
+    /// correct processes, and a dropped message was still sent.
+    pub fn link_policy(mut self, policy: Box<dyn LinkPolicy>) -> Self {
+        self.link_policy = Some(policy);
         self
     }
 
@@ -146,6 +164,8 @@ impl<M: crate::actor::Message> SimBuilder<M> {
             round: Round(0),
             metrics: Metrics::default(),
             trace: self.trace_capacity.map(crate::trace::Trace::with_capacity),
+            link_policy: self.link_policy,
+            delayed: BTreeMap::new(),
         }
     }
 }
@@ -160,6 +180,9 @@ pub struct Simulation<M: crate::actor::Message> {
     round: Round,
     metrics: Metrics,
     trace: Option<crate::trace::Trace>,
+    link_policy: Option<Box<dyn LinkPolicy>>,
+    /// Fault-delayed messages, keyed by the round in which they surface.
+    delayed: BTreeMap<u64, Vec<(usize, Envelope<M>)>>,
 }
 
 impl<M: crate::actor::Message> fmt::Debug for Simulation<M> {
@@ -214,16 +237,19 @@ impl<M: crate::actor::Message> Simulation<M> {
     pub fn step(&mut self) {
         let n = self.actors.len();
         let round = self.round;
+        // Fault-delayed messages surface at the start of their due round.
+        if let Some(due) = self.delayed.remove(&round.as_u64()) {
+            for (to, env) in due {
+                self.metrics.link_mut(env.from, ProcessId(to as u32)).delivered += 1;
+                self.inboxes[to].push(env);
+            }
+        }
         let inboxes = std::mem::replace(&mut self.inboxes, (0..n).map(|_| Vec::new()).collect());
         let mut rushed: Vec<Vec<Envelope<M>>> = (0..n).map(|_| Vec::new()).collect();
 
         // Wave 1: correct actors (plus everyone when rushing is off).
-        let wave1: Vec<usize> = (0..n)
-            .filter(|&i| !self.rushing || !self.corrupt[i])
-            .collect();
-        let wave2: Vec<usize> = (0..n)
-            .filter(|&i| self.rushing && self.corrupt[i])
-            .collect();
+        let wave1: Vec<usize> = (0..n).filter(|&i| !self.rushing || !self.corrupt[i]).collect();
+        let wave2: Vec<usize> = (0..n).filter(|&i| self.rushing && self.corrupt[i]).collect();
 
         for &i in &wave1 {
             if self.crash_at[i].is_some_and(|r| round.as_u64() >= r) {
@@ -332,6 +358,28 @@ impl<M: crate::actor::Message> Simulation<M> {
         rushed: &mut [Vec<Envelope<M>>],
     ) {
         let env = Envelope { from, msg };
+        // Self-delivery is process memory, not a link: never faulted, never
+        // counted in per-link stats.
+        if from != to {
+            if let Some(policy) = &mut self.link_policy {
+                let fate = policy.fate(Link { from, to }, self.round.as_u64());
+                let stats = self.metrics.link_mut(from, to);
+                stats.sent += 1;
+                match fate {
+                    LinkFate::Deliver => stats.delivered += 1,
+                    LinkFate::Drop => {
+                        stats.dropped += 1;
+                        return;
+                    }
+                    LinkFate::DelayRounds(k) => {
+                        stats.delayed += 1;
+                        let due = self.round.as_u64() + 1 + k;
+                        self.delayed.entry(due).or_default().push((to.index(), env));
+                        return;
+                    }
+                }
+            }
+        }
         if self.rushing && self.corrupt[to.index()] && from_correct {
             // Rushing: corrupt recipients of correct traffic see it this
             // round (wave 2) instead of the next.
@@ -548,5 +596,68 @@ mod tests {
         let actors: Vec<Box<dyn AnyActor<Msg = Ping>>> =
             vec![Box::new(RushEcho { id: ProcessId(5), echoed_at: None })];
         let _ = SimBuilder::new(actors).build();
+    }
+
+    #[test]
+    fn link_policy_drops_are_counted_and_not_delivered() {
+        use crate::faults::{Link, LinkFate};
+        // Mute p1's outbound links; everything else is reliable.
+        let policy = |l: Link, _r: u64| {
+            if l.from == ProcessId(1) {
+                LinkFate::Drop
+            } else {
+                LinkFate::Deliver
+            }
+        };
+        let mut sim = SimBuilder::new(chatters(3)).link_policy(Box::new(policy)).build();
+        sim.step();
+        sim.step();
+        for i in [0u32, 2] {
+            let c: &Chatter = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+            // Hears itself and the other unmuted chatter, not p1.
+            assert_eq!(c.heard.len(), 2, "p{i} must not hear muted p1");
+        }
+        let p1: &Chatter = sim.actor(ProcessId(1)).as_any().downcast_ref().unwrap();
+        assert_eq!(p1.heard.len(), 3, "inbound links to p1 are intact");
+        let m = sim.metrics();
+        assert_eq!(m.link(ProcessId(1), ProcessId(0)).dropped, 1);
+        assert_eq!(m.link(ProcessId(1), ProcessId(0)).delivered, 0);
+        assert_eq!(m.link(ProcessId(0), ProcessId(1)).delivered, 1);
+        // Words still count the sends: drops do not reduce the paper's
+        // sent-word complexity.
+        assert_eq!(m.correct.words, 12);
+    }
+
+    #[test]
+    fn link_policy_delay_arrives_late() {
+        use crate::faults::{Link, LinkFate};
+        let policy = |l: Link, _r: u64| {
+            if l.from == ProcessId(0) && l.to == ProcessId(1) {
+                LinkFate::DelayRounds(2)
+            } else {
+                LinkFate::Deliver
+            }
+        };
+        let mut sim = SimBuilder::new(chatters(2)).link_policy(Box::new(policy)).build();
+        sim.run_rounds(2);
+        let p1: &Chatter = sim.actor(ProcessId(1)).as_any().downcast_ref().unwrap();
+        assert_eq!(p1.heard.len(), 1, "only self-delivery after 2 rounds");
+        sim.run_rounds(2); // delayed message sent in r0 surfaces in r3
+        let p1: &Chatter = sim.actor(ProcessId(1)).as_any().downcast_ref().unwrap();
+        assert_eq!(p1.heard.len(), 2);
+        assert_eq!(sim.metrics().link(ProcessId(0), ProcessId(1)).delayed, 1);
+        assert_eq!(sim.metrics().link(ProcessId(0), ProcessId(1)).delivered, 1);
+    }
+
+    #[test]
+    fn seeded_policy_runs_reproduce_exactly() {
+        let run = || {
+            let mut sim = SimBuilder::new(chatters(3))
+                .link_policy(Box::new(crate::faults::BernoulliDrop::new(99, 0.5)))
+                .build();
+            sim.run_rounds(3);
+            (sim.metrics().per_link.clone(), sim.metrics().correct.words)
+        };
+        assert_eq!(run(), run());
     }
 }

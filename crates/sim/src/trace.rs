@@ -10,7 +10,7 @@ use meba_crypto::ProcessId;
 use std::fmt;
 
 /// One recorded message delivery.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Round in which the message was sent.
     pub round: u64,
@@ -25,6 +25,8 @@ pub struct TraceEvent {
     /// Whether the sender was correct.
     pub sender_correct: bool,
 }
+
+serde::impl_serde_struct!(TraceEvent { round, from, to, component, words, sender_correct });
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

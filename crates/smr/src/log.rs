@@ -7,8 +7,7 @@ use meba_sim::{Actor, Dest, Message, RoundCtx};
 use std::collections::VecDeque;
 
 /// Message type of the fallback for the BB value domain.
-type FbMsg<V, F> =
-    <<F as FallbackFactory<BbBaValue<V>>>::Protocol as SubProtocol>::Msg;
+type FbMsg<V, F> = <<F as FallbackFactory<BbBaValue<V>>>::Protocol as SubProtocol>::Msg;
 
 /// A slot-tagged BB message.
 #[derive(Clone, Debug)]
@@ -132,9 +131,23 @@ where
         let cfg = self.slot_cfg(slot);
         let bb = if proposer == self.me {
             let cmd = self.pending.pop_front().unwrap_or_else(|| self.noop.clone());
-            Bb::new_sender(cfg, self.me, self.key.clone(), self.pki.clone(), self.factory.clone(), cmd)
+            Bb::new_sender(
+                cfg,
+                self.me,
+                self.key.clone(),
+                self.pki.clone(),
+                self.factory.clone(),
+                cmd,
+            )
         } else {
-            Bb::new(cfg, self.me, self.key.clone(), self.pki.clone(), self.factory.clone(), proposer)
+            Bb::new(
+                cfg,
+                self.me,
+                self.key.clone(),
+                self.pki.clone(),
+                self.factory.clone(),
+                proposer,
+            )
         };
         self.current = Some(bb);
     }
@@ -281,8 +294,7 @@ mod tests {
             assert_eq!(l, &all[0], "logs must be identical");
         }
         // Slots 0,1,2 proposed by p0,p1,p2 with their first commands.
-        let committed: Vec<u64> =
-            all[0].iter().filter_map(|e| e.entry.value().copied()).collect();
+        let committed: Vec<u64> = all[0].iter().filter_map(|e| e.entry.value().copied()).collect();
         assert_eq!(committed, vec![100, 101, 102]);
     }
 

@@ -24,13 +24,19 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use meba_adversary::{ChaosActor, CrashActor};
+use meba_adversary::{ChaosActor, CrashActor, LossyLinkActor};
 use meba_core::{
     AlwaysValid, Bb, Decision, LockstepAdapter, StrongBa, SubProtocol, SystemConfig, WeakBa,
 };
 use meba_crypto::{trusted_setup, ProcessId, SecretKey};
 use meba_fallback::RecursiveBaFactory;
+use meba_sim::faults::BernoulliDrop;
 use meba_sim::{AnyActor, IdleActor, Round, SimBuilder, Simulation};
+
+/// Per-message drop probability applied by [`Fault::Lossy`]: heavy enough
+/// that multi-round certificate collection routinely misses this
+/// process's traffic.
+const LOSSY_DROP_PROB: f64 = 0.75;
 
 /// Fault assignment for one process.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,6 +52,12 @@ pub enum Fault {
     CrashAt(u64),
     /// Replays observed messages at random (seeded).
     Chaos(u64),
+    /// Runs the honest protocol, but each outbound message is dropped
+    /// with high probability (seeded; see
+    /// [`meba_adversary::LossyLinkActor`]). Models a correct machine on a
+    /// failing network — which the synchronous model must count toward
+    /// `f`, since its words can exceed `δ`.
+    Lossy(u64),
 }
 
 impl Fault {
@@ -107,6 +119,10 @@ pub fn bb_sim(sender: u32, input: u64, faults: &[Fault]) -> Simulation<BbM> {
                 Box::new(CrashActor::new(LockstepAdapter::new(id, make(key)), Round(r)))
             }
             Fault::Chaos(seed) => Box::new(ChaosActor::new(id, seed, 4)),
+            Fault::Lossy(seed) => Box::new(LossyLinkActor::new(
+                LockstepAdapter::new(id, make(key)),
+                Box::new(BernoulliDrop::new(seed, LOSSY_DROP_PROB)),
+            )),
         });
     }
     apply_faults(SimBuilder::new(actors), faults).build()
@@ -149,6 +165,10 @@ pub fn weak_ba_sim(inputs: &[u64], faults: &[Fault]) -> Simulation<WbaM> {
                 Box::new(CrashActor::new(LockstepAdapter::new(id, make(key)), Round(r)))
             }
             Fault::Chaos(seed) => Box::new(ChaosActor::new(id, seed, 4)),
+            Fault::Lossy(seed) => Box::new(LossyLinkActor::new(
+                LockstepAdapter::new(id, make(key)),
+                Box::new(BernoulliDrop::new(seed, LOSSY_DROP_PROB)),
+            )),
         });
     }
     apply_faults(SimBuilder::new(actors), faults).build()
@@ -180,9 +200,8 @@ pub fn strong_ba_sim(inputs: &[bool], faults: &[Fault]) -> Simulation<SbaM> {
     for (i, key) in keys.into_iter().enumerate() {
         let id = ProcessId(i as u32);
         let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
-        let make = |key: SecretKey| {
-            StrongBa::new(cfg, id, key, pki.clone(), factory.clone(), inputs[i])
-        };
+        let make =
+            |key: SecretKey| StrongBa::new(cfg, id, key, pki.clone(), factory.clone(), inputs[i]);
         actors.push(match faults[i] {
             Fault::None => Box::new(LockstepAdapter::new(id, make(key))),
             Fault::Idle => Box::new(IdleActor::new(id)),
@@ -190,6 +209,10 @@ pub fn strong_ba_sim(inputs: &[bool], faults: &[Fault]) -> Simulation<SbaM> {
                 Box::new(CrashActor::new(LockstepAdapter::new(id, make(key)), Round(r)))
             }
             Fault::Chaos(seed) => Box::new(ChaosActor::new(id, seed, 4)),
+            Fault::Lossy(seed) => Box::new(LossyLinkActor::new(
+                LockstepAdapter::new(id, make(key)),
+                Box::new(BernoulliDrop::new(seed, LOSSY_DROP_PROB)),
+            )),
         });
     }
     apply_faults(SimBuilder::new(actors), faults).build()
@@ -254,5 +277,17 @@ mod tests {
     #[should_panic(expected = "agreement violated")]
     fn assert_agreement_panics_on_split() {
         assert_agreement(&[1, 1, 2]);
+    }
+
+    #[test]
+    fn lossy_fault_still_reaches_agreement() {
+        // One process behind a drop-heavy network; the other 4 (n = 5,
+        // t = 2) must still decide the sender's value.
+        let mut faults = vec![Fault::None; 5];
+        faults[2] = Fault::Lossy(0x10);
+        assert!(faults[2].is_byzantine(), "lossy processes count toward f");
+        let mut bb = bb_sim(0, 9, &faults);
+        bb.run_until_done(round_budget(5)).unwrap();
+        assert_eq!(assert_agreement(&bb_decisions(&bb, &faults)), Decision::Value(9));
     }
 }

@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(17);
     let f: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(2);
     let cfg = SystemConfig::new(n, 0)?;
-    assert!(f < cfg.adaptive_fault_bound(), "keep f below (n-t-1)/2 = {} for the linear path", cfg.adaptive_fault_bound());
+    assert!(
+        f < cfg.adaptive_fault_bound(),
+        "keep f below (n-t-1)/2 = {} for the linear path",
+        cfg.adaptive_fault_bound()
+    );
     let (pki, keys) = trusted_setup(n, 8);
 
     println!("Rotating-leader strong BA: n = {n}, leaders p0..p{} crashed\n", f.saturating_sub(1));
@@ -51,7 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m = sim.metrics();
 
     println!("all correct processes decided `true` at round {decided}");
-    println!("words: {} (≈ {:.1}·n), no fallback\n", m.correct.words, m.correct.words as f64 / n as f64);
+    println!(
+        "words: {} (≈ {:.1}·n), no fallback\n",
+        m.correct.words,
+        m.correct.words as f64 / n as f64
+    );
 
     // Per-round activity profile: crashed-leader attempts show only the
     // undecided processes' input sends; the first correct leader's
@@ -61,8 +69,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (r, w) in m.words_per_round.iter().enumerate() {
         let bar = "#".repeat((w * 50 / max) as usize);
         let note = match (r as u64) / 4 {
-            a if (a as usize) < f && (r as u64).is_multiple_of(4) => "  <- inputs to crashed leader",
-            a if (a as usize) == f && (r as u64).is_multiple_of(4) => "  <- first correct leader's attempt",
+            a if (a as usize) < f && (r as u64).is_multiple_of(4) => {
+                "  <- inputs to crashed leader"
+            }
+            a if (a as usize) == f && (r as u64).is_multiple_of(4) => {
+                "  <- first correct leader's attempt"
+            }
             _ => "",
         };
         println!("{r:>5} | {w:>5} {bar}{note}");

@@ -6,13 +6,15 @@
 //! cargo run --example fault_injection
 //! ```
 
-use meba::adversary::{ChaosActor, EquivocatingSender, WastefulBbLeader};
+use meba::adversary::{ChaosActor, EquivocatingSender, LossyLinkActor, WastefulBbLeader};
 use meba::prelude::*;
+use meba::sim::faults::BernoulliDrop;
 
 type BbProc = Bb<u64, RecursiveBaFactory>;
 type Msg = <BbProc as SubProtocol>::Msg;
 
-type ByzBuilder = fn(&SystemConfig, &Pki, &[SecretKey], ProcessId) -> Vec<(u32, Box<dyn AnyActor<Msg = Msg>>)>;
+type ByzBuilder =
+    fn(&SystemConfig, &Pki, &[SecretKey], ProcessId) -> Vec<(u32, Box<dyn AnyActor<Msg = Msg>>)>;
 
 struct Scenario {
     name: &'static str,
@@ -80,10 +82,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             build_byz: |cfg, _, _, _| {
                 (1u32..=3)
                     .map(|i| {
-                        (
-                            i,
-                            Box::new(WastefulBbLeader::<u64, _>::new(*cfg, ProcessId(i), i)) as _,
-                        )
+                        (i, Box::new(WastefulBbLeader::<u64, _>::new(*cfg, ProcessId(i), i)) as _)
+                    })
+                    .collect()
+            },
+        },
+        Scenario {
+            // Correct state machines behind 80%-lossy outbound links: the
+            // adversary controls their network, not their logic, yet they
+            // still count toward f and the word bill reacts the same way.
+            name: "lossy links (f = 2)",
+            build_byz: |cfg, pki, keys, sender| {
+                [3u32, 7]
+                    .into_iter()
+                    .map(|i| {
+                        let id = ProcessId(i);
+                        let key = keys[i as usize].clone();
+                        let factory = RecursiveBaFactory::new(*cfg, key.clone(), pki.clone());
+                        let bb: BbProc = Bb::new(*cfg, id, key, pki.clone(), factory, sender);
+                        let lossy = LossyLinkActor::new(
+                            LockstepAdapter::new(id, bb),
+                            Box::new(BernoulliDrop::new(0x1055_u64 ^ u64::from(i), 0.8)),
+                        );
+                        (i, Box::new(lossy) as Box<dyn AnyActor<Msg = Msg>>)
                     })
                     .collect()
             },
@@ -100,10 +121,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     println!("Adaptive BB under attack (n = {n}, sender = {sender}, value = {value})\n");
-    println!(
-        "{:<28} {:>7} {:>9} {:>8}  outcome",
-        "scenario", "words", "messages", "rounds"
-    );
+    println!("{:<28} {:>7} {:>9} {:>8}  outcome", "scenario", "words", "messages", "rounds");
 
     for sc in scenarios {
         let cfg = SystemConfig::new(n, 7)?;

@@ -39,8 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nDecisions:");
     for i in 0..n as u32 {
-        let a: &LockstepAdapter<BbProc> =
-            sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+        let a: &LockstepAdapter<BbProc> = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
         println!(
             "  p{i}: {:?} (decided at round {})",
             a.inner().output().unwrap(),

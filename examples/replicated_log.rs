@@ -32,8 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
         let commands = vec![10 * (i as u64 + 1), 10 * (i as u64 + 1) + 1];
-        let log: Log =
-            ReplicatedLog::new(cfg, id, key, pki.clone(), factory, slots, commands, 0);
+        let log: Log = ReplicatedLog::new(cfg, id, key, pki.clone(), factory, slots, commands, 0);
         actors.push(Box::new(log));
     }
     let mut sim = SimBuilder::new(actors).corrupt(crashed).build();

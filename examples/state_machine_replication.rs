@@ -36,14 +36,8 @@ fn apply_cmd(store: &mut BTreeMap<String, u64>, cmd: &[u8]) {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 7usize;
-    let commands = [
-        ("alice", 10u64),
-        ("bob", 25),
-        ("carol", 7),
-        ("alice", 11),
-        ("dave", 99),
-        ("bob", 26),
-    ];
+    let commands =
+        [("alice", 10u64), ("bob", 25), ("carol", 7), ("alice", 11), ("dave", 99), ("bob", 26)];
     // Slots 2 and 4 have a crashed proposer.
     let crashed_slots = [2usize, 4];
 

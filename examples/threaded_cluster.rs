@@ -5,7 +5,7 @@
 //! cargo run --example threaded_cluster [n] [delta_ms]
 //! ```
 
-use meba::net::{run_cluster, ClusterConfig};
+use meba::net::{run_cluster, ClusterConfig, OverrunAction};
 use meba::prelude::*;
 use std::time::{Duration, Instant};
 
@@ -19,9 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let cfg = SystemConfig::new(n, 0)?;
     let (pki, keys) = trusted_setup(n, 99);
-    println!(
-        "Binary strong BA on {n} OS threads, δ = {delta_ms} ms, crashing one follower\n"
-    );
+    println!("Binary strong BA on {n} OS threads, δ = {delta_ms} ms, crashing one follower\n");
 
     let crashed = ProcessId((n - 1) as u32);
     let mut actors: Vec<Box<dyn AnyActor<Msg = Msg>>> = Vec::new();
@@ -45,6 +43,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             delta: Duration::from_millis(delta_ms),
             max_rounds: 5_000,
             corrupt: vec![crashed],
+            // If δ turns out too small for this machine, stretch it
+            // instead of producing garbage timing.
+            overrun_action: OverrunAction::Escalate {
+                multiplier: 2,
+                max_delta: Duration::from_millis(250),
+            },
+            ..ClusterConfig::default()
         },
     );
     let elapsed = started.elapsed();
@@ -61,9 +66,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         assert_eq!(l.inner().output(), Some(true), "strong unanimity");
     }
+    let m = &report.metrics;
     println!("\nWall clock      : {elapsed:?}");
     println!("Rounds          : {}", report.rounds);
-    println!("Words (correct) : {}", report.metrics.correct.words);
+    println!("Words (correct) : {}", m.correct.words);
+    println!("Overruns        : {}", report.overruns);
+    println!("Backpressure    : {}", report.backpressure);
+    for e in &report.escalations {
+        println!("  δ escalated at round {}: {:?} -> {:?}", e.at_round, e.old_delta, e.new_delta);
+    }
+    println!(
+        "Round latency   : p50 ≤ {} µs, p99 ≤ {} µs, max {} µs ({} samples)",
+        m.round_latency.quantile(0.50),
+        m.round_latency.quantile(0.99),
+        m.round_latency.max_us(),
+        m.round_latency.count(),
+    );
+    let (links, sent, delivered): (usize, u64, u64) =
+        m.per_link.values().fold((0, 0, 0), |(l, s, d), st| (l + 1, s + st.sent, d + st.delivered));
+    println!("Links           : {links} directed, {sent} sent / {delivered} delivered");
     println!("\nThe crash of {crashed} broke the (n,n) fast path, the cluster fell");
     println!("back to the quadratic recursive BA, and unanimity still delivered `true`.");
     Ok(())

@@ -1,19 +1,22 @@
 #!/usr/bin/env bash
-# Full verification pipeline: build, lint, test, docs, experiments.
+# Full verification pipeline: format, build, lint, test, docs, experiments.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== fmt =="
+cargo fmt --all -- --check
+
 echo "== build =="
-cargo build --workspace --all-targets
+cargo build --workspace --all-targets --locked
 
 echo "== clippy =="
-cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets --locked -- -D warnings
 
 echo "== tests =="
-cargo test --workspace
+cargo test --workspace --locked
 
 echo "== docs =="
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --locked
 
 echo "== experiments (release) =="
 cargo bench -p meba-bench

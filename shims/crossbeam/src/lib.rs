@@ -1,0 +1,370 @@
+//! Offline shim for the subset of `crossbeam::channel` this workspace
+//! uses: multi-producer multi-consumer channels, [`channel::unbounded`]
+//! and [`channel::bounded`], with blocking `send`, non-blocking
+//! `try_send`/`try_recv`, draining `try_iter`, and `recv_timeout`.
+//! Backed by a `Mutex<VecDeque>` + `Condvar` pair — not as fast as real
+//! crossbeam, but semantically equivalent for the cluster runtime's
+//! message rates.
+
+#![forbid(unsafe_code)]
+
+/// Channel flavours and endpoint types.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        /// Signalled when a message is pushed or all senders drop.
+        not_empty: Condvar,
+        /// Signalled when a message is popped or all receivers drop.
+        not_full: Condvar,
+        capacity: Option<usize>,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message available right now.
+        Empty,
+        /// No message available and all senders are gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with no message.
+        Timeout,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::SeqCst);
+            Sender { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while the channel is at capacity.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut queue =
+                self.shared.queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(msg));
+                }
+                match self.shared.capacity {
+                    Some(cap) if queue.len() >= cap => {
+                        queue = self
+                            .shared
+                            .not_full
+                            .wait(queue)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    }
+                    _ => break,
+                }
+            }
+            queue.push_back(msg);
+            drop(queue);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Sends without blocking; fails if full or disconnected.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut queue =
+                self.shared.queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = self.shared.capacity {
+                if queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
+                }
+            }
+            queue.push_back(msg);
+            drop(queue);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue =
+                self.shared.queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            match queue.pop_front() {
+                Some(msg) => {
+                    drop(queue);
+                    self.shared.not_full.notify_one();
+                    Ok(msg)
+                }
+                None if self.shared.senders.load(Ordering::SeqCst) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Receives, blocking up to `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut queue =
+                self.shared.queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if let Some(msg) = queue.pop_front() {
+                    drop(queue);
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (q, res) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(queue, deadline - now)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                queue = q;
+                if res.timed_out() && queue.is_empty() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Drains every message currently available, without blocking.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { receiver: self }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    /// Iterator over currently-available messages (see
+    /// [`Receiver::try_iter`]).
+    pub struct TryIter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.try_recv().ok()
+        }
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (Sender { shared: shared.clone() }, Receiver { shared })
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a bounded channel holding at most `cap` messages; `send`
+    /// blocks while full (backpressure).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap.max(1)))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn unbounded_fifo() {
+            let (tx, rx) = unbounded();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            let got: Vec<i32> = rx.try_iter().collect();
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn bounded_try_send_full() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+            assert_eq!(rx.try_recv(), Ok(1));
+            tx.try_send(3).unwrap();
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_drained() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let h = thread::spawn(move || {
+                tx.send(2).unwrap(); // blocks until the 1 is consumed
+                "sent"
+            });
+            thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Ok(1));
+            assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Ok(2));
+            assert_eq!(h.join().unwrap(), "sent");
+        }
+
+        #[test]
+        fn disconnect_propagates() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn recv_timeout_times_out() {
+            let (_tx, rx) = unbounded::<u8>();
+            let start = Instant::now();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(30)), Err(RecvTimeoutError::Timeout));
+            assert!(start.elapsed() >= Duration::from_millis(25));
+        }
+
+        #[test]
+        fn mpmc_across_threads() {
+            let (tx, rx) = unbounded();
+            let mut handles = Vec::new();
+            for t in 0..4 {
+                let tx = tx.clone();
+                handles.push(thread::spawn(move || {
+                    for i in 0..100 {
+                        tx.send(t * 100 + i).unwrap();
+                    }
+                }));
+            }
+            drop(tx);
+            for h in handles {
+                h.join().unwrap();
+            }
+            let mut got: Vec<i32> = rx.try_iter().collect();
+            got.sort_unstable();
+            assert_eq!(got.len(), 400);
+            assert_eq!(got, (0..400).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **Deterministic**: every `proptest!` test derives its RNG seed from
+//!   the test's name, so runs are reproducible across machines and
+//!   invocations (no persistence files needed).
+//! * **No shrinking**: a failing case panics with the generated inputs
+//!   printed; minimize by hand or pin the case as a named test (see
+//!   `tests/proptest_protocols.rs` for the pattern).
+//! * Strategies implemented: ranges over the primitive integers,
+//!   [`Just`], `prop_map`, [`any`] for `bool`/integers,
+//!   [`collection::vec`], [`sample::subsequence`], weighted
+//!   [`prop_oneof!`].
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// The per-test RNG handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Builds a deterministic RNG from a test identifier.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    /// Uniform draw from a half-open `u64` range (used by strategies).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.0.gen_range(0..bound)
+        }
+    }
+
+    /// Raw 64 random bits.
+    pub fn bits(&mut self) -> u64 {
+        self.0.gen_u64()
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.0.gen_bool(p)
+    }
+}
+
+/// A value generator. Unlike real proptest there is no shrink tree —
+/// `Value` is the generated type itself.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Boxes the strategy, erasing its concrete type (used by
+    /// [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let draw = rng.bits() as u128;
+                self.start.wrapping_add(((draw * span) >> 64) as $ty)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128) - (lo as u128) + 1;
+                let draw = rng.bits() as u128;
+                lo.wrapping_add(((draw * span) >> 64) as $ty)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+/// Generates any value of a primitive type uniformly.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+/// `any::<T>()` — uniform over the whole domain of `T`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.bits() & 1 == 1
+    }
+}
+
+macro_rules! impl_any_uint {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Any<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.bits() as $ty
+            }
+        }
+    )*};
+}
+
+impl_any_uint!(u8, u16, u32, u64, usize);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Size specification for [`vec()`](vec()): a fixed length or a half-open
+    /// range of lengths.
+    pub trait IntoSizeRange {
+        /// Lower and upper (exclusive) bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    /// `vec(element, len)` — a `Vec` of `len` (or a length drawn from a
+    /// range) elements.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max_exclusive) = size.bounds();
+        assert!(min < max_exclusive, "empty vec size range");
+        VecStrategy { element, min, max_exclusive }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.max_exclusive - self.min) as u64;
+            let len = self.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies.
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Generates subsequences of a fixed source vector.
+    pub struct Subsequence<T: Clone> {
+        source: Vec<T>,
+        count: usize,
+    }
+
+    /// `subsequence(source, count)` — a uniformly chosen subsequence of
+    /// exactly `count` elements, in source order.
+    pub fn subsequence<T: Clone>(source: Vec<T>, count: usize) -> Subsequence<T> {
+        assert!(count <= source.len(), "subsequence longer than source");
+        Subsequence { source, count }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            // Floyd's algorithm for a uniform k-subset, emitted in order.
+            let n = self.source.len();
+            let mut chosen = vec![false; n];
+            for j in (n - self.count)..n {
+                let t = rng.below(j as u64 + 1) as usize;
+                if chosen[t] {
+                    chosen[j] = true;
+                } else {
+                    chosen[t] = true;
+                }
+            }
+            self.source.iter().zip(&chosen).filter(|(_, &c)| c).map(|(v, _)| v.clone()).collect()
+        }
+    }
+}
+
+/// A weighted union of boxed strategies — the engine behind
+/// [`prop_oneof!`].
+pub struct Union<T> {
+    variants: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; weights must not all be zero.
+    pub fn new_weighted(variants: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total_weight = variants.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof: all weights zero");
+        Union { variants, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut draw = rng.below(self.total_weight);
+        for (weight, strategy) in &self.variants {
+            let weight = u64::from(*weight);
+            if draw < weight {
+                return strategy.generate(rng);
+            }
+            draw -= weight;
+        }
+        unreachable!("weights changed mid-draw")
+    }
+}
+
+/// Runner configuration; only `cases` is consulted.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+    }
+}
+
+/// Everything a `proptest!` test body needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Weighted choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Asserts inside a `proptest!` body (panics with the message; the
+/// harness prints the generated inputs on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ...)`
+/// becomes a regular test that runs `config.cases` deterministic cases.
+/// On failure the generated inputs are printed before the panic
+/// propagates.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($config:expr; $(
+        #[test]
+        fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&$strategy, &mut rng);)+
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $(let $arg = ::std::clone::Clone::clone(&$arg);)+
+                    $body
+                }));
+                if let Err(panic) = result {
+                    eprintln!(
+                        "proptest {}: case {}/{} failed with inputs:",
+                        stringify!($name), case + 1, config.cases,
+                    );
+                    $(eprintln!("  {} = {:?}", stringify!($arg), $arg);)+
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        let s = 5u64..10;
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((5..10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights() {
+        let mut rng = TestRng::deterministic("weights");
+        let s = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let trues = (0..1000).filter(|_| s.generate(&mut rng)).count();
+        assert!((800..1000).contains(&trues), "trues = {trues}");
+    }
+
+    #[test]
+    fn vec_sizes() {
+        let mut rng = TestRng::deterministic("vec");
+        let fixed = crate::collection::vec(0u8..3, 7usize);
+        assert_eq!(fixed.generate(&mut rng).len(), 7);
+        let ranged = crate::collection::vec(any::<bool>(), 2..5);
+        for _ in 0..50 {
+            let len = ranged.generate(&mut rng).len();
+            assert!((2..5).contains(&len));
+        }
+    }
+
+    #[test]
+    fn subsequence_is_ordered_subset() {
+        let mut rng = TestRng::deterministic("subseq");
+        let source = vec![0, 1, 2, 3, 4, 5, 6, 7, 8];
+        let s = crate::sample::subsequence(source.clone(), 3);
+        for _ in 0..100 {
+            let sub = s.generate(&mut rng);
+            assert_eq!(sub.len(), 3);
+            assert!(sub.windows(2).all(|w| w[0] < w[1]), "ordered: {sub:?}");
+            assert!(sub.iter().all(|v| source.contains(v)));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut rng = TestRng::deterministic("det");
+            (0..10).map(|_| (0u64..1000).generate(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_smoke(v in crate::collection::vec(0u32..50, 1..6), flag in any::<bool>()) {
+            prop_assert!(v.len() < 6 && !v.is_empty());
+            prop_assert!(v.iter().all(|&x| x < 50));
+            prop_assert_eq!(flag, flag);
+        }
+    }
+}

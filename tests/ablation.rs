@@ -24,8 +24,7 @@ fn split_vote_run(cfg: SystemConfig) -> Vec<Decision<u64>> {
     let n = 7usize;
     let (pki, keys) = trusted_setup(n, 0xe8);
     let byz = [1u32, 3, 5];
-    let cohort: Vec<SecretKey> =
-        byz.iter().map(|&i| keys[i as usize].clone()).collect();
+    let cohort: Vec<SecretKey> = byz.iter().map(|&i| keys[i as usize].clone()).collect();
     let mut actors: Vec<Box<dyn AnyActor<Msg = WbaM>>> = Vec::new();
     for (i, key) in keys.iter().cloned().enumerate() {
         let id = ProcessId(i as u32);
@@ -45,8 +44,7 @@ fn split_vote_run(cfg: SystemConfig) -> Vec<Decision<u64>> {
             actors.push(Box::new(IdleActor::new(id)));
         } else {
             let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
-            let wba: WbaProc =
-                WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory, 7u64);
+            let wba: WbaProc = WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory, 7u64);
             actors.push(Box::new(LockstepAdapter::new(id, wba)));
         }
     }
@@ -90,8 +88,7 @@ fn late_help_run(disable_window: bool) -> Vec<Decision<u64>> {
     let cfg = SystemConfig::new(n, 0xe9).unwrap();
     let (pki, keys) = trusted_setup(n, 0xe9);
     let byz = [1u32, 3, 5];
-    let cohort: Vec<SecretKey> =
-        byz.iter().map(|&i| keys[i as usize].clone()).collect();
+    let cohort: Vec<SecretKey> = byz.iter().map(|&i| keys[i as usize].clone()).collect();
     let mut actors: Vec<Box<dyn AnyActor<Msg = WbaM>>> = Vec::new();
     for (i, key) in keys.iter().cloned().enumerate() {
         let id = ProcessId(i as u32);

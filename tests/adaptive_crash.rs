@@ -15,8 +15,7 @@ fn weak_ba_with_crashes(n: usize, inputs: &[u64], crashes: &[(u32, u64)]) -> Sim
     for (i, key) in keys.into_iter().enumerate() {
         let id = ProcessId(i as u32);
         let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
-        let wba: WbaProc =
-            WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory, inputs[i]);
+        let wba: WbaProc = WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory, inputs[i]);
         actors.push(Box::new(LockstepAdapter::new(id, wba)));
     }
     let mut b = SimBuilder::new(actors);
@@ -62,8 +61,7 @@ fn leader_crash_between_commit_and_finalize() {
     sim.run_until_done(round_budget(n)).unwrap();
     let mut decisions = Vec::new();
     for i in (0..n as u32).filter(|&i| i != 1) {
-        let a: &LockstepAdapter<WbaProc> =
-            sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+        let a: &LockstepAdapter<WbaProc> = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
         // Everyone committed in phase 1 (the commit cert went out in
         // round 2) with level 1 preserved through relays.
         assert_eq!(a.inner().committed_value(), Some(&9), "p{i}");
@@ -85,8 +83,7 @@ fn staggered_crashes_across_phases() {
     sim.run_until_done(round_budget(n)).unwrap();
     let mut decisions = Vec::new();
     for i in (0..n as u32).filter(|&i| !crashes.iter().any(|(c, _)| *c == i)) {
-        let a: &LockstepAdapter<WbaProc> =
-            sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+        let a: &LockstepAdapter<WbaProc> = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
         decisions.push(a.inner().output().expect("decided"));
     }
     assert!(decisions.windows(2).all(|w| w[0] == w[1]), "{decisions:?}");

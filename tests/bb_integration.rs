@@ -212,9 +212,5 @@ fn selective_sender_value_is_recovered_by_vetting() {
     let faults: Vec<Fault> =
         (0..n).map(|i| if i == 0 { Fault::Idle } else { Fault::None }).collect();
     let d = assert_agreement(&bb_decisions(&sim, &faults));
-    assert_eq!(
-        d,
-        Decision::Value(77),
-        "the vetting relay must spread the lone signed value"
-    );
+    assert_eq!(d, Decision::Value(77), "the vetting relay must spread the lone signed value");
 }

@@ -1,16 +1,23 @@
 //! Integration tests: the same protocol state machines running on the
 //! threaded wall-clock runtime (`meba-net`) instead of the lockstep
-//! simulator.
+//! simulator — with and without injected link faults.
 
 mod common;
 
 use common::*;
-use meba::net::{run_cluster, ClusterConfig};
+use meba::net::{run_cluster, AbortReason, ClusterConfig, LinkPolicyFactory, OverrunAction};
 use meba::prelude::*;
+use meba::sim::faults::{Link, LinkFate, LinkPolicy, OneShotPartition, PolicyStack, RandomDelay};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn cluster_config(corrupt: Vec<ProcessId>) -> ClusterConfig {
-    ClusterConfig { delta: Duration::from_millis(2), max_rounds: 3_000, corrupt }
+    ClusterConfig {
+        delta: Duration::from_millis(2),
+        max_rounds: 3_000,
+        corrupt,
+        ..ClusterConfig::default()
+    }
 }
 
 #[test]
@@ -38,6 +45,14 @@ fn bb_on_threads_failure_free() {
     }
     // Word accounting matches the simulator's O(n) failure-free envelope.
     assert!(report.metrics.correct.words <= 25 * n as u64);
+    // Observability: each thread contributed one latency sample per round,
+    // and on reliable links every sent message was delivered.
+    assert_eq!(report.metrics.round_latency.count(), n as u64 * report.rounds);
+    assert!(!report.metrics.per_link.is_empty());
+    for (link, stats) in &report.metrics.per_link {
+        assert_eq!(stats.dropped, 0, "{link} must not drop");
+        assert_eq!(stats.delivered, stats.sent, "{link} must deliver everything");
+    }
 }
 
 #[test]
@@ -82,11 +97,202 @@ fn cluster_and_simulator_agree_on_words() {
     for (i, key) in keys.into_iter().enumerate() {
         let id = ProcessId(i as u32);
         let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
-        let wba: WbaProc =
-            WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory, inputs[i]);
+        let wba: WbaProc = WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory, inputs[i]);
         actors.push(Box::new(LockstepAdapter::new(id, wba)));
     }
     let report = run_cluster(actors, cluster_config(vec![]));
     assert!(report.completed);
     assert_eq!(report.metrics.correct.words, sim_words);
+}
+
+/// Builds the weak-BA actors used by the lossy-link tests.
+fn weak_ba_actors(n: usize, input: u64) -> Vec<Box<dyn AnyActor<Msg = WbaM>>> {
+    let cfg = SystemConfig::new(n, 0x3a).unwrap();
+    let (pki, keys) = trusted_setup(n, 0xfeed);
+    keys.into_iter()
+        .enumerate()
+        .map(|(i, key)| {
+            let id = ProcessId(i as u32);
+            let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+            let wba: WbaProc = WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory, input);
+            Box::new(LockstepAdapter::new(id, wba)) as _
+        })
+        .collect()
+}
+
+#[test]
+fn weak_ba_decides_under_drop_and_delay_links() {
+    // n = 5, t = 2. Outbound links of p3 are jittered (delays reorder its
+    // traffic past δ) and p4's are cut entirely; both behaviours exceed
+    // the synchrony assumption, so p3/p4 count toward f. The three
+    // processes on reliable links must still decide — the missing
+    // signatures force the fallback path.
+    let n = 5usize;
+    let factory: LinkPolicyFactory = Arc::new(|me: ProcessId| -> Box<dyn LinkPolicy> {
+        match me.0 {
+            3 => Box::new(PolicyStack::new().with(Box::new(RandomDelay::new(0xd3, 0.8, 3)))),
+            4 => Box::new(|_l: Link, _r: u64| LinkFate::Drop),
+            _ => Box::new(|_l: Link, _r: u64| LinkFate::Deliver),
+        }
+    });
+    let corrupt = vec![ProcessId(3), ProcessId(4)];
+    let config = ClusterConfig { link_policy: Some(factory), ..cluster_config(corrupt.clone()) };
+    let report = run_cluster(weak_ba_actors(n, 7), config);
+    assert!(report.completed, "correct processes must decide despite lossy links");
+    assert!(report.aborted.is_none());
+
+    let mut decisions = Vec::new();
+    let mut any_fallback = false;
+    for a in report.actors.iter().filter(|a| !corrupt.contains(&a.id())) {
+        let l: &LockstepAdapter<WbaProc> = a.as_any().downcast_ref().unwrap();
+        decisions.push(l.inner().output().expect("correct process decided"));
+        any_fallback |= l.inner().used_fallback();
+    }
+    assert!(decisions.windows(2).all(|w| w[0] == w[1]), "agreement: {decisions:?}");
+    assert_eq!(decisions[0], Decision::Value(7), "unanimous correct inputs decide");
+    assert!(any_fallback, "dropped signatures must force the fallback path");
+
+    // The injected fates are visible in the per-link counters.
+    let m = &report.metrics;
+    assert!(
+        (0..n as u32).filter(|&q| q != 4).all(|q| {
+            let l = m.link(ProcessId(4), ProcessId(q));
+            l.sent > 0 && l.dropped == l.sent && l.delivered == 0
+        }),
+        "p4's outbound links must drop everything: {:?}",
+        m.per_link
+    );
+    let delayed_from_p3: u64 =
+        (0..n as u32).map(|q| m.link(ProcessId(3), ProcessId(q)).delayed).sum();
+    assert!(delayed_from_p3 > 0, "p3's links must have delayed traffic");
+    // Reliable links delivered every message.
+    let l01 = m.link(ProcessId(0), ProcessId(1));
+    assert!(l01.sent > 0 && l01.delivered == l01.sent && l01.dropped == 0);
+    // Latency histogram covers every (thread, round) pair.
+    assert_eq!(m.round_latency.count(), n as u64 * report.rounds);
+}
+
+/// A chatty test actor for transport-level scenarios: broadcasts every
+/// round until it has heard `target` messages.
+struct Chatty {
+    id: ProcessId,
+    heard: usize,
+    target: usize,
+    slow: Option<Duration>,
+}
+
+impl meba::sim::Actor for Chatty {
+    type Msg = ChatM;
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+    fn on_round(&mut self, ctx: &mut meba::sim::RoundCtx<'_, ChatM>) {
+        if let Some(d) = self.slow {
+            std::thread::sleep(d);
+        }
+        if !self.done() {
+            ctx.broadcast(ChatM);
+        }
+        self.heard += ctx.inbox().len();
+    }
+    fn done(&self) -> bool {
+        self.heard >= self.target
+    }
+}
+
+#[derive(Clone, Debug)]
+struct ChatM;
+impl meba::sim::Message for ChatM {
+    fn words(&self) -> u64 {
+        1
+    }
+}
+
+fn chatties(
+    n: usize,
+    target: usize,
+    slow: Option<Duration>,
+) -> Vec<Box<dyn AnyActor<Msg = ChatM>>> {
+    (0..n)
+        .map(|i| Box::new(Chatty { id: ProcessId(i as u32), heard: 0, target, slow }) as _)
+        .collect()
+}
+
+#[test]
+fn partition_heals_and_cluster_completes() {
+    // {p0, p1} is split from {p2, p3, p4} for rounds 1..6; traffic inside
+    // each side flows, crossing traffic is dropped, and after the heal
+    // everyone catches up and completes.
+    let n = 5usize;
+    let left = vec![ProcessId(0), ProcessId(1)];
+    let left_for_factory = left.clone();
+    let factory: LinkPolicyFactory = Arc::new(move |_me: ProcessId| -> Box<dyn LinkPolicy> {
+        Box::new(OneShotPartition::new(1, 5, left_for_factory.clone()))
+    });
+    let config = ClusterConfig { link_policy: Some(factory), ..cluster_config(vec![]) };
+    let report = run_cluster(chatties(n, 25, None), config);
+    assert!(report.completed, "the partition heals; the cluster must finish");
+    assert!(report.aborted.is_none());
+    let m = &report.metrics;
+    let crossing = m.link(ProcessId(0), ProcessId(2));
+    assert!(crossing.dropped > 0, "crossing links must drop during the partition");
+    let inside = m.link(ProcessId(0), ProcessId(1));
+    assert_eq!(inside.dropped, 0, "links inside a side are untouched");
+    assert_eq!(m.link(ProcessId(2), ProcessId(3)).dropped, 0);
+}
+
+#[test]
+fn partitioned_slow_cluster_aborts_with_diagnostic() {
+    // δ = 1 ms against 4 ms of processing: sustained overruns under an
+    // Abort policy must stop the run with a structured diagnostic, while
+    // the partition's drops still show up in the per-link counters.
+    let n = 4usize;
+    let left = vec![ProcessId(0), ProcessId(1)];
+    let factory: LinkPolicyFactory = Arc::new(move |_me: ProcessId| -> Box<dyn LinkPolicy> {
+        Box::new(OneShotPartition::new(0, u64::MAX, left.clone()))
+    });
+    let config = ClusterConfig {
+        delta: Duration::from_millis(1),
+        max_rounds: 200,
+        link_policy: Some(factory),
+        overrun_window: 2,
+        overrun_action: OverrunAction::Abort,
+        ..ClusterConfig::default()
+    };
+    let report = run_cluster(chatties(n, usize::MAX, Some(Duration::from_millis(4))), config);
+    assert!(!report.completed);
+    assert!(report.overruns > 0, "slow rounds must be counted");
+    let diag = report.aborted.expect("sustained overruns must abort with a diagnostic");
+    assert!(
+        matches!(diag.reason, AbortReason::SustainedOverruns { window: 2, .. }),
+        "unexpected reason: {:?}",
+        diag.reason
+    );
+    assert!(diag.overruns > 0);
+    assert!(report.rounds < 200, "abort must beat the round budget");
+    assert!(
+        report.metrics.link(ProcessId(0), ProcessId(2)).dropped > 0,
+        "partition drops recorded up to the abort"
+    );
+}
+
+#[test]
+fn escalation_recovers_a_slow_cluster() {
+    // Same slow actors, but the Escalate policy stretches δ until rounds
+    // fit, so the run completes instead of aborting.
+    let n = 3usize;
+    let config = ClusterConfig {
+        delta: Duration::from_millis(1),
+        max_rounds: 500,
+        overrun_window: 2,
+        overrun_action: OverrunAction::Escalate {
+            multiplier: 4,
+            max_delta: Duration::from_millis(64),
+        },
+        ..ClusterConfig::default()
+    };
+    let report = run_cluster(chatties(n, 20, Some(Duration::from_millis(3))), config);
+    assert!(report.completed, "escalated δ must let the cluster finish");
+    assert!(!report.escalations.is_empty());
+    assert!(report.escalations.iter().all(|e| e.new_delta > e.old_delta));
 }

@@ -36,8 +36,7 @@ fn planted_commit_sim() -> (Simulation<WbaM>, Vec<u32>) {
             actors.push(Box::new(IdleActor::new(id)));
         } else {
             let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
-            let wba: WbaProc =
-                WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory, 10u64);
+            let wba: WbaProc = WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory, 10u64);
             actors.push(Box::new(LockstepAdapter::new(id, wba)));
         }
     }
@@ -53,8 +52,7 @@ fn planted_commit_is_relayed_and_level_preserved() {
     let (mut sim, byz) = planted_commit_sim();
     sim.run_until_done(4_000).unwrap();
     for i in (0..7u32).filter(|i| !byz.contains(i)) {
-        let a: &LockstepAdapter<WbaProc> =
-            sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+        let a: &LockstepAdapter<WbaProc> = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
         // Every correct process committed to the planted value...
         assert_eq!(a.inner().committed_value(), Some(&20), "p{i}");
         // ...and relays preserve the ORIGINAL level (phase 1), because a
@@ -69,8 +67,7 @@ fn decisions_never_contradict_a_planted_commit() {
     sim.run_until_done(4_000).unwrap();
     let mut decisions = Vec::new();
     for i in (0..7u32).filter(|i| !byz.contains(i)) {
-        let a: &LockstepAdapter<WbaProc> =
-            sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+        let a: &LockstepAdapter<WbaProc> = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
         decisions.push(a.inner().output().expect("decided"));
     }
     // Agreement holds, and since a finalize certificate for 20 exists in
@@ -91,9 +88,7 @@ fn trace_shows_relay_traffic_in_later_phases() {
     // propose with CommitReply and p2 relays — so phase-2 rounds carry
     // correct words even though the phase-1 leader was the proposer of
     // the only fresh certificate.
-    let phase2_words: u64 = m.words_per_round[5..10.min(m.words_per_round.len())]
-        .iter()
-        .sum();
+    let phase2_words: u64 = m.words_per_round[5..10.min(m.words_per_round.len())].iter().sum();
     assert!(phase2_words > 0, "phase 2 must show relay traffic");
     let _ = byz;
 }

@@ -20,8 +20,7 @@ fn run_weak_ba(
     for (i, key) in keys.into_iter().enumerate() {
         let id = ProcessId(i as u32);
         let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
-        let wba: WbaProc =
-            WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory, inputs[i]);
+        let wba: WbaProc = WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory, inputs[i]);
         actors.push(Box::new(LockstepAdapter::new(id, wba)));
     }
     let mut b = SimBuilder::new(actors);
@@ -50,8 +49,7 @@ fn n3_every_crash_every_input() {
     for victim in 0..n as u32 {
         for crash_round in 0..window {
             for input_bits in 0..(1u32 << n) {
-                let inputs: Vec<u64> =
-                    (0..n).map(|i| u64::from(input_bits >> i & 1)).collect();
+                let inputs: Vec<u64> = (0..n).map(|i| u64::from(input_bits >> i & 1)).collect();
                 let out = run_weak_ba(n, &inputs, &[(victim, crash_round)]);
                 executions += 1;
                 // Agreement.
@@ -63,10 +61,7 @@ fn n3_every_crash_every_input() {
                 // must be some process's input (crash faults cannot
                 // invent values).
                 if let Decision::Value(v) = out[0].1 {
-                    assert!(
-                        inputs.contains(&v),
-                        "invented value {v} (inputs {inputs:?})"
-                    );
+                    assert!(inputs.contains(&v), "invented value {v} (inputs {inputs:?})");
                 }
                 // Unanimity among ALL processes forces that value: the
                 // crashed process was honest pre-crash, so when everyone

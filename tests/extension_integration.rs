@@ -52,8 +52,7 @@ fn rotating_with_real_fallback_beyond_bound() {
     let mut sim = b.build();
     sim.run_until_done(round_budget(n)).unwrap();
     for i in (0..n as u32).filter(|i| !crashed.contains(i)) {
-        let a: &LockstepAdapter<Rba> =
-            sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+        let a: &LockstepAdapter<Rba> = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
         assert_eq!(a.inner().output(), Some(true));
         assert!(a.inner().used_fallback());
     }
@@ -70,6 +69,7 @@ fn rotating_on_threads() {
             delta: Duration::from_millis(2),
             max_rounds: 3_000,
             corrupt: vec![crashed],
+            ..ClusterConfig::default()
         },
     );
     assert!(report.completed);
@@ -136,8 +136,7 @@ fn replicated_log_with_equivocating_proposer_slot() {
         let id = ProcessId(i as u32);
         if id == byz {
             // Recompute the per-slot session the honest replicas use.
-            let slot_cfg =
-                cfg.with_session(cfg.session().wrapping_mul(1_000_003).wrapping_add(1));
+            let slot_cfg = cfg.with_session(cfg.session().wrapping_mul(1_000_003).wrapping_add(1));
             actors.push(Box::new(EquivocatingReplica {
                 me: id,
                 slot: 1,
@@ -183,10 +182,7 @@ fn replicated_log_with_equivocating_proposer_slot() {
     assert_eq!(log[0].entry, Decision::Value(10));
     assert_eq!(log[2].entry, Decision::Value(30));
     // Slot 1: the equivocator — any agreed entry (111, 222, or ⊥) is fine.
-    assert!(matches!(
-        log[1].entry,
-        Decision::Value(111) | Decision::Value(222) | Decision::Bot
-    ));
+    assert!(matches!(log[1].entry, Decision::Value(111) | Decision::Value(222) | Decision::Bot));
 }
 
 #[test]
@@ -226,8 +222,7 @@ fn weak_ba_restrictive_predicate_rejects_byzantine_proposals() {
     let mut sim = SimBuilder::new(actors).corrupt(byz).build();
     sim.run_until_done(round_budget(n)).unwrap();
     for i in (0..n as u32).filter(|&i| ProcessId(i) != byz) {
-        let a: &LockstepAdapter<Wba> =
-            sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+        let a: &LockstepAdapter<Wba> = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
         let d = a.inner().output().expect("decided");
         assert_eq!(
             d,

@@ -6,7 +6,9 @@ mod common;
 
 use common::Fault;
 use meba::adversary::{ChaosActor, DsEquivocatingSender, GaSplitEchoer};
-use meba::fallback::{DolevStrongBb, DsBbMsg, GaInstance, InstanceId, RecBaMsg, RecursiveBa, Scope, GA_STEPS};
+use meba::fallback::{
+    DolevStrongBb, DsBbMsg, GaInstance, InstanceId, RecBaMsg, RecursiveBa, Scope, GA_STEPS,
+};
 use meba::prelude::*;
 
 type DsM = DsBbMsg<u64>;
@@ -43,10 +45,7 @@ fn dolev_strong_equivocating_sender_yields_bot() {
         let a: &LockstepAdapter<DolevStrongBb<u64>> =
             sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
         let d = a.inner().output().expect("decided");
-        assert!(
-            d.is_bot(),
-            "cross-forwarded chains must expose the equivocation (p{i} got {d:?})"
-        );
+        assert!(d.is_bot(), "cross-forwarded chains must expose the equivocation (p{i} got {d:?})");
     }
 }
 
@@ -135,12 +134,8 @@ fn graded_agreement_survives_certificate_split() {
         }
     }
     // And never two different grade-2 values.
-    let twos: Vec<u64> =
-        results.iter().filter(|(_, g)| *g == 2).map(|(v, _)| *v).collect();
-    assert!(
-        twos.windows(2).all(|w| w[0] == w[1]),
-        "two conflicting grade-2 outputs: {results:?}"
-    );
+    let twos: Vec<u64> = results.iter().filter(|(_, g)| *g == 2).map(|(v, _)| *v).collect();
+    assert!(twos.windows(2).all(|w| w[0] == w[1]), "two conflicting grade-2 outputs: {results:?}");
 }
 
 #[test]
@@ -246,8 +241,7 @@ fn weak_ba_with_slack_resilience() {
     let mut sim = b.build();
     sim.run_until_done(4_000).unwrap();
     for i in (0..n as u32).filter(|i| !crashed.contains(i)) {
-        let a: &LockstepAdapter<Wba> =
-            sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+        let a: &LockstepAdapter<Wba> = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
         assert_eq!(a.inner().output(), Some(Decision::Value(8)));
         assert!(!a.inner().used_fallback(), "f=2 below the improved bound");
     }

@@ -48,8 +48,7 @@ fn run_with_injection(payload: Vec<WbaM>, at_round: u64) -> Vec<Decision<u64>> {
             actors.push(Box::new(Injector { me: id, round: at_round, payload: payload.clone() }));
         } else {
             let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
-            let wba: WbaProc =
-                WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory, 5u64);
+            let wba: WbaProc = WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory, 5u64);
             actors.push(Box::new(LockstepAdapter::new(id, wba)));
         }
     }
@@ -84,9 +83,7 @@ fn underfilled_finalize_certificate_is_rejected() {
     let forged_value = 666u64;
     let payload = DecideSig { session: cfg.session(), value: &forged_value, phase: 1 };
     let share = sign_payload(&keys[1], &payload);
-    let qc = pki
-        .combine(1, &meba_crypto::Signable::signing_bytes(&payload), &[share])
-        .unwrap();
+    let qc = pki.combine(1, &meba_crypto::Signable::signing_bytes(&payload), &[share]).unwrap();
     let msg = WeakBaMsg::FinalizeCert {
         phase: 1,
         value: forged_value,
@@ -107,9 +104,7 @@ fn commit_certificate_with_wrong_level_is_rejected() {
     let forged_value = 666u64;
     let payload = VoteSig { session: cfg.session(), value: &forged_value, level: 1 };
     let share = sign_payload(&keys[1], &payload);
-    let qc = pki
-        .combine(1, &meba_crypto::Signable::signing_bytes(&payload), &[share])
-        .unwrap();
+    let qc = pki.combine(1, &meba_crypto::Signable::signing_bytes(&payload), &[share]).unwrap();
     let msg = WeakBaMsg::CommitCert {
         phase: 1,
         value: forged_value,
@@ -129,8 +124,7 @@ fn cross_session_certificate_is_rejected() {
     let other_cfg = SystemConfig::new(n, 0xdead).unwrap();
     let (pki, keys) = trusted_setup(n, 0xf0);
     let forged_value = 666u64;
-    let payload =
-        DecideSig { session: other_cfg.session(), value: &forged_value, phase: 1 };
+    let payload = DecideSig { session: other_cfg.session(), value: &forged_value, phase: 1 };
     let shares: Vec<_> =
         keys.iter().take(cfg.quorum()).map(|k| sign_payload(k, &payload)).collect();
     let qc = pki
@@ -188,9 +182,7 @@ fn help_with_valid_looking_but_wrong_threshold_is_rejected() {
     let forged_value = 666u64;
     let payload = DecideSig { session: cfg.session(), value: &forged_value, phase: 1 };
     let shares: Vec<_> = keys.iter().take(4).map(|k| sign_payload(k, &payload)).collect();
-    let qc = pki
-        .combine(4, &meba_crypto::Signable::signing_bytes(&payload), &shares)
-        .unwrap();
+    let qc = pki.combine(4, &meba_crypto::Signable::signing_bytes(&payload), &shares).unwrap();
     let msg = WeakBaMsg::Help { value: forged_value, proof: DecideProof { phase: 1, qc } };
     // Injected one round before the help-adoption step (n phases × 5 + 1).
     let help_adopt = 7 * 5 + 1;

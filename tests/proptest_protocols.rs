@@ -32,6 +32,30 @@ fn faults_strategy(n: usize) -> impl Strategy<Value = Vec<Fault>> {
     })
 }
 
+/// The checked-in proptest shrink (`proptest_protocols.proptest-regressions`)
+/// replayed as a plain deterministic test, so the historical failure stays
+/// pinned even if the regression file is pruned: p4 crashes at round 23 —
+/// mid-protocol, after signing but before relaying — and BB with a correct
+/// silent-value sender must still reach agreement on the sender's input.
+#[test]
+fn bb_regression_crash_at_23_mid_relay() {
+    let faults = [
+        Fault::None,
+        Fault::None,
+        Fault::None,
+        Fault::None,
+        Fault::CrashAt(23),
+        Fault::None,
+        Fault::None,
+    ];
+    let (sender, input) = (0u32, 0u64);
+    let mut sim = bb_sim(sender, input, &faults);
+    sim.run_until_done(round_budget(7)).unwrap();
+    let ds = bb_decisions(&sim, &faults);
+    let d = assert_agreement(&ds);
+    assert_eq!(d, Decision::Value(input), "correct sender validity");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 

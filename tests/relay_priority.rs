@@ -60,11 +60,7 @@ fn leader_relays_reported_commit_instead_of_fresh_certificate() {
     let shares: Vec<_> =
         keys.iter().take(cfg.quorum()).map(|k| sign_payload(k, &payload)).collect();
     let qc = pki.combine(cfg.quorum(), &payload.signing_bytes(), &shares).unwrap();
-    let planted = WeakBaMsg::CommitCert {
-        phase: 1,
-        value,
-        proof: CommitProof { level: 1, qc },
-    };
+    let planted = WeakBaMsg::CommitCert { phase: 1, value, proof: CommitProof { level: 1, qc } };
 
     let target = ProcessId(3);
     let mut actors: Vec<Box<dyn AnyActor<Msg = WbaM>>> = Vec::new();
@@ -74,8 +70,7 @@ fn leader_relays_reported_commit_instead_of_fresh_certificate() {
             actors.push(Box::new(CommitPlanter { me: id, target, msg: Some(planted.clone()) }));
         } else {
             let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
-            let wba: WbaProc =
-                WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory, 5u64);
+            let wba: WbaProc = WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory, 5u64);
             actors.push(Box::new(LockstepAdapter::new(id, wba)));
         }
     }
@@ -86,8 +81,7 @@ fn leader_relays_reported_commit_instead_of_fresh_certificate() {
     // alongside fresh votes for its own proposal 5. The relay must win:
     // everyone ends committed to 40 at level 1 and decides 40.
     for i in (0..n as u32).filter(|&i| ProcessId(i) != byz) {
-        let a: &LockstepAdapter<WbaProc> =
-            sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+        let a: &LockstepAdapter<WbaProc> = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
         assert_eq!(
             a.inner().output(),
             Some(Decision::Value(40)),

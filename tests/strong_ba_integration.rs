@@ -111,8 +111,7 @@ fn equivocating_leader_cannot_split_decisions() {
             )));
         } else {
             let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
-            let sba: SbaProc =
-                StrongBa::new(cfg, id, key, pki.clone(), factory, inputs[i - 1]);
+            let sba: SbaProc = StrongBa::new(cfg, id, key, pki.clone(), factory, inputs[i - 1]);
             actors.push(Box::new(LockstepAdapter::new(id, sba)));
         }
     }

@@ -14,8 +14,7 @@ fn traced_weak_ba(n: usize, inputs: &[u64]) -> Simulation<WbaM> {
     for (i, key) in keys.into_iter().enumerate() {
         let id = ProcessId(i as u32);
         let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
-        let wba: WbaProc =
-            WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory, inputs[i]);
+        let wba: WbaProc = WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory, inputs[i]);
         actors.push(Box::new(LockstepAdapter::new(id, wba)));
     }
     SimBuilder::new(actors).trace(100_000).build()

@@ -95,8 +95,7 @@ fn wasteful_leaders_realize_linear_growth_and_agreement_holds() {
             actors.push(Box::new(WastefulWeakLeader::new(cfg, id, i as u32, 777u64)));
         } else {
             let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
-            let wba: WbaProc =
-                WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory, 5u64);
+            let wba: WbaProc = WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory, 5u64);
             actors.push(Box::new(LockstepAdapter::new(id, wba)));
         }
     }
@@ -106,9 +105,8 @@ fn wasteful_leaders_realize_linear_growth_and_agreement_holds() {
     }
     let mut sim = b.build();
     sim.run_until_done(round_budget(n)).unwrap();
-    let faults: Vec<Fault> = (0..n)
-        .map(|i| if byz.contains(&(i as u32)) { Fault::Idle } else { Fault::None })
-        .collect();
+    let faults: Vec<Fault> =
+        (0..n).map(|i| if byz.contains(&(i as u32)) { Fault::Idle } else { Fault::None }).collect();
     let d = assert_agreement(&weak_ba_decisions(&sim, &faults));
     // Wasted proposals are valid under AlwaysValid, so the decision may be
     // the attacker's value or the first correct leader's — agreement is
