@@ -25,6 +25,7 @@ pub mod bb_attacks;
 pub mod chaos;
 pub mod fallback_attacks;
 pub mod link_faults;
+pub mod smr_attacks;
 pub mod strong_ba_attacks;
 pub mod wasteful;
 pub mod weak_ba_attacks;
@@ -34,6 +35,7 @@ pub use bb_attacks::EquivocatingSender;
 pub use chaos::ChaosActor;
 pub use fallback_attacks::{DsEquivocatingSender, GaSplitEchoer};
 pub use link_faults::LossyLinkActor;
+pub use smr_attacks::{MuxHelpRequester, SessionReplayer};
 pub use strong_ba_attacks::EquivocatingStrongLeader;
 pub use wasteful::{WastefulBbLeader, WastefulWeakLeader};
 pub use weak_ba_attacks::{LateHelperLeader, SplitVoteLeader};

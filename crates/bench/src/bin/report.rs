@@ -121,5 +121,17 @@ fn main() {
         let r = run_rotating_strong(33, f);
         println!("| {f} | {} | {} | {} |", a.words, r.words, r.fallback_used);
     }
+
+    section("E12 — pipelined replicated log (n = 9, 6 slots)");
+    println!("| W | f | committed | rounds | rounds/slot | words/slot |");
+    println!("|---|---|---|---|---|---|");
+    let t9 = (9 - 1) / 2;
+    for (w, f) in [(1u64, 0usize), (2, 0), (3, 0), (1, t9), (3, t9)] {
+        let s = run_smr(9, 6, w, f);
+        println!(
+            "| {w} | {f} | {} | {} | {:.1} | {:.1} |",
+            s.committed, s.rounds, s.rounds_per_slot, s.words_per_slot
+        );
+    }
     println!("\n_Report complete._");
 }

@@ -9,7 +9,8 @@ use meba_core::{
 };
 use meba_crypto::{trusted_setup, ProcessId, SecretKey};
 use meba_fallback::{DolevStrongBb, RecursiveBa, RecursiveBaFactory};
-use meba_sim::{AnyActor, IdleActor, Metrics, SimBuilder};
+use meba_sim::{Actor, AnyActor, IdleActor, Metrics, SimBuilder};
+use meba_smr::{LogEntry, ReplicatedLog};
 use std::collections::BTreeMap;
 
 type BbProc = Bb<u64, RecursiveBaFactory>;
@@ -326,6 +327,93 @@ pub fn run_rotating_strong(n: usize, f: usize) -> RunStats {
     stats.decided_first = first;
     stats.decided_last = last;
     stats
+}
+
+type LogProc = ReplicatedLog<u64, RecursiveBaFactory>;
+type LogM = <LogProc as Actor>::Msg;
+
+/// Outcome of one replicated-log run (experiment E12).
+#[derive(Clone, Debug)]
+pub struct SmrRunStats {
+    /// System size.
+    pub n: usize,
+    /// Crashed followers.
+    pub f: usize,
+    /// Pipeline window `W` (`1` = sequential).
+    pub window: u64,
+    /// Slots attempted.
+    pub slots: u64,
+    /// Slots that committed a value (`≠ ⊥`).
+    pub committed: u64,
+    /// Total rounds until every replica finished the log.
+    pub rounds: u64,
+    /// Words sent by correct processes across all sessions.
+    pub words: u64,
+    /// Rounds per *committed* slot — the pipelining win.
+    pub rounds_per_slot: f64,
+    /// Correct words per committed slot — must stay adaptive.
+    pub words_per_slot: f64,
+    /// Per-session correct words, in slot order (from
+    /// [`meba_sim::Metrics::per_session`]).
+    pub session_words: Vec<u64>,
+    /// Whether all correct replicas hold identical logs.
+    pub agreement: bool,
+}
+
+/// Runs the session-multiplexed replicated log: `slots` BB instances,
+/// pipeline window `window`, and `f` crashed followers (`p1..pf` — their
+/// proposer slots commit `⊥`). Replica `i` proposes `100·(i+1) + k`.
+pub fn run_smr(n: usize, slots: u64, window: u64, f: usize) -> SmrRunStats {
+    let cfg = SystemConfig::new(n, 0x512).unwrap();
+    let (pki, keys) = trusted_setup(n, 0x109);
+    assert!(f <= cfg.t());
+    let byz: Vec<u32> = (1..=f as u32).collect();
+    let mut actors: Vec<Box<dyn AnyActor<Msg = LogM>>> = Vec::new();
+    let mut budget = 0;
+    for (i, key) in keys.iter().cloned().enumerate() {
+        let id = ProcessId(i as u32);
+        if byz.contains(&(i as u32)) {
+            actors.push(Box::new(IdleActor::new(id)));
+        } else {
+            let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+            let commands: Vec<u64> = (0..slots).map(|k| 100 * (i as u64 + 1) + k).collect();
+            let log = ReplicatedLog::new(cfg, id, key, pki.clone(), factory, slots, commands, 0)
+                .with_window(window);
+            budget = log.total_rounds() + 16;
+            actors.push(Box::new(log));
+        }
+    }
+    let mut b = SimBuilder::new(actors);
+    for &c in &byz {
+        b = b.corrupt(ProcessId(c));
+    }
+    let mut sim = b.build();
+    sim.run_until_done(budget).expect("smr run terminated");
+
+    let logs: Vec<Vec<LogEntry<u64>>> = (0..n as u32)
+        .filter(|i| !byz.contains(i))
+        .map(|i| {
+            let a: &LogProc = sim.actor(ProcessId(i)).as_any().downcast_ref().unwrap();
+            a.log().to_vec()
+        })
+        .collect();
+    let agreement = logs.windows(2).all(|w| w[0] == w[1]);
+    let committed = logs[0].iter().filter(|e| e.entry.value().is_some()).count() as u64;
+    let m = sim.metrics();
+    let session_words: Vec<u64> = m.per_session.values().map(|s| s.counters.words).collect();
+    SmrRunStats {
+        n,
+        f,
+        window,
+        slots,
+        committed,
+        rounds: m.rounds,
+        words: m.correct.words,
+        rounds_per_slot: m.rounds as f64 / committed.max(1) as f64,
+        words_per_slot: m.correct.words as f64 / committed.max(1) as f64,
+        session_words,
+        agreement,
+    }
 }
 
 /// Runs the Dolev–Strong BB baseline with `f` crashed followers.

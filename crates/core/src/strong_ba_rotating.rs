@@ -190,7 +190,7 @@ where
             self.bu_decision = v;
         }
         let inner = self.factory.create(self.me, self.bu_decision);
-        let mut adapter = SkewAdapter::new(inner, start);
+        let mut adapter = SkewAdapter::bounded(inner, start, self.factory.max_steps());
         for (from, env) in self.pending_fb.drain(..) {
             adapter.deliver(from, env);
         }

@@ -5,46 +5,23 @@
 //! BA after its vetting phases; weak BA and strong BA hand off to
 //! `A_fallback` with round duration `δ' = 2δ` because correct processes may
 //! start it up to `δ` apart (Lemmas 17–18). [`SubProtocol`] is the
-//! composable state-machine interface; [`LockstepAdapter`] runs one as a
-//! top-level simulator actor; [`SkewAdapter`] embeds one with the paper's
-//! doubled-round, buffered-window semantics.
+//! composable state-machine interface (defined in `meba-sim`, re-exported
+//! here); [`LockstepAdapter`] runs one as a top-level simulator actor;
+//! [`SkewAdapter`] embeds one with the paper's doubled-round, buffered
+//! window semantics. Both adapters are thin wrappers around the
+//! single-instance driver [`meba_sim::Instance`] — the same machinery the
+//! session-multiplexing [`meba_sim::Mux`] uses per instance.
 
 use crate::value::Value;
 use meba_crypto::ProcessId;
-use meba_sim::{Actor, Dest, Message, RoundCtx};
+use meba_sim::{Actor, Dest, Instance, RoundCtx};
 use std::collections::BTreeMap;
 use std::fmt::Debug;
 
-/// A synchronous protocol state machine, advanced one *step* at a time.
-///
-/// Step semantics: at step `s`, the machine consumes messages sent by
-/// peers at their step `s - 1`, and emits messages that peers consume at
-/// their step `s + 1`. Steps map to simulator rounds 1:1 when embedded in
-/// lockstep, or 1:2 under the [`SkewAdapter`].
-pub trait SubProtocol: Send + 'static {
-    /// Message type exchanged by this protocol.
-    type Msg: Message;
-    /// Decision type.
-    type Output: Clone + Debug + Send + 'static;
-
-    /// Executes step `s`.
-    fn on_step(
-        &mut self,
-        step: u64,
-        inbox: &[(ProcessId, Self::Msg)],
-        out: &mut Vec<(Dest, Self::Msg)>,
-    );
-
-    /// The decision, once reached.
-    fn output(&self) -> Option<Self::Output>;
-
-    /// Whether the machine has completed its entire schedule (it may keep
-    /// answering messages until then even after deciding).
-    fn done(&self) -> bool;
-}
+pub use meba_sim::SubProtocol;
 
 /// Runs a [`SubProtocol`] directly as a simulator [`Actor`]
-/// (step = round).
+/// (step = round): a one-instance mux without the session tagging.
 ///
 /// # Examples
 ///
@@ -53,18 +30,18 @@ pub trait SubProtocol: Send + 'static {
 /// ```
 pub struct LockstepAdapter<P: SubProtocol> {
     me: ProcessId,
-    inner: P,
+    inst: Instance<P>,
 }
 
 impl<P: SubProtocol> LockstepAdapter<P> {
     /// Wraps `inner`, which will run for process `me` from round 0.
     pub fn new(me: ProcessId, inner: P) -> Self {
-        LockstepAdapter { me, inner }
+        LockstepAdapter { me, inst: Instance::new(inner) }
     }
 
     /// The wrapped protocol, for inspecting decisions after a run.
     pub fn inner(&self) -> &P {
-        &self.inner
+        self.inst.proto()
     }
 }
 
@@ -76,10 +53,12 @@ impl<P: SubProtocol> Actor for LockstepAdapter<P> {
     }
 
     fn on_round(&mut self, ctx: &mut RoundCtx<'_, P::Msg>) {
-        let inbox: Vec<(ProcessId, P::Msg)> =
-            ctx.inbox().iter().map(|e| (e.from, e.msg.clone())).collect();
+        for e in ctx.inbox() {
+            self.inst.deliver(e.from, e.msg.clone());
+        }
         let mut out = Vec::new();
-        self.inner.on_step(ctx.round().as_u64(), &inbox, &mut out);
+        let step = self.inst.step(&mut out);
+        debug_assert_eq!(step, ctx.round().as_u64(), "lockstep: step = round");
         for (dest, msg) in out {
             match dest {
                 Dest::To(p) => ctx.send(p, msg),
@@ -89,7 +68,7 @@ impl<P: SubProtocol> Actor for LockstepAdapter<P> {
     }
 
     fn done(&self) -> bool {
-        self.inner.done()
+        self.inst.done()
     }
 }
 
@@ -113,17 +92,36 @@ pub struct SkewEnvelope<M> {
 /// start skew ≤ 1 host round, a peer's step-`s` message (sent at
 /// `peer_start + 2s`, delivered one round later) always arrives before the
 /// local step `s + 1` executes at `local_start + 2(s + 1)`.
+///
+/// Constructed via [`SkewAdapter::bounded`], the buffer also rejects
+/// vsteps beyond the protocol's schedule, so a Byzantine peer cannot grow
+/// it without bound by tagging envelopes with far-future steps.
 pub struct SkewAdapter<P: SubProtocol> {
-    inner: P,
+    inst: Instance<P>,
     start: u64,
-    next_vstep: u64,
+    max_vsteps: Option<u64>,
     buffer: BTreeMap<u64, Vec<(ProcessId, P::Msg)>>,
 }
 
 impl<P: SubProtocol> SkewAdapter<P> {
-    /// Wraps `inner`, which starts executing at host round `start`.
+    /// Wraps `inner`, which starts executing at host round `start`, with
+    /// no upper bound on buffered vsteps. Prefer [`SkewAdapter::bounded`]
+    /// whenever the protocol's schedule length is known.
     pub fn new(inner: P, start: u64) -> Self {
-        SkewAdapter { inner, start, next_vstep: 0, buffer: BTreeMap::new() }
+        SkewAdapter { inst: Instance::new(inner), start, max_vsteps: None, buffer: BTreeMap::new() }
+    }
+
+    /// Wraps `inner` (starting at host round `start`) whose schedule is at
+    /// most `max_vsteps` virtual steps: envelopes tagged further than the
+    /// remaining schedule ahead of the next local step are rejected, which
+    /// bounds the buffer at `max_vsteps` slots.
+    pub fn bounded(inner: P, start: u64, max_vsteps: u64) -> Self {
+        SkewAdapter {
+            inst: Instance::new(inner),
+            start,
+            max_vsteps: Some(max_vsteps),
+            buffer: BTreeMap::new(),
+        }
     }
 
     /// Buffers an incoming tagged message.
@@ -131,9 +129,16 @@ impl<P: SubProtocol> SkewAdapter<P> {
         // Discard messages from virtual steps already consumed; they are
         // outside the paper's acceptance window (only a Byzantine sender
         // can produce them, since correct skew is bounded by δ).
-        if env.vstep + 1 >= self.next_vstep {
-            self.buffer.entry(env.vstep).or_default().push((from, env.msg));
+        if env.vstep + 1 < self.inst.next_step() {
+            return;
         }
+        // Discard messages from beyond the schedule: no correct peer ever
+        // reaches those steps, so they can only be Byzantine filler sent
+        // to bloat the buffer.
+        if self.max_vsteps.is_some_and(|max| env.vstep > max) {
+            return;
+        }
+        self.buffer.entry(env.vstep).or_default().push((from, env.msg));
     }
 
     /// Advances the adapter by one host round; emits tagged outgoing
@@ -143,31 +148,30 @@ impl<P: SubProtocol> SkewAdapter<P> {
             return;
         }
         let vstep = (host_round - self.start) / 2;
-        if vstep != self.next_vstep || self.inner.done() {
+        if vstep != self.inst.next_step() || self.inst.done() {
             return;
         }
         // Step s consumes messages tagged s - 1.
-        let inbox = if vstep == 0 {
-            Vec::new()
-        } else {
-            self.buffer.remove(&(vstep - 1)).unwrap_or_default()
-        };
+        if vstep > 0 {
+            for (from, msg) in self.buffer.remove(&(vstep - 1)).unwrap_or_default() {
+                self.inst.deliver(from, msg);
+            }
+        }
         let mut inner_out = Vec::new();
-        self.inner.on_step(vstep, &inbox, &mut inner_out);
+        self.inst.step(&mut inner_out);
         for (dest, msg) in inner_out {
             out.push((dest, SkewEnvelope { vstep, msg }));
         }
-        self.next_vstep = vstep + 1;
     }
 
     /// Whether the inner protocol has finished.
     pub fn done(&self) -> bool {
-        self.inner.done()
+        self.inst.done()
     }
 
     /// The inner protocol.
     pub fn inner(&self) -> &P {
-        &self.inner
+        self.inst.proto()
     }
 }
 
@@ -175,7 +179,7 @@ impl<P: SubProtocol> Debug for SkewAdapter<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SkewAdapter")
             .field("start", &self.start)
-            .field("next_vstep", &self.next_vstep)
+            .field("next_vstep", &self.inst.next_step())
             .finish_non_exhaustive()
     }
 }
@@ -204,6 +208,7 @@ pub trait FallbackFactory<V: Value>: Clone + Send + 'static {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use meba_sim::Message;
 
     #[derive(Clone, Debug)]
     struct Num(#[allow(dead_code)] u64);
@@ -295,6 +300,26 @@ mod tests {
         // vstep-2 is exactly the window edge and still accepted.
         ad.deliver(ProcessId(1), SkewEnvelope { vstep: 2, msg: Num(9) });
         assert_eq!(ad.buffer.len(), 1);
+    }
+
+    #[test]
+    fn bounded_skew_adapter_rejects_far_future_vsteps() {
+        // The Counter's schedule is 4 vsteps (0..=3); bound accordingly.
+        let c = Counter { received: vec![], out_value: 0, decided: None };
+        let mut ad = SkewAdapter::bounded(c, 0, 3);
+        // A Byzantine peer floods envelopes tagged far past the schedule:
+        // none may be buffered.
+        for v in 4..100u64 {
+            ad.deliver(ProcessId(1), SkewEnvelope { vstep: v, msg: Num(v) });
+        }
+        assert!(ad.buffer.is_empty(), "far-future vsteps must be rejected");
+        // In-schedule envelopes still work end to end.
+        ad.deliver(ProcessId(1), SkewEnvelope { vstep: 2, msg: Num(1) });
+        let mut out = Vec::new();
+        for r in 0..8 {
+            ad.tick(r, &mut out);
+        }
+        assert_eq!(ad.inner().output(), Some(1), "step 3 consumed the step-2 message");
     }
 
     #[test]

@@ -487,6 +487,7 @@ fn run_process<M: Message>(
             let words = msg.words().max(1);
             let sigs = msg.constituent_sigs();
             let component = msg.component();
+            let session = msg.session();
             let targets: Vec<usize> = match dest {
                 Dest::To(p) if p.index() < n => vec![p.index()],
                 Dest::To(_) => vec![],
@@ -507,7 +508,7 @@ fn run_process<M: Message>(
                 };
                 {
                     let mut metrics = ctrl.metrics.lock();
-                    metrics.record(me, sender_correct, component, round, words, sigs);
+                    metrics.record(me, sender_correct, component, session, round, words, sigs);
                     let stats = metrics.link_mut(me, to);
                     stats.sent += 1;
                     match fate {

@@ -23,6 +23,14 @@ pub trait Message: Clone + fmt::Debug + Send + 'static {
     fn component(&self) -> &'static str {
         "protocol"
     }
+
+    /// Which protocol instance the message belongs to, when the message
+    /// is session-tagged (see [`crate::session::SessionEnvelope`]).
+    /// Runtimes use this for the per-session [`crate::Metrics`]
+    /// breakdowns; `None` means the message is not multiplexed.
+    fn session(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// A message together with its authenticated network-level sender.
@@ -109,10 +117,6 @@ impl<'a, M: Message> RoundCtx<'a, M> {
     pub fn broadcast(&mut self, msg: M) {
         self.outbox.push((Dest::All, msg));
     }
-
-    pub(crate) fn into_outbox(self) -> Vec<(Dest, M)> {
-        self.outbox
-    }
 }
 
 /// A process: a deterministic state machine advanced once per round.
@@ -161,7 +165,7 @@ mod tests {
         assert_eq!(ctx.from(ProcessId(2)).count(), 0);
         ctx.send(ProcessId(2), TestMsg(1));
         ctx.broadcast(TestMsg(2));
-        let out = ctx.into_outbox();
+        let out = ctx.take_outbox();
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].0, Dest::To(ProcessId(2)));
         assert_eq!(out[1].0, Dest::All);

@@ -51,6 +51,7 @@ pub mod faults;
 pub mod metrics;
 pub mod round;
 pub mod runner;
+pub mod session;
 pub mod trace;
 
 pub use actor::{Actor, Dest, Envelope, IdleActor, Message, RoundCtx};
@@ -58,7 +59,8 @@ pub use faults::{
     BernoulliDrop, Link, LinkFate, LinkPolicy, OneShotPartition, PolicyStack, RandomDelay,
     ReliableLinks,
 };
-pub use metrics::{Counters, LatencyHistogram, LinkStats, Metrics};
+pub use metrics::{Counters, LatencyHistogram, LinkStats, Metrics, SessionStats};
 pub use round::Round;
 pub use runner::{AnyActor, RunError, SimBuilder, Simulation};
+pub use session::{Instance, Mux, MuxHost, SessionEnvelope, SessionId, SubProtocol};
 pub use trace::{Trace, TraceEvent};

@@ -164,6 +164,36 @@ impl Counters {
     }
 }
 
+/// Correct-process accounting for one multiplexed protocol instance
+/// (see [`crate::session::SessionEnvelope`]).
+///
+/// This is what makes the paper's adaptivity *measurable* per instance:
+/// a clean replicated-log slot shows up here with `O(n)` words and a
+/// short `first_round..=last_round` span, a faulty one with its
+/// `O(n(f+1))`-word, full-schedule footprint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Words/messages/signatures correct processes sent in this session.
+    pub counters: Counters,
+    /// First round any correct process sent a message in this session.
+    pub first_round: u64,
+    /// Last round any correct process sent a message in this session.
+    pub last_round: u64,
+}
+
+serde::impl_serde_struct!(SessionStats { counters, first_round, last_round });
+
+impl SessionStats {
+    fn record(&mut self, round: u64, words: u64, sigs: u64) {
+        if self.counters.messages == 0 {
+            self.first_round = round;
+        }
+        self.first_round = self.first_round.min(round);
+        self.last_round = self.last_round.max(round);
+        self.counters.record(words, sigs);
+    }
+}
+
 /// Full accounting for one simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
@@ -190,6 +220,10 @@ pub struct Metrics {
     /// Delivery accounting per directed link, keyed `"p0->p1"` (see
     /// [`Metrics::link_key`]). Self-links are never recorded.
     pub per_link: BTreeMap<String, LinkStats>,
+    /// Correct-process counters broken down by protocol instance, for
+    /// session-multiplexed runs (empty when no message carries a
+    /// [`crate::Message::session`] tag).
+    pub per_session: BTreeMap<u64, SessionStats>,
 }
 
 serde::impl_serde_struct!(Metrics {
@@ -201,15 +235,19 @@ serde::impl_serde_struct!(Metrics {
     rounds,
     round_latency,
     per_link,
+    per_session,
 });
 
 impl Metrics {
-    /// Records one sent message.
+    /// Records one sent message. `session` is the message's instance tag
+    /// ([`crate::Message::session`]); `None` for unmultiplexed traffic.
+    #[allow(clippy::too_many_arguments)]
     pub fn record(
         &mut self,
         sender: ProcessId,
         sender_correct: bool,
         component: &'static str,
+        session: Option<u64>,
         round: u64,
         words: u64,
         sigs: u64,
@@ -218,6 +256,9 @@ impl Metrics {
         if sender_correct {
             self.correct.record(words, sigs);
             self.by_component.entry(component.to_string()).or_default().record(words, sigs);
+            if let Some(s) = session {
+                self.per_session.entry(s).or_default().record(round, words, sigs);
+            }
             if self.words_per_round.len() <= round as usize {
                 self.words_per_round.resize(round as usize + 1, 0);
             }
@@ -262,8 +303,8 @@ mod tests {
     #[test]
     fn correct_and_byzantine_split() {
         let mut m = Metrics::default();
-        m.record(ProcessId(0), true, "bb", 0, 3, 2);
-        m.record(ProcessId(1), false, "bb", 0, 100, 50);
+        m.record(ProcessId(0), true, "bb", None, 0, 3, 2);
+        m.record(ProcessId(1), false, "bb", None, 0, 100, 50);
         assert_eq!(m.correct.words, 3);
         assert_eq!(m.correct.messages, 1);
         assert_eq!(m.correct.constituent_sigs, 2);
@@ -274,18 +315,39 @@ mod tests {
     #[test]
     fn component_breakdown() {
         let mut m = Metrics::default();
-        m.record(ProcessId(0), true, "bb", 0, 1, 0);
-        m.record(ProcessId(0), true, "weak-ba", 1, 2, 1);
-        m.record(ProcessId(2), true, "weak-ba", 1, 2, 1);
+        m.record(ProcessId(0), true, "bb", None, 0, 1, 0);
+        m.record(ProcessId(0), true, "weak-ba", None, 1, 2, 1);
+        m.record(ProcessId(2), true, "weak-ba", None, 1, 2, 1);
         assert_eq!(m.by_component["bb"].words, 1);
         assert_eq!(m.by_component["weak-ba"].words, 4);
         assert_eq!(m.by_component["weak-ba"].messages, 2);
     }
 
     #[test]
+    fn per_session_breakdown_tracks_span_and_counters() {
+        let mut m = Metrics::default();
+        m.record(ProcessId(0), true, "bb", Some(0), 3, 2, 1);
+        m.record(ProcessId(1), true, "bb", Some(0), 7, 4, 0);
+        m.record(ProcessId(0), true, "bb", Some(1), 5, 10, 2);
+        // Byzantine traffic never pollutes the per-session view.
+        m.record(ProcessId(2), false, "bb", Some(0), 4, 99, 9);
+        // Unmultiplexed traffic has no session bucket.
+        m.record(ProcessId(0), true, "bb", None, 8, 1, 0);
+        let s0 = &m.per_session[&0];
+        assert_eq!(s0.counters.words, 6);
+        assert_eq!(s0.counters.messages, 2);
+        assert_eq!(s0.counters.constituent_sigs, 1);
+        assert_eq!((s0.first_round, s0.last_round), (3, 7));
+        let s1 = &m.per_session[&1];
+        assert_eq!(s1.counters.words, 10);
+        assert_eq!((s1.first_round, s1.last_round), (5, 5));
+        assert_eq!(m.per_session.len(), 2);
+    }
+
+    #[test]
     fn per_round_series_grows() {
         let mut m = Metrics::default();
-        m.record(ProcessId(0), true, "x", 4, 7, 0);
+        m.record(ProcessId(0), true, "x", None, 4, 7, 0);
         assert_eq!(m.words_per_round, vec![0, 0, 0, 0, 7]);
     }
 
@@ -350,8 +412,8 @@ mod serde_tests {
     #[test]
     fn metrics_roundtrip_through_json() {
         let mut m = Metrics::default();
-        m.record(ProcessId(0), true, "bb/vetting", 0, 3, 2);
-        m.record(ProcessId(1), false, "fallback", 2, 5, 1);
+        m.record(ProcessId(0), true, "bb/vetting", Some(0), 0, 3, 2);
+        m.record(ProcessId(1), false, "fallback", Some(1), 2, 5, 1);
         m.rounds = 3;
         m.round_latency.record_us(250);
         m.link_mut(ProcessId(0), ProcessId(1)).sent = 4;

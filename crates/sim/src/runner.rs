@@ -257,7 +257,7 @@ impl<M: crate::actor::Message> Simulation<M> {
             }
             let mut ctx = RoundCtx::new(round, ProcessId(i as u32), n, &inboxes[i]);
             self.actors[i].on_round(&mut ctx);
-            let out = ctx.into_outbox();
+            let out = ctx.take_outbox();
             self.dispatch(i, out, &mut rushed);
         }
         // Wave 2: rushing Byzantine actors see this round's correct
@@ -270,7 +270,7 @@ impl<M: crate::actor::Message> Simulation<M> {
             view.append(&mut rushed[i]);
             let mut ctx = RoundCtx::new(round, ProcessId(i as u32), n, &view);
             self.actors[i].on_round(&mut ctx);
-            let out = ctx.into_outbox();
+            let out = ctx.take_outbox();
             self.inboxes[i] = next_round_so_far;
             self.dispatch(i, out, &mut rushed);
         }
@@ -289,6 +289,7 @@ impl<M: crate::actor::Message> Simulation<M> {
             let words = msg.words().max(1);
             let sigs = msg.constituent_sigs();
             let component = msg.component();
+            let session = msg.session();
             match dest {
                 Dest::To(p) => {
                     if p.index() >= n {
@@ -299,6 +300,7 @@ impl<M: crate::actor::Message> Simulation<M> {
                             sender,
                             sender_correct,
                             component,
+                            session,
                             self.round.as_u64(),
                             words,
                             sigs,
@@ -315,6 +317,7 @@ impl<M: crate::actor::Message> Simulation<M> {
                                 sender,
                                 sender_correct,
                                 component,
+                                session,
                                 self.round.as_u64(),
                                 words,
                                 sigs,

@@ -1,0 +1,457 @@
+//! The session multiplexing layer: many protocol instances, one transport.
+//!
+//! Production agreement systems never run a single consensus instance —
+//! they run one per slot/height/view, all over the same links. This module
+//! supplies the missing addressing layer: a [`SessionId`]-tagged envelope
+//! ([`SessionEnvelope`]) routes every message to a protocol *instance*
+//! rather than just a process, and the [`Mux`] actor hosts a dynamic set
+//! of [`SubProtocol`] instances — opening them on a host-defined schedule
+//! (or on first use, if the host opts in), stepping each one per round,
+//! and retiring them as soon as they report [`SubProtocol::done`].
+//!
+//! The mux is runtime-agnostic: it is an ordinary [`Actor`], so the same
+//! code runs unchanged on the lockstep simulator and on the threaded
+//! `meba-net` cluster. Cryptographic non-interference between concurrent
+//! instances is the *host protocol's* job (per-session signature domain
+//! separation); the mux only provides addressing and lifecycle.
+
+use crate::actor::{Actor, Dest, Message, RoundCtx};
+use meba_crypto::ProcessId;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Debug;
+
+/// A synchronous protocol state machine, advanced one *step* at a time.
+///
+/// Step semantics: at step `s`, the machine consumes messages sent by
+/// peers at their step `s - 1`, and emits messages that peers consume at
+/// their step `s + 1`. Steps map to host rounds 1:1 when embedded in
+/// lockstep (via an [`Instance`] or a [`Mux`]), or 1:2 under the `2δ`
+/// skew-tolerant adapter in `meba-core`.
+pub trait SubProtocol: Send + 'static {
+    /// Message type exchanged by this protocol.
+    type Msg: Message;
+    /// Decision type.
+    type Output: Clone + Debug + Send + 'static;
+
+    /// Executes step `s`.
+    fn on_step(
+        &mut self,
+        step: u64,
+        inbox: &[(ProcessId, Self::Msg)],
+        out: &mut Vec<(Dest, Self::Msg)>,
+    );
+
+    /// The decision, once reached.
+    fn output(&self) -> Option<Self::Output>;
+
+    /// Whether the machine has completed its entire schedule (it may keep
+    /// answering messages until then even after deciding).
+    fn done(&self) -> bool;
+}
+
+/// Identifies one protocol instance among many multiplexed over the same
+/// process-to-process links (e.g. the slot number of a replicated log).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A sub-protocol message tagged with the instance it belongs to.
+///
+/// The tag is pure addressing: it contributes no words to the paper's
+/// complexity model (like the round number, it is part of the transport
+/// framing, not the protocol payload) and carries no authentication —
+/// instances must domain-separate their signatures by session themselves.
+#[derive(Clone, Debug)]
+pub struct SessionEnvelope<M> {
+    /// Which instance this message belongs to.
+    pub session: SessionId,
+    /// The wrapped protocol message.
+    pub msg: M,
+}
+
+impl<M: Message> Message for SessionEnvelope<M> {
+    fn words(&self) -> u64 {
+        self.msg.words()
+    }
+    fn constituent_sigs(&self) -> u64 {
+        self.msg.constituent_sigs()
+    }
+    fn component(&self) -> &'static str {
+        self.msg.component()
+    }
+    fn session(&self) -> Option<u64> {
+        Some(self.session.0)
+    }
+}
+
+/// One lockstep-driven instance of a [`SubProtocol`]: the protocol plus
+/// its step counter and the inbox buffered for its next step.
+///
+/// This is the single-instance core that both the [`Mux`] and the
+/// adapters in `meba-core` (`LockstepAdapter`, `SkewAdapter`) are thin
+/// wrappers around: deliver messages with [`Instance::deliver`], then
+/// fire [`Instance::step`] once per host round (or virtual step).
+#[derive(Debug)]
+pub struct Instance<P: SubProtocol> {
+    proto: P,
+    next_step: u64,
+    inbox: Vec<(ProcessId, P::Msg)>,
+}
+
+impl<P: SubProtocol> Instance<P> {
+    /// Wraps a protocol about to execute step 0.
+    pub fn new(proto: P) -> Self {
+        Instance { proto, next_step: 0, inbox: Vec::new() }
+    }
+
+    /// Buffers a message for consumption at the next step.
+    pub fn deliver(&mut self, from: ProcessId, msg: P::Msg) {
+        self.inbox.push((from, msg));
+    }
+
+    /// Executes the next step on everything delivered since the previous
+    /// one; returns the step index that just ran.
+    pub fn step(&mut self, out: &mut Vec<(Dest, P::Msg)>) -> u64 {
+        let step = self.next_step;
+        let inbox = std::mem::take(&mut self.inbox);
+        self.proto.on_step(step, &inbox, out);
+        self.next_step = step + 1;
+        step
+    }
+
+    /// The step the next [`Instance::step`] call will execute.
+    pub fn next_step(&self) -> u64 {
+        self.next_step
+    }
+
+    /// Whether the wrapped protocol has finished its schedule.
+    pub fn done(&self) -> bool {
+        self.proto.done()
+    }
+
+    /// The wrapped protocol.
+    pub fn proto(&self) -> &P {
+        &self.proto
+    }
+
+    /// The wrapped protocol, mutably.
+    pub fn proto_mut(&mut self) -> &mut P {
+        &mut self.proto
+    }
+
+    /// Unwraps the protocol (used when retiring an instance).
+    pub fn into_proto(self) -> P {
+        self.proto
+    }
+}
+
+/// Instance lifecycle policy for a [`Mux`]: which sessions open when, how
+/// to build them, how long they may run, and what to do with them when
+/// they retire.
+///
+/// The host is the protocol-specific half of a multiplexed driver (e.g.
+/// the replicated-log scheduler in `meba-smr`); the mux is the generic
+/// routing/lifecycle half.
+pub trait MuxHost: Send + 'static {
+    /// The protocol type this host instantiates.
+    type Proto: SubProtocol;
+
+    /// Sessions scheduled to open at host round `round` (step 0 runs this
+    /// round). Lockstep protocols need all correct processes to open a
+    /// session at the same round, so opens are driven by the shared round
+    /// clock, not by message arrival.
+    fn due(&mut self, round: u64) -> Vec<SessionId>;
+
+    /// Builds the instance for `sid`; `None` refuses the session (out of
+    /// range / unknown), in which case its messages are dropped.
+    fn create(&mut self, sid: SessionId) -> Option<Self::Proto>;
+
+    /// Hard cap on the number of steps an instance may run. An instance
+    /// still not [`SubProtocol::done`] after its cap is force-retired —
+    /// this is what keeps a Byzantine-stalled instance from living
+    /// forever.
+    fn max_steps(&self, sid: SessionId) -> u64;
+
+    /// Called exactly once when `sid` retires (done, or step cap hit),
+    /// with the final protocol state.
+    fn retired(&mut self, sid: SessionId, proto: Self::Proto);
+
+    /// Whether the whole mux is finished (drives [`Actor::done`]).
+    fn finished(&self) -> bool;
+
+    /// Whether a message for an unknown session may spawn it on first
+    /// use (step 0 at the arrival round). Off by default: lockstep
+    /// protocols require round-scheduled opens, and unsolicited spawn
+    /// hands Byzantine senders an allocation lever.
+    fn accept_unsolicited(&self, _sid: SessionId) -> bool {
+        false
+    }
+}
+
+/// An actor hosting a dynamic set of [`SubProtocol`] instances multiplexed
+/// over [`SessionEnvelope`]-tagged messages.
+///
+/// Per round: opens the sessions the host says are due, routes each inbox
+/// envelope to its instance (dropping envelopes for retired or refused
+/// sessions), advances every live instance one step, tags and sends their
+/// output, and retires instances that are done or have exhausted their
+/// step cap.
+pub struct Mux<H: MuxHost> {
+    me: ProcessId,
+    host: H,
+    live: BTreeMap<SessionId, Instance<H::Proto>>,
+    retired: BTreeSet<SessionId>,
+}
+
+impl<H: MuxHost> Mux<H> {
+    /// Creates a mux for process `me` with the given lifecycle host.
+    pub fn new(me: ProcessId, host: H) -> Self {
+        Mux { me, host, live: BTreeMap::new(), retired: BTreeSet::new() }
+    }
+
+    /// The lifecycle host (protocol-specific state, e.g. the committed
+    /// log).
+    pub fn host(&self) -> &H {
+        &self.host
+    }
+
+    /// The lifecycle host, mutably.
+    pub fn host_mut(&mut self) -> &mut H {
+        &mut self.host
+    }
+
+    /// Sessions currently live, in id order.
+    pub fn live_sessions(&self) -> Vec<SessionId> {
+        self.live.keys().copied().collect()
+    }
+
+    /// A live instance's protocol, if `sid` is still running.
+    pub fn instance(&self, sid: SessionId) -> Option<&H::Proto> {
+        self.live.get(&sid).map(|i| i.proto())
+    }
+
+    fn open(&mut self, sid: SessionId) {
+        if self.live.contains_key(&sid) || self.retired.contains(&sid) {
+            return;
+        }
+        if let Some(proto) = self.host.create(sid) {
+            self.live.insert(sid, Instance::new(proto));
+        } else {
+            // Refused: remember the refusal so stray traffic for this
+            // session cannot retrigger `create` every round.
+            self.retired.insert(sid);
+        }
+    }
+}
+
+impl<H: MuxHost> Actor for Mux<H> {
+    type Msg = SessionEnvelope<<H::Proto as SubProtocol>::Msg>;
+
+    fn id(&self) -> ProcessId {
+        self.me
+    }
+
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, Self::Msg>) {
+        let round = ctx.round().as_u64();
+        for sid in self.host.due(round) {
+            self.open(sid);
+        }
+        for env in ctx.inbox().iter().cloned() {
+            let sid = env.msg.session;
+            if !self.live.contains_key(&sid)
+                && !self.retired.contains(&sid)
+                && self.host.accept_unsolicited(sid)
+            {
+                self.open(sid);
+            }
+            if let Some(inst) = self.live.get_mut(&sid) {
+                inst.deliver(env.from, env.msg.msg);
+            }
+            // else: retired/refused/unknown session — drop.
+        }
+        let mut to_retire = Vec::new();
+        for (&sid, inst) in self.live.iter_mut() {
+            let mut out = Vec::new();
+            inst.step(&mut out);
+            for (dest, msg) in out {
+                let tagged = SessionEnvelope { session: sid, msg };
+                match dest {
+                    Dest::To(p) => ctx.send(p, tagged),
+                    Dest::All => ctx.broadcast(tagged),
+                }
+            }
+            if inst.done() || inst.next_step() >= self.host.max_steps(sid) {
+                to_retire.push(sid);
+            }
+        }
+        for sid in to_retire {
+            let inst = self.live.remove(&sid).expect("collected from live set");
+            self.retired.insert(sid);
+            self.host.retired(sid, inst.into_proto());
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.host.finished()
+    }
+}
+
+impl<H: MuxHost> Debug for Mux<H> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mux")
+            .field("me", &self.me)
+            .field("live", &self.live.keys().collect::<Vec<_>>())
+            .field("retired", &self.retired.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::Envelope;
+    use crate::round::Round;
+
+    #[derive(Clone, Debug)]
+    struct Ping(#[allow(dead_code)] u64);
+    impl Message for Ping {
+        fn words(&self) -> u64 {
+            1
+        }
+    }
+
+    /// Broadcasts its session-local step; decides at step `lifetime` on
+    /// how many messages it has seen in total.
+    struct Echo {
+        lifetime: u64,
+        seen: u64,
+        decided: Option<u64>,
+    }
+
+    impl SubProtocol for Echo {
+        type Msg = Ping;
+        type Output = u64;
+        fn on_step(&mut self, step: u64, inbox: &[(ProcessId, Ping)], out: &mut Vec<(Dest, Ping)>) {
+            self.seen += inbox.len() as u64;
+            if step >= self.lifetime {
+                self.decided = Some(self.seen);
+            } else {
+                out.push((Dest::All, Ping(step)));
+            }
+        }
+        fn output(&self) -> Option<u64> {
+            self.decided
+        }
+        fn done(&self) -> bool {
+            self.decided.is_some()
+        }
+    }
+
+    /// Opens session k at round 3k; each instance lives 3 steps.
+    struct StaggeredHost {
+        total: u64,
+        finished: Vec<(SessionId, u64)>,
+    }
+
+    impl MuxHost for StaggeredHost {
+        type Proto = Echo;
+        fn due(&mut self, round: u64) -> Vec<SessionId> {
+            if round.is_multiple_of(3) && round / 3 < self.total {
+                vec![SessionId(round / 3)]
+            } else {
+                vec![]
+            }
+        }
+        fn create(&mut self, sid: SessionId) -> Option<Echo> {
+            (sid.0 < self.total).then_some(Echo { lifetime: 3, seen: 0, decided: None })
+        }
+        fn max_steps(&self, _sid: SessionId) -> u64 {
+            10
+        }
+        fn retired(&mut self, sid: SessionId, proto: Echo) {
+            self.finished.push((sid, proto.output().expect("echo decides")));
+        }
+        fn finished(&self) -> bool {
+            self.finished.len() as u64 == self.total
+        }
+    }
+
+    fn drive(
+        mux: &mut Mux<StaggeredHost>,
+        round: u64,
+        inbox: &[Envelope<SessionEnvelope<Ping>>],
+    ) -> Vec<(Dest, SessionEnvelope<Ping>)> {
+        let mut ctx = RoundCtx::new(Round(round), mux.id(), 3, inbox);
+        mux.on_round(&mut ctx);
+        ctx.take_outbox()
+    }
+
+    #[test]
+    fn mux_opens_routes_and_retires() {
+        let host = StaggeredHost { total: 2, finished: vec![] };
+        let mut mux = Mux::new(ProcessId(0), host);
+        // Round 0: session 0 opens, runs step 0, broadcasts tagged.
+        let out = drive(&mut mux, 0, &[]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1.session, SessionId(0));
+        assert_eq!(mux.live_sessions(), vec![SessionId(0)]);
+        // Rounds 1-2: deliver a message addressed to session 0; a message
+        // for the unknown session 7 is dropped (no unsolicited spawn).
+        let inbox = vec![
+            Envelope {
+                from: ProcessId(1),
+                msg: SessionEnvelope { session: SessionId(0), msg: Ping(99) },
+            },
+            Envelope {
+                from: ProcessId(2),
+                msg: SessionEnvelope { session: SessionId(7), msg: Ping(1) },
+            },
+        ];
+        drive(&mut mux, 1, &inbox);
+        drive(&mut mux, 2, &[]);
+        // Round 3: session 0 hits step 3 → decides on its 1 routed message
+        // and retires; session 1 opens the same round.
+        drive(&mut mux, 3, &[]);
+        assert_eq!(mux.host().finished, vec![(SessionId(0), 1)]);
+        assert_eq!(mux.live_sessions(), vec![SessionId(1)]);
+        // A straggler for the retired session 0 is dropped, not respawned.
+        let late = vec![Envelope {
+            from: ProcessId(1),
+            msg: SessionEnvelope { session: SessionId(0), msg: Ping(5) },
+        }];
+        drive(&mut mux, 4, &late);
+        drive(&mut mux, 5, &[]);
+        drive(&mut mux, 6, &[]);
+        assert!(mux.done());
+        assert_eq!(mux.host().finished.len(), 2);
+        assert_eq!(mux.host().finished[1], (SessionId(1), 0), "late ping never reached s1");
+    }
+
+    #[test]
+    fn session_envelope_is_transparent_for_accounting() {
+        let env = SessionEnvelope { session: SessionId(4), msg: Ping(0) };
+        assert_eq!(env.words(), 1);
+        assert_eq!(env.constituent_sigs(), 0);
+        assert_eq!(env.session(), Some(4));
+        assert_eq!(format!("{}", env.session), "s4");
+    }
+
+    #[test]
+    fn instance_buffers_between_steps() {
+        let mut inst = Instance::new(Echo { lifetime: 3, seen: 0, decided: None });
+        inst.deliver(ProcessId(1), Ping(0));
+        inst.deliver(ProcessId(2), Ping(0));
+        let mut out = Vec::new();
+        assert_eq!(inst.step(&mut out), 0);
+        assert_eq!(inst.proto().seen, 2, "step 0 consumed both buffered messages");
+        assert_eq!(inst.next_step(), 1);
+        assert_eq!(inst.step(&mut out), 1);
+        assert_eq!(inst.proto().seen, 2, "nothing new delivered");
+        assert!(!inst.done());
+    }
+}

@@ -7,11 +7,15 @@
 //! rotating proposer `p_{k mod n}`. Clean slots cost the adaptive
 //! `O(n(f+1))` price; a faulty proposer merely yields a `⊥` (no-op) slot.
 //!
-//! Slots run on a **fixed, system-wide schedule** of
-//! [`ReplicatedLog::slot_rounds`] rounds each (the worst-case BB schedule,
-//! fallback included), so all correct replicas stay in lockstep without
-//! any extra coordination; the session id of slot `k` domain-separates
-//! its signatures from every other slot.
+//! Slots are hosted as sessions of a [`meba_sim::Mux`], each tagged with
+//! its slot number on the wire ([`SmrMsg`]). The log is **pipelined**:
+//! slot `k + 1` opens a fixed stride of rounds after slot `k`
+//! (configurable window `W`, [`ReplicatedLog::with_window`]), and a slot
+//! retires as soon as its instance finishes instead of burning the
+//! worst-case schedule — so clean slots are not just cheap in words but
+//! fast in rounds, realizing the paper's adaptivity end-to-end. The
+//! session id of slot `k` domain-separates its signatures from every
+//! other slot, which is what makes the concurrent instances safe.
 //!
 //! # Examples
 //!

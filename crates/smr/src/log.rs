@@ -1,34 +1,27 @@
-//! The replicated log: one adaptive BB instance per slot.
+//! The replicated log: pipelined adaptive BB instances over the session
+//! mux.
+//!
+//! Slot `k` is one BB instance with proposer `p_{k mod n}`, hosted as
+//! session `k` of a [`meba_sim::Mux`]. Slot `k + 1` opens a fixed *stride*
+//! of rounds after slot `k` (`stride = ⌈worst-case slot schedule / W⌉` for
+//! pipeline window `W`), so up to `W` instances run concurrently; each
+//! instance retires as soon as it reports [`SubProtocol::done`] instead of
+//! burning the fixed worst-case schedule. `W = 1` recovers the sequential
+//! fixed-schedule log. Per-slot signature domain separation (the session
+//! mixed into every signed payload) keeps the concurrent instances
+//! non-interfering — see `docs/CORRECTNESS.md`.
 
 use meba_core::bb::{Bb, BbBaValue, BbMsg};
 use meba_core::{Decision, FallbackFactory, SubProtocol, SystemConfig, Value};
 use meba_crypto::{Pki, ProcessId, SecretKey};
-use meba_sim::{Actor, Dest, Message, RoundCtx};
-use std::collections::VecDeque;
+use meba_sim::{Actor, Mux, MuxHost, RoundCtx, SessionEnvelope, SessionId};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Message type of the fallback for the BB value domain.
 type FbMsg<V, F> = <<F as FallbackFactory<BbBaValue<V>>>::Protocol as SubProtocol>::Msg;
 
-/// A slot-tagged BB message.
-#[derive(Clone, Debug)]
-pub struct SmrMsg<V, FM> {
-    /// Which slot's BB instance this belongs to.
-    pub slot: u64,
-    /// The wrapped BB message.
-    pub inner: BbMsg<V, FM>,
-}
-
-impl<V: Value, FM: Message> Message for SmrMsg<V, FM> {
-    fn words(&self) -> u64 {
-        self.inner.words()
-    }
-    fn constituent_sigs(&self) -> u64 {
-        self.inner.constituent_sigs()
-    }
-    fn component(&self) -> &'static str {
-        self.inner.component()
-    }
-}
+/// A slot-tagged BB message: the wire session id is the slot number.
+pub type SmrMsg<V, FM> = SessionEnvelope<BbMsg<V, FM>>;
 
 /// A committed log entry.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -41,13 +34,10 @@ pub struct LogEntry<V> {
     pub entry: Decision<V>,
 }
 
-/// One replica of the replicated log.
-///
-/// Runs `total_slots` BB instances back to back on a fixed schedule of
-/// [`ReplicatedLog::slot_rounds`] rounds each. The proposer of slot `k`
-/// is `p_{k mod n}`; when it is this replica's turn it proposes the next
-/// queued command (or the no-op value).
-pub struct ReplicatedLog<V, F>
+/// The [`MuxHost`] half of a log replica: opens slot `k` at round
+/// `k · stride`, builds its domain-separated BB instance, and records the
+/// decision when the instance retires.
+struct LogHost<V, F>
 where
     V: Value,
     F: FallbackFactory<BbBaValue<V>>,
@@ -57,79 +47,38 @@ where
     key: SecretKey,
     pki: Pki,
     factory: F,
-    slot_rounds: u64,
+    stride: u64,
+    slot_cap: u64,
     total_slots: u64,
     noop: V,
     pending: VecDeque<V>,
-    current: Option<Bb<V, F>>,
+    entries: BTreeMap<u64, LogEntry<V>>,
     log: Vec<LogEntry<V>>,
 }
 
-impl<V, F> ReplicatedLog<V, F>
+impl<V, F> MuxHost for LogHost<V, F>
 where
     V: Value,
     F: FallbackFactory<BbBaValue<V>>,
 {
-    /// Creates a replica. `commands` are proposed, in order, whenever
-    /// this replica is the slot proposer; `noop` is proposed when the
-    /// queue is empty.
-    #[allow(clippy::too_many_arguments)]
-    pub fn new(
-        cfg: SystemConfig,
-        me: ProcessId,
-        key: SecretKey,
-        pki: Pki,
-        factory: F,
-        total_slots: u64,
-        commands: Vec<V>,
-        noop: V,
-    ) -> Self {
-        let slot_rounds = Self::slot_rounds(&cfg, &factory);
-        ReplicatedLog {
-            cfg,
-            me,
-            key,
-            pki,
-            factory,
-            slot_rounds,
-            total_slots,
-            noop,
-            pending: commands.into(),
-            current: None,
-            log: Vec::new(),
+    type Proto = Bb<V, F>;
+
+    fn due(&mut self, round: u64) -> Vec<SessionId> {
+        if round.is_multiple_of(self.stride) && round / self.stride < self.total_slots {
+            vec![SessionId(round / self.stride)]
+        } else {
+            Vec::new()
         }
     }
 
-    /// Fixed number of rounds allocated per slot: the worst-case BB
-    /// schedule, fallback included.
-    pub fn slot_rounds(cfg: &SystemConfig, factory: &F) -> u64 {
-        Bb::<V, F>::max_schedule(cfg, factory) + 2
-    }
-
-    /// Total rounds the whole log needs.
-    pub fn total_rounds(&self) -> u64 {
-        self.slot_rounds * self.total_slots
-    }
-
-    /// The committed log so far.
-    pub fn log(&self) -> &[LogEntry<V>] {
-        &self.log
-    }
-
-    /// The committed commands (skipping `⊥` slots).
-    pub fn committed(&self) -> impl Iterator<Item = &V> {
-        self.log.iter().filter_map(|e| e.entry.value())
-    }
-
-    fn slot_cfg(&self, slot: u64) -> SystemConfig {
-        // Domain-separate each slot's signatures.
-        self.cfg.with_session(self.cfg.session().wrapping_mul(1_000_003).wrapping_add(slot))
-    }
-
-    fn open_slot(&mut self, slot: u64) {
+    fn create(&mut self, sid: SessionId) -> Option<Bb<V, F>> {
+        let slot = sid.0;
+        if slot >= self.total_slots {
+            return None;
+        }
         let proposer = ProcessId((slot % self.cfg.n() as u64) as u32);
-        let cfg = self.slot_cfg(slot);
-        let bb = if proposer == self.me {
+        let cfg = ReplicatedLog::<V, F>::slot_cfg(&self.cfg, slot);
+        Some(if proposer == self.me {
             let cmd = self.pending.pop_front().unwrap_or_else(|| self.noop.clone());
             Bb::new_sender(
                 cfg,
@@ -148,21 +97,136 @@ where
                 self.factory.clone(),
                 proposer,
             )
-        };
-        self.current = Some(bb);
+        })
     }
 
-    fn close_slot(&mut self, slot: u64) {
+    fn max_steps(&self, _sid: SessionId) -> u64 {
+        self.slot_cap
+    }
+
+    fn retired(&mut self, sid: SessionId, bb: Bb<V, F>) {
+        let slot = sid.0;
         let proposer = ProcessId((slot % self.cfg.n() as u64) as u32);
-        let entry = self
-            .current
-            .take()
-            .and_then(|bb| bb.output())
-            // A BB that did not finish inside the worst-case schedule can
-            // only be a Byzantine-scheduled wrapper; a correct replica
-            // records ⊥ and stays aligned with its peers.
-            .unwrap_or(Decision::Bot);
-        self.log.push(LogEntry { slot, proposer, entry });
+        // A BB that did not finish inside the worst-case schedule can
+        // only be a Byzantine-scheduled wrapper; a correct replica
+        // records ⊥ and stays aligned with its peers.
+        let entry = bb.output().unwrap_or(Decision::Bot);
+        self.entries.insert(slot, LogEntry { slot, proposer, entry });
+        // Slots can retire out of order under pipelining; the BTreeMap
+        // keeps the committed view in slot order.
+        self.log = self.entries.values().cloned().collect();
+    }
+
+    fn finished(&self) -> bool {
+        self.entries.len() as u64 >= self.total_slots
+    }
+}
+
+/// One replica of the replicated log.
+///
+/// Runs `total_slots` BB instances over a session mux. The proposer of
+/// slot `k` is `p_{k mod n}`; when it is this replica's turn it proposes
+/// the next queued command (or the no-op value). [`ReplicatedLog::new`]
+/// builds the sequential (`W = 1`) log; chain
+/// [`ReplicatedLog::with_window`] for the pipelined mode.
+pub struct ReplicatedLog<V, F>
+where
+    V: Value,
+    F: FallbackFactory<BbBaValue<V>>,
+{
+    mux: Mux<LogHost<V, F>>,
+    window: u64,
+}
+
+impl<V, F> ReplicatedLog<V, F>
+where
+    V: Value,
+    F: FallbackFactory<BbBaValue<V>>,
+{
+    /// Creates a sequential (`W = 1`) replica. `commands` are proposed,
+    /// in order, whenever this replica is the slot proposer; `noop` is
+    /// proposed when the queue is empty.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        cfg: SystemConfig,
+        me: ProcessId,
+        key: SecretKey,
+        pki: Pki,
+        factory: F,
+        total_slots: u64,
+        commands: Vec<V>,
+        noop: V,
+    ) -> Self {
+        let slot_cap = Self::slot_rounds(&cfg, &factory);
+        let host = LogHost {
+            cfg,
+            me,
+            key,
+            pki,
+            factory,
+            stride: slot_cap,
+            slot_cap,
+            total_slots,
+            noop,
+            pending: commands.into(),
+            entries: BTreeMap::new(),
+            log: Vec::new(),
+        };
+        ReplicatedLog { mux: Mux::new(me, host), window: 1 }
+    }
+
+    /// Sets the pipeline window: up to `window ≥ 1` slots run
+    /// concurrently, with slot `k + 1` opening [`ReplicatedLog::stride`]
+    /// rounds after slot `k`. Call before the first round.
+    pub fn with_window(mut self, window: u64) -> Self {
+        let window = window.max(1);
+        let host = self.mux.host_mut();
+        host.stride = host.slot_cap.div_ceil(window);
+        self.window = window;
+        self
+    }
+
+    /// Fixed worst-case number of rounds per slot: the full BB schedule,
+    /// fallback included. A slot whose instance is still running after
+    /// this many steps is force-retired as `⊥`.
+    pub fn slot_rounds(cfg: &SystemConfig, factory: &F) -> u64 {
+        Bb::<V, F>::max_schedule(cfg, factory) + 2
+    }
+
+    /// Rounds between consecutive slot openings
+    /// (`⌈slot_rounds / window⌉`).
+    pub fn stride(&self) -> u64 {
+        self.mux.host().stride
+    }
+
+    /// The pipeline window `W`.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Worst-case total rounds the whole log needs: the last slot opens
+    /// at `(total_slots − 1) · stride` and may run its full schedule.
+    pub fn total_rounds(&self) -> u64 {
+        let host = self.mux.host();
+        (host.total_slots.saturating_sub(1)) * host.stride + host.slot_cap
+    }
+
+    /// The committed log so far, in slot order. Under pipelining slots
+    /// may commit out of order; gaps close as earlier slots retire.
+    pub fn log(&self) -> &[LogEntry<V>] {
+        &self.mux.host().log
+    }
+
+    /// The committed commands (skipping `⊥` slots).
+    pub fn committed(&self) -> impl Iterator<Item = &V> {
+        self.log().iter().filter_map(|e| e.entry.value())
+    }
+
+    /// The domain-separated system config slot `k`'s BB instance signs
+    /// under. Exposed so tests and adversaries can reproduce a slot's
+    /// signature domain.
+    pub fn slot_cfg(cfg: &SystemConfig, slot: u64) -> SystemConfig {
+        cfg.with_session(cfg.session().wrapping_mul(1_000_003).wrapping_add(slot))
     }
 }
 
@@ -174,44 +238,15 @@ where
     type Msg = SmrMsg<V, FbMsg<V, F>>;
 
     fn id(&self) -> ProcessId {
-        self.me
+        self.mux.id()
     }
 
     fn on_round(&mut self, ctx: &mut RoundCtx<'_, Self::Msg>) {
-        let r = ctx.round().as_u64();
-        let slot = r / self.slot_rounds;
-        if slot >= self.total_slots {
-            return;
-        }
-        let step = r % self.slot_rounds;
-        if step == 0 {
-            self.open_slot(slot);
-        }
-        #[allow(clippy::type_complexity)]
-        let inbox: Vec<(ProcessId, BbMsg<V, FbMsg<V, F>>)> = ctx
-            .inbox()
-            .iter()
-            .filter(|e| e.msg.slot == slot)
-            .map(|e| (e.from, e.msg.inner.clone()))
-            .collect();
-        let mut out = Vec::new();
-        if let Some(bb) = &mut self.current {
-            bb.on_step(step, &inbox, &mut out);
-        }
-        for (dest, inner) in out {
-            let msg = SmrMsg { slot, inner };
-            match dest {
-                Dest::To(p) => ctx.send(p, msg),
-                Dest::All => ctx.broadcast(msg),
-            }
-        }
-        if step == self.slot_rounds - 1 {
-            self.close_slot(slot);
-        }
+        self.mux.on_round(ctx);
     }
 
     fn done(&self) -> bool {
-        self.log.len() as u64 >= self.total_slots
+        self.mux.done()
     }
 }
 
@@ -222,9 +257,10 @@ where
 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ReplicatedLog")
-            .field("me", &self.me)
-            .field("committed", &self.log.len())
-            .field("total_slots", &self.total_slots)
+            .field("me", &self.mux.id())
+            .field("committed", &self.mux.host().entries.len())
+            .field("total_slots", &self.mux.host().total_slots)
+            .field("window", &self.window)
             .finish_non_exhaustive()
     }
 }
@@ -239,7 +275,13 @@ mod tests {
     type Log = ReplicatedLog<u64, RecursiveBaFactory>;
     type Msg = <Log as Actor>::Msg;
 
-    fn make_sim(n: usize, slots: u64, commands: Vec<Vec<u64>>, crashed: &[u32]) -> Simulation<Msg> {
+    fn make_sim(
+        n: usize,
+        slots: u64,
+        window: u64,
+        commands: Vec<Vec<u64>>,
+        crashed: &[u32],
+    ) -> Simulation<Msg> {
         let cfg = SystemConfig::new(n, 9).unwrap();
         let (pki, keys) = trusted_setup(n, 77);
         let mut actors: Vec<Box<dyn AnyActor<Msg = Msg>>> = Vec::new();
@@ -259,7 +301,8 @@ mod tests {
                 slots,
                 commands.get(i).cloned().unwrap_or_default(),
                 0u64, // no-op
-            );
+            )
+            .with_window(window);
             actors.push(Box::new(log));
         }
         let mut b = SimBuilder::new(actors);
@@ -283,7 +326,7 @@ mod tests {
     fn failure_free_log_replicates_commands() {
         let n = 5;
         let commands: Vec<Vec<u64>> = (0..n).map(|i| vec![100 + i as u64]).collect();
-        let mut sim = make_sim(n, 3, commands, &[]);
+        let mut sim = make_sim(n, 3, 1, commands, &[]);
         let budget = {
             let l: &Log = sim.actor(ProcessId(0)).as_any().downcast_ref().unwrap();
             l.total_rounds() + 2
@@ -304,7 +347,7 @@ mod tests {
         let commands: Vec<Vec<u64>> = (0..n).map(|i| vec![100 + i as u64]).collect();
         // p1 crashed: slot 1 must be ⊥, slots 0 and 2 commit.
         let crashed = [1u32];
-        let mut sim = make_sim(n, 3, commands, &crashed);
+        let mut sim = make_sim(n, 3, 1, commands, &crashed);
         sim.run_until_done(20_000).unwrap();
         let all = logs(&sim, &crashed);
         for l in &all {
@@ -318,7 +361,7 @@ mod tests {
     #[test]
     fn empty_queue_proposes_noop() {
         let n = 5;
-        let mut sim = make_sim(n, 1, vec![vec![]; n], &[]);
+        let mut sim = make_sim(n, 1, 1, vec![vec![]; n], &[]);
         sim.run_until_done(20_000).unwrap();
         let all = logs(&sim, &[]);
         assert_eq!(all[0][0].entry, Decision::Value(0), "no-op committed");
@@ -331,5 +374,99 @@ mod tests {
         let factory = RecursiveBaFactory::new(cfg, keys[0].clone(), pki);
         let rounds = Log::slot_rounds(&cfg, &factory);
         assert!(rounds > 40, "must cover phases + help + fallback, got {rounds}");
+    }
+
+    /// Acceptance: with `W ≥ 2` a failure-free 8-slot log commits in
+    /// strictly fewer total rounds than the sequential fixed-schedule
+    /// log, and the per-session metrics show every clean slot at the
+    /// adaptive word cost.
+    #[test]
+    fn pipelined_beats_sequential_on_failure_free_8_slots() {
+        let n = 5;
+        let slots = 8u64;
+        let commands: Vec<Vec<u64>> =
+            (0..n).map(|i| vec![100 + i as u64, 200 + i as u64]).collect();
+        let run = |window: u64| {
+            let mut sim = make_sim(n, slots, window, commands.clone(), &[]);
+            sim.run_until_done(100_000).unwrap();
+            let logs = logs(&sim, &[]);
+            for l in &logs {
+                assert_eq!(l, &logs[0], "window {window}: logs must be identical");
+                assert_eq!(l.len(), slots as usize);
+            }
+            (sim.metrics().rounds, sim.metrics().clone(), logs[0].clone())
+        };
+        let (seq_rounds, _, seq_log) = run(1);
+        let (pip_rounds, pip_metrics, pip_log) = run(2);
+        assert_eq!(seq_log, pip_log, "pipelining must not change the committed log");
+        assert!(
+            pip_rounds < seq_rounds,
+            "W=2 must commit in strictly fewer rounds: {pip_rounds} vs {seq_rounds}"
+        );
+        // Fixed-schedule upper bound for reference: W=1 with early
+        // retirement already beats slots × slot_rounds.
+        // Each clean slot costs the adaptive O(n) word price, measured
+        // per session. 22n is the same bound the BB unit test asserts
+        // for a single failure-free instance.
+        assert_eq!(pip_metrics.per_session.len(), slots as usize);
+        for (slot, stats) in &pip_metrics.per_session {
+            assert!(
+                stats.counters.words <= 22 * n as u64,
+                "slot {slot} not adaptive: {} words",
+                stats.counters.words
+            );
+            assert!(stats.last_round >= stats.first_round);
+        }
+    }
+
+    /// A faulty slot's full worst-case schedule overlaps several clean
+    /// slots under `W = 4`; domain separation keeps them independent.
+    #[test]
+    fn pipelined_log_overlaps_faulty_slot_without_interference() {
+        let n = 5;
+        let slots = 4u64;
+        let commands: Vec<Vec<u64>> = (0..n).map(|i| vec![100 + i as u64]).collect();
+        let crashed = [1u32];
+        let mut sim = make_sim(n, slots, 4, commands, &crashed);
+        sim.run_until_done(100_000).unwrap();
+        let all = logs(&sim, &crashed);
+        for l in &all {
+            assert_eq!(l, &all[0], "logs must be identical");
+        }
+        let entries: Vec<&Decision<u64>> = all[0].iter().map(|e| &e.entry).collect();
+        assert_eq!(entries[0], &Decision::Value(100));
+        assert_eq!(entries[1], &Decision::Bot, "crashed proposer slot skipped");
+        assert_eq!(entries[2], &Decision::Value(102));
+        assert_eq!(entries[3], &Decision::Value(103));
+    }
+
+    #[test]
+    fn window_controls_stride() {
+        let n = 5;
+        let cfg = SystemConfig::new(n, 9).unwrap();
+        let (pki, keys) = trusted_setup(n, 77);
+        let factory = RecursiveBaFactory::new(cfg, keys[0].clone(), pki.clone());
+        let sr = Log::slot_rounds(&cfg, &factory);
+        let mk = |w| {
+            ReplicatedLog::<u64, RecursiveBaFactory>::new(
+                cfg,
+                ProcessId(0),
+                keys[0].clone(),
+                pki.clone(),
+                factory.clone(),
+                6,
+                vec![],
+                0,
+            )
+            .with_window(w)
+        };
+        let seq = mk(1);
+        assert_eq!(seq.stride(), sr);
+        assert_eq!(seq.total_rounds(), 5 * sr + sr);
+        let pip = mk(3);
+        assert_eq!(pip.stride(), sr.div_ceil(3));
+        assert!(pip.total_rounds() < seq.total_rounds());
+        // W = 0 is clamped to 1, not a division by zero.
+        assert_eq!(mk(0).stride(), sr);
     }
 }

@@ -31,7 +31,8 @@ use meba_core::{
 use meba_crypto::{trusted_setup, ProcessId, SecretKey};
 use meba_fallback::RecursiveBaFactory;
 use meba_sim::faults::BernoulliDrop;
-use meba_sim::{AnyActor, IdleActor, Round, SimBuilder, Simulation};
+use meba_sim::{Actor, AnyActor, IdleActor, Round, SimBuilder, Simulation};
+use meba_smr::{LogEntry, ReplicatedLog};
 
 /// Per-message drop probability applied by [`Fault::Lossy`]: heavy enough
 /// that multi-round certificate collection routinely misses this
@@ -79,6 +80,10 @@ pub type WbaM = <WbaProc as SubProtocol>::Msg;
 pub type SbaProc = StrongBa<RecursiveBaFactory>;
 /// Its wire-message type.
 pub type SbaM = <SbaProc as SubProtocol>::Msg;
+/// The replicated-log replica the harness builds.
+pub type LogProc = ReplicatedLog<u64, RecursiveBaFactory>;
+/// Its wire-message type (session-tagged BB messages).
+pub type LogM = <LogProc as Actor>::Msg;
 
 fn apply_faults<M: meba_sim::Message>(
     mut builder: SimBuilder<M>,
@@ -232,6 +237,60 @@ pub fn strong_ba_decisions(sim: &Simulation<SbaM>, faults: &[Fault]) -> Vec<bool
             a.inner().output().unwrap_or_else(|| panic!("p{i} did not decide"))
         })
         .collect()
+}
+
+/// Builds a replicated-log simulation: `slots` BB instances multiplexed
+/// with pipeline window `window` (`1` = sequential). Replica `i`'s
+/// command queue is `100·(i+1) + k` for `k = 0, 1, …`, so slot `k`'s
+/// honest proposal is recognizable; `0` is the no-op.
+///
+/// # Panics
+///
+/// Panics if `faults.len()` is not a valid system size (odd, ≥ 3).
+pub fn log_sim(slots: u64, window: u64, faults: &[Fault]) -> Simulation<LogM> {
+    let n = faults.len();
+    let cfg = SystemConfig::new(n, 0x109).unwrap();
+    let (pki, keys) = trusted_setup(n, 0xfee1);
+    let mut actors: Vec<Box<dyn AnyActor<Msg = LogM>>> = Vec::new();
+    for (i, key) in keys.into_iter().enumerate() {
+        let id = ProcessId(i as u32);
+        let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+        let commands: Vec<u64> = (0..slots).map(|k| 100 * (i as u64 + 1) + k).collect();
+        let make = |key: SecretKey| {
+            ReplicatedLog::new(cfg, id, key, pki.clone(), factory.clone(), slots, commands, 0)
+                .with_window(window)
+        };
+        actors.push(match faults[i] {
+            Fault::None => Box::new(make(key)),
+            Fault::Idle => Box::new(IdleActor::new(id)),
+            Fault::CrashAt(r) => Box::new(CrashActor::new(make(key), Round(r))),
+            Fault::Chaos(seed) => Box::new(ChaosActor::new(id, seed, 4)),
+            Fault::Lossy(seed) => Box::new(LossyLinkActor::new(
+                make(key),
+                Box::new(BernoulliDrop::new(seed, LOSSY_DROP_PROB)),
+            )),
+        });
+    }
+    apply_faults(SimBuilder::new(actors), faults).build()
+}
+
+/// Committed logs of the fault-free replicas of a [`log_sim`] run, in
+/// process order. Only `Fault::None` replicas are inspected (the faulty
+/// ones are wrapped or replaced and hold no comparable log).
+pub fn log_entries(sim: &Simulation<LogM>, faults: &[Fault]) -> Vec<Vec<LogEntry<u64>>> {
+    (0..sim.n())
+        .filter(|&i| faults[i] == Fault::None)
+        .map(|i| {
+            let a: &LogProc = sim.actor(ProcessId(i as u32)).as_any().downcast_ref().unwrap();
+            a.log().to_vec()
+        })
+        .collect()
+}
+
+/// A generous round budget for a [`log_sim`] run: every slot may need
+/// its full worst-case schedule.
+pub fn log_round_budget(n: usize, slots: u64) -> u64 {
+    slots * (round_budget(n) + 10)
 }
 
 /// Asserts all decisions are equal and returns the common one.

@@ -18,6 +18,9 @@ cargo test --workspace --locked
 echo "== docs =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --locked
 
+echo "== example smoke (pipelined replicated log) =="
+cargo run --release --locked --example replicated_log
+
 echo "== experiments (release) =="
 cargo bench -p meba-bench
 

@@ -80,7 +80,8 @@ pub mod prelude {
     pub use meba_crypto::{trusted_setup, Pki, ProcessId, SecretKey, WordCost};
     pub use meba_fallback::{DolevStrongBb, RecursiveBa, RecursiveBaFactory};
     pub use meba_sim::{
-        Actor, AnyActor, IdleActor, Message, Metrics, Round, SimBuilder, Simulation,
+        Actor, AnyActor, IdleActor, Message, Metrics, Mux, MuxHost, Round, SessionEnvelope,
+        SessionId, SimBuilder, Simulation,
     };
-    pub use meba_smr::{LogEntry, ReplicatedLog};
+    pub use meba_smr::{LogEntry, ReplicatedLog, SmrMsg};
 }

@@ -56,6 +56,62 @@ fn bb_on_threads_failure_free() {
 }
 
 #[test]
+fn pipelined_log_on_threads() {
+    // The same mux-hosted pipelined log that runs on the lockstep
+    // simulator, driven by the threaded wall-clock runtime: sessions are
+    // routed, opened, and retired identically, and the per-session
+    // metrics breakdown is populated by the cluster too.
+    type Log = ReplicatedLog<u64, RecursiveBaFactory>;
+    type Msg = <Log as Actor>::Msg;
+    let n = 5usize;
+    let slots = 3u64;
+    let cfg = SystemConfig::new(n, 0xc7).unwrap();
+    let (pki, keys) = trusted_setup(n, 0xc7);
+    let mut actors: Vec<Box<dyn AnyActor<Msg = Msg>>> = Vec::new();
+    for (i, key) in keys.into_iter().enumerate() {
+        let id = ProcessId(i as u32);
+        let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+        let log: Log =
+            ReplicatedLog::new(cfg, id, key, pki.clone(), factory, slots, vec![700 + i as u64], 0)
+                .with_window(3);
+        actors.push(Box::new(log));
+    }
+    let report = run_cluster(actors, cluster_config(vec![]));
+    assert!(report.completed, "cluster must terminate");
+    let mut reference: Option<Vec<LogEntry<u64>>> = None;
+    for a in &report.actors {
+        let l: &Log = a.as_any().downcast_ref().unwrap();
+        assert_eq!(l.log().len(), slots as usize);
+        match &reference {
+            None => reference = Some(l.log().to_vec()),
+            Some(r) => assert_eq!(l.log(), &r[..], "replicas diverged on threads"),
+        }
+    }
+    let committed: Vec<u64> =
+        reference.unwrap().iter().filter_map(|e| e.entry.value().copied()).collect();
+    assert_eq!(committed, vec![700, 701, 702]);
+    // Pipelining: with W = 3 the whole log fits well inside two
+    // sequential slot schedules.
+    let slot_rounds = {
+        let (pki2, keys2) = trusted_setup(n, 0xc7);
+        let f = RecursiveBaFactory::new(cfg, keys2[0].clone(), pki2);
+        Log::slot_rounds(&cfg, &f)
+    };
+    assert!(
+        report.rounds < 2 * slot_rounds,
+        "pipelined run took {} rounds, sequential would need ~{}",
+        report.rounds,
+        slots * slot_rounds
+    );
+    // Per-session accounting is populated on the threaded runtime too,
+    // one bucket per slot, each at the adaptive word cost.
+    assert_eq!(report.metrics.per_session.len(), slots as usize);
+    for stats in report.metrics.per_session.values() {
+        assert!(stats.counters.words <= 22 * n as u64);
+    }
+}
+
+#[test]
 fn strong_ba_on_threads_with_crash() {
     let n = 5usize;
     let cfg = SystemConfig::new(n, 0xc2).unwrap();

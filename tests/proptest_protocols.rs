@@ -153,3 +153,38 @@ proptest! {
         prop_assert_eq!(a.2, b.2);
     }
 }
+
+proptest! {
+    // Each case runs two full multi-slot logs; keep the case count low.
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    // The pipelined log is an *optimization*, not a different protocol:
+    // under the same fault schedule it must commit exactly the entry
+    // sequence the sequential log commits. Faults are restricted to
+    // `Idle` (silent from round 0) because they are stride-independent;
+    // `CrashAt`/`Chaos` are round-indexed, so the same fault legitimately
+    // lands at different instance steps under different strides.
+    #[test]
+    fn pipelined_log_commits_same_entries_as_sequential(
+        idle in proptest::sample::subsequence(vec![0usize, 1, 2, 3, 4], 2),
+        keep in 0usize..=2,
+        window in 2u64..=4,
+    ) {
+        let slots = 3;
+        let mut faults = vec![Fault::None; 5];
+        for &i in &idle[..keep] {
+            faults[i] = Fault::Idle;
+        }
+        let logs_at = |w: u64| {
+            let mut sim = log_sim(slots, w, &faults);
+            sim.run_until_done(log_round_budget(5, slots)).unwrap();
+            let logs = log_entries(&sim, &faults);
+            assert_agreement(&logs)
+        };
+        let sequential = logs_at(1);
+        let pipelined = logs_at(window);
+        prop_assert_eq!(sequential.len(), slots as usize);
+        prop_assert_eq!(&pipelined, &sequential,
+            "window {} diverged from sequential under {:?}", window, faults);
+    }
+}
