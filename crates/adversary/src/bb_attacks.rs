@@ -3,7 +3,7 @@
 use meba_core::bb::BbMsg;
 use meba_core::signing::{sign_payload, BbValueSig};
 use meba_core::{SystemConfig, Value};
-use meba_crypto::{ProcessId, SecretKey};
+use meba_crypto::{ProcessId, SecretKey, WireCodec};
 use meba_sim::{Actor, Message, Round, RoundCtx};
 use std::marker::PhantomData;
 
@@ -21,7 +21,7 @@ pub struct EquivocatingSender<V, FM> {
     _fm: PhantomData<fn() -> FM>,
 }
 
-impl<V: Value, FM: Message> EquivocatingSender<V, FM> {
+impl<V: Value, FM: Message + WireCodec> EquivocatingSender<V, FM> {
     /// Creates the equivocating sender.
     pub fn new(
         cfg: SystemConfig,
@@ -35,7 +35,7 @@ impl<V: Value, FM: Message> EquivocatingSender<V, FM> {
     }
 }
 
-impl<V: Value, FM: Message> Actor for EquivocatingSender<V, FM> {
+impl<V: Value, FM: Message + WireCodec> Actor for EquivocatingSender<V, FM> {
     type Msg = BbMsg<V, FM>;
 
     fn id(&self) -> ProcessId {

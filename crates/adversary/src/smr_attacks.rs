@@ -16,7 +16,7 @@ use meba_core::bb::BbMsg;
 use meba_core::signing::{sign_payload, HelpReqSig};
 use meba_core::weak_ba::WeakBaMsg;
 use meba_core::Value;
-use meba_crypto::{ProcessId, SecretKey};
+use meba_crypto::{ProcessId, SecretKey, WireCodec};
 use meba_sim::{Actor, Message, RoundCtx, SessionEnvelope, SessionId};
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
@@ -36,14 +36,14 @@ pub struct SessionReplayer<M> {
     queued: BTreeMap<u64, Vec<M>>,
 }
 
-impl<M: Message> SessionReplayer<M> {
+impl<M: Message + WireCodec> SessionReplayer<M> {
     /// Replays session `from_session` into `onto`, `delay` rounds later.
     pub fn new(me: ProcessId, from_session: SessionId, onto: SessionId, delay: u64) -> Self {
         SessionReplayer { me, from_session, onto, delay, queued: BTreeMap::new() }
     }
 }
 
-impl<M: Message> Actor for SessionReplayer<M> {
+impl<M: Message + WireCodec> Actor for SessionReplayer<M> {
     type Msg = SessionEnvelope<M>;
 
     fn id(&self) -> ProcessId {
@@ -83,7 +83,7 @@ pub struct MuxHelpRequester<V, FM> {
     _msg: PhantomData<fn() -> (V, FM)>,
 }
 
-impl<V: Value, FM: Message> MuxHelpRequester<V, FM> {
+impl<V: Value, FM: Message + WireCodec> MuxHelpRequester<V, FM> {
     /// Sends the help request into `wire_session` (signed for
     /// `crypto_session`) at round `at_round`.
     pub fn new(
@@ -97,7 +97,7 @@ impl<V: Value, FM: Message> MuxHelpRequester<V, FM> {
     }
 }
 
-impl<V: Value, FM: Message> Actor for MuxHelpRequester<V, FM> {
+impl<V: Value, FM: Message + WireCodec> Actor for MuxHelpRequester<V, FM> {
     type Msg = SessionEnvelope<BbMsg<V, FM>>;
 
     fn id(&self) -> ProcessId {

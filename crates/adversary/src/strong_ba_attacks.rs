@@ -3,7 +3,7 @@
 use meba_core::signing::{sign_payload, verify_payload, StrongInputSig};
 use meba_core::strong_ba::StrongBaMsg;
 use meba_core::SystemConfig;
-use meba_crypto::{Pki, ProcessId, SecretKey, Signable, Signature};
+use meba_crypto::{Pki, ProcessId, SecretKey, Signable, Signature, WireCodec};
 use meba_sim::{Actor, Message, RoundCtx};
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
@@ -24,7 +24,7 @@ pub struct EquivocatingStrongLeader<FM> {
     _fm: PhantomData<fn() -> FM>,
 }
 
-impl<FM: Message> EquivocatingStrongLeader<FM> {
+impl<FM: Message + WireCodec> EquivocatingStrongLeader<FM> {
     /// Creates the attacker (it must be `p0`, the protocol leader).
     pub fn new(
         cfg: SystemConfig,
@@ -48,7 +48,7 @@ impl<FM: Message> EquivocatingStrongLeader<FM> {
     }
 }
 
-impl<FM: Message> Actor for EquivocatingStrongLeader<FM> {
+impl<FM: Message + WireCodec> Actor for EquivocatingStrongLeader<FM> {
     type Msg = StrongBaMsg<FM>;
 
     fn id(&self) -> ProcessId {

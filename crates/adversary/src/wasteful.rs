@@ -12,7 +12,7 @@
 use meba_core::bb::{BbBaValue, BbMsg, VET_ROUNDS};
 use meba_core::weak_ba::{WeakBaMsg, PHASE_ROUNDS};
 use meba_core::{SystemConfig, Value};
-use meba_crypto::ProcessId;
+use meba_crypto::{ProcessId, WireCodec};
 use meba_sim::{Actor, Message, RoundCtx};
 use std::marker::PhantomData;
 
@@ -26,7 +26,7 @@ pub struct WastefulWeakLeader<V, FM> {
     _fm: PhantomData<fn() -> FM>,
 }
 
-impl<V: Value, FM: Message> WastefulWeakLeader<V, FM> {
+impl<V: Value, FM: Message + WireCodec> WastefulWeakLeader<V, FM> {
     /// Creates the leader for the phase it owns.
     pub fn new(cfg: SystemConfig, me: ProcessId, phase: u32, value: V) -> Self {
         assert_eq!(cfg.leader_of_phase(phase), me, "must lead the phase");
@@ -34,7 +34,7 @@ impl<V: Value, FM: Message> WastefulWeakLeader<V, FM> {
     }
 }
 
-impl<V: Value, FM: Message> Actor for WastefulWeakLeader<V, FM> {
+impl<V: Value, FM: Message + WireCodec> Actor for WastefulWeakLeader<V, FM> {
     type Msg = WeakBaMsg<V, FM>;
 
     fn id(&self) -> ProcessId {
@@ -65,7 +65,7 @@ pub struct WastefulBbLeader<V, FM> {
     _fm: PhantomData<fn() -> FM>,
 }
 
-impl<V: Value, FM: Message> WastefulBbLeader<V, FM> {
+impl<V: Value, FM: Message + WireCodec> WastefulBbLeader<V, FM> {
     /// Creates the leader for the phase it owns (both the vetting phase
     /// and the weak BA phase rotate the same way).
     pub fn new(cfg: SystemConfig, me: ProcessId, phase: u32) -> Self {
@@ -74,7 +74,7 @@ impl<V: Value, FM: Message> WastefulBbLeader<V, FM> {
     }
 }
 
-impl<V: Value, FM: Message> Actor for WastefulBbLeader<V, FM> {
+impl<V: Value, FM: Message + WireCodec> Actor for WastefulBbLeader<V, FM> {
     type Msg = BbMsg<V, FM>;
 
     fn id(&self) -> ProcessId {

@@ -19,12 +19,12 @@ use meba_core::signing::{
 };
 use meba_core::weak_ba::{WeakBaMsg, PHASE_ROUNDS};
 use meba_core::{SystemConfig, Value};
-use meba_crypto::{Pki, ProcessId, SecretKey, Signable, Signature};
+use meba_crypto::{Pki, ProcessId, SecretKey, Signable, Signature, WireCodec};
 use meba_sim::{Actor, Message, RoundCtx};
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
 
-fn collect_votes<V: Value, FM: Message>(
+fn collect_votes<V: Value, FM: Message + WireCodec>(
     cfg: &SystemConfig,
     pki: &Pki,
     ctx: &RoundCtx<'_, WeakBaMsg<V, FM>>,
@@ -49,7 +49,7 @@ fn collect_votes<V: Value, FM: Message>(
     }
 }
 
-fn collect_decides<V: Value, FM: Message>(
+fn collect_decides<V: Value, FM: Message + WireCodec>(
     cfg: &SystemConfig,
     pki: &Pki,
     ctx: &RoundCtx<'_, WeakBaMsg<V, FM>>,
@@ -108,7 +108,7 @@ pub struct SplitVoteLeader<V, FM> {
     _fm: PhantomData<fn() -> FM>,
 }
 
-impl<V: Value, FM: Message> SplitVoteLeader<V, FM> {
+impl<V: Value, FM: Message + WireCodec> SplitVoteLeader<V, FM> {
     /// Creates the attacker. `cohort` holds the secret keys of *all*
     /// corrupted processes (the adversary controls them jointly);
     /// `phase` must be a phase this process leads.
@@ -144,7 +144,7 @@ impl<V: Value, FM: Message> SplitVoteLeader<V, FM> {
     }
 }
 
-impl<V: Value, FM: Message> Actor for SplitVoteLeader<V, FM> {
+impl<V: Value, FM: Message + WireCodec> Actor for SplitVoteLeader<V, FM> {
     type Msg = WeakBaMsg<V, FM>;
 
     fn id(&self) -> ProcessId {
@@ -228,7 +228,7 @@ pub struct LateHelperLeader<V, FM> {
     _fm: PhantomData<fn() -> FM>,
 }
 
-impl<V: Value, FM: Message> LateHelperLeader<V, FM> {
+impl<V: Value, FM: Message + WireCodec> LateHelperLeader<V, FM> {
     /// Creates the attacker; the single `target` will receive the help
     /// answer.
     #[allow(clippy::too_many_arguments)]
@@ -263,7 +263,7 @@ impl<V: Value, FM: Message> LateHelperLeader<V, FM> {
     }
 }
 
-impl<V: Value, FM: Message> Actor for LateHelperLeader<V, FM> {
+impl<V: Value, FM: Message + WireCodec> Actor for LateHelperLeader<V, FM> {
     type Msg = WeakBaMsg<V, FM>;
 
     fn id(&self) -> ProcessId {

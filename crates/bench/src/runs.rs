@@ -572,6 +572,107 @@ pub fn run_late_help_attack(window: bool) -> (bool, Vec<Decision<u64>>) {
     (agreement, decisions)
 }
 
+/// Outcome of one loopback-TCP run (experiment E13).
+#[derive(Clone, Debug)]
+pub struct WireRunStats {
+    /// System size.
+    pub n: usize,
+    /// Crashed processes.
+    pub f: usize,
+    /// Words sent by correct processes.
+    pub words: u64,
+    /// Canonical-codec bytes those words encoded to.
+    pub bytes: u64,
+    /// Frames that actually crossed sockets (self-delivery excluded).
+    pub frames: u64,
+    /// Bytes written to sockets, length prefixes included.
+    pub socket_bytes: u64,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Whether all correct decisions were equal.
+    pub agreement: bool,
+}
+
+impl WireRunStats {
+    /// Codec bytes per correct word.
+    pub fn bytes_per_word(&self) -> f64 {
+        self.bytes as f64 / self.words.max(1) as f64
+    }
+
+    /// Socket frames per executed round.
+    pub fn frames_per_round(&self) -> f64 {
+        self.frames as f64 / self.rounds.max(1) as f64
+    }
+}
+
+/// Runs adaptive BB (sender `p0`, value 7) over real loopback TCP
+/// sockets with `f` crashed followers, measuring the byte-level cost of
+/// the word-level protocol (experiment E13).
+pub fn run_wire_bb(n: usize, f: usize, delta: std::time::Duration) -> WireRunStats {
+    use meba_net::{ClusterConfig, OverrunAction};
+    use meba_wire::{run_tcp_cluster, TcpClusterConfig};
+
+    let cfg = SystemConfig::new(n, 0).unwrap();
+    let (pki, keys) = trusted_setup(n, 0xb0b);
+    let sender = ProcessId(0);
+    assert!(f <= cfg.t(), "f={f} exceeds t={}", cfg.t());
+
+    let mut byz: Vec<ProcessId> = Vec::new();
+    let mut actors: Vec<Box<dyn AnyActor<Msg = BbM>>> = Vec::new();
+    for (i, key) in keys.into_iter().enumerate() {
+        let id = ProcessId(i as u32);
+        if i >= 1 && i <= f {
+            byz.push(id);
+            actors.push(Box::new(IdleActor::new(id)));
+            continue;
+        }
+        let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+        let bb = if id == sender {
+            Bb::new_sender(cfg, id, key, pki.clone(), factory, 7u64)
+        } else {
+            Bb::new(cfg, id, key, pki.clone(), factory, sender)
+        };
+        actors.push(Box::new(LockstepAdapter::new(id, bb)));
+    }
+
+    let config = TcpClusterConfig {
+        cluster: ClusterConfig {
+            delta,
+            max_rounds: 60 * n as u64 + 4_000,
+            corrupt: byz.clone(),
+            overrun_action: OverrunAction::Escalate {
+                multiplier: 2,
+                max_delta: std::time::Duration::from_millis(250),
+            },
+            ..ClusterConfig::default()
+        },
+        ..TcpClusterConfig::default()
+    };
+    let tcp = run_tcp_cluster(actors, &cfg, config).expect("loopback TCP cluster established");
+    let report = &tcp.report;
+    assert!(report.completed, "wire run terminated");
+
+    let decisions: Vec<Decision<u64>> = report
+        .actors
+        .iter()
+        .filter(|a| !byz.contains(&a.id()))
+        .map(|a| {
+            let l: &LockstepAdapter<BbProc> = a.as_any().downcast_ref().unwrap();
+            l.inner().output().expect("decided")
+        })
+        .collect();
+    WireRunStats {
+        n,
+        f,
+        words: report.metrics.correct.words,
+        bytes: report.metrics.correct.bytes,
+        frames: tcp.frames_sent,
+        socket_bytes: tcp.socket_bytes,
+        rounds: report.rounds,
+        agreement: decisions.windows(2).all(|w| w[0] == w[1]),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

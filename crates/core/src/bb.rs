@@ -34,7 +34,10 @@ use crate::validity::Validity;
 use crate::value::Value;
 use crate::weak_ba::{FallbackMsgOf, WeakBa, WeakBaMsg};
 use meba_crypto::WordCost;
-use meba_crypto::{Encoder, Pki, ProcessId, SecretKey, Signable, Signature, ThresholdSignature};
+use meba_crypto::{
+    DecodeError, Decoder, Encoder, Pki, ProcessId, SecretKey, Signable, Signature,
+    ThresholdSignature, WireCodec,
+};
 use meba_sim::{Dest, Message};
 use std::collections::BTreeMap;
 
@@ -75,11 +78,36 @@ impl<V: Value> Value for BbBaValue<V> {
         }
     }
 
+    fn decode_value(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u32()? {
+            0 => {
+                let value = V::decode_value(dec)?;
+                let sig = Signature::decode(dec)?;
+                Ok(BbBaValue::Signed { value, sig })
+            }
+            1 => {
+                let phase = dec.get_u32()?;
+                let qc = ThresholdSignature::decode(dec)?;
+                Ok(BbBaValue::IdkQuorum { phase, qc })
+            }
+            _ => Err(DecodeError::Invalid { what: "BbBaValue variant tag" }),
+        }
+    }
+
     fn value_words(&self) -> u64 {
         match self {
             BbBaValue::Signed { value, sig } => value.value_words() + sig.words(),
             BbBaValue::IdkQuorum { qc, .. } => qc.words(),
         }
+    }
+}
+
+impl<V: Value> WireCodec for BbBaValue<V> {
+    fn encode_wire(&self, enc: &mut Encoder) {
+        self.encode_value(enc);
+    }
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Self::decode_value(dec)
     }
 }
 
@@ -167,7 +195,7 @@ pub enum BbMsg<V, FM> {
     Ba(WeakBaMsg<BbBaValue<V>, FM>),
 }
 
-impl<V: Value, FM: Message> Message for BbMsg<V, FM> {
+impl<V: Value, FM: Message + WireCodec> Message for BbMsg<V, FM> {
     fn words(&self) -> u64 {
         match self {
             BbMsg::SenderValue { value, sig } => value.value_words() + sig.words(),
@@ -198,6 +226,62 @@ impl<V: Value, FM: Message> Message for BbMsg<V, FM> {
             | BbMsg::VetIdk { .. }
             | BbMsg::Vetted { .. } => "bb/vetting",
             BbMsg::Ba(m) => m.component(),
+        }
+    }
+
+    fn wire_bytes(&self) -> u64 {
+        self.wire_len()
+    }
+}
+
+impl<V: Value, FM: WireCodec> WireCodec for BbMsg<V, FM> {
+    fn encode_wire(&self, enc: &mut Encoder) {
+        match self {
+            BbMsg::SenderValue { value, sig } => {
+                enc.put_u32(0);
+                value.encode_value(enc);
+                sig.encode(enc);
+            }
+            BbMsg::VetHelpReq { phase } => {
+                enc.put_u32(1);
+                enc.put_u32(*phase);
+            }
+            BbMsg::VetValue { phase, value } => {
+                enc.put_u32(2);
+                enc.put_u32(*phase);
+                value.encode_value(enc);
+            }
+            BbMsg::VetIdk { phase, sig } => {
+                enc.put_u32(3);
+                enc.put_u32(*phase);
+                sig.encode(enc);
+            }
+            BbMsg::Vetted { phase, value } => {
+                enc.put_u32(4);
+                enc.put_u32(*phase);
+                value.encode_value(enc);
+            }
+            BbMsg::Ba(m) => {
+                enc.put_u32(5);
+                m.encode_wire(enc);
+            }
+        }
+    }
+
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u32()? {
+            0 => Ok(BbMsg::SenderValue {
+                value: V::decode_value(dec)?,
+                sig: Signature::decode(dec)?,
+            }),
+            1 => Ok(BbMsg::VetHelpReq { phase: dec.get_u32()? }),
+            2 => {
+                Ok(BbMsg::VetValue { phase: dec.get_u32()?, value: BbBaValue::decode_value(dec)? })
+            }
+            3 => Ok(BbMsg::VetIdk { phase: dec.get_u32()?, sig: Signature::decode(dec)? }),
+            4 => Ok(BbMsg::Vetted { phase: dec.get_u32()?, value: BbBaValue::decode_value(dec)? }),
+            5 => Ok(BbMsg::Ba(WeakBaMsg::decode_wire(dec)?)),
+            _ => Err(DecodeError::Invalid { what: "BbMsg variant tag" }),
         }
     }
 }

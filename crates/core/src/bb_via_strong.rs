@@ -24,7 +24,7 @@ use crate::config::SystemConfig;
 use crate::signing::{sign_payload, verify_payload, BbValueSig};
 use crate::strong_ba::{StrongBa, StrongBaMsg, StrongFallbackMsgOf};
 use crate::subprotocol::{FallbackFactory, SubProtocol};
-use meba_crypto::{Pki, ProcessId, SecretKey, Signature};
+use meba_crypto::{DecodeError, Decoder, Encoder, Pki, ProcessId, SecretKey, Signature, WireCodec};
 use meba_sim::{Dest, Message};
 
 /// Wire messages of the reduction: the dissemination round plus embedded
@@ -43,7 +43,7 @@ pub enum BbViaStrongMsg<FM> {
     Ba(StrongBaMsg<FM>),
 }
 
-impl<FM: Message> Message for BbViaStrongMsg<FM> {
+impl<FM: Message + WireCodec> Message for BbViaStrongMsg<FM> {
     fn words(&self) -> u64 {
         match self {
             BbViaStrongMsg::SenderBit { sig, .. } => 1 + sig.words(),
@@ -60,6 +60,36 @@ impl<FM: Message> Message for BbViaStrongMsg<FM> {
         match self {
             BbViaStrongMsg::SenderBit { .. } => "bb/dissemination",
             BbViaStrongMsg::Ba(m) => m.component(),
+        }
+    }
+
+    fn wire_bytes(&self) -> u64 {
+        self.wire_len()
+    }
+}
+
+impl<FM: WireCodec> WireCodec for BbViaStrongMsg<FM> {
+    fn encode_wire(&self, enc: &mut Encoder) {
+        match self {
+            BbViaStrongMsg::SenderBit { value, sig } => {
+                enc.put_u32(0);
+                enc.put_bool(*value);
+                sig.encode(enc);
+            }
+            BbViaStrongMsg::Ba(m) => {
+                enc.put_u32(1);
+                m.encode_wire(enc);
+            }
+        }
+    }
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u32()? {
+            0 => Ok(BbViaStrongMsg::SenderBit {
+                value: dec.get_bool()?,
+                sig: Signature::decode(dec)?,
+            }),
+            1 => Ok(BbViaStrongMsg::Ba(StrongBaMsg::decode_wire(dec)?)),
+            _ => Err(DecodeError::Invalid { what: "BbViaStrongMsg variant tag" }),
         }
     }
 }

@@ -11,7 +11,7 @@
 
 use crate::subprotocol::{FallbackFactory, SubProtocol};
 use crate::value::Value;
-use meba_crypto::ProcessId;
+use meba_crypto::{DecodeError, Decoder, Encoder, ProcessId, WireCodec};
 use meba_sim::{Dest, Message};
 use std::collections::BTreeMap;
 
@@ -25,6 +25,18 @@ impl<V: Value> Message for EchoMsg<V> {
     }
     fn component(&self) -> &'static str {
         "fallback"
+    }
+    fn wire_bytes(&self) -> u64 {
+        self.wire_len()
+    }
+}
+
+impl<V: Value> WireCodec for EchoMsg<V> {
+    fn encode_wire(&self, enc: &mut Encoder) {
+        self.0.encode_value(enc);
+    }
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(EchoMsg(V::decode_value(dec)?))
     }
 }
 

@@ -13,7 +13,9 @@
 
 use crate::config::SystemConfig;
 use crate::value::Value;
-use meba_crypto::{Encoder, Pki, Signable, Signature, ThresholdSignature};
+use meba_crypto::{
+    DecodeError, Decoder, Encoder, Pki, Signable, Signature, ThresholdSignature, WireCodec,
+};
 
 /// `⟨vote, v, level⟩` — weak BA vote share (Alg 4 line 34).
 #[derive(Debug)]
@@ -147,6 +149,18 @@ pub struct CommitProof {
     pub qc: ThresholdSignature,
 }
 
+impl WireCodec for CommitProof {
+    fn encode_wire(&self, enc: &mut Encoder) {
+        enc.put_u32(self.level);
+        self.qc.encode(enc);
+    }
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let level = dec.get_u32()?;
+        let qc = ThresholdSignature::decode(dec)?;
+        Ok(CommitProof { level, qc })
+    }
+}
+
 impl CommitProof {
     /// Verifies that this proof commits `value` at its level.
     pub fn verify<V: Value>(&self, cfg: &SystemConfig, pki: &Pki, value: &V) -> bool {
@@ -168,6 +182,18 @@ pub struct DecideProof {
     pub phase: u32,
     /// Quorum certificate over [`DecideSig`].
     pub qc: ThresholdSignature,
+}
+
+impl WireCodec for DecideProof {
+    fn encode_wire(&self, enc: &mut Encoder) {
+        enc.put_u32(self.phase);
+        self.qc.encode(enc);
+    }
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let phase = dec.get_u32()?;
+        let qc = ThresholdSignature::decode(dec)?;
+        Ok(DecideProof { phase, qc })
+    }
 }
 
 impl DecideProof {

@@ -17,7 +17,10 @@
 use crate::config::SystemConfig;
 use crate::signing::{sign_payload, verify_payload, StrongDecideSig, StrongInputSig};
 use crate::subprotocol::{FallbackFactory, SkewAdapter, SkewEnvelope, SubProtocol};
-use meba_crypto::{Pki, ProcessId, SecretKey, Signable, Signature, ThresholdSignature, WordCost};
+use meba_crypto::{
+    DecodeError, Decoder, Encoder, Pki, ProcessId, SecretKey, Signable, Signature,
+    ThresholdSignature, WireCodec, WordCost,
+};
 use meba_sim::{Dest, Message};
 use std::collections::BTreeMap;
 
@@ -64,7 +67,7 @@ pub enum StrongBaMsg<FM> {
     Inner(SkewEnvelope<FM>),
 }
 
-impl<FM: Message> Message for StrongBaMsg<FM> {
+impl<FM: Message + WireCodec> Message for StrongBaMsg<FM> {
     fn words(&self) -> u64 {
         match self {
             StrongBaMsg::Input { sig, .. } | StrongBaMsg::DecideShare { sig, .. } => {
@@ -98,6 +101,72 @@ impl<FM: Message> Message for StrongBaMsg<FM> {
             StrongBaMsg::Inner(env) => env.msg.component(),
             StrongBaMsg::Fallback { .. } => "strong-ba/fallback-coord",
             _ => "strong-ba/fast-path",
+        }
+    }
+
+    fn wire_bytes(&self) -> u64 {
+        self.wire_len()
+    }
+}
+
+impl<FM: WireCodec> WireCodec for StrongBaMsg<FM> {
+    fn encode_wire(&self, enc: &mut Encoder) {
+        match self {
+            StrongBaMsg::Input { value, sig } => {
+                enc.put_u32(0);
+                enc.put_bool(*value);
+                sig.encode(enc);
+            }
+            StrongBaMsg::Propose { value, qc } => {
+                enc.put_u32(1);
+                enc.put_bool(*value);
+                qc.encode(enc);
+            }
+            StrongBaMsg::DecideShare { value, sig } => {
+                enc.put_u32(2);
+                enc.put_bool(*value);
+                sig.encode(enc);
+            }
+            StrongBaMsg::DecideCert { value, qc } => {
+                enc.put_u32(3);
+                enc.put_bool(*value);
+                qc.encode(enc);
+            }
+            StrongBaMsg::Fallback { decision } => {
+                enc.put_u32(4);
+                enc.put_option(decision, |e, (v, qc)| {
+                    e.put_bool(*v);
+                    qc.encode(e);
+                });
+            }
+            StrongBaMsg::Inner(env) => {
+                enc.put_u32(5);
+                env.encode_wire(enc);
+            }
+        }
+    }
+
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u32()? {
+            0 => Ok(StrongBaMsg::Input { value: dec.get_bool()?, sig: Signature::decode(dec)? }),
+            1 => Ok(StrongBaMsg::Propose {
+                value: dec.get_bool()?,
+                qc: ThresholdSignature::decode(dec)?,
+            }),
+            2 => Ok(StrongBaMsg::DecideShare {
+                value: dec.get_bool()?,
+                sig: Signature::decode(dec)?,
+            }),
+            3 => Ok(StrongBaMsg::DecideCert {
+                value: dec.get_bool()?,
+                qc: ThresholdSignature::decode(dec)?,
+            }),
+            4 => Ok(StrongBaMsg::Fallback {
+                decision: dec
+                    .get_option(|d| Ok((d.get_bool()?, ThresholdSignature::decode(d)?)))?,
+            }),
+            5 => Ok(StrongBaMsg::Inner(SkewEnvelope::decode_wire(dec)?)),
+            _ => Err(DecodeError::Invalid { what: "StrongBaMsg variant tag" }),
         }
     }
 }

@@ -13,7 +13,7 @@
 //! session-multiplexing [`meba_sim::Mux`] uses per instance.
 
 use crate::value::Value;
-use meba_crypto::ProcessId;
+use meba_crypto::{DecodeError, Decoder, Encoder, ProcessId, WireCodec};
 use meba_sim::{Actor, Dest, Instance, RoundCtx};
 use std::collections::BTreeMap;
 use std::fmt::Debug;
@@ -80,6 +80,18 @@ pub struct SkewEnvelope<M> {
     pub vstep: u64,
     /// The inner message.
     pub msg: M,
+}
+
+impl<M: WireCodec> WireCodec for SkewEnvelope<M> {
+    fn encode_wire(&self, enc: &mut Encoder) {
+        enc.put_u64(self.vstep);
+        self.msg.encode_wire(enc);
+    }
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let vstep = dec.get_u64()?;
+        let msg = M::decode_wire(dec)?;
+        Ok(SkewEnvelope { vstep, msg })
+    }
 }
 
 /// Embeds a [`SubProtocol`] whose participants may start up to `δ` (one
@@ -215,6 +227,14 @@ mod tests {
     impl Message for Num {
         fn words(&self) -> u64 {
             1
+        }
+    }
+    impl WireCodec for Num {
+        fn encode_wire(&self, enc: &mut Encoder) {
+            enc.put_u64(self.0);
+        }
+        fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+            Ok(Num(dec.get_u64()?))
         }
     }
 

@@ -36,8 +36,8 @@ use crate::signing::{
 use crate::subprotocol::{FallbackFactory, SkewAdapter, SkewEnvelope, SubProtocol};
 use crate::validity::Validity;
 use crate::value::Value;
-use meba_crypto::{Pki, SecretKey, Signable, Signature, ThresholdSignature};
-use meba_crypto::{ProcessId, WordCost};
+use meba_crypto::{DecodeError, Decoder, Encoder, Pki, SecretKey, Signable, Signature};
+use meba_crypto::{ProcessId, ThresholdSignature, WireCodec, WordCost};
 use meba_sim::{Dest, Message};
 use std::collections::BTreeMap;
 
@@ -130,7 +130,7 @@ pub enum WeakBaMsg<V, FM> {
     Fallback(SkewEnvelope<FM>),
 }
 
-impl<V: Value, FM: Message> Message for WeakBaMsg<V, FM> {
+impl<V: Value, FM: Message + WireCodec> Message for WeakBaMsg<V, FM> {
     fn words(&self) -> u64 {
         match self {
             WeakBaMsg::Propose { value, .. } => value.value_words(),
@@ -174,6 +174,116 @@ impl<V: Value, FM: Message> Message for WeakBaMsg<V, FM> {
             }
             WeakBaMsg::Fallback(env) => env.msg.component(),
             _ => "weak-ba/phases",
+        }
+    }
+
+    fn wire_bytes(&self) -> u64 {
+        self.wire_len()
+    }
+}
+
+impl<V: Value, FM: WireCodec> WireCodec for WeakBaMsg<V, FM> {
+    fn encode_wire(&self, enc: &mut Encoder) {
+        match self {
+            WeakBaMsg::Propose { phase, value } => {
+                enc.put_u32(0);
+                enc.put_u32(*phase);
+                value.encode_value(enc);
+            }
+            WeakBaMsg::Vote { phase, value, sig } => {
+                enc.put_u32(1);
+                enc.put_u32(*phase);
+                value.encode_value(enc);
+                sig.encode(enc);
+            }
+            WeakBaMsg::CommitReply { phase, value, proof } => {
+                enc.put_u32(2);
+                enc.put_u32(*phase);
+                value.encode_value(enc);
+                proof.encode_wire(enc);
+            }
+            WeakBaMsg::CommitCert { phase, value, proof } => {
+                enc.put_u32(3);
+                enc.put_u32(*phase);
+                value.encode_value(enc);
+                proof.encode_wire(enc);
+            }
+            WeakBaMsg::Decide { phase, value, sig } => {
+                enc.put_u32(4);
+                enc.put_u32(*phase);
+                value.encode_value(enc);
+                sig.encode(enc);
+            }
+            WeakBaMsg::FinalizeCert { phase, value, proof } => {
+                enc.put_u32(5);
+                enc.put_u32(*phase);
+                value.encode_value(enc);
+                proof.encode_wire(enc);
+            }
+            WeakBaMsg::HelpReq { sig } => {
+                enc.put_u32(6);
+                sig.encode(enc);
+            }
+            WeakBaMsg::Help { value, proof } => {
+                enc.put_u32(7);
+                value.encode_value(enc);
+                proof.encode_wire(enc);
+            }
+            WeakBaMsg::FallbackCert { qc, decision } => {
+                enc.put_u32(8);
+                qc.encode(enc);
+                enc.put_option(decision, |e, (v, p)| {
+                    v.encode_value(e);
+                    p.encode_wire(e);
+                });
+            }
+            WeakBaMsg::Fallback(env) => {
+                enc.put_u32(9);
+                env.encode_wire(enc);
+            }
+        }
+    }
+
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u32()? {
+            0 => Ok(WeakBaMsg::Propose { phase: dec.get_u32()?, value: V::decode_value(dec)? }),
+            1 => Ok(WeakBaMsg::Vote {
+                phase: dec.get_u32()?,
+                value: V::decode_value(dec)?,
+                sig: Signature::decode(dec)?,
+            }),
+            2 => Ok(WeakBaMsg::CommitReply {
+                phase: dec.get_u32()?,
+                value: V::decode_value(dec)?,
+                proof: CommitProof::decode_wire(dec)?,
+            }),
+            3 => Ok(WeakBaMsg::CommitCert {
+                phase: dec.get_u32()?,
+                value: V::decode_value(dec)?,
+                proof: CommitProof::decode_wire(dec)?,
+            }),
+            4 => Ok(WeakBaMsg::Decide {
+                phase: dec.get_u32()?,
+                value: V::decode_value(dec)?,
+                sig: Signature::decode(dec)?,
+            }),
+            5 => Ok(WeakBaMsg::FinalizeCert {
+                phase: dec.get_u32()?,
+                value: V::decode_value(dec)?,
+                proof: DecideProof::decode_wire(dec)?,
+            }),
+            6 => Ok(WeakBaMsg::HelpReq { sig: Signature::decode(dec)? }),
+            7 => Ok(WeakBaMsg::Help {
+                value: V::decode_value(dec)?,
+                proof: DecideProof::decode_wire(dec)?,
+            }),
+            8 => Ok(WeakBaMsg::FallbackCert {
+                qc: ThresholdSignature::decode(dec)?,
+                decision: dec
+                    .get_option(|d| Ok((V::decode_value(d)?, DecideProof::decode_wire(d)?)))?,
+            }),
+            9 => Ok(WeakBaMsg::Fallback(SkewEnvelope::decode_wire(dec)?)),
+            _ => Err(DecodeError::Invalid { what: "WeakBaMsg variant tag" }),
         }
     }
 }

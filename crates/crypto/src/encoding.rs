@@ -25,6 +25,7 @@
 //! assert_ne!(a, b);
 //! ```
 
+use crate::error::DecodeError;
 use crate::ids::ProcessId;
 use crate::sha256::Digest;
 
@@ -91,6 +92,195 @@ impl Encoder {
     /// Finishes encoding, returning the bytes.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
+    }
+}
+
+/// Bounds-checked reader for the [`Encoder`]'s canonical format.
+///
+/// Each `get_*` mirrors the corresponding `put_*` byte-for-byte: the same
+/// type-prefix tag, the same fixed-width big-endian payload. Decoding is
+/// strict — a presence byte other than `0`/`1`, a wrong tag, or a length
+/// prefix exceeding the remaining input all return a typed
+/// [`DecodeError`] instead of panicking, which makes the decoder a safe
+/// surface for attacker-controlled network bytes.
+///
+/// # Examples
+///
+/// ```
+/// use meba_crypto::encoding::{Decoder, Encoder};
+///
+/// let mut enc = Encoder::new();
+/// enc.put_u32(7);
+/// enc.put_bool(true);
+/// let bytes = enc.into_bytes();
+///
+/// let mut dec = Decoder::new(&bytes);
+/// assert_eq!(dec.get_u32().unwrap(), 7);
+/// assert!(dec.get_bool().unwrap());
+/// dec.finish().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Starts decoding at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEnd { needed: n, remaining: self.remaining() });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn tag(&mut self, expected: u8) -> Result<(), DecodeError> {
+        let found = self.take(1)?[0];
+        if found != expected {
+            return Err(DecodeError::TypeTag { expected, found });
+        }
+        Ok(())
+    }
+
+    /// Reads a fixed-width big-endian `u32` (counterpart of
+    /// [`Encoder::put_u32`]).
+    pub fn get_u32(&mut self) -> Result<u32, DecodeError> {
+        self.tag(b'4')?;
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a fixed-width big-endian `u64` (counterpart of
+    /// [`Encoder::put_u64`]).
+    pub fn get_u64(&mut self) -> Result<u64, DecodeError> {
+        self.tag(b'8')?;
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a boolean, rejecting any payload byte other than `0`/`1` so
+    /// the encoding stays canonical.
+    pub fn get_bool(&mut self) -> Result<bool, DecodeError> {
+        self.tag(b'b')?;
+        match self.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::Invalid { what: "boolean byte not 0/1" }),
+        }
+    }
+
+    /// Reads a process identity (counterpart of [`Encoder::put_id`]).
+    pub fn get_id(&mut self) -> Result<ProcessId, DecodeError> {
+        self.tag(b'p')?;
+        let b = self.take(4)?;
+        Ok(ProcessId(u32::from_be_bytes(b.try_into().expect("4 bytes"))))
+    }
+
+    /// Reads a length-prefixed byte string (counterpart of
+    /// [`Encoder::put_bytes`]). The length prefix is validated against
+    /// the remaining input *before* any allocation, so a forged length
+    /// cannot trigger an out-of-memory.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        self.tag(b's')?;
+        let len = u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes"));
+        let len = usize::try_from(len)
+            .map_err(|_| DecodeError::Invalid { what: "byte-string length overflows usize" })?;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads a digest (counterpart of [`Encoder::put_digest`]).
+    pub fn get_digest(&mut self) -> Result<Digest, DecodeError> {
+        self.tag(b'd')?;
+        let b = self.take(32)?;
+        Ok(Digest(b.try_into().expect("32 bytes")))
+    }
+
+    /// Reads an optional value via its presence byte (counterpart of
+    /// [`Encoder::put_option`]); presence bytes other than `0`/`1` are
+    /// rejected to keep the encoding canonical.
+    pub fn get_option<T>(
+        &mut self,
+        f: impl FnOnce(&mut Decoder<'a>) -> Result<T, DecodeError>,
+    ) -> Result<Option<T>, DecodeError> {
+        match self.take(1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(f(self)?)),
+            _ => Err(DecodeError::Invalid { what: "option presence byte not 0/1" }),
+        }
+    }
+
+    /// Asserts the input is fully consumed; top-level decodes call this
+    /// so no two distinct byte strings decode to the same value.
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.remaining() != 0 {
+            return Err(DecodeError::TrailingBytes { count: self.remaining() });
+        }
+        Ok(())
+    }
+}
+
+/// A value with a canonical, self-contained wire encoding: encoding then
+/// decoding is the identity, and decoding then encoding reproduces the
+/// exact input bytes.
+///
+/// The second direction is what makes the codec safe to combine with
+/// signatures: a decoded message re-encodes to the very bytes that were
+/// signed, so verification on the receiving side checks the same preimage
+/// the sender committed to (docs/CORRECTNESS.md §9).
+pub trait WireCodec: Sized {
+    /// Writes the canonical encoding of `self` into `enc`.
+    fn encode_wire(&self, enc: &mut Encoder);
+
+    /// Reads one value from `dec`, leaving any following bytes in place.
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError>;
+
+    /// The canonical encoding as a standalone byte string.
+    fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode_wire(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Decodes a standalone byte string, rejecting trailing bytes.
+    fn from_wire_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut dec = Decoder::new(bytes);
+        let v = Self::decode_wire(&mut dec)?;
+        dec.finish()?;
+        Ok(v)
+    }
+
+    /// Length of the canonical encoding in bytes.
+    fn wire_len(&self) -> u64 {
+        self.to_wire_bytes().len() as u64
+    }
+}
+
+impl WireCodec for ProcessId {
+    fn encode_wire(&self, enc: &mut Encoder) {
+        enc.put_id(*self);
+    }
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.get_id()
+    }
+}
+
+impl WireCodec for Digest {
+    fn encode_wire(&self, enc: &mut Encoder) {
+        enc.put_digest(self);
+    }
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.get_digest()
     }
 }
 
@@ -169,5 +359,84 @@ mod tests {
     fn domain_separates_identical_fields() {
         assert_ne!(M(5).signing_bytes(), N(5).signing_bytes());
         assert_ne!(M(5).signing_digest(), N(5).signing_digest());
+    }
+
+    #[test]
+    fn decoder_mirrors_every_encoder_field() {
+        let mut enc = Encoder::new();
+        enc.put_u32(0xdead_beef);
+        enc.put_u64(u64::MAX - 3);
+        enc.put_bool(true);
+        enc.put_id(ProcessId(9));
+        enc.put_bytes(b"payload");
+        enc.put_digest(&Digest::of(b"x"));
+        enc.put_option(&Some(11u32), |e, v| e.put_u32(*v));
+        enc.put_option(&None::<u32>, |e, v| e.put_u32(*v));
+        let bytes = enc.into_bytes();
+
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(dec.get_u64().unwrap(), u64::MAX - 3);
+        assert!(dec.get_bool().unwrap());
+        assert_eq!(dec.get_id().unwrap(), ProcessId(9));
+        assert_eq!(dec.get_bytes().unwrap(), b"payload");
+        assert_eq!(dec.get_digest().unwrap(), Digest::of(b"x"));
+        assert_eq!(dec.get_option(|d| d.get_u32()).unwrap(), Some(11));
+        assert_eq!(dec.get_option(|d| d.get_u32()).unwrap(), None);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn decoder_rejects_wrong_tag() {
+        let mut enc = Encoder::new();
+        enc.put_u64(5);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_u32(), Err(DecodeError::TypeTag { expected: b'4', found: b'8' }));
+    }
+
+    #[test]
+    fn decoder_rejects_truncation_at_every_prefix() {
+        let mut enc = Encoder::new();
+        enc.put_bytes(b"hello");
+        enc.put_u32(1);
+        let bytes = enc.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut dec = Decoder::new(&bytes[..cut]);
+            let r = dec.get_bytes().and_then(|_| dec.get_u32());
+            assert!(r.is_err(), "prefix of {cut} bytes must not decode");
+        }
+    }
+
+    #[test]
+    fn forged_length_prefix_is_rejected_without_allocation() {
+        // Claim a 2^63-byte string backed by 2 bytes of input.
+        let mut bytes = vec![b's'];
+        bytes.extend_from_slice(&(1u64 << 63).to_be_bytes());
+        bytes.extend_from_slice(b"ab");
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(dec.get_bytes(), Err(DecodeError::UnexpectedEnd { .. })));
+    }
+
+    #[test]
+    fn non_canonical_presence_bytes_rejected() {
+        let mut dec = Decoder::new(&[b'b', 2]);
+        assert_eq!(dec.get_bool(), Err(DecodeError::Invalid { what: "boolean byte not 0/1" }));
+        let mut dec = Decoder::new(&[7]);
+        assert_eq!(
+            dec.get_option(|d| d.get_u32()),
+            Err(DecodeError::Invalid { what: "option presence byte not 0/1" })
+        );
+    }
+
+    #[test]
+    fn finish_flags_trailing_bytes() {
+        let mut enc = Encoder::new();
+        enc.put_u32(1);
+        let mut bytes = enc.into_bytes();
+        bytes.push(0);
+        let mut dec = Decoder::new(&bytes);
+        dec.get_u32().unwrap();
+        assert_eq!(dec.finish(), Err(DecodeError::TrailingBytes { count: 1 }));
     }
 }

@@ -70,6 +70,62 @@ impl fmt::Display for CryptoError {
 
 impl Error for CryptoError {}
 
+/// Error produced while decoding canonical wire bytes.
+///
+/// Decoding is total: any byte string either decodes or yields one of
+/// these errors — malformed input never panics and never allocates
+/// unboundedly (length prefixes are checked against the remaining input
+/// before any buffer is built).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The input ended before a field was complete.
+    UnexpectedEnd {
+        /// Bytes the pending field still required.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A field's type-prefix byte did not match the expected field kind.
+    TypeTag {
+        /// Tag byte the decoder expected.
+        expected: u8,
+        /// Tag byte found in the input.
+        found: u8,
+    },
+    /// A field decoded but its value is not canonical (e.g. a boolean or
+    /// option presence byte other than 0/1, an unsorted signer set, a
+    /// non-UTF-8 string, or an out-of-range enum discriminant).
+    Invalid {
+        /// Human-readable description of the offending field.
+        what: &'static str,
+    },
+    /// Input remained after the value was fully decoded.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        count: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd { needed, remaining } => {
+                write!(f, "input ended early: field needs {needed} bytes, {remaining} remain")
+            }
+            DecodeError::TypeTag { expected, found } => {
+                write!(f, "type tag mismatch: expected {expected:#04x}, found {found:#04x}")
+            }
+            DecodeError::Invalid { what } => write!(f, "non-canonical encoding: {what}"),
+            DecodeError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after a complete value")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -40,8 +40,8 @@ pub mod pki;
 pub mod sha256;
 pub mod words;
 
-pub use encoding::{Encoder, Signable};
-pub use error::CryptoError;
+pub use encoding::{Decoder, Encoder, Signable, WireCodec};
+pub use error::{CryptoError, DecodeError};
 pub use ids::ProcessId;
 pub use pki::{trusted_setup, AggregateSignature, Pki, SecretKey, Signature, ThresholdSignature};
 pub use sha256::Digest;

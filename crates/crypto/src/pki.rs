@@ -20,7 +20,7 @@
 //! (used by experiment E4 to reproduce the Dolev–Reischuk `Ω(nt)`
 //! signature bound) is `1`, `k`, and `|signers|` respectively.
 
-use crate::error::CryptoError;
+use crate::error::{CryptoError, DecodeError};
 use crate::hmac::{ct_eq, hmac_sha256, HmacSha256};
 use crate::ids::ProcessId;
 use crate::sha256::Digest;
@@ -349,6 +349,28 @@ impl Signature {
         enc.put_id(self.signer);
         enc.put_bytes(&self.tag);
     }
+
+    /// Reads a signature from its canonical wire encoding.
+    ///
+    /// Decoding does **not** authenticate: the result carries whatever tag
+    /// the bytes claimed and only [`Pki::verify`] decides whether it is
+    /// genuine, so the ideal-scheme unforgeability argument is unchanged.
+    pub fn decode(dec: &mut crate::encoding::Decoder<'_>) -> Result<Self, DecodeError> {
+        let signer = dec.get_id()?;
+        let tag = dec.get_bytes()?;
+        let tag: [u8; 32] =
+            tag.try_into().map_err(|_| DecodeError::Invalid { what: "signature tag length" })?;
+        Ok(Signature { signer, tag })
+    }
+}
+
+impl crate::encoding::WireCodec for Signature {
+    fn encode_wire(&self, enc: &mut crate::encoding::Encoder) {
+        self.encode(enc);
+    }
+    fn decode_wire(dec: &mut crate::encoding::Decoder<'_>) -> Result<Self, DecodeError> {
+        Signature::decode(dec)
+    }
 }
 
 impl fmt::Debug for Signature {
@@ -382,6 +404,28 @@ impl ThresholdSignature {
         enc.put_u64(self.threshold as u64);
         enc.put_digest(&self.digest);
         enc.put_bytes(&self.tag);
+    }
+
+    /// Reads a threshold certificate from its canonical wire encoding.
+    /// Unauthenticated until [`Pki::verify_threshold`] accepts it.
+    pub fn decode(dec: &mut crate::encoding::Decoder<'_>) -> Result<Self, DecodeError> {
+        let threshold = dec.get_u64()?;
+        let threshold = usize::try_from(threshold)
+            .map_err(|_| DecodeError::Invalid { what: "threshold overflows usize" })?;
+        let digest = dec.get_digest()?;
+        let tag = dec.get_bytes()?;
+        let tag: [u8; 32] =
+            tag.try_into().map_err(|_| DecodeError::Invalid { what: "certificate tag length" })?;
+        Ok(ThresholdSignature { threshold, digest, tag })
+    }
+}
+
+impl crate::encoding::WireCodec for ThresholdSignature {
+    fn encode_wire(&self, enc: &mut crate::encoding::Encoder) {
+        self.encode(enc);
+    }
+    fn decode_wire(dec: &mut crate::encoding::Decoder<'_>) -> Result<Self, DecodeError> {
+        ThresholdSignature::decode(dec)
     }
 }
 
@@ -434,6 +478,40 @@ impl AggregateSignature {
         }
         enc.put_digest(&self.digest);
         enc.put_bytes(&self.tag);
+    }
+
+    /// Reads an aggregate from its canonical wire encoding.
+    ///
+    /// The signer list must be strictly ascending — the only order the
+    /// encoder (iterating a `BTreeSet`) ever produces — so every aggregate
+    /// has exactly one byte representation. Unauthenticated until
+    /// [`Pki::verify_aggregate`] accepts it.
+    pub fn decode(dec: &mut crate::encoding::Decoder<'_>) -> Result<Self, DecodeError> {
+        let len = dec.get_u64()?;
+        let mut signers = BTreeSet::new();
+        let mut prev: Option<ProcessId> = None;
+        for _ in 0..len {
+            let id = dec.get_id()?;
+            if prev.is_some_and(|p| p >= id) {
+                return Err(DecodeError::Invalid { what: "aggregate signer set not ascending" });
+            }
+            prev = Some(id);
+            signers.insert(id);
+        }
+        let digest = dec.get_digest()?;
+        let tag = dec.get_bytes()?;
+        let tag: [u8; 32] =
+            tag.try_into().map_err(|_| DecodeError::Invalid { what: "aggregate tag length" })?;
+        Ok(AggregateSignature { signers, digest, tag })
+    }
+}
+
+impl crate::encoding::WireCodec for AggregateSignature {
+    fn encode_wire(&self, enc: &mut crate::encoding::Encoder) {
+        self.encode(enc);
+    }
+    fn decode_wire(dec: &mut crate::encoding::Decoder<'_>) -> Result<Self, DecodeError> {
+        AggregateSignature::decode(dec)
     }
 }
 

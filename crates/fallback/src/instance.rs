@@ -7,7 +7,7 @@
 //! Every signature binds its instance id, so shares from one subset or
 //! iteration cannot be replayed in another.
 
-use meba_crypto::{Encoder, ProcessId};
+use meba_crypto::{DecodeError, Decoder, Encoder, ProcessId, WireCodec};
 use std::fmt;
 
 /// A contiguous, half-open range of process indices `[lo, hi)`.
@@ -70,6 +70,17 @@ impl Scope {
     }
 }
 
+impl WireCodec for Scope {
+    fn encode_wire(&self, enc: &mut Encoder) {
+        self.encode(enc);
+    }
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let lo = dec.get_u32()?;
+        let hi = dec.get_u32()?;
+        Ok(Scope { lo, hi })
+    }
+}
+
 impl fmt::Debug for Scope {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[{}, {})", self.lo, self.hi)
@@ -102,6 +113,19 @@ impl InstanceId {
     pub fn encode(&self, enc: &mut Encoder) {
         self.scope.encode(enc);
         enc.put_u32(self.seq as u32);
+    }
+}
+
+impl WireCodec for InstanceId {
+    fn encode_wire(&self, enc: &mut Encoder) {
+        self.encode(enc);
+    }
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let scope = Scope::decode_wire(dec)?;
+        let seq = dec.get_u32()?;
+        let seq =
+            u8::try_from(seq).map_err(|_| DecodeError::Invalid { what: "instance seq > 255" })?;
+        Ok(InstanceId { scope, seq })
     }
 }
 

@@ -3,7 +3,8 @@
 use crate::instance::InstanceId;
 use meba_core::Value;
 use meba_crypto::{
-    AggregateSignature, Encoder, ProcessId, Signable, Signature, ThresholdSignature, WordCost,
+    AggregateSignature, DecodeError, Decoder, Encoder, ProcessId, Signable, Signature,
+    ThresholdSignature, WireCodec, WordCost,
 };
 use meba_sim::Message;
 
@@ -236,6 +237,119 @@ impl<V: Value> Message for RecBaMsg<V> {
     fn component(&self) -> &'static str {
         "fallback"
     }
+
+    fn wire_bytes(&self) -> u64 {
+        self.wire_len()
+    }
+}
+
+impl<V: Value> WireCodec for RecBaMsg<V> {
+    fn encode_wire(&self, enc: &mut Encoder) {
+        match self {
+            RecBaMsg::GaInput { inst, value, sig } => {
+                enc.put_u32(0);
+                inst.encode(enc);
+                value.encode_value(enc);
+                sig.encode(enc);
+            }
+            RecBaMsg::GaEcho { inst, value, c1 } => {
+                enc.put_u32(1);
+                inst.encode(enc);
+                value.encode_value(enc);
+                c1.encode(enc);
+            }
+            RecBaMsg::GaVote { inst, value, sig, c1 } => {
+                enc.put_u32(2);
+                inst.encode(enc);
+                value.encode_value(enc);
+                sig.encode(enc);
+                c1.encode(enc);
+            }
+            RecBaMsg::GaConflict { inst, v1, c1a, v2, c1b } => {
+                enc.put_u32(3);
+                inst.encode(enc);
+                v1.encode_value(enc);
+                c1a.encode(enc);
+                v2.encode_value(enc);
+                c1b.encode(enc);
+            }
+            RecBaMsg::GaCert2 { inst, value, c2 } => {
+                enc.put_u32(4);
+                inst.encode(enc);
+                value.encode_value(enc);
+                c2.encode(enc);
+            }
+            RecBaMsg::DsForward { inst, ds_sender, value, agg } => {
+                enc.put_u32(5);
+                inst.encode(enc);
+                enc.put_id(*ds_sender);
+                value.encode_value(enc);
+                agg.encode(enc);
+            }
+            RecBaMsg::GcSend { inst, value, sig } => {
+                enc.put_u32(6);
+                inst.encode(enc);
+                value.encode_value(enc);
+                sig.encode(enc);
+            }
+            RecBaMsg::CertShare { inst, value, sig } => {
+                enc.put_u32(7);
+                inst.encode(enc);
+                value.encode_value(enc);
+                sig.encode(enc);
+            }
+        }
+    }
+
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u32()? {
+            0 => Ok(RecBaMsg::GaInput {
+                inst: InstanceId::decode_wire(dec)?,
+                value: V::decode_value(dec)?,
+                sig: Signature::decode(dec)?,
+            }),
+            1 => Ok(RecBaMsg::GaEcho {
+                inst: InstanceId::decode_wire(dec)?,
+                value: V::decode_value(dec)?,
+                c1: ThresholdSignature::decode(dec)?,
+            }),
+            2 => Ok(RecBaMsg::GaVote {
+                inst: InstanceId::decode_wire(dec)?,
+                value: V::decode_value(dec)?,
+                sig: Signature::decode(dec)?,
+                c1: ThresholdSignature::decode(dec)?,
+            }),
+            3 => Ok(RecBaMsg::GaConflict {
+                inst: InstanceId::decode_wire(dec)?,
+                v1: V::decode_value(dec)?,
+                c1a: ThresholdSignature::decode(dec)?,
+                v2: V::decode_value(dec)?,
+                c1b: ThresholdSignature::decode(dec)?,
+            }),
+            4 => Ok(RecBaMsg::GaCert2 {
+                inst: InstanceId::decode_wire(dec)?,
+                value: V::decode_value(dec)?,
+                c2: ThresholdSignature::decode(dec)?,
+            }),
+            5 => Ok(RecBaMsg::DsForward {
+                inst: InstanceId::decode_wire(dec)?,
+                ds_sender: dec.get_id()?,
+                value: V::decode_value(dec)?,
+                agg: AggregateSignature::decode(dec)?,
+            }),
+            6 => Ok(RecBaMsg::GcSend {
+                inst: InstanceId::decode_wire(dec)?,
+                value: V::decode_value(dec)?,
+                sig: Signature::decode(dec)?,
+            }),
+            7 => Ok(RecBaMsg::CertShare {
+                inst: InstanceId::decode_wire(dec)?,
+                value: V::decode_value(dec)?,
+                sig: Signature::decode(dec)?,
+            }),
+            _ => Err(DecodeError::Invalid { what: "RecBaMsg variant tag" }),
+        }
+    }
 }
 
 /// Wire message of the standalone Dolev–Strong Byzantine Broadcast
@@ -258,6 +372,21 @@ impl<V: Value> Message for DsBbMsg<V> {
     }
     fn component(&self) -> &'static str {
         "dolev-strong"
+    }
+    fn wire_bytes(&self) -> u64 {
+        self.wire_len()
+    }
+}
+
+impl<V: Value> WireCodec for DsBbMsg<V> {
+    fn encode_wire(&self, enc: &mut Encoder) {
+        self.value.encode_value(enc);
+        self.agg.encode(enc);
+    }
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let value = V::decode_value(dec)?;
+        let agg = AggregateSignature::decode(dec)?;
+        Ok(DsBbMsg { value, agg })
     }
 }
 

@@ -486,6 +486,7 @@ fn run_process<M: Message>(
         for (dest, msg) in outbox {
             let words = msg.words().max(1);
             let sigs = msg.constituent_sigs();
+            let bytes = msg.wire_bytes();
             let component = msg.component();
             let session = msg.session();
             let targets: Vec<usize> = match dest {
@@ -508,9 +509,19 @@ fn run_process<M: Message>(
                 };
                 {
                     let mut metrics = ctrl.metrics.lock();
-                    metrics.record(me, sender_correct, component, session, round, words, sigs);
+                    metrics.record(
+                        me,
+                        sender_correct,
+                        component,
+                        session,
+                        round,
+                        words,
+                        sigs,
+                        bytes,
+                    );
                     let stats = metrics.link_mut(me, to);
                     stats.sent += 1;
+                    stats.bytes += bytes;
                     match fate {
                         LinkFate::Deliver => {}
                         LinkFate::Drop => stats.dropped += 1,

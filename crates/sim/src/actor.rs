@@ -31,6 +31,17 @@ pub trait Message: Clone + fmt::Debug + Send + 'static {
     fn session(&self) -> Option<u64> {
         None
     }
+
+    /// Length of the message's canonical wire encoding in bytes, for the
+    /// byte counters next to the word counters in [`crate::Metrics`].
+    ///
+    /// The default `0` means "no wire codec" and is fine for test
+    /// messages; protocol messages override this with their
+    /// `meba_crypto::WireCodec` encoding length so every runtime (lockstep,
+    /// threaded, TCP) reports a realized bytes-per-word ratio.
+    fn wire_bytes(&self) -> u64 {
+        0
+    }
 }
 
 /// A message together with its authenticated network-level sender.

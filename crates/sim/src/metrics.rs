@@ -130,9 +130,13 @@ pub struct LinkStats {
     pub dropped: u64,
     /// Messages delayed past `δ` by a [`crate::faults::LinkPolicy`].
     pub delayed: u64,
+    /// Canonical-encoding bytes the sender put on the link (0 for message
+    /// types without a wire codec; counted before fault injection, like
+    /// `sent`).
+    pub bytes: u64,
 }
 
-serde::impl_serde_struct!(LinkStats { sent, delivered, dropped, delayed });
+serde::impl_serde_struct!(LinkStats { sent, delivered, dropped, delayed, bytes });
 
 /// A bundle of communication counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -144,16 +148,22 @@ pub struct Counters {
     /// Total constituent signatures sent (threshold sig of threshold `k`
     /// counts `k`).
     pub constituent_sigs: u64,
+    /// Total canonical-encoding bytes sent ([`crate::Message::wire_bytes`];
+    /// 0 for message types without a wire codec). Dividing by `words`
+    /// gives the run's realized bytes-per-word ratio, which the wire
+    /// layer checks against its constant byte-per-word budget.
+    pub bytes: u64,
 }
 
-serde::impl_serde_struct!(Counters { words, messages, constituent_sigs });
+serde::impl_serde_struct!(Counters { words, messages, constituent_sigs, bytes });
 
 impl Counters {
     /// Adds one message's costs.
-    pub fn record(&mut self, words: u64, sigs: u64) {
+    pub fn record(&mut self, words: u64, sigs: u64, bytes: u64) {
         self.words += words;
         self.messages += 1;
         self.constituent_sigs += sigs;
+        self.bytes += bytes;
     }
 
     /// Component-wise sum.
@@ -161,6 +171,7 @@ impl Counters {
         self.words += other.words;
         self.messages += other.messages;
         self.constituent_sigs += other.constituent_sigs;
+        self.bytes += other.bytes;
     }
 }
 
@@ -184,13 +195,13 @@ pub struct SessionStats {
 serde::impl_serde_struct!(SessionStats { counters, first_round, last_round });
 
 impl SessionStats {
-    fn record(&mut self, round: u64, words: u64, sigs: u64) {
+    fn record(&mut self, round: u64, words: u64, sigs: u64, bytes: u64) {
         if self.counters.messages == 0 {
             self.first_round = round;
         }
         self.first_round = self.first_round.min(round);
         self.last_round = self.last_round.max(round);
-        self.counters.record(words, sigs);
+        self.counters.record(words, sigs, bytes);
     }
 }
 
@@ -251,20 +262,21 @@ impl Metrics {
         round: u64,
         words: u64,
         sigs: u64,
+        bytes: u64,
     ) {
-        self.per_process.entry(sender.0).or_default().record(words, sigs);
+        self.per_process.entry(sender.0).or_default().record(words, sigs, bytes);
         if sender_correct {
-            self.correct.record(words, sigs);
-            self.by_component.entry(component.to_string()).or_default().record(words, sigs);
+            self.correct.record(words, sigs, bytes);
+            self.by_component.entry(component.to_string()).or_default().record(words, sigs, bytes);
             if let Some(s) = session {
-                self.per_session.entry(s).or_default().record(round, words, sigs);
+                self.per_session.entry(s).or_default().record(round, words, sigs, bytes);
             }
             if self.words_per_round.len() <= round as usize {
                 self.words_per_round.resize(round as usize + 1, 0);
             }
             self.words_per_round[round as usize] += words;
         } else {
-            self.byzantine.record(words, sigs);
+            self.byzantine.record(words, sigs, bytes);
         }
     }
 
@@ -303,21 +315,23 @@ mod tests {
     #[test]
     fn correct_and_byzantine_split() {
         let mut m = Metrics::default();
-        m.record(ProcessId(0), true, "bb", None, 0, 3, 2);
-        m.record(ProcessId(1), false, "bb", None, 0, 100, 50);
+        m.record(ProcessId(0), true, "bb", None, 0, 3, 2, 96);
+        m.record(ProcessId(1), false, "bb", None, 0, 100, 50, 4_000);
         assert_eq!(m.correct.words, 3);
         assert_eq!(m.correct.messages, 1);
         assert_eq!(m.correct.constituent_sigs, 2);
+        assert_eq!(m.correct.bytes, 96);
         assert_eq!(m.byzantine.words, 100);
+        assert_eq!(m.byzantine.bytes, 4_000);
         assert_eq!(m.correct_words(), 3);
     }
 
     #[test]
     fn component_breakdown() {
         let mut m = Metrics::default();
-        m.record(ProcessId(0), true, "bb", None, 0, 1, 0);
-        m.record(ProcessId(0), true, "weak-ba", None, 1, 2, 1);
-        m.record(ProcessId(2), true, "weak-ba", None, 1, 2, 1);
+        m.record(ProcessId(0), true, "bb", None, 0, 1, 0, 10);
+        m.record(ProcessId(0), true, "weak-ba", None, 1, 2, 1, 20);
+        m.record(ProcessId(2), true, "weak-ba", None, 1, 2, 1, 20);
         assert_eq!(m.by_component["bb"].words, 1);
         assert_eq!(m.by_component["weak-ba"].words, 4);
         assert_eq!(m.by_component["weak-ba"].messages, 2);
@@ -326,17 +340,18 @@ mod tests {
     #[test]
     fn per_session_breakdown_tracks_span_and_counters() {
         let mut m = Metrics::default();
-        m.record(ProcessId(0), true, "bb", Some(0), 3, 2, 1);
-        m.record(ProcessId(1), true, "bb", Some(0), 7, 4, 0);
-        m.record(ProcessId(0), true, "bb", Some(1), 5, 10, 2);
+        m.record(ProcessId(0), true, "bb", Some(0), 3, 2, 1, 64);
+        m.record(ProcessId(1), true, "bb", Some(0), 7, 4, 0, 128);
+        m.record(ProcessId(0), true, "bb", Some(1), 5, 10, 2, 0);
         // Byzantine traffic never pollutes the per-session view.
-        m.record(ProcessId(2), false, "bb", Some(0), 4, 99, 9);
+        m.record(ProcessId(2), false, "bb", Some(0), 4, 99, 9, 1);
         // Unmultiplexed traffic has no session bucket.
-        m.record(ProcessId(0), true, "bb", None, 8, 1, 0);
+        m.record(ProcessId(0), true, "bb", None, 8, 1, 0, 0);
         let s0 = &m.per_session[&0];
         assert_eq!(s0.counters.words, 6);
         assert_eq!(s0.counters.messages, 2);
         assert_eq!(s0.counters.constituent_sigs, 1);
+        assert_eq!(s0.counters.bytes, 192);
         assert_eq!((s0.first_round, s0.last_round), (3, 7));
         let s1 = &m.per_session[&1];
         assert_eq!(s1.counters.words, 10);
@@ -347,16 +362,16 @@ mod tests {
     #[test]
     fn per_round_series_grows() {
         let mut m = Metrics::default();
-        m.record(ProcessId(0), true, "x", None, 4, 7, 0);
+        m.record(ProcessId(0), true, "x", None, 4, 7, 0, 0);
         assert_eq!(m.words_per_round, vec![0, 0, 0, 0, 7]);
     }
 
     #[test]
     fn merge_counters() {
-        let mut a = Counters { words: 1, messages: 2, constituent_sigs: 3 };
-        let b = Counters { words: 10, messages: 20, constituent_sigs: 30 };
+        let mut a = Counters { words: 1, messages: 2, constituent_sigs: 3, bytes: 4 };
+        let b = Counters { words: 10, messages: 20, constituent_sigs: 30, bytes: 40 };
         a.merge(&b);
-        assert_eq!(a, Counters { words: 11, messages: 22, constituent_sigs: 33 });
+        assert_eq!(a, Counters { words: 11, messages: 22, constituent_sigs: 33, bytes: 44 });
     }
 
     #[test]
@@ -412,8 +427,8 @@ mod serde_tests {
     #[test]
     fn metrics_roundtrip_through_json() {
         let mut m = Metrics::default();
-        m.record(ProcessId(0), true, "bb/vetting", Some(0), 0, 3, 2);
-        m.record(ProcessId(1), false, "fallback", Some(1), 2, 5, 1);
+        m.record(ProcessId(0), true, "bb/vetting", Some(0), 0, 3, 2, 77);
+        m.record(ProcessId(1), false, "fallback", Some(1), 2, 5, 1, 33);
         m.rounds = 3;
         m.round_latency.record_us(250);
         m.link_mut(ProcessId(0), ProcessId(1)).sent = 4;

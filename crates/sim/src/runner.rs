@@ -288,6 +288,7 @@ impl<M: crate::actor::Message> Simulation<M> {
         for (dest, msg) in out {
             let words = msg.words().max(1);
             let sigs = msg.constituent_sigs();
+            let bytes = msg.wire_bytes();
             let component = msg.component();
             let session = msg.session();
             match dest {
@@ -304,6 +305,7 @@ impl<M: crate::actor::Message> Simulation<M> {
                             self.round.as_u64(),
                             words,
                             sigs,
+                            bytes,
                         );
                         self.record_trace(sender, sender_correct, p, component, words);
                     }
@@ -321,6 +323,7 @@ impl<M: crate::actor::Message> Simulation<M> {
                                 self.round.as_u64(),
                                 words,
                                 sigs,
+                                bytes,
                             );
                             self.record_trace(sender, sender_correct, p, component, words);
                         }
@@ -366,8 +369,10 @@ impl<M: crate::actor::Message> Simulation<M> {
         if from != to {
             if let Some(policy) = &mut self.link_policy {
                 let fate = policy.fate(Link { from, to }, self.round.as_u64());
+                let bytes = env.msg.wire_bytes();
                 let stats = self.metrics.link_mut(from, to);
                 stats.sent += 1;
+                stats.bytes += bytes;
                 match fate {
                     LinkFate::Deliver => stats.delivered += 1,
                     LinkFate::Drop => {

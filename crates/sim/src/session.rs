@@ -16,7 +16,7 @@
 //! separation); the mux only provides addressing and lifecycle.
 
 use crate::actor::{Actor, Dest, Message, RoundCtx};
-use meba_crypto::ProcessId;
+use meba_crypto::{DecodeError, Decoder, Encoder, ProcessId, WireCodec};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Debug;
 
@@ -28,8 +28,10 @@ use std::fmt::Debug;
 /// lockstep (via an [`Instance`] or a [`Mux`]), or 1:2 under the `2δ`
 /// skew-tolerant adapter in `meba-core`.
 pub trait SubProtocol: Send + 'static {
-    /// Message type exchanged by this protocol.
-    type Msg: Message;
+    /// Message type exchanged by this protocol. The [`WireCodec`] bound is
+    /// what lets *any* sub-protocol run over the real TCP transport
+    /// (`meba-wire`) as well as the in-process runtimes.
+    type Msg: Message + WireCodec;
     /// Decision type.
     type Output: Clone + Debug + Send + 'static;
 
@@ -74,7 +76,7 @@ pub struct SessionEnvelope<M> {
     pub msg: M,
 }
 
-impl<M: Message> Message for SessionEnvelope<M> {
+impl<M: Message + WireCodec> Message for SessionEnvelope<M> {
     fn words(&self) -> u64 {
         self.msg.words()
     }
@@ -86,6 +88,21 @@ impl<M: Message> Message for SessionEnvelope<M> {
     }
     fn session(&self) -> Option<u64> {
         Some(self.session.0)
+    }
+    fn wire_bytes(&self) -> u64 {
+        self.wire_len()
+    }
+}
+
+impl<M: WireCodec> WireCodec for SessionEnvelope<M> {
+    fn encode_wire(&self, enc: &mut Encoder) {
+        enc.put_u64(self.session.0);
+        self.msg.encode_wire(enc);
+    }
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let session = SessionId(dec.get_u64()?);
+        let msg = M::decode_wire(dec)?;
+        Ok(SessionEnvelope { session, msg })
     }
 }
 
@@ -323,6 +340,17 @@ mod tests {
         fn words(&self) -> u64 {
             1
         }
+        fn wire_bytes(&self) -> u64 {
+            self.wire_len()
+        }
+    }
+    impl WireCodec for Ping {
+        fn encode_wire(&self, enc: &mut Encoder) {
+            enc.put_u64(self.0);
+        }
+        fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+            Ok(Ping(dec.get_u64()?))
+        }
     }
 
     /// Broadcasts its session-local step; decides at step `lifetime` on
@@ -438,6 +466,10 @@ mod tests {
         assert_eq!(env.words(), 1);
         assert_eq!(env.constituent_sigs(), 0);
         assert_eq!(env.session(), Some(4));
+        // Envelope bytes = 9-byte session framing + inner encoding.
+        assert_eq!(env.wire_bytes(), 9 + env.msg.wire_len());
+        let back = SessionEnvelope::<Ping>::from_wire_bytes(&env.to_wire_bytes()).unwrap();
+        assert_eq!(back.session, SessionId(4));
         assert_eq!(format!("{}", env.session), "s4");
     }
 

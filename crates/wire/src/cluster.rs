@@ -1,0 +1,710 @@
+//! A wall-clock cluster runtime over real loopback TCP.
+//!
+//! [`run_tcp_cluster`] is the socket twin of [`meba_net::run_cluster`]:
+//! the same actor state machines, the same round coordination (thread 0
+//! approves rounds, δ-pacing with overrun escalation), the same
+//! [`ClusterConfig`] / [`ClusterReport`] surface — but every inter-process
+//! message is canonically encoded, framed, and carried over a handshaked
+//! [`TcpMesh`] link instead of a crossbeam channel. Word/byte accounting
+//! is identical to the other two runtimes (message-level
+//! [`Message::wire_bytes`]), and the socket-level reality (frames, frame
+//! bytes, reconnects, decode errors) is reported on top in
+//! [`TcpClusterReport`].
+//!
+//! Fault injection happens at the socket edge: a [`SocketPolicy`]
+//! (or any [`meba_sim::faults::LinkPolicy`] via
+//! [`ClusterConfig::link_policy`]) judges every outbound frame, and the
+//! TCP-specific [`SocketFate::Sever`] additionally tears the connection
+//! down so the reconnect path is exercised under test.
+
+use crate::handshake::{config_digest, Hello, PROTOCOL_VERSION};
+use crate::mesh::{Inbound, MeshConfig, MeshStats, TcpMesh};
+use crate::proxy::{LinkPolicyAdapter, SocketFate, SocketPolicy, SocketPolicyFactory};
+use crate::WireError;
+use meba_core::SystemConfig;
+use meba_crypto::{ProcessId, WireCodec};
+use meba_net::{
+    AbortReason, ClusterConfig, ClusterDiagnostic, ClusterReport, Escalation, OverrunAction,
+};
+use meba_sim::faults::Link;
+use meba_sim::{AnyActor, Dest, Envelope, Message, Metrics, Round, RoundCtx};
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// TCP-specific knobs on top of the shared [`ClusterConfig`].
+#[derive(Clone)]
+pub struct TcpClusterConfig {
+    /// The runtime-agnostic configuration (δ, round cap, corrupt set,
+    /// link policy, channel capacity, overrun policy) — the same struct
+    /// [`meba_net::run_cluster`] takes, so scenarios port unchanged.
+    pub cluster: ClusterConfig,
+    /// Socket-edge fault injection. Takes precedence over
+    /// `cluster.link_policy` when both are set; use this for the
+    /// TCP-only [`SocketFate::Sever`].
+    pub socket_policy: Option<SocketPolicyFactory>,
+    /// Session domain stamped into every handshake. Two clusters with
+    /// different domains refuse to link even on the same ports.
+    pub domain: u64,
+    /// Budget for establishing all `n(n-1)` directed links.
+    pub dial_timeout: Duration,
+}
+
+impl Default for TcpClusterConfig {
+    fn default() -> Self {
+        TcpClusterConfig {
+            cluster: ClusterConfig::default(),
+            socket_policy: None,
+            domain: 1,
+            dial_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Outcome of a TCP cluster run: the runtime-agnostic report plus the
+/// socket-level counters summed over all meshes.
+pub struct TcpClusterReport<M: Message> {
+    /// The same report [`meba_net::run_cluster`] produces — metrics
+    /// (words, sigs, bytes, per-link, per-session), rounds, actors,
+    /// completion and abort diagnostics.
+    pub report: ClusterReport<M>,
+    /// Data frames that hit a socket (excludes self-delivery).
+    pub frames_sent: u64,
+    /// Socket bytes for those frames, including the 4-byte length
+    /// prefixes — the realized wire cost next to the model-level
+    /// [`meba_sim::Metrics`] byte counters.
+    pub socket_bytes: u64,
+    /// Successful link re-establishments (severed or failed connections).
+    pub reconnects: u64,
+    /// Inbound frames rejected by the canonical decoder.
+    pub decode_errors: u64,
+    /// Inbound connections rejected by the handshake.
+    pub handshake_rejects: u64,
+}
+
+impl<M: Message> std::fmt::Debug for TcpClusterReport<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpClusterReport")
+            .field("rounds", &self.report.rounds)
+            .field("completed", &self.report.completed)
+            .field("correct_words", &self.report.metrics.correct.words)
+            .field("correct_bytes", &self.report.metrics.correct.bytes)
+            .field("frames_sent", &self.frames_sent)
+            .field("socket_bytes", &self.socket_bytes)
+            .field("reconnects", &self.reconnects)
+            .field("decode_errors", &self.decode_errors)
+            .finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Round coordination, ported from meba-net's channel runtime. The
+// machinery is deliberately identical — thread 0 approves rounds, a
+// shared pacer owns the deadline schedule, escalation stretches δ — so a
+// scenario's timing behaviour does not change when it moves to sockets.
+// ---------------------------------------------------------------------
+
+/// One pacing regime: rounds from `from_round` on start at
+/// `offset_ns + (r - from_round) · delta_ns` past the cluster epoch.
+#[derive(Clone, Copy)]
+struct Segment {
+    from_round: u64,
+    offset_ns: u128,
+    delta_ns: u128,
+}
+
+/// Deadline schedule shared by all threads; escalations append segments.
+struct Pacer {
+    epoch: Instant,
+    segments: RwLock<Vec<Segment>>,
+}
+
+impl Pacer {
+    fn new(epoch: Instant, delta: Duration) -> Self {
+        let seg = Segment { from_round: 0, offset_ns: 0, delta_ns: delta.as_nanos().max(1) };
+        Pacer { epoch, segments: RwLock::new(vec![seg]) }
+    }
+
+    fn segment_for(&self, round: u64) -> Segment {
+        let segments = self.segments.read();
+        *segments.iter().rev().find(|s| s.from_round <= round).unwrap_or(&segments[0])
+    }
+
+    fn round_start(&self, round: u64) -> Instant {
+        let s = self.segment_for(round);
+        let ns = s.offset_ns + u128::from(round - s.from_round) * s.delta_ns;
+        self.epoch + Duration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
+    }
+
+    fn delta_at(&self, round: u64) -> Duration {
+        let ns = self.segment_for(round).delta_ns;
+        Duration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
+    }
+
+    fn escalate(&self, from_round: u64, new_delta: Duration) {
+        let mut segments = self.segments.write();
+        let last = *segments.last().expect("pacer always has a segment");
+        debug_assert!(from_round >= last.from_round);
+        let offset_ns = last.offset_ns + u128::from(from_round - last.from_round) * last.delta_ns;
+        segments.push(Segment { from_round, offset_ns, delta_ns: new_delta.as_nanos().max(1) });
+    }
+}
+
+/// Coordinator's stop verdict, written exactly once.
+struct Outcome {
+    completed: bool,
+    rounds: u64,
+    aborted: Option<ClusterDiagnostic>,
+}
+
+/// State shared by all cluster threads.
+struct Control {
+    pacer: Pacer,
+    approved: AtomicU64,
+    stop_at: AtomicU64,
+    outcome: Mutex<Option<Outcome>>,
+    overruns: AtomicU64,
+    done_flags: Vec<AtomicBool>,
+    escalations: Mutex<Vec<Escalation>>,
+    metrics: Mutex<Metrics>,
+}
+
+impl Control {
+    fn record_outcome(&self, outcome: Outcome, stop_at: u64) {
+        let mut slot = self.outcome.lock();
+        if slot.is_none() {
+            *slot = Some(outcome);
+        }
+        drop(slot);
+        self.stop_at.store(stop_at, Ordering::SeqCst);
+    }
+}
+
+enum Approval {
+    Go,
+    Stop,
+}
+
+struct WorkerConfig {
+    max_rounds: u64,
+    overrun_window: u32,
+    overrun_action: OverrunAction,
+}
+
+fn coordinate(
+    ctrl: &Control,
+    corrupt: &[bool],
+    cfg: &WorkerConfig,
+    round: u64,
+    overruns_seen: &mut u64,
+    consecutive_overruns: &mut u32,
+) {
+    let n = corrupt.len();
+    let all_done =
+        (0..n).filter(|&j| !corrupt[j]).all(|j| ctrl.done_flags[j].load(Ordering::SeqCst));
+    if all_done {
+        ctrl.record_outcome(
+            Outcome { completed: true, rounds: round + 1, aborted: None },
+            round + 1,
+        );
+        return;
+    }
+    if round + 1 >= cfg.max_rounds {
+        ctrl.record_outcome(
+            Outcome { completed: false, rounds: round + 1, aborted: None },
+            round + 1,
+        );
+        return;
+    }
+
+    let overruns_now = ctrl.overruns.load(Ordering::Relaxed);
+    if overruns_now > *overruns_seen {
+        *consecutive_overruns += 1;
+    } else {
+        *consecutive_overruns = 0;
+    }
+    *overruns_seen = overruns_now;
+
+    if *consecutive_overruns >= cfg.overrun_window {
+        match &cfg.overrun_action {
+            OverrunAction::Count => {}
+            OverrunAction::Escalate { multiplier, max_delta } => {
+                let old_delta = ctrl.pacer.delta_at(round + 1);
+                let new_delta = old_delta.saturating_mul((*multiplier).max(2)).min(*max_delta);
+                if new_delta > old_delta {
+                    ctrl.pacer.escalate(round + 2, new_delta);
+                    ctrl.escalations.lock().push(Escalation {
+                        at_round: round + 2,
+                        old_delta,
+                        new_delta,
+                    });
+                }
+                *consecutive_overruns = 0;
+            }
+            OverrunAction::Abort => {
+                ctrl.record_outcome(
+                    Outcome {
+                        completed: false,
+                        rounds: round + 1,
+                        aborted: Some(ClusterDiagnostic {
+                            reason: AbortReason::SustainedOverruns {
+                                consecutive: *consecutive_overruns,
+                                window: cfg.overrun_window,
+                            },
+                            round,
+                            overruns: overruns_now,
+                            delta: ctrl.pacer.delta_at(round),
+                        }),
+                    },
+                    round + 1,
+                );
+                return;
+            }
+        }
+    }
+    ctrl.approved.store(round + 2, Ordering::SeqCst);
+}
+
+fn wait_for_approval(ctrl: &Control, round: u64) -> Approval {
+    let stall_after = ctrl.pacer.delta_at(round).saturating_mul(64).max(Duration::from_secs(60));
+    let wait_start = Instant::now();
+    loop {
+        if ctrl.stop_at.load(Ordering::SeqCst) <= round {
+            return Approval::Stop;
+        }
+        if ctrl.approved.load(Ordering::SeqCst) > round {
+            return Approval::Go;
+        }
+        if wait_start.elapsed() > stall_after {
+            ctrl.record_outcome(
+                Outcome {
+                    completed: false,
+                    rounds: round,
+                    aborted: Some(ClusterDiagnostic {
+                        reason: AbortReason::CoordinatorStalled,
+                        round,
+                        overruns: ctrl.overruns.load(Ordering::Relaxed),
+                        delta: ctrl.pacer.delta_at(round),
+                    }),
+                },
+                round,
+            );
+            return Approval::Stop;
+        }
+        std::thread::sleep(Duration::from_micros(100));
+    }
+}
+
+// ---------------------------------------------------------------------
+// The TCP cluster proper.
+// ---------------------------------------------------------------------
+
+/// Runs `actors` as a wall-clock cluster over loopback TCP until every
+/// correct actor is done, the round budget is exhausted, or the overrun
+/// policy stops the run. Mirrors [`meba_net::run_cluster`] exactly at
+/// the API level; `system` supplies the configuration digest every link
+/// handshake must agree on.
+///
+/// # Errors
+///
+/// Fails with a [`WireError`] if the mesh cannot be established within
+/// [`TcpClusterConfig::dial_timeout`].
+///
+/// # Panics
+///
+/// Panics if `actors` is empty, ids are not `p0..p(n-1)` in order, or
+/// `actors.len() != system.n()`.
+pub fn run_tcp_cluster<M: Message + WireCodec>(
+    actors: Vec<Box<dyn AnyActor<Msg = M>>>,
+    system: &SystemConfig,
+    config: TcpClusterConfig,
+) -> Result<TcpClusterReport<M>, WireError> {
+    let n = actors.len();
+    assert!(n > 0, "cluster needs at least one actor");
+    assert_eq!(n, system.n(), "actor count must match the system configuration");
+    for (i, a) in actors.iter().enumerate() {
+        assert_eq!(a.id().index(), i, "actor {i} has id {}", a.id());
+    }
+
+    // Bind every listener before any mesh dials, so establishment cannot
+    // deadlock on ordering.
+    let digest = config_digest(system);
+    let mut listeners = Vec::with_capacity(n);
+    let mut addrs: Vec<SocketAddr> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let l = TcpListener::bind("127.0.0.1:0").map_err(WireError::Io)?;
+        addrs.push(l.local_addr().map_err(WireError::Io)?);
+        listeners.push(l);
+    }
+
+    let mut establishers = Vec::with_capacity(n);
+    for (i, listener) in listeners.into_iter().enumerate() {
+        let me = ProcessId(i as u32);
+        let hello = Hello {
+            version: PROTOCOL_VERSION,
+            id: me,
+            config_digest: digest,
+            domain: config.domain,
+        };
+        let mut mesh_cfg = MeshConfig::new(me, hello);
+        mesh_cfg.inbox_capacity = config.cluster.channel_capacity.max(1);
+        mesh_cfg.outbox_capacity = config.cluster.channel_capacity.max(1);
+        mesh_cfg.dial_timeout = config.dial_timeout;
+        let addrs = addrs.clone();
+        establishers
+            .push(std::thread::spawn(move || TcpMesh::<M>::establish(mesh_cfg, listener, &addrs)));
+    }
+    let mut meshes = Vec::with_capacity(n);
+    let mut first_err = None;
+    for h in establishers {
+        match h.join().expect("mesh establishment thread panicked") {
+            Ok(m) => meshes.push(m),
+            Err(e) => first_err = Some(first_err.unwrap_or(e)),
+        }
+    }
+    if let Some(e) = first_err {
+        for m in meshes {
+            m.shutdown();
+        }
+        return Err(e);
+    }
+    meshes.sort_by_key(|m| m.me().index());
+
+    let ctrl = Arc::new(Control {
+        pacer: Pacer::new(Instant::now() + Duration::from_millis(5), config.cluster.delta),
+        approved: AtomicU64::new(1),
+        stop_at: AtomicU64::new(u64::MAX),
+        outcome: Mutex::new(None),
+        overruns: AtomicU64::new(0),
+        done_flags: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        escalations: Mutex::new(Vec::new()),
+        metrics: Mutex::new(Metrics::default()),
+    });
+    let corrupt: Arc<Vec<bool>> =
+        Arc::new((0..n).map(|i| config.cluster.corrupt.iter().any(|c| c.index() == i)).collect());
+
+    let mut handles = Vec::with_capacity(n);
+    for (actor, mesh) in actors.into_iter().zip(meshes) {
+        let me = mesh.me();
+        let ctrl = ctrl.clone();
+        let corrupt = corrupt.clone();
+        let policy: Option<Box<dyn SocketPolicy>> =
+            match (&config.socket_policy, &config.cluster.link_policy) {
+                (Some(f), _) => Some(f(me)),
+                (None, Some(f)) => Some(Box::new(LinkPolicyAdapter(f(me)))),
+                (None, None) => None,
+            };
+        let cfg = WorkerConfig {
+            max_rounds: config.cluster.max_rounds,
+            overrun_window: config.cluster.overrun_window,
+            overrun_action: config.cluster.overrun_action.clone(),
+        };
+        handles.push(std::thread::spawn(move || {
+            run_tcp_process(actor, mesh, policy, ctrl, corrupt, cfg)
+        }));
+    }
+
+    let mut actors_back: Vec<Box<dyn AnyActor<Msg = M>>> = Vec::with_capacity(n);
+    let mut max_round = 0;
+    let mut frames_sent = 0;
+    let mut socket_bytes = 0;
+    let mut reconnects = 0;
+    let mut decode_errors = 0;
+    let mut handshake_rejects = 0;
+    let mut backpressure = 0;
+    for h in handles {
+        let (actor, rounds, stats) = h.join().expect("cluster thread panicked");
+        max_round = max_round.max(rounds);
+        let (f, b, r, d, hs, bp) = stats.snapshot();
+        frames_sent += f;
+        socket_bytes += b;
+        reconnects += r;
+        decode_errors += d;
+        handshake_rejects += hs;
+        backpressure += bp;
+        actors_back.push(actor);
+    }
+    actors_back.sort_by_key(|a| a.id().index());
+
+    let ctrl = Arc::try_unwrap(ctrl).unwrap_or_else(|_| panic!("cluster threads still alive"));
+    let outcome = ctrl.outcome.into_inner();
+    let (completed, rounds, aborted) = match outcome {
+        Some(o) => (o.completed, o.rounds, o.aborted),
+        None => (false, max_round, None),
+    };
+    let mut metrics = ctrl.metrics.into_inner();
+    metrics.rounds = rounds.max(max_round);
+    Ok(TcpClusterReport {
+        report: ClusterReport {
+            metrics,
+            rounds: rounds.max(max_round),
+            actors: actors_back,
+            completed,
+            overruns: ctrl.overruns.into_inner(),
+            backpressure,
+            escalations: ctrl.escalations.into_inner(),
+            aborted,
+        },
+        frames_sent,
+        socket_bytes,
+        reconnects,
+        decode_errors,
+        handshake_rejects,
+    })
+}
+
+fn run_tcp_process<M: Message + WireCodec>(
+    mut actor: Box<dyn AnyActor<Msg = M>>,
+    mesh: TcpMesh<M>,
+    mut policy: Option<Box<dyn SocketPolicy>>,
+    ctrl: Arc<Control>,
+    corrupt: Arc<Vec<bool>>,
+    cfg: WorkerConfig,
+) -> (Box<dyn AnyActor<Msg = M>>, u64, Arc<MeshStats>) {
+    let me = mesh.me();
+    let n = mesh.n();
+    let i = me.index();
+    let is_coordinator = i == 0;
+    let sender_correct = !corrupt[i];
+    // Messages received early (sent_round >= current round) wait here.
+    let mut buffer: Vec<Inbound<M>> = Vec::new();
+    let mut drained: Vec<Inbound<M>> = Vec::new();
+    // Fault-delayed outbound messages, keyed by their transmit round.
+    let mut pending: BTreeMap<u64, Vec<(ProcessId, u64, M)>> = BTreeMap::new();
+    let mut overruns_seen = 0u64;
+    let mut consecutive_overruns = 0u32;
+    let mut round = 0u64;
+
+    'rounds: while round < cfg.max_rounds {
+        if ctrl.stop_at.load(Ordering::SeqCst) <= round {
+            break;
+        }
+        if !is_coordinator {
+            match wait_for_approval(&ctrl, round) {
+                Approval::Go => {}
+                Approval::Stop => break 'rounds,
+            }
+        }
+        let round_start = ctrl.pacer.round_start(round);
+        let now = Instant::now();
+        if round_start > now {
+            std::thread::sleep(round_start - now);
+        }
+        let proc_start = Instant::now();
+
+        // Transmit fault-delayed messages whose release round arrived;
+        // they keep their original sent_round, so the recipient sees them
+        // `delay` rounds past the synchrony bound.
+        if let Some(due) = pending.remove(&round) {
+            for (to, sent_round, msg) in due {
+                mesh.send(to, sent_round, &msg);
+            }
+        }
+
+        // Drain the sockets into this round's inbox; record deliveries
+        // per link.
+        mesh.drain_into(&mut drained);
+        buffer.append(&mut drained);
+        let mut inbox: Vec<Envelope<M>> = Vec::new();
+        let mut keep: Vec<Inbound<M>> = Vec::new();
+        {
+            let mut metrics = ctrl.metrics.lock();
+            for w in buffer.drain(..) {
+                if w.sent_round < round {
+                    if w.from != me {
+                        metrics.link_mut(w.from, me).delivered += 1;
+                    }
+                    inbox.push(Envelope { from: w.from, msg: w.msg });
+                } else {
+                    keep.push(w);
+                }
+            }
+        }
+        buffer = keep;
+
+        let mut ctx = RoundCtx::new(Round(round), me, n, &inbox);
+        actor.on_round(&mut ctx);
+        let outbox = ctx.take_outbox();
+        for (dest, msg) in outbox {
+            let words = msg.words().max(1);
+            let sigs = msg.constituent_sigs();
+            let bytes = msg.wire_bytes();
+            let component = msg.component();
+            let session = msg.session();
+            let targets: Vec<usize> = match dest {
+                Dest::To(p) if p.index() < n => vec![p.index()],
+                Dest::To(_) => vec![],
+                Dest::All => (0..n).collect(),
+            };
+            for target in targets {
+                if target == i {
+                    // Self-delivery: process memory, not a link — no
+                    // policy, no per-link stats, no word accounting.
+                    mesh.send(me, round, &msg);
+                    continue;
+                }
+                let to = ProcessId(target as u32);
+                let fate = match &mut policy {
+                    Some(p) => p.fate(Link { from: me, to }, round),
+                    None => SocketFate::Forward,
+                };
+                {
+                    let mut metrics = ctrl.metrics.lock();
+                    metrics.record(
+                        me,
+                        sender_correct,
+                        component,
+                        session,
+                        round,
+                        words,
+                        sigs,
+                        bytes,
+                    );
+                    let stats = metrics.link_mut(me, to);
+                    stats.sent += 1;
+                    stats.bytes += bytes;
+                    match fate {
+                        SocketFate::Forward => {}
+                        SocketFate::Drop | SocketFate::Sever => stats.dropped += 1,
+                        SocketFate::DelayRounds(_) => stats.delayed += 1,
+                    }
+                }
+                match fate {
+                    SocketFate::Forward => mesh.send(to, round, &msg),
+                    SocketFate::Drop => {}
+                    SocketFate::DelayRounds(k) => {
+                        pending.entry(round + k).or_default().push((to, round, msg.clone()));
+                    }
+                    SocketFate::Sever => mesh.sever(to),
+                }
+            }
+        }
+
+        let proc_end = Instant::now();
+        let latency_us =
+            u64::try_from(proc_end.duration_since(proc_start).as_micros()).unwrap_or(u64::MAX);
+        ctrl.metrics.lock().round_latency.record_us(latency_us);
+        let deadline = ctrl.pacer.round_start(round + 1);
+        if proc_end > deadline {
+            ctrl.overruns.fetch_add(1, Ordering::Relaxed);
+        }
+        ctrl.done_flags[i].store(actor.done(), Ordering::SeqCst);
+
+        if is_coordinator {
+            coordinate(&ctrl, &corrupt, &cfg, round, &mut overruns_seen, &mut consecutive_overruns);
+        }
+        round += 1;
+    }
+    let stats = mesh.stats().clone();
+    mesh.shutdown();
+    (actor, round, stats)
+}
+
+// ---------------------------------------------------------------------
+// Standalone mesh driving (one OS process per peer, no shared control).
+// ---------------------------------------------------------------------
+
+/// Pacing for [`drive_mesh`] — the multi-process path, where no shared
+/// coordinator exists and each process paces itself from its own epoch.
+#[derive(Clone, Copy, Debug)]
+pub struct MeshDriveConfig {
+    /// Round duration δ. Must dominate cross-process start skew plus
+    /// loopback latency for the synchronous abstraction to hold.
+    pub delta: Duration,
+    /// Hard cap on rounds.
+    pub max_rounds: u64,
+    /// Extra rounds to keep running after the local actor reports done,
+    /// so it can still answer peers' help requests.
+    pub linger_rounds: u64,
+}
+
+impl Default for MeshDriveConfig {
+    fn default() -> Self {
+        MeshDriveConfig { delta: Duration::from_millis(20), max_rounds: 10_000, linger_rounds: 8 }
+    }
+}
+
+/// Drives one actor over an established mesh without a global
+/// coordinator: rounds are paced from a local epoch and the run stops
+/// [`MeshDriveConfig::linger_rounds`] after the actor reports done (or at
+/// `max_rounds`). This is the building block for running a cluster as N
+/// separate OS processes — see the `tcp_cluster` example; in-process
+/// tests should prefer [`run_tcp_cluster`], whose coordinator gives exact
+/// lockstep.
+///
+/// Returns the rounds executed and the local word/byte metrics.
+pub fn drive_mesh<M: Message + WireCodec>(
+    mesh: &TcpMesh<M>,
+    actor: &mut dyn AnyActor<Msg = M>,
+    cfg: &MeshDriveConfig,
+) -> (u64, Metrics) {
+    let me = mesh.me();
+    let n = mesh.n();
+    let mut metrics = Metrics::default();
+    let mut buffer: Vec<Inbound<M>> = Vec::new();
+    let mut drained: Vec<Inbound<M>> = Vec::new();
+    let epoch = Instant::now();
+    let mut linger = cfg.linger_rounds;
+    let mut round = 0u64;
+    while round < cfg.max_rounds {
+        let start = epoch + cfg.delta.saturating_mul(u32::try_from(round).unwrap_or(u32::MAX));
+        let now = Instant::now();
+        if start > now {
+            std::thread::sleep(start - now);
+        }
+        mesh.drain_into(&mut drained);
+        buffer.append(&mut drained);
+        let mut inbox: Vec<Envelope<M>> = Vec::new();
+        let mut keep: Vec<Inbound<M>> = Vec::new();
+        for w in buffer.drain(..) {
+            if w.sent_round < round {
+                if w.from != me {
+                    metrics.link_mut(w.from, me).delivered += 1;
+                }
+                inbox.push(Envelope { from: w.from, msg: w.msg });
+            } else {
+                keep.push(w);
+            }
+        }
+        buffer = keep;
+
+        let mut ctx = RoundCtx::new(Round(round), me, n, &inbox);
+        actor.on_round(&mut ctx);
+        for (dest, msg) in ctx.take_outbox() {
+            let words = msg.words().max(1);
+            let sigs = msg.constituent_sigs();
+            let bytes = msg.wire_bytes();
+            let component = msg.component();
+            let session = msg.session();
+            let targets: Vec<usize> = match dest {
+                Dest::To(p) if p.index() < n => vec![p.index()],
+                Dest::To(_) => vec![],
+                Dest::All => (0..n).collect(),
+            };
+            for target in targets {
+                let to = ProcessId(target as u32);
+                if to != me {
+                    metrics.record(me, true, component, session, round, words, sigs, bytes);
+                    let stats = metrics.link_mut(me, to);
+                    stats.sent += 1;
+                    stats.bytes += bytes;
+                }
+                mesh.send(to, round, &msg);
+            }
+        }
+        round += 1;
+        if actor.done() {
+            if linger == 0 {
+                break;
+            }
+            linger -= 1;
+        } else {
+            linger = cfg.linger_rounds;
+        }
+    }
+    metrics.rounds = round;
+    (round, metrics)
+}

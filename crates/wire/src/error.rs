@@ -1,0 +1,141 @@
+//! Structured transport errors.
+
+use meba_crypto::{Digest, ProcessId};
+use std::fmt;
+
+/// Everything that can go wrong on a wire link.
+///
+/// Handshake mismatches carry both sides of the disagreement so a
+/// rejected connection produces an actionable diagnostic, not just a
+/// closed socket.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum WireError {
+    /// Underlying socket I/O failed.
+    Io(std::io::Error),
+    /// A frame announced a length above [`crate::frame::MAX_FRAME_BYTES`].
+    /// The frame is rejected *before* any allocation.
+    FrameTooLarge {
+        /// Announced payload length.
+        len: usize,
+        /// The cap it exceeded.
+        max: usize,
+    },
+    /// A frame payload failed canonical decoding.
+    Decode(meba_crypto::DecodeError),
+    /// The peer speaks a different protocol version.
+    VersionMismatch {
+        /// Our [`crate::handshake::PROTOCOL_VERSION`].
+        ours: u32,
+        /// The version the peer announced.
+        theirs: u32,
+    },
+    /// The peer was set up with a different system configuration
+    /// (`n`, `t`, quorum, or session differ).
+    ConfigMismatch {
+        /// Digest of our configuration.
+        ours: Digest,
+        /// Digest the peer announced.
+        theirs: Digest,
+    },
+    /// The peer runs in a different session domain (e.g. a stale cluster
+    /// from a previous run still bound to the same ports).
+    DomainMismatch {
+        /// Our domain tag.
+        ours: u64,
+        /// The domain the peer announced.
+        theirs: u64,
+    },
+    /// The peer identified as someone other than the process we dialed.
+    PeerMismatch {
+        /// Identity we expected at this address.
+        expected: ProcessId,
+        /// Identity the peer announced.
+        got: ProcessId,
+    },
+    /// The peer announced an identity outside `p0..p(n-1)` or our own.
+    IdentityInvalid {
+        /// The identity the peer announced.
+        got: ProcessId,
+        /// System size.
+        n: usize,
+    },
+    /// The connection closed before the exchange finished (commonly: the
+    /// remote side rejected our hello and hung up).
+    PeerClosed,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket i/o error: {e}"),
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::Decode(e) => write!(f, "frame payload failed canonical decoding: {e}"),
+            WireError::VersionMismatch { ours, theirs } => {
+                write!(f, "protocol version mismatch: ours v{ours}, peer announced v{theirs}")
+            }
+            WireError::ConfigMismatch { ours, theirs } => {
+                write!(f, "config digest mismatch: ours {ours}, peer announced {theirs}")
+            }
+            WireError::DomainMismatch { ours, theirs } => {
+                write!(f, "session domain mismatch: ours {ours}, peer announced {theirs}")
+            }
+            WireError::PeerMismatch { expected, got } => {
+                write!(f, "dialed {expected} but the peer identified as {got}")
+            }
+            WireError::IdentityInvalid { got, n } => {
+                write!(f, "peer identity {got} invalid for a cluster of {n}")
+            }
+            WireError::PeerClosed => write!(f, "peer closed the connection mid-exchange"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            WireError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::PeerClosed
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+impl From<meba_crypto::DecodeError> for WireError {
+    fn from(e: meba_crypto::DecodeError) -> Self {
+        WireError::Decode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mismatches_render_both_sides() {
+        let e = WireError::VersionMismatch { ours: 1, theirs: 7 };
+        let s = e.to_string();
+        assert!(s.contains("v1") && s.contains("v7"), "{s}");
+        let e = WireError::DomainMismatch { ours: 3, theirs: 4 };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('4'), "{s}");
+    }
+
+    #[test]
+    fn eof_maps_to_peer_closed() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        assert!(matches!(WireError::from(io), WireError::PeerClosed));
+    }
+}

@@ -1,0 +1,89 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Every message on a wire link travels as one frame: a 4-byte
+//! big-endian payload length followed by the payload itself. The length
+//! is validated against [`MAX_FRAME_BYTES`] *before* any allocation, so a
+//! malicious or corrupted peer cannot make a reader balloon memory by
+//! announcing a huge frame.
+
+use crate::error::WireError;
+use std::io::{Read, Write};
+
+/// Hard cap on a frame payload (1 MiB).
+///
+/// Protocol messages are tiny — the word model bounds them by a few
+/// hundred bytes (see [`crate::budget`]) — so the cap is purely a
+/// robustness guard against garbage length prefixes.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Writes one frame (`4-byte BE length ‖ payload`) and flushes.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge { len: payload.len(), max: MAX_FRAME_BYTES });
+    }
+    let len = u32::try_from(payload.len()).expect("cap fits in u32");
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame, enforcing the size cap before allocating.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, WireError> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge { len, max: MAX_FRAME_BYTES });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert!(matches!(read_frame(&mut r), Err(WireError::PeerClosed)));
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut r = &buf[..];
+        match read_frame(&mut r) {
+            Err(WireError::FrameTooLarge { len, max }) => {
+                assert_eq!(len, u32::MAX as usize);
+                assert_eq!(max, MAX_FRAME_BYTES);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_peer_closed() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&8u32.to_be_bytes());
+        buf.extend_from_slice(b"onl");
+        let mut r = &buf[..];
+        assert!(matches!(read_frame(&mut r), Err(WireError::PeerClosed)));
+    }
+
+    #[test]
+    fn oversized_write_rejected() {
+        let big = vec![0u8; MAX_FRAME_BYTES + 1];
+        let mut sink = Vec::new();
+        assert!(matches!(write_frame(&mut sink, &big), Err(WireError::FrameTooLarge { .. })));
+        assert!(sink.is_empty(), "nothing written for a rejected frame");
+    }
+}

@@ -1,0 +1,46 @@
+//! Real TCP transport for the `meba` protocols.
+//!
+//! The lockstep simulator (`meba-sim`) and the threaded cluster
+//! (`meba-net`) move Rust values over channels; this crate puts the same
+//! actor state machines on actual sockets, closing the loop between the
+//! paper's word model and bytes on a wire:
+//!
+//! * [`frame`] — length-prefixed frames with a hard size cap;
+//! * [`handshake`] — a versioned hello pinning protocol version,
+//!   identity, configuration digest, and session domain per link;
+//! * [`mesh`] — a full mesh of handshaked `std::net::TcpStream` links
+//!   with one reader/writer thread per peer, bounded outboxes, and
+//!   capped-backoff reconnect;
+//! * [`cluster`] — [`run_tcp_cluster`], mirroring
+//!   [`meba_net::run_cluster`]'s configuration and report so any
+//!   scenario moves from channels to loopback TCP unchanged;
+//! * [`proxy`] — socket-edge fault injection ([`SocketFate::Sever`]
+//!   exercises reconnect, the rest mirror [`meba_sim::faults::LinkFate`]);
+//! * [`budget`] — the [`budget::BYTES_PER_WORD`] constant tying the
+//!   canonical codec's byte costs back to the paper's word costs.
+//!
+//! Every message crosses the wire in its canonical
+//! [`meba_crypto::WireCodec`] encoding — the same bytes the signatures
+//! are computed over — so transport introduces no second, unsigned
+//! serialization (see `docs/CORRECTNESS.md` §9).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod budget;
+pub mod cluster;
+pub mod error;
+pub mod frame;
+pub mod handshake;
+pub mod mesh;
+pub mod proxy;
+
+pub use budget::BYTES_PER_WORD;
+pub use cluster::{
+    drive_mesh, run_tcp_cluster, MeshDriveConfig, TcpClusterConfig, TcpClusterReport,
+};
+pub use error::WireError;
+pub use frame::MAX_FRAME_BYTES;
+pub use handshake::{config_digest, Hello, PROTOCOL_VERSION};
+pub use mesh::{Inbound, MeshConfig, MeshStats, TcpMesh};
+pub use proxy::{adapt_link_policy, SeverAt, SocketFate, SocketPolicy, SocketPolicyFactory};

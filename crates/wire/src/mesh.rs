@@ -1,0 +1,665 @@
+//! A full mesh of TCP links for one process.
+//!
+//! [`TcpMesh::establish`] turns a bound listener plus the peer address
+//! list into `n - 1` outbound links (one dialed, handshaked socket each,
+//! owned by a writer thread) and `n - 1` inbound links (accepted,
+//! handshaked sockets, each owned by a reader thread feeding one bounded
+//! inbox channel). The calling process thread then only ever touches two
+//! ends: [`TcpMesh::send`] and [`TcpMesh::drain_into`].
+//!
+//! Design points, mirroring the threaded `meba-net` cluster:
+//!
+//! * **Bounded outboxes** — each writer thread sits behind a bounded
+//!   channel; a full channel blocks the sender and counts into
+//!   [`MeshStats::backpressure`] instead of buffering without bound.
+//! * **Reconnect** — a failed or severed connection is re-dialed with
+//!   capped exponential backoff (1 ms doubling to 250 ms), re-running the
+//!   full handshake; [`MeshStats::reconnects`] counts successes.
+//! * **Total decoding** — readers decode frames with the canonical
+//!   [`WireCodec`]; a frame that fails to decode is counted
+//!   ([`MeshStats::decode_errors`]) and dropped without disturbing framing.
+//! * **Graceful shutdown** — [`TcpMesh::shutdown`] flushes writer queues,
+//!   then closes every registered socket so blocked readers unblock, and
+//!   joins all threads.
+
+use crate::error::WireError;
+use crate::frame::{read_frame, write_frame};
+use crate::handshake::{client_handshake, server_handshake, Hello};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use meba_crypto::{Decoder, Encoder, ProcessId, WireCodec};
+use meba_sim::Message;
+use parking_lot::Mutex;
+use std::marker::PhantomData;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Socket-level counters for one mesh, all monotone.
+#[derive(Debug, Default)]
+pub struct MeshStats {
+    /// Data frames written to sockets (handshake frames excluded).
+    pub frames_sent: AtomicU64,
+    /// Bytes written to sockets for data frames, *including* the 4-byte
+    /// length prefix — the realized cost of a word on a real wire.
+    pub bytes_sent: AtomicU64,
+    /// Successful re-dials after a connection failed or was severed.
+    pub reconnects: AtomicU64,
+    /// Inbound frames whose payload failed canonical decoding.
+    pub decode_errors: AtomicU64,
+    /// Inbound connection attempts rejected by the handshake.
+    pub handshake_rejects: AtomicU64,
+    /// Times [`TcpMesh::send`] blocked on a full outbox.
+    pub backpressure: AtomicU64,
+}
+
+impl MeshStats {
+    /// Plain-number snapshot `(frames_sent, bytes_sent, reconnects,
+    /// decode_errors, handshake_rejects, backpressure)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64, u64) {
+        (
+            self.frames_sent.load(Ordering::Relaxed),
+            self.bytes_sent.load(Ordering::Relaxed),
+            self.reconnects.load(Ordering::Relaxed),
+            self.decode_errors.load(Ordering::Relaxed),
+            self.handshake_rejects.load(Ordering::Relaxed),
+            self.backpressure.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A decoded inbound message with its authenticated link-level sender
+/// (the identity proven by the handshake on the socket it arrived on).
+#[derive(Clone, Debug)]
+pub struct Inbound<M> {
+    /// Handshaked identity of the sending endpoint.
+    pub from: ProcessId,
+    /// Round the sender stamped into the frame.
+    pub sent_round: u64,
+    /// Decoded payload.
+    pub msg: M,
+}
+
+/// Mesh construction parameters.
+#[derive(Clone, Debug)]
+pub struct MeshConfig {
+    /// Our identity (must index into the address list).
+    pub me: ProcessId,
+    /// Our hello (identity, version, config digest, domain).
+    pub hello: Hello,
+    /// Capacity of the single inbound channel all readers feed.
+    pub inbox_capacity: usize,
+    /// Capacity of each per-link writer queue.
+    pub outbox_capacity: usize,
+    /// How long [`TcpMesh::establish`] keeps dialing an unreachable peer
+    /// and waiting for inbound links before giving up.
+    pub dial_timeout: Duration,
+}
+
+impl MeshConfig {
+    /// Defaults tuned for loopback clusters: 1024-deep channels, 10 s
+    /// establishment budget.
+    pub fn new(me: ProcessId, hello: Hello) -> Self {
+        MeshConfig {
+            me,
+            hello,
+            inbox_capacity: 1024,
+            outbox_capacity: 1024,
+            dial_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+enum WriterCmd {
+    Frame(Vec<u8>),
+    Sever,
+}
+
+/// Everything a writer thread needs to (re-)establish its link.
+struct LinkSpec {
+    addr: SocketAddr,
+    hello: Hello,
+    peer: ProcessId,
+    n: usize,
+}
+
+/// One process's view of the cluster network.
+pub struct TcpMesh<M> {
+    me: ProcessId,
+    n: usize,
+    inbox: Receiver<Inbound<M>>,
+    loopback: Sender<Inbound<M>>,
+    links: Vec<Option<Sender<WriterCmd>>>,
+    stats: Arc<MeshStats>,
+    stop: Arc<AtomicBool>,
+    streams: Arc<Mutex<Vec<TcpStream>>>,
+    writer_handles: Vec<JoinHandle<()>>,
+    acceptor_handle: Option<JoinHandle<()>>,
+    reader_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    _msg: PhantomData<fn() -> M>,
+}
+
+/// Handshake phase gets a read timeout so a silent dialer cannot wedge
+/// the acceptor; cleared before protocol traffic.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn register(streams: &Mutex<Vec<TcpStream>>, s: &TcpStream) {
+    if let Ok(clone) = s.try_clone() {
+        streams.lock().push(clone);
+    }
+}
+
+/// Dials `spec.addr` and completes the client handshake, retrying with
+/// capped exponential backoff until success, `deadline`, or `stop`.
+fn dial_link(
+    spec: &LinkSpec,
+    stop: &AtomicBool,
+    deadline: Option<Instant>,
+) -> Result<TcpStream, WireError> {
+    let mut backoff = Duration::from_millis(1);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Err(WireError::PeerClosed);
+        }
+        if let Some(d) = deadline {
+            if Instant::now() > d {
+                return Err(WireError::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!("dialing {} ({}) timed out", spec.peer, spec.addr),
+                )));
+            }
+        }
+        if let Ok(mut stream) = TcpStream::connect(spec.addr) {
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
+            // A permanent write timeout bounds how long a writer can
+            // wedge on a peer that stopped reading, so shutdown can
+            // always join it.
+            let _ = stream.set_write_timeout(Some(HANDSHAKE_TIMEOUT));
+            match client_handshake(&mut stream, &spec.hello, spec.peer, spec.n) {
+                Ok(_) => {
+                    let _ = stream.set_read_timeout(None);
+                    return Ok(stream);
+                }
+                Err(
+                    e @ (WireError::VersionMismatch { .. }
+                    | WireError::ConfigMismatch { .. }
+                    | WireError::DomainMismatch { .. }
+                    | WireError::PeerMismatch { .. }
+                    | WireError::IdentityInvalid { .. }),
+                ) => {
+                    // A *semantic* rejection will not heal by retrying.
+                    return Err(e);
+                }
+                Err(_) => {}
+            }
+        }
+        std::thread::sleep(backoff);
+        backoff = (backoff * 2).min(Duration::from_millis(250));
+    }
+}
+
+fn writer_loop(
+    rx: Receiver<WriterCmd>,
+    initial: TcpStream,
+    spec: LinkSpec,
+    stats: Arc<MeshStats>,
+    stop: Arc<AtomicBool>,
+    streams: Arc<Mutex<Vec<TcpStream>>>,
+) {
+    let mut conn = Some(initial);
+    loop {
+        let cmd = match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(cmd) => cmd,
+            Err(RecvTimeoutError::Timeout) => {
+                if stop.load(Ordering::SeqCst) && rx.is_empty() {
+                    return;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        match cmd {
+            WriterCmd::Sever => {
+                if let Some(s) = conn.take() {
+                    let _ = s.shutdown(Shutdown::Both);
+                }
+            }
+            WriterCmd::Frame(payload) => {
+                // One resend after a reconnect; a frame that fails twice
+                // is lost (the run is over for that peer, or the fault is
+                // persistent — either way the protocols must ride it out).
+                for _attempt in 0..2 {
+                    if conn.is_none() {
+                        match dial_link(&spec, &stop, None) {
+                            Ok(s) => {
+                                register(&streams, &s);
+                                stats.reconnects.fetch_add(1, Ordering::Relaxed);
+                                conn = Some(s);
+                            }
+                            Err(_) => return,
+                        }
+                    }
+                    let stream = conn.as_mut().expect("connection present");
+                    match write_frame(stream, &payload) {
+                        Ok(()) => {
+                            stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+                            stats.bytes_sent.fetch_add(payload.len() as u64 + 4, Ordering::Relaxed);
+                            break;
+                        }
+                        Err(_) => {
+                            conn = None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn reader_loop<M: Message + WireCodec>(
+    mut stream: TcpStream,
+    from: ProcessId,
+    inbox: Sender<Inbound<M>>,
+    stats: Arc<MeshStats>,
+) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(p) => p,
+            Err(_) => return,
+        };
+        let mut dec = Decoder::new(&payload);
+        let decoded = dec
+            .get_u64()
+            .and_then(|sent_round| M::decode_wire(&mut dec).map(|msg| (sent_round, msg)))
+            .and_then(|ok| dec.finish().map(|()| ok));
+        match decoded {
+            Ok((sent_round, msg)) => {
+                if inbox.send(Inbound { from, sent_round, msg }).is_err() {
+                    return;
+                }
+            }
+            Err(_) => {
+                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<M: Message + WireCodec> TcpMesh<M> {
+    /// Builds the full mesh: accepts `n - 1` handshaked inbound links on
+    /// `listener` while dialing every peer in `addrs` (index = process
+    /// id; our own slot is ignored). Returns once all `2(n - 1)` links
+    /// are up, or fails after [`MeshConfig::dial_timeout`].
+    pub fn establish(
+        config: MeshConfig,
+        listener: TcpListener,
+        addrs: &[SocketAddr],
+    ) -> Result<Self, WireError> {
+        let n = addrs.len();
+        let me = config.me;
+        assert!(me.index() < n, "mesh identity {me} out of range for {n} peers");
+        let (inbox_tx, inbox_rx) = bounded(config.inbox_capacity.max(1));
+        let stats = Arc::new(MeshStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let streams = Arc::new(Mutex::new(Vec::new()));
+        let reader_handles = Arc::new(Mutex::new(Vec::new()));
+        let accepted: Arc<Mutex<Vec<bool>>> = Arc::new(Mutex::new(vec![false; n]));
+
+        listener.set_nonblocking(true).map_err(WireError::Io)?;
+        let acceptor_handle = {
+            let hello = config.hello.clone();
+            let inbox_tx = inbox_tx.clone();
+            let stats = stats.clone();
+            let stop = stop.clone();
+            let streams = streams.clone();
+            let reader_handles = reader_handles.clone();
+            let accepted = accepted.clone();
+            std::thread::spawn(move || {
+                acceptor_loop(
+                    listener,
+                    hello,
+                    n,
+                    inbox_tx,
+                    stats,
+                    stop,
+                    streams,
+                    reader_handles,
+                    accepted,
+                )
+            })
+        };
+
+        let mut links: Vec<Option<Sender<WriterCmd>>> = (0..n).map(|_| None).collect();
+        let mut writer_handles = Vec::with_capacity(n.saturating_sub(1));
+        let deadline = Instant::now() + config.dial_timeout;
+        let mut failure: Option<WireError> = None;
+        for (j, &addr) in addrs.iter().enumerate() {
+            if j == me.index() {
+                continue;
+            }
+            let spec = LinkSpec { addr, hello: config.hello.clone(), peer: ProcessId(j as u32), n };
+            match dial_link(&spec, &stop, Some(deadline)) {
+                Ok(stream) => {
+                    register(&streams, &stream);
+                    let (tx, rx) = bounded(config.outbox_capacity.max(1));
+                    let stats = stats.clone();
+                    let stop = stop.clone();
+                    let streams = streams.clone();
+                    writer_handles.push(std::thread::spawn(move || {
+                        writer_loop(rx, stream, spec, stats, stop, streams)
+                    }));
+                    links[j] = Some(tx);
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+
+        // Wait until every peer has dialed us, so no early round can race
+        // an unestablished inbound link.
+        if failure.is_none() {
+            loop {
+                let inbound = accepted.lock().iter().filter(|&&a| a).count();
+                if inbound >= n - 1 {
+                    break;
+                }
+                if Instant::now() > deadline {
+                    failure = Some(WireError::Io(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        format!("{me}: only {inbound}/{} inbound links handshaked", n - 1),
+                    )));
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+
+        let mesh = TcpMesh {
+            me,
+            n,
+            inbox: inbox_rx,
+            loopback: inbox_tx,
+            links,
+            stats,
+            stop,
+            streams,
+            writer_handles,
+            acceptor_handle: Some(acceptor_handle),
+            reader_handles,
+            _msg: PhantomData,
+        };
+        match failure {
+            Some(e) => {
+                mesh.shutdown();
+                Err(e)
+            }
+            None => Ok(mesh),
+        }
+    }
+
+    /// Our identity.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Cluster size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Socket-level counters.
+    pub fn stats(&self) -> &Arc<MeshStats> {
+        &self.stats
+    }
+
+    /// Sends `msg` stamped with `sent_round` to `to`. Self-sends bypass
+    /// the sockets (process memory cannot fail); remote sends encode one
+    /// frame and hand it to the link's writer, blocking (and counting
+    /// backpressure) when the outbox is full.
+    pub fn send(&self, to: ProcessId, sent_round: u64, msg: &M) {
+        if to == self.me {
+            let _ = self.loopback.send(Inbound { from: self.me, sent_round, msg: msg.clone() });
+            return;
+        }
+        let Some(tx) = self.links.get(to.index()).and_then(|l| l.as_ref()) else {
+            return;
+        };
+        let mut enc = Encoder::new();
+        enc.put_u64(sent_round);
+        msg.encode_wire(&mut enc);
+        match tx.try_send(WriterCmd::Frame(enc.into_bytes())) {
+            Ok(()) => {}
+            Err(TrySendError::Full(cmd)) => {
+                self.stats.backpressure.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(cmd);
+            }
+            Err(TrySendError::Disconnected(_)) => {}
+        }
+    }
+
+    /// Tears down the connection to `to`; the next frame re-dials and
+    /// re-handshakes. Used by [`crate::proxy::SocketFate::Sever`].
+    pub fn sever(&self, to: ProcessId) {
+        if let Some(tx) = self.links.get(to.index()).and_then(|l| l.as_ref()) {
+            let _ = tx.send(WriterCmd::Sever);
+        }
+    }
+
+    /// Moves every currently queued inbound message into `buf`.
+    pub fn drain_into(&self, buf: &mut Vec<Inbound<M>>) {
+        buf.extend(self.inbox.try_iter());
+    }
+
+    /// Flushes writer queues, closes every socket, and joins all mesh
+    /// threads. Messages still in flight to peers that already shut down
+    /// are lost, which is fine: the run is over for those peers.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Dropping the senders lets writers drain their queues and exit.
+        for link in &mut self.links {
+            *link = None;
+        }
+        for h in self.writer_handles.drain(..) {
+            let _ = h.join();
+        }
+        for s in self.streams.lock().drain(..) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        if let Some(h) = self.acceptor_handle.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = self.reader_handles.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn acceptor_loop<M: Message + WireCodec>(
+    listener: TcpListener,
+    hello: Hello,
+    n: usize,
+    inbox: Sender<Inbound<M>>,
+    stats: Arc<MeshStats>,
+    stop: Arc<AtomicBool>,
+    streams: Arc<Mutex<Vec<TcpStream>>>,
+    reader_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    accepted: Arc<Mutex<Vec<bool>>>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
+                let _ = stream.set_write_timeout(Some(HANDSHAKE_TIMEOUT));
+                match server_handshake(&mut stream, &hello, n) {
+                    Ok(theirs) => {
+                        let _ = stream.set_read_timeout(None);
+                        register(&streams, &stream);
+                        accepted.lock()[theirs.id.index()] = true;
+                        let inbox = inbox.clone();
+                        let stats = stats.clone();
+                        let handle = std::thread::spawn(move || {
+                            reader_loop(stream, theirs.id, inbox, stats)
+                        });
+                        reader_handles.lock().push(handle);
+                    }
+                    Err(_) => {
+                        stats.handshake_rejects.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handshake::{config_digest, PROTOCOL_VERSION};
+    use meba_core::SystemConfig;
+    use meba_crypto::DecodeError;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Num(u64);
+    impl Message for Num {
+        fn words(&self) -> u64 {
+            1
+        }
+        fn wire_bytes(&self) -> u64 {
+            self.wire_len()
+        }
+    }
+    impl WireCodec for Num {
+        fn encode_wire(&self, enc: &mut Encoder) {
+            enc.put_u64(self.0);
+        }
+        fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+            Ok(Num(dec.get_u64()?))
+        }
+    }
+
+    fn meshes(n: usize, domain: u64) -> Vec<TcpMesh<Num>> {
+        // The digest only has to *match* across peers; the mesh size is
+        // independent of the configuration it hashes.
+        let cfg = SystemConfig::new(n.max(3) | 1, 1).unwrap();
+        let digest = config_digest(&cfg);
+        let listeners: Vec<TcpListener> =
+            (0..n).map(|_| TcpListener::bind("127.0.0.1:0").unwrap()).collect();
+        let addrs: Vec<SocketAddr> = listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+        let mut handles = Vec::new();
+        for (i, listener) in listeners.into_iter().enumerate() {
+            let addrs = addrs.clone();
+            let hello = Hello {
+                version: PROTOCOL_VERSION,
+                id: ProcessId(i as u32),
+                config_digest: digest,
+                domain,
+            };
+            handles.push(std::thread::spawn(move || {
+                TcpMesh::establish(MeshConfig::new(ProcessId(i as u32), hello), listener, &addrs)
+            }));
+        }
+        let mut meshes: Vec<TcpMesh<Num>> =
+            handles.into_iter().map(|h| h.join().unwrap().unwrap()).collect();
+        meshes.sort_by_key(|m| m.me().index());
+        meshes
+    }
+
+    fn recv_one(mesh: &TcpMesh<Num>, deadline: Duration) -> Vec<Inbound<Num>> {
+        let start = Instant::now();
+        let mut got = Vec::new();
+        while got.is_empty() && start.elapsed() < deadline {
+            mesh.drain_into(&mut got);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        got
+    }
+
+    #[test]
+    fn three_process_mesh_delivers_frames() {
+        let meshes = meshes(3, 0xaa);
+        meshes[0].send(ProcessId(1), 7, &Num(41));
+        meshes[0].send(ProcessId(0), 7, &Num(42)); // self: loopback
+        let got = recv_one(&meshes[1], Duration::from_secs(5));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].from, ProcessId(0));
+        assert_eq!(got[0].sent_round, 7);
+        assert_eq!(got[0].msg, Num(41));
+        let mut own = Vec::new();
+        meshes[0].drain_into(&mut own);
+        assert_eq!(own.len(), 1);
+        assert_eq!(own[0].msg, Num(42));
+        let (frames, bytes, _, _, _, _) = meshes[0].stats().snapshot();
+        assert_eq!(frames, 1, "self-delivery must not touch a socket");
+        // frame = 4-byte prefix + 9-byte round + 9-byte Num encoding
+        assert_eq!(bytes, 22);
+        for m in meshes {
+            m.shutdown();
+        }
+    }
+
+    #[test]
+    fn severed_link_reconnects_and_delivers_again() {
+        let meshes = meshes(2, 0xbb);
+        meshes[0].send(ProcessId(1), 0, &Num(1));
+        assert_eq!(recv_one(&meshes[1], Duration::from_secs(5)).len(), 1);
+        meshes[0].sever(ProcessId(1));
+        // The next frame must trigger a re-dial + re-handshake.
+        meshes[0].send(ProcessId(1), 1, &Num(2));
+        let got = recv_one(&meshes[1], Duration::from_secs(5));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].msg, Num(2));
+        let (_, _, reconnects, _, _, _) = meshes[0].stats().snapshot();
+        assert_eq!(reconnects, 1);
+        for m in meshes {
+            m.shutdown();
+        }
+    }
+
+    #[test]
+    fn mismatched_domain_cannot_establish() {
+        let cfg = SystemConfig::new(3, 1).unwrap();
+        let digest = config_digest(&cfg);
+        let listeners: Vec<TcpListener> =
+            (0..2).map(|_| TcpListener::bind("127.0.0.1:0").unwrap()).collect();
+        let addrs: Vec<SocketAddr> = listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+        let mut handles = Vec::new();
+        for (i, listener) in listeners.into_iter().enumerate() {
+            let addrs = addrs.clone();
+            let hello = Hello {
+                version: PROTOCOL_VERSION,
+                id: ProcessId(i as u32),
+                config_digest: digest,
+                domain: i as u64, // each side in its own domain
+            };
+            let mut mc = MeshConfig::new(ProcessId(i as u32), hello);
+            mc.dial_timeout = Duration::from_millis(500);
+            handles
+                .push(std::thread::spawn(move || TcpMesh::<Num>::establish(mc, listener, &addrs)));
+        }
+        for h in handles {
+            assert!(h.join().unwrap().is_err());
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Property tests for the canonical codec's decode side.
+//!
+//! Three properties, over every protocol message family:
+//!
+//! 1. **Round-trip**: `decode(encode(m))` succeeds and re-encodes to the
+//!    identical bytes (codecs have no `PartialEq`; byte equality is the
+//!    stronger check anyway — it is what signatures are computed over).
+//! 2. **Truncation is total**: every strict prefix of a valid encoding
+//!    decodes to an error, never a panic.
+//! 3. **Bit flips are total and canonical**: flipping any single bit
+//!    either fails to decode, or decodes to a message whose re-encoding
+//!    is exactly the mutated bytes — i.e. the decoder accepts *only*
+//!    canonical encodings, so no two distinct byte strings decode to
+//!    messages with the same encoding.
+
+use meba_core::bb::{BbBaValue, BbMsg};
+use meba_core::fallback::EchoMsg;
+use meba_core::signing::*;
+use meba_core::strong_ba::StrongBaMsg;
+use meba_core::subprotocol::SkewEnvelope;
+use meba_core::weak_ba::WeakBaMsg;
+use meba_core::SystemConfig;
+use meba_crypto::{trusted_setup, Decoder, Signable, WireCodec};
+use meba_fallback::{InstanceId, RecBaMsg, Scope};
+use meba_sim::{SessionEnvelope, SessionId};
+use meba_wire::Hello;
+use proptest::prelude::*;
+
+type WbaM = WeakBaMsg<u64, EchoMsg<u64>>;
+type BbM = BbMsg<u64, EchoMsg<BbBaValue<u64>>>;
+type SbaM = StrongBaMsg<EchoMsg<bool>>;
+type RecM = RecBaMsg<u64>;
+
+/// One constructed instance of every message family, parameterized by
+/// the generated scalars so the search space covers varying field
+/// values, not just varying variants.
+fn corpus(v: u64, phase: u32, session: u64) -> Vec<Vec<u8>> {
+    let cfg = SystemConfig::new(7, 1).unwrap();
+    let (pki, keys) = trusted_setup(7, 1);
+    let sig = sign_payload(&keys[0], &VoteSig { session, value: &v, level: 1 });
+    let payload = VoteSig { session, value: &v, level: 1 };
+    let shares: Vec<_> =
+        keys.iter().take(cfg.quorum()).map(|k| sign_payload(k, &payload)).collect();
+    let qc = pki.combine(cfg.quorum(), &payload.signing_bytes(), &shares).unwrap();
+    let commit = CommitProof { level: 1, qc: qc.clone() };
+    let decide = DecideProof { phase, qc: qc.clone() };
+    let agg_shares: Vec<_> =
+        keys.iter().take(3).map(|k| k.sign(&payload.signing_bytes())).collect();
+    let agg = pki.aggregate(&payload.signing_bytes(), &agg_shares).unwrap();
+    let inst = InstanceId::new(Scope::full(7), (phase % 8) as u8);
+
+    let mut out: Vec<Vec<u8>> = Vec::new();
+    let wba: Vec<WbaM> = vec![
+        WeakBaMsg::Propose { phase, value: v },
+        WeakBaMsg::Vote { phase, value: v, sig: sig.clone() },
+        WeakBaMsg::CommitReply { phase, value: v, proof: commit.clone() },
+        WeakBaMsg::CommitCert { phase, value: v, proof: commit },
+        WeakBaMsg::Decide { phase, value: v, sig: sig.clone() },
+        WeakBaMsg::FinalizeCert { phase, value: v, proof: decide.clone() },
+        WeakBaMsg::HelpReq { sig: sig.clone() },
+        WeakBaMsg::Help { value: v, proof: decide.clone() },
+        WeakBaMsg::FallbackCert { qc: qc.clone(), decision: None },
+        WeakBaMsg::FallbackCert { qc: qc.clone(), decision: Some((v, decide.clone())) },
+        WeakBaMsg::Fallback(SkewEnvelope { vstep: session, msg: EchoMsg(v) }),
+    ];
+    out.extend(wba.iter().map(|m| m.to_wire_bytes()));
+    // Session multiplexing rides on the same codec.
+    out.extend(
+        wba.into_iter()
+            .map(|msg| SessionEnvelope { session: SessionId(session), msg }.to_wire_bytes()),
+    );
+
+    let signed = BbBaValue::Signed { value: v, sig: sig.clone() };
+    let quorum_v = BbBaValue::<u64>::IdkQuorum { phase, qc: qc.clone() };
+    let bb: Vec<BbM> = vec![
+        BbMsg::SenderValue { value: v, sig: sig.clone() },
+        BbMsg::VetHelpReq { phase },
+        BbMsg::VetValue { phase, value: signed.clone() },
+        BbMsg::VetIdk { phase, sig: sig.clone() },
+        BbMsg::Vetted { phase, value: quorum_v },
+        BbMsg::Ba(WeakBaMsg::Propose { phase, value: signed }),
+    ];
+    out.extend(bb.iter().map(|m| m.to_wire_bytes()));
+
+    let sba: Vec<SbaM> = vec![
+        StrongBaMsg::Input { value: v.is_multiple_of(2), sig: sig.clone() },
+        StrongBaMsg::Propose { value: true, qc: qc.clone() },
+        StrongBaMsg::DecideShare { value: false, sig: sig.clone() },
+        StrongBaMsg::DecideCert { value: true, qc: qc.clone() },
+        StrongBaMsg::Fallback { decision: None },
+        StrongBaMsg::Fallback { decision: Some((v % 2 == 1, qc.clone())) },
+    ];
+    out.extend(sba.iter().map(|m| m.to_wire_bytes()));
+
+    let rec: Vec<RecM> = vec![
+        RecBaMsg::GaInput { inst, value: v, sig: sig.clone() },
+        RecBaMsg::GaEcho { inst, value: v, c1: qc.clone() },
+        RecBaMsg::GaVote { inst, value: v, sig: sig.clone(), c1: qc.clone() },
+        RecBaMsg::GaConflict {
+            inst,
+            v1: v,
+            c1a: qc.clone(),
+            v2: v.wrapping_add(1),
+            c1b: qc.clone(),
+        },
+        RecBaMsg::GaCert2 { inst, value: v, c2: qc },
+        RecBaMsg::DsForward { inst, ds_sender: keys[1].id(), value: v, agg: agg.clone() },
+        RecBaMsg::GcSend { inst, value: v, sig: sig.clone() },
+        RecBaMsg::CertShare { inst, value: v, sig },
+    ];
+    out.extend(rec.iter().map(|m| m.to_wire_bytes()));
+
+    out.push(
+        Hello {
+            version: 1,
+            id: keys[2].id(),
+            config_digest: meba_wire::config_digest(&cfg),
+            domain: session,
+        }
+        .to_wire_bytes(),
+    );
+    out
+}
+
+/// Decodes `bytes` with the family that produced index `i` of the
+/// corpus, returning the re-encoding if decoding succeeded.
+fn redecode(i: usize, bytes: &[u8]) -> Option<Vec<u8>> {
+    fn via<M: WireCodec>(bytes: &[u8]) -> Option<Vec<u8>> {
+        M::from_wire_bytes(bytes).ok().map(|m| m.to_wire_bytes())
+    }
+    match i {
+        0..=10 => via::<WbaM>(bytes),
+        11..=21 => via::<SessionEnvelope<WbaM>>(bytes),
+        22..=27 => via::<BbM>(bytes),
+        28..=33 => via::<SbaM>(bytes),
+        34..=41 => via::<RecM>(bytes),
+        42 => via::<Hello>(bytes),
+        _ => unreachable!("corpus has 43 entries"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_message_round_trips_canonically(
+        v in any::<u64>(),
+        phase in 1u32..64,
+        session in any::<u64>(),
+    ) {
+        let corpus = corpus(v, phase, session);
+        prop_assert_eq!(corpus.len(), 43);
+        for (i, bytes) in corpus.iter().enumerate() {
+            let re = redecode(i, bytes);
+            prop_assert_eq!(
+                re.as_deref(),
+                Some(&bytes[..]),
+                "family {} must decode and re-encode to identical bytes",
+                i
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_encodings_error_and_never_panic(
+        v in any::<u64>(),
+        phase in 1u32..64,
+        session in any::<u64>(),
+    ) {
+        let corpus = corpus(v, phase, session);
+        for (i, bytes) in corpus.iter().enumerate() {
+            for cut in 0..bytes.len() {
+                prop_assert!(
+                    redecode(i, &bytes[..cut]).is_none(),
+                    "family {}: prefix of {} / {} bytes must not decode",
+                    i, cut, bytes.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_error_or_stay_canonical(
+        v in any::<u64>(),
+        phase in 1u32..64,
+        session in any::<u64>(),
+        flip in any::<u64>(),
+    ) {
+        let corpus = corpus(v, phase, session);
+        for (i, bytes) in corpus.iter().enumerate() {
+            let mut mutated = bytes.clone();
+            let bit = (flip as usize) % (mutated.len() * 8);
+            mutated[bit / 8] ^= 1 << (bit % 8);
+            if let Some(re) = redecode(i, &mutated) {
+                prop_assert_eq!(
+                    &re,
+                    &mutated,
+                    "family {}: an accepted mutation must still be canonical",
+                    i
+                );
+            }
+        }
+    }
+}
+
+/// Truncation totality at the raw decoder level too: every prefix of a
+/// multi-field encoding errors cleanly.
+#[test]
+fn decoder_prefixes_are_total() {
+    let cfg = SystemConfig::new(7, 1).unwrap();
+    let hello = Hello {
+        version: 1,
+        id: meba_crypto::ProcessId(3),
+        config_digest: meba_wire::config_digest(&cfg),
+        domain: 7,
+    };
+    let bytes = hello.to_wire_bytes();
+    for cut in 0..bytes.len() {
+        let mut dec = Decoder::new(&bytes[..cut]);
+        assert!(Hello::decode_wire(&mut dec).is_err());
+    }
+}

@@ -12,7 +12,7 @@
 //! ```
 
 use meba::prelude::*;
-use meba_crypto::{Encoder, Signable, ThresholdSignature};
+use meba_crypto::{DecodeError, Decoder, Encoder, Signable, ThresholdSignature};
 
 /// The attested value: a `u64` together with a `(t+1, n)` certificate
 /// that this many processes declared it as their initial value.
@@ -26,6 +26,11 @@ impl Value for Attested {
     fn encode_value(&self, enc: &mut Encoder) {
         enc.put_u64(self.value);
         self.cert.encode(enc);
+    }
+    fn decode_value(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let value = dec.get_u64()?;
+        let cert = ThresholdSignature::decode(dec)?;
+        Ok(Attested { value, cert })
     }
     fn value_words(&self) -> u64 {
         2

@@ -21,6 +21,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --locked
 echo "== example smoke (pipelined replicated log) =="
 cargo run --release --locked --example replicated_log
 
+echo "== loopback TCP integration (meba-wire) =="
+cargo test --locked --test cluster_integration -- tcp handshake
+
+echo "== example smoke (TCP cluster over loopback sockets) =="
+cargo run --release --locked --example tcp_cluster
+
 echo "== experiments (release) =="
 cargo bench -p meba-bench
 

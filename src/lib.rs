@@ -22,6 +22,7 @@
 //! | [`smr`] | `meba-smr` | replicated log over repeated BB instances |
 //! | [`testkit`] | `meba-testkit` | fault-matrix harness for adversarial testing |
 //! | [`net`] | `meba-net` | threaded wall-clock cluster runtime |
+//! | [`wire`] | `meba-wire` | real TCP transport: canonical codec, handshake, byte accounting |
 //!
 //! # Quickstart
 //!
@@ -69,6 +70,7 @@ pub use meba_net as net;
 pub use meba_sim as sim;
 pub use meba_smr as smr;
 pub use meba_testkit as testkit;
+pub use meba_wire as wire;
 
 /// The most common imports for building and running the protocols.
 pub mod prelude {

@@ -332,6 +332,190 @@ fn partitioned_slow_cluster_aborts_with_diagnostic() {
     );
 }
 
+// ---------------------------------------------------------------------
+// The same scenarios over real loopback TCP (meba-wire): canonical
+// codec, framed sockets, versioned handshake — same config and report
+// surface, so the assertions port almost verbatim.
+// ---------------------------------------------------------------------
+
+use meba::wire::{
+    run_tcp_cluster, SocketFate, SocketPolicy, SocketPolicyFactory, TcpClusterConfig,
+};
+
+fn tcp_config(corrupt: Vec<ProcessId>) -> TcpClusterConfig {
+    TcpClusterConfig {
+        cluster: ClusterConfig {
+            delta: Duration::from_millis(5),
+            max_rounds: 3_000,
+            corrupt,
+            ..ClusterConfig::default()
+        },
+        ..TcpClusterConfig::default()
+    }
+}
+
+#[test]
+fn bb_over_loopback_tcp_failure_free() {
+    let n = 5usize;
+    let cfg = SystemConfig::new(n, 0xc1).unwrap();
+    let (pki, keys) = trusted_setup(n, 0xc1);
+    let sender = ProcessId(0);
+    let mut actors: Vec<Box<dyn AnyActor<Msg = BbM>>> = Vec::new();
+    for (i, key) in keys.into_iter().enumerate() {
+        let id = ProcessId(i as u32);
+        let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+        let bb: BbProc = if id == sender {
+            Bb::new_sender(cfg, id, key, pki.clone(), factory, 17u64)
+        } else {
+            Bb::new(cfg, id, key, pki.clone(), factory, sender)
+        };
+        actors.push(Box::new(LockstepAdapter::new(id, bb)));
+    }
+    let tcp = run_tcp_cluster(actors, &cfg, tcp_config(vec![])).unwrap();
+    let report = &tcp.report;
+    assert!(report.completed, "TCP cluster must terminate");
+    for a in &report.actors {
+        let l: &LockstepAdapter<BbProc> = a.as_any().downcast_ref().unwrap();
+        assert_eq!(l.inner().output(), Some(Decision::Value(17)));
+    }
+    // Failure-free silent vetting survives the transport: the O(n) word
+    // envelope is the same one the channel runtimes satisfy.
+    assert!(report.metrics.correct.words <= 25 * n as u64);
+    // Byte accounting rides along: every correct word costs a bounded
+    // number of canonical-encoding bytes.
+    let m = &report.metrics.correct;
+    assert!(m.bytes > 0, "byte counters must be populated over TCP");
+    assert!(m.bytes <= m.words * meba::wire::BYTES_PER_WORD, "bytes/word over budget");
+    // Socket reality: frames actually crossed sockets, decoded cleanly,
+    // and no link had to reconnect on a healthy loopback.
+    assert!(tcp.frames_sent > 0);
+    assert!(tcp.socket_bytes > tcp.frames_sent * 4, "frame bytes include payloads");
+    assert_eq!(tcp.decode_errors, 0);
+    assert_eq!(tcp.reconnects, 0);
+    for (link, stats) in &report.metrics.per_link {
+        assert_eq!(stats.dropped, 0, "{link} must not drop");
+        assert_eq!(stats.delivered, stats.sent, "{link} must deliver everything");
+    }
+}
+
+#[test]
+fn weak_ba_over_tcp_decides_under_socket_faults() {
+    // The channel-runtime lossy-link scenario on sockets: p3's frames are
+    // jittered and its p3→p0 connection severed once (exercising
+    // reconnect), p4's frames are all dropped at the socket edge. The
+    // three processes on healthy links must still decide.
+    let n = 5usize;
+    let factory: SocketPolicyFactory = Arc::new(|me: ProcessId| -> Box<dyn SocketPolicy> {
+        match me.0 {
+            3 => {
+                // Sever the first frame bound for p0 (forcing a re-dial
+                // when the next one comes), jitter the rest.
+                let mut severed = false;
+                let mut delay = RandomDelay::new(0xd3, 0.8, 3);
+                Box::new(move |l: Link, r: u64| {
+                    if !severed && l.to == ProcessId(0) {
+                        severed = true;
+                        SocketFate::Sever
+                    } else {
+                        delay.fate(l, r).into()
+                    }
+                })
+            }
+            4 => Box::new(|_l: Link, _r: u64| SocketFate::Drop),
+            _ => Box::new(|_l: Link, _r: u64| SocketFate::Forward),
+        }
+    });
+    let corrupt = vec![ProcessId(3), ProcessId(4)];
+    let config = TcpClusterConfig { socket_policy: Some(factory), ..tcp_config(corrupt.clone()) };
+    let tcp = run_tcp_cluster(weak_ba_actors(n, 7), &SystemConfig::new(n, 0x3a).unwrap(), config)
+        .unwrap();
+    let report = &tcp.report;
+    assert!(report.completed, "correct processes must decide despite socket faults");
+    assert!(report.aborted.is_none());
+
+    let mut decisions = Vec::new();
+    for a in report.actors.iter().filter(|a| !corrupt.contains(&a.id())) {
+        let l: &LockstepAdapter<WbaProc> = a.as_any().downcast_ref().unwrap();
+        decisions.push(l.inner().output().expect("correct process decided"));
+    }
+    assert!(decisions.windows(2).all(|w| w[0] == w[1]), "agreement: {decisions:?}");
+    assert_eq!(decisions[0], Decision::Value(7), "unanimous correct inputs decide");
+
+    // The injected fates are visible in the same per-link counters.
+    let m = &report.metrics;
+    assert!(
+        (0..n as u32).filter(|&q| q != 4).all(|q| {
+            let l = m.link(ProcessId(4), ProcessId(q));
+            l.sent > 0 && l.dropped == l.sent && l.delivered == 0
+        }),
+        "p4's outbound frames must all drop: {:?}",
+        m.per_link
+    );
+    let delayed_from_p3: u64 =
+        (0..n as u32).map(|q| m.link(ProcessId(3), ProcessId(q)).delayed).sum();
+    assert!(delayed_from_p3 > 0, "p3's links must have delayed traffic");
+    // The sever really tore a connection down and the link re-dialed.
+    assert!(tcp.reconnects >= 1, "severed p3→p0 must reconnect");
+}
+
+#[test]
+fn handshake_rejects_version_and_config_mismatch() {
+    use meba::wire::handshake::{client_handshake, server_handshake};
+    use meba::wire::{config_digest, Hello, WireError, PROTOCOL_VERSION};
+    use std::net::{TcpListener, TcpStream};
+
+    let n = 5usize;
+    let ours_cfg = SystemConfig::new(n, 0xc1).unwrap();
+    let ours = Hello {
+        version: PROTOCOL_VERSION,
+        id: ProcessId(0),
+        config_digest: config_digest(&ours_cfg),
+        domain: 9,
+    };
+
+    let run = |client_hello: Hello| -> WireError {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let ours = ours.clone();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            server_handshake::<TcpStream>(&mut stream, &ours, n)
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // The dialer only learns the connection died; the structured
+        // diagnostic stays with the acceptor that rejected it.
+        let client = client_handshake(&mut stream, &client_hello, ProcessId(0), n);
+        assert!(client.is_err());
+        server.join().unwrap().expect_err("server must reject the hello")
+    };
+
+    let stale = Hello { version: PROTOCOL_VERSION + 1, id: ProcessId(1), ..ours.clone() };
+    match run(stale) {
+        WireError::VersionMismatch { ours: v_ours, theirs } => {
+            assert_eq!(v_ours, PROTOCOL_VERSION);
+            assert_eq!(theirs, PROTOCOL_VERSION + 1);
+        }
+        other => panic!("expected VersionMismatch, got {other}"),
+    }
+
+    let other_cfg = SystemConfig::new(n, 0xdead).unwrap();
+    let misconfigured =
+        Hello { id: ProcessId(1), config_digest: config_digest(&other_cfg), ..ours.clone() };
+    match run(misconfigured) {
+        WireError::ConfigMismatch { ours: d_ours, theirs } => {
+            assert_eq!(d_ours, config_digest(&ours_cfg));
+            assert_eq!(theirs, config_digest(&other_cfg));
+        }
+        other => panic!("expected ConfigMismatch, got {other}"),
+    }
+
+    let wrong_domain = Hello { id: ProcessId(1), domain: 10, ..ours.clone() };
+    match run(wrong_domain) {
+        WireError::DomainMismatch { ours: 9, theirs: 10 } => {}
+        other => panic!("expected DomainMismatch, got {other}"),
+    }
+}
+
 #[test]
 fn escalation_recovers_a_slow_cluster() {
     // Same slow actors, but the Escalate policy stretches δ until rounds
