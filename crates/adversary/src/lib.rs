@@ -39,4 +39,4 @@ pub use smr_attacks::{MuxHelpRequester, SessionReplayer};
 pub use strong_ba_attacks::EquivocatingStrongLeader;
 pub use wasteful::{WastefulBbLeader, WastefulWeakLeader};
 pub use weak_ba_attacks::{LateHelperLeader, SplitVoteLeader};
-pub use wrappers::{send_only_to, CrashActor, TransformActor};
+pub use wrappers::{send_only_to, AmnesiacActor, CrashActor, TransformActor};

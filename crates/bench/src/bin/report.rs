@@ -161,5 +161,31 @@ fn main() {
     );
     println!("adaptive word bound is also an adaptive byte bound on real sockets.");
 
+    section("E14 — recovery: latency and word overhead vs crash-restart count (n = 9)");
+    println!(
+        "| crashes | words | overhead | recovery rounds | replayed records | fsyncs | refused |"
+    );
+    println!("|---|---|---|---|---|---|---|");
+    let delta = std::time::Duration::from_millis(3);
+    let baseline = run_recovery_weak_ba(9, 0, delta);
+    for c in 0..=3usize {
+        let s = if c == 0 { baseline.clone() } else { run_recovery_weak_ba(9, c, delta) };
+        assert!(s.agreement, "E14 crashes={c}: all processes (incl. recovered) must agree");
+        assert_eq!(s.refused_equivocations, 0, "E14 crashes={c}: honest recovery never conflicts");
+        println!(
+            "| {c} | {} | {:.2}x | {} | {} | {} | {} |",
+            s.words,
+            s.words as f64 / baseline.words.max(1) as f64,
+            s.recovery_rounds,
+            s.replayed_records,
+            s.journal_fsyncs,
+            s.refused_equivocations
+        );
+    }
+    println!("\nEach crash-restart is one fault in the word budget: the overhead column");
+    println!("stays within the O(n(f+1)) envelope, and the journal keeps every restart");
+    println!("from re-signing a conflicting slot (refused = 0 means the guard never had");
+    println!("to intervene — deterministic replay re-derives identical signatures).");
+
     println!("\n_Report complete._");
 }

@@ -673,6 +673,88 @@ pub fn run_wire_bb(n: usize, f: usize, delta: std::time::Duration) -> WireRunSta
     }
 }
 
+/// Outcome of one crash-recovery run (experiment E14).
+#[derive(Clone, Debug)]
+pub struct RecoveryRunStats {
+    /// System size.
+    pub n: usize,
+    /// Processes that crash-restarted mid-run.
+    pub crashes: usize,
+    /// Words sent by correct processes (each crash-restart counts as one
+    /// fault toward the `O(n(f+1))` budget).
+    pub words: u64,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Journal records replayed across all rejoins.
+    pub replayed_records: u64,
+    /// Journal fsyncs issued by the recovered handles.
+    pub journal_fsyncs: u64,
+    /// Rounds between rejoin and the recovered process's decision,
+    /// summed over all recoveries — the recovery latency.
+    pub recovery_rounds: u64,
+    /// Conflicting-signature attempts refused (must be 0 for honest
+    /// journal-backed recovery).
+    pub refused_equivocations: u64,
+    /// Whether every process — including the recovered ones — decided
+    /// the same value.
+    pub agreement: bool,
+}
+
+/// Runs journal-backed weak BA on the threaded cluster runtime with
+/// `crashes` processes crash-restarting at staggered rounds (experiment
+/// E14: recovery latency and word overhead vs. crash count).
+///
+/// # Panics
+///
+/// Panics if `crashes > t` or the run does not terminate.
+pub fn run_recovery_weak_ba(
+    n: usize,
+    crashes: usize,
+    delta: std::time::Duration,
+) -> RecoveryRunStats {
+    use meba_net::{run_cluster_with_recovery, ClusterConfig, OverrunAction, ProcessFate};
+    use meba_testkit::{recoverable_decision, WeakBaRecoveryHarness};
+    use std::sync::Arc;
+
+    let h = Arc::new(WeakBaRecoveryHarness::new(&vec![7u64; n]));
+    assert!(crashes <= h.config().t(), "crashes={crashes} exceeds t={}", h.config().t());
+    let config = ClusterConfig {
+        delta,
+        max_rounds: 60 * n as u64 + 4_000,
+        process_fate: Some(Arc::new(move |p: ProcessId| {
+            let i = p.index();
+            if (1..=crashes).contains(&i) {
+                // Stagger the crashes across phase 1 so each exercises a
+                // different point of the schedule.
+                ProcessFate::CrashRestart { at_round: i as u64, rejoin_after: 3 }
+            } else {
+                ProcessFate::Run
+            }
+        })),
+        overrun_action: OverrunAction::Escalate {
+            multiplier: 2,
+            max_delta: std::time::Duration::from_millis(250),
+        },
+        ..ClusterConfig::default()
+    };
+    let report = run_cluster_with_recovery(h.actors(), Some(h.rebuilder()), config);
+    assert!(report.completed, "E14 n={n} crashes={crashes}: run must terminate");
+    let decisions: Vec<Decision<u64>> =
+        report.actors.iter().map(|a| recoverable_decision(a.as_ref()).expect("decided")).collect();
+    let rec = &report.metrics.recovery;
+    RecoveryRunStats {
+        n,
+        crashes,
+        words: report.metrics.correct.words,
+        rounds: report.rounds,
+        replayed_records: rec.replayed_records,
+        journal_fsyncs: rec.journal_fsyncs,
+        recovery_rounds: rec.recovery_rounds,
+        refused_equivocations: rec.refused_equivocations,
+        agreement: decisions.windows(2).all(|w| w[0] == w[1]),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -708,5 +790,18 @@ mod tests {
         assert!(run_split_vote_attack(false).0);
         assert!(!run_late_help_attack(false).0);
         assert!(run_late_help_attack(true).0);
+    }
+
+    #[test]
+    fn recovery_run_recovers_and_stays_adaptive() {
+        let delta = std::time::Duration::from_millis(2);
+        let base = run_recovery_weak_ba(5, 0, delta);
+        let s = run_recovery_weak_ba(5, 1, delta);
+        assert!(base.agreement && s.agreement);
+        assert_eq!(s.refused_equivocations, 0);
+        assert!(s.replayed_records > 0, "the crashed process had journaled state");
+        // One crash-restart is one fault: the overhead stays within the
+        // f = 1 envelope relative to the failure-free run.
+        assert!(s.words <= base.words * 3, "{} vs baseline {}", s.words, base.words);
     }
 }

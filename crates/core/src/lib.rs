@@ -11,6 +11,8 @@
 //!   rotating leaders + the §6 quorum keep strong BA linear in more runs;
 //! * [`subprotocol`] — black-box composition (Figure 1), including the
 //!   `δ' = 2δ` skewed fallback embedding;
+//! * [`recovery`] — crash-recovery wrapper: write-ahead journaling and
+//!   non-equivocating restart for any sub-protocol;
 //! * [`validity`] — the unique-validity predicate framework;
 //! * [`fallback`] — the `A_fallback` abstraction.
 //!
@@ -26,6 +28,7 @@ pub mod config;
 pub mod decision;
 pub mod fallback;
 mod message_costs;
+pub mod recovery;
 pub mod signing;
 pub mod strong_ba;
 pub mod strong_ba_rotating;
@@ -39,6 +42,7 @@ pub use bb_via_strong::{BbViaStrongBa, BbViaStrongMsg};
 pub use config::{ConfigError, SystemConfig};
 pub use decision::Decision;
 pub use fallback::{EchoFallback, EchoFallbackFactory};
+pub use recovery::Recoverable;
 pub use signing::{CommitProof, DecideProof};
 pub use strong_ba::{StrongBa, StrongBaMsg};
 pub use strong_ba_rotating::RotatingStrongBa;

@@ -14,8 +14,20 @@
 use crate::config::SystemConfig;
 use crate::value::Value;
 use meba_crypto::{
-    DecodeError, Decoder, Encoder, Pki, Signable, Signature, ThresholdSignature, WireCodec,
+    DecodeError, Decoder, Encoder, Pki, SignContext, Signable, Signature, ThresholdSignature,
+    WireCodec,
 };
+
+/// Builds an equivocation context (see [`SignContext`]): the domain tag
+/// plus the slot-identifying fields, excluding the value being signed.
+macro_rules! context {
+    ($domain:expr $(, $put:ident($field:expr))*) => {{
+        let mut enc = Encoder::new();
+        enc.put_bytes($domain.as_bytes());
+        $( enc.$put($field); )*
+        enc.into_bytes()
+    }};
+}
 
 /// `⟨vote, v, level⟩` — weak BA vote share (Alg 4 line 34).
 #[derive(Debug)]
@@ -34,6 +46,14 @@ impl<V: Value> Signable for VoteSig<'_, V> {
         enc.put_u64(self.session);
         self.value.encode_value(enc);
         enc.put_u32(self.level);
+    }
+}
+
+impl<V: Value> SignContext for VoteSig<'_, V> {
+    // One vote slot per (session, level): voting two values at the same
+    // level is equivocation.
+    fn context_bytes(&self) -> Vec<u8> {
+        context!(Self::DOMAIN, put_u64(self.session), put_u32(self.level))
     }
 }
 
@@ -57,6 +77,13 @@ impl<V: Value> Signable for DecideSig<'_, V> {
     }
 }
 
+impl<V: Value> SignContext for DecideSig<'_, V> {
+    // One decide-share slot per (session, phase).
+    fn context_bytes(&self) -> Vec<u8> {
+        context!(Self::DOMAIN, put_u64(self.session), put_u32(self.phase))
+    }
+}
+
 /// `⟨help_req⟩` — weak BA help request (Alg 3 line 6).
 #[derive(Debug)]
 pub struct HelpReqSig {
@@ -68,6 +95,14 @@ impl Signable for HelpReqSig {
     const DOMAIN: &'static str = "meba/weakba/help_req";
     fn encode_fields(&self, enc: &mut Encoder) {
         enc.put_u64(self.session);
+    }
+}
+
+impl SignContext for HelpReqSig {
+    // One help-request slot per session; the payload carries no free
+    // choice, so re-signing is always the identical preimage.
+    fn context_bytes(&self) -> Vec<u8> {
+        context!(Self::DOMAIN, put_u64(self.session))
     }
 }
 
@@ -88,6 +123,14 @@ impl<V: Value> Signable for BbValueSig<'_, V> {
     }
 }
 
+impl<V: Value> SignContext for BbValueSig<'_, V> {
+    // The BB sender signs exactly one value per session; two signed
+    // values is the classic sender equivocation.
+    fn context_bytes(&self) -> Vec<u8> {
+        context!(Self::DOMAIN, put_u64(self.session))
+    }
+}
+
 /// `⟨idk, j⟩_p` — BB vetting "I don't know" share (Alg 2 line 21).
 #[derive(Debug)]
 pub struct BbIdkSig {
@@ -102,6 +145,13 @@ impl Signable for BbIdkSig {
     fn encode_fields(&self, enc: &mut Encoder) {
         enc.put_u64(self.session);
         enc.put_u32(self.phase);
+    }
+}
+
+impl SignContext for BbIdkSig {
+    // One idk slot per (session, phase); no free choice in the payload.
+    fn context_bytes(&self) -> Vec<u8> {
+        context!(Self::DOMAIN, put_u64(self.session), put_u32(self.phase))
     }
 }
 
@@ -122,6 +172,14 @@ impl Signable for StrongInputSig {
     }
 }
 
+impl SignContext for StrongInputSig {
+    // A process's binary input is fixed per session: signing both `true`
+    // and `false` is equivocation.
+    fn context_bytes(&self) -> Vec<u8> {
+        context!(Self::DOMAIN, put_u64(self.session))
+    }
+}
+
 /// `⟨decide, v⟩_p` — strong BA decide share (Alg 5 line 8).
 #[derive(Debug)]
 pub struct StrongDecideSig {
@@ -136,6 +194,14 @@ impl Signable for StrongDecideSig {
     fn encode_fields(&self, enc: &mut Encoder) {
         enc.put_u64(self.session);
         enc.put_bool(self.value);
+    }
+}
+
+impl SignContext for StrongDecideSig {
+    // A correct process signs a decide share for at most one binary
+    // value per session.
+    fn context_bytes(&self) -> Vec<u8> {
+        context!(Self::DOMAIN, put_u64(self.session))
     }
 }
 

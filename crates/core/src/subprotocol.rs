@@ -70,6 +70,10 @@ impl<P: SubProtocol> Actor for LockstepAdapter<P> {
     fn done(&self) -> bool {
         self.inst.done()
     }
+
+    fn refused_equivocations(&self) -> u64 {
+        self.inst.proto().refused_equivocations()
+    }
 }
 
 /// A sub-protocol message tagged with its sender's *virtual step*, used by

@@ -36,9 +36,9 @@ use crate::signing::{
 use crate::subprotocol::{FallbackFactory, SkewAdapter, SkewEnvelope, SubProtocol};
 use crate::validity::Validity;
 use crate::value::Value;
-use meba_crypto::{DecodeError, Decoder, Encoder, Pki, SecretKey, Signable, Signature};
-use meba_crypto::{ProcessId, ThresholdSignature, WireCodec, WordCost};
-use meba_sim::{Dest, Message};
+use meba_crypto::{DecodeError, Decoder, Digest, Encoder, Pki, SecretKey, Signable, Signature};
+use meba_crypto::{ProcessId, SignContext, ThresholdSignature, WireCodec, WordCost};
+use meba_sim::{Dest, Message, RecoveryEvent};
 use std::collections::BTreeMap;
 
 /// Message type of the fallback protocol produced by factory `F` for
@@ -291,6 +291,19 @@ impl<V: Value, FM: WireCodec> WireCodec for WeakBaMsg<V, FM> {
 /// Rounds per phase (Alg 4 has 5 rounds).
 pub const PHASE_ROUNDS: u64 = 5;
 
+/// `kind` tags of the [`RecoveryEvent::CertReceived`] events weak BA
+/// emits for the crash-recovery journal (`meba-journal`).
+pub mod cert_kind {
+    /// A finalize certificate adopted from a phase leader (Alg 4
+    /// lines 52–54).
+    pub const FINALIZE: u32 = 0;
+    /// A help answer's finalize certificate (Alg 3 lines 13–14).
+    pub const HELP: u32 = 1;
+    /// A fallback certificate that scheduled `A_fallback` (Alg 3
+    /// lines 21–23).
+    pub const FALLBACK: u32 = 2;
+}
+
 /// Per-phase leader scratch state.
 #[derive(Debug)]
 struct PhaseScratch<V> {
@@ -354,6 +367,10 @@ where
     no_safety_window: bool,
     decided_at: Option<u64>,
     finished: bool,
+    /// Protocol-critical events since the last drain, consumed by the
+    /// crash-recovery wrapper (`Recoverable`) which journals them
+    /// *before* the step's outbox is externalized.
+    recovery_events: Vec<RecoveryEvent>,
 }
 
 impl<V, P, F> WeakBa<V, P, F>
@@ -401,7 +418,16 @@ where
             no_safety_window: false,
             decided_at: None,
             finished: false,
+            recovery_events: Vec::new(),
         }
+    }
+
+    /// Records a signature production event for the recovery journal.
+    fn note_signed<S: SignContext>(&mut self, payload: &S) {
+        self.recovery_events.push(RecoveryEvent::Signed {
+            context: payload.context_bytes(),
+            digest: Digest::of(&payload.signing_bytes()),
+        });
     }
 
     /// **Ablation only (experiment E9):** disables the paper's 2δ safety
@@ -505,11 +531,13 @@ where
         if proof.verify(&self.cfg, &self.pki, value) {
             self.decision = Some(Decision::Value(value.clone()));
             self.decide_proof = Some(proof.clone());
+            self.recovery_events
+                .push(RecoveryEvent::CertReceived { kind: cert_kind::FINALIZE, step });
         }
     }
 
     /// Adopt a help answer (Alg 3 lines 13–14).
-    fn try_adopt_help(&mut self, value: &V, proof: &DecideProof) {
+    fn try_adopt_help(&mut self, step: u64, value: &V, proof: &DecideProof) {
         if !self.undecided() {
             return;
         }
@@ -519,6 +547,7 @@ where
         if self.validity.validate(value) && proof.verify(&self.cfg, &self.pki, value) {
             self.decision = Some(Decision::Value(value.clone()));
             self.decide_proof = Some(proof.clone());
+            self.recovery_events.push(RecoveryEvent::CertReceived { kind: cert_kind::HELP, step });
         }
     }
 
@@ -564,6 +593,8 @@ where
             let own = self.own_cert_payload();
             out.push((Dest::All, WeakBaMsg::FallbackCert { qc: qc.clone(), decision: own }));
             self.fallback_start = Some(step + 2);
+            self.recovery_events
+                .push(RecoveryEvent::CertReceived { kind: cert_kind::FALLBACK, step });
         }
     }
 
@@ -620,14 +651,13 @@ where
                         match &self.commit {
                             None => {
                                 if self.validity.validate(value) {
-                                    let sig = sign_payload(
-                                        &self.key,
-                                        &VoteSig {
-                                            session: self.cfg.session(),
-                                            value,
-                                            level: phase,
-                                        },
-                                    );
+                                    let payload = VoteSig {
+                                        session: self.cfg.session(),
+                                        value,
+                                        level: phase,
+                                    };
+                                    let sig = sign_payload(&self.key, &payload);
+                                    self.note_signed(&payload);
                                     out.push((
                                         Dest::To(leader),
                                         WeakBaMsg::Vote { phase, value: value.clone(), sig },
@@ -723,16 +753,16 @@ where
                         {
                             continue;
                         }
-                        let sig = sign_payload(
-                            &self.key,
-                            &DecideSig { session: self.cfg.session(), value, phase },
-                        );
+                        let payload = DecideSig { session: self.cfg.session(), value, phase };
+                        let sig = sign_payload(&self.key, &payload);
+                        self.note_signed(&payload);
                         out.push((
                             Dest::To(leader),
                             WeakBaMsg::Decide { phase, value: value.clone(), sig },
                         ));
                         self.commit = Some((value.clone(), proof.clone()));
                         self.commit_level = proof.level;
+                        self.recovery_events.push(RecoveryEvent::CommitLevel(proof.level as u64));
                         break;
                     }
                 }
@@ -840,7 +870,7 @@ where
                     // after fallback coordination has begun.
                     if step == help_step + 2 => {
                         let was = self.undecided();
-                        self.try_adopt_help(value, proof);
+                        self.try_adopt_help(step, value, proof);
                         decided_via_help = was && !self.undecided();
                     }
                 _ => {}
@@ -896,7 +926,9 @@ where
         } else if step == help_step {
             // Alg 3 lines 5–6.
             if self.undecided() {
-                let sig = sign_payload(&self.key, &HelpReqSig { session: self.cfg.session() });
+                let payload = HelpReqSig { session: self.cfg.session() };
+                let sig = sign_payload(&self.key, &payload);
+                self.note_signed(&payload);
                 out.push((Dest::All, WeakBaMsg::HelpReq { sig }));
             }
         } else if step == help_step + 1 {
@@ -958,8 +990,18 @@ where
             self.finished = true;
         }
 
-        if self.decision.is_some() && self.decided_at.is_none() {
+        if let (Some(decision), None) = (self.decision.as_ref(), self.decided_at) {
             self.decided_at = Some(step);
+            let bytes = match decision {
+                Decision::Value(v) => {
+                    let mut enc = Encoder::new();
+                    v.encode_value(&mut enc);
+                    enc.into_bytes()
+                }
+                // ⊥ journals as an empty value.
+                Decision::Bot => Vec::new(),
+            };
+            self.recovery_events.push(RecoveryEvent::Decided(bytes));
         }
         // A decided process with no pending fallback finishes once the
         // certificate acceptance window has passed.
@@ -983,6 +1025,10 @@ where
 
     fn done(&self) -> bool {
         self.finished
+    }
+
+    fn drain_recovery_events(&mut self) -> Vec<RecoveryEvent> {
+        std::mem::take(&mut self.recovery_events)
     }
 }
 

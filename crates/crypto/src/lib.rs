@@ -10,7 +10,10 @@
 //!   signatures, and aggregate multi-signatures, with ideality enforced by
 //!   the type system (private constructors);
 //! * [`words`] — the paper's word-complexity accounting model;
-//! * [`encoding`] — canonical byte encoding for signable messages.
+//! * [`encoding`] — canonical byte encoding for signable messages;
+//! * [`guard`] — the never-re-sign-conflicting signing guard that keeps
+//!   a crash-restarted process from equivocating (used by
+//!   `meba-journal`'s recovery stack).
 //!
 //! # Examples
 //!
@@ -34,6 +37,7 @@
 
 pub mod encoding;
 pub mod error;
+pub mod guard;
 pub mod hmac;
 pub mod ids;
 pub mod pki;
@@ -42,6 +46,7 @@ pub mod words;
 
 pub use encoding::{Decoder, Encoder, Signable, WireCodec};
 pub use error::{CryptoError, DecodeError};
+pub use guard::{EquivocationError, GuardedKey, SignContext, SignRegistry};
 pub use ids::ProcessId;
 pub use pki::{trusted_setup, AggregateSignature, Pki, SecretKey, Signature, ThresholdSignature};
 pub use sha256::Digest;

@@ -1,0 +1,68 @@
+//! CRC-32 (IEEE 802.3 polynomial), implemented in-crate so the journal
+//! has no external dependencies.
+//!
+//! The journal frames every record as `[len][crc][payload]`; the CRC is
+//! what lets replay distinguish a torn tail (power loss mid-append) from
+//! a complete record. Collision resistance is irrelevant here — the CRC
+//! guards against truncation and bit rot, not an adversary, who could in
+//! any case simply delete their own journal.
+
+/// Generates the standard reflected CRC-32 lookup table at compile time.
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// Computes the CRC-32 (IEEE) checksum of `data`.
+///
+/// # Examples
+///
+/// ```
+/// // The canonical CRC-32 check value.
+/// assert_eq!(meba_journal::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let base = b"journal record payload".to_vec();
+        let reference = crc32(&base);
+        for i in 0..base.len() {
+            for bit in 0..8u8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

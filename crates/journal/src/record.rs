@@ -1,0 +1,176 @@
+//! The journal's record vocabulary.
+//!
+//! Every protocol-critical event is journaled *before* it is
+//! externalized (DESIGN.md §11). Records reuse the workspace's canonical
+//! [`WireCodec`] encoding, so the journal inherits the codec's
+//! canonicality guarantees: one record, one byte representation.
+
+use meba_crypto::{DecodeError, Decoder, Digest, Encoder, ProcessId, WireCodec};
+
+/// One durable journal entry.
+///
+/// The [`Record::Step`] entries alone reconstruct a deterministic
+/// protocol exactly (replaying the same inboxes through the same state
+/// machine reproduces the same state *and the same signatures*, since
+/// the PKI signs deterministically). The event records — signatures,
+/// certificates, commit levels, decisions — are belt-and-braces
+/// metadata: they rebuild the never-re-sign-conflicting guard without
+/// re-running the protocol and let auditors inspect what a process
+/// committed to without decoding protocol messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Record {
+    /// One protocol step and the exact inbox it consumed, with each
+    /// message in its canonical wire encoding.
+    Step {
+        /// The step index the protocol executed.
+        step: u64,
+        /// `(sender, canonical message bytes)` pairs, in delivery order.
+        inbox: Vec<(ProcessId, Vec<u8>)>,
+    },
+    /// A signature this process produced, journaled before the signed
+    /// message may leave the process.
+    Signed {
+        /// Equivocation context: domain tag plus the slot-identifying
+        /// fields (session, phase/level). Signing two *different*
+        /// payloads with the same context is equivocation.
+        context: Vec<u8>,
+        /// Digest of the full signing preimage actually signed.
+        digest: Digest,
+    },
+    /// A certificate (threshold/aggregate quorum) this process received
+    /// and accepted.
+    CertReceived {
+        /// Kind discriminant (protocol-defined, e.g. commit vs. decide).
+        kind: u32,
+        /// Step at which the certificate was accepted.
+        step: u64,
+    },
+    /// A `commit_level` transition.
+    CommitLevel {
+        /// The new commit level.
+        level: u64,
+    },
+    /// A decision, terminal for the instance.
+    Decided {
+        /// Canonical encoding of the decided value.
+        value: Vec<u8>,
+    },
+}
+
+const TAG_STEP: u32 = 0;
+const TAG_SIGNED: u32 = 1;
+const TAG_CERT: u32 = 2;
+const TAG_COMMIT: u32 = 3;
+const TAG_DECIDED: u32 = 4;
+
+impl WireCodec for Record {
+    fn encode_wire(&self, enc: &mut Encoder) {
+        match self {
+            Record::Step { step, inbox } => {
+                enc.put_u32(TAG_STEP);
+                enc.put_u64(*step);
+                enc.put_u64(inbox.len() as u64);
+                for (from, bytes) in inbox {
+                    enc.put_id(*from);
+                    enc.put_bytes(bytes);
+                }
+            }
+            Record::Signed { context, digest } => {
+                enc.put_u32(TAG_SIGNED);
+                enc.put_bytes(context);
+                enc.put_digest(digest);
+            }
+            Record::CertReceived { kind, step } => {
+                enc.put_u32(TAG_CERT);
+                enc.put_u32(*kind);
+                enc.put_u64(*step);
+            }
+            Record::CommitLevel { level } => {
+                enc.put_u32(TAG_COMMIT);
+                enc.put_u64(*level);
+            }
+            Record::Decided { value } => {
+                enc.put_u32(TAG_DECIDED);
+                enc.put_bytes(value);
+            }
+        }
+    }
+
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u32()? {
+            TAG_STEP => {
+                let step = dec.get_u64()?;
+                let len = dec.get_u64()?;
+                let len = usize::try_from(len)
+                    .map_err(|_| DecodeError::Invalid { what: "inbox length overflows usize" })?;
+                let mut inbox = Vec::new();
+                for _ in 0..len {
+                    let from = dec.get_id()?;
+                    let bytes = dec.get_bytes()?;
+                    inbox.push((from, bytes));
+                }
+                Ok(Record::Step { step, inbox })
+            }
+            TAG_SIGNED => {
+                let context = dec.get_bytes()?;
+                let digest = dec.get_digest()?;
+                Ok(Record::Signed { context, digest })
+            }
+            TAG_CERT => {
+                let kind = dec.get_u32()?;
+                let step = dec.get_u64()?;
+                Ok(Record::CertReceived { kind, step })
+            }
+            TAG_COMMIT => Ok(Record::CommitLevel { level: dec.get_u64()? }),
+            TAG_DECIDED => Ok(Record::Decided { value: dec.get_bytes()? }),
+            _ => Err(DecodeError::Invalid { what: "unknown journal record tag" }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Record> {
+        vec![
+            Record::Step { step: 0, inbox: vec![] },
+            Record::Step {
+                step: 7,
+                inbox: vec![(ProcessId(1), vec![1, 2, 3]), (ProcessId(4), vec![])],
+            },
+            Record::Signed { context: b"meba/weakba/vote".to_vec(), digest: Digest::of(b"v") },
+            Record::CertReceived { kind: 2, step: 9 },
+            Record::CommitLevel { level: 3 },
+            Record::Decided { value: vec![0xAA; 16] },
+        ]
+    }
+
+    #[test]
+    fn records_roundtrip_canonically() {
+        for rec in samples() {
+            let bytes = rec.to_wire_bytes();
+            let back = Record::from_wire_bytes(&bytes).unwrap();
+            assert_eq!(back, rec);
+            // Canonicality: re-encoding the decoded value reproduces the
+            // exact input bytes.
+            assert_eq!(back.to_wire_bytes(), bytes);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_u32(99);
+        assert!(Record::from_wire_bytes(&enc.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_prefix() {
+        let rec = Record::Step { step: 3, inbox: vec![(ProcessId(2), vec![9, 9])] };
+        let bytes = rec.to_wire_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Record::from_wire_bytes(&bytes[..cut]).is_err(), "prefix {cut}");
+        }
+    }
+}

@@ -58,6 +58,49 @@ struct Wire<M> {
 /// of its outbound links.
 pub type LinkPolicyFactory = Arc<dyn Fn(ProcessId) -> Box<dyn LinkPolicy> + Send + Sync>;
 
+/// Process-level fault injection: what happens to one process over the
+/// run (see [`ClusterConfig::process_fate`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcessFate {
+    /// Run normally for the whole run (the default).
+    Run,
+    /// Crash at the start of round `at_round`: all in-memory state and
+    /// buffered messages are lost and inbound traffic is discarded while
+    /// down. After `rejoin_after` dead rounds the process restarts via
+    /// the run's [`ActorRebuilder`] (replaying its durable journal) and
+    /// rejoins live. Without a rebuilder the crash is permanent — the
+    /// process behaves like a crash-faulty one from `at_round` on.
+    CrashRestart {
+        /// First round the process is down for.
+        at_round: u64,
+        /// Dead rounds before the restart attempt.
+        rejoin_after: u64,
+    },
+}
+
+/// Per-process factory assigning each process its [`ProcessFate`].
+pub type ProcessFateFactory = Arc<dyn Fn(ProcessId) -> ProcessFate + Send + Sync>;
+
+/// A restarted actor as rebuilt from its durable journal, plus the
+/// recovery statistics the runtime folds into
+/// [`meba_sim::metrics::RecoveryStats`].
+pub struct RebuiltActor<M: Message> {
+    /// The reconstructed actor (e.g. a `LockstepAdapter` over
+    /// `meba-core`'s `Recoverable` wrapper recovered from its journal).
+    pub actor: Box<dyn AnyActor<Msg = M>>,
+    /// First step the actor will execute live; everything below was
+    /// reconstructed by journal replay.
+    pub resume_step: u64,
+    /// Journal records replayed during reconstruction.
+    pub replayed_records: u64,
+    /// fsync batches the journal had performed pre-crash.
+    pub journal_fsyncs: u64,
+}
+
+/// Rebuilds a crashed process from its durable state. Called once per
+/// rejoin, on the process's own thread.
+pub type ActorRebuilder<M> = Arc<dyn Fn(ProcessId) -> RebuiltActor<M> + Send + Sync>;
+
 /// What the coordinator does about sustained synchrony overruns (see
 /// [`ClusterConfig::overrun_window`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -189,6 +232,20 @@ pub struct ClusterConfig {
     pub overrun_window: u32,
     /// Reaction to sustained overruns.
     pub overrun_action: OverrunAction,
+    /// Process-level fault injection (crash-restart). `None` means every
+    /// process runs for the whole run. Restarts additionally need an
+    /// [`ActorRebuilder`] (see [`run_cluster_with_recovery`]).
+    pub process_fate: Option<ProcessFateFactory>,
+    /// Upper bound on the TCP mesh's exponential reconnect backoff
+    /// (ignored by the in-memory runtime; `meba-wire` threads it into
+    /// its dialer). Crash-restart tests lower it so rejoining processes
+    /// re-establish links quickly; the default matches the mesh's
+    /// long-standing hard-coded cap.
+    pub reconnect_backoff_cap: Duration,
+    /// Maximum deterministic jitter added per reconnect attempt (TCP
+    /// runtime only). Spreads simultaneous redials after a restart;
+    /// zero (the default) preserves the historical behaviour.
+    pub reconnect_jitter: Duration,
 }
 
 impl fmt::Debug for ClusterConfig {
@@ -201,6 +258,9 @@ impl fmt::Debug for ClusterConfig {
             .field("channel_capacity", &self.channel_capacity)
             .field("overrun_window", &self.overrun_window)
             .field("overrun_action", &self.overrun_action)
+            .field("process_fate", &self.process_fate.as_ref().map(|_| "<factory>"))
+            .field("reconnect_backoff_cap", &self.reconnect_backoff_cap)
+            .field("reconnect_jitter", &self.reconnect_jitter)
             .finish()
     }
 }
@@ -215,6 +275,9 @@ impl Default for ClusterConfig {
             channel_capacity: 1024,
             overrun_window: 3,
             overrun_action: OverrunAction::Count,
+            process_fate: None,
+            reconnect_backoff_cap: Duration::from_millis(250),
+            reconnect_jitter: Duration::ZERO,
         }
     }
 }
@@ -327,6 +390,22 @@ pub fn run_cluster<M: Message>(
     actors: Vec<Box<dyn AnyActor<Msg = M>>>,
     config: ClusterConfig,
 ) -> ClusterReport<M> {
+    run_cluster_with_recovery(actors, None, config)
+}
+
+/// [`run_cluster`] with a crash-recovery path: processes whose
+/// [`ProcessFate`] is [`ProcessFate::CrashRestart`] lose their in-memory
+/// state at the crash round, stay dead (inbound traffic discarded, no
+/// sends) for the configured window, and are then rebuilt by `rebuilder`
+/// — typically by replaying a durable `meba-journal` write-ahead log —
+/// and fast-forwarded back to the cluster's current round with empty
+/// inboxes, as if every message during the outage was dropped. Recovery
+/// counters land in [`Metrics::recovery`](meba_sim::Metrics).
+pub fn run_cluster_with_recovery<M: Message>(
+    actors: Vec<Box<dyn AnyActor<Msg = M>>>,
+    rebuilder: Option<ActorRebuilder<M>>,
+    config: ClusterConfig,
+) -> ClusterReport<M> {
     let n = actors.len();
     assert!(n > 0, "cluster needs at least one actor");
     for (i, a) in actors.iter().enumerate() {
@@ -361,13 +440,16 @@ pub fn run_cluster<M: Message>(
         let ctrl = ctrl.clone();
         let corrupt = corrupt.clone();
         let policy = config.link_policy.as_ref().map(|f| f(me));
+        let fate = config.process_fate.as_ref().map_or(ProcessFate::Run, |f| f(me));
+        let rebuilder = rebuilder.clone();
         let cfg = WorkerConfig {
             max_rounds: config.max_rounds,
             overrun_window: config.overrun_window,
             overrun_action: config.overrun_action.clone(),
+            fate,
         };
         handles.push(std::thread::spawn(move || {
-            run_process(me, actor, rx, txs, policy, ctrl, corrupt, cfg)
+            run_process(me, actor, rx, txs, policy, ctrl, corrupt, cfg, rebuilder)
         }));
     }
     drop(txs);
@@ -408,6 +490,7 @@ struct WorkerConfig {
     max_rounds: u64,
     overrun_window: u32,
     overrun_action: OverrunAction,
+    fate: ProcessFate,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -420,6 +503,7 @@ fn run_process<M: Message>(
     ctrl: Arc<Control>,
     corrupt: Arc<Vec<bool>>,
     cfg: WorkerConfig,
+    rebuilder: Option<ActorRebuilder<M>>,
 ) -> (Box<dyn AnyActor<Msg = M>>, u64) {
     let n = txs.len();
     let i = me.index();
@@ -433,6 +517,9 @@ fn run_process<M: Message>(
     let mut overruns_seen = 0u64;
     let mut consecutive_overruns = 0u32;
     let mut round = 0u64;
+    // Crash-restart bookkeeping.
+    let mut dead = false;
+    let mut rejoin_round: Option<u64> = None;
 
     'rounds: while round < cfg.max_rounds {
         if ctrl.stop_at.load(Ordering::SeqCst) <= round {
@@ -449,6 +536,61 @@ fn run_process<M: Message>(
         if round_start > now {
             std::thread::sleep(round_start - now);
         }
+
+        // --- Crash-restart fault injection.
+        if let ProcessFate::CrashRestart { at_round, rejoin_after } = cfg.fate {
+            if !dead && rejoin_round.is_none() && round == at_round {
+                // Crash: in-memory state, buffered inbox, and pending
+                // delayed sends are all lost.
+                dead = true;
+                buffer.clear();
+                pending.clear();
+                ctrl.done_flags[i].store(false, Ordering::SeqCst);
+                ctrl.metrics.lock().recovery.crash_restarts += 1;
+            }
+            if let Some(rebuild) =
+                rebuilder.as_ref().filter(|_| dead && round >= at_round + rejoin_after)
+            {
+                // Restart: rebuild from the durable journal, then
+                // fast-forward to the cluster's current round with empty
+                // inboxes. Steps below the resume point are no-ops inside
+                // the recovery wrapper; the missed live rounds degrade to
+                // omissions, which the help machinery compensates for.
+                let rb = rebuild(me);
+                actor = rb.actor;
+                {
+                    let mut m = ctrl.metrics.lock();
+                    m.recovery.replayed_records += rb.replayed_records;
+                    m.recovery.journal_fsyncs += rb.journal_fsyncs;
+                }
+                let empty: Vec<Envelope<M>> = Vec::new();
+                for r in 0..round {
+                    let mut ctx = RoundCtx::new(Round(r), me, n, &empty);
+                    actor.on_round(&mut ctx);
+                    drop(ctx.take_outbox());
+                }
+                dead = false;
+                rejoin_round = Some(round);
+            }
+        }
+        if dead {
+            // Down: discard all inbound traffic, send nothing. The
+            // coordinator keeps pacing rounds so live peers advance.
+            for _ in rx.try_iter() {}
+            if is_coordinator {
+                coordinate(
+                    &ctrl,
+                    &corrupt,
+                    &cfg,
+                    round,
+                    &mut overruns_seen,
+                    &mut consecutive_overruns,
+                );
+            }
+            round += 1;
+            continue 'rounds;
+        }
+
         let proc_start = Instant::now();
 
         // Transmit fault-delayed messages whose release round arrived.
@@ -550,11 +692,21 @@ fn run_process<M: Message>(
             ctrl.overruns.fetch_add(1, Ordering::Relaxed);
         }
         ctrl.done_flags[i].store(actor.done(), Ordering::SeqCst);
+        // Recovery latency: rounds from rejoin until this process is done.
+        if actor.done() {
+            if let Some(rj) = rejoin_round.take() {
+                ctrl.metrics.lock().recovery.recovery_rounds += round - rj;
+            }
+        }
 
         if is_coordinator {
             coordinate(&ctrl, &corrupt, &cfg, round, &mut overruns_seen, &mut consecutive_overruns);
         }
         round += 1;
+    }
+    let refused = actor.refused_equivocations();
+    if refused > 0 {
+        ctrl.metrics.lock().recovery.refused_equivocations += refused;
     }
     (actor, round)
 }
@@ -855,6 +1007,82 @@ mod tests {
         let s = format!("{report:?}");
         assert!(s.contains("completed"));
         assert!(s.contains("backpressure"));
+    }
+
+    /// Counts rounds; broadcasts a heartbeat each round until done.
+    struct Ticker {
+        id: ProcessId,
+        rounds: u64,
+        target: u64,
+    }
+    impl Actor for Ticker {
+        type Msg = Ping;
+        fn id(&self) -> ProcessId {
+            self.id
+        }
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_, Ping>) {
+            self.rounds += 1;
+            if !self.done() {
+                ctx.broadcast(Ping(self.rounds));
+            }
+        }
+        fn done(&self) -> bool {
+            self.rounds >= self.target
+        }
+    }
+
+    #[test]
+    fn crash_restart_rebuilds_and_completes() {
+        let n = 3;
+        let target = 8u64;
+        let mk = move |i: u32| -> Box<dyn AnyActor<Msg = Ping>> {
+            Box::new(Ticker { id: ProcessId(i), rounds: 0, target })
+        };
+        let fate: ProcessFateFactory = Arc::new(|me: ProcessId| {
+            if me == ProcessId(1) {
+                ProcessFate::CrashRestart { at_round: 2, rejoin_after: 2 }
+            } else {
+                ProcessFate::Run
+            }
+        });
+        // The rebuilder returns a fresh Ticker: the fast-forward then
+        // replays rounds 0..rejoin with empty inboxes, so its round
+        // counter catches back up with the cluster clock.
+        let rebuilder: ActorRebuilder<Ping> = Arc::new(move |me: ProcessId| RebuiltActor {
+            actor: mk(me.0),
+            resume_step: 0,
+            replayed_records: 5,
+            journal_fsyncs: 2,
+        });
+        let cfg = ClusterConfig { process_fate: Some(fate), max_rounds: 50, ..Default::default() };
+        let report = run_cluster_with_recovery((0..n).map(mk).collect(), Some(rebuilder), cfg);
+        assert!(report.completed, "restarted process must finish: {report:?}");
+        assert_eq!(report.metrics.recovery.crash_restarts, 1);
+        assert_eq!(report.metrics.recovery.replayed_records, 5);
+        assert_eq!(report.metrics.recovery.journal_fsyncs, 2);
+        assert!(report.metrics.recovery.recovery_rounds > 0, "rejoined before done");
+        let t: &Ticker = report.actors[1].as_any().downcast_ref().unwrap();
+        assert!(t.rounds >= target, "rebuilt actor caught up to the cluster clock");
+    }
+
+    #[test]
+    fn crash_without_rebuilder_is_permanent() {
+        let fate: ProcessFateFactory = Arc::new(|me: ProcessId| {
+            if me == ProcessId(1) {
+                ProcessFate::CrashRestart { at_round: 1, rejoin_after: 1 }
+            } else {
+                ProcessFate::Run
+            }
+        });
+        let cfg = ClusterConfig { process_fate: Some(fate), max_rounds: 6, ..Default::default() };
+        // p1 dies at round 1 and never rejoins: the run exhausts its
+        // round budget instead of completing.
+        let actors: Vec<Box<dyn AnyActor<Msg = Ping>>> = (0..2)
+            .map(|i| Box::new(Ticker { id: ProcessId(i), rounds: 0, target: 4 }) as _)
+            .collect();
+        let report = run_cluster_with_recovery(actors, None, cfg);
+        assert!(!report.completed);
+        assert_eq!(report.metrics.recovery.crash_restarts, 1);
     }
 }
 

@@ -16,6 +16,7 @@
 pub mod cluster;
 
 pub use cluster::{
-    run_cluster, AbortReason, ClusterConfig, ClusterDiagnostic, ClusterReport, Escalation,
-    LinkPolicyFactory, OverrunAction,
+    run_cluster, run_cluster_with_recovery, AbortReason, ActorRebuilder, ClusterConfig,
+    ClusterDiagnostic, ClusterReport, Escalation, LinkPolicyFactory, OverrunAction, ProcessFate,
+    ProcessFateFactory, RebuiltActor,
 };

@@ -153,6 +153,14 @@ pub trait Actor: Send {
     fn done(&self) -> bool {
         false
     }
+
+    /// Conflicting-signature attempts this actor refused (see
+    /// [`crate::session::SubProtocol::refused_equivocations`]).
+    /// Crash-recovery wrappers override this; runtimes harvest it into
+    /// [`crate::metrics::RecoveryStats`].
+    fn refused_equivocations(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

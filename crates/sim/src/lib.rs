@@ -59,8 +59,8 @@ pub use faults::{
     BernoulliDrop, Link, LinkFate, LinkPolicy, OneShotPartition, PolicyStack, RandomDelay,
     ReliableLinks,
 };
-pub use metrics::{Counters, LatencyHistogram, LinkStats, Metrics, SessionStats};
+pub use metrics::{Counters, LatencyHistogram, LinkStats, Metrics, RecoveryStats, SessionStats};
 pub use round::Round;
 pub use runner::{AnyActor, RunError, SimBuilder, Simulation};
-pub use session::{Instance, Mux, MuxHost, SessionEnvelope, SessionId, SubProtocol};
+pub use session::{Instance, Mux, MuxHost, RecoveryEvent, SessionEnvelope, SessionId, SubProtocol};
 pub use trace::{Trace, TraceEvent};

@@ -205,6 +205,50 @@ impl SessionStats {
     }
 }
 
+/// Crash-recovery accounting for one run.
+///
+/// Populated by runtimes that inject `CrashRestart` process fates
+/// (`meba-net`'s `run_cluster_with_recovery`, `meba-wire`'s TCP twin):
+/// how many processes crash-restarted, how much journal replay their
+/// recoveries cost, and whether the never-re-sign-conflicting guard ever
+/// had to refuse an equivocation attempt (it must stay 0 for correct
+/// processes — a non-zero value under a replay-attack adversary is the
+/// guard working as intended).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Processes that crashed and restarted during the run.
+    pub crash_restarts: u64,
+    /// Journal records replayed across all recoveries.
+    pub replayed_records: u64,
+    /// Journal syncs issued across all processes.
+    pub journal_fsyncs: u64,
+    /// Rounds from each rejoin until that process first reported done,
+    /// summed over recoveries (recovery latency).
+    pub recovery_rounds: u64,
+    /// Steps whose externalization a recovery guard refused because they
+    /// would contradict a journaled signature.
+    pub refused_equivocations: u64,
+}
+
+serde::impl_serde_struct!(RecoveryStats {
+    crash_restarts,
+    replayed_records,
+    journal_fsyncs,
+    recovery_rounds,
+    refused_equivocations,
+});
+
+impl RecoveryStats {
+    /// Component-wise sum.
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.crash_restarts += other.crash_restarts;
+        self.replayed_records += other.replayed_records;
+        self.journal_fsyncs += other.journal_fsyncs;
+        self.recovery_rounds += other.recovery_rounds;
+        self.refused_equivocations += other.refused_equivocations;
+    }
+}
+
 /// Full accounting for one simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
@@ -235,6 +279,9 @@ pub struct Metrics {
     /// session-multiplexed runs (empty when no message carries a
     /// [`crate::Message::session`] tag).
     pub per_session: BTreeMap<u64, SessionStats>,
+    /// Crash-recovery accounting (all-zero for runs without
+    /// `CrashRestart` fault injection).
+    pub recovery: RecoveryStats,
 }
 
 serde::impl_serde_struct!(Metrics {
@@ -247,6 +294,7 @@ serde::impl_serde_struct!(Metrics {
     round_latency,
     per_link,
     per_session,
+    recovery,
 });
 
 impl Metrics {
@@ -433,9 +481,13 @@ mod serde_tests {
         m.round_latency.record_us(250);
         m.link_mut(ProcessId(0), ProcessId(1)).sent = 4;
         m.link_mut(ProcessId(0), ProcessId(1)).dropped = 1;
+        m.recovery.crash_restarts = 2;
+        m.recovery.replayed_records = 17;
+        m.recovery.refused_equivocations = 1;
         let json = serde_json::to_string(&m).unwrap();
         let back: Metrics = serde_json::from_str(&json).unwrap();
         assert_eq!(back.correct, m.correct);
+        assert_eq!(back.recovery, m.recovery);
         assert_eq!(back.byzantine, m.byzantine);
         assert_eq!(back.words_per_round, m.words_per_round);
         assert_eq!(back.rounds, 3);

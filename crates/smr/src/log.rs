@@ -469,4 +469,43 @@ mod tests {
         // W = 0 is clamped to 1, not a division by zero.
         assert_eq!(mk(0).stride(), sr);
     }
+
+    #[test]
+    fn slot_journal_domains_are_disjoint() {
+        // Crash recovery shares ONE signing registry (and one journal)
+        // per process across all pipelined slots: this is safe exactly
+        // because slot_cfg's session derivation makes every slot's
+        // signing contexts disjoint. Registering the full signing
+        // surface of many slots must never collide; re-signing a slot's
+        // context with a different preimage must still be refused.
+        use meba_core::signing::{BbIdkSig, BbValueSig};
+        use meba_crypto::{Digest, SignContext, SignRegistry, Signable};
+        let cfg = SystemConfig::new(5, 9).unwrap();
+        let mut registry = SignRegistry::new();
+        for slot in 0..16u64 {
+            let session = Log::slot_cfg(&cfg, slot).session();
+            let value = 100 + slot;
+            let val = BbValueSig { session, value: &value };
+            assert!(
+                registry
+                    .record(&val.context_bytes(), Digest::of(&val.signing_bytes()))
+                    .expect("fresh slot domain"),
+                "slot {slot} value context must be new"
+            );
+            for phase in 1..4u32 {
+                let idk = BbIdkSig { session, phase };
+                assert!(registry
+                    .record(&idk.context_bytes(), Digest::of(&idk.signing_bytes()))
+                    .expect("fresh (slot, phase) domain"));
+            }
+        }
+        // Within one slot the guard still bites: a second value under
+        // slot 3's sender context is the classic equivocation.
+        let session = Log::slot_cfg(&cfg, 3).session();
+        let forged = BbValueSig { session, value: &999u64 };
+        assert!(registry
+            .record(&forged.context_bytes(), Digest::of(&forged.signing_bytes()))
+            .is_err());
+        assert_eq!(registry.refused(), 1);
+    }
 }

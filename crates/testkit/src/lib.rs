@@ -24,6 +24,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod recovery;
+
+pub use recovery::{
+    recoverable_decision, DoubleSign, DoubleSignDetector, RecWbaProc, WeakBaRecoveryHarness,
+};
+
 use meba_adversary::{ChaosActor, CrashActor, LossyLinkActor};
 use meba_core::{
     AlwaysValid, Bb, Decision, LockstepAdapter, StrongBa, SubProtocol, SystemConfig, WeakBa,

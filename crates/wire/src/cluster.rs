@@ -24,7 +24,8 @@ use crate::WireError;
 use meba_core::SystemConfig;
 use meba_crypto::{ProcessId, WireCodec};
 use meba_net::{
-    AbortReason, ClusterConfig, ClusterDiagnostic, ClusterReport, Escalation, OverrunAction,
+    AbortReason, ActorRebuilder, ClusterConfig, ClusterDiagnostic, ClusterReport, Escalation,
+    OverrunAction, ProcessFate,
 };
 use meba_sim::faults::Link;
 use meba_sim::{AnyActor, Dest, Envelope, Message, Metrics, Round, RoundCtx};
@@ -192,6 +193,7 @@ struct WorkerConfig {
     max_rounds: u64,
     overrun_window: u32,
     overrun_action: OverrunAction,
+    fate: ProcessFate,
 }
 
 fn coordinate(
@@ -322,6 +324,31 @@ pub fn run_tcp_cluster<M: Message + WireCodec>(
     system: &SystemConfig,
     config: TcpClusterConfig,
 ) -> Result<TcpClusterReport<M>, WireError> {
+    run_tcp_cluster_with_recovery(actors, None, system, config)
+}
+
+/// [`run_tcp_cluster`] plus crash-recovery: when
+/// [`ClusterConfig::process_fate`] marks a process
+/// [`ProcessFate::CrashRestart`], that process severs every peer link at
+/// the crash round (real TCP teardown — peers observe resets and enter
+/// their reconnect loops), discards all in-memory state, and — if a
+/// `rebuilder` is supplied — later rejoins with an actor rebuilt from its
+/// durable journal, re-handshaking each link on the way back in.
+/// Recovery counters land in [`meba_sim::Metrics::recovery`].
+///
+/// # Errors
+///
+/// Same as [`run_tcp_cluster`].
+///
+/// # Panics
+///
+/// Same as [`run_tcp_cluster`].
+pub fn run_tcp_cluster_with_recovery<M: Message + WireCodec>(
+    actors: Vec<Box<dyn AnyActor<Msg = M>>>,
+    rebuilder: Option<ActorRebuilder<M>>,
+    system: &SystemConfig,
+    config: TcpClusterConfig,
+) -> Result<TcpClusterReport<M>, WireError> {
     let n = actors.len();
     assert!(n > 0, "cluster needs at least one actor");
     assert_eq!(n, system.n(), "actor count must match the system configuration");
@@ -353,6 +380,8 @@ pub fn run_tcp_cluster<M: Message + WireCodec>(
         mesh_cfg.inbox_capacity = config.cluster.channel_capacity.max(1);
         mesh_cfg.outbox_capacity = config.cluster.channel_capacity.max(1);
         mesh_cfg.dial_timeout = config.dial_timeout;
+        mesh_cfg.reconnect_backoff_cap = config.cluster.reconnect_backoff_cap;
+        mesh_cfg.reconnect_jitter = config.cluster.reconnect_jitter;
         let addrs = addrs.clone();
         establishers
             .push(std::thread::spawn(move || TcpMesh::<M>::establish(mesh_cfg, listener, &addrs)));
@@ -401,9 +430,11 @@ pub fn run_tcp_cluster<M: Message + WireCodec>(
             max_rounds: config.cluster.max_rounds,
             overrun_window: config.cluster.overrun_window,
             overrun_action: config.cluster.overrun_action.clone(),
+            fate: config.cluster.process_fate.as_ref().map_or(ProcessFate::Run, |f| f(me)),
         };
+        let rebuilder = rebuilder.clone();
         handles.push(std::thread::spawn(move || {
-            run_tcp_process(actor, mesh, policy, ctrl, corrupt, cfg)
+            run_tcp_process(actor, mesh, policy, rebuilder, ctrl, corrupt, cfg)
         }));
     }
 
@@ -460,6 +491,7 @@ fn run_tcp_process<M: Message + WireCodec>(
     mut actor: Box<dyn AnyActor<Msg = M>>,
     mesh: TcpMesh<M>,
     mut policy: Option<Box<dyn SocketPolicy>>,
+    rebuilder: Option<ActorRebuilder<M>>,
     ctrl: Arc<Control>,
     corrupt: Arc<Vec<bool>>,
     cfg: WorkerConfig,
@@ -477,6 +509,11 @@ fn run_tcp_process<M: Message + WireCodec>(
     let mut overruns_seen = 0u64;
     let mut consecutive_overruns = 0u32;
     let mut round = 0u64;
+    // Crash-recovery state: `dead` means the process lost its memory and
+    // its sockets; the thread keeps pacing (it still coordinates if it is
+    // thread 0) but runs no protocol code until rejoin.
+    let mut dead = false;
+    let mut rejoin_round: Option<u64> = None;
 
     'rounds: while round < cfg.max_rounds {
         if ctrl.stop_at.load(Ordering::SeqCst) <= round {
@@ -492,6 +529,66 @@ fn run_tcp_process<M: Message + WireCodec>(
         let now = Instant::now();
         if round_start > now {
             std::thread::sleep(round_start - now);
+        }
+
+        if let ProcessFate::CrashRestart { at_round, rejoin_after } = cfg.fate {
+            if !dead && rejoin_round.is_none() && round == at_round {
+                // Crash: real teardown. Every peer link is severed, so
+                // peers observe connection resets and enter their
+                // reconnect loops; all volatile state is lost.
+                dead = true;
+                for p in 0..n {
+                    if p != i {
+                        mesh.sever(ProcessId(p as u32));
+                    }
+                }
+                buffer.clear();
+                pending.clear();
+                ctrl.done_flags[i].store(false, Ordering::SeqCst);
+                ctrl.metrics.lock().recovery.crash_restarts += 1;
+            }
+            if let Some(rebuild) =
+                rebuilder.as_ref().filter(|_| dead && round >= at_round + rejoin_after)
+            {
+                // Rejoin: rebuild the actor from its durable journal and
+                // fast-forward the lockstep schedule with empty inboxes
+                // (the journal already replayed real steps; missed rounds
+                // are omissions the help machinery repairs). The severed
+                // links re-handshake lazily on the first send/receive.
+                let rb = rebuild(me);
+                actor = rb.actor;
+                {
+                    let mut m = ctrl.metrics.lock();
+                    m.recovery.replayed_records += rb.replayed_records;
+                    m.recovery.journal_fsyncs += rb.journal_fsyncs;
+                }
+                let empty: Vec<Envelope<M>> = Vec::new();
+                for r in 0..round {
+                    let mut ctx = RoundCtx::new(Round(r), me, n, &empty);
+                    actor.on_round(&mut ctx);
+                    drop(ctx.take_outbox());
+                }
+                dead = false;
+                rejoin_round = Some(round);
+            }
+        }
+        if dead {
+            // A crashed process has no sockets: drop whatever the mesh
+            // threads still surface and run no protocol code.
+            mesh.drain_into(&mut drained);
+            drained.clear();
+            if is_coordinator {
+                coordinate(
+                    &ctrl,
+                    &corrupt,
+                    &cfg,
+                    round,
+                    &mut overruns_seen,
+                    &mut consecutive_overruns,
+                );
+            }
+            round += 1;
+            continue 'rounds;
         }
         let proc_start = Instant::now();
 
@@ -592,11 +689,20 @@ fn run_tcp_process<M: Message + WireCodec>(
             ctrl.overruns.fetch_add(1, Ordering::Relaxed);
         }
         ctrl.done_flags[i].store(actor.done(), Ordering::SeqCst);
+        if actor.done() {
+            if let Some(rj) = rejoin_round.take() {
+                ctrl.metrics.lock().recovery.recovery_rounds += round - rj;
+            }
+        }
 
         if is_coordinator {
             coordinate(&ctrl, &corrupt, &cfg, round, &mut overruns_seen, &mut consecutive_overruns);
         }
         round += 1;
+    }
+    let refused = actor.refused_equivocations();
+    if refused > 0 {
+        ctrl.metrics.lock().recovery.refused_equivocations += refused;
     }
     let stats = mesh.stats().clone();
     mesh.shutdown();

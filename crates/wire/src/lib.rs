@@ -37,7 +37,8 @@ pub mod proxy;
 
 pub use budget::BYTES_PER_WORD;
 pub use cluster::{
-    drive_mesh, run_tcp_cluster, MeshDriveConfig, TcpClusterConfig, TcpClusterReport,
+    drive_mesh, run_tcp_cluster, run_tcp_cluster_with_recovery, MeshDriveConfig, TcpClusterConfig,
+    TcpClusterReport,
 };
 pub use error::WireError;
 pub use frame::MAX_FRAME_BYTES;

@@ -95,11 +95,19 @@ pub struct MeshConfig {
     /// How long [`TcpMesh::establish`] keeps dialing an unreachable peer
     /// and waiting for inbound links before giving up.
     pub dial_timeout: Duration,
+    /// Upper bound on the exponential re-dial backoff (doubling from
+    /// 1 ms). Crash-restart tests lower it so a restarted process
+    /// re-establishes its links within a round or two.
+    pub reconnect_backoff_cap: Duration,
+    /// Maximum deterministic jitter added to each re-dial sleep, derived
+    /// from `(peer, attempt)`. Spreads the thundering herd of redials
+    /// after a peer restarts; zero disables jitter entirely.
+    pub reconnect_jitter: Duration,
 }
 
 impl MeshConfig {
     /// Defaults tuned for loopback clusters: 1024-deep channels, 10 s
-    /// establishment budget.
+    /// establishment budget, 250 ms backoff cap, no jitter.
     pub fn new(me: ProcessId, hello: Hello) -> Self {
         MeshConfig {
             me,
@@ -107,6 +115,8 @@ impl MeshConfig {
             inbox_capacity: 1024,
             outbox_capacity: 1024,
             dial_timeout: Duration::from_secs(10),
+            reconnect_backoff_cap: Duration::from_millis(250),
+            reconnect_jitter: Duration::ZERO,
         }
     }
 }
@@ -122,6 +132,22 @@ struct LinkSpec {
     hello: Hello,
     peer: ProcessId,
     n: usize,
+    backoff_cap: Duration,
+    jitter: Duration,
+}
+
+/// Deterministic per-attempt jitter in `[0, max)`: a SplitMix64-style
+/// hash of `(peer, attempt)`, so redials are reproducible yet spread out.
+fn dial_jitter(spec: &LinkSpec, attempt: u64) -> Duration {
+    if spec.jitter.is_zero() {
+        return Duration::ZERO;
+    }
+    let mut z = (u64::from(spec.peer.0) << 32) ^ attempt ^ 0x9e37_79b9_7f4a_7c15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let max_ns = spec.jitter.as_nanos().max(1) as u64;
+    Duration::from_nanos(z % max_ns)
 }
 
 /// One process's view of the cluster network.
@@ -158,6 +184,7 @@ fn dial_link(
     deadline: Option<Instant>,
 ) -> Result<TcpStream, WireError> {
     let mut backoff = Duration::from_millis(1);
+    let mut attempt = 0u64;
     loop {
         if stop.load(Ordering::SeqCst) {
             return Err(WireError::PeerClosed);
@@ -195,8 +222,9 @@ fn dial_link(
                 Err(_) => {}
             }
         }
-        std::thread::sleep(backoff);
-        backoff = (backoff * 2).min(Duration::from_millis(250));
+        std::thread::sleep(backoff + dial_jitter(spec, attempt));
+        backoff = (backoff * 2).min(spec.backoff_cap);
+        attempt += 1;
     }
 }
 
@@ -339,7 +367,14 @@ impl<M: Message + WireCodec> TcpMesh<M> {
             if j == me.index() {
                 continue;
             }
-            let spec = LinkSpec { addr, hello: config.hello.clone(), peer: ProcessId(j as u32), n };
+            let spec = LinkSpec {
+                addr,
+                hello: config.hello.clone(),
+                peer: ProcessId(j as u32),
+                n,
+                backoff_cap: config.reconnect_backoff_cap.max(Duration::from_millis(1)),
+                jitter: config.reconnect_jitter,
+            };
             match dial_link(&spec, &stop, Some(deadline)) {
                 Ok(stream) => {
                     register(&streams, &stream);
@@ -458,6 +493,17 @@ impl<M: Message + WireCodec> TcpMesh<M> {
     /// threads. Messages still in flight to peers that already shut down
     /// are lost, which is fine: the run is over for those peers.
     pub fn shutdown(mut self) {
+        // Flush phase: wait (bounded) for every writer queue to drain
+        // *before* raising the stop flag. With stop up, a writer that
+        // needs a re-dial to deliver its remaining frames aborts
+        // instead, dropping already-signed certificates still queued
+        // behind backpressure.
+        let flush_deadline = Instant::now() + Duration::from_secs(2);
+        while Instant::now() < flush_deadline
+            && self.links.iter().flatten().any(|tx| !tx.is_empty())
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
         self.stop.store(true, Ordering::SeqCst);
         // Dropping the senders lets writers drain their queues and exit.
         for link in &mut self.links {
@@ -635,6 +681,60 @@ mod tests {
         for m in meshes {
             m.shutdown();
         }
+    }
+
+    #[test]
+    fn shutdown_flushes_frames_queued_behind_a_severed_link() {
+        // Regression: a cleanly-stopping process must not drop frames
+        // that still need a re-dial to be delivered (e.g. decide
+        // certificates queued behind backpressure when the link dropped).
+        let mut meshes = meshes(2, 0xcc);
+        meshes[0].send(ProcessId(1), 0, &Num(1));
+        assert_eq!(recv_one(&meshes[1], Duration::from_secs(5)).len(), 1);
+        // Kill the socket, then queue frames that can only go out after a
+        // reconnect, then shut down immediately.
+        meshes[0].sever(ProcessId(1));
+        for k in 0..5u64 {
+            meshes[0].send(ProcessId(1), 1, &Num(100 + k));
+        }
+        let receiver = meshes.pop().unwrap();
+        let sender = meshes.pop().unwrap();
+        sender.shutdown();
+        let start = Instant::now();
+        let mut got = Vec::new();
+        while got.len() < 5 && start.elapsed() < Duration::from_secs(5) {
+            receiver.drain_into(&mut got);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(got.len(), 5, "graceful shutdown must flush queued frames");
+        receiver.shutdown();
+    }
+
+    #[test]
+    fn dial_jitter_is_deterministic_and_bounded() {
+        let spec = |jitter| LinkSpec {
+            addr: "127.0.0.1:1".parse().unwrap(),
+            hello: Hello {
+                version: PROTOCOL_VERSION,
+                id: ProcessId(0),
+                config_digest: config_digest(&SystemConfig::new(3, 1).unwrap()),
+                domain: 0,
+            },
+            peer: ProcessId(3),
+            n: 4,
+            backoff_cap: Duration::from_millis(250),
+            jitter,
+        };
+        let z = spec(Duration::ZERO);
+        assert_eq!(dial_jitter(&z, 0), Duration::ZERO);
+        let j = spec(Duration::from_millis(10));
+        for attempt in 0..50 {
+            let a = dial_jitter(&j, attempt);
+            assert!(a < Duration::from_millis(10), "jitter {a:?} out of bounds");
+            assert_eq!(a, dial_jitter(&j, attempt), "jitter must be deterministic");
+        }
+        // Different attempts spread across the range.
+        assert_ne!(dial_jitter(&j, 0), dial_jitter(&j, 1));
     }
 
     #[test]

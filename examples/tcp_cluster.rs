@@ -20,12 +20,15 @@
 //!     --peers 127.0.0.1:7400,127.0.0.1:7401,127.0.0.1:7402
 //! ```
 
+use meba::net::{ProcessFate, ProcessFateFactory};
 use meba::prelude::*;
+use meba::testkit::{recoverable_decision, WeakBaRecoveryHarness};
 use meba::wire::{
-    config_digest, drive_mesh, run_tcp_cluster, Hello, MeshConfig, MeshDriveConfig,
-    TcpClusterConfig, TcpMesh, PROTOCOL_VERSION,
+    config_digest, drive_mesh, run_tcp_cluster, run_tcp_cluster_with_recovery, Hello, MeshConfig,
+    MeshDriveConfig, TcpClusterConfig, TcpMesh, PROTOCOL_VERSION,
 };
 use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 type BbProc = Bb<u64, RecursiveBaFactory>;
@@ -125,6 +128,52 @@ fn loopback(n: usize, delta_ms: u64) -> Result<(), Box<dyn std::error::Error>> {
         committed.unwrap(),
         tcp.report.rounds,
         tcp.frames_sent,
+    );
+
+    // Part 3: crash-recovery chaos — weak BA with one process killed mid-run
+    // (its TCP links torn down for real) and relaunched from its journal.
+    let harness = Arc::new(WeakBaRecoveryHarness::new(&vec![7u64; n]));
+    let victim = ProcessId(1);
+    let fate: ProcessFateFactory = Arc::new(move |p: ProcessId| {
+        if p == victim {
+            ProcessFate::CrashRestart { at_round: 2, rejoin_after: 3 }
+        } else {
+            ProcessFate::Run
+        }
+    });
+    println!("Crash-recovery over loopback TCP: p{} killed at round 2, relaunched", victim.0);
+    let tcp = run_tcp_cluster_with_recovery(
+        harness.actors(),
+        Some(harness.rebuilder()),
+        &harness.config(),
+        TcpClusterConfig {
+            cluster: meba::net::ClusterConfig {
+                delta: delta.max(Duration::from_millis(12)),
+                max_rounds: 5_000,
+                process_fate: Some(fate),
+                ..meba::net::ClusterConfig::default()
+            },
+            domain: 0x3a,
+            ..TcpClusterConfig::default()
+        },
+    )?;
+    assert!(tcp.report.completed, "recovery cluster did not terminate");
+    for a in &tcp.report.actors {
+        let d = recoverable_decision(a.as_ref()).expect("every process (incl. recovered) decides");
+        assert_eq!(d, Decision::Value(7), "survivors and the recovered process must agree");
+    }
+    let rec = &tcp.report.metrics.recovery;
+    assert_eq!(rec.crash_restarts, 1);
+    assert_eq!(rec.refused_equivocations, 0, "honest replay never re-signs a conflicting slot");
+    println!(
+        "  all {n} processes decided 7 in {} rounds; {} records replayed, {} fsyncs, \
+         {} recovery rounds, {} reconnects, refused equivocations = {}",
+        tcp.report.rounds,
+        rec.replayed_records,
+        rec.journal_fsyncs,
+        rec.recovery_rounds,
+        tcp.reconnects,
+        rec.refused_equivocations,
     );
     Ok(())
 }

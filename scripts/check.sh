@@ -24,7 +24,10 @@ cargo run --release --locked --example replicated_log
 echo "== loopback TCP integration (meba-wire) =="
 cargo test --locked --test cluster_integration -- tcp handshake
 
-echo "== example smoke (TCP cluster over loopback sockets) =="
+echo "== recovery chaos (crash-restart sweep, both runtimes) =="
+cargo test --release --locked --test recovery_integration
+
+echo "== example smoke (TCP cluster; includes one process killed and relaunched) =="
 cargo run --release --locked --example tcp_cluster
 
 echo "== experiments (release) =="

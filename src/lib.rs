@@ -18,6 +18,7 @@
 //! | [`crypto`] | `meba-crypto` | SHA-256, HMAC, PKI, individual/threshold/aggregate signatures |
 //! | [`sim`] | `meba-sim` | lockstep synchronous simulator with word accounting |
 //! | [`fallback`] | `meba-fallback` | recursive quadratic strong BA, Dolev–Strong baseline |
+//! | [`journal`] | `meba-journal` | crash-recovery write-ahead journal with CRC framing |
 //! | [`adversary`] | `meba-adversary` | Byzantine strategies |
 //! | [`smr`] | `meba-smr` | replicated log over repeated BB instances |
 //! | [`testkit`] | `meba-testkit` | fault-matrix harness for adversarial testing |
@@ -66,6 +67,7 @@ pub use meba_adversary as adversary;
 pub use meba_core as core;
 pub use meba_crypto as crypto;
 pub use meba_fallback as fallback;
+pub use meba_journal as journal;
 pub use meba_net as net;
 pub use meba_sim as sim;
 pub use meba_smr as smr;

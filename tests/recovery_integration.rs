@@ -1,0 +1,255 @@
+//! Crash-recovery integration: journal-backed weak BA processes that die
+//! and rejoin mid-protocol on both cluster runtimes, audited for
+//! equivocation by a double-sign detector over every journaled and
+//! every wire-observed signature.
+
+mod common;
+
+use common::*;
+use meba::core::weak_ba::PHASE_ROUNDS;
+use meba::net::{
+    run_cluster_with_recovery, ClusterConfig, OverrunAction, ProcessFate, ProcessFateFactory,
+};
+use meba::prelude::*;
+use meba::sim::faults::Link;
+use meba::sim::RoundCtx;
+use meba::wire::{run_tcp_cluster_with_recovery, SocketFate, SocketPolicy, TcpClusterConfig};
+use meba_net::{ActorRebuilder, RebuiltActor};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Wraps an actor and folds every inbox signature into a shared
+/// [`DoubleSignDetector`], so a run is audited against what was actually
+/// observed on the wire, not only against the journals.
+struct SigObserver {
+    inner: Box<dyn AnyActor<Msg = WbaM>>,
+    det: Arc<Mutex<DoubleSignDetector>>,
+    session: u64,
+}
+
+impl Actor for SigObserver {
+    type Msg = WbaM;
+    fn id(&self) -> ProcessId {
+        self.inner.id()
+    }
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, WbaM>) {
+        {
+            let mut det = self.det.lock().unwrap();
+            for env in ctx.inbox() {
+                det.observe_weak_ba_msg(self.session, env.from, &env.msg);
+            }
+        }
+        self.inner.on_round(ctx);
+    }
+    fn done(&self) -> bool {
+        self.inner.done()
+    }
+    fn refused_equivocations(&self) -> u64 {
+        self.inner.refused_equivocations()
+    }
+}
+
+fn observed_actors(
+    h: &WeakBaRecoveryHarness,
+    det: &Arc<Mutex<DoubleSignDetector>>,
+) -> Vec<Box<dyn AnyActor<Msg = WbaM>>> {
+    let session = h.config().session();
+    h.actors()
+        .into_iter()
+        .map(|inner| {
+            Box::new(SigObserver { inner, det: det.clone(), session })
+                as Box<dyn AnyActor<Msg = WbaM>>
+        })
+        .collect()
+}
+
+fn observed_rebuilder(
+    h: &Arc<WeakBaRecoveryHarness>,
+    det: &Arc<Mutex<DoubleSignDetector>>,
+) -> ActorRebuilder<WbaM> {
+    let base = h.rebuilder();
+    let det = det.clone();
+    let session = h.config().session();
+    Arc::new(move |me| {
+        let rb = base(me);
+        RebuiltActor {
+            actor: Box::new(SigObserver { inner: rb.actor, det: det.clone(), session }),
+            resume_step: rb.resume_step,
+            replayed_records: rb.replayed_records,
+            journal_fsyncs: rb.journal_fsyncs,
+        }
+    })
+}
+
+fn decision_of(a: &dyn AnyActor<Msg = WbaM>) -> Decision<u64> {
+    let obs: &SigObserver = a.as_any().downcast_ref().expect("observer-wrapped actor");
+    recoverable_decision(obs.inner.as_ref()).unwrap_or_else(|| panic!("p{} did not decide", a.id()))
+}
+
+fn crash_fate(victim: u32, at_round: u64, rejoin_after: u64) -> ProcessFateFactory {
+    Arc::new(move |p: ProcessId| {
+        if p.index() == victim as usize {
+            ProcessFate::CrashRestart { at_round, rejoin_after }
+        } else {
+            ProcessFate::Run
+        }
+    })
+}
+
+/// Scans every journal into the detector and asserts no slot is bound to
+/// two different preimages.
+fn audit(h: &WeakBaRecoveryHarness, det: &Arc<Mutex<DoubleSignDetector>>) {
+    let mut det = det.lock().unwrap();
+    for i in 0..h.n() {
+        det.scan_journal(ProcessId(i as u32), h.journal_buffer(i)).unwrap();
+    }
+    det.assert_clean();
+}
+
+/// The acceptance sweep: crash the same process at *every* round of
+/// phase 1, restart it from its journal, and require agreement, the
+/// victim's own decision, zero double-signs, and an adaptive word budget
+/// (the crash-restart counts as `f = 1`).
+#[test]
+fn crash_restart_sweep_over_phase_one() {
+    let n = 5usize;
+    for crash_round in 0..PHASE_ROUNDS {
+        let h = Arc::new(WeakBaRecoveryHarness::new(&vec![7u64; n]));
+        let det = Arc::new(Mutex::new(DoubleSignDetector::new()));
+        let config = ClusterConfig {
+            delta: Duration::from_millis(2),
+            max_rounds: 3_000,
+            process_fate: Some(crash_fate(1, crash_round, 3)),
+            // Stretch δ under CI load instead of missing the synchrony
+            // bound — word counts, not wall-clock, are under test here.
+            overrun_action: OverrunAction::Escalate {
+                multiplier: 2,
+                max_delta: Duration::from_millis(250),
+            },
+            ..ClusterConfig::default()
+        };
+        let report = run_cluster_with_recovery(
+            observed_actors(&h, &det),
+            Some(observed_rebuilder(&h, &det)),
+            config,
+        );
+        assert!(report.completed, "crash at round {crash_round}: cluster must terminate");
+        let decisions: Vec<Decision<u64>> =
+            report.actors.iter().map(|a| decision_of(a.as_ref())).collect();
+        assert_eq!(
+            assert_agreement(&decisions),
+            Decision::Value(7),
+            "crash at round {crash_round}"
+        );
+        let rec = &report.metrics.recovery;
+        assert_eq!(rec.crash_restarts, 1, "crash at round {crash_round}");
+        assert_eq!(rec.refused_equivocations, 0, "honest recovery never conflicts");
+        if crash_round > 0 {
+            assert!(rec.replayed_records > 0, "crash at round {crash_round} had state to replay");
+        }
+        // O(n(f+1)) with f = 1: double the measured failure-free envelope
+        // (16n, see weak_ba_integration) plus help/rejoin slack.
+        let words = report.metrics.correct.words;
+        assert!(words <= 24 * (n as u64) * 2, "crash at round {crash_round}: {words} words");
+        audit(&h, &det);
+    }
+}
+
+/// Without a rebuilder the crash is permanent — n = 5 tolerates it, and
+/// the survivors' journals still audit clean.
+#[test]
+fn crash_without_rejoin_is_tolerated_by_survivors() {
+    let n = 5usize;
+    let h = Arc::new(WeakBaRecoveryHarness::new(&vec![3u64; n]));
+    let det = Arc::new(Mutex::new(DoubleSignDetector::new()));
+    let config = ClusterConfig {
+        delta: Duration::from_millis(2),
+        max_rounds: 3_000,
+        overrun_action: OverrunAction::Escalate {
+            multiplier: 2,
+            max_delta: Duration::from_millis(250),
+        },
+        process_fate: Some(crash_fate(2, 1, u64::MAX)),
+        // A process that never comes back counts toward f: the
+        // coordinator must not wait for its done flag.
+        corrupt: vec![ProcessId(2)],
+        ..ClusterConfig::default()
+    };
+    let report = run_cluster_with_recovery(observed_actors(&h, &det), None, config);
+    assert!(report.completed, "survivors must terminate without the victim");
+    for a in &report.actors {
+        if a.id().index() != 2 {
+            assert_eq!(decision_of(a.as_ref()), Decision::Value(3));
+        }
+    }
+    assert_eq!(report.metrics.recovery.crash_restarts, 1);
+    audit(&h, &det);
+}
+
+/// The TCP acceptance run: a process crash-restarts mid weak-BA while
+/// its links also suffer `Drop` and `Delay` socket faults. The restart
+/// goes through real socket teardown (every link severed) and the
+/// reconnect/re-handshake machinery; catch-up rides the help path.
+#[test]
+fn tcp_crash_restart_under_socket_faults() {
+    struct FlakyLinks {
+        victim: ProcessId,
+    }
+    impl SocketPolicy for FlakyLinks {
+        fn fate(&mut self, link: Link, round: u64) -> SocketFate {
+            // Rounds 2–5: traffic touching the victim is dropped or
+            // delayed, so its recovery must survive a lossy rejoin.
+            let touches_victim = link.from == self.victim || link.to == self.victim;
+            if touches_victim && (2..=5).contains(&round) {
+                if round.is_multiple_of(2) {
+                    SocketFate::Drop
+                } else {
+                    SocketFate::DelayRounds(2)
+                }
+            } else {
+                SocketFate::Forward
+            }
+        }
+    }
+
+    let n = 5usize;
+    let h = Arc::new(WeakBaRecoveryHarness::new(&vec![9u64; n]));
+    let det = Arc::new(Mutex::new(DoubleSignDetector::new()));
+    let victim = ProcessId(1);
+    let config = TcpClusterConfig {
+        cluster: ClusterConfig {
+            delta: Duration::from_millis(12),
+            max_rounds: 600,
+            overrun_action: OverrunAction::Escalate {
+                multiplier: 2,
+                max_delta: Duration::from_millis(250),
+            },
+            process_fate: Some(crash_fate(victim.0, 3, 4)),
+            reconnect_backoff_cap: Duration::from_millis(20),
+            reconnect_jitter: Duration::from_millis(2),
+            ..ClusterConfig::default()
+        },
+        socket_policy: Some(Arc::new(move |_me| {
+            Box::new(FlakyLinks { victim }) as Box<dyn SocketPolicy>
+        })),
+        domain: 14,
+        ..TcpClusterConfig::default()
+    };
+    let report = run_tcp_cluster_with_recovery(
+        observed_actors(&h, &det),
+        Some(observed_rebuilder(&h, &det)),
+        &h.config(),
+        config,
+    )
+    .expect("mesh establishment");
+    assert!(report.report.completed, "TCP cluster must terminate: {report:?}");
+    let decisions: Vec<Decision<u64>> =
+        report.report.actors.iter().map(|a| decision_of(a.as_ref())).collect();
+    assert_eq!(assert_agreement(&decisions), Decision::Value(9));
+    let rec = &report.report.metrics.recovery;
+    assert_eq!(rec.crash_restarts, 1);
+    assert_eq!(rec.refused_equivocations, 0);
+    assert!(rec.replayed_records > 0, "three executed rounds must replay");
+    assert!(report.reconnects > 0, "severed links must re-handshake on rejoin");
+    audit(&h, &det);
+}
