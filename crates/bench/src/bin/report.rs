@@ -187,5 +187,58 @@ fn main() {
     println!("from re-signing a conflicting slot (refused = 0 means the guard never had");
     println!("to intervene — deterministic replay re-derives identical signatures).");
 
+    section("E15 — asymptotics on the discrete-event backend (large n)");
+    println!("The virtual-clock backend removes the per-round wall-clock δ, so the");
+    println!("word-complexity claims can be measured where they bite: n up to 257.");
+    println!();
+    println!("| n | f=0 words | f=1 | f=t | f=0 words/round | Dolev-Strong f=0 |");
+    println!("|---|---|---|---|---|---|");
+    let mut free_pts = Vec::new();
+    let mut worst_pts = Vec::new();
+    let mut crossover: Option<(usize, u64, u64)> = None;
+    for n in [17usize, 33, 65, 129, 257] {
+        let t = (n - 1) / 2;
+        let s0 = run_des_bb(n, 0, 0xe15);
+        let s1 = run_des_bb(n, 1, 0xe15);
+        let st = run_des_bb(n, t, 0xe15);
+        assert!(s0.agreement && s1.agreement && st.agreement, "E15 n={n}: agreement");
+        free_pts.push((n as f64, s0.words as f64));
+        worst_pts.push((n as f64, st.words as f64));
+        // The quadratic reference only needs measuring where the lockstep
+        // simulator is still fast; the growth orders carry the comparison.
+        let ds = if n <= 65 {
+            let w = run_dolev_strong(n, 0).words;
+            if crossover.is_none() && st.words >= w {
+                crossover = Some((n, st.words, w));
+            }
+            w.to_string()
+        } else {
+            "-".into()
+        };
+        println!(
+            "| {n} | {} | {} | {} | {:.1} | {ds} |",
+            s0.words,
+            s1.words,
+            st.words,
+            s0.words_per_round()
+        );
+    }
+    println!();
+    println!(
+        "Growth orders: failure-free n^{:.2} (adaptive, linear); f=t n^{:.2}",
+        growth_order(&free_pts),
+        growth_order(&worst_pts)
+    );
+    match crossover {
+        Some((n, adaptive, ds)) => println!(
+            "(worst case meets the quadratic regime: at n={n}, f=t costs {adaptive} vs \
+             Dolev-Strong's {ds} — the adaptive protocol only pays quadratic when f does)."
+        ),
+        None => println!(
+            "(even at f=t the adaptive run stays below the Dolev-Strong baseline at \
+             every measured n — the fallback crossover lies beyond f=t here)."
+        ),
+    }
+
     println!("\n_Report complete._");
 }

@@ -755,6 +755,55 @@ pub fn run_recovery_weak_ba(
     }
 }
 
+/// Outcome of one large-n run on the discrete-event backend (experiment
+/// E15: asymptotics at system sizes the paced runtimes cannot reach).
+#[derive(Clone, Debug)]
+pub struct DesRunStats {
+    /// System size.
+    pub n: usize,
+    /// Crashed (silent) leaders injected.
+    pub f: usize,
+    /// Words sent by correct processes.
+    pub words: u64,
+    /// Virtual rounds to global termination.
+    pub rounds: u64,
+    /// Whether all correct decisions were equal.
+    pub agreement: bool,
+}
+
+impl DesRunStats {
+    /// Average correct words per virtual round.
+    pub fn words_per_round(&self) -> f64 {
+        self.words as f64 / self.rounds.max(1) as f64
+    }
+}
+
+/// Runs adaptive BB (sender `p0`, value 7) on the discrete-event backend
+/// with `f` crashed leaders (`p1..pf` silent from round 0 — each costs a
+/// help phase, realizing the `O(n(f+1))` staircase without the per-round
+/// wall-clock δ of the paced runtimes).
+///
+/// # Panics
+///
+/// Panics if the run does not terminate within the standard round budget.
+pub fn run_des_bb(n: usize, f: usize, seed: u64) -> DesRunStats {
+    use meba_testkit::{bb_des, bb_report_decisions, Fault};
+    let mut faults = vec![Fault::None; n];
+    for slot in faults.iter_mut().skip(1).take(f) {
+        *slot = Fault::Idle;
+    }
+    let report = bb_des(0, 7, &faults, seed);
+    assert!(report.completed, "E15 n={n} f={f}: DES run must terminate");
+    let decisions = bb_report_decisions(&report, &faults);
+    DesRunStats {
+        n,
+        f,
+        words: report.metrics.correct.words,
+        rounds: report.rounds,
+        agreement: decisions.windows(2).all(|w| w[0] == w[1]),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -790,6 +839,15 @@ mod tests {
         assert!(run_split_vote_attack(false).0);
         assert!(!run_late_help_attack(false).0);
         assert!(run_late_help_attack(true).0);
+    }
+
+    #[test]
+    fn des_run_matches_the_lockstep_failure_free_envelope() {
+        let s = run_des_bb(33, 0, 0xe15);
+        assert!(s.agreement);
+        assert!(s.words <= 25 * 33, "failure-free DES words stay linear: {}", s.words);
+        // Same scenario, same accounting: the lockstep runner's words.
+        assert_eq!(s.words, run_bb(33, BbAdversary::FailureFree).words);
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! Threaded execution of the engine: one OS thread per process, a shared
+//! [`DeadlinePacer`], and thread 0 doubling as the coordinator.
+//!
+//! This module is the single home of the round-coordination machinery the
+//! channel and TCP runtimes used to duplicate: after finishing round `r`
+//! the coordinator publishes exactly one decision — stop after `r`
+//! (recording whether the run completed) or approve round `r + 1`,
+//! possibly escalating δ first. Worker threads never execute a round that
+//! was not approved, so every thread executes the same set of rounds and
+//! [`ClusterReport::completed`] is the coordinator's own recorded verdict
+//! rather than a racy post-join recomputation.
+
+use crate::config::{ClusterConfig, ClusterReport, Escalation, OverrunAction};
+use crate::fate::{resolve_fates, ActorRebuilder};
+use crate::pacer::{AbortReason, ClusterDiagnostic, DeadlinePacer, Pacer};
+use crate::process::{EngineProcess, StepStatus};
+use crate::transport::{SendPolicy, Transport};
+use meba_sim::{AnyActor, Message, Metrics};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Coordinator's stop verdict, written exactly once.
+struct Outcome {
+    completed: bool,
+    rounds: u64,
+    aborted: Option<ClusterDiagnostic>,
+}
+
+/// State shared by all cluster threads.
+struct Control {
+    pacer: DeadlinePacer,
+    /// Number of rounds approved for execution; round `r` may run iff
+    /// `r < approved`.
+    approved: AtomicU64,
+    /// First round that must NOT be executed (`u64::MAX` while running).
+    stop_at: AtomicU64,
+    outcome: Mutex<Option<Outcome>>,
+    overruns: AtomicU64,
+    backpressure: AtomicU64,
+    done_flags: Vec<AtomicBool>,
+    escalations: Mutex<Vec<Escalation>>,
+    metrics: Mutex<Metrics>,
+}
+
+impl Control {
+    fn record_outcome(&self, outcome: Outcome, stop_at: u64) {
+        let mut slot = self.outcome.lock();
+        if slot.is_none() {
+            *slot = Some(outcome);
+        }
+        drop(slot);
+        self.stop_at.store(stop_at, Ordering::SeqCst);
+    }
+}
+
+/// What a worker learned while waiting for round approval.
+enum Approval {
+    Go,
+    Stop,
+}
+
+/// Per-thread slice of the cluster configuration.
+struct WorkerConfig {
+    max_rounds: u64,
+    overrun_window: u32,
+    overrun_action: OverrunAction,
+}
+
+/// Runs every actor on its own thread over its own transport until every
+/// correct actor is done, the round budget is exhausted, or the overrun
+/// policy stops the run. This is the generic core behind
+/// `meba_net::run_cluster` and `meba_wire::run_tcp_cluster`: the caller
+/// supplies one [`Transport`] and one optional [`SendPolicy`] per actor
+/// (aligned by index) and the engine does the rest — fate resolution
+/// happens exactly once, up front.
+///
+/// # Panics
+///
+/// Panics if `actors` is empty, ids are not `p0..p(n-1)` in order, or
+/// the transport/policy vectors are not aligned with `actors`.
+pub fn run_threaded_cluster<M, T>(
+    actors: Vec<Box<dyn AnyActor<Msg = M>>>,
+    transports: Vec<T>,
+    policies: Vec<Option<Box<dyn SendPolicy>>>,
+    rebuilder: Option<ActorRebuilder<M>>,
+    config: &ClusterConfig,
+) -> ClusterReport<M>
+where
+    M: Message,
+    T: Transport<M> + Send + 'static,
+{
+    let n = actors.len();
+    assert!(n > 0, "cluster needs at least one actor");
+    assert_eq!(n, transports.len(), "one transport per actor");
+    assert_eq!(n, policies.len(), "one policy slot per actor");
+    for (i, a) in actors.iter().enumerate() {
+        assert_eq!(a.id().index(), i, "actor {i} has id {}", a.id());
+    }
+    let fates = resolve_fates(n, config.process_fate.as_ref(), rebuilder.is_some());
+
+    let ctrl = Arc::new(Control {
+        pacer: DeadlinePacer::new(Instant::now() + Duration::from_millis(5), config.delta),
+        approved: AtomicU64::new(1),
+        stop_at: AtomicU64::new(u64::MAX),
+        outcome: Mutex::new(None),
+        overruns: AtomicU64::new(0),
+        backpressure: AtomicU64::new(0),
+        done_flags: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        escalations: Mutex::new(Vec::new()),
+        metrics: Mutex::new(Metrics::default()),
+    });
+    let corrupt: Arc<Vec<bool>> =
+        Arc::new((0..n).map(|i| config.corrupt.iter().any(|c| c.index() == i)).collect());
+
+    let mut handles = Vec::with_capacity(n);
+    let mut policies = policies;
+    let mut fate_iter = fates.into_iter();
+    for ((actor, transport), policy) in actors.into_iter().zip(transports).zip(policies.drain(..)) {
+        let i = actor.id().index();
+        let fate = fate_iter.next().expect("one fate per actor");
+        let proc = EngineProcess::new(actor, n, !corrupt[i], fate, rebuilder.clone(), policy);
+        let ctrl = ctrl.clone();
+        let corrupt = corrupt.clone();
+        let cfg = WorkerConfig {
+            max_rounds: config.max_rounds,
+            overrun_window: config.overrun_window,
+            overrun_action: config.overrun_action.clone(),
+        };
+        handles.push(std::thread::spawn(move || {
+            run_paced_process(proc, transport, ctrl, corrupt, cfg)
+        }));
+    }
+
+    let mut actors_back: Vec<Box<dyn AnyActor<Msg = M>>> = Vec::with_capacity(n);
+    let mut max_round = 0;
+    for h in handles {
+        let (actor, rounds) = h.join().expect("cluster thread panicked");
+        max_round = max_round.max(rounds);
+        actors_back.push(actor);
+    }
+    actors_back.sort_by_key(|a| a.id().index());
+
+    let ctrl = Arc::try_unwrap(ctrl).unwrap_or_else(|_| panic!("cluster threads still alive"));
+    let outcome = ctrl.outcome.into_inner();
+    let (completed, rounds, aborted) = match outcome {
+        Some(o) => (o.completed, o.rounds, o.aborted),
+        // Only reachable if every thread exited on the max_rounds
+        // belt-and-braces check before the coordinator could decide.
+        None => (false, max_round, None),
+    };
+    let mut metrics = ctrl.metrics.into_inner();
+    metrics.rounds = rounds.max(max_round);
+    ClusterReport {
+        metrics,
+        rounds: rounds.max(max_round),
+        actors: actors_back,
+        completed,
+        overruns: ctrl.overruns.into_inner(),
+        backpressure: ctrl.backpressure.into_inner(),
+        escalations: ctrl.escalations.into_inner(),
+        aborted,
+    }
+}
+
+/// One thread's life: δ-paced rounds under coordinator approval, the
+/// round body delegated to [`EngineProcess::step`].
+fn run_paced_process<M: Message, T: Transport<M>>(
+    mut proc: EngineProcess<M>,
+    mut transport: T,
+    ctrl: Arc<Control>,
+    corrupt: Arc<Vec<bool>>,
+    cfg: WorkerConfig,
+) -> (Box<dyn AnyActor<Msg = M>>, u64) {
+    let i = proc.id().index();
+    let is_coordinator = i == 0;
+    // Coordinator-only escalation bookkeeping.
+    let mut overruns_seen = 0u64;
+    let mut consecutive_overruns = 0u32;
+    let mut round = 0u64;
+
+    'rounds: while round < cfg.max_rounds {
+        if ctrl.stop_at.load(Ordering::SeqCst) <= round {
+            break;
+        }
+        if !is_coordinator {
+            match wait_for_approval(&ctrl, round) {
+                Approval::Go => {}
+                Approval::Stop => break 'rounds,
+            }
+        }
+        ctrl.pacer.wait_for_round(round);
+
+        let proc_start = Instant::now();
+        let status: StepStatus = proc.step(round, &mut transport, &ctrl.metrics);
+        if status.executed {
+            // Observability: per-round processing latency and synchrony
+            // monitoring. Processing past the round's deadline means a
+            // peer may have missed this round's messages. Dead rounds
+            // record nothing — a crashed process has no processing.
+            let proc_end = Instant::now();
+            let latency_us =
+                u64::try_from(proc_end.duration_since(proc_start).as_micros()).unwrap_or(u64::MAX);
+            ctrl.metrics.lock().round_latency.record_us(latency_us);
+            if ctrl.pacer.overran(round) {
+                ctrl.overruns.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        ctrl.done_flags[i].store(status.done, Ordering::SeqCst);
+
+        if is_coordinator {
+            coordinate(&ctrl, &corrupt, &cfg, round, &mut overruns_seen, &mut consecutive_overruns);
+        }
+        round += 1;
+    }
+    ctrl.backpressure.fetch_add(transport.backpressure(), Ordering::Relaxed);
+    transport.finish();
+    (proc.finish(&ctrl.metrics), round)
+}
+
+/// The coordinator's end-of-round decision: stop (exactly one recorded
+/// outcome) or approve the next round, possibly escalating δ first.
+fn coordinate(
+    ctrl: &Control,
+    corrupt: &[bool],
+    cfg: &WorkerConfig,
+    round: u64,
+    overruns_seen: &mut u64,
+    consecutive_overruns: &mut u32,
+) {
+    let n = corrupt.len();
+    let all_done =
+        (0..n).filter(|&j| !corrupt[j]).all(|j| ctrl.done_flags[j].load(Ordering::SeqCst));
+    if all_done {
+        ctrl.record_outcome(
+            Outcome { completed: true, rounds: round + 1, aborted: None },
+            round + 1,
+        );
+        return;
+    }
+    if round + 1 >= cfg.max_rounds {
+        ctrl.record_outcome(
+            Outcome { completed: false, rounds: round + 1, aborted: None },
+            round + 1,
+        );
+        return;
+    }
+
+    // Overrun bookkeeping: "this round overran" means the global counter
+    // moved since the coordinator last looked. (Laggard threads may
+    // attribute an overrun to the next coordinator round — the window is
+    // a sustained-degradation heuristic, not an exact per-round flag.)
+    let overruns_now = ctrl.overruns.load(Ordering::Relaxed);
+    if overruns_now > *overruns_seen {
+        *consecutive_overruns += 1;
+    } else {
+        *consecutive_overruns = 0;
+    }
+    *overruns_seen = overruns_now;
+
+    if *consecutive_overruns >= cfg.overrun_window {
+        match &cfg.overrun_action {
+            OverrunAction::Count => {}
+            OverrunAction::Escalate { multiplier, max_delta } => {
+                let old_delta = ctrl.pacer.delta_at(round + 1);
+                let new_delta = old_delta.saturating_mul((*multiplier).max(2)).min(*max_delta);
+                if new_delta > old_delta {
+                    // Round r+1 is already approved under the old pacing;
+                    // the new δ takes effect at r+2.
+                    ctrl.pacer.escalate(round + 2, new_delta);
+                    ctrl.escalations.lock().push(Escalation {
+                        at_round: round + 2,
+                        old_delta,
+                        new_delta,
+                    });
+                }
+                *consecutive_overruns = 0;
+            }
+            OverrunAction::Abort => {
+                ctrl.record_outcome(
+                    Outcome {
+                        completed: false,
+                        rounds: round + 1,
+                        aborted: Some(ClusterDiagnostic {
+                            reason: AbortReason::SustainedOverruns {
+                                consecutive: *consecutive_overruns,
+                                window: cfg.overrun_window,
+                            },
+                            round,
+                            overruns: overruns_now,
+                            delta: ctrl.pacer.delta_at(round),
+                        }),
+                    },
+                    round + 1,
+                );
+                return;
+            }
+        }
+    }
+    ctrl.approved.store(round + 2, Ordering::SeqCst);
+}
+
+/// Blocks a worker until its next round is approved or the run stops. A
+/// multi-minute wait means the coordinator died mid-run; the worker then
+/// stops the cluster with a [`AbortReason::CoordinatorStalled`]
+/// diagnostic instead of spinning forever.
+fn wait_for_approval(ctrl: &Control, round: u64) -> Approval {
+    let stall_after = ctrl.pacer.delta_at(round).saturating_mul(64).max(Duration::from_secs(60));
+    let wait_start = Instant::now();
+    loop {
+        if ctrl.stop_at.load(Ordering::SeqCst) <= round {
+            return Approval::Stop;
+        }
+        if ctrl.approved.load(Ordering::SeqCst) > round {
+            return Approval::Go;
+        }
+        if wait_start.elapsed() > stall_after {
+            ctrl.record_outcome(
+                Outcome {
+                    completed: false,
+                    rounds: round,
+                    aborted: Some(ClusterDiagnostic {
+                        reason: AbortReason::CoordinatorStalled,
+                        round,
+                        overruns: ctrl.overruns.load(Ordering::Relaxed),
+                        delta: ctrl.pacer.delta_at(round),
+                    }),
+                },
+                round,
+            );
+            return Approval::Stop;
+        }
+        std::thread::sleep(Duration::from_micros(100));
+    }
+}

@@ -1,0 +1,262 @@
+//! Deterministic discrete-event backend: a seeded virtual clock, a
+//! binary-heap event queue, and no threads.
+//!
+//! Every inter-process message becomes an event on a virtual nanosecond
+//! timeline with a seeded per-message link latency strictly inside
+//! `(0, δ)`, so the synchronous delivery rule ("sent in round `r`,
+//! processed in round `r + 1`") reproduces exactly — but a round of
+//! n = 200 processes costs microseconds of host time instead of a real
+//! δ of wall clock per round and two OS threads per process. This is the
+//! backend for asymptotic word/round measurements (`O(n(f+1))` vs the
+//! `Ω(n²)` fallback crossover) at system sizes the paced runtimes cannot
+//! reach.
+//!
+//! Determinism: same actors, same [`DesConfig`] (including `seed`) ⇒
+//! byte-identical [`Metrics`]. Time is virtual, processes step in id
+//! order, the event heap breaks timestamp ties by a global send sequence
+//! number, and each round's deliveries surface in send order — the same
+//! per-round FIFO order the lockstep simulator produces, so decisions
+//! and word counts are comparable across backends (see the cross-runtime
+//! equivalence tests in `meba-testkit`). The rushing-adversary wave
+//! scheduling of `meba_sim::Simulation` is the one lockstep feature this
+//! backend does not model: corrupt actors observe a round's traffic one
+//! round later, like everyone else.
+
+use crate::config::{ClusterReport, LinkPolicyFactory};
+use crate::fate::{resolve_fates, ActorRebuilder, ProcessFateFactory};
+use crate::pacer::VirtualPacer;
+use crate::process::EngineProcess;
+use crate::transport::{Delivery, LinkPolicySendAdapter, SendPolicy, Transport};
+use meba_crypto::ProcessId;
+use meba_sim::{AnyActor, Message, Metrics};
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+/// Configuration of a [`run_des_cluster`] invocation.
+#[derive(Clone)]
+pub struct DesConfig {
+    /// Virtual round duration δ in nanoseconds (≥ 2; the default is
+    /// 1 ms of virtual time). Purely nominal — host wall clock never
+    /// enters the schedule.
+    pub delta_ns: u64,
+    /// Seed for the per-message link-latency sampling.
+    pub seed: u64,
+    /// Hard cap on rounds.
+    pub max_rounds: u64,
+    /// Byzantine identities (excluded from correct-word accounting and
+    /// from the done-check).
+    pub corrupt: Vec<ProcessId>,
+    /// Link-fault injection, same factory type as the paced backends.
+    pub link_policy: Option<LinkPolicyFactory>,
+    /// Process-level fault injection (crash-restart), resolved once up
+    /// front like every backend.
+    pub process_fate: Option<ProcessFateFactory>,
+}
+
+impl Default for DesConfig {
+    fn default() -> Self {
+        DesConfig {
+            delta_ns: 1_000_000,
+            seed: 0xd15c,
+            max_rounds: 10_000,
+            corrupt: Vec::new(),
+            link_policy: None,
+            process_fate: None,
+        }
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A delivery scheduled on the virtual timeline. Ordered by
+/// `(at_ns, seq)`; `seq` is unique, so the order is total and
+/// deterministic.
+struct Event<M> {
+    at_ns: u128,
+    seq: u64,
+    to: usize,
+    delivery: Delivery<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at_ns, self.seq) == (other.at_ns, other.seq)
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at_ns, self.seq).cmp(&(other.at_ns, other.seq))
+    }
+}
+
+/// The shared virtual network: clock, event heap, and per-process
+/// mailboxes of already-arrived deliveries.
+struct DesNet<M> {
+    now_ns: u128,
+    seq: u64,
+    delta_ns: u64,
+    seed: u64,
+    heap: BinaryHeap<Reverse<Event<M>>>,
+    mailboxes: Vec<Vec<Delivery<M>>>,
+}
+
+impl<M: Message> DesNet<M> {
+    fn new(n: usize, delta_ns: u64, seed: u64) -> Self {
+        DesNet {
+            now_ns: 0,
+            seq: 0,
+            delta_ns,
+            seed,
+            heap: BinaryHeap::new(),
+            mailboxes: (0..n).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Seeded link latency strictly inside `(0, δ)`: arrival lands in
+    /// the sending round's window, so the `sent_round < round` delivery
+    /// rule behaves exactly as on the paced backends.
+    fn latency_ns(&self, from: ProcessId, to: ProcessId, seq: u64) -> u64 {
+        let x = splitmix(
+            self.seed
+                ^ splitmix(u64::from(from.0))
+                ^ splitmix(u64::from(to.0)).rotate_left(17)
+                ^ splitmix(seq).rotate_left(34),
+        );
+        1 + x % (self.delta_ns - 1).max(1)
+    }
+
+    fn send(&mut self, from: ProcessId, to: ProcessId, sent_round: u64, msg: M) {
+        let seq = self.seq;
+        self.seq += 1;
+        let at_ns = self.now_ns + u128::from(self.latency_ns(from, to, seq));
+        self.heap.push(Reverse(Event {
+            at_ns,
+            seq,
+            to: to.index(),
+            delivery: Delivery { from, sent_round, msg },
+        }));
+    }
+
+    /// Advances the virtual clock to `t`, moving every event due by then
+    /// into its mailbox. Due events surface in send (`seq`) order — the
+    /// per-round FIFO order every other backend produces — rather than
+    /// raw arrival order, so inbox order (and thus any order-sensitive
+    /// tie-break in an actor) is backend-independent.
+    fn advance_to(&mut self, t: u128) {
+        let mut due: Vec<Event<M>> = Vec::new();
+        while self.heap.peek().is_some_and(|Reverse(e)| e.at_ns <= t) {
+            due.push(self.heap.pop().expect("peeked").0);
+        }
+        due.sort_by_key(|e| e.seq);
+        for e in due {
+            self.mailboxes[e.to].push(e.delivery);
+        }
+        self.now_ns = t;
+    }
+}
+
+/// One process's handle on the shared virtual network.
+struct DesTransport<M: Message> {
+    me: ProcessId,
+    net: Rc<RefCell<DesNet<M>>>,
+}
+
+impl<M: Message> Transport<M> for DesTransport<M> {
+    fn send(&mut self, to: ProcessId, sent_round: u64, msg: &M) {
+        self.net.borrow_mut().send(self.me, to, sent_round, msg.clone());
+    }
+
+    fn drain(&mut self, out: &mut Vec<Delivery<M>>) {
+        out.append(&mut self.net.borrow_mut().mailboxes[self.me.index()]);
+    }
+
+    fn crash(&mut self) {
+        // A crashed process has no mailbox; in-flight events will land
+        // and be discarded by the engine's dead-round drains.
+        self.net.borrow_mut().mailboxes[self.me.index()].clear();
+    }
+}
+
+/// Runs `actors` on the discrete-event backend until every correct actor
+/// is done or the round budget is exhausted. Single-threaded and fully
+/// deterministic; returns the same [`ClusterReport`] shape as the paced
+/// backends (overruns and backpressure are structurally zero, and a DES
+/// run never aborts).
+///
+/// # Panics
+///
+/// Panics if `actors` is empty or ids are not `p0..p(n-1)` in order.
+pub fn run_des_cluster<M: Message>(
+    actors: Vec<Box<dyn AnyActor<Msg = M>>>,
+    rebuilder: Option<ActorRebuilder<M>>,
+    config: DesConfig,
+) -> ClusterReport<M> {
+    let n = actors.len();
+    assert!(n > 0, "cluster needs at least one actor");
+    for (i, a) in actors.iter().enumerate() {
+        assert_eq!(a.id().index(), i, "actor {i} has id {}", a.id());
+    }
+    let pacer = VirtualPacer::new(config.delta_ns);
+    let fates = resolve_fates(n, config.process_fate.as_ref(), rebuilder.is_some());
+    let corrupt: Vec<bool> =
+        (0..n).map(|i| config.corrupt.iter().any(|c| c.index() == i)).collect();
+
+    let net = Rc::new(RefCell::new(DesNet::<M>::new(n, pacer.delta_ns(), config.seed)));
+    let mut transports: Vec<DesTransport<M>> =
+        (0..n).map(|i| DesTransport { me: ProcessId(i as u32), net: net.clone() }).collect();
+    let metrics = Mutex::new(Metrics::default());
+    let mut procs: Vec<EngineProcess<M>> = actors
+        .into_iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let policy = config.link_policy.as_ref().map(|f| {
+                Box::new(LinkPolicySendAdapter(f(ProcessId(i as u32)))) as Box<dyn SendPolicy>
+            });
+            EngineProcess::new(a, n, !corrupt[i], fates[i], rebuilder.clone(), policy)
+        })
+        .collect();
+
+    let mut done = vec![false; n];
+    let mut round = 0u64;
+    let mut completed = false;
+    while round < config.max_rounds {
+        net.borrow_mut().advance_to(pacer.round_start_ns(round));
+        for (i, proc) in procs.iter_mut().enumerate() {
+            done[i] = proc.step(round, &mut transports[i], &metrics).done;
+        }
+        round += 1;
+        if (0..n).filter(|&j| !corrupt[j]).all(|j| done[j]) {
+            completed = true;
+            break;
+        }
+    }
+
+    let actors_back: Vec<Box<dyn AnyActor<Msg = M>>> =
+        procs.into_iter().map(|p| p.finish(&metrics)).collect();
+    let mut metrics = metrics.into_inner();
+    metrics.rounds = round;
+    ClusterReport {
+        metrics,
+        rounds: round,
+        actors: actors_back,
+        completed,
+        overruns: 0,
+        backpressure: 0,
+        escalations: Vec::new(),
+        aborted: None,
+    }
+}

@@ -1,0 +1,289 @@
+//! The single per-process round driver: every backend executes protocol
+//! rounds through this module, so inbox partitioning, word/byte/link
+//! accounting, send-edge fault application, crash-restart fates, and
+//! journal-replay rejoin exist in exactly one place.
+
+use crate::fate::{ActorRebuilder, ResolvedFate};
+use crate::transport::{Delivery, SendFate, SendPolicy, Transport};
+use meba_crypto::ProcessId;
+use meba_sim::{AnyActor, Dest, Envelope, Message, Metrics, Round, RoundCtx};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Per-process round-loop state that persists across rounds: deliveries
+/// received early (for a later round) and fault-delayed outbound
+/// messages keyed by their transmit round.
+pub struct RoundState<M: Message> {
+    buffer: Vec<Delivery<M>>,
+    pending: BTreeMap<u64, Vec<(ProcessId, u64, M)>>,
+}
+
+impl<M: Message> RoundState<M> {
+    /// Empty state, as at process start (and after a crash).
+    pub fn new() -> Self {
+        RoundState { buffer: Vec::new(), pending: BTreeMap::new() }
+    }
+
+    fn clear(&mut self) {
+        self.buffer.clear();
+        self.pending.clear();
+    }
+}
+
+impl<M: Message> Default for RoundState<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Executes one *live* round for `actor` over `transport`:
+///
+/// 1. transmit fault-delayed messages whose release round arrived (they
+///    keep their original `sent_round`, so the recipient sees them past
+///    the synchrony bound);
+/// 2. drain the transport and partition deliveries by
+///    `sent_round < round` into this round's inbox, recording per-link
+///    deliveries;
+/// 3. step the actor;
+/// 4. dispatch its outbox: self-delivery is process memory (no policy, no
+///    per-link stats, no word accounting); every remote copy is judged by
+///    `policy` and recorded (words, constituent sigs, bytes, per-link
+///    sent/dropped/delayed) whether or not it is ultimately transmitted.
+///
+/// Returns `actor.done()` after the step. This function is the one
+/// implementation of the round body for every backend; `metrics` is
+/// locked briefly per accounting site, never across a (possibly
+/// blocking) transport send.
+#[allow(clippy::too_many_arguments)]
+pub fn run_live_round<M: Message>(
+    actor: &mut dyn AnyActor<Msg = M>,
+    transport: &mut dyn Transport<M>,
+    state: &mut RoundState<M>,
+    policy: &mut Option<Box<dyn SendPolicy>>,
+    round: u64,
+    n: usize,
+    sender_correct: bool,
+    metrics: &Mutex<Metrics>,
+) -> bool {
+    let me = actor.id();
+    let i = me.index();
+
+    if let Some(due) = state.pending.remove(&round) {
+        for (to, sent_round, msg) in due {
+            transport.send(to, sent_round, &msg);
+        }
+    }
+
+    transport.drain(&mut state.buffer);
+    let mut inbox: Vec<Envelope<M>> = Vec::new();
+    let mut keep: Vec<Delivery<M>> = Vec::new();
+    {
+        let mut metrics = metrics.lock();
+        for d in state.buffer.drain(..) {
+            if d.sent_round < round {
+                if d.from != me {
+                    metrics.link_mut(d.from, me).delivered += 1;
+                }
+                inbox.push(Envelope { from: d.from, msg: d.msg });
+            } else {
+                keep.push(d);
+            }
+        }
+    }
+    state.buffer = keep;
+
+    let mut ctx = RoundCtx::new(Round(round), me, n, &inbox);
+    actor.on_round(&mut ctx);
+    let outbox = ctx.take_outbox();
+    for (dest, msg) in outbox {
+        let words = msg.words().max(1);
+        let sigs = msg.constituent_sigs();
+        let bytes = msg.wire_bytes();
+        let component = msg.component();
+        let session = msg.session();
+        let targets: Vec<usize> = match dest {
+            Dest::To(p) if p.index() < n => vec![p.index()],
+            Dest::To(_) => vec![],
+            Dest::All => (0..n).collect(),
+        };
+        for target in targets {
+            if target == i {
+                // Self-delivery: process memory, not a link — no policy,
+                // no per-link stats, no word accounting.
+                transport.send(me, round, &msg);
+                continue;
+            }
+            let to = ProcessId(target as u32);
+            let fate = match policy {
+                Some(p) => p.fate(meba_sim::faults::Link { from: me, to }, round),
+                None => SendFate::Deliver,
+            };
+            {
+                let mut metrics = metrics.lock();
+                metrics.record(me, sender_correct, component, session, round, words, sigs, bytes);
+                let stats = metrics.link_mut(me, to);
+                stats.sent += 1;
+                stats.bytes += bytes;
+                match fate {
+                    SendFate::Deliver => {}
+                    SendFate::Drop | SendFate::Sever => stats.dropped += 1,
+                    SendFate::DelayRounds(_) => stats.delayed += 1,
+                }
+            }
+            match fate {
+                SendFate::Deliver => transport.send(to, round, &msg),
+                SendFate::Drop => {}
+                SendFate::DelayRounds(k) => {
+                    state.pending.entry(round + k).or_default().push((to, round, msg.clone()));
+                }
+                SendFate::Sever => transport.sever(to),
+            }
+        }
+    }
+    actor.done()
+}
+
+/// What one engine round did for one process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StepStatus {
+    /// Whether the actor actually ran this round (`false` while the
+    /// process is crashed — dead rounds discard inbound traffic and
+    /// nothing else).
+    pub executed: bool,
+    /// `actor.done()` after the round (`false` while dead).
+    pub done: bool,
+}
+
+/// One process as the engine drives it: the actor, its persistent round
+/// state, its send-edge policy, and its resolved crash-restart fate.
+/// Backends own the pacing and the stop decision; this type owns
+/// everything that happens *inside* a round, including the fate
+/// execution and journal-replay rejoin that PR 4 previously duplicated
+/// per runtime.
+pub struct EngineProcess<M: Message> {
+    actor: Box<dyn AnyActor<Msg = M>>,
+    n: usize,
+    sender_correct: bool,
+    fate: ResolvedFate,
+    rebuilder: Option<ActorRebuilder<M>>,
+    policy: Option<Box<dyn SendPolicy>>,
+    state: RoundState<M>,
+    dead: bool,
+    rejoin_round: Option<u64>,
+}
+
+impl<M: Message> EngineProcess<M> {
+    /// Wraps one actor for engine driving. `fate` must already be
+    /// resolved (see [`crate::resolve_fates`]) — the driver never
+    /// consults the rebuilder's presence mid-run.
+    pub fn new(
+        actor: Box<dyn AnyActor<Msg = M>>,
+        n: usize,
+        sender_correct: bool,
+        fate: ResolvedFate,
+        rebuilder: Option<ActorRebuilder<M>>,
+        policy: Option<Box<dyn SendPolicy>>,
+    ) -> Self {
+        debug_assert!(
+            !matches!(fate, ResolvedFate::Crash { rejoin_at: Some(_), .. }) || rebuilder.is_some(),
+            "a fate resolved to rejoin requires a rebuilder"
+        );
+        EngineProcess {
+            actor,
+            n,
+            sender_correct,
+            fate,
+            rebuilder,
+            policy,
+            state: RoundState::new(),
+            dead: false,
+            rejoin_round: None,
+        }
+    }
+
+    /// This process's id.
+    pub fn id(&self) -> ProcessId {
+        self.actor.id()
+    }
+
+    /// Executes one engine round: fate handling (crash, dead-round
+    /// discard, journal-replay rejoin) around [`run_live_round`].
+    pub fn step<T: Transport<M>>(
+        &mut self,
+        round: u64,
+        transport: &mut T,
+        metrics: &Mutex<Metrics>,
+    ) -> StepStatus {
+        if let ResolvedFate::Crash { at_round, rejoin_at } = self.fate {
+            if !self.dead && self.rejoin_round.is_none() && round == at_round {
+                // Crash: in-memory state, buffered inbox, and pending
+                // delayed sends are all lost; the transport tears down
+                // whatever it physically holds (sockets sever).
+                self.dead = true;
+                transport.crash();
+                self.state.clear();
+                metrics.lock().recovery.crash_restarts += 1;
+            }
+            if self.dead && rejoin_at.is_some_and(|rj| round >= rj) {
+                // Restart: rebuild from the durable journal, then
+                // fast-forward to the cluster's current round with empty
+                // inboxes. Steps below the resume point are no-ops inside
+                // the recovery wrapper; the missed live rounds degrade to
+                // omissions, which the help machinery compensates for.
+                let rebuild =
+                    self.rebuilder.as_ref().expect("rejoin_at is only resolved with a rebuilder");
+                let rb = rebuild(self.actor.id());
+                self.actor = rb.actor;
+                {
+                    let mut m = metrics.lock();
+                    m.recovery.replayed_records += rb.replayed_records;
+                    m.recovery.journal_fsyncs += rb.journal_fsyncs;
+                }
+                let empty: Vec<Envelope<M>> = Vec::new();
+                for r in 0..round {
+                    let mut ctx = RoundCtx::new(Round(r), self.actor.id(), self.n, &empty);
+                    self.actor.on_round(&mut ctx);
+                    drop(ctx.take_outbox());
+                }
+                self.dead = false;
+                self.rejoin_round = Some(round);
+            }
+        }
+        if self.dead {
+            // Down: discard all inbound traffic, send nothing. The
+            // backend keeps pacing rounds so live peers advance.
+            transport.drain(&mut self.state.buffer);
+            self.state.buffer.clear();
+            return StepStatus { executed: false, done: false };
+        }
+
+        let done = run_live_round(
+            self.actor.as_mut(),
+            transport,
+            &mut self.state,
+            &mut self.policy,
+            round,
+            self.n,
+            self.sender_correct,
+            metrics,
+        );
+        if done {
+            // Recovery latency: rounds from rejoin until this process is
+            // done.
+            if let Some(rj) = self.rejoin_round.take() {
+                metrics.lock().recovery.recovery_rounds += round - rj;
+            }
+        }
+        StepStatus { executed: true, done }
+    }
+
+    /// Ends the run for this process: harvests its equivocation-refusal
+    /// counter into `metrics` and returns the actor for inspection.
+    pub fn finish(self, metrics: &Mutex<Metrics>) -> Box<dyn AnyActor<Msg = M>> {
+        let refused = self.actor.refused_equivocations();
+        if refused > 0 {
+            metrics.lock().recovery.refused_equivocations += refused;
+        }
+        self.actor
+    }
+}

@@ -7,16 +7,25 @@
 //! `[start + r·δ, start + (r+1)·δ)` and a message sent during round `r` is
 //! processed by its recipient in round `r + 1`.
 //!
+//! Since the engine refactor this module is a thin instantiation of
+//! [`meba_engine`]: the per-process round loop, crash-restart fate
+//! execution, stop coordination, overrun escalation, and all accounting
+//! live in [`meba_engine::run_threaded_cluster`], driven here over a
+//! [`meba_engine::ChannelTransport`] mesh. The configuration and report
+//! types are re-exported from the engine crate, so existing callers are
+//! unaffected.
+//!
 //! Beyond the happy path, the runtime models the network the paper's
 //! synchrony assumption abstracts away:
 //!
-//! * **Link faults** — a per-sender [`LinkPolicy`]
+//! * **Link faults** — a per-sender [`meba_sim::faults::LinkPolicy`]
 //!   ([`ClusterConfig::link_policy`]) can drop, delay, or partition
 //!   directed links; the protocols must ride out the loss (or the caller
 //!   asserts they don't).
 //! * **Observability** — every thread records its per-round processing
-//!   latency into [`Metrics::round_latency`] and every directed link's
-//!   sent/delivered/dropped/delayed counts into [`Metrics::per_link`].
+//!   latency into [`Metrics::round_latency`](meba_sim::Metrics) and every
+//!   directed link's sent/delivered/dropped/delayed counts into
+//!   [`Metrics::per_link`](meba_sim::Metrics).
 //! * **Backpressure** — links are bounded
 //!   ([`ClusterConfig::channel_capacity`]); a full link blocks the sender
 //!   (counted in [`ClusterReport::backpressure`]) instead of ballooning
@@ -35,345 +44,14 @@
 //! of rounds and [`ClusterReport::completed`] is the coordinator's own
 //! recorded verdict rather than a racy post-join recomputation.
 
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use meba_crypto::ProcessId;
-use meba_sim::faults::{Link, LinkFate, LinkPolicy};
-use meba_sim::{AnyActor, Dest, Envelope, Message, Metrics, Round, RoundCtx};
-use parking_lot::{Mutex, RwLock};
-use std::collections::BTreeMap;
-use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use meba_engine::{channel_mesh, LinkPolicySendAdapter, SendPolicy};
+use meba_sim::{AnyActor, Message};
 
-/// A message in flight, tagged with its send round.
-struct Wire<M> {
-    from: ProcessId,
-    sent_round: u64,
-    msg: M,
-}
-
-/// Per-sender factory for [`LinkPolicy`] instances: called once per
-/// process thread with that process's id; the returned policy governs all
-/// of its outbound links.
-pub type LinkPolicyFactory = Arc<dyn Fn(ProcessId) -> Box<dyn LinkPolicy> + Send + Sync>;
-
-/// Process-level fault injection: what happens to one process over the
-/// run (see [`ClusterConfig::process_fate`]).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ProcessFate {
-    /// Run normally for the whole run (the default).
-    Run,
-    /// Crash at the start of round `at_round`: all in-memory state and
-    /// buffered messages are lost and inbound traffic is discarded while
-    /// down. After `rejoin_after` dead rounds the process restarts via
-    /// the run's [`ActorRebuilder`] (replaying its durable journal) and
-    /// rejoins live. Without a rebuilder the crash is permanent — the
-    /// process behaves like a crash-faulty one from `at_round` on.
-    CrashRestart {
-        /// First round the process is down for.
-        at_round: u64,
-        /// Dead rounds before the restart attempt.
-        rejoin_after: u64,
-    },
-}
-
-/// Per-process factory assigning each process its [`ProcessFate`].
-pub type ProcessFateFactory = Arc<dyn Fn(ProcessId) -> ProcessFate + Send + Sync>;
-
-/// A restarted actor as rebuilt from its durable journal, plus the
-/// recovery statistics the runtime folds into
-/// [`meba_sim::metrics::RecoveryStats`].
-pub struct RebuiltActor<M: Message> {
-    /// The reconstructed actor (e.g. a `LockstepAdapter` over
-    /// `meba-core`'s `Recoverable` wrapper recovered from its journal).
-    pub actor: Box<dyn AnyActor<Msg = M>>,
-    /// First step the actor will execute live; everything below was
-    /// reconstructed by journal replay.
-    pub resume_step: u64,
-    /// Journal records replayed during reconstruction.
-    pub replayed_records: u64,
-    /// fsync batches the journal had performed pre-crash.
-    pub journal_fsyncs: u64,
-}
-
-/// Rebuilds a crashed process from its durable state. Called once per
-/// rejoin, on the process's own thread.
-pub type ActorRebuilder<M> = Arc<dyn Fn(ProcessId) -> RebuiltActor<M> + Send + Sync>;
-
-/// What the coordinator does about sustained synchrony overruns (see
-/// [`ClusterConfig::overrun_window`]).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum OverrunAction {
-    /// Keep running and only count overruns (the default).
-    Count,
-    /// Multiply δ by `multiplier` (capped at `max_delta`) and keep going —
-    /// the run trades latency for restored synchrony.
-    Escalate {
-        /// Factor applied to the current δ on each escalation.
-        multiplier: u32,
-        /// Upper bound on the escalated δ.
-        max_delta: Duration,
-    },
-    /// Stop the run and report a [`ClusterDiagnostic`].
-    Abort,
-}
-
-/// Why a run was aborted.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum AbortReason {
-    /// Processing overran δ for `consecutive` coordinator rounds, meeting
-    /// the configured `window`.
-    SustainedOverruns {
-        /// Consecutive overrunning rounds observed.
-        consecutive: u32,
-        /// The configured [`ClusterConfig::overrun_window`].
-        window: u32,
-    },
-    /// A worker thread waited unreasonably long for the coordinator to
-    /// approve its next round — the coordinator stalled or died.
-    CoordinatorStalled,
-}
-
-/// Structured diagnostic attached to an aborted run.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ClusterDiagnostic {
-    /// What went wrong.
-    pub reason: AbortReason,
-    /// Last round that was executed before the stop.
-    pub round: u64,
-    /// Total overruns observed at the time of the abort.
-    pub overruns: u64,
-    /// Effective δ when the run stopped.
-    pub delta: Duration,
-}
-
-impl fmt::Display for ClusterDiagnostic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &self.reason {
-            AbortReason::SustainedOverruns { consecutive, window } => write!(
-                f,
-                "aborted at round {}: {} consecutive overrunning rounds (window {}), \
-                 {} total overruns, δ = {:?}",
-                self.round, consecutive, window, self.overruns, self.delta
-            ),
-            AbortReason::CoordinatorStalled => write!(
-                f,
-                "aborted at round {}: coordinator stalled (δ = {:?}, {} overruns)",
-                self.round, self.delta, self.overruns
-            ),
-        }
-    }
-}
-
-/// One δ-escalation event.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Escalation {
-    /// First round paced with the new δ.
-    pub at_round: u64,
-    /// δ before the escalation.
-    pub old_delta: Duration,
-    /// δ after the escalation.
-    pub new_delta: Duration,
-}
-
-/// Outcome of a cluster run.
-pub struct ClusterReport<M: Message> {
-    /// Accumulated communication metrics (same word accounting as the
-    /// simulator), including the per-round processing-latency histogram
-    /// ([`Metrics::round_latency`]) and per-link delivery counters
-    /// ([`Metrics::per_link`]).
-    pub metrics: Metrics,
-    /// Rounds executed before the cluster stopped.
-    pub rounds: u64,
-    /// The actors, returned for decision inspection.
-    pub actors: Vec<Box<dyn AnyActor<Msg = M>>>,
-    /// Whether every correct actor reported done before the round budget
-    /// ran out — the coordinator's recorded stop verdict.
-    pub completed: bool,
-    /// Rounds in which some thread finished its processing *after* the
-    /// round's deadline — synchrony-assumption violations. A non-zero
-    /// count means δ is tight for this machine/protocol.
-    pub overruns: u64,
-    /// Times a sender blocked on a full link (bounded-channel
-    /// backpressure).
-    pub backpressure: u64,
-    /// δ-escalations performed under [`OverrunAction::Escalate`].
-    pub escalations: Vec<Escalation>,
-    /// Present iff the run was stopped early by the overrun policy or a
-    /// coordinator stall.
-    pub aborted: Option<ClusterDiagnostic>,
-}
-
-/// Configuration of a [`run_cluster`] invocation.
-#[derive(Clone)]
-pub struct ClusterConfig {
-    /// Round duration δ.
-    pub delta: Duration,
-    /// Hard cap on rounds.
-    pub max_rounds: u64,
-    /// Byzantine identities (excluded from correct-word accounting and
-    /// from the done-check).
-    pub corrupt: Vec<ProcessId>,
-    /// Link-fault injection: each sender thread instantiates one policy
-    /// for its outbound links. `None` means reliable links.
-    ///
-    /// Stock policies and determinism guarantees live in
-    /// [`meba_sim::faults`]. Self-links are never consulted.
-    pub link_policy: Option<LinkPolicyFactory>,
-    /// Capacity of each process's inbound channel. A full channel blocks
-    /// senders (backpressure) rather than dropping or buffering without
-    /// bound. Must comfortably exceed `n ×` the per-round message volume;
-    /// the default (1024) is generous for the protocols in this
-    /// workspace.
-    pub channel_capacity: usize,
-    /// Number of consecutive overrunning coordinator rounds that triggers
-    /// [`ClusterConfig::overrun_action`].
-    pub overrun_window: u32,
-    /// Reaction to sustained overruns.
-    pub overrun_action: OverrunAction,
-    /// Process-level fault injection (crash-restart). `None` means every
-    /// process runs for the whole run. Restarts additionally need an
-    /// [`ActorRebuilder`] (see [`run_cluster_with_recovery`]).
-    pub process_fate: Option<ProcessFateFactory>,
-    /// Upper bound on the TCP mesh's exponential reconnect backoff
-    /// (ignored by the in-memory runtime; `meba-wire` threads it into
-    /// its dialer). Crash-restart tests lower it so rejoining processes
-    /// re-establish links quickly; the default matches the mesh's
-    /// long-standing hard-coded cap.
-    pub reconnect_backoff_cap: Duration,
-    /// Maximum deterministic jitter added per reconnect attempt (TCP
-    /// runtime only). Spreads simultaneous redials after a restart;
-    /// zero (the default) preserves the historical behaviour.
-    pub reconnect_jitter: Duration,
-}
-
-impl fmt::Debug for ClusterConfig {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ClusterConfig")
-            .field("delta", &self.delta)
-            .field("max_rounds", &self.max_rounds)
-            .field("corrupt", &self.corrupt)
-            .field("link_policy", &self.link_policy.as_ref().map(|_| "<factory>"))
-            .field("channel_capacity", &self.channel_capacity)
-            .field("overrun_window", &self.overrun_window)
-            .field("overrun_action", &self.overrun_action)
-            .field("process_fate", &self.process_fate.as_ref().map(|_| "<factory>"))
-            .field("reconnect_backoff_cap", &self.reconnect_backoff_cap)
-            .field("reconnect_jitter", &self.reconnect_jitter)
-            .finish()
-    }
-}
-
-impl Default for ClusterConfig {
-    fn default() -> Self {
-        ClusterConfig {
-            delta: Duration::from_millis(2),
-            max_rounds: 10_000,
-            corrupt: Vec::new(),
-            link_policy: None,
-            channel_capacity: 1024,
-            overrun_window: 3,
-            overrun_action: OverrunAction::Count,
-            process_fate: None,
-            reconnect_backoff_cap: Duration::from_millis(250),
-            reconnect_jitter: Duration::ZERO,
-        }
-    }
-}
-
-/// One pacing regime: rounds from `from_round` on start at
-/// `offset_ns + (r - from_round) · delta_ns` nanoseconds past the cluster
-/// epoch. All arithmetic is `u128`, so no round index can truncate or
-/// wrap the schedule.
-#[derive(Clone, Copy)]
-struct Segment {
-    from_round: u64,
-    offset_ns: u128,
-    delta_ns: u128,
-}
-
-/// Deadline schedule shared by all threads; escalations append segments.
-struct Pacer {
-    epoch: Instant,
-    segments: RwLock<Vec<Segment>>,
-}
-
-impl Pacer {
-    fn new(epoch: Instant, delta: Duration) -> Self {
-        let seg = Segment { from_round: 0, offset_ns: 0, delta_ns: delta.as_nanos().max(1) };
-        Pacer { epoch, segments: RwLock::new(vec![seg]) }
-    }
-
-    fn segment_for(&self, round: u64) -> Segment {
-        let segments = self.segments.read();
-        *segments.iter().rev().find(|s| s.from_round <= round).unwrap_or(&segments[0])
-    }
-
-    /// Wall-clock start of `round` (== deadline of `round - 1`).
-    fn round_start(&self, round: u64) -> Instant {
-        let s = self.segment_for(round);
-        let ns = s.offset_ns + u128::from(round - s.from_round) * s.delta_ns;
-        self.epoch + Duration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
-    }
-
-    /// Effective δ for `round`.
-    fn delta_at(&self, round: u64) -> Duration {
-        let ns = self.segment_for(round).delta_ns;
-        Duration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
-    }
-
-    /// Re-paces rounds from `from_round` on with `new_delta`. Rounds
-    /// before `from_round` keep their schedule, so already-approved
-    /// deadlines never move.
-    fn escalate(&self, from_round: u64, new_delta: Duration) {
-        let mut segments = self.segments.write();
-        let last = *segments.last().expect("pacer always has a segment");
-        debug_assert!(from_round >= last.from_round);
-        let offset_ns = last.offset_ns + u128::from(from_round - last.from_round) * last.delta_ns;
-        segments.push(Segment { from_round, offset_ns, delta_ns: new_delta.as_nanos().max(1) });
-    }
-}
-
-/// Coordinator's stop verdict, written exactly once.
-struct Outcome {
-    completed: bool,
-    rounds: u64,
-    aborted: Option<ClusterDiagnostic>,
-}
-
-/// State shared by all cluster threads.
-struct Control {
-    pacer: Pacer,
-    /// Number of rounds approved for execution; round `r` may run iff
-    /// `r < approved`.
-    approved: AtomicU64,
-    /// First round that must NOT be executed (`u64::MAX` while running).
-    stop_at: AtomicU64,
-    outcome: Mutex<Option<Outcome>>,
-    overruns: AtomicU64,
-    backpressure: AtomicU64,
-    done_flags: Vec<AtomicBool>,
-    escalations: Mutex<Vec<Escalation>>,
-    metrics: Mutex<Metrics>,
-}
-
-impl Control {
-    fn record_outcome(&self, outcome: Outcome, stop_at: u64) {
-        let mut slot = self.outcome.lock();
-        if slot.is_none() {
-            *slot = Some(outcome);
-        }
-        drop(slot);
-        self.stop_at.store(stop_at, Ordering::SeqCst);
-    }
-}
-
-/// What a worker learned while waiting for round approval.
-enum Approval {
-    Go,
-    Stop,
-}
+pub use meba_engine::{
+    AbortReason, ActorRebuilder, ClusterConfig, ClusterDiagnostic, ClusterReport, Escalation,
+    LinkPolicyFactory, OverrunAction, ProcessFate, ProcessFateFactory, RebuiltActor,
+};
 
 /// Runs `actors` as a real-time cluster until every correct actor is done,
 /// the round budget is exhausted, or the overrun policy stops the run.
@@ -408,457 +86,24 @@ pub fn run_cluster_with_recovery<M: Message>(
 ) -> ClusterReport<M> {
     let n = actors.len();
     assert!(n > 0, "cluster needs at least one actor");
-    for (i, a) in actors.iter().enumerate() {
-        assert_eq!(a.id().index(), i, "actor {i} has id {}", a.id());
-    }
-    let mut txs: Vec<Sender<Wire<M>>> = Vec::with_capacity(n);
-    let mut rxs: Vec<Receiver<Wire<M>>> = Vec::with_capacity(n);
-    for _ in 0..n {
-        let (tx, rx) = bounded(config.channel_capacity.max(1));
-        txs.push(tx);
-        rxs.push(rx);
-    }
-    let ctrl = Arc::new(Control {
-        pacer: Pacer::new(Instant::now() + Duration::from_millis(5), config.delta),
-        approved: AtomicU64::new(1),
-        stop_at: AtomicU64::new(u64::MAX),
-        outcome: Mutex::new(None),
-        overruns: AtomicU64::new(0),
-        backpressure: AtomicU64::new(0),
-        done_flags: (0..n).map(|_| AtomicBool::new(false)).collect(),
-        escalations: Mutex::new(Vec::new()),
-        metrics: Mutex::new(Metrics::default()),
-    });
-    let corrupt: Arc<Vec<bool>> =
-        Arc::new((0..n).map(|i| config.corrupt.iter().any(|c| c.index() == i)).collect());
-
-    let mut handles = Vec::with_capacity(n);
-    for (i, actor) in actors.into_iter().enumerate() {
-        let me = ProcessId(i as u32);
-        let rx = rxs.remove(0);
-        let txs = txs.clone();
-        let ctrl = ctrl.clone();
-        let corrupt = corrupt.clone();
-        let policy = config.link_policy.as_ref().map(|f| f(me));
-        let fate = config.process_fate.as_ref().map_or(ProcessFate::Run, |f| f(me));
-        let rebuilder = rebuilder.clone();
-        let cfg = WorkerConfig {
-            max_rounds: config.max_rounds,
-            overrun_window: config.overrun_window,
-            overrun_action: config.overrun_action.clone(),
-            fate,
-        };
-        handles.push(std::thread::spawn(move || {
-            run_process(me, actor, rx, txs, policy, ctrl, corrupt, cfg, rebuilder)
-        }));
-    }
-    drop(txs);
-
-    let mut actors_back: Vec<Box<dyn AnyActor<Msg = M>>> = Vec::with_capacity(n);
-    let mut max_round = 0;
-    for h in handles {
-        let (actor, rounds) = h.join().expect("cluster thread panicked");
-        max_round = max_round.max(rounds);
-        actors_back.push(actor);
-    }
-    actors_back.sort_by_key(|a| a.id().index());
-
-    let ctrl = Arc::try_unwrap(ctrl).unwrap_or_else(|_| panic!("cluster threads still alive"));
-    let outcome = ctrl.outcome.into_inner();
-    let (completed, rounds, aborted) = match outcome {
-        Some(o) => (o.completed, o.rounds, o.aborted),
-        // Only reachable if every thread exited on the max_rounds
-        // belt-and-braces check before the coordinator could decide.
-        None => (false, max_round, None),
-    };
-    let mut metrics = ctrl.metrics.into_inner();
-    metrics.rounds = rounds.max(max_round);
-    ClusterReport {
-        metrics,
-        rounds: rounds.max(max_round),
-        actors: actors_back,
-        completed,
-        overruns: ctrl.overruns.into_inner(),
-        backpressure: ctrl.backpressure.into_inner(),
-        escalations: ctrl.escalations.into_inner(),
-        aborted,
-    }
-}
-
-/// Per-thread slice of the cluster configuration.
-struct WorkerConfig {
-    max_rounds: u64,
-    overrun_window: u32,
-    overrun_action: OverrunAction,
-    fate: ProcessFate,
-}
-
-#[allow(clippy::too_many_arguments)]
-fn run_process<M: Message>(
-    me: ProcessId,
-    mut actor: Box<dyn AnyActor<Msg = M>>,
-    rx: Receiver<Wire<M>>,
-    txs: Vec<Sender<Wire<M>>>,
-    mut policy: Option<Box<dyn LinkPolicy>>,
-    ctrl: Arc<Control>,
-    corrupt: Arc<Vec<bool>>,
-    cfg: WorkerConfig,
-    rebuilder: Option<ActorRebuilder<M>>,
-) -> (Box<dyn AnyActor<Msg = M>>, u64) {
-    let n = txs.len();
-    let i = me.index();
-    let is_coordinator = i == 0;
-    let sender_correct = !corrupt[i];
-    // Messages received early (sent_round >= current round) wait here.
-    let mut buffer: Vec<Wire<M>> = Vec::new();
-    // Fault-delayed outbound messages, keyed by their transmit round.
-    let mut pending: BTreeMap<u64, Vec<(usize, Wire<M>)>> = BTreeMap::new();
-    // Coordinator-only escalation bookkeeping.
-    let mut overruns_seen = 0u64;
-    let mut consecutive_overruns = 0u32;
-    let mut round = 0u64;
-    // Crash-restart bookkeeping.
-    let mut dead = false;
-    let mut rejoin_round: Option<u64> = None;
-
-    'rounds: while round < cfg.max_rounds {
-        if ctrl.stop_at.load(Ordering::SeqCst) <= round {
-            break;
-        }
-        if !is_coordinator {
-            match wait_for_approval(&ctrl, round) {
-                Approval::Go => {}
-                Approval::Stop => break 'rounds,
-            }
-        }
-        let round_start = ctrl.pacer.round_start(round);
-        let now = Instant::now();
-        if round_start > now {
-            std::thread::sleep(round_start - now);
-        }
-
-        // --- Crash-restart fault injection.
-        if let ProcessFate::CrashRestart { at_round, rejoin_after } = cfg.fate {
-            if !dead && rejoin_round.is_none() && round == at_round {
-                // Crash: in-memory state, buffered inbox, and pending
-                // delayed sends are all lost.
-                dead = true;
-                buffer.clear();
-                pending.clear();
-                ctrl.done_flags[i].store(false, Ordering::SeqCst);
-                ctrl.metrics.lock().recovery.crash_restarts += 1;
-            }
-            if let Some(rebuild) =
-                rebuilder.as_ref().filter(|_| dead && round >= at_round + rejoin_after)
-            {
-                // Restart: rebuild from the durable journal, then
-                // fast-forward to the cluster's current round with empty
-                // inboxes. Steps below the resume point are no-ops inside
-                // the recovery wrapper; the missed live rounds degrade to
-                // omissions, which the help machinery compensates for.
-                let rb = rebuild(me);
-                actor = rb.actor;
-                {
-                    let mut m = ctrl.metrics.lock();
-                    m.recovery.replayed_records += rb.replayed_records;
-                    m.recovery.journal_fsyncs += rb.journal_fsyncs;
-                }
-                let empty: Vec<Envelope<M>> = Vec::new();
-                for r in 0..round {
-                    let mut ctx = RoundCtx::new(Round(r), me, n, &empty);
-                    actor.on_round(&mut ctx);
-                    drop(ctx.take_outbox());
-                }
-                dead = false;
-                rejoin_round = Some(round);
-            }
-        }
-        if dead {
-            // Down: discard all inbound traffic, send nothing. The
-            // coordinator keeps pacing rounds so live peers advance.
-            for _ in rx.try_iter() {}
-            if is_coordinator {
-                coordinate(
-                    &ctrl,
-                    &corrupt,
-                    &cfg,
-                    round,
-                    &mut overruns_seen,
-                    &mut consecutive_overruns,
-                );
-            }
-            round += 1;
-            continue 'rounds;
-        }
-
-        let proc_start = Instant::now();
-
-        // Transmit fault-delayed messages whose release round arrived.
-        // They keep their original sent_round, so the recipient processes
-        // them on arrival — `delay` rounds past the synchrony bound.
-        if let Some(due) = pending.remove(&round) {
-            for (target, wire) in due {
-                send_wire(&txs[target], wire, &ctrl);
-            }
-        }
-
-        // Drain the inbound link into this round's inbox; record
-        // deliveries per link.
-        buffer.extend(rx.try_iter());
-        let mut inbox: Vec<Envelope<M>> = Vec::new();
-        let mut keep: Vec<Wire<M>> = Vec::new();
-        {
-            let mut metrics = ctrl.metrics.lock();
-            for w in buffer.drain(..) {
-                if w.sent_round < round {
-                    if w.from != me {
-                        metrics.link_mut(w.from, me).delivered += 1;
-                    }
-                    inbox.push(Envelope { from: w.from, msg: w.msg });
-                } else {
-                    keep.push(w);
-                }
-            }
-        }
-        buffer = keep;
-
-        let mut ctx = RoundCtx::new(Round(round), me, n, &inbox);
-        actor.on_round(&mut ctx);
-        let outbox = ctx.take_outbox();
-        for (dest, msg) in outbox {
-            let words = msg.words().max(1);
-            let sigs = msg.constituent_sigs();
-            let bytes = msg.wire_bytes();
-            let component = msg.component();
-            let session = msg.session();
-            let targets: Vec<usize> = match dest {
-                Dest::To(p) if p.index() < n => vec![p.index()],
-                Dest::To(_) => vec![],
-                Dest::All => (0..n).collect(),
-            };
-            for target in targets {
-                let wire = Wire { from: me, sent_round: round, msg: msg.clone() };
-                if target == i {
-                    // Self-delivery: process memory, not a link — no
-                    // policy, no per-link stats, no word accounting.
-                    send_wire(&txs[target], wire, &ctrl);
-                    continue;
-                }
-                let to = ProcessId(target as u32);
-                let fate = match &mut policy {
-                    Some(p) => p.fate(Link { from: me, to }, round),
-                    None => LinkFate::Deliver,
-                };
-                {
-                    let mut metrics = ctrl.metrics.lock();
-                    metrics.record(
-                        me,
-                        sender_correct,
-                        component,
-                        session,
-                        round,
-                        words,
-                        sigs,
-                        bytes,
-                    );
-                    let stats = metrics.link_mut(me, to);
-                    stats.sent += 1;
-                    stats.bytes += bytes;
-                    match fate {
-                        LinkFate::Deliver => {}
-                        LinkFate::Drop => stats.dropped += 1,
-                        LinkFate::DelayRounds(_) => stats.delayed += 1,
-                    }
-                }
-                match fate {
-                    LinkFate::Deliver => send_wire(&txs[target], wire, &ctrl),
-                    LinkFate::Drop => {}
-                    LinkFate::DelayRounds(k) => {
-                        pending.entry(round + k).or_default().push((target, wire));
-                    }
-                }
-            }
-        }
-
-        // Observability: per-round processing latency and synchrony
-        // monitoring. Processing past the round's deadline means a peer
-        // may have missed this round's messages.
-        let proc_end = Instant::now();
-        let latency_us =
-            u64::try_from(proc_end.duration_since(proc_start).as_micros()).unwrap_or(u64::MAX);
-        ctrl.metrics.lock().round_latency.record_us(latency_us);
-        let deadline = ctrl.pacer.round_start(round + 1);
-        if proc_end > deadline {
-            ctrl.overruns.fetch_add(1, Ordering::Relaxed);
-        }
-        ctrl.done_flags[i].store(actor.done(), Ordering::SeqCst);
-        // Recovery latency: rounds from rejoin until this process is done.
-        if actor.done() {
-            if let Some(rj) = rejoin_round.take() {
-                ctrl.metrics.lock().recovery.recovery_rounds += round - rj;
-            }
-        }
-
-        if is_coordinator {
-            coordinate(&ctrl, &corrupt, &cfg, round, &mut overruns_seen, &mut consecutive_overruns);
-        }
-        round += 1;
-    }
-    let refused = actor.refused_equivocations();
-    if refused > 0 {
-        ctrl.metrics.lock().recovery.refused_equivocations += refused;
-    }
-    (actor, round)
-}
-
-/// Sends one wire message, counting backpressure blocks. A disconnected
-/// link (the peer already stopped) loses the message, which is fine: the
-/// run is over for that peer.
-fn send_wire<M: Message>(tx: &Sender<Wire<M>>, wire: Wire<M>, ctrl: &Control) {
-    match tx.try_send(wire) {
-        Ok(()) => {}
-        Err(TrySendError::Full(wire)) => {
-            ctrl.backpressure.fetch_add(1, Ordering::Relaxed);
-            let _ = tx.send(wire);
-        }
-        Err(TrySendError::Disconnected(_)) => {}
-    }
-}
-
-/// The coordinator's end-of-round decision: stop (exactly one recorded
-/// outcome) or approve the next round, possibly escalating δ first.
-fn coordinate(
-    ctrl: &Control,
-    corrupt: &[bool],
-    cfg: &WorkerConfig,
-    round: u64,
-    overruns_seen: &mut u64,
-    consecutive_overruns: &mut u32,
-) {
-    let n = corrupt.len();
-    let all_done =
-        (0..n).filter(|&j| !corrupt[j]).all(|j| ctrl.done_flags[j].load(Ordering::SeqCst));
-    if all_done {
-        ctrl.record_outcome(
-            Outcome { completed: true, rounds: round + 1, aborted: None },
-            round + 1,
-        );
-        return;
-    }
-    if round + 1 >= cfg.max_rounds {
-        ctrl.record_outcome(
-            Outcome { completed: false, rounds: round + 1, aborted: None },
-            round + 1,
-        );
-        return;
-    }
-
-    // Overrun bookkeeping: "this round overran" means the global counter
-    // moved since the coordinator last looked. (Laggard threads may
-    // attribute an overrun to the next coordinator round — the window is
-    // a sustained-degradation heuristic, not an exact per-round flag.)
-    let overruns_now = ctrl.overruns.load(Ordering::Relaxed);
-    if overruns_now > *overruns_seen {
-        *consecutive_overruns += 1;
-    } else {
-        *consecutive_overruns = 0;
-    }
-    *overruns_seen = overruns_now;
-
-    if *consecutive_overruns >= cfg.overrun_window {
-        match &cfg.overrun_action {
-            OverrunAction::Count => {}
-            OverrunAction::Escalate { multiplier, max_delta } => {
-                let old_delta = ctrl.pacer.delta_at(round + 1);
-                let new_delta = old_delta.saturating_mul((*multiplier).max(2)).min(*max_delta);
-                if new_delta > old_delta {
-                    // Round r+1 is already approved under the old pacing;
-                    // the new δ takes effect at r+2.
-                    ctrl.pacer.escalate(round + 2, new_delta);
-                    ctrl.escalations.lock().push(Escalation {
-                        at_round: round + 2,
-                        old_delta,
-                        new_delta,
-                    });
-                }
-                *consecutive_overruns = 0;
-            }
-            OverrunAction::Abort => {
-                ctrl.record_outcome(
-                    Outcome {
-                        completed: false,
-                        rounds: round + 1,
-                        aborted: Some(ClusterDiagnostic {
-                            reason: AbortReason::SustainedOverruns {
-                                consecutive: *consecutive_overruns,
-                                window: cfg.overrun_window,
-                            },
-                            round,
-                            overruns: overruns_now,
-                            delta: ctrl.pacer.delta_at(round),
-                        }),
-                    },
-                    round + 1,
-                );
-                return;
-            }
-        }
-    }
-    ctrl.approved.store(round + 2, Ordering::SeqCst);
-}
-
-/// Blocks a worker until its next round is approved or the run stops. A
-/// multi-minute wait means the coordinator died mid-run; the worker then
-/// stops the cluster with a [`AbortReason::CoordinatorStalled`]
-/// diagnostic instead of spinning forever.
-fn wait_for_approval(ctrl: &Control, round: u64) -> Approval {
-    let stall_after = ctrl.pacer.delta_at(round).saturating_mul(64).max(Duration::from_secs(60));
-    let wait_start = Instant::now();
-    loop {
-        if ctrl.stop_at.load(Ordering::SeqCst) <= round {
-            return Approval::Stop;
-        }
-        if ctrl.approved.load(Ordering::SeqCst) > round {
-            return Approval::Go;
-        }
-        if wait_start.elapsed() > stall_after {
-            ctrl.record_outcome(
-                Outcome {
-                    completed: false,
-                    rounds: round,
-                    aborted: Some(ClusterDiagnostic {
-                        reason: AbortReason::CoordinatorStalled,
-                        round,
-                        overruns: ctrl.overruns.load(Ordering::Relaxed),
-                        delta: ctrl.pacer.delta_at(round),
-                    }),
-                },
-                round,
-            );
-            return Approval::Stop;
-        }
-        std::thread::sleep(Duration::from_micros(100));
-    }
-}
-
-impl<M: Message> std::fmt::Debug for ClusterReport<M> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ClusterReport")
-            .field("rounds", &self.rounds)
-            .field("completed", &self.completed)
-            .field("correct_words", &self.metrics.correct.words)
-            .field("overruns", &self.overruns)
-            .field("backpressure", &self.backpressure)
-            .field("escalations", &self.escalations.len())
-            .field("aborted", &self.aborted)
-            .finish_non_exhaustive()
-    }
+    let transports = channel_mesh::<M>(n, config.channel_capacity);
+    let policies: Vec<Option<Box<dyn SendPolicy>>> = (0..n)
+        .map(|i| {
+            config.link_policy.as_ref().map(|f| {
+                Box::new(LinkPolicySendAdapter(f(ProcessId(i as u32)))) as Box<dyn SendPolicy>
+            })
+        })
+        .collect();
+    meba_engine::run_threaded_cluster(actors, transports, policies, rebuilder, &config)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use meba_sim::{Actor, IdleActor};
+    use meba_crypto::ProcessId;
+    use meba_sim::faults::{Link, LinkFate, LinkPolicy};
+    use meba_sim::{Actor, IdleActor, Message, Metrics, Round, RoundCtx};
+    use std::sync::Arc;
 
     #[derive(Clone, Debug)]
     struct Ping(#[allow(dead_code)] u64);
@@ -1089,7 +334,9 @@ mod tests {
 #[cfg(test)]
 mod overrun_tests {
     use super::*;
-    use meba_sim::Actor;
+    use meba_crypto::ProcessId;
+    use meba_sim::{Actor, Message};
+    use std::time::Duration;
 
     #[derive(Clone, Debug)]
     struct Noop;

@@ -5,6 +5,17 @@
 //! [`Fault`] to each process, run, and assert. All builders wire the
 //! production [`RecursiveBaFactory`] fallback.
 //!
+//! Every protocol comes in two layers:
+//!
+//! * `*_actors` — builds the fault-wrapped actor vector, runtime-free.
+//!   Hand it to any backend: [`SimBuilder`] (lockstep),
+//!   [`meba_net::run_cluster`] (threaded), `meba_wire::run_tcp_cluster`
+//!   (TCP), or [`meba_engine::run_des_cluster`] (discrete-event).
+//! * `*_sim` / `*_des` — one-call runners over the lockstep simulator
+//!   and the deterministic discrete-event backend respectively. The DES
+//!   runners are what make n = 100–200 protocol runs practical in tests
+//!   and benchmarks.
+//!
 //! # Examples
 //!
 //! ```
@@ -20,6 +31,21 @@
 //! assert_eq!(d, Decision::Value(42));
 //! # Ok::<(), meba_sim::RunError>(())
 //! ```
+//!
+//! The same scenario on the discrete-event backend (no lockstep rushing
+//! adversary, but identical decisions and word counts when the faults
+//! are scheduling-independent):
+//!
+//! ```
+//! use meba_testkit::{assert_agreement, bb_des, bb_report_decisions, Fault};
+//! use meba_core::Decision;
+//!
+//! let faults = vec![Fault::None; 7];
+//! let report = bb_des(0, 42, &faults, 0xd15c);
+//! assert!(report.completed);
+//! let d = assert_agreement(&bb_report_decisions(&report, &faults));
+//! assert_eq!(d, Decision::Value(42));
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -34,7 +60,8 @@ use meba_adversary::{ChaosActor, CrashActor, LossyLinkActor};
 use meba_core::{
     AlwaysValid, Bb, Decision, LockstepAdapter, StrongBa, SubProtocol, SystemConfig, WeakBa,
 };
-use meba_crypto::{trusted_setup, ProcessId, SecretKey};
+use meba_crypto::{trusted_setup, ProcessId};
+use meba_engine::{run_des_cluster, ClusterReport, DesConfig};
 use meba_fallback::RecursiveBaFactory;
 use meba_sim::faults::BernoulliDrop;
 use meba_sim::{Actor, AnyActor, IdleActor, Round, SimBuilder, Simulation};
@@ -91,16 +118,84 @@ pub type LogProc = ReplicatedLog<u64, RecursiveBaFactory>;
 /// Its wire-message type (session-tagged BB messages).
 pub type LogM = <LogProc as Actor>::Msg;
 
+/// The processes a fault matrix counts toward `f` — the `corrupt` set
+/// every backend takes.
+pub fn corrupt_ids(faults: &[Fault]) -> Vec<ProcessId> {
+    faults
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.is_byzantine())
+        .map(|(i, _)| ProcessId(i as u32))
+        .collect()
+}
+
 fn apply_faults<M: meba_sim::Message>(
     mut builder: SimBuilder<M>,
     faults: &[Fault],
 ) -> SimBuilder<M> {
-    for (i, f) in faults.iter().enumerate() {
-        if f.is_byzantine() {
-            builder = builder.corrupt(ProcessId(i as u32));
-        }
+    for id in corrupt_ids(faults) {
+        builder = builder.corrupt(id);
     }
     builder
+}
+
+/// Wraps one process's honest actor according to its [`Fault`]. `honest`
+/// is only invoked for fault kinds that run the real protocol.
+fn apply_fault<M, A, F>(id: ProcessId, fault: Fault, honest: F) -> Box<dyn AnyActor<Msg = M>>
+where
+    M: meba_sim::Message,
+    A: AnyActor<Msg = M> + 'static,
+    F: FnOnce() -> A,
+{
+    match fault {
+        Fault::None => Box::new(honest()),
+        Fault::Idle => Box::new(IdleActor::new(id)),
+        Fault::CrashAt(r) => Box::new(CrashActor::new(honest(), Round(r))),
+        Fault::Chaos(seed) => Box::new(ChaosActor::new(id, seed, 4)),
+        Fault::Lossy(seed) => Box::new(LossyLinkActor::new(
+            honest(),
+            Box::new(BernoulliDrop::new(seed, LOSSY_DROP_PROB)),
+        )),
+    }
+}
+
+/// A [`DesConfig`] matched to a fault matrix: the corrupt set is derived
+/// from `faults`, the round cap from [`round_budget`].
+fn des_config(faults: &[Fault], seed: u64) -> DesConfig {
+    DesConfig {
+        seed,
+        corrupt: corrupt_ids(faults),
+        max_rounds: round_budget(faults.len()),
+        ..DesConfig::default()
+    }
+}
+
+/// Builds the fault-wrapped adaptive-BB actor vector; `faults[i]`
+/// applies to process `i`. Runtime-free: hand the vector to any backend.
+///
+/// # Panics
+///
+/// Panics if `faults.len()` is not a valid system size (odd, ≥ 3).
+pub fn bb_actors(sender: u32, input: u64, faults: &[Fault]) -> Vec<Box<dyn AnyActor<Msg = BbM>>> {
+    let n = faults.len();
+    let cfg = SystemConfig::new(n, 0xbb).unwrap();
+    let (pki, keys) = trusted_setup(n, 0x5eed);
+    keys.into_iter()
+        .enumerate()
+        .map(|(i, key)| {
+            let id = ProcessId(i as u32);
+            let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+            let pki = pki.clone();
+            apply_fault(id, faults[i], move || {
+                let bb = if i as u32 == sender {
+                    Bb::new_sender(cfg, id, key, pki, factory, input)
+                } else {
+                    Bb::new(cfg, id, key, pki, factory, ProcessId(sender))
+                };
+                LockstepAdapter::new(id, bb)
+            })
+        })
+        .collect()
 }
 
 /// Builds an adaptive-BB simulation; `faults[i]` applies to process `i`.
@@ -109,34 +204,27 @@ fn apply_faults<M: meba_sim::Message>(
 ///
 /// Panics if `faults.len()` is not a valid system size (odd, ≥ 3).
 pub fn bb_sim(sender: u32, input: u64, faults: &[Fault]) -> Simulation<BbM> {
-    let n = faults.len();
-    let cfg = SystemConfig::new(n, 0xbb).unwrap();
-    let (pki, keys) = trusted_setup(n, 0x5eed);
-    let mut actors: Vec<Box<dyn AnyActor<Msg = BbM>>> = Vec::new();
-    for (i, key) in keys.into_iter().enumerate() {
-        let id = ProcessId(i as u32);
-        let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
-        let make = |key: SecretKey| {
-            if i as u32 == sender {
-                Bb::new_sender(cfg, id, key, pki.clone(), factory.clone(), input)
-            } else {
-                Bb::new(cfg, id, key, pki.clone(), factory.clone(), ProcessId(sender))
-            }
-        };
-        actors.push(match faults[i] {
-            Fault::None => Box::new(LockstepAdapter::new(id, make(key))),
-            Fault::Idle => Box::new(IdleActor::new(id)),
-            Fault::CrashAt(r) => {
-                Box::new(CrashActor::new(LockstepAdapter::new(id, make(key)), Round(r)))
-            }
-            Fault::Chaos(seed) => Box::new(ChaosActor::new(id, seed, 4)),
-            Fault::Lossy(seed) => Box::new(LossyLinkActor::new(
-                LockstepAdapter::new(id, make(key)),
-                Box::new(BernoulliDrop::new(seed, LOSSY_DROP_PROB)),
-            )),
-        });
-    }
-    apply_faults(SimBuilder::new(actors), faults).build()
+    apply_faults(SimBuilder::new(bb_actors(sender, input, faults)), faults).build()
+}
+
+/// Runs adaptive BB on the deterministic discrete-event backend.
+/// One call: build, run to completion (or [`round_budget`]), report.
+///
+/// # Panics
+///
+/// Panics if `faults.len()` is not a valid system size (odd, ≥ 3).
+pub fn bb_des(sender: u32, input: u64, faults: &[Fault], seed: u64) -> ClusterReport<BbM> {
+    run_des_cluster(bb_actors(sender, input, faults), None, des_config(faults, seed))
+}
+
+/// Extracts the decision of one correct `LockstepAdapter<P>`-wrapped
+/// process.
+fn adapter_output<P>(a: &dyn AnyActor<Msg = P::Msg>, i: usize) -> P::Output
+where
+    P: SubProtocol,
+{
+    let l: &LockstepAdapter<P> = a.as_any().downcast_ref().unwrap();
+    l.inner().output().unwrap_or_else(|| panic!("p{i} did not decide"))
 }
 
 /// Decisions of the correct processes of a [`bb_sim`] run.
@@ -148,41 +236,55 @@ pub fn bb_sim(sender: u32, input: u64, faults: &[Fault]) -> Simulation<BbM> {
 pub fn bb_decisions(sim: &Simulation<BbM>, faults: &[Fault]) -> Vec<Decision<u64>> {
     (0..sim.n())
         .filter(|&i| !faults[i].is_byzantine())
-        .map(|i| {
-            let a: &LockstepAdapter<BbProc> =
-                sim.actor(ProcessId(i as u32)).as_any().downcast_ref().unwrap();
-            a.inner().output().unwrap_or_else(|| panic!("p{i} did not decide"))
+        .map(|i| adapter_output::<BbProc>(sim.actor(ProcessId(i as u32)), i))
+        .collect()
+}
+
+/// Decisions of the correct processes of a [`bb_des`] (or any
+/// cluster-report-producing) BB run.
+///
+/// # Panics
+///
+/// Panics if a correct process has not decided.
+pub fn bb_report_decisions(report: &ClusterReport<BbM>, faults: &[Fault]) -> Vec<Decision<u64>> {
+    (0..report.actors.len())
+        .filter(|&i| !faults[i].is_byzantine())
+        .map(|i| adapter_output::<BbProc>(report.actors[i].as_ref(), i))
+        .collect()
+}
+
+/// Builds the fault-wrapped weak-BA actor vector over `u64` values with
+/// [`AlwaysValid`]. Runtime-free.
+pub fn weak_ba_actors(inputs: &[u64], faults: &[Fault]) -> Vec<Box<dyn AnyActor<Msg = WbaM>>> {
+    let n = faults.len();
+    assert_eq!(inputs.len(), n, "one input per process");
+    let cfg = SystemConfig::new(n, 0x3a).unwrap();
+    let (pki, keys) = trusted_setup(n, 0xfeed);
+    keys.into_iter()
+        .enumerate()
+        .map(|(i, key)| {
+            let id = ProcessId(i as u32);
+            let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+            let pki = pki.clone();
+            let input = inputs[i];
+            apply_fault(id, faults[i], move || {
+                LockstepAdapter::new(
+                    id,
+                    WeakBa::new(cfg, id, key, pki, AlwaysValid, factory, input),
+                )
+            })
         })
         .collect()
 }
 
 /// Builds a weak BA simulation over `u64` values with [`AlwaysValid`].
 pub fn weak_ba_sim(inputs: &[u64], faults: &[Fault]) -> Simulation<WbaM> {
-    let n = faults.len();
-    assert_eq!(inputs.len(), n, "one input per process");
-    let cfg = SystemConfig::new(n, 0x3a).unwrap();
-    let (pki, keys) = trusted_setup(n, 0xfeed);
-    let mut actors: Vec<Box<dyn AnyActor<Msg = WbaM>>> = Vec::new();
-    for (i, key) in keys.into_iter().enumerate() {
-        let id = ProcessId(i as u32);
-        let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
-        let make = |key: SecretKey| {
-            WeakBa::new(cfg, id, key, pki.clone(), AlwaysValid, factory.clone(), inputs[i])
-        };
-        actors.push(match faults[i] {
-            Fault::None => Box::new(LockstepAdapter::new(id, make(key))),
-            Fault::Idle => Box::new(IdleActor::new(id)),
-            Fault::CrashAt(r) => {
-                Box::new(CrashActor::new(LockstepAdapter::new(id, make(key)), Round(r)))
-            }
-            Fault::Chaos(seed) => Box::new(ChaosActor::new(id, seed, 4)),
-            Fault::Lossy(seed) => Box::new(LossyLinkActor::new(
-                LockstepAdapter::new(id, make(key)),
-                Box::new(BernoulliDrop::new(seed, LOSSY_DROP_PROB)),
-            )),
-        });
-    }
-    apply_faults(SimBuilder::new(actors), faults).build()
+    apply_faults(SimBuilder::new(weak_ba_actors(inputs, faults)), faults).build()
+}
+
+/// Runs weak BA on the deterministic discrete-event backend.
+pub fn weak_ba_des(inputs: &[u64], faults: &[Fault], seed: u64) -> ClusterReport<WbaM> {
+    run_des_cluster(weak_ba_actors(inputs, faults), None, des_config(faults, seed))
 }
 
 /// Decisions of the correct processes of a [`weak_ba_sim`] run.
@@ -193,40 +295,54 @@ pub fn weak_ba_sim(inputs: &[u64], faults: &[Fault]) -> Simulation<WbaM> {
 pub fn weak_ba_decisions(sim: &Simulation<WbaM>, faults: &[Fault]) -> Vec<Decision<u64>> {
     (0..sim.n())
         .filter(|&i| !faults[i].is_byzantine())
-        .map(|i| {
-            let a: &LockstepAdapter<WbaProc> =
-                sim.actor(ProcessId(i as u32)).as_any().downcast_ref().unwrap();
-            a.inner().output().unwrap_or_else(|| panic!("p{i} did not decide"))
+        .map(|i| adapter_output::<WbaProc>(sim.actor(ProcessId(i as u32)), i))
+        .collect()
+}
+
+/// Decisions of the correct processes of a [`weak_ba_des`] run.
+///
+/// # Panics
+///
+/// Panics if a correct process has not decided.
+pub fn weak_ba_report_decisions(
+    report: &ClusterReport<WbaM>,
+    faults: &[Fault],
+) -> Vec<Decision<u64>> {
+    (0..report.actors.len())
+        .filter(|&i| !faults[i].is_byzantine())
+        .map(|i| adapter_output::<WbaProc>(report.actors[i].as_ref(), i))
+        .collect()
+}
+
+/// Builds the fault-wrapped binary strong BA actor vector (Algorithm 5).
+/// Runtime-free.
+pub fn strong_ba_actors(inputs: &[bool], faults: &[Fault]) -> Vec<Box<dyn AnyActor<Msg = SbaM>>> {
+    let n = faults.len();
+    assert_eq!(inputs.len(), n, "one input per process");
+    let cfg = SystemConfig::new(n, 0x5b).unwrap();
+    let (pki, keys) = trusted_setup(n, 0xdead);
+    keys.into_iter()
+        .enumerate()
+        .map(|(i, key)| {
+            let id = ProcessId(i as u32);
+            let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+            let pki = pki.clone();
+            let input = inputs[i];
+            apply_fault(id, faults[i], move || {
+                LockstepAdapter::new(id, StrongBa::new(cfg, id, key, pki, factory, input))
+            })
         })
         .collect()
 }
 
 /// Builds a binary strong BA simulation (Algorithm 5).
 pub fn strong_ba_sim(inputs: &[bool], faults: &[Fault]) -> Simulation<SbaM> {
-    let n = faults.len();
-    assert_eq!(inputs.len(), n, "one input per process");
-    let cfg = SystemConfig::new(n, 0x5b).unwrap();
-    let (pki, keys) = trusted_setup(n, 0xdead);
-    let mut actors: Vec<Box<dyn AnyActor<Msg = SbaM>>> = Vec::new();
-    for (i, key) in keys.into_iter().enumerate() {
-        let id = ProcessId(i as u32);
-        let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
-        let make =
-            |key: SecretKey| StrongBa::new(cfg, id, key, pki.clone(), factory.clone(), inputs[i]);
-        actors.push(match faults[i] {
-            Fault::None => Box::new(LockstepAdapter::new(id, make(key))),
-            Fault::Idle => Box::new(IdleActor::new(id)),
-            Fault::CrashAt(r) => {
-                Box::new(CrashActor::new(LockstepAdapter::new(id, make(key)), Round(r)))
-            }
-            Fault::Chaos(seed) => Box::new(ChaosActor::new(id, seed, 4)),
-            Fault::Lossy(seed) => Box::new(LossyLinkActor::new(
-                LockstepAdapter::new(id, make(key)),
-                Box::new(BernoulliDrop::new(seed, LOSSY_DROP_PROB)),
-            )),
-        });
-    }
-    apply_faults(SimBuilder::new(actors), faults).build()
+    apply_faults(SimBuilder::new(strong_ba_actors(inputs, faults)), faults).build()
+}
+
+/// Runs binary strong BA on the deterministic discrete-event backend.
+pub fn strong_ba_des(inputs: &[bool], faults: &[Fault], seed: u64) -> ClusterReport<SbaM> {
+    run_des_cluster(strong_ba_actors(inputs, faults), None, des_config(faults, seed))
 }
 
 /// Decisions of the correct processes of a [`strong_ba_sim`] run.
@@ -237,47 +353,71 @@ pub fn strong_ba_sim(inputs: &[bool], faults: &[Fault]) -> Simulation<SbaM> {
 pub fn strong_ba_decisions(sim: &Simulation<SbaM>, faults: &[Fault]) -> Vec<bool> {
     (0..sim.n())
         .filter(|&i| !faults[i].is_byzantine())
-        .map(|i| {
-            let a: &LockstepAdapter<SbaProc> =
-                sim.actor(ProcessId(i as u32)).as_any().downcast_ref().unwrap();
-            a.inner().output().unwrap_or_else(|| panic!("p{i} did not decide"))
+        .map(|i| adapter_output::<SbaProc>(sim.actor(ProcessId(i as u32)), i))
+        .collect()
+}
+
+/// Decisions of the correct processes of a [`strong_ba_des`] run.
+///
+/// # Panics
+///
+/// Panics if a correct process has not decided.
+pub fn strong_ba_report_decisions(report: &ClusterReport<SbaM>, faults: &[Fault]) -> Vec<bool> {
+    (0..report.actors.len())
+        .filter(|&i| !faults[i].is_byzantine())
+        .map(|i| adapter_output::<SbaProc>(report.actors[i].as_ref(), i))
+        .collect()
+}
+
+/// Builds the fault-wrapped replicated-log actor vector: `slots` BB
+/// instances multiplexed with pipeline window `window` (`1` =
+/// sequential). Replica `i`'s command queue is `100·(i+1) + k` for
+/// `k = 0, 1, …`, so slot `k`'s honest proposal is recognizable; `0` is
+/// the no-op. Runtime-free.
+///
+/// # Panics
+///
+/// Panics if `faults.len()` is not a valid system size (odd, ≥ 3).
+pub fn log_actors(slots: u64, window: u64, faults: &[Fault]) -> Vec<Box<dyn AnyActor<Msg = LogM>>> {
+    let n = faults.len();
+    let cfg = SystemConfig::new(n, 0x109).unwrap();
+    let (pki, keys) = trusted_setup(n, 0xfee1);
+    keys.into_iter()
+        .enumerate()
+        .map(|(i, key)| {
+            let id = ProcessId(i as u32);
+            let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
+            let pki = pki.clone();
+            let commands: Vec<u64> = (0..slots).map(|k| 100 * (i as u64 + 1) + k).collect();
+            apply_fault(id, faults[i], move || {
+                ReplicatedLog::new(cfg, id, key, pki, factory, slots, commands, 0)
+                    .with_window(window)
+            })
         })
         .collect()
 }
 
 /// Builds a replicated-log simulation: `slots` BB instances multiplexed
-/// with pipeline window `window` (`1` = sequential). Replica `i`'s
-/// command queue is `100·(i+1) + k` for `k = 0, 1, …`, so slot `k`'s
-/// honest proposal is recognizable; `0` is the no-op.
+/// with pipeline window `window` (`1` = sequential).
 ///
 /// # Panics
 ///
 /// Panics if `faults.len()` is not a valid system size (odd, ≥ 3).
 pub fn log_sim(slots: u64, window: u64, faults: &[Fault]) -> Simulation<LogM> {
-    let n = faults.len();
-    let cfg = SystemConfig::new(n, 0x109).unwrap();
-    let (pki, keys) = trusted_setup(n, 0xfee1);
-    let mut actors: Vec<Box<dyn AnyActor<Msg = LogM>>> = Vec::new();
-    for (i, key) in keys.into_iter().enumerate() {
-        let id = ProcessId(i as u32);
-        let factory = RecursiveBaFactory::new(cfg, key.clone(), pki.clone());
-        let commands: Vec<u64> = (0..slots).map(|k| 100 * (i as u64 + 1) + k).collect();
-        let make = |key: SecretKey| {
-            ReplicatedLog::new(cfg, id, key, pki.clone(), factory.clone(), slots, commands, 0)
-                .with_window(window)
-        };
-        actors.push(match faults[i] {
-            Fault::None => Box::new(make(key)),
-            Fault::Idle => Box::new(IdleActor::new(id)),
-            Fault::CrashAt(r) => Box::new(CrashActor::new(make(key), Round(r))),
-            Fault::Chaos(seed) => Box::new(ChaosActor::new(id, seed, 4)),
-            Fault::Lossy(seed) => Box::new(LossyLinkActor::new(
-                make(key),
-                Box::new(BernoulliDrop::new(seed, LOSSY_DROP_PROB)),
-            )),
-        });
-    }
-    apply_faults(SimBuilder::new(actors), faults).build()
+    apply_faults(SimBuilder::new(log_actors(slots, window, faults)), faults).build()
+}
+
+/// Runs the replicated log on the deterministic discrete-event backend
+/// (round cap [`log_round_budget`]).
+pub fn log_des(slots: u64, window: u64, faults: &[Fault], seed: u64) -> ClusterReport<LogM> {
+    let config =
+        DesConfig { max_rounds: log_round_budget(faults.len(), slots), ..des_config(faults, seed) };
+    run_des_cluster(log_actors(slots, window, faults), None, config)
+}
+
+fn log_of(a: &dyn AnyActor<Msg = LogM>) -> Vec<LogEntry<u64>> {
+    let l: &LogProc = a.as_any().downcast_ref().unwrap();
+    l.log().to_vec()
 }
 
 /// Committed logs of the fault-free replicas of a [`log_sim`] run, in
@@ -286,10 +426,18 @@ pub fn log_sim(slots: u64, window: u64, faults: &[Fault]) -> Simulation<LogM> {
 pub fn log_entries(sim: &Simulation<LogM>, faults: &[Fault]) -> Vec<Vec<LogEntry<u64>>> {
     (0..sim.n())
         .filter(|&i| faults[i] == Fault::None)
-        .map(|i| {
-            let a: &LogProc = sim.actor(ProcessId(i as u32)).as_any().downcast_ref().unwrap();
-            a.log().to_vec()
-        })
+        .map(|i| log_of(sim.actor(ProcessId(i as u32))))
+        .collect()
+}
+
+/// Committed logs of the fault-free replicas of a [`log_des`] run.
+pub fn log_report_entries(
+    report: &ClusterReport<LogM>,
+    faults: &[Fault],
+) -> Vec<Vec<LogEntry<u64>>> {
+    (0..report.actors.len())
+        .filter(|&i| faults[i] == Fault::None)
+        .map(|i| log_of(report.actors[i].as_ref()))
         .collect()
 }
 
@@ -336,6 +484,22 @@ mod tests {
         let mut sba = strong_ba_sim(&[true; 5], &faults);
         sba.run_until_done(round_budget(5)).unwrap();
         assert!(assert_agreement(&strong_ba_decisions(&sba, &faults)));
+    }
+
+    #[test]
+    fn des_runners_reach_the_same_decisions() {
+        let faults = vec![Fault::None; 5];
+        let bb = bb_des(0, 3, &faults, 7);
+        assert!(bb.completed);
+        assert_eq!(assert_agreement(&bb_report_decisions(&bb, &faults)), Decision::Value(3));
+
+        let wba = weak_ba_des(&[2; 5], &faults, 7);
+        assert!(wba.completed);
+        assert_eq!(assert_agreement(&weak_ba_report_decisions(&wba, &faults)), Decision::Value(2));
+
+        let sba = strong_ba_des(&[true; 5], &faults, 7);
+        assert!(sba.completed);
+        assert!(assert_agreement(&strong_ba_report_decisions(&sba, &faults)));
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! Cross-runtime equivalence: the same protocol, the same inputs, the
+//! same decisions — and, where scheduling is equivalent, the same word
+//! and round counts — on every backend the engine drives.
+//!
+//! The contract under test is the one `meba-engine` extracts: a round is
+//! "release pending → drain → partition by `sent_round` → step → account
+//! and dispatch the outbox" on every backend, so moving a scenario from
+//! the lockstep simulator to the discrete-event queue, the threaded
+//! cluster, or real TCP sockets must not change what the protocol
+//! decides or how many words correct processes pay.
+//!
+//! The lockstep simulator's rushing adversary (corrupt actors observing
+//! a round's traffic early) is the one scheduling feature the other
+//! backends do not model, so fault matrices here are restricted to
+//! scheduling-independent faults (silent processes).
+
+use meba_core::Decision;
+use meba_crypto::ProcessId;
+use meba_net::{run_cluster, ClusterConfig};
+use meba_testkit::{
+    assert_agreement, bb_actors, bb_decisions, bb_des, bb_report_decisions, bb_sim, corrupt_ids,
+    round_budget, strong_ba_decisions, strong_ba_des, strong_ba_report_decisions, strong_ba_sim,
+    weak_ba_decisions, weak_ba_des, weak_ba_report_decisions, weak_ba_sim, Fault,
+};
+use proptest::prelude::*;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    // Failure-free BB: lockstep and discrete-event agree on decisions,
+    // correct words, and round count — for every system size, sender,
+    // input, and DES latency seed.
+    #[test]
+    fn bb_lockstep_and_des_are_equivalent(
+        pick in 0usize..3,
+        sender_raw in 0u32..7,
+        input in 1u64..1_000_000,
+        seed in any::<u64>(),
+    ) {
+        let n = [3usize, 5, 7][pick];
+        let sender = sender_raw % n as u32;
+        let faults = vec![Fault::None; n];
+
+        let mut sim = bb_sim(sender, input, &faults);
+        sim.run_until_done(round_budget(n)).unwrap();
+        let lockstep = bb_decisions(&sim, &faults);
+
+        let report = bb_des(sender, input, &faults, seed);
+        prop_assert!(report.completed, "DES run must complete");
+        let des = bb_report_decisions(&report, &faults);
+
+        prop_assert_eq!(&lockstep, &des, "decisions diverge across backends");
+        prop_assert_eq!(assert_agreement(&des), Decision::Value(input));
+        prop_assert_eq!(
+            sim.metrics().correct.words,
+            report.metrics.correct.words,
+            "correct word totals diverge across backends"
+        );
+        prop_assert_eq!(sim.metrics().rounds, report.rounds, "round counts diverge");
+    }
+
+    // Weak BA under silent (scheduling-independent) faults: decisions,
+    // words, and rounds match between lockstep and discrete-event.
+    #[test]
+    fn weak_ba_lockstep_and_des_are_equivalent(
+        pick in 0usize..2,
+        idle_raw in 0u32..7,
+        input in 1u64..1_000,
+        seed in any::<u64>(),
+    ) {
+        let n = [5usize, 7][pick];
+        let mut faults = vec![Fault::None; n];
+        faults[(idle_raw % n as u32) as usize] = Fault::Idle;
+        let inputs = vec![input; n];
+
+        let mut sim = weak_ba_sim(&inputs, &faults);
+        sim.run_until_done(round_budget(n)).unwrap();
+        let lockstep = weak_ba_decisions(&sim, &faults);
+
+        let report = weak_ba_des(&inputs, &faults, seed);
+        prop_assert!(report.completed, "DES run must complete");
+        let des = weak_ba_report_decisions(&report, &faults);
+
+        prop_assert_eq!(&lockstep, &des, "decisions diverge across backends");
+        prop_assert_eq!(
+            sim.metrics().correct.words,
+            report.metrics.correct.words,
+            "correct word totals diverge across backends"
+        );
+        prop_assert_eq!(sim.metrics().rounds, report.rounds, "round counts diverge");
+    }
+}
+
+/// Strong BA (binary, unanimous true) with one silent process: all three
+/// in-process backends decide identically and the two deterministic ones
+/// agree on words.
+#[test]
+fn strong_ba_matches_across_lockstep_and_des() {
+    let n = 5;
+    let mut faults = vec![Fault::None; n];
+    faults[3] = Fault::Idle;
+    let inputs = vec![true; n];
+
+    let mut sim = strong_ba_sim(&inputs, &faults);
+    sim.run_until_done(round_budget(n)).unwrap();
+    let lockstep = strong_ba_decisions(&sim, &faults);
+
+    let report = strong_ba_des(&inputs, &faults, 0xabcd);
+    assert!(report.completed);
+    let des = strong_ba_report_decisions(&report, &faults);
+
+    assert_eq!(lockstep, des);
+    assert!(assert_agreement(&des));
+    assert_eq!(sim.metrics().correct.words, report.metrics.correct.words);
+    assert_eq!(sim.metrics().rounds, report.rounds);
+}
+
+/// Retries a wall-clock cluster run until it completes with zero
+/// overruns — word-count equality with the deterministic backends is only
+/// promised while the synchrony assumption actually held, and under
+/// parallel test-suite load a δ of a few milliseconds can be missed.
+/// Panics if no clean run happens within the attempt budget.
+fn clean_run<M, F>(label: &str, mut run: F) -> meba_engine::ClusterReport<M>
+where
+    M: meba_sim::Message,
+    F: FnMut(Duration) -> meba_engine::ClusterReport<M>,
+{
+    let mut delta = Duration::from_millis(2);
+    for _ in 0..5 {
+        let report = run(delta);
+        if report.completed && report.overruns == 0 {
+            return report;
+        }
+        // A loaded machine missed the deadline schedule: widen δ and
+        // try again rather than comparing a desynchronized run.
+        delta *= 4;
+    }
+    panic!("{label}: no overrun-free run within the attempt budget");
+}
+
+/// The threaded wall-clock cluster — same engine, channel transport —
+/// reaches the same decisions and pays the same correct words as the
+/// discrete-event backend on a failure-free BB run.
+#[test]
+fn threaded_cluster_matches_des_decisions_and_words() {
+    let n = 5;
+    let faults = vec![Fault::None; n];
+    let (sender, input) = (2u32, 77u64);
+
+    let des = bb_des(sender, input, &faults, 1);
+    assert!(des.completed);
+
+    let threaded = clean_run("threaded BB", |delta| {
+        let config = ClusterConfig {
+            delta,
+            max_rounds: round_budget(n),
+            corrupt: corrupt_ids(&faults),
+            ..ClusterConfig::default()
+        };
+        run_cluster(bb_actors(sender, input, &faults), config)
+    });
+
+    assert_eq!(
+        bb_report_decisions(&threaded, &faults),
+        bb_report_decisions(&des, &faults),
+        "decisions diverge between threaded and DES"
+    );
+    assert_eq!(assert_agreement(&bb_report_decisions(&des, &faults)), Decision::Value(input));
+    assert_eq!(
+        threaded.metrics.correct.words, des.metrics.correct.words,
+        "correct word totals diverge between threaded and DES"
+    );
+}
+
+/// Real TCP sockets: the smoke subset of the equivalence matrix. The
+/// loopback cluster must decide exactly what the DES backend decides and
+/// pay the same correct words.
+#[test]
+fn tcp_cluster_matches_des_decisions_and_words() {
+    use meba_core::SystemConfig;
+    use meba_wire::{run_tcp_cluster, TcpClusterConfig};
+
+    let n = 3;
+    let faults = vec![Fault::None; n];
+    let (sender, input) = (0u32, 9u64);
+
+    let des = bb_des(sender, input, &faults, 2);
+    assert!(des.completed);
+
+    let system = SystemConfig::new(n, 0xbb).unwrap();
+    let report = clean_run("TCP BB", |delta| {
+        let config = TcpClusterConfig {
+            cluster: ClusterConfig {
+                delta: delta.max(Duration::from_millis(5)),
+                max_rounds: round_budget(n),
+                ..ClusterConfig::default()
+            },
+            ..TcpClusterConfig::default()
+        };
+        run_tcp_cluster(bb_actors(sender, input, &faults), &system, config)
+            .expect("loopback mesh establishes")
+            .report
+    });
+
+    assert_eq!(
+        bb_report_decisions(&report, &faults),
+        bb_report_decisions(&des, &faults),
+        "decisions diverge between TCP and DES"
+    );
+    assert_eq!(
+        report.metrics.correct.words, des.metrics.correct.words,
+        "correct word totals diverge between TCP and DES"
+    );
+}
+
+/// DES determinism: the same seed yields *byte-identical* metrics — the
+/// whole serialized struct, not just the headline counters.
+#[test]
+fn des_same_seed_is_byte_identical() {
+    let faults = vec![Fault::None; 5];
+    let run = |seed: u64| {
+        let report = bb_des(0, 42, &faults, seed);
+        assert!(report.completed);
+        serde_json::to_string(&report.metrics).expect("metrics serialize")
+    };
+    assert_eq!(run(0xfeed), run(0xfeed), "same seed must be byte-identical");
+    // A different latency seed reschedules deliveries inside the round
+    // window but cannot change what the protocol pays.
+    let a = bb_des(0, 42, &faults, 1);
+    let b = bb_des(0, 42, &faults, 2);
+    assert_eq!(a.metrics.correct.words, b.metrics.correct.words);
+    assert_eq!(a.rounds, b.rounds);
+}
+
+/// A fault matrix that only silences processes never depends on who
+/// observes what first, so even the link-latency seed is irrelevant to
+/// the decision — spot-check with the mixed silent matrix.
+#[test]
+fn des_silent_faults_decide_like_lockstep_matrix() {
+    let faults = vec![
+        Fault::None,
+        Fault::Idle,
+        Fault::None,
+        Fault::None,
+        Fault::Idle,
+        Fault::None,
+        Fault::None,
+    ];
+    let report = bb_des(0, 31, &faults, 0x5eed);
+    assert!(report.completed);
+    assert_eq!(ProcessId(0), report.actors[0].id());
+    assert_eq!(
+        assert_agreement(&bb_report_decisions(&report, &faults)),
+        Decision::Value(31),
+        "t-silent matrix still decides the sender's value"
+    );
+}

@@ -1,0 +1,73 @@
+//! Large-n protocol runs on the discrete-event backend.
+//!
+//! These system sizes (n = 65, 129) are far beyond what the paced
+//! runtimes can reach in a test suite — two OS threads per process and a
+//! real δ of wall clock per round — but the DES backend runs them in
+//! milliseconds of host time, which is the point of having it: the
+//! `O(n(f+1))` adaptive claim gets checked where the asymptotics
+//! actually show.
+
+use meba_core::Decision;
+use meba_testkit::{assert_agreement, bb_des, bb_report_decisions, Fault};
+
+/// Failure-free closed-form budget from `tests/bb_integration.rs`,
+/// asserted there at small n — the engine must reproduce it at large n.
+const FAILURE_FREE_WORDS_PER_N: u64 = 25;
+
+#[test]
+fn des_bb_n65_failure_free_is_linear() {
+    let n = 65;
+    let faults = vec![Fault::None; n];
+    let report = bb_des(0, 7, &faults, 0x41);
+    assert!(report.completed, "n={n} failure-free BB must decide");
+    assert_eq!(assert_agreement(&bb_report_decisions(&report, &faults)), Decision::Value(7));
+    let words = report.metrics.correct.words;
+    assert!(
+        words <= FAILURE_FREE_WORDS_PER_N * n as u64,
+        "failure-free words must stay linear: {words} > 25·{n}"
+    );
+}
+
+#[test]
+fn des_bb_n65_tolerates_f_equals_t() {
+    let n = 65; // t = 32
+    let t = (n - 1) / 2;
+    let mut faults = vec![Fault::None; n];
+    // Silence the t processes after the sender: every silent leader costs
+    // a phase, the hardest crash placement for the staircase.
+    for f in faults.iter_mut().skip(1).take(t) {
+        *f = Fault::Idle;
+    }
+    let report = bb_des(0, 7, &faults, 0x42);
+    assert!(report.completed, "n={n} f=t BB must still decide");
+    assert_eq!(assert_agreement(&bb_report_decisions(&report, &faults)), Decision::Value(7));
+    // O(n(f+1)): the budget scales with the realized failure count. The
+    // constant is larger than the failure-free 25 — every silent leader
+    // costs a help phase where live processes respond — but the shape is
+    // still n·(f+1), not the unconditional n² of the non-adaptive
+    // fallback run at every f.
+    let words = report.metrics.correct.words;
+    let budget = 60 * (n as u64) * (t as u64 + 1);
+    assert!(words <= budget, "f=t words {words} exceed O(n(f+1)) budget {budget}");
+}
+
+/// The acceptance run: n = 129 (t = 64) failure-free BB to decision.
+/// Ignored in the default (debug) suite; CI runs it in release, where it
+/// must finish well under 5 s.
+#[test]
+#[ignore = "large-n acceptance run; executed in release by scripts/check.sh"]
+fn des_bb_n129_failure_free_is_linear_and_fast() {
+    let n = 129;
+    let faults = vec![Fault::None; n];
+    let started = std::time::Instant::now();
+    let report = bb_des(0, 7, &faults, 0x43);
+    let elapsed = started.elapsed();
+    assert!(report.completed, "n={n} failure-free BB must decide");
+    assert_eq!(assert_agreement(&bb_report_decisions(&report, &faults)), Decision::Value(7));
+    let words = report.metrics.correct.words;
+    assert!(
+        words <= FAILURE_FREE_WORDS_PER_N * n as u64,
+        "failure-free words must stay linear: {words} > 25·{n}"
+    );
+    assert!(elapsed.as_secs() < 5, "n={n} DES run took {elapsed:?}, budget is 5s");
+}

@@ -6,10 +6,17 @@
 //! [`ClusterConfig`] / [`ClusterReport`] surface — but every inter-process
 //! message is canonically encoded, framed, and carried over a handshaked
 //! [`TcpMesh`] link instead of a crossbeam channel. Word/byte accounting
-//! is identical to the other two runtimes (message-level
+//! is identical to the other runtimes (message-level
 //! [`Message::wire_bytes`]), and the socket-level reality (frames, frame
 //! bytes, reconnects, decode errors) is reported on top in
 //! [`TcpClusterReport`].
+//!
+//! Since the engine refactor both runtimes literally share the loop:
+//! this module establishes the mesh, wraps it in a [`MeshTransport`],
+//! and hands the cluster to [`meba_engine::run_threaded_cluster`] — the
+//! identical coordinator, pacer, overrun-escalation, and crash-restart
+//! machinery that drives the channel runtime, so a scenario's timing and
+//! fate behaviour do not change when it moves to sockets.
 //!
 //! Fault injection happens at the socket edge: a [`SocketPolicy`]
 //! (or any [`meba_sim::faults::LinkPolicy`] via
@@ -19,20 +26,21 @@
 
 use crate::handshake::{config_digest, Hello, PROTOCOL_VERSION};
 use crate::mesh::{Inbound, MeshConfig, MeshStats, TcpMesh};
-use crate::proxy::{LinkPolicyAdapter, SocketFate, SocketPolicy, SocketPolicyFactory};
+#[allow(unused_imports)] // doc links
+use crate::proxy::{SocketFate, SocketPolicy};
+use crate::proxy::{SocketPolicyFactory, SocketSendAdapter};
 use crate::WireError;
 use meba_core::SystemConfig;
 use meba_crypto::{ProcessId, WireCodec};
-use meba_net::{
-    AbortReason, ActorRebuilder, ClusterConfig, ClusterDiagnostic, ClusterReport, Escalation,
-    OverrunAction, ProcessFate,
+use meba_engine::{
+    run_live_round, DeadlinePacer, Delivery, LinkPolicySendAdapter, Pacer, RoundState, SendPolicy,
+    Transport,
 };
-use meba_sim::faults::Link;
-use meba_sim::{AnyActor, Dest, Envelope, Message, Metrics, Round, RoundCtx};
-use parking_lot::{Mutex, RwLock};
-use std::collections::BTreeMap;
+use meba_net::{ActorRebuilder, ClusterConfig, ClusterReport};
+use meba_sim::{AnyActor, Message, Metrics};
+use parking_lot::Mutex;
 use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -102,201 +110,59 @@ impl<M: Message> std::fmt::Debug for TcpClusterReport<M> {
 }
 
 // ---------------------------------------------------------------------
-// Round coordination, ported from meba-net's channel runtime. The
-// machinery is deliberately identical — thread 0 approves rounds, a
-// shared pacer owns the deadline schedule, escalation stretches δ — so a
-// scenario's timing behaviour does not change when it moves to sockets.
+// The engine transport over a TCP mesh.
 // ---------------------------------------------------------------------
 
-/// One pacing regime: rounds from `from_round` on start at
-/// `offset_ns + (r - from_round) · delta_ns` past the cluster epoch.
-#[derive(Clone, Copy)]
-struct Segment {
-    from_round: u64,
-    offset_ns: u128,
-    delta_ns: u128,
+/// A [`TcpMesh`] as a [`meba_engine::Transport`]: send encodes and frames
+/// onto the link's writer, drain surfaces decoded inbound frames, sever
+/// tears a connection down (the reconnect path re-dials lazily), and
+/// crash severs every peer link at once — real TCP teardown, so peers
+/// observe connection resets and enter their reconnect loops.
+pub struct MeshTransport<M: Message + WireCodec> {
+    mesh: TcpMesh<M>,
+    scratch: Vec<Inbound<M>>,
 }
 
-/// Deadline schedule shared by all threads; escalations append segments.
-struct Pacer {
-    epoch: Instant,
-    segments: RwLock<Vec<Segment>>,
-}
-
-impl Pacer {
-    fn new(epoch: Instant, delta: Duration) -> Self {
-        let seg = Segment { from_round: 0, offset_ns: 0, delta_ns: delta.as_nanos().max(1) };
-        Pacer { epoch, segments: RwLock::new(vec![seg]) }
-    }
-
-    fn segment_for(&self, round: u64) -> Segment {
-        let segments = self.segments.read();
-        *segments.iter().rev().find(|s| s.from_round <= round).unwrap_or(&segments[0])
-    }
-
-    fn round_start(&self, round: u64) -> Instant {
-        let s = self.segment_for(round);
-        let ns = s.offset_ns + u128::from(round - s.from_round) * s.delta_ns;
-        self.epoch + Duration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
-    }
-
-    fn delta_at(&self, round: u64) -> Duration {
-        let ns = self.segment_for(round).delta_ns;
-        Duration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
-    }
-
-    fn escalate(&self, from_round: u64, new_delta: Duration) {
-        let mut segments = self.segments.write();
-        let last = *segments.last().expect("pacer always has a segment");
-        debug_assert!(from_round >= last.from_round);
-        let offset_ns = last.offset_ns + u128::from(from_round - last.from_round) * last.delta_ns;
-        segments.push(Segment { from_round, offset_ns, delta_ns: new_delta.as_nanos().max(1) });
+impl<M: Message + WireCodec> MeshTransport<M> {
+    /// Wraps an established mesh.
+    pub fn new(mesh: TcpMesh<M>) -> Self {
+        MeshTransport { mesh, scratch: Vec::new() }
     }
 }
 
-/// Coordinator's stop verdict, written exactly once.
-struct Outcome {
-    completed: bool,
-    rounds: u64,
-    aborted: Option<ClusterDiagnostic>,
-}
-
-/// State shared by all cluster threads.
-struct Control {
-    pacer: Pacer,
-    approved: AtomicU64,
-    stop_at: AtomicU64,
-    outcome: Mutex<Option<Outcome>>,
-    overruns: AtomicU64,
-    done_flags: Vec<AtomicBool>,
-    escalations: Mutex<Vec<Escalation>>,
-    metrics: Mutex<Metrics>,
-}
-
-impl Control {
-    fn record_outcome(&self, outcome: Outcome, stop_at: u64) {
-        let mut slot = self.outcome.lock();
-        if slot.is_none() {
-            *slot = Some(outcome);
-        }
-        drop(slot);
-        self.stop_at.store(stop_at, Ordering::SeqCst);
-    }
-}
-
-enum Approval {
-    Go,
-    Stop,
-}
-
-struct WorkerConfig {
-    max_rounds: u64,
-    overrun_window: u32,
-    overrun_action: OverrunAction,
-    fate: ProcessFate,
-}
-
-fn coordinate(
-    ctrl: &Control,
-    corrupt: &[bool],
-    cfg: &WorkerConfig,
-    round: u64,
-    overruns_seen: &mut u64,
-    consecutive_overruns: &mut u32,
-) {
-    let n = corrupt.len();
-    let all_done =
-        (0..n).filter(|&j| !corrupt[j]).all(|j| ctrl.done_flags[j].load(Ordering::SeqCst));
-    if all_done {
-        ctrl.record_outcome(
-            Outcome { completed: true, rounds: round + 1, aborted: None },
-            round + 1,
-        );
-        return;
-    }
-    if round + 1 >= cfg.max_rounds {
-        ctrl.record_outcome(
-            Outcome { completed: false, rounds: round + 1, aborted: None },
-            round + 1,
-        );
-        return;
+impl<M: Message + WireCodec> Transport<M> for MeshTransport<M> {
+    fn send(&mut self, to: ProcessId, sent_round: u64, msg: &M) {
+        self.mesh.send(to, sent_round, msg);
     }
 
-    let overruns_now = ctrl.overruns.load(Ordering::Relaxed);
-    if overruns_now > *overruns_seen {
-        *consecutive_overruns += 1;
-    } else {
-        *consecutive_overruns = 0;
+    fn drain(&mut self, out: &mut Vec<Delivery<M>>) {
+        self.mesh.drain_into(&mut self.scratch);
+        out.extend(self.scratch.drain(..).map(|w| Delivery {
+            from: w.from,
+            sent_round: w.sent_round,
+            msg: w.msg,
+        }));
     }
-    *overruns_seen = overruns_now;
 
-    if *consecutive_overruns >= cfg.overrun_window {
-        match &cfg.overrun_action {
-            OverrunAction::Count => {}
-            OverrunAction::Escalate { multiplier, max_delta } => {
-                let old_delta = ctrl.pacer.delta_at(round + 1);
-                let new_delta = old_delta.saturating_mul((*multiplier).max(2)).min(*max_delta);
-                if new_delta > old_delta {
-                    ctrl.pacer.escalate(round + 2, new_delta);
-                    ctrl.escalations.lock().push(Escalation {
-                        at_round: round + 2,
-                        old_delta,
-                        new_delta,
-                    });
-                }
-                *consecutive_overruns = 0;
-            }
-            OverrunAction::Abort => {
-                ctrl.record_outcome(
-                    Outcome {
-                        completed: false,
-                        rounds: round + 1,
-                        aborted: Some(ClusterDiagnostic {
-                            reason: AbortReason::SustainedOverruns {
-                                consecutive: *consecutive_overruns,
-                                window: cfg.overrun_window,
-                            },
-                            round,
-                            overruns: overruns_now,
-                            delta: ctrl.pacer.delta_at(round),
-                        }),
-                    },
-                    round + 1,
-                );
-                return;
+    fn sever(&mut self, to: ProcessId) {
+        self.mesh.sever(to);
+    }
+
+    fn crash(&mut self) {
+        let me = self.mesh.me();
+        for p in 0..self.mesh.n() {
+            if p != me.index() {
+                self.mesh.sever(ProcessId(p as u32));
             }
         }
     }
-    ctrl.approved.store(round + 2, Ordering::SeqCst);
-}
 
-fn wait_for_approval(ctrl: &Control, round: u64) -> Approval {
-    let stall_after = ctrl.pacer.delta_at(round).saturating_mul(64).max(Duration::from_secs(60));
-    let wait_start = Instant::now();
-    loop {
-        if ctrl.stop_at.load(Ordering::SeqCst) <= round {
-            return Approval::Stop;
-        }
-        if ctrl.approved.load(Ordering::SeqCst) > round {
-            return Approval::Go;
-        }
-        if wait_start.elapsed() > stall_after {
-            ctrl.record_outcome(
-                Outcome {
-                    completed: false,
-                    rounds: round,
-                    aborted: Some(ClusterDiagnostic {
-                        reason: AbortReason::CoordinatorStalled,
-                        round,
-                        overruns: ctrl.overruns.load(Ordering::Relaxed),
-                        delta: ctrl.pacer.delta_at(round),
-                    }),
-                },
-                round,
-            );
-            return Approval::Stop;
-        }
-        std::thread::sleep(Duration::from_micros(100));
+    fn backpressure(&self) -> u64 {
+        self.mesh.stats().backpressure.load(Ordering::Relaxed)
+    }
+
+    fn finish(self) {
+        self.mesh.shutdown();
     }
 }
 
@@ -329,11 +195,11 @@ pub fn run_tcp_cluster<M: Message + WireCodec>(
 
 /// [`run_tcp_cluster`] plus crash-recovery: when
 /// [`ClusterConfig::process_fate`] marks a process
-/// [`ProcessFate::CrashRestart`], that process severs every peer link at
-/// the crash round (real TCP teardown — peers observe resets and enter
-/// their reconnect loops), discards all in-memory state, and — if a
-/// `rebuilder` is supplied — later rejoins with an actor rebuilt from its
-/// durable journal, re-handshaking each link on the way back in.
+/// [`meba_net::ProcessFate::CrashRestart`], that process severs every
+/// peer link at the crash round (real TCP teardown — peers observe resets
+/// and enter their reconnect loops), discards all in-memory state, and —
+/// if a `rebuilder` is supplied — later rejoins with an actor rebuilt
+/// from its durable journal, re-handshaking each link on the way back in.
 /// Recovery counters land in [`meba_sim::Metrics::recovery`].
 ///
 /// # Errors
@@ -402,311 +268,49 @@ pub fn run_tcp_cluster_with_recovery<M: Message + WireCodec>(
     }
     meshes.sort_by_key(|m| m.me().index());
 
-    let ctrl = Arc::new(Control {
-        pacer: Pacer::new(Instant::now() + Duration::from_millis(5), config.cluster.delta),
-        approved: AtomicU64::new(1),
-        stop_at: AtomicU64::new(u64::MAX),
-        outcome: Mutex::new(None),
-        overruns: AtomicU64::new(0),
-        done_flags: (0..n).map(|_| AtomicBool::new(false)).collect(),
-        escalations: Mutex::new(Vec::new()),
-        metrics: Mutex::new(Metrics::default()),
-    });
-    let corrupt: Arc<Vec<bool>> =
-        Arc::new((0..n).map(|i| config.cluster.corrupt.iter().any(|c| c.index() == i)).collect());
-
-    let mut handles = Vec::with_capacity(n);
-    for (actor, mesh) in actors.into_iter().zip(meshes) {
-        let me = mesh.me();
-        let ctrl = ctrl.clone();
-        let corrupt = corrupt.clone();
-        let policy: Option<Box<dyn SocketPolicy>> =
+    // Keep a handle on every mesh's socket counters: the transports are
+    // consumed (and shut down) by the engine, but the Arcs survive.
+    let mesh_stats: Vec<Arc<MeshStats>> = meshes.iter().map(|m| m.stats().clone()).collect();
+    let policies: Vec<Option<Box<dyn SendPolicy>>> = (0..n)
+        .map(|i| {
+            let me = ProcessId(i as u32);
             match (&config.socket_policy, &config.cluster.link_policy) {
-                (Some(f), _) => Some(f(me)),
-                (None, Some(f)) => Some(Box::new(LinkPolicyAdapter(f(me)))),
+                (Some(f), _) => Some(Box::new(SocketSendAdapter(f(me))) as Box<dyn SendPolicy>),
+                (None, Some(f)) => {
+                    Some(Box::new(LinkPolicySendAdapter(f(me))) as Box<dyn SendPolicy>)
+                }
                 (None, None) => None,
-            };
-        let cfg = WorkerConfig {
-            max_rounds: config.cluster.max_rounds,
-            overrun_window: config.cluster.overrun_window,
-            overrun_action: config.cluster.overrun_action.clone(),
-            fate: config.cluster.process_fate.as_ref().map_or(ProcessFate::Run, |f| f(me)),
-        };
-        let rebuilder = rebuilder.clone();
-        handles.push(std::thread::spawn(move || {
-            run_tcp_process(actor, mesh, policy, rebuilder, ctrl, corrupt, cfg)
-        }));
-    }
+            }
+        })
+        .collect();
+    let transports: Vec<MeshTransport<M>> = meshes.into_iter().map(MeshTransport::new).collect();
 
-    let mut actors_back: Vec<Box<dyn AnyActor<Msg = M>>> = Vec::with_capacity(n);
-    let mut max_round = 0;
+    let report =
+        meba_engine::run_threaded_cluster(actors, transports, policies, rebuilder, &config.cluster);
+
     let mut frames_sent = 0;
     let mut socket_bytes = 0;
     let mut reconnects = 0;
     let mut decode_errors = 0;
     let mut handshake_rejects = 0;
-    let mut backpressure = 0;
-    for h in handles {
-        let (actor, rounds, stats) = h.join().expect("cluster thread panicked");
-        max_round = max_round.max(rounds);
-        let (f, b, r, d, hs, bp) = stats.snapshot();
+    for stats in &mesh_stats {
+        let (f, b, r, d, hs, _bp) = stats.snapshot();
         frames_sent += f;
         socket_bytes += b;
         reconnects += r;
         decode_errors += d;
         handshake_rejects += hs;
-        backpressure += bp;
-        actors_back.push(actor);
+        // Backpressure already flows through the engine's transport
+        // accounting into `report.backpressure`.
     }
-    actors_back.sort_by_key(|a| a.id().index());
-
-    let ctrl = Arc::try_unwrap(ctrl).unwrap_or_else(|_| panic!("cluster threads still alive"));
-    let outcome = ctrl.outcome.into_inner();
-    let (completed, rounds, aborted) = match outcome {
-        Some(o) => (o.completed, o.rounds, o.aborted),
-        None => (false, max_round, None),
-    };
-    let mut metrics = ctrl.metrics.into_inner();
-    metrics.rounds = rounds.max(max_round);
     Ok(TcpClusterReport {
-        report: ClusterReport {
-            metrics,
-            rounds: rounds.max(max_round),
-            actors: actors_back,
-            completed,
-            overruns: ctrl.overruns.into_inner(),
-            backpressure,
-            escalations: ctrl.escalations.into_inner(),
-            aborted,
-        },
+        report,
         frames_sent,
         socket_bytes,
         reconnects,
         decode_errors,
         handshake_rejects,
     })
-}
-
-fn run_tcp_process<M: Message + WireCodec>(
-    mut actor: Box<dyn AnyActor<Msg = M>>,
-    mesh: TcpMesh<M>,
-    mut policy: Option<Box<dyn SocketPolicy>>,
-    rebuilder: Option<ActorRebuilder<M>>,
-    ctrl: Arc<Control>,
-    corrupt: Arc<Vec<bool>>,
-    cfg: WorkerConfig,
-) -> (Box<dyn AnyActor<Msg = M>>, u64, Arc<MeshStats>) {
-    let me = mesh.me();
-    let n = mesh.n();
-    let i = me.index();
-    let is_coordinator = i == 0;
-    let sender_correct = !corrupt[i];
-    // Messages received early (sent_round >= current round) wait here.
-    let mut buffer: Vec<Inbound<M>> = Vec::new();
-    let mut drained: Vec<Inbound<M>> = Vec::new();
-    // Fault-delayed outbound messages, keyed by their transmit round.
-    let mut pending: BTreeMap<u64, Vec<(ProcessId, u64, M)>> = BTreeMap::new();
-    let mut overruns_seen = 0u64;
-    let mut consecutive_overruns = 0u32;
-    let mut round = 0u64;
-    // Crash-recovery state: `dead` means the process lost its memory and
-    // its sockets; the thread keeps pacing (it still coordinates if it is
-    // thread 0) but runs no protocol code until rejoin.
-    let mut dead = false;
-    let mut rejoin_round: Option<u64> = None;
-
-    'rounds: while round < cfg.max_rounds {
-        if ctrl.stop_at.load(Ordering::SeqCst) <= round {
-            break;
-        }
-        if !is_coordinator {
-            match wait_for_approval(&ctrl, round) {
-                Approval::Go => {}
-                Approval::Stop => break 'rounds,
-            }
-        }
-        let round_start = ctrl.pacer.round_start(round);
-        let now = Instant::now();
-        if round_start > now {
-            std::thread::sleep(round_start - now);
-        }
-
-        if let ProcessFate::CrashRestart { at_round, rejoin_after } = cfg.fate {
-            if !dead && rejoin_round.is_none() && round == at_round {
-                // Crash: real teardown. Every peer link is severed, so
-                // peers observe connection resets and enter their
-                // reconnect loops; all volatile state is lost.
-                dead = true;
-                for p in 0..n {
-                    if p != i {
-                        mesh.sever(ProcessId(p as u32));
-                    }
-                }
-                buffer.clear();
-                pending.clear();
-                ctrl.done_flags[i].store(false, Ordering::SeqCst);
-                ctrl.metrics.lock().recovery.crash_restarts += 1;
-            }
-            if let Some(rebuild) =
-                rebuilder.as_ref().filter(|_| dead && round >= at_round + rejoin_after)
-            {
-                // Rejoin: rebuild the actor from its durable journal and
-                // fast-forward the lockstep schedule with empty inboxes
-                // (the journal already replayed real steps; missed rounds
-                // are omissions the help machinery repairs). The severed
-                // links re-handshake lazily on the first send/receive.
-                let rb = rebuild(me);
-                actor = rb.actor;
-                {
-                    let mut m = ctrl.metrics.lock();
-                    m.recovery.replayed_records += rb.replayed_records;
-                    m.recovery.journal_fsyncs += rb.journal_fsyncs;
-                }
-                let empty: Vec<Envelope<M>> = Vec::new();
-                for r in 0..round {
-                    let mut ctx = RoundCtx::new(Round(r), me, n, &empty);
-                    actor.on_round(&mut ctx);
-                    drop(ctx.take_outbox());
-                }
-                dead = false;
-                rejoin_round = Some(round);
-            }
-        }
-        if dead {
-            // A crashed process has no sockets: drop whatever the mesh
-            // threads still surface and run no protocol code.
-            mesh.drain_into(&mut drained);
-            drained.clear();
-            if is_coordinator {
-                coordinate(
-                    &ctrl,
-                    &corrupt,
-                    &cfg,
-                    round,
-                    &mut overruns_seen,
-                    &mut consecutive_overruns,
-                );
-            }
-            round += 1;
-            continue 'rounds;
-        }
-        let proc_start = Instant::now();
-
-        // Transmit fault-delayed messages whose release round arrived;
-        // they keep their original sent_round, so the recipient sees them
-        // `delay` rounds past the synchrony bound.
-        if let Some(due) = pending.remove(&round) {
-            for (to, sent_round, msg) in due {
-                mesh.send(to, sent_round, &msg);
-            }
-        }
-
-        // Drain the sockets into this round's inbox; record deliveries
-        // per link.
-        mesh.drain_into(&mut drained);
-        buffer.append(&mut drained);
-        let mut inbox: Vec<Envelope<M>> = Vec::new();
-        let mut keep: Vec<Inbound<M>> = Vec::new();
-        {
-            let mut metrics = ctrl.metrics.lock();
-            for w in buffer.drain(..) {
-                if w.sent_round < round {
-                    if w.from != me {
-                        metrics.link_mut(w.from, me).delivered += 1;
-                    }
-                    inbox.push(Envelope { from: w.from, msg: w.msg });
-                } else {
-                    keep.push(w);
-                }
-            }
-        }
-        buffer = keep;
-
-        let mut ctx = RoundCtx::new(Round(round), me, n, &inbox);
-        actor.on_round(&mut ctx);
-        let outbox = ctx.take_outbox();
-        for (dest, msg) in outbox {
-            let words = msg.words().max(1);
-            let sigs = msg.constituent_sigs();
-            let bytes = msg.wire_bytes();
-            let component = msg.component();
-            let session = msg.session();
-            let targets: Vec<usize> = match dest {
-                Dest::To(p) if p.index() < n => vec![p.index()],
-                Dest::To(_) => vec![],
-                Dest::All => (0..n).collect(),
-            };
-            for target in targets {
-                if target == i {
-                    // Self-delivery: process memory, not a link — no
-                    // policy, no per-link stats, no word accounting.
-                    mesh.send(me, round, &msg);
-                    continue;
-                }
-                let to = ProcessId(target as u32);
-                let fate = match &mut policy {
-                    Some(p) => p.fate(Link { from: me, to }, round),
-                    None => SocketFate::Forward,
-                };
-                {
-                    let mut metrics = ctrl.metrics.lock();
-                    metrics.record(
-                        me,
-                        sender_correct,
-                        component,
-                        session,
-                        round,
-                        words,
-                        sigs,
-                        bytes,
-                    );
-                    let stats = metrics.link_mut(me, to);
-                    stats.sent += 1;
-                    stats.bytes += bytes;
-                    match fate {
-                        SocketFate::Forward => {}
-                        SocketFate::Drop | SocketFate::Sever => stats.dropped += 1,
-                        SocketFate::DelayRounds(_) => stats.delayed += 1,
-                    }
-                }
-                match fate {
-                    SocketFate::Forward => mesh.send(to, round, &msg),
-                    SocketFate::Drop => {}
-                    SocketFate::DelayRounds(k) => {
-                        pending.entry(round + k).or_default().push((to, round, msg.clone()));
-                    }
-                    SocketFate::Sever => mesh.sever(to),
-                }
-            }
-        }
-
-        let proc_end = Instant::now();
-        let latency_us =
-            u64::try_from(proc_end.duration_since(proc_start).as_micros()).unwrap_or(u64::MAX);
-        ctrl.metrics.lock().round_latency.record_us(latency_us);
-        let deadline = ctrl.pacer.round_start(round + 1);
-        if proc_end > deadline {
-            ctrl.overruns.fetch_add(1, Ordering::Relaxed);
-        }
-        ctrl.done_flags[i].store(actor.done(), Ordering::SeqCst);
-        if actor.done() {
-            if let Some(rj) = rejoin_round.take() {
-                ctrl.metrics.lock().recovery.recovery_rounds += round - rj;
-            }
-        }
-
-        if is_coordinator {
-            coordinate(&ctrl, &corrupt, &cfg, round, &mut overruns_seen, &mut consecutive_overruns);
-        }
-        round += 1;
-    }
-    let refused = actor.refused_equivocations();
-    if refused > 0 {
-        ctrl.metrics.lock().recovery.refused_equivocations += refused;
-    }
-    let stats = mesh.stats().clone();
-    mesh.shutdown();
-    (actor, round, stats)
 }
 
 // ---------------------------------------------------------------------
@@ -733,6 +337,32 @@ impl Default for MeshDriveConfig {
     }
 }
 
+/// A [`Transport`] over a *borrowed* mesh, for [`drive_mesh`]: the caller
+/// keeps ownership (and shutdown responsibility) of the [`TcpMesh`].
+struct BorrowedMesh<'a, M: Message + WireCodec> {
+    mesh: &'a TcpMesh<M>,
+    scratch: Vec<Inbound<M>>,
+}
+
+impl<M: Message + WireCodec> Transport<M> for BorrowedMesh<'_, M> {
+    fn send(&mut self, to: ProcessId, sent_round: u64, msg: &M) {
+        self.mesh.send(to, sent_round, msg);
+    }
+
+    fn drain(&mut self, out: &mut Vec<Delivery<M>>) {
+        self.mesh.drain_into(&mut self.scratch);
+        out.extend(self.scratch.drain(..).map(|w| Delivery {
+            from: w.from,
+            sent_round: w.sent_round,
+            msg: w.msg,
+        }));
+    }
+
+    fn sever(&mut self, to: ProcessId) {
+        self.mesh.sever(to);
+    }
+}
+
 /// Drives one actor over an established mesh without a global
 /// coordinator: rounds are paced from a local epoch and the run stops
 /// [`MeshDriveConfig::linger_rounds`] after the actor reports done (or at
@@ -747,62 +377,28 @@ pub fn drive_mesh<M: Message + WireCodec>(
     actor: &mut dyn AnyActor<Msg = M>,
     cfg: &MeshDriveConfig,
 ) -> (u64, Metrics) {
-    let me = mesh.me();
     let n = mesh.n();
-    let mut metrics = Metrics::default();
-    let mut buffer: Vec<Inbound<M>> = Vec::new();
-    let mut drained: Vec<Inbound<M>> = Vec::new();
-    let epoch = Instant::now();
+    let metrics = Mutex::new(Metrics::default());
+    let mut transport = BorrowedMesh { mesh, scratch: Vec::new() };
+    let mut state = RoundState::new();
+    let mut policy: Option<Box<dyn SendPolicy>> = None;
+    let pacer = DeadlinePacer::new(Instant::now(), cfg.delta);
     let mut linger = cfg.linger_rounds;
     let mut round = 0u64;
     while round < cfg.max_rounds {
-        let start = epoch + cfg.delta.saturating_mul(u32::try_from(round).unwrap_or(u32::MAX));
-        let now = Instant::now();
-        if start > now {
-            std::thread::sleep(start - now);
-        }
-        mesh.drain_into(&mut drained);
-        buffer.append(&mut drained);
-        let mut inbox: Vec<Envelope<M>> = Vec::new();
-        let mut keep: Vec<Inbound<M>> = Vec::new();
-        for w in buffer.drain(..) {
-            if w.sent_round < round {
-                if w.from != me {
-                    metrics.link_mut(w.from, me).delivered += 1;
-                }
-                inbox.push(Envelope { from: w.from, msg: w.msg });
-            } else {
-                keep.push(w);
-            }
-        }
-        buffer = keep;
-
-        let mut ctx = RoundCtx::new(Round(round), me, n, &inbox);
-        actor.on_round(&mut ctx);
-        for (dest, msg) in ctx.take_outbox() {
-            let words = msg.words().max(1);
-            let sigs = msg.constituent_sigs();
-            let bytes = msg.wire_bytes();
-            let component = msg.component();
-            let session = msg.session();
-            let targets: Vec<usize> = match dest {
-                Dest::To(p) if p.index() < n => vec![p.index()],
-                Dest::To(_) => vec![],
-                Dest::All => (0..n).collect(),
-            };
-            for target in targets {
-                let to = ProcessId(target as u32);
-                if to != me {
-                    metrics.record(me, true, component, session, round, words, sigs, bytes);
-                    let stats = metrics.link_mut(me, to);
-                    stats.sent += 1;
-                    stats.bytes += bytes;
-                }
-                mesh.send(to, round, &msg);
-            }
-        }
+        pacer.wait_for_round(round);
+        let done = run_live_round(
+            actor,
+            &mut transport,
+            &mut state,
+            &mut policy,
+            round,
+            n,
+            true,
+            &metrics,
+        );
         round += 1;
-        if actor.done() {
+        if done {
             if linger == 0 {
                 break;
             }
@@ -811,6 +407,7 @@ pub fn drive_mesh<M: Message + WireCodec>(
             linger = cfg.linger_rounds;
         }
     }
+    let mut metrics = metrics.into_inner();
     metrics.rounds = round;
     (round, metrics)
 }

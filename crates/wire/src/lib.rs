@@ -37,11 +37,13 @@ pub mod proxy;
 
 pub use budget::BYTES_PER_WORD;
 pub use cluster::{
-    drive_mesh, run_tcp_cluster, run_tcp_cluster_with_recovery, MeshDriveConfig, TcpClusterConfig,
-    TcpClusterReport,
+    drive_mesh, run_tcp_cluster, run_tcp_cluster_with_recovery, MeshDriveConfig, MeshTransport,
+    TcpClusterConfig, TcpClusterReport,
 };
 pub use error::WireError;
 pub use frame::MAX_FRAME_BYTES;
 pub use handshake::{config_digest, Hello, PROTOCOL_VERSION};
 pub use mesh::{Inbound, MeshConfig, MeshStats, TcpMesh};
-pub use proxy::{adapt_link_policy, SeverAt, SocketFate, SocketPolicy, SocketPolicyFactory};
+pub use proxy::{
+    adapt_link_policy, SeverAt, SocketFate, SocketPolicy, SocketPolicyFactory, SocketSendAdapter,
+};

@@ -80,6 +80,26 @@ pub fn adapt_link_policy(factory: meba_net::LinkPolicyFactory) -> SocketPolicyFa
     Arc::new(move |me| Box::new(LinkPolicyAdapter(factory(me))) as Box<dyn SocketPolicy>)
 }
 
+/// Adapts a [`SocketPolicy`] to the round engine's
+/// [`SendPolicy`](meba_engine::SendPolicy), mapping each [`SocketFate`]
+/// to the equivalent [`meba_engine::SendFate`]. This is how the TCP
+/// runtime drives [`meba_engine::run_threaded_cluster`] with socket-edge
+/// fault injection — including the TCP-only [`SocketFate::Sever`], which
+/// becomes [`meba_engine::SendFate::Sever`] and tears the connection
+/// down through the transport.
+pub struct SocketSendAdapter(pub Box<dyn SocketPolicy>);
+
+impl meba_engine::SendPolicy for SocketSendAdapter {
+    fn fate(&mut self, link: Link, round: u64) -> meba_engine::SendFate {
+        match self.0.fate(link, round) {
+            SocketFate::Forward => meba_engine::SendFate::Deliver,
+            SocketFate::Drop => meba_engine::SendFate::Drop,
+            SocketFate::DelayRounds(k) => meba_engine::SendFate::DelayRounds(k),
+            SocketFate::Sever => meba_engine::SendFate::Sever,
+        }
+    }
+}
+
 /// Severs one directed link in one specific round, delegating every
 /// other decision to an inner policy. Deterministic by construction.
 pub struct SeverAt {

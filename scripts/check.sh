@@ -30,6 +30,12 @@ cargo test --release --locked --test recovery_integration
 echo "== example smoke (TCP cluster; includes one process killed and relaunched) =="
 cargo run --release --locked --example tcp_cluster
 
+echo "== large-n smoke (discrete-event backend: n = 65 f=0 and f=t, n = 129 acceptance) =="
+cargo test --release --locked -p meba-testkit --test large_n -- --include-ignored
+
+echo "== example smoke (101-replica log on the discrete-event backend) =="
+cargo run --release --locked --example large_n
+
 echo "== experiments (release) =="
 cargo bench -p meba-bench
 

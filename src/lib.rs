@@ -22,6 +22,7 @@
 //! | [`adversary`] | `meba-adversary` | Byzantine strategies |
 //! | [`smr`] | `meba-smr` | replicated log over repeated BB instances |
 //! | [`testkit`] | `meba-testkit` | fault-matrix harness for adversarial testing |
+//! | [`engine`] | `meba-engine` | backend-agnostic round engine: transports, pacers, fates, discrete-event backend |
 //! | [`net`] | `meba-net` | threaded wall-clock cluster runtime |
 //! | [`wire`] | `meba-wire` | real TCP transport: canonical codec, handshake, byte accounting |
 //!
@@ -66,6 +67,7 @@
 pub use meba_adversary as adversary;
 pub use meba_core as core;
 pub use meba_crypto as crypto;
+pub use meba_engine as engine;
 pub use meba_fallback as fallback;
 pub use meba_journal as journal;
 pub use meba_net as net;
