@@ -1,0 +1,76 @@
+//! E16 — the readiness-driven mesh's scale profile: rounds/sec and peak
+//! OS threads for failure-free BB over *real loopback sockets*, against
+//! the analytic thread cost of the retired thread-per-link design
+//! (`n × (2(n−1) + 1)` I/O threads + n engine threads).
+//!
+//! The sweep stays at small n so the full bench suite remains fast; the
+//! n = 65/101 coverage lives in `meba-testkit`'s `tcp_scale` integration
+//! tests, which `scripts/check.sh` runs in release. Results are also
+//! published as `BENCH_E16_mesh.json` at the repo root for the paper's
+//! figure pipeline.
+
+use meba_bench::runs::{run_mesh_scale_bb, MeshScaleStats};
+use meba_bench::table::{flt, num, Table};
+use std::time::Duration;
+
+const JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_E16_mesh.json");
+
+fn json_entry(s: &MeshScaleStats) -> String {
+    format!(
+        "  {{\"n\": {}, \"words\": {}, \"des_words\": {}, \"rounds\": {}, \
+         \"rounds_per_sec\": {:.2}, \"peak_threads\": {}, \"old_design_threads\": {}, \
+         \"agreement\": {}}}",
+        s.n,
+        s.words,
+        s.des_words,
+        s.rounds,
+        s.rounds_per_sec,
+        s.peak_threads,
+        s.old_design_threads,
+        s.agreement
+    )
+}
+
+fn main() {
+    println!("=== E16: reactor-mesh scale profile (failure-free BB, real loopback sockets) ===");
+    println!("old mesh = retired thread-per-link design: n(2(n-1)+1) I/O + n engine threads\n");
+
+    let mut tab = Table::new(&[
+        "n",
+        "words",
+        "des words",
+        "rounds",
+        "rounds/sec",
+        "peak threads",
+        "old mesh threads",
+    ]);
+    let mut entries = Vec::new();
+    for (i, &n) in [9usize, 17, 33].iter().enumerate() {
+        let s = run_mesh_scale_bb(n, Duration::from_millis(10), 0xe16 + i as u64);
+        assert!(s.agreement, "E16 n={n}: all correct processes decide the sender's value");
+        assert_eq!(s.words, s.des_words, "E16 n={n}: word totals must not depend on the transport");
+        if s.peak_threads > 0 {
+            let budget = 4 * n + 64;
+            assert!(
+                s.peak_threads <= budget,
+                "E16 n={n}: peak {} OS threads exceeds O(n) budget {budget}",
+                s.peak_threads
+            );
+        }
+        tab.row(&[
+            num(s.n as u64),
+            num(s.words),
+            num(s.des_words),
+            num(s.rounds),
+            flt(s.rounds_per_sec),
+            num(s.peak_threads as u64),
+            num(s.old_design_threads as u64),
+        ]);
+        entries.push(json_entry(&s));
+    }
+    tab.print();
+
+    let json = format!("[\n{}\n]\n", entries.join(",\n"));
+    std::fs::write(JSON_PATH, &json).expect("write BENCH_E16_mesh.json");
+    println!("\nwrote {} entries to BENCH_E16_mesh.json", entries.len());
+}

@@ -240,5 +240,26 @@ fn main() {
         ),
     }
 
+    section("E16 — reactor-mesh scale profile (real loopback sockets)");
+    println!("One readiness-driven I/O thread per process replaces the retired");
+    println!("thread-per-link design (a reader + writer per directed link plus an");
+    println!("acceptor: n(2(n-1)+1) I/O threads in-host). Word totals must equal");
+    println!("the DES reference — the transport never changes what the protocol pays.");
+    println!();
+    println!("| n | words | DES words | rounds | rounds/sec | peak threads | old mesh threads |");
+    println!("|---|---|---|---|---|---|---|");
+    for (i, n) in [9usize, 17, 33].into_iter().enumerate() {
+        let s = run_mesh_scale_bb(n, std::time::Duration::from_millis(10), 0xe16 + i as u64);
+        assert!(s.agreement, "E16 n={n}: agreement");
+        println!(
+            "| {n} | {} | {} | {} | {:.1} | {} | {} |",
+            s.words, s.des_words, s.rounds, s.rounds_per_sec, s.peak_threads, s.old_design_threads
+        );
+    }
+    println!();
+    println!("(peak threads is this process's live OS thread count from procfs — 0");
+    println!("when unavailable; the n = 65/101 acceptance runs live in the");
+    println!("`tcp_scale` integration tests.)");
+
     println!("\n_Report complete._");
 }

@@ -69,6 +69,35 @@ impl Default for DesConfig {
     }
 }
 
+/// A [`DesConfig`] the backend cannot honor. Returned by
+/// [`run_des_cluster`] before any actor steps, so a bad configuration
+/// fails loudly and typed instead of panicking mid-run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DesConfigError {
+    /// `delta_ns < 2`: link latency is sampled *strictly inside*
+    /// `(0, δ)`, and on an integer nanosecond timeline that open
+    /// interval is empty for δ ≤ 1 — there is no latency that both
+    /// leaves the sender's round and arrives before the next one.
+    DeltaTooSmall {
+        /// The rejected value.
+        delta_ns: u64,
+    },
+}
+
+impl std::fmt::Display for DesConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DesConfigError::DeltaTooSmall { delta_ns } => write!(
+                f,
+                "delta_ns = {delta_ns} is too small: the DES backend samples link \
+                 latency strictly inside (0, \u{3b4}), which needs \u{3b4} \u{2265} 2 ns"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DesConfigError {}
+
 fn splitmix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -197,6 +226,12 @@ impl<M: Message> Transport<M> for DesTransport<M> {
 /// backends (overruns and backpressure are structurally zero, and a DES
 /// run never aborts).
 ///
+/// # Errors
+///
+/// Rejects a [`DesConfig`] with `delta_ns < 2` ([`DesConfigError`]): the
+/// latency interval `(0, δ)` holds no integer nanosecond at those sizes,
+/// so no schedule can satisfy the synchronous delivery rule.
+///
 /// # Panics
 ///
 /// Panics if `actors` is empty or ids are not `p0..p(n-1)` in order.
@@ -204,7 +239,10 @@ pub fn run_des_cluster<M: Message>(
     actors: Vec<Box<dyn AnyActor<Msg = M>>>,
     rebuilder: Option<ActorRebuilder<M>>,
     config: DesConfig,
-) -> ClusterReport<M> {
+) -> Result<ClusterReport<M>, DesConfigError> {
+    if config.delta_ns < 2 {
+        return Err(DesConfigError::DeltaTooSmall { delta_ns: config.delta_ns });
+    }
     let n = actors.len();
     assert!(n > 0, "cluster needs at least one actor");
     for (i, a) in actors.iter().enumerate() {
@@ -249,7 +287,7 @@ pub fn run_des_cluster<M: Message>(
         procs.into_iter().map(|p| p.finish(&metrics)).collect();
     let mut metrics = metrics.into_inner();
     metrics.rounds = round;
-    ClusterReport {
+    Ok(ClusterReport {
         metrics,
         rounds: round,
         actors: actors_back,
@@ -258,5 +296,65 @@ pub fn run_des_cluster<M: Message>(
         backpressure: 0,
         escalations: Vec::new(),
         aborted: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meba_sim::{Actor, AnyActor, RoundCtx};
+
+    #[derive(Clone, Debug)]
+    struct Tick;
+    impl Message for Tick {
+        fn words(&self) -> u64 {
+            1
+        }
+    }
+
+    struct Echo(ProcessId, bool);
+    impl Actor for Echo {
+        type Msg = Tick;
+        fn id(&self) -> ProcessId {
+            self.0
+        }
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_, Tick>) {
+            if ctx.round() == meba_sim::Round(0) {
+                ctx.broadcast(Tick);
+            }
+            self.1 = !ctx.inbox().is_empty();
+        }
+        fn done(&self) -> bool {
+            self.1
+        }
+    }
+
+    fn echoes(n: usize) -> Vec<Box<dyn AnyActor<Msg = Tick>>> {
+        (0..n).map(|i| Box::new(Echo(ProcessId(i as u32), false)) as _).collect()
+    }
+
+    #[test]
+    fn zero_and_one_nanosecond_deltas_are_rejected_typed() {
+        // δ = 0: the open interval (0, 0) is empty — previously this
+        // underflowed `delta_ns - 1` in the latency sampler. δ = 1 has
+        // the same problem one step later: (0, 1) holds no integer.
+        for bad in [0u64, 1] {
+            let err =
+                run_des_cluster(echoes(3), None, DesConfig { delta_ns: bad, ..Default::default() })
+                    .unwrap_err();
+            assert_eq!(err, DesConfigError::DeltaTooSmall { delta_ns: bad });
+            let rendered = err.to_string();
+            assert!(rendered.contains(&bad.to_string()), "message names the value: {rendered}");
+        }
+    }
+
+    #[test]
+    fn two_nanoseconds_is_the_smallest_accepted_delta() {
+        // δ = 2 admits exactly one latency (1 ns) — degenerate but legal,
+        // and the config check must not over-reject it.
+        let report =
+            run_des_cluster(echoes(3), None, DesConfig { delta_ns: 2, ..Default::default() })
+                .expect("delta_ns = 2 is accepted");
+        assert!(report.completed);
     }
 }

@@ -46,7 +46,7 @@ pub mod transport;
 pub use channel::{channel_mesh, ChannelTransport};
 pub use config::{ClusterConfig, ClusterReport, Escalation, LinkPolicyFactory, OverrunAction};
 pub use control::run_threaded_cluster;
-pub use des::{run_des_cluster, DesConfig};
+pub use des::{run_des_cluster, DesConfig, DesConfigError};
 pub use fate::{
     resolve_fate, resolve_fates, ActorRebuilder, ProcessFate, ProcessFateFactory, RebuiltActor,
     ResolvedFate,
@@ -99,7 +99,7 @@ mod tests {
     #[test]
     fn des_delivers_broadcasts_next_round() {
         let n = 5;
-        let report = run_des_cluster(gossips(n), None, DesConfig::default());
+        let report = run_des_cluster(gossips(n), None, DesConfig::default()).unwrap();
         assert!(report.completed);
         assert_eq!(report.rounds, 2, "broadcast in round 0, heard in round 1");
         for a in &report.actors {
@@ -117,7 +117,8 @@ mod tests {
     fn des_same_seed_is_byte_identical() {
         let run = |seed: u64| {
             let report =
-                run_des_cluster(gossips(7), None, DesConfig { seed, ..Default::default() });
+                run_des_cluster(gossips(7), None, DesConfig { seed, ..Default::default() })
+                    .unwrap();
             serde_json::to_string(&report.metrics).expect("metrics serialize")
         };
         assert_eq!(run(42), run(42), "same seed ⇒ byte-identical metrics");
@@ -126,7 +127,8 @@ mod tests {
     #[test]
     fn des_respects_round_budget() {
         let report =
-            run_des_cluster(gossips(3), None, DesConfig { max_rounds: 1, ..Default::default() });
+            run_des_cluster(gossips(3), None, DesConfig { max_rounds: 1, ..Default::default() })
+                .unwrap();
         assert!(!report.completed);
         assert_eq!(report.rounds, 1);
     }
@@ -144,7 +146,8 @@ mod tests {
             gossips(3),
             None,
             DesConfig { max_rounds: 8, process_fate: Some(fate), ..Default::default() },
-        );
+        )
+        .unwrap();
         assert!(!report.completed, "p1 never hears enough broadcasts");
         assert_eq!(report.metrics.recovery.crash_restarts, 1);
     }

@@ -215,6 +215,7 @@ pub fn bb_sim(sender: u32, input: u64, faults: &[Fault]) -> Simulation<BbM> {
 /// Panics if `faults.len()` is not a valid system size (odd, ≥ 3).
 pub fn bb_des(sender: u32, input: u64, faults: &[Fault], seed: u64) -> ClusterReport<BbM> {
     run_des_cluster(bb_actors(sender, input, faults), None, des_config(faults, seed))
+        .expect("testkit DES config is valid")
 }
 
 /// Extracts the decision of one correct `LockstepAdapter<P>`-wrapped
@@ -285,6 +286,7 @@ pub fn weak_ba_sim(inputs: &[u64], faults: &[Fault]) -> Simulation<WbaM> {
 /// Runs weak BA on the deterministic discrete-event backend.
 pub fn weak_ba_des(inputs: &[u64], faults: &[Fault], seed: u64) -> ClusterReport<WbaM> {
     run_des_cluster(weak_ba_actors(inputs, faults), None, des_config(faults, seed))
+        .expect("testkit DES config is valid")
 }
 
 /// Decisions of the correct processes of a [`weak_ba_sim`] run.
@@ -343,6 +345,7 @@ pub fn strong_ba_sim(inputs: &[bool], faults: &[Fault]) -> Simulation<SbaM> {
 /// Runs binary strong BA on the deterministic discrete-event backend.
 pub fn strong_ba_des(inputs: &[bool], faults: &[Fault], seed: u64) -> ClusterReport<SbaM> {
     run_des_cluster(strong_ba_actors(inputs, faults), None, des_config(faults, seed))
+        .expect("testkit DES config is valid")
 }
 
 /// Decisions of the correct processes of a [`strong_ba_sim`] run.
@@ -413,6 +416,7 @@ pub fn log_des(slots: u64, window: u64, faults: &[Fault], seed: u64) -> ClusterR
     let config =
         DesConfig { max_rounds: log_round_budget(faults.len(), slots), ..des_config(faults, seed) };
     run_des_cluster(log_actors(slots, window, faults), None, config)
+        .expect("testkit DES config is valid")
 }
 
 fn log_of(a: &dyn AnyActor<Msg = LogM>) -> Vec<LogEntry<u64>> {

@@ -92,6 +92,10 @@ pub struct TcpClusterReport<M: Message> {
     pub decode_errors: u64,
     /// Inbound connections rejected by the handshake.
     pub handshake_rejects: u64,
+    /// Protocol frames a mesh gave up on (permanent handshake rejection
+    /// or the shutdown flush deadline). Zero in every healthy run; each
+    /// drop was also diagnosed on stderr when it happened.
+    pub frames_dropped: u64,
 }
 
 impl<M: Message> std::fmt::Debug for TcpClusterReport<M> {
@@ -105,6 +109,7 @@ impl<M: Message> std::fmt::Debug for TcpClusterReport<M> {
             .field("socket_bytes", &self.socket_bytes)
             .field("reconnects", &self.reconnects)
             .field("decode_errors", &self.decode_errors)
+            .field("frames_dropped", &self.frames_dropped)
             .finish_non_exhaustive()
     }
 }
@@ -293,13 +298,15 @@ pub fn run_tcp_cluster_with_recovery<M: Message + WireCodec>(
     let mut reconnects = 0;
     let mut decode_errors = 0;
     let mut handshake_rejects = 0;
+    let mut frames_dropped = 0;
     for stats in &mesh_stats {
-        let (f, b, r, d, hs, _bp) = stats.snapshot();
+        let (f, b, r, d, hs, _bp, fd) = stats.snapshot();
         frames_sent += f;
         socket_bytes += b;
         reconnects += r;
         decode_errors += d;
         handshake_rejects += hs;
+        frames_dropped += fd;
         // Backpressure already flows through the engine's transport
         // accounting into `report.backpressure`.
     }
@@ -310,6 +317,7 @@ pub fn run_tcp_cluster_with_recovery<M: Message + WireCodec>(
         reconnects,
         decode_errors,
         handshake_rejects,
+        frames_dropped,
     })
 }
 

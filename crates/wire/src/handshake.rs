@@ -73,8 +73,10 @@ pub fn config_digest(cfg: &SystemConfig) -> Digest {
 
 /// Validates a received hello against ours. `expect_peer` pins the
 /// identity when the caller dialed a specific slot; acceptors pass
-/// `None` and only range-check.
-fn validate(
+/// `None` and only range-check. Shared with the reactor's buffered
+/// (nonblocking) handshake, which cannot use the blocking
+/// [`client_handshake`]/[`server_handshake`] entry points.
+pub(crate) fn validate(
     ours: &Hello,
     theirs: &Hello,
     expect_peer: Option<ProcessId>,

@@ -8,9 +8,14 @@
 //! * [`frame`] — length-prefixed frames with a hard size cap;
 //! * [`handshake`] — a versioned hello pinning protocol version,
 //!   identity, configuration digest, and session domain per link;
+//! * [`poller`] — a minimal `poll(2)` readiness layer plus a self-wake
+//!   pipe, the only `unsafe` in the crate;
+//! * [`reactor`] — per-link nonblocking state machines (dial →
+//!   handshake → established → backoff) driven by one I/O thread;
 //! * [`mesh`] — a full mesh of handshaked `std::net::TcpStream` links
-//!   with one reader/writer thread per peer, bounded outboxes, and
-//!   capped-backoff reconnect;
+//!   behind a single readiness-driven reactor thread per process (O(n)
+//!   threads for an n-process host, not O(n²)), with bounded outboxes
+//!   and capped-backoff reconnect;
 //! * [`cluster`] — [`run_tcp_cluster`], mirroring
 //!   [`meba_net::run_cluster`]'s configuration and report so any
 //!   scenario moves from channels to loopback TCP unchanged;
@@ -25,7 +30,7 @@
 //! serialization (see `docs/CORRECTNESS.md` §9).
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // allowed only inside `poller::sys` (FFI to poll/rlimit)
 
 pub mod budget;
 pub mod cluster;
@@ -33,7 +38,9 @@ pub mod error;
 pub mod frame;
 pub mod handshake;
 pub mod mesh;
+pub mod poller;
 pub mod proxy;
+pub mod reactor;
 
 pub use budget::BYTES_PER_WORD;
 pub use cluster::{
@@ -44,6 +51,8 @@ pub use error::WireError;
 pub use frame::MAX_FRAME_BYTES;
 pub use handshake::{config_digest, Hello, PROTOCOL_VERSION};
 pub use mesh::{Inbound, MeshConfig, MeshStats, TcpMesh};
+pub use poller::raise_nofile_limit;
 pub use proxy::{
     adapt_link_policy, SeverAt, SocketFate, SocketPolicy, SocketPolicyFactory, SocketSendAdapter,
 };
+pub use reactor::{dial_jitter, reconnect_delay};

@@ -1,37 +1,45 @@
 //! A full mesh of TCP links for one process.
 //!
 //! [`TcpMesh::establish`] turns a bound listener plus the peer address
-//! list into `n - 1` outbound links (one dialed, handshaked socket each,
-//! owned by a writer thread) and `n - 1` inbound links (accepted,
-//! handshaked sockets, each owned by a reader thread feeding one bounded
-//! inbox channel). The calling process thread then only ever touches two
-//! ends: [`TcpMesh::send`] and [`TcpMesh::drain_into`].
+//! list into `n - 1` outbound links (dialed, handshaked) and `n - 1`
+//! inbound links (accepted, handshaked), all driven by **one reactor
+//! thread** ([`crate::reactor`]) multiplexing every socket with
+//! [`crate::poller::poll`]. The calling process thread then only ever
+//! touches two ends: [`TcpMesh::send`] and [`TcpMesh::drain_into`].
 //!
 //! Design points, mirroring the threaded `meba-net` cluster:
 //!
-//! * **Bounded outboxes** — each writer thread sits behind a bounded
-//!   channel; a full channel blocks the sender and counts into
-//!   [`MeshStats::backpressure`] instead of buffering without bound.
+//! * **O(n) threads** — the mesh costs one I/O thread regardless of
+//!   peer count; an n-process loopback cluster is O(n) OS threads total
+//!   where the previous thread-per-link design needed O(n²).
+//! * **Bounded outboxes** — each link sits behind a bounded command
+//!   channel plus an equal-sized reactor-side queue; a full channel
+//!   blocks the sender and counts into [`MeshStats::backpressure`]
+//!   instead of buffering without bound.
 //! * **Reconnect** — a failed or severed connection is re-dialed with
-//!   capped exponential backoff (1 ms doubling to 250 ms), re-running the
-//!   full handshake; [`MeshStats::reconnects`] counts successes.
-//! * **Total decoding** — readers decode frames with the canonical
+//!   capped exponential backoff (1 ms doubling to the configured cap),
+//!   re-running the full handshake; [`MeshStats::reconnects`] counts
+//!   successes, and queued frames *survive* the reconnect.
+//! * **No silent drops** — a protocol frame the mesh gives up on
+//!   (permanent handshake rejection, shutdown flush deadline) is
+//!   counted in [`MeshStats::frames_dropped`] and reported on stderr.
+//! * **Total decoding** — inbound frames decode with the canonical
 //!   [`WireCodec`]; a frame that fails to decode is counted
-//!   ([`MeshStats::decode_errors`]) and dropped without disturbing framing.
-//! * **Graceful shutdown** — [`TcpMesh::shutdown`] flushes writer queues,
-//!   then closes every registered socket so blocked readers unblock, and
-//!   joins all threads.
+//!   ([`MeshStats::decode_errors`]) and dropped without disturbing
+//!   framing.
+//! * **Graceful shutdown** — [`TcpMesh::shutdown`] flushes queued
+//!   frames (re-dialing if needed) up to [`MeshConfig::flush_timeout`],
+//!   then closes every socket and joins the reactor.
 
 use crate::error::WireError;
-use crate::frame::{read_frame, write_frame};
-use crate::handshake::{client_handshake, server_handshake, Hello};
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
-use meba_crypto::{Decoder, Encoder, ProcessId, WireCodec};
+use crate::handshake::Hello;
+use crate::poller::{wake_pair, WakeHandle};
+use crate::reactor::{Cmd, Reactor, ReactorConfig, Shared};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use meba_crypto::{Encoder, ProcessId, WireCodec};
 use meba_sim::Message;
-use parking_lot::Mutex;
-use std::marker::PhantomData;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -48,16 +56,23 @@ pub struct MeshStats {
     pub reconnects: AtomicU64,
     /// Inbound frames whose payload failed canonical decoding.
     pub decode_errors: AtomicU64,
-    /// Inbound connection attempts rejected by the handshake.
+    /// Inbound connection attempts rejected by the handshake (including
+    /// peers reaped for stalling past the handshake deadline).
     pub handshake_rejects: AtomicU64,
     /// Times [`TcpMesh::send`] blocked on a full outbox.
     pub backpressure: AtomicU64,
+    /// Protocol frames the mesh gave up on: queued behind a permanently
+    /// rejected link, oversized, or undeliverable when the shutdown
+    /// flush deadline expired. Every one is also reported on stderr —
+    /// a dropped frame is never silent.
+    pub frames_dropped: AtomicU64,
 }
 
 impl MeshStats {
     /// Plain-number snapshot `(frames_sent, bytes_sent, reconnects,
-    /// decode_errors, handshake_rejects, backpressure)`.
-    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64, u64) {
+    /// decode_errors, handshake_rejects, backpressure, frames_dropped)`.
+    #[allow(clippy::type_complexity)]
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64, u64, u64) {
         (
             self.frames_sent.load(Ordering::Relaxed),
             self.bytes_sent.load(Ordering::Relaxed),
@@ -65,6 +80,7 @@ impl MeshStats {
             self.decode_errors.load(Ordering::Relaxed),
             self.handshake_rejects.load(Ordering::Relaxed),
             self.backpressure.load(Ordering::Relaxed),
+            self.frames_dropped.load(Ordering::Relaxed),
         )
     }
 }
@@ -88,9 +104,10 @@ pub struct MeshConfig {
     pub me: ProcessId,
     /// Our hello (identity, version, config digest, domain).
     pub hello: Hello,
-    /// Capacity of the single inbound channel all readers feed.
+    /// Capacity of the single inbound channel all links feed.
     pub inbox_capacity: usize,
-    /// Capacity of each per-link writer queue.
+    /// Capacity of each per-link outbound queue (the reactor buffers up
+    /// to the same amount again internally).
     pub outbox_capacity: usize,
     /// How long [`TcpMesh::establish`] keeps dialing an unreachable peer
     /// and waiting for inbound links before giving up.
@@ -99,15 +116,26 @@ pub struct MeshConfig {
     /// 1 ms). Crash-restart tests lower it so a restarted process
     /// re-establishes its links within a round or two.
     pub reconnect_backoff_cap: Duration,
-    /// Maximum deterministic jitter added to each re-dial sleep, derived
+    /// Maximum deterministic jitter added to each re-dial delay, derived
     /// from `(peer, attempt)`. Spreads the thundering herd of redials
     /// after a peer restarts; zero disables jitter entirely.
     pub reconnect_jitter: Duration,
+    /// Per-connection handshake deadline: a peer that stalls mid-
+    /// handshake (slow-loris) is reaped after this long without ever
+    /// pinning the I/O thread. Also bounds how long an established
+    /// outbound link may sit on unflushed frames before the reactor
+    /// forces a reconnect.
+    pub handshake_timeout: Duration,
+    /// How long [`TcpMesh::shutdown`] keeps delivering (and re-dialing
+    /// for) queued frames before giving up and counting the remainder
+    /// into [`MeshStats::frames_dropped`].
+    pub flush_timeout: Duration,
 }
 
 impl MeshConfig {
     /// Defaults tuned for loopback clusters: 1024-deep channels, 10 s
-    /// establishment budget, 250 ms backoff cap, no jitter.
+    /// establishment budget, 250 ms backoff cap, no jitter, 5 s
+    /// handshake deadline, 2 s shutdown flush.
     pub fn new(me: ProcessId, hello: Hello) -> Self {
         MeshConfig {
             me,
@@ -117,37 +145,10 @@ impl MeshConfig {
             dial_timeout: Duration::from_secs(10),
             reconnect_backoff_cap: Duration::from_millis(250),
             reconnect_jitter: Duration::ZERO,
+            handshake_timeout: Duration::from_secs(5),
+            flush_timeout: Duration::from_secs(2),
         }
     }
-}
-
-enum WriterCmd {
-    Frame(Vec<u8>),
-    Sever,
-}
-
-/// Everything a writer thread needs to (re-)establish its link.
-struct LinkSpec {
-    addr: SocketAddr,
-    hello: Hello,
-    peer: ProcessId,
-    n: usize,
-    backoff_cap: Duration,
-    jitter: Duration,
-}
-
-/// Deterministic per-attempt jitter in `[0, max)`: a SplitMix64-style
-/// hash of `(peer, attempt)`, so redials are reproducible yet spread out.
-fn dial_jitter(spec: &LinkSpec, attempt: u64) -> Duration {
-    if spec.jitter.is_zero() {
-        return Duration::ZERO;
-    }
-    let mut z = (u64::from(spec.peer.0) << 32) ^ attempt ^ 0x9e37_79b9_7f4a_7c15;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^= z >> 31;
-    let max_ns = spec.jitter.as_nanos().max(1) as u64;
-    Duration::from_nanos(z % max_ns)
 }
 
 /// One process's view of the cluster network.
@@ -156,170 +157,19 @@ pub struct TcpMesh<M> {
     n: usize,
     inbox: Receiver<Inbound<M>>,
     loopback: Sender<Inbound<M>>,
-    links: Vec<Option<Sender<WriterCmd>>>,
+    links: Vec<Option<Sender<Cmd>>>,
     stats: Arc<MeshStats>,
-    stop: Arc<AtomicBool>,
-    streams: Arc<Mutex<Vec<TcpStream>>>,
-    writer_handles: Vec<JoinHandle<()>>,
-    acceptor_handle: Option<JoinHandle<()>>,
-    reader_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    _msg: PhantomData<fn() -> M>,
-}
-
-/// Handshake phase gets a read timeout so a silent dialer cannot wedge
-/// the acceptor; cleared before protocol traffic.
-const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
-
-fn register(streams: &Mutex<Vec<TcpStream>>, s: &TcpStream) {
-    if let Ok(clone) = s.try_clone() {
-        streams.lock().push(clone);
-    }
-}
-
-/// Dials `spec.addr` and completes the client handshake, retrying with
-/// capped exponential backoff until success, `deadline`, or `stop`.
-fn dial_link(
-    spec: &LinkSpec,
-    stop: &AtomicBool,
-    deadline: Option<Instant>,
-) -> Result<TcpStream, WireError> {
-    let mut backoff = Duration::from_millis(1);
-    let mut attempt = 0u64;
-    loop {
-        if stop.load(Ordering::SeqCst) {
-            return Err(WireError::PeerClosed);
-        }
-        if let Some(d) = deadline {
-            if Instant::now() > d {
-                return Err(WireError::Io(std::io::Error::new(
-                    std::io::ErrorKind::TimedOut,
-                    format!("dialing {} ({}) timed out", spec.peer, spec.addr),
-                )));
-            }
-        }
-        if let Ok(mut stream) = TcpStream::connect(spec.addr) {
-            let _ = stream.set_nodelay(true);
-            let _ = stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
-            // A permanent write timeout bounds how long a writer can
-            // wedge on a peer that stopped reading, so shutdown can
-            // always join it.
-            let _ = stream.set_write_timeout(Some(HANDSHAKE_TIMEOUT));
-            match client_handshake(&mut stream, &spec.hello, spec.peer, spec.n) {
-                Ok(_) => {
-                    let _ = stream.set_read_timeout(None);
-                    return Ok(stream);
-                }
-                Err(
-                    e @ (WireError::VersionMismatch { .. }
-                    | WireError::ConfigMismatch { .. }
-                    | WireError::DomainMismatch { .. }
-                    | WireError::PeerMismatch { .. }
-                    | WireError::IdentityInvalid { .. }),
-                ) => {
-                    // A *semantic* rejection will not heal by retrying.
-                    return Err(e);
-                }
-                Err(_) => {}
-            }
-        }
-        std::thread::sleep(backoff + dial_jitter(spec, attempt));
-        backoff = (backoff * 2).min(spec.backoff_cap);
-        attempt += 1;
-    }
-}
-
-fn writer_loop(
-    rx: Receiver<WriterCmd>,
-    initial: TcpStream,
-    spec: LinkSpec,
-    stats: Arc<MeshStats>,
-    stop: Arc<AtomicBool>,
-    streams: Arc<Mutex<Vec<TcpStream>>>,
-) {
-    let mut conn = Some(initial);
-    loop {
-        let cmd = match rx.recv_timeout(Duration::from_millis(100)) {
-            Ok(cmd) => cmd,
-            Err(RecvTimeoutError::Timeout) => {
-                if stop.load(Ordering::SeqCst) && rx.is_empty() {
-                    return;
-                }
-                continue;
-            }
-            Err(RecvTimeoutError::Disconnected) => return,
-        };
-        match cmd {
-            WriterCmd::Sever => {
-                if let Some(s) = conn.take() {
-                    let _ = s.shutdown(Shutdown::Both);
-                }
-            }
-            WriterCmd::Frame(payload) => {
-                // One resend after a reconnect; a frame that fails twice
-                // is lost (the run is over for that peer, or the fault is
-                // persistent — either way the protocols must ride it out).
-                for _attempt in 0..2 {
-                    if conn.is_none() {
-                        match dial_link(&spec, &stop, None) {
-                            Ok(s) => {
-                                register(&streams, &s);
-                                stats.reconnects.fetch_add(1, Ordering::Relaxed);
-                                conn = Some(s);
-                            }
-                            Err(_) => return,
-                        }
-                    }
-                    let stream = conn.as_mut().expect("connection present");
-                    match write_frame(stream, &payload) {
-                        Ok(()) => {
-                            stats.frames_sent.fetch_add(1, Ordering::Relaxed);
-                            stats.bytes_sent.fetch_add(payload.len() as u64 + 4, Ordering::Relaxed);
-                            break;
-                        }
-                        Err(_) => {
-                            conn = None;
-                        }
-                    }
-                }
-            }
-        }
-    }
-}
-
-fn reader_loop<M: Message + WireCodec>(
-    mut stream: TcpStream,
-    from: ProcessId,
-    inbox: Sender<Inbound<M>>,
-    stats: Arc<MeshStats>,
-) {
-    loop {
-        let payload = match read_frame(&mut stream) {
-            Ok(p) => p,
-            Err(_) => return,
-        };
-        let mut dec = Decoder::new(&payload);
-        let decoded = dec
-            .get_u64()
-            .and_then(|sent_round| M::decode_wire(&mut dec).map(|msg| (sent_round, msg)))
-            .and_then(|ok| dec.finish().map(|()| ok));
-        match decoded {
-            Ok((sent_round, msg)) => {
-                if inbox.send(Inbound { from, sent_round, msg }).is_err() {
-                    return;
-                }
-            }
-            Err(_) => {
-                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-    }
+    shared: Arc<Shared>,
+    wake: WakeHandle,
+    reactor: Option<JoinHandle<()>>,
 }
 
 impl<M: Message + WireCodec> TcpMesh<M> {
-    /// Builds the full mesh: accepts `n - 1` handshaked inbound links on
-    /// `listener` while dialing every peer in `addrs` (index = process
-    /// id; our own slot is ignored). Returns once all `2(n - 1)` links
-    /// are up, or fails after [`MeshConfig::dial_timeout`].
+    /// Builds the full mesh: spawns the reactor thread, which accepts
+    /// `n - 1` handshaked inbound links on `listener` while dialing
+    /// every peer in `addrs` (index = process id; our own slot is
+    /// ignored). Returns once all `2(n - 1)` links are up, or fails
+    /// after [`MeshConfig::dial_timeout`].
     pub fn establish(
         config: MeshConfig,
         listener: TcpListener,
@@ -330,88 +180,42 @@ impl<M: Message + WireCodec> TcpMesh<M> {
         assert!(me.index() < n, "mesh identity {me} out of range for {n} peers");
         let (inbox_tx, inbox_rx) = bounded(config.inbox_capacity.max(1));
         let stats = Arc::new(MeshStats::default());
-        let stop = Arc::new(AtomicBool::new(false));
-        let streams = Arc::new(Mutex::new(Vec::new()));
-        let reader_handles = Arc::new(Mutex::new(Vec::new()));
-        let accepted: Arc<Mutex<Vec<bool>>> = Arc::new(Mutex::new(vec![false; n]));
+        let shared = Arc::new(Shared::new(n));
+        let (wake, wake_rx) = wake_pair().map_err(WireError::Io)?;
 
-        listener.set_nonblocking(true).map_err(WireError::Io)?;
-        let acceptor_handle = {
-            let hello = config.hello.clone();
-            let inbox_tx = inbox_tx.clone();
-            let stats = stats.clone();
-            let stop = stop.clone();
-            let streams = streams.clone();
-            let reader_handles = reader_handles.clone();
-            let accepted = accepted.clone();
-            std::thread::spawn(move || {
-                acceptor_loop(
-                    listener,
-                    hello,
-                    n,
-                    inbox_tx,
-                    stats,
-                    stop,
-                    streams,
-                    reader_handles,
-                    accepted,
-                )
-            })
-        };
-
-        let mut links: Vec<Option<Sender<WriterCmd>>> = (0..n).map(|_| None).collect();
-        let mut writer_handles = Vec::with_capacity(n.saturating_sub(1));
-        let deadline = Instant::now() + config.dial_timeout;
-        let mut failure: Option<WireError> = None;
-        for (j, &addr) in addrs.iter().enumerate() {
+        let mut links: Vec<Option<Sender<Cmd>>> = (0..n).map(|_| None).collect();
+        let mut rxs: Vec<Option<Receiver<Cmd>>> = (0..n).map(|_| None).collect();
+        for j in 0..n {
             if j == me.index() {
                 continue;
             }
-            let spec = LinkSpec {
-                addr,
-                hello: config.hello.clone(),
-                peer: ProcessId(j as u32),
-                n,
-                backoff_cap: config.reconnect_backoff_cap.max(Duration::from_millis(1)),
-                jitter: config.reconnect_jitter,
-            };
-            match dial_link(&spec, &stop, Some(deadline)) {
-                Ok(stream) => {
-                    register(&streams, &stream);
-                    let (tx, rx) = bounded(config.outbox_capacity.max(1));
-                    let stats = stats.clone();
-                    let stop = stop.clone();
-                    let streams = streams.clone();
-                    writer_handles.push(std::thread::spawn(move || {
-                        writer_loop(rx, stream, spec, stats, stop, streams)
-                    }));
-                    links[j] = Some(tx);
-                }
-                Err(e) => {
-                    failure = Some(e);
-                    break;
-                }
-            }
+            let (tx, rx) = bounded(config.outbox_capacity.max(1));
+            links[j] = Some(tx);
+            rxs[j] = Some(rx);
         }
 
-        // Wait until every peer has dialed us, so no early round can race
-        // an unestablished inbound link.
-        if failure.is_none() {
-            loop {
-                let inbound = accepted.lock().iter().filter(|&&a| a).count();
-                if inbound >= n - 1 {
-                    break;
-                }
-                if Instant::now() > deadline {
-                    failure = Some(WireError::Io(std::io::Error::new(
-                        std::io::ErrorKind::TimedOut,
-                        format!("{me}: only {inbound}/{} inbound links handshaked", n - 1),
-                    )));
-                    break;
-                }
-                std::thread::sleep(Duration::from_millis(1));
-            }
-        }
+        let reactor = Reactor::<M>::new(
+            ReactorConfig {
+                me,
+                hello: config.hello.clone(),
+                addrs: addrs.to_vec(),
+                outbox_capacity: config.outbox_capacity.max(1),
+                backoff_cap: config.reconnect_backoff_cap.max(Duration::from_millis(1)),
+                jitter: config.reconnect_jitter,
+                handshake_timeout: config.handshake_timeout,
+                flush_timeout: config.flush_timeout,
+            },
+            listener,
+            rxs,
+            inbox_tx.clone(),
+            stats.clone(),
+            shared.clone(),
+            wake_rx,
+        );
+        let reactor_handle = std::thread::Builder::new()
+            .name(format!("mesh-reactor-{}", me.0))
+            .spawn(move || reactor.run())
+            .map_err(WireError::Io)?;
 
         let mesh = TcpMesh {
             me,
@@ -420,13 +224,38 @@ impl<M: Message + WireCodec> TcpMesh<M> {
             loopback: inbox_tx,
             links,
             stats,
-            stop,
-            streams,
-            writer_handles,
-            acceptor_handle: Some(acceptor_handle),
-            reader_handles,
-            _msg: PhantomData,
+            shared,
+            wake,
+            reactor: Some(reactor_handle),
         };
+
+        // Wait until every outbound link has handshaked *and* every peer
+        // has dialed us, so no early round can race an unestablished
+        // link.
+        let deadline = Instant::now() + config.dial_timeout;
+        let failure = loop {
+            if let Some(e) = mesh.shared.fatal.lock().take() {
+                break Some(e);
+            }
+            let out = mesh.shared.out_ready.load(Ordering::SeqCst);
+            let inbound = mesh.shared.accepted.lock().iter().filter(|&&a| a).count();
+            if out >= n - 1 && inbound >= n - 1 {
+                break None;
+            }
+            if Instant::now() > deadline {
+                break Some(WireError::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!(
+                        "{me}: only {out}/{} outbound and {inbound}/{} inbound links \
+                         handshaked within the dial timeout",
+                        n - 1,
+                        n - 1
+                    ),
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+
         match failure {
             Some(e) => {
                 mesh.shutdown();
@@ -453,8 +282,8 @@ impl<M: Message + WireCodec> TcpMesh<M> {
 
     /// Sends `msg` stamped with `sent_round` to `to`. Self-sends bypass
     /// the sockets (process memory cannot fail); remote sends encode one
-    /// frame and hand it to the link's writer, blocking (and counting
-    /// backpressure) when the outbox is full.
+    /// frame and hand it to the reactor, blocking (and counting
+    /// backpressure) when the link's outbox is full.
     pub fn send(&self, to: ProcessId, sent_round: u64, msg: &M) {
         if to == self.me {
             let _ = self.loopback.send(Inbound { from: self.me, sent_round, msg: msg.clone() });
@@ -466,11 +295,15 @@ impl<M: Message + WireCodec> TcpMesh<M> {
         let mut enc = Encoder::new();
         enc.put_u64(sent_round);
         msg.encode_wire(&mut enc);
-        match tx.try_send(WriterCmd::Frame(enc.into_bytes())) {
-            Ok(()) => {}
+        match tx.try_send(Cmd::Frame(enc.into_bytes())) {
+            Ok(()) => self.wake.wake(),
             Err(TrySendError::Full(cmd)) => {
                 self.stats.backpressure.fetch_add(1, Ordering::Relaxed);
+                // Wake first so the reactor drains the channel we are
+                // about to block on.
+                self.wake.wake();
                 let _ = tx.send(cmd);
+                self.wake.wake();
             }
             Err(TrySendError::Disconnected(_)) => {}
         }
@@ -480,101 +313,36 @@ impl<M: Message + WireCodec> TcpMesh<M> {
     /// re-handshakes. Used by [`crate::proxy::SocketFate::Sever`].
     pub fn sever(&self, to: ProcessId) {
         if let Some(tx) = self.links.get(to.index()).and_then(|l| l.as_ref()) {
-            let _ = tx.send(WriterCmd::Sever);
+            let _ = tx.send(Cmd::Sever);
+            self.wake.wake();
         }
     }
 
     /// Moves every currently queued inbound message into `buf`.
     pub fn drain_into(&self, buf: &mut Vec<Inbound<M>>) {
+        let before = buf.len();
         buf.extend(self.inbox.try_iter());
+        if buf.len() > before {
+            // Space freed: let the reactor re-offer any parked message.
+            self.wake.wake();
+        }
     }
 
-    /// Flushes writer queues, closes every socket, and joins all mesh
-    /// threads. Messages still in flight to peers that already shut down
-    /// are lost, which is fine: the run is over for those peers.
+    /// Flushes queued frames (re-dialing where needed, bounded by
+    /// [`MeshConfig::flush_timeout`]), closes every socket, and joins
+    /// the reactor. Frames still undeliverable at the deadline are
+    /// counted into [`MeshStats::frames_dropped`] and reported — which
+    /// is survivable: the run is over for those peers.
     pub fn shutdown(mut self) {
-        // Flush phase: wait (bounded) for every writer queue to drain
-        // *before* raising the stop flag. With stop up, a writer that
-        // needs a re-dial to deliver its remaining frames aborts
-        // instead, dropping already-signed certificates still queued
-        // behind backpressure.
-        let flush_deadline = Instant::now() + Duration::from_secs(2);
-        while Instant::now() < flush_deadline
-            && self.links.iter().flatten().any(|tx| !tx.is_empty())
-        {
-            std::thread::sleep(Duration::from_millis(1));
-        }
-        self.stop.store(true, Ordering::SeqCst);
-        // Dropping the senders lets writers drain their queues and exit.
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Dropping the senders marks the command channels finished once
+        // drained.
         for link in &mut self.links {
             *link = None;
         }
-        for h in self.writer_handles.drain(..) {
+        self.wake.wake();
+        if let Some(h) = self.reactor.take() {
             let _ = h.join();
-        }
-        for s in self.streams.lock().drain(..) {
-            let _ = s.shutdown(Shutdown::Both);
-        }
-        if let Some(h) = self.acceptor_handle.take() {
-            let _ = h.join();
-        }
-        let handles: Vec<_> = self.reader_handles.lock().drain(..).collect();
-        for h in handles {
-            let _ = h.join();
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn acceptor_loop<M: Message + WireCodec>(
-    listener: TcpListener,
-    hello: Hello,
-    n: usize,
-    inbox: Sender<Inbound<M>>,
-    stats: Arc<MeshStats>,
-    stop: Arc<AtomicBool>,
-    streams: Arc<Mutex<Vec<TcpStream>>>,
-    reader_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    accepted: Arc<Mutex<Vec<bool>>>,
-) {
-    loop {
-        match listener.accept() {
-            Ok((mut stream, _)) => {
-                let _ = stream.set_nodelay(true);
-                let _ = stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
-                let _ = stream.set_write_timeout(Some(HANDSHAKE_TIMEOUT));
-                match server_handshake(&mut stream, &hello, n) {
-                    Ok(theirs) => {
-                        let _ = stream.set_read_timeout(None);
-                        register(&streams, &stream);
-                        accepted.lock()[theirs.id.index()] = true;
-                        let inbox = inbox.clone();
-                        let stats = stats.clone();
-                        let handle = std::thread::spawn(move || {
-                            reader_loop(stream, theirs.id, inbox, stats)
-                        });
-                        reader_handles.lock().push(handle);
-                    }
-                    Err(_) => {
-                        stats.handshake_rejects.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if stop.load(Ordering::SeqCst) {
-                    return;
-                }
-                std::thread::sleep(Duration::from_millis(1));
-            }
-            Err(_) => {
-                if stop.load(Ordering::SeqCst) {
-                    return;
-                }
-                std::thread::sleep(Duration::from_millis(1));
-            }
         }
     }
 }
@@ -584,7 +352,9 @@ mod tests {
     use super::*;
     use crate::handshake::{config_digest, PROTOCOL_VERSION};
     use meba_core::SystemConfig;
-    use meba_crypto::DecodeError;
+    use meba_crypto::{DecodeError, Decoder};
+    use std::io::Write as _;
+    use std::net::TcpStream;
 
     #[derive(Clone, Debug, PartialEq)]
     struct Num(u64);
@@ -605,7 +375,11 @@ mod tests {
         }
     }
 
-    fn meshes(n: usize, domain: u64) -> Vec<TcpMesh<Num>> {
+    fn meshes_with(
+        n: usize,
+        domain: u64,
+        tune: impl Fn(&mut MeshConfig) + Send + Sync + 'static,
+    ) -> Vec<TcpMesh<Num>> {
         // The digest only has to *match* across peers; the mesh size is
         // independent of the configuration it hashes.
         let cfg = SystemConfig::new(n.max(3) | 1, 1).unwrap();
@@ -613,9 +387,11 @@ mod tests {
         let listeners: Vec<TcpListener> =
             (0..n).map(|_| TcpListener::bind("127.0.0.1:0").unwrap()).collect();
         let addrs: Vec<SocketAddr> = listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+        let tune = Arc::new(tune);
         let mut handles = Vec::new();
         for (i, listener) in listeners.into_iter().enumerate() {
             let addrs = addrs.clone();
+            let tune = tune.clone();
             let hello = Hello {
                 version: PROTOCOL_VERSION,
                 id: ProcessId(i as u32),
@@ -623,13 +399,19 @@ mod tests {
                 domain,
             };
             handles.push(std::thread::spawn(move || {
-                TcpMesh::establish(MeshConfig::new(ProcessId(i as u32), hello), listener, &addrs)
+                let mut mc = MeshConfig::new(ProcessId(i as u32), hello);
+                tune(&mut mc);
+                TcpMesh::establish(mc, listener, &addrs)
             }));
         }
         let mut meshes: Vec<TcpMesh<Num>> =
             handles.into_iter().map(|h| h.join().unwrap().unwrap()).collect();
         meshes.sort_by_key(|m| m.me().index());
         meshes
+    }
+
+    fn meshes(n: usize, domain: u64) -> Vec<TcpMesh<Num>> {
+        meshes_with(n, domain, |_| {})
     }
 
     fn recv_one(mesh: &TcpMesh<Num>, deadline: Duration) -> Vec<Inbound<Num>> {
@@ -656,10 +438,11 @@ mod tests {
         meshes[0].drain_into(&mut own);
         assert_eq!(own.len(), 1);
         assert_eq!(own[0].msg, Num(42));
-        let (frames, bytes, _, _, _, _) = meshes[0].stats().snapshot();
+        let (frames, bytes, _, _, _, _, dropped) = meshes[0].stats().snapshot();
         assert_eq!(frames, 1, "self-delivery must not touch a socket");
         // frame = 4-byte prefix + 9-byte round + 9-byte Num encoding
         assert_eq!(bytes, 22);
+        assert_eq!(dropped, 0);
         for m in meshes {
             m.shutdown();
         }
@@ -676,7 +459,7 @@ mod tests {
         let got = recv_one(&meshes[1], Duration::from_secs(5));
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].msg, Num(2));
-        let (_, _, reconnects, _, _, _) = meshes[0].stats().snapshot();
+        let (_, _, reconnects, _, _, _, _) = meshes[0].stats().snapshot();
         assert_eq!(reconnects, 1);
         for m in meshes {
             m.shutdown();
@@ -711,30 +494,42 @@ mod tests {
     }
 
     #[test]
+    fn undeliverable_frames_are_counted_not_silent() {
+        // Regression for the old writer path, which dropped a frame
+        // *silently* after one failed resend. Point a sender at a peer
+        // that has shut down for good, queue frames, and shut down with
+        // a short flush budget: every one must land in `frames_dropped`.
+        let mut meshes = meshes_with(2, 0xdd, |mc| {
+            mc.flush_timeout = Duration::from_millis(200);
+            mc.reconnect_backoff_cap = Duration::from_millis(10);
+        });
+        let receiver = meshes.pop().unwrap();
+        let sender = meshes.pop().unwrap();
+        // First failure: the peer shuts down entirely (connection dies).
+        receiver.shutdown();
+        // Queue frames that can never be delivered again.
+        for k in 0..3u64 {
+            sender.send(ProcessId(1), 2, &Num(k));
+        }
+        // Second failure: every re-dial during the flush fails too.
+        let stats = sender.stats().clone();
+        sender.shutdown();
+        let (_, _, _, _, _, _, dropped) = stats.snapshot();
+        assert!(dropped >= 3, "expected ≥3 dropped frames counted, got {dropped}");
+    }
+
+    #[test]
     fn dial_jitter_is_deterministic_and_bounded() {
-        let spec = |jitter| LinkSpec {
-            addr: "127.0.0.1:1".parse().unwrap(),
-            hello: Hello {
-                version: PROTOCOL_VERSION,
-                id: ProcessId(0),
-                config_digest: config_digest(&SystemConfig::new(3, 1).unwrap()),
-                domain: 0,
-            },
-            peer: ProcessId(3),
-            n: 4,
-            backoff_cap: Duration::from_millis(250),
-            jitter,
-        };
-        let z = spec(Duration::ZERO);
-        assert_eq!(dial_jitter(&z, 0), Duration::ZERO);
-        let j = spec(Duration::from_millis(10));
+        use crate::reactor::dial_jitter;
+        assert_eq!(dial_jitter(ProcessId(3), 0, Duration::ZERO), Duration::ZERO);
+        let jit = Duration::from_millis(10);
         for attempt in 0..50 {
-            let a = dial_jitter(&j, attempt);
-            assert!(a < Duration::from_millis(10), "jitter {a:?} out of bounds");
-            assert_eq!(a, dial_jitter(&j, attempt), "jitter must be deterministic");
+            let a = dial_jitter(ProcessId(3), attempt, jit);
+            assert!(a < jit, "jitter {a:?} out of bounds");
+            assert_eq!(a, dial_jitter(ProcessId(3), attempt, jit), "jitter must be deterministic");
         }
         // Different attempts spread across the range.
-        assert_ne!(dial_jitter(&j, 0), dial_jitter(&j, 1));
+        assert_ne!(dial_jitter(ProcessId(3), 0, jit), dial_jitter(ProcessId(3), 1, jit));
     }
 
     #[test]
@@ -761,5 +556,60 @@ mod tests {
         for h in handles {
             assert!(h.join().unwrap().is_err());
         }
+    }
+
+    #[test]
+    fn stalled_dialer_is_reaped_at_the_handshake_deadline() {
+        // The slow-loris byte-level case, driven directly: a raw TCP
+        // client sends half a handshake frame and stalls; the reactor
+        // must reject it at the deadline and keep serving real links.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let loris_target = listener.local_addr().unwrap();
+        let other = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![loris_target, other.local_addr().unwrap()];
+        let cfg = SystemConfig::new(3, 1).unwrap();
+        let digest = config_digest(&cfg);
+        let mk_hello = |i: u32| Hello {
+            version: PROTOCOL_VERSION,
+            id: ProcessId(i),
+            config_digest: digest,
+            domain: 0xf00d,
+        };
+        let mut mc0 = MeshConfig::new(ProcessId(0), mk_hello(0));
+        mc0.handshake_timeout = Duration::from_millis(250);
+        let mut mc1 = MeshConfig::new(ProcessId(1), mk_hello(1));
+        mc1.handshake_timeout = Duration::from_millis(250);
+        let addrs0 = addrs.clone();
+        let h0 = std::thread::spawn(move || TcpMesh::<Num>::establish(mc0, listener, &addrs0));
+        let h1 = std::thread::spawn(move || TcpMesh::<Num>::establish(mc1, other, &addrs));
+        let m0 = h0.join().unwrap().unwrap();
+        let m1 = h1.join().unwrap().unwrap();
+
+        // The loris: half a frame header, then silence.
+        let mut loris = TcpStream::connect(loris_target).unwrap();
+        loris.write_all(&[0x00, 0x00]).unwrap();
+
+        // Healthy traffic keeps flowing both ways while the loris sits.
+        m1.send(ProcessId(0), 1, &Num(5));
+        assert_eq!(recv_one(&m0, Duration::from_secs(5)).len(), 1);
+        m0.send(ProcessId(1), 1, &Num(6));
+        assert_eq!(recv_one(&m1, Duration::from_secs(5)).len(), 1);
+
+        // After the deadline the loris is reaped and counted.
+        let start = Instant::now();
+        loop {
+            let (_, _, _, _, rejects, _, _) = m0.stats().snapshot();
+            if rejects >= 1 {
+                break;
+            }
+            assert!(start.elapsed() < Duration::from_secs(5), "stalled handshake was never reaped");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Mesh still live afterwards.
+        m1.send(ProcessId(0), 2, &Num(9));
+        assert_eq!(recv_one(&m0, Duration::from_secs(5)).len(), 1);
+        drop(loris);
+        m0.shutdown();
+        m1.shutdown();
     }
 }

@@ -1,0 +1,300 @@
+//! Minimal readiness layer: `poll(2)` plus a self-wake pipe.
+//!
+//! The reactor ([`crate::reactor`]) drives every socket of a mesh from
+//! one thread, which needs two primitives the standard library does not
+//! expose: *"sleep until any of these descriptors is readable/writable
+//! or a timeout elapses"* and *"wake that sleep from another thread"*.
+//! Both are built here from the POSIX `poll(2)` entry point — already
+//! linked into every Rust binary through libstd's platform layer, so no
+//! new crate dependency is needed — and a nonblocking
+//! [`std::os::unix::net::UnixStream`] pair.
+//!
+//! `poll(2)` rather than `epoll`: the set is rebuilt per iteration from
+//! the link table anyway (link states change events between iterations),
+//! mesh fan-in is at most `2(n-1) + 2` descriptors, and `poll` is the
+//! one readiness call with identical semantics on every Unix.
+//!
+//! This module is the only place in the crate allowed to use `unsafe`
+//! (the three `extern "C"` calls); the crate root is
+//! `#![deny(unsafe_code)]` with the allowance scoped to exactly here.
+
+use std::io;
+#[cfg(unix)]
+use std::io::{Read, Write};
+#[cfg(unix)]
+use std::os::unix::io::AsRawFd;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// "Readable" readiness event bit (POSIX `POLLIN`).
+pub const POLLIN: i16 = 0x001;
+/// "Writable" readiness event bit (POSIX `POLLOUT`).
+pub const POLLOUT: i16 = 0x004;
+/// Error condition result bit (POSIX `POLLERR`, result-only).
+pub const POLLERR: i16 = 0x008;
+/// Hangup result bit (POSIX `POLLHUP`, result-only).
+pub const POLLHUP: i16 = 0x010;
+/// Invalid-descriptor result bit (POSIX `POLLNVAL`, result-only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of a poll set, layout-compatible with `struct pollfd`.
+///
+/// A negative `fd` is skipped by the kernel (its `revents` stays 0) —
+/// the portable way to keep slot indices stable while a link has no
+/// live socket.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+impl PollFd {
+    /// An entry watching `fd` for `events` (an OR of [`POLLIN`] /
+    /// [`POLLOUT`]).
+    pub fn new(fd: i32, events: i16) -> Self {
+        PollFd { fd, events, revents: 0 }
+    }
+
+    /// An entry the kernel ignores (negative descriptor).
+    pub fn unused() -> Self {
+        PollFd { fd: -1, events: 0, revents: 0 }
+    }
+
+    /// Readable, or in an error/hangup state a read will surface.
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+
+    /// Writable, or in an error/hangup state a write will surface.
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+
+    /// Any readiness or error condition at all.
+    pub fn ready(&self) -> bool {
+        self.revents != 0
+    }
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sys {
+    use super::PollFd;
+    use core::ffi::{c_int, c_ulong};
+
+    /// `rlimit` as declared by every 64-bit Unix libc this workspace
+    /// targets (`rlim_t` = unsigned 64-bit).
+    #[repr(C)]
+    pub struct RLimit {
+        pub cur: u64,
+        pub max: u64,
+    }
+
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    pub const RLIMIT_NOFILE: c_int = 7;
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    pub const RLIMIT_NOFILE: c_int = 8;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+        fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+        fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+    }
+
+    pub fn sys_poll(fds: &mut [PollFd], timeout_ms: c_int) -> c_int {
+        // SAFETY: `PollFd` is `#[repr(C)]` and layout-compatible with
+        // `struct pollfd`; the pointer/length pair describes exactly the
+        // caller's slice, which outlives the call.
+        unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) }
+    }
+
+    pub fn sys_getrlimit(lim: &mut RLimit) -> c_int {
+        // SAFETY: `lim` is a valid, writable `#[repr(C)]` rlimit.
+        unsafe { getrlimit(RLIMIT_NOFILE, lim) }
+    }
+
+    pub fn sys_setrlimit(lim: &RLimit) -> c_int {
+        // SAFETY: `lim` is a valid `#[repr(C)]` rlimit for the call's
+        // duration.
+        unsafe { setrlimit(RLIMIT_NOFILE, lim) }
+    }
+}
+
+/// Blocks until at least one entry is ready or `timeout` elapses.
+/// Returns the number of ready entries (0 on timeout); `EINTR` is
+/// reported as a plain timeout so callers just re-loop.
+#[cfg(unix)]
+pub fn poll(fds: &mut [PollFd], timeout: Duration) -> io::Result<usize> {
+    // Round sub-millisecond timeouts *up*: rounding down would turn a
+    // short timer sleep into a busy spin.
+    let mut ms = timeout.as_millis();
+    if Duration::from_millis(ms as u64) < timeout {
+        ms += 1;
+    }
+    let ms = ms.min(60_000) as i32;
+    let rc = sys::sys_poll(fds, ms);
+    if rc < 0 {
+        let e = io::Error::last_os_error();
+        if e.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(e);
+    }
+    Ok(rc as usize)
+}
+
+/// Portability fallback: without a readiness syscall, claim every entry
+/// ready after a short pacing sleep and let the nonblocking I/O calls
+/// report `WouldBlock` themselves. Functionally correct, just a ~1 ms
+/// duty cycle instead of a real sleep.
+#[cfg(not(unix))]
+pub fn poll(fds: &mut [PollFd], timeout: Duration) -> io::Result<usize> {
+    std::thread::sleep(timeout.min(Duration::from_millis(1)));
+    for f in fds.iter_mut() {
+        f.revents = f.events;
+    }
+    Ok(fds.len())
+}
+
+/// Best-effort raise of this process's open-file-descriptor limit to at
+/// least `want`, returning the resulting soft limit. A full mesh of `n`
+/// in-process peers holds `2n(n-1)` sockets, which outgrows default
+/// limits near n ≈ 100; large-n tests call this first and size
+/// themselves to what they actually got. Raising the *hard* limit is
+/// attempted too (succeeds only with privilege) before settling for
+/// `min(want, hard)`.
+#[cfg(unix)]
+pub fn raise_nofile_limit(want: u64) -> u64 {
+    let mut lim = sys::RLimit { cur: 0, max: 0 };
+    if sys::sys_getrlimit(&mut lim) != 0 {
+        return 0;
+    }
+    if lim.cur >= want {
+        return lim.cur;
+    }
+    if lim.max < want {
+        let privileged = sys::RLimit { cur: want, max: want };
+        if sys::sys_setrlimit(&privileged) == 0 {
+            return want;
+        }
+    }
+    let capped = sys::RLimit { cur: want.min(lim.max), max: lim.max };
+    if sys::sys_setrlimit(&capped) == 0 {
+        capped.cur
+    } else {
+        lim.cur
+    }
+}
+
+/// Portability fallback: no per-process descriptor limit to manage.
+#[cfg(not(unix))]
+pub fn raise_nofile_limit(_want: u64) -> u64 {
+    u64::MAX
+}
+
+/// The sending half of a wake pipe: any thread holding a clone can
+/// interrupt the reactor's [`poll`] sleep.
+#[derive(Clone)]
+pub struct WakeHandle {
+    #[cfg(unix)]
+    tx: Arc<UnixStream>,
+    #[cfg(not(unix))]
+    _private: Arc<()>,
+}
+
+impl WakeHandle {
+    /// Interrupts the paired [`WakeFd`]'s poll. Never blocks: a full
+    /// pipe buffer means a wake is already pending, which is all a wake
+    /// means.
+    pub fn wake(&self) {
+        #[cfg(unix)]
+        {
+            let _ = (&*self.tx).write(&[1]);
+        }
+    }
+}
+
+/// The receiving half of a wake pipe, owned by the reactor and entered
+/// into every poll set.
+pub struct WakeFd {
+    #[cfg(unix)]
+    rx: UnixStream,
+}
+
+impl WakeFd {
+    /// Raw descriptor for the poll set (`-1` on platforms without one —
+    /// [`PollFd`] entries with a negative fd are skipped).
+    pub fn fd(&self) -> i32 {
+        #[cfg(unix)]
+        {
+            self.rx.as_raw_fd()
+        }
+        #[cfg(not(unix))]
+        {
+            -1
+        }
+    }
+
+    /// Discards every pending wake byte.
+    pub fn drain(&mut self) {
+        #[cfg(unix)]
+        {
+            let mut buf = [0u8; 64];
+            while matches!(self.rx.read(&mut buf), Ok(k) if k > 0) {}
+        }
+    }
+}
+
+/// Creates a connected (sender, receiver) wake pair, both nonblocking.
+pub fn wake_pair() -> io::Result<(WakeHandle, WakeFd)> {
+    #[cfg(unix)]
+    {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok((WakeHandle { tx: Arc::new(tx) }, WakeFd { rx }))
+    }
+    #[cfg(not(unix))]
+    {
+        Ok((WakeHandle { _private: Arc::new(()) }, WakeFd {}))
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_interrupts_poll_and_drains() {
+        let (tx, mut rx) = wake_pair().unwrap();
+        let mut fds = [PollFd::new(rx.fd(), POLLIN)];
+        // No wake pending: times out with nothing ready.
+        assert_eq!(poll(&mut fds, Duration::from_millis(5)).unwrap(), 0);
+        assert!(!fds[0].ready());
+        tx.wake();
+        tx.wake();
+        let mut fds = [PollFd::new(rx.fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, Duration::from_secs(5)).unwrap(), 1);
+        assert!(fds[0].readable());
+        rx.drain();
+        let mut fds = [PollFd::new(rx.fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, Duration::from_millis(5)).unwrap(), 0);
+    }
+
+    #[test]
+    fn unused_entries_are_skipped() {
+        let mut fds = [PollFd::unused()];
+        assert_eq!(poll(&mut fds, Duration::from_millis(1)).unwrap(), 0);
+        assert!(!fds[0].ready());
+    }
+
+    #[test]
+    fn nofile_limit_reports_something_sane() {
+        let got = raise_nofile_limit(64);
+        assert!(got >= 64, "any Unix grants at least 64 descriptors, got {got}");
+    }
+}

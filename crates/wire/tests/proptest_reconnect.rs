@@ -1,0 +1,74 @@
+//! Property tests for the reactor's reconnect schedule.
+//!
+//! Two properties over the whole input space:
+//!
+//! 1. **Bounded**: the delay before any re-dial attempt never exceeds
+//!    `reconnect_backoff_cap + reconnect_jitter` (with a sub-millisecond
+//!    cap treated as 1 ms) — a mesh can never invent a longer outage
+//!    than its configuration allows, no matter how many attempts failed.
+//! 2. **Deterministic**: the jitter component is a pure function of
+//!    `(peer, attempt, jitter)`, so two runs of the same scenario
+//!    produce the same redial schedule — reproducibility is part of the
+//!    test-harness contract, jitter only decorrelates *different* peers.
+
+use meba_crypto::ProcessId;
+use meba_wire::{dial_jitter, reconnect_delay};
+use proptest::prelude::*;
+use std::time::Duration;
+
+proptest! {
+    #[test]
+    fn per_attempt_delay_never_exceeds_cap_plus_jitter(
+        peer in 0u32..1024,
+        attempt in 0u64..10_000,
+        cap_ms in 0u64..10_000,
+        jitter_ns in 0u64..2_000_000_000,
+    ) {
+        let cap = Duration::from_millis(cap_ms);
+        let jitter = Duration::from_nanos(jitter_ns);
+        let d = reconnect_delay(ProcessId(peer), attempt, cap, jitter);
+        let bound = cap.max(Duration::from_millis(1)) + jitter;
+        prop_assert!(
+            d <= bound,
+            "attempt {attempt} to p{peer}: delay {d:?} exceeds cap+jitter bound {bound:?}"
+        );
+        // The backoff component alone is also monotone up to the cap:
+        // attempt 0 starts at 1 ms.
+        prop_assert!(d >= Duration::from_millis(1).min(bound));
+    }
+
+    #[test]
+    fn dial_jitter_is_deterministic_and_strictly_below_the_bound(
+        peer in 0u32..1024,
+        attempt in 0u64..10_000,
+        jitter_ns in 1u64..2_000_000_000,
+    ) {
+        let jitter = Duration::from_nanos(jitter_ns);
+        let a = dial_jitter(ProcessId(peer), attempt, jitter);
+        let b = dial_jitter(ProcessId(peer), attempt, jitter);
+        prop_assert_eq!(a, b, "jitter must be a pure function of (peer, attempt, jitter)");
+        prop_assert!(a < jitter, "jitter {a:?} must stay strictly inside [0, {jitter:?})");
+    }
+
+    #[test]
+    fn zero_jitter_disables_the_jitter_term(
+        peer in 0u32..1024,
+        attempt in 0u64..10_000,
+    ) {
+        prop_assert_eq!(
+            dial_jitter(ProcessId(peer), attempt, Duration::ZERO),
+            Duration::ZERO
+        );
+    }
+}
+
+/// The schedule decorrelates peers: with a non-trivial jitter window, at
+/// least two of the first few peers get different jitters for the same
+/// attempt (the whole point of per-peer jitter — no thundering herd when
+/// everyone redials a restarted process at once).
+#[test]
+fn jitter_spreads_across_peers() {
+    let jitter = Duration::from_millis(50);
+    let js: Vec<Duration> = (0..8).map(|p| dial_jitter(ProcessId(p), 1, jitter)).collect();
+    assert!(js.windows(2).any(|w| w[0] != w[1]), "all peers got identical jitter: {js:?}");
+}

@@ -33,6 +33,9 @@ cargo run --release --locked --example tcp_cluster
 echo "== large-n smoke (discrete-event backend: n = 65 f=0 and f=t, n = 129 acceptance) =="
 cargo test --release --locked -p meba-testkit --test large_n -- --include-ignored
 
+echo "== reactor-mesh scale (real loopback sockets: n = 65 smoke, n = 101 acceptance; words vs DES, O(n) threads) =="
+cargo test --release --locked -p meba-testkit --test tcp_scale -- --include-ignored
+
 echo "== example smoke (101-replica log on the discrete-event backend) =="
 cargo run --release --locked --example large_n
 
