@@ -932,6 +932,93 @@ pub fn run_mesh_scale_bb(n: usize, delta: std::time::Duration, seed: u64) -> Mes
     }
 }
 
+/// Outcome of one δ-estimate cell of the timing sweep (experiment E17:
+/// how the quorum-or-timeout round driver degrades as the δ-estimate
+/// drifts away from the network's true bound).
+#[derive(Clone, Debug)]
+pub struct TimingSweepStats {
+    /// Local timer as a multiple of the nominal δ.
+    pub timeout_factor: f64,
+    /// `true` = advance early only on a complete inbox (quorum = n);
+    /// `false` = the protocol quorum `n − t`, which can strand straggler
+    /// traffic.
+    pub full_inbox_quorum: bool,
+    /// Whether every correct process decided within the round budget.
+    pub completed: bool,
+    /// Whether all correct processes decided the *same* value
+    /// (vacuously true for incomplete runs). Safety: must never be
+    /// false, no matter how wrong the δ-estimate is.
+    pub agreement: bool,
+    /// Whether that common decision was the sender's input. Validity
+    /// holds whenever the synchrony precondition does; under a broken
+    /// precondition ⊥ is a legitimate outcome.
+    pub decided_input: bool,
+    /// Rounds executed (the budget itself for incomplete runs).
+    pub rounds: u64,
+    /// Words sent by correct processes.
+    pub words: u64,
+    /// Words of the lockstep baseline with the same seed.
+    pub baseline_words: u64,
+    /// Round advances fired by quorum readiness.
+    pub quorum_advances: u64,
+    /// Round advances fired by the local timer.
+    pub timeout_advances: u64,
+}
+
+/// Runs one E17 cell: failure-free BB (n = 5, sender `p0`, value 7) on
+/// the DES backend under the quorum-or-timeout driver with a local timer
+/// of `timeout_factor · δ`, against a *fixed* network truth — real link
+/// delay capped at δ/2, per-process clock skew up to δ/8. The paper's
+/// synchrony precondition (delay + skew < round length, Lemma 18) holds
+/// for every timer above 0.625 δ and breaks below it, so sweeping the
+/// factor from 0.25 to 4 traces the degradation curve of a mis-estimated
+/// δ while the lockstep baseline pins the reference word bill.
+pub fn run_timing_sweep(
+    timeout_factor: f64,
+    full_inbox_quorum: bool,
+    seed: u64,
+) -> TimingSweepStats {
+    use meba_testkit::{bb_des, bb_des_timed, bb_report_decisions, Fault, Timing};
+
+    let n = 5;
+    let faults = vec![Fault::None; n];
+    let (sender, input) = (0u32, 7u64);
+    let delta = Timing::DELTA_NS;
+
+    let baseline = bb_des(sender, input, &faults, seed);
+    assert!(baseline.completed, "E17: lockstep baseline must terminate");
+
+    let mut timing =
+        Timing::quorum_or_timeout(timeout_factor).with_link_cap(delta / 2).with_skew(delta / 8);
+    if full_inbox_quorum {
+        timing = timing.with_quorum(n);
+    }
+    let report = bb_des_timed(sender, input, &faults, seed, &timing);
+    // Undecided actors make `bb_report_decisions` panic, so only read
+    // decisions out of completed runs.
+    let (agreement, decided_input) = if report.completed {
+        let decisions = bb_report_decisions(&report, &faults);
+        (
+            decisions.windows(2).all(|w| w[0] == w[1]),
+            decisions.iter().all(|d| *d == Decision::Value(input)),
+        )
+    } else {
+        (true, false)
+    };
+    TimingSweepStats {
+        timeout_factor,
+        full_inbox_quorum,
+        completed: report.completed,
+        agreement,
+        decided_input,
+        rounds: report.rounds,
+        words: report.metrics.correct.words,
+        baseline_words: baseline.metrics.correct.words,
+        quorum_advances: report.metrics.advance.quorum,
+        timeout_advances: report.metrics.advance.timeout,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,6 +1,7 @@
 //! Backend-agnostic run configuration and report types, shared verbatim
 //! by the threaded, TCP, and discrete-event backends.
 
+use crate::driver::RoundDriverConfig;
 use crate::fate::ProcessFateFactory;
 use crate::pacer::ClusterDiagnostic;
 use meba_crypto::ProcessId;
@@ -130,6 +131,13 @@ pub struct ClusterConfig {
     /// runtime only). Spreads simultaneous redials after a restart;
     /// zero (the default) preserves the historical behaviour.
     pub reconnect_jitter: Duration,
+    /// How each process decides to advance into its next round:
+    /// [`RoundDriverConfig::Lockstep`] (default — the shared
+    /// [`DeadlinePacer`](crate::DeadlinePacer) schedule) or
+    /// [`RoundDriverConfig::QuorumOrTimeout`] (event-driven — a quorum
+    /// of prior-round senders or a local `timeout_factor · δ` timer,
+    /// whichever fires first).
+    pub driver: RoundDriverConfig,
 }
 
 impl fmt::Debug for ClusterConfig {
@@ -145,6 +153,7 @@ impl fmt::Debug for ClusterConfig {
             .field("process_fate", &self.process_fate.as_ref().map(|_| "<factory>"))
             .field("reconnect_backoff_cap", &self.reconnect_backoff_cap)
             .field("reconnect_jitter", &self.reconnect_jitter)
+            .field("driver", &self.driver)
             .finish()
     }
 }
@@ -162,6 +171,7 @@ impl Default for ClusterConfig {
             process_fate: None,
             reconnect_backoff_cap: Duration::from_millis(250),
             reconnect_jitter: Duration::ZERO,
+            driver: RoundDriverConfig::Lockstep,
         }
     }
 }

@@ -11,6 +11,7 @@
 //! rather than a racy post-join recomputation.
 
 use crate::config::{ClusterConfig, ClusterReport, Escalation, OverrunAction};
+use crate::driver::RoundDriverConfig;
 use crate::fate::{resolve_fates, ActorRebuilder};
 use crate::pacer::{AbortReason, ClusterDiagnostic, DeadlinePacer, Pacer};
 use crate::process::{EngineProcess, StepStatus};
@@ -66,6 +67,8 @@ struct WorkerConfig {
     max_rounds: u64,
     overrun_window: u32,
     overrun_action: OverrunAction,
+    driver: RoundDriverConfig,
+    n: usize,
 }
 
 /// Runs every actor on its own thread over its own transport until every
@@ -78,8 +81,9 @@ struct WorkerConfig {
 ///
 /// # Panics
 ///
-/// Panics if `actors` is empty, ids are not `p0..p(n-1)` in order, or
-/// the transport/policy vectors are not aligned with `actors`.
+/// Panics if `actors` is empty, ids are not `p0..p(n-1)` in order, the
+/// transport/policy vectors are not aligned with `actors`, or the
+/// [`RoundDriverConfig`] is invalid.
 pub fn run_threaded_cluster<M, T>(
     actors: Vec<Box<dyn AnyActor<Msg = M>>>,
     transports: Vec<T>,
@@ -98,6 +102,7 @@ where
     for (i, a) in actors.iter().enumerate() {
         assert_eq!(a.id().index(), i, "actor {i} has id {}", a.id());
     }
+    config.driver.validate().expect("invalid round driver configuration");
     let fates = resolve_fates(n, config.process_fate.as_ref(), rebuilder.is_some());
 
     let ctrl = Arc::new(Control {
@@ -127,6 +132,8 @@ where
             max_rounds: config.max_rounds,
             overrun_window: config.overrun_window,
             overrun_action: config.overrun_action.clone(),
+            driver: config.driver,
+            n,
         };
         handles.push(std::thread::spawn(move || {
             run_paced_process(proc, transport, ctrl, corrupt, cfg)
@@ -164,7 +171,9 @@ where
     }
 }
 
-/// One thread's life: δ-paced rounds under coordinator approval, the
+/// One thread's life: rounds under coordinator approval, paced by the
+/// configured [`RoundDriverConfig`] — the shared [`DeadlinePacer`]
+/// schedule (lockstep) or a local quorum-or-timeout wait — with the
 /// round body delegated to [`EngineProcess::step`].
 fn run_paced_process<M: Message, T: Transport<M>>(
     mut proc: EngineProcess<M>,
@@ -175,10 +184,20 @@ fn run_paced_process<M: Message, T: Transport<M>>(
 ) -> (Box<dyn AnyActor<Msg = M>>, u64) {
     let i = proc.id().index();
     let is_coordinator = i == 0;
+    let quorum = cfg.driver.effective_quorum(cfg.n);
     // Coordinator-only escalation bookkeeping.
     let mut overruns_seen = 0u64;
     let mut consecutive_overruns = 0u32;
     let mut round = 0u64;
+    // Event-driven mode: each round's deadline is one (backed-off)
+    // timeout after the previous round's *scheduled* deadline, clamped
+    // to at most one timeout ahead of now. Anchoring on the schedule
+    // keeps early quorum advances from compressing the local grid; the
+    // clamp re-paces after a catch-up burst or a slow round. The timer
+    // doubles whenever a round admits late traffic (evidence the local
+    // δ-estimate outpaced the network).
+    let mut sched_deadline = Instant::now();
+    let mut backoff_shift = 0u32;
 
     'rounds: while round < cfg.max_rounds {
         if ctrl.stop_at.load(Ordering::SeqCst) <= round {
@@ -190,7 +209,39 @@ fn run_paced_process<M: Message, T: Transport<M>>(
                 Approval::Stop => break 'rounds,
             }
         }
-        ctrl.pacer.wait_for_round(round);
+        let quorum_ready = match &cfg.driver {
+            RoundDriverConfig::Lockstep => {
+                ctrl.pacer.wait_for_round(round);
+                // The schedule is untouched by quorum state; the check
+                // only feeds the advance-cause metric. (Draining early
+                // is safe: admission partitions by `sent_round` inside
+                // the step, so *when* a delivery is pulled off the
+                // transport never changes *what* is admitted.)
+                round >= 1 && proc.ready_senders(round, &mut transport) >= quorum
+            }
+            RoundDriverConfig::QuorumOrTimeout { .. } => {
+                let timeout = cfg
+                    .driver
+                    .timeout_duration(ctrl.pacer.delta_at(round))
+                    .saturating_mul(1u32 << backoff_shift.min(crate::driver::MAX_BACKOFF_SHIFT));
+                let now = Instant::now();
+                let deadline = sched_deadline.max(now).min(now + timeout) + timeout;
+                sched_deadline = deadline;
+                let mut ready = false;
+                loop {
+                    if round >= 1 && proc.ready_senders(round, &mut transport) >= quorum {
+                        ready = true;
+                        break;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    std::thread::sleep((deadline - now).min(Duration::from_micros(100)));
+                }
+                ready
+            }
+        };
 
         let proc_start = Instant::now();
         let status: StepStatus = proc.step(round, &mut transport, &ctrl.metrics);
@@ -202,9 +253,33 @@ fn run_paced_process<M: Message, T: Transport<M>>(
             let proc_end = Instant::now();
             let latency_us =
                 u64::try_from(proc_end.duration_since(proc_start).as_micros()).unwrap_or(u64::MAX);
-            ctrl.metrics.lock().round_latency.record_us(latency_us);
-            if ctrl.pacer.overran(round) {
+            let overran = match &cfg.driver {
+                // Lockstep: past the global deadline of the round.
+                RoundDriverConfig::Lockstep => ctrl.pacer.overran(round),
+                // Event-driven: there is no global deadline; an overrun
+                // is processing that outlasts the effective δ itself.
+                RoundDriverConfig::QuorumOrTimeout { .. } => {
+                    proc_end.duration_since(proc_start) > ctrl.pacer.delta_at(round)
+                }
+            };
+            {
+                let mut m = ctrl.metrics.lock();
+                m.round_latency.record_us(latency_us);
+                if round >= 1 {
+                    match quorum_ready {
+                        true => m.advance.quorum += 1,
+                        false => m.advance.timeout += 1,
+                    }
+                }
+            }
+            if overran {
                 ctrl.overruns.fetch_add(1, Ordering::Relaxed);
+            }
+            if !cfg.driver.is_lockstep()
+                && status.late_admitted > 0
+                && backoff_shift < crate::driver::MAX_BACKOFF_SHIFT
+            {
+                backoff_shift += 1;
             }
         }
         ctrl.done_flags[i].store(status.done, Ordering::SeqCst);

@@ -11,18 +11,36 @@
 //! `Ω(n²)` fallback crossover) at system sizes the paced runtimes cannot
 //! reach.
 //!
+//! Since the event-driven refactor the backend is *per-process-clocked*:
+//! each process owns a round counter and advances it when its
+//! [`RoundDriverConfig`] says so — at the global schedule `r · δ`
+//! (lockstep, the default), or at quorum-or-local-timeout (partial
+//! synchrony). On top of the driver the config models three timing
+//! hazards from the paper's synchrony discussion:
+//!
+//! * **clock skew** ([`DesConfig::max_skew_ns`]) — seeded per-process
+//!   start offsets, so "round r" happens at different instants on
+//!   different processes;
+//! * **GST** ([`DesConfig::gst_ns`]) — before a global stabilization
+//!   time, link latency is sampled up to
+//!   [`DesConfig::pre_gst_delay_ns`] (typically ≫ δ); after it, strictly
+//!   inside `(0, δ)`;
+//! * **asymmetric links** ([`DesConfig::link_floor_ns`]) — a per-directed-
+//!   link latency floor, so some links are systematically slower.
+//!
 //! Determinism: same actors, same [`DesConfig`] (including `seed`) ⇒
-//! byte-identical [`Metrics`]. Time is virtual, processes step in id
-//! order, the event heap breaks timestamp ties by a global send sequence
-//! number, and each round's deliveries surface in send order — the same
-//! per-round FIFO order the lockstep simulator produces, so decisions
-//! and word counts are comparable across backends (see the cross-runtime
-//! equivalence tests in `meba-testkit`). The rushing-adversary wave
-//! scheduling of `meba_sim::Simulation` is the one lockstep feature this
-//! backend does not model: corrupt actors observe a round's traffic one
-//! round later, like everyone else.
+//! byte-identical [`Metrics`]. Time is virtual; simultaneous events
+//! resolve arrivals first (in global send order) and then round
+//! executions in process-id order — under the lockstep driver this
+//! reproduces the pre-refactor global loop ("deliver everything due,
+//! then step processes in id order") event for event, which is why the
+//! cross-runtime equivalence suites in `meba-testkit` hold unchanged.
+//! The rushing-adversary wave scheduling of `meba_sim::Simulation` is
+//! the one lockstep feature this backend does not model: corrupt actors
+//! observe a round's traffic one round later, like everyone else.
 
 use crate::config::{ClusterReport, LinkPolicyFactory};
+use crate::driver::{AdvanceCause, DriverConfigError, RoundDriverConfig};
 use crate::fate::{resolve_fates, ActorRebuilder, ProcessFateFactory};
 use crate::pacer::VirtualPacer;
 use crate::process::EngineProcess;
@@ -34,17 +52,27 @@ use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::rc::Rc;
+use std::sync::Arc;
+
+/// Per-directed-link latency floor in nanoseconds, for asymmetric delay
+/// scenarios: the sampled latency of `from → to` is at least
+/// `floor(from, to)` (clamped to δ − 2 so post-GST delivery still lands
+/// inside the sender's round window).
+pub type LinkDelayFloor = Arc<dyn Fn(ProcessId, ProcessId) -> u64 + Send + Sync>;
 
 /// Configuration of a [`run_des_cluster`] invocation.
 #[derive(Clone)]
 pub struct DesConfig {
     /// Virtual round duration δ in nanoseconds (≥ 2; the default is
     /// 1 ms of virtual time). Purely nominal — host wall clock never
-    /// enters the schedule.
+    /// enters the schedule. This is the network's *true* δ: post-GST
+    /// latency is strictly below it. The δ-*estimate* processes pace by
+    /// lives in [`DesConfig::driver`].
     pub delta_ns: u64,
-    /// Seed for the per-message link-latency sampling.
+    /// Seed for the per-message link-latency sampling (and the skew
+    /// offsets).
     pub seed: u64,
-    /// Hard cap on rounds.
+    /// Hard cap on rounds (per process).
     pub max_rounds: u64,
     /// Byzantine identities (excluded from correct-word accounting and
     /// from the done-check).
@@ -54,6 +82,34 @@ pub struct DesConfig {
     /// Process-level fault injection (crash-restart), resolved once up
     /// front like every backend.
     pub process_fate: Option<ProcessFateFactory>,
+    /// How rounds advance: [`RoundDriverConfig::Lockstep`] (default,
+    /// pre-refactor semantics) or quorum-or-timeout partial synchrony.
+    pub driver: RoundDriverConfig,
+    /// Maximum per-process clock skew in nanoseconds: process `i`
+    /// starts its round 0 at a seeded offset in `[0, max_skew_ns]`.
+    /// Under the lockstep driver the whole schedule shifts by the
+    /// offset (`skew_i + r · δ`). 0 (default) = perfectly aligned
+    /// clocks.
+    pub max_skew_ns: u64,
+    /// Global stabilization time on the virtual timeline. Messages
+    /// *sent* before this instant sample latency in
+    /// `(0, pre_gst_delay_ns]` instead of `(0, δ)`. 0 (default) =
+    /// synchronous from the start.
+    pub gst_ns: u64,
+    /// Latency cap for pre-GST sends (only meaningful with
+    /// `gst_ns > 0`; 0 falls back to δ, i.e. GST changes nothing).
+    pub pre_gst_delay_ns: u64,
+    /// Asymmetric per-link delay floors; `None` (default) = uniform
+    /// links.
+    pub link_floor_ns: Option<LinkDelayFloor>,
+    /// True network-delay cap for post-GST sends, in nanoseconds:
+    /// latency is sampled strictly inside `(floor, min(cap, δ))` instead
+    /// of `(floor, δ)`. `None` (default) keeps the classic sampler (cap
+    /// at δ) and is byte-identical to the pre-knob behavior. Timing
+    /// scenarios use it to honor the paper's synchrony precondition
+    /// (delay + skew < round length) for δ-estimates *below* δ: a
+    /// 0.5 δ timer can only work if real delays actually fit in it.
+    pub link_cap_ns: Option<u64>,
 }
 
 impl Default for DesConfig {
@@ -65,6 +121,12 @@ impl Default for DesConfig {
             corrupt: Vec::new(),
             link_policy: None,
             process_fate: None,
+            driver: RoundDriverConfig::Lockstep,
+            max_skew_ns: 0,
+            gst_ns: 0,
+            pre_gst_delay_ns: 0,
+            link_floor_ns: None,
+            link_cap_ns: None,
         }
     }
 }
@@ -72,7 +134,7 @@ impl Default for DesConfig {
 /// A [`DesConfig`] the backend cannot honor. Returned by
 /// [`run_des_cluster`] before any actor steps, so a bad configuration
 /// fails loudly and typed instead of panicking mid-run.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum DesConfigError {
     /// `delta_ns < 2`: link latency is sampled *strictly inside*
     /// `(0, δ)`, and on an integer nanosecond timeline that open
@@ -82,6 +144,15 @@ pub enum DesConfigError {
         /// The rejected value.
         delta_ns: u64,
     },
+    /// `link_cap_ns < 2`: the open latency interval `(0, cap)` holds no
+    /// integer nanosecond, same degeneracy as [`Self::DeltaTooSmall`].
+    LinkCapTooSmall {
+        /// The rejected value.
+        link_cap_ns: u64,
+    },
+    /// The [`RoundDriverConfig`] itself is invalid (e.g. a non-positive
+    /// timeout factor).
+    Driver(DriverConfigError),
 }
 
 impl std::fmt::Display for DesConfigError {
@@ -92,13 +163,25 @@ impl std::fmt::Display for DesConfigError {
                 "delta_ns = {delta_ns} is too small: the DES backend samples link \
                  latency strictly inside (0, \u{3b4}), which needs \u{3b4} \u{2265} 2 ns"
             ),
+            DesConfigError::LinkCapTooSmall { link_cap_ns } => write!(
+                f,
+                "link_cap_ns = {link_cap_ns} is too small: post-GST latency is sampled \
+                 strictly inside (0, cap), which needs cap \u{2265} 2 ns"
+            ),
+            DesConfigError::Driver(e) => write!(f, "invalid round driver: {e}"),
         }
     }
 }
 
 impl std::error::Error for DesConfigError {}
 
-fn splitmix(mut x: u64) -> u64 {
+impl From<DriverConfigError> for DesConfigError {
+    fn from(e: DriverConfigError) -> Self {
+        DesConfigError::Driver(e)
+    }
+}
+
+pub(crate) fn splitmix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -132,32 +215,47 @@ impl<M> Ord for Event<M> {
     }
 }
 
-/// The shared virtual network: clock, event heap, and per-process
-/// mailboxes of already-arrived deliveries.
+/// The shared virtual network: clock, in-flight arrival heap, and
+/// per-process mailboxes of already-arrived deliveries (tagged with
+/// their global send sequence so drains surface send order, the
+/// per-round FIFO every other backend produces).
 struct DesNet<M> {
     now_ns: u128,
     seq: u64,
-    delta_ns: u64,
     seed: u64,
+    gst_ns: u64,
+    pre_gst_delay_ns: u64,
+    link_floor_ns: Option<LinkDelayFloor>,
+    link_cap_ns: u64,
     heap: BinaryHeap<Reverse<Event<M>>>,
-    mailboxes: Vec<Vec<Delivery<M>>>,
+    mailboxes: Vec<Vec<(u64, Delivery<M>)>>,
 }
 
 impl<M: Message> DesNet<M> {
-    fn new(n: usize, delta_ns: u64, seed: u64) -> Self {
+    fn new(n: usize, config: &DesConfig) -> Self {
         DesNet {
             now_ns: 0,
             seq: 0,
-            delta_ns,
-            seed,
+            seed: config.seed,
+            gst_ns: config.gst_ns,
+            pre_gst_delay_ns: if config.pre_gst_delay_ns == 0 {
+                config.delta_ns
+            } else {
+                config.pre_gst_delay_ns
+            },
+            link_floor_ns: config.link_floor_ns.clone(),
+            link_cap_ns: config.link_cap_ns.unwrap_or(config.delta_ns).min(config.delta_ns),
             heap: BinaryHeap::new(),
             mailboxes: (0..n).map(|_| Vec::new()).collect(),
         }
     }
 
-    /// Seeded link latency strictly inside `(0, δ)`: arrival lands in
-    /// the sending round's window, so the `sent_round < round` delivery
-    /// rule behaves exactly as on the paced backends.
+    /// Seeded link latency. Post-GST (the default regime): strictly
+    /// inside `(floor, δ)`, so arrival lands in the sending round's
+    /// window and the `sent_round < round` delivery rule behaves exactly
+    /// as on the paced backends. Pre-GST: anywhere in
+    /// `(0, pre_gst_delay_ns]` — the adversary controls delivery up to
+    /// that bound and synchrony does not hold yet.
     fn latency_ns(&self, from: ProcessId, to: ProcessId, seq: u64) -> u64 {
         let x = splitmix(
             self.seed
@@ -165,7 +263,14 @@ impl<M: Message> DesNet<M> {
                 ^ splitmix(u64::from(to.0)).rotate_left(17)
                 ^ splitmix(seq).rotate_left(34),
         );
-        1 + x % (self.delta_ns - 1).max(1)
+        if self.now_ns < u128::from(self.gst_ns) {
+            return 1 + x % self.pre_gst_delay_ns.max(1);
+        }
+        let floor = match &self.link_floor_ns {
+            Some(f) => f(from, to).min(self.link_cap_ns.saturating_sub(2)),
+            None => 0,
+        };
+        floor + 1 + x % (self.link_cap_ns - floor - 1).max(1)
     }
 
     fn send(&mut self, from: ProcessId, to: ProcessId, sent_round: u64, msg: M) {
@@ -180,21 +285,8 @@ impl<M: Message> DesNet<M> {
         }));
     }
 
-    /// Advances the virtual clock to `t`, moving every event due by then
-    /// into its mailbox. Due events surface in send (`seq`) order — the
-    /// per-round FIFO order every other backend produces — rather than
-    /// raw arrival order, so inbox order (and thus any order-sensitive
-    /// tie-break in an actor) is backend-independent.
-    fn advance_to(&mut self, t: u128) {
-        let mut due: Vec<Event<M>> = Vec::new();
-        while self.heap.peek().is_some_and(|Reverse(e)| e.at_ns <= t) {
-            due.push(self.heap.pop().expect("peeked").0);
-        }
-        due.sort_by_key(|e| e.seq);
-        for e in due {
-            self.mailboxes[e.to].push(e.delivery);
-        }
-        self.now_ns = t;
+    fn next_arrival_at(&self) -> Option<u128> {
+        self.heap.peek().map(|Reverse(e)| e.at_ns)
     }
 }
 
@@ -210,13 +302,117 @@ impl<M: Message> Transport<M> for DesTransport<M> {
     }
 
     fn drain(&mut self, out: &mut Vec<Delivery<M>>) {
-        out.append(&mut self.net.borrow_mut().mailboxes[self.me.index()]);
+        let mut net = self.net.borrow_mut();
+        let mailbox = &mut net.mailboxes[self.me.index()];
+        // Send (`seq`) order, not arrival order: the per-round FIFO
+        // order every other backend produces, so inbox order (and thus
+        // any order-sensitive tie-break in an actor) is
+        // backend-independent.
+        mailbox.sort_by_key(|(seq, _)| *seq);
+        out.extend(mailbox.drain(..).map(|(_, d)| d));
     }
 
     fn crash(&mut self) {
         // A crashed process has no mailbox; in-flight events will land
         // and be discarded by the engine's dead-round drains.
         self.net.borrow_mut().mailboxes[self.me.index()].clear();
+    }
+}
+
+/// The per-run scheduling constants resolved from a [`DesConfig`].
+struct Schedule {
+    lockstep: bool,
+    delta_ns: u64,
+    driver: RoundDriverConfig,
+    quorum: usize,
+    max_rounds: u64,
+    skews: Vec<u64>,
+}
+
+impl Schedule {
+    /// Virtual deadline of round `round` for process `i`. Lockstep: the
+    /// global schedule (shifted by the process's skew). Event mode: one
+    /// (backed-off) timeout after the executed round's *scheduled* start
+    /// `prev` — not after the execution instant `now` — clamped to at
+    /// most one timeout ahead of `now`. Anchoring on the schedule keeps
+    /// quorum advancement from compressing the local grid (an early
+    /// execution must not steal the margin the next round's timer
+    /// needed); the clamp re-paces a process that just quorum-caught-up
+    /// through a backlog (its stale grid would otherwise stall it).
+    fn deadline(&self, i: usize, round: u64, prev: u128, now: u128, shift: u32) -> u128 {
+        if self.lockstep {
+            u128::from(self.skews[i]) + u128::from(round) * u128::from(self.delta_ns)
+        } else {
+            let timeout = u128::from(self.driver.backed_off_timeout_ns(self.delta_ns, shift));
+            prev.max(now).min(now + timeout) + timeout
+        }
+    }
+}
+
+/// Everything mutable the event loop threads through one round
+/// execution.
+struct Running<'a, M: Message> {
+    procs: &'a mut [EngineProcess<M>],
+    transports: &'a mut [DesTransport<M>],
+    metrics: &'a Mutex<Metrics>,
+    next_round: &'a mut [u64],
+    done: &'a mut [bool],
+    backoff: &'a mut [u32],
+    // Scheduled deadline of each process's next round (event mode's
+    // local grid anchor; mirrors the live entry in `deadlines`).
+    sched_deadline: &'a mut [u128],
+    // (at_ns, process, round); entries whose round is no longer the
+    // process's next are stale and skipped lazily.
+    deadlines: &'a mut BinaryHeap<Reverse<(u128, u64, u64)>>,
+}
+
+impl<M: Message> Running<'_, M> {
+    /// Executes process `i`'s next round at virtual instant `now`,
+    /// records the advance cause, applies late-delivery backoff, and
+    /// schedules the following deadline.
+    fn execute(&mut self, sched: &Schedule, i: usize, now: u128, cause: AdvanceCause) {
+        let round = self.next_round[i];
+        let status = self.procs[i].step(round, &mut self.transports[i], self.metrics);
+        if status.executed && round >= 1 {
+            let mut m = self.metrics.lock();
+            match cause {
+                AdvanceCause::QuorumReached => m.advance.quorum += 1,
+                AdvanceCause::TimeoutFired => m.advance.timeout += 1,
+            }
+        }
+        if !sched.lockstep
+            && status.late_admitted > 0
+            && self.backoff[i] < crate::driver::MAX_BACKOFF_SHIFT
+        {
+            // Late traffic proves this process's local schedule outran
+            // the network (mis-estimated δ, drift from quorum
+            // advancement, or a pre-GST prefix): double the timer —
+            // once per offending round — so the estimate eventually
+            // exceeds the true bound.
+            self.backoff[i] += 1;
+        }
+        self.done[i] = status.done;
+        self.next_round[i] = round + 1;
+        if round + 1 < sched.max_rounds {
+            let at = sched.deadline(i, round + 1, self.sched_deadline[i], now, self.backoff[i]);
+            self.sched_deadline[i] = at;
+            self.deadlines.push(Reverse((at, i as u64, round + 1)));
+        }
+    }
+
+    /// Quorum catch-up: while process `i` already holds a quorum of
+    /// prior-round senders for its next round, advance immediately.
+    /// Terminates because every advance raises `next_round`, which both
+    /// tightens the `sent_round + 1 ≥ round` test and is capped by
+    /// `max_rounds`.
+    fn quorum_advance(&mut self, sched: &Schedule, i: usize, now: u128) {
+        while self.next_round[i] >= 1
+            && self.next_round[i] < sched.max_rounds
+            && self.procs[i].ready_senders(self.next_round[i], &mut self.transports[i])
+                >= sched.quorum
+        {
+            self.execute(sched, i, now, AdvanceCause::QuorumReached);
+        }
     }
 }
 
@@ -230,7 +426,9 @@ impl<M: Message> Transport<M> for DesTransport<M> {
 ///
 /// Rejects a [`DesConfig`] with `delta_ns < 2` ([`DesConfigError`]): the
 /// latency interval `(0, δ)` holds no integer nanosecond at those sizes,
-/// so no schedule can satisfy the synchronous delivery rule.
+/// so no schedule can satisfy the synchronous delivery rule. Also
+/// rejects an invalid [`RoundDriverConfig`] (non-positive or non-finite
+/// `timeout_factor`).
 ///
 /// # Panics
 ///
@@ -240,20 +438,42 @@ pub fn run_des_cluster<M: Message>(
     rebuilder: Option<ActorRebuilder<M>>,
     config: DesConfig,
 ) -> Result<ClusterReport<M>, DesConfigError> {
-    if config.delta_ns < 2 {
-        return Err(DesConfigError::DeltaTooSmall { delta_ns: config.delta_ns });
+    let pacer = VirtualPacer::new(config.delta_ns)?;
+    config.driver.validate()?;
+    if let Some(cap) = config.link_cap_ns {
+        if cap < 2 {
+            return Err(DesConfigError::LinkCapTooSmall { link_cap_ns: cap });
+        }
     }
     let n = actors.len();
     assert!(n > 0, "cluster needs at least one actor");
     for (i, a) in actors.iter().enumerate() {
         assert_eq!(a.id().index(), i, "actor {i} has id {}", a.id());
     }
-    let pacer = VirtualPacer::new(config.delta_ns);
     let fates = resolve_fates(n, config.process_fate.as_ref(), rebuilder.is_some());
     let corrupt: Vec<bool> =
         (0..n).map(|i| config.corrupt.iter().any(|c| c.index() == i)).collect();
 
-    let net = Rc::new(RefCell::new(DesNet::<M>::new(n, pacer.delta_ns(), config.seed)));
+    let sched = Schedule {
+        lockstep: config.driver.is_lockstep(),
+        delta_ns: pacer.delta_ns(),
+        driver: config.driver,
+        quorum: config.driver.effective_quorum(n),
+        max_rounds: config.max_rounds,
+        skews: (0..n)
+            .map(|i| {
+                if config.max_skew_ns == 0 {
+                    0
+                } else {
+                    splitmix(config.seed ^ 0x5ce3_ab1e ^ splitmix(i as u64))
+                        % (config.max_skew_ns + 1)
+                }
+            })
+            .collect(),
+    };
+    let quorum_mode = !sched.lockstep;
+
+    let net = Rc::new(RefCell::new(DesNet::<M>::new(n, &config)));
     let mut transports: Vec<DesTransport<M>> =
         (0..n).map(|i| DesTransport { me: ProcessId(i as u32), net: net.clone() }).collect();
     let metrics = Mutex::new(Metrics::default());
@@ -268,28 +488,98 @@ pub fn run_des_cluster<M: Message>(
         })
         .collect();
 
+    let mut next_round = vec![0u64; n];
     let mut done = vec![false; n];
-    let mut round = 0u64;
+    let mut backoff = vec![0u32; n];
+    let mut sched_deadline: Vec<u128> = (0..n).map(|i| u128::from(sched.skews[i])).collect();
+    let mut deadlines: BinaryHeap<Reverse<(u128, u64, u64)>> = BinaryHeap::new();
+    for i in 0..n {
+        deadlines.push(Reverse((u128::from(sched.skews[i]), i as u64, 0)));
+    }
+    let all_correct_done = |done: &[bool]| (0..n).filter(|&j| !corrupt[j]).all(|j| done[j]);
     let mut completed = false;
-    while round < config.max_rounds {
-        net.borrow_mut().advance_to(pacer.round_start_ns(round));
-        for (i, proc) in procs.iter_mut().enumerate() {
-            done[i] = proc.step(round, &mut transports[i], &metrics).done;
+    let mut last_instant = 0u128;
+    let mut run = Running {
+        procs: &mut procs,
+        transports: &mut transports,
+        metrics: &metrics,
+        next_round: &mut next_round,
+        done: &mut done,
+        backoff: &mut backoff,
+        sched_deadline: &mut sched_deadline,
+        deadlines: &mut deadlines,
+    };
+    loop {
+        // Drop stale deadline entries (the process quorum-advanced past
+        // that round), then pick the earliest event. Simultaneous events
+        // resolve arrivals first — in send order — then deadlines in
+        // process-id order: under the lockstep driver this is exactly
+        // the pre-refactor global loop ("deliver everything due ≤ t,
+        // then step every process in id order at t").
+        while let Some(&Reverse((_, i, r))) = run.deadlines.peek() {
+            if run.next_round[i as usize] == r {
+                break;
+            }
+            run.deadlines.pop();
         }
-        round += 1;
-        if (0..n).filter(|&j| !corrupt[j]).all(|j| done[j]) {
-            completed = true;
-            break;
+        let arrival_at = net.borrow().next_arrival_at();
+        let deadline_at = run.deadlines.peek().map(|&Reverse((at, i, _))| (at, i as usize));
+        let (at, is_arrival) = match (arrival_at, deadline_at) {
+            (None, None) => break,
+            (Some(a), None) => (a, true),
+            (None, Some((d, _))) => (d, false),
+            (Some(a), Some((d, _))) => {
+                if a <= d {
+                    (a, true)
+                } else {
+                    (d, false)
+                }
+            }
+        };
+        // The completion verdict is evaluated at instant boundaries, so
+        // every process (corrupt ones included) executing at the
+        // completing instant still runs — as in the global loop, which
+        // stepped all n processes before checking.
+        if at > last_instant {
+            if all_correct_done(run.done) {
+                completed = true;
+                break;
+            }
+            last_instant = at;
+        }
+        net.borrow_mut().now_ns = at;
+        if is_arrival {
+            let Reverse(ev) = net.borrow_mut().heap.pop().expect("peeked arrival");
+            net.borrow_mut().mailboxes[ev.to].push((ev.seq, ev.delivery));
+            if quorum_mode {
+                run.quorum_advance(&sched, ev.to, at);
+            }
+        } else {
+            let Reverse((_, i, round)) = run.deadlines.pop().expect("peeked deadline");
+            let i = i as usize;
+            let quorum_ready =
+                run.procs[i].ready_senders(round, &mut run.transports[i]) >= sched.quorum;
+            let cause =
+                if quorum_ready { AdvanceCause::QuorumReached } else { AdvanceCause::TimeoutFired };
+            run.execute(&sched, i, at, cause);
+            if quorum_mode {
+                run.quorum_advance(&sched, i, at);
+            }
         }
     }
+    let _ = run;
+    if !completed && all_correct_done(&done) {
+        completed = true;
+    }
 
+    let rounds = next_round.iter().copied().max().unwrap_or(0);
     let actors_back: Vec<Box<dyn AnyActor<Msg = M>>> =
         procs.into_iter().map(|p| p.finish(&metrics)).collect();
     let mut metrics = metrics.into_inner();
-    metrics.rounds = round;
+    metrics.rounds = rounds;
     Ok(ClusterReport {
         metrics,
-        rounds: round,
+        rounds,
         actors: actors_back,
         completed,
         overruns: 0,
@@ -356,5 +646,135 @@ mod tests {
             run_des_cluster(echoes(3), None, DesConfig { delta_ns: 2, ..Default::default() })
                 .expect("delta_ns = 2 is accepted");
         assert!(report.completed);
+    }
+
+    #[test]
+    fn invalid_timeout_factor_is_rejected_typed() {
+        let cfg = DesConfig {
+            driver: RoundDriverConfig::QuorumOrTimeout { quorum: None, timeout_factor: 0.0 },
+            ..Default::default()
+        };
+        let err = run_des_cluster(echoes(3), None, cfg).unwrap_err();
+        assert_eq!(
+            err,
+            DesConfigError::Driver(DriverConfigError::TimeoutFactorInvalid { timeout_factor: 0.0 })
+        );
+    }
+
+    #[test]
+    fn failure_free_chatty_lockstep_advances_all_quorum() {
+        // Satellite: a failure-free run whose every advance has quorum
+        // evidence available must record zero timeout advances. The echo
+        // actors all broadcast in round 0, so every process enters round
+        // 1 holding n > quorum distinct round-0 senders.
+        let n = 5;
+        let report = run_des_cluster(echoes(n), None, DesConfig::default()).unwrap();
+        assert!(report.completed);
+        assert_eq!(report.metrics.advance.timeout, 0, "no advance lacked quorum");
+        assert_eq!(report.metrics.advance.quorum, n as u64, "one recorded advance per process");
+    }
+
+    #[test]
+    fn quorum_driver_matches_lockstep_on_chatty_traffic() {
+        let lockstep = run_des_cluster(echoes(7), None, DesConfig::default()).unwrap();
+        let quorum = run_des_cluster(
+            echoes(7),
+            None,
+            DesConfig { driver: RoundDriverConfig::quorum_or_timeout(), ..Default::default() },
+        )
+        .unwrap();
+        assert!(quorum.completed);
+        assert_eq!(quorum.rounds, lockstep.rounds);
+        assert_eq!(quorum.metrics.correct.words, lockstep.metrics.correct.words);
+        assert!(quorum.metrics.advance.quorum > 0, "early advancement actually fired");
+    }
+
+    #[test]
+    fn skewed_clocks_still_complete() {
+        for driver in [RoundDriverConfig::Lockstep, RoundDriverConfig::quorum_or_timeout()] {
+            let report = run_des_cluster(
+                echoes(5),
+                None,
+                DesConfig {
+                    driver,
+                    max_skew_ns: 500_000, // δ/2
+                    max_rounds: 64,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert!(report.completed, "skew ≤ δ/2 must not prevent termination");
+        }
+    }
+
+    /// Broadcasts once, counts deliveries monotonically: `done` latches,
+    /// unlike [`Echo`], so it tolerates deliveries spread across rounds.
+    struct Latch {
+        id: ProcessId,
+        heard: usize,
+        target: usize,
+    }
+    impl Actor for Latch {
+        type Msg = Tick;
+        fn id(&self) -> ProcessId {
+            self.id
+        }
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_, Tick>) {
+            if ctx.round() == meba_sim::Round(0) {
+                ctx.broadcast(Tick);
+            }
+            self.heard += ctx.inbox().len();
+        }
+        fn done(&self) -> bool {
+            self.heard >= self.target
+        }
+    }
+
+    fn latches(n: usize) -> Vec<Box<dyn AnyActor<Msg = Tick>>> {
+        (0..n)
+            .map(|i| Box::new(Latch { id: ProcessId(i as u32), heard: 0, target: n }) as _)
+            .collect()
+    }
+
+    #[test]
+    fn pre_gst_delays_defer_but_do_not_prevent_completion() {
+        // Messages sent before GST can take up to 6δ; the broadcast wave
+        // of round 0 arrives rounds late, yet every delivery eventually
+        // lands and the run completes within the budget.
+        let report = run_des_cluster(
+            latches(5),
+            None,
+            DesConfig {
+                gst_ns: 3_000_000,           // GST at 3δ
+                pre_gst_delay_ns: 6_000_000, // pre-GST latency up to 6δ
+                max_rounds: 64,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(report.completed);
+        assert!(report.rounds > 2, "late delivery must cost extra rounds, got {}", report.rounds);
+    }
+
+    #[test]
+    fn asymmetric_link_floors_are_honored_and_clamped() {
+        // A slow directed link p0 → p1 with a floor just under δ still
+        // delivers within the round window; a floor ≥ δ is clamped.
+        let floor: LinkDelayFloor = Arc::new(|from: ProcessId, to: ProcessId| {
+            if from == ProcessId(0) && to == ProcessId(1) {
+                u64::MAX // clamped to δ - 2
+            } else {
+                0
+            }
+        });
+        let report = run_des_cluster(
+            echoes(3),
+            None,
+            DesConfig { link_floor_ns: Some(floor), ..Default::default() },
+        )
+        .unwrap();
+        assert!(report.completed);
+        let l = report.metrics.link(ProcessId(0), ProcessId(1));
+        assert_eq!((l.sent, l.delivered), (1, 1), "slow link still delivers in-window");
     }
 }

@@ -14,6 +14,11 @@
 //! * [`Pacer`] — when rounds happen: [`DeadlinePacer`] (wall clock with
 //!   δ-escalation) and [`VirtualPacer`] (discrete-event virtual time);
 //!   the lockstep simulator's barrier is the degenerate third case.
+//! * [`RoundDriverConfig`] — *why* a process advances: the lockstep
+//!   global schedule (default), or event-driven quorum-or-timeout
+//!   partial synchrony where each process advances on a quorum of
+//!   prior-round senders or its local δ-estimate timer, whichever fires
+//!   first (see [`driver`]).
 //! * [`EngineProcess`] / [`run_live_round`] — the one per-process driver:
 //!   inbox partitioning by `sent_round`, word/byte/per-link accounting,
 //!   [`SendPolicy`] fault application, [`ProcessFate`] crash-restart
@@ -38,6 +43,7 @@ pub mod channel;
 pub mod config;
 pub mod control;
 pub mod des;
+pub mod driver;
 pub mod fate;
 pub mod pacer;
 pub mod process;
@@ -46,13 +52,16 @@ pub mod transport;
 pub use channel::{channel_mesh, ChannelTransport};
 pub use config::{ClusterConfig, ClusterReport, Escalation, LinkPolicyFactory, OverrunAction};
 pub use control::run_threaded_cluster;
-pub use des::{run_des_cluster, DesConfig, DesConfigError};
+pub use des::{run_des_cluster, DesConfig, DesConfigError, LinkDelayFloor};
+pub use driver::{
+    default_quorum, AdvanceCause, DriverConfigError, RoundDriverConfig, MAX_BACKOFF_SHIFT,
+};
 pub use fate::{
     resolve_fate, resolve_fates, ActorRebuilder, ProcessFate, ProcessFateFactory, RebuiltActor,
     ResolvedFate,
 };
 pub use pacer::{AbortReason, ClusterDiagnostic, DeadlinePacer, Pacer, VirtualPacer};
-pub use process::{run_live_round, EngineProcess, RoundState, StepStatus};
+pub use process::{run_live_round, EngineProcess, LiveRoundOutcome, RoundState, StepStatus};
 pub use transport::{Delivery, LinkPolicySendAdapter, SendFate, SendPolicy, Transport};
 
 #[cfg(test)]

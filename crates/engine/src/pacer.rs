@@ -15,6 +15,7 @@
 //! barrier *is* the pacer (every process steps atomically), which is why
 //! it needs no wall-clock machinery at all.
 
+use crate::des::DesConfigError;
 use parking_lot::RwLock;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -162,10 +163,20 @@ pub struct VirtualPacer {
 }
 
 impl VirtualPacer {
-    /// A virtual schedule with uniform δ of `delta_ns` nanoseconds
-    /// (clamped to ≥ 2 so a strictly-positive sub-δ link latency exists).
-    pub fn new(delta_ns: u64) -> Self {
-        VirtualPacer { delta_ns: delta_ns.max(2) }
+    /// A virtual schedule with uniform δ of `delta_ns` nanoseconds.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `delta_ns < 2` with the same typed
+    /// [`DesConfigError::DeltaTooSmall`] that [`crate::run_des_cluster`]
+    /// reports: link latency is sampled strictly inside `(0, δ)`, and on
+    /// an integer nanosecond timeline that open interval is empty for
+    /// δ ≤ 1 — so no caller can construct an invalid pacer unchecked.
+    pub fn new(delta_ns: u64) -> Result<Self, DesConfigError> {
+        if delta_ns < 2 {
+            return Err(DesConfigError::DeltaTooSmall { delta_ns });
+        }
+        Ok(VirtualPacer { delta_ns })
     }
 
     /// δ in virtual nanoseconds.
@@ -182,5 +193,23 @@ impl VirtualPacer {
 impl Pacer for VirtualPacer {
     fn delta_at(&self, _round: u64) -> Duration {
         Duration::from_nanos(self.delta_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_pacer_rejects_sub_two_deltas_typed() {
+        for bad in [0u64, 1] {
+            assert_eq!(
+                VirtualPacer::new(bad).unwrap_err(),
+                DesConfigError::DeltaTooSmall { delta_ns: bad }
+            );
+        }
+        let p = VirtualPacer::new(2).expect("2 ns is the smallest legal δ");
+        assert_eq!(p.delta_ns(), 2);
+        assert_eq!(p.round_start_ns(3), 6);
     }
 }

@@ -28,6 +28,42 @@ impl<M: Message> RoundState<M> {
         self.buffer.clear();
         self.pending.clear();
     }
+
+    /// How many distinct senders (including `me` itself) have already
+    /// produced the information that makes `round` ready: deliveries
+    /// buffered with `sent_round + 1 ≥ round`, i.e. traffic from the
+    /// immediately preceding round or later. `me` always counts — a
+    /// process trivially holds its own prior-round state, whether or not
+    /// a self-delivery happens to sit in the buffer. This is the quorum
+    /// test of the event-driven
+    /// [`crate::RoundDriverConfig::QuorumOrTimeout`] driver — reaching
+    /// [`crate::default_quorum`] here means the process holds everything
+    /// quorum logic can use from round `round - 1`, so it may advance
+    /// early. Because `sent_round ≥ round` traffic also counts, the same
+    /// test doubles as *catch-up*: a process that fell behind (timeout
+    /// backoff, a long GC pause on a paced backend) and holds a quorum's
+    /// worth of later-round traffic fast-forwards instead of crawling
+    /// timer by timer.
+    ///
+    /// Drains the transport into the persistent buffer as a side effect;
+    /// nothing is admitted or discarded (admission stays inside
+    /// [`run_live_round`], so calling this never changes what a later
+    /// round execution observes — only *when* it runs).
+    pub fn ready_senders(
+        &mut self,
+        me: ProcessId,
+        round: u64,
+        transport: &mut dyn Transport<M>,
+    ) -> usize {
+        transport.drain(&mut self.buffer);
+        let mut seen: Vec<ProcessId> = vec![me];
+        for d in &self.buffer {
+            if d.sent_round + 1 >= round && !seen.contains(&d.from) {
+                seen.push(d.from);
+            }
+        }
+        seen.len()
+    }
 }
 
 impl<M: Message> Default for RoundState<M> {
@@ -50,10 +86,11 @@ impl<M: Message> Default for RoundState<M> {
 ///    `policy` and recorded (words, constituent sigs, bytes, per-link
 ///    sent/dropped/delayed) whether or not it is ultimately transmitted.
 ///
-/// Returns `actor.done()` after the step. This function is the one
-/// implementation of the round body for every backend; `metrics` is
-/// locked briefly per accounting site, never across a (possibly
-/// blocking) transport send.
+/// Returns the round's [`LiveRoundOutcome`]: `actor.done()` after the
+/// step plus how many admitted deliveries had already missed their
+/// intended round. This function is the one implementation of the round
+/// body for every backend; `metrics` is locked briefly per accounting
+/// site, never across a (possibly blocking) transport send.
 #[allow(clippy::too_many_arguments)]
 pub fn run_live_round<M: Message>(
     actor: &mut dyn AnyActor<Msg = M>,
@@ -64,7 +101,7 @@ pub fn run_live_round<M: Message>(
     n: usize,
     sender_correct: bool,
     metrics: &Mutex<Metrics>,
-) -> bool {
+) -> LiveRoundOutcome {
     let me = actor.id();
     let i = me.index();
 
@@ -77,12 +114,21 @@ pub fn run_live_round<M: Message>(
     transport.drain(&mut state.buffer);
     let mut inbox: Vec<Envelope<M>> = Vec::new();
     let mut keep: Vec<Delivery<M>> = Vec::new();
+    let mut late_admitted = 0u64;
     {
         let mut metrics = metrics.lock();
         for d in state.buffer.drain(..) {
             if d.sent_round < round {
                 if d.from != me {
                     metrics.link_mut(d.from, me).delivered += 1;
+                    // A round-`r` message belongs in round `r + 1`;
+                    // admission later than that means the local round
+                    // counter outpaced this link (mis-estimated δ,
+                    // schedule drift, a pre-GST delay, or a fault-
+                    // delayed send — indistinguishable locally).
+                    if d.sent_round + 1 < round {
+                        late_admitted += 1;
+                    }
                 }
                 inbox.push(Envelope { from: d.from, msg: d.msg });
             } else {
@@ -140,7 +186,20 @@ pub fn run_live_round<M: Message>(
             }
         }
     }
-    actor.done()
+    LiveRoundOutcome { done: actor.done(), late_admitted }
+}
+
+/// What one [`run_live_round`] execution observed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LiveRoundOutcome {
+    /// `actor.done()` after the step.
+    pub done: bool,
+    /// Remote deliveries admitted this round that had already missed
+    /// their intended round (`sent_round + 1 < round`) — the local
+    /// evidence of a δ-estimate outpacing the network that the
+    /// event-driven backends feed into timeout backoff
+    /// ([`crate::RoundDriverConfig::backed_off_timeout_ns`]).
+    pub late_admitted: u64,
 }
 
 /// What one engine round did for one process.
@@ -152,6 +211,9 @@ pub struct StepStatus {
     pub executed: bool,
     /// `actor.done()` after the round (`false` while dead).
     pub done: bool,
+    /// [`LiveRoundOutcome::late_admitted`] of the executed round (0
+    /// while dead).
+    pub late_admitted: u64,
 }
 
 /// One process as the engine drives it: the actor, its persistent round
@@ -206,6 +268,21 @@ impl<M: Message> EngineProcess<M> {
         self.actor.id()
     }
 
+    /// Whether the process is currently crashed (dead rounds discard
+    /// traffic and execute nothing).
+    pub fn is_down(&self) -> bool {
+        self.dead
+    }
+
+    /// [`RoundState::ready_senders`] for this process — 0 while crashed
+    /// (a dead process holds no evidence and never advances early).
+    pub fn ready_senders(&mut self, round: u64, transport: &mut dyn Transport<M>) -> usize {
+        if self.dead {
+            return 0;
+        }
+        self.state.ready_senders(self.actor.id(), round, transport)
+    }
+
     /// Executes one engine round: fate handling (crash, dead-round
     /// discard, journal-replay rejoin) around [`run_live_round`].
     pub fn step<T: Transport<M>>(
@@ -254,10 +331,10 @@ impl<M: Message> EngineProcess<M> {
             // backend keeps pacing rounds so live peers advance.
             transport.drain(&mut self.state.buffer);
             self.state.buffer.clear();
-            return StepStatus { executed: false, done: false };
+            return StepStatus { executed: false, done: false, late_admitted: 0 };
         }
 
-        let done = run_live_round(
+        let outcome = run_live_round(
             self.actor.as_mut(),
             transport,
             &mut self.state,
@@ -267,14 +344,14 @@ impl<M: Message> EngineProcess<M> {
             self.sender_correct,
             metrics,
         );
-        if done {
+        if outcome.done {
             // Recovery latency: rounds from rejoin until this process is
             // done.
             if let Some(rj) = self.rejoin_round.take() {
                 metrics.lock().recovery.recovery_rounds += round - rj;
             }
         }
-        StepStatus { executed: true, done }
+        StepStatus { executed: true, done: outcome.done, late_admitted: outcome.late_admitted }
     }
 
     /// Ends the run for this process: harvests its equivocation-refusal

@@ -49,8 +49,9 @@ use meba_engine::{channel_mesh, LinkPolicySendAdapter, SendPolicy};
 use meba_sim::{AnyActor, Message};
 
 pub use meba_engine::{
-    AbortReason, ActorRebuilder, ClusterConfig, ClusterDiagnostic, ClusterReport, Escalation,
-    LinkPolicyFactory, OverrunAction, ProcessFate, ProcessFateFactory, RebuiltActor,
+    AbortReason, ActorRebuilder, AdvanceCause, ClusterConfig, ClusterDiagnostic, ClusterReport,
+    Escalation, LinkPolicyFactory, OverrunAction, ProcessFate, ProcessFateFactory, RebuiltActor,
+    RoundDriverConfig,
 };
 
 /// Runs `actors` as a real-time cluster until every correct actor is done,
@@ -154,6 +155,53 @@ mod tests {
         }
         // 4 broadcasts × 3 remote copies.
         assert_eq!(report.metrics.correct.words, 12);
+    }
+
+    #[test]
+    fn event_driven_cluster_delivers_and_records_advance_causes() {
+        // Same gossip scenario under the quorum-or-timeout driver: the
+        // decisions and word totals must match lockstep, and every
+        // advance must have a recorded cause.
+        let n = 4;
+        let cfg =
+            ClusterConfig { driver: RoundDriverConfig::quorum_or_timeout(), ..Default::default() };
+        let report = run_cluster(gossips(&[n; 4]), cfg);
+        assert!(report.completed);
+        assert!(report.aborted.is_none());
+        for a in &report.actors {
+            let g: &Gossip = a.as_any().downcast_ref().unwrap();
+            assert_eq!(g.heard, n, "every broadcast (incl. own) delivered once");
+        }
+        assert_eq!(report.metrics.correct.words, 12);
+        assert!(
+            report.metrics.advance.total() > 0,
+            "event-driven rounds record their advance cause"
+        );
+    }
+
+    #[test]
+    fn event_driven_cluster_times_out_silent_rounds() {
+        // Readiness counts the local process plus buffered senders, so
+        // with two silent peers a full-inbox quorum of 3 can never
+        // assemble (self + the one gossiping sender = 2): every advance
+        // must be a local timeout, and the cluster still terminates on
+        // its own clocks.
+        let actors: Vec<Box<dyn AnyActor<Msg = Ping>>> = vec![
+            Box::new(Gossip { id: ProcessId(0), heard: 0, target: 3 }),
+            Box::new(IdleActor::new(ProcessId(1))),
+            Box::new(IdleActor::new(ProcessId(2))),
+        ];
+        let cfg = ClusterConfig {
+            driver: RoundDriverConfig::QuorumOrTimeout { quorum: Some(3), timeout_factor: 1.0 },
+            max_rounds: 8,
+            ..Default::default()
+        };
+        let report = run_cluster(actors, cfg);
+        assert_eq!(
+            report.metrics.advance.quorum, 0,
+            "two silent peers can never complete a full inbox of 3"
+        );
+        assert!(report.metrics.advance.timeout > 0);
     }
 
     #[test]

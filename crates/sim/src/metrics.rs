@@ -205,6 +205,45 @@ impl SessionStats {
     }
 }
 
+/// Round-advancement accounting under the engine's quorum-or-timeout
+/// timing model.
+///
+/// Every time a process advances into a round `r ≥ 1`, the engine records
+/// *why*: either a quorum of distinct senders had already produced
+/// round-`(r-1)` traffic when the process advanced ([`quorum`]), or the
+/// local round timeout fired first ([`timeout`]). Under the lockstep
+/// driver the advance moment is the global schedule, and the cause
+/// records whether quorum was satisfied at that deadline — so a
+/// failure-free chatty run is all-quorum, while the adaptive protocols'
+/// silent rounds necessarily advance on timeout. All-zero for backends
+/// that predate cause recording (the lockstep simulator).
+///
+/// [`quorum`]: AdvanceStats::quorum
+/// [`timeout`]: AdvanceStats::timeout
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdvanceStats {
+    /// Advances for which a quorum of distinct prior-round senders had
+    /// arrived by the moment of advancement.
+    pub quorum: u64,
+    /// Advances forced by the local round timeout without quorum.
+    pub timeout: u64,
+}
+
+serde::impl_serde_struct!(AdvanceStats { quorum, timeout });
+
+impl AdvanceStats {
+    /// Total recorded advances.
+    pub fn total(&self) -> u64 {
+        self.quorum + self.timeout
+    }
+
+    /// Component-wise sum.
+    pub fn merge(&mut self, other: &AdvanceStats) {
+        self.quorum += other.quorum;
+        self.timeout += other.timeout;
+    }
+}
+
 /// Crash-recovery accounting for one run.
 ///
 /// Populated by runtimes that inject `CrashRestart` process fates
@@ -282,6 +321,10 @@ pub struct Metrics {
     /// Crash-recovery accounting (all-zero for runs without
     /// `CrashRestart` fault injection).
     pub recovery: RecoveryStats,
+    /// Round-advance causes (quorum vs timeout), summed over processes
+    /// and rounds. All-zero for the lockstep simulator, which has no
+    /// notion of per-process advancement.
+    pub advance: AdvanceStats,
 }
 
 serde::impl_serde_struct!(Metrics {
@@ -295,6 +338,7 @@ serde::impl_serde_struct!(Metrics {
     per_link,
     per_session,
     recovery,
+    advance,
 });
 
 impl Metrics {
@@ -412,6 +456,14 @@ mod tests {
         let mut m = Metrics::default();
         m.record(ProcessId(0), true, "x", None, 4, 7, 0, 0);
         assert_eq!(m.words_per_round, vec![0, 0, 0, 0, 7]);
+    }
+
+    #[test]
+    fn advance_stats_total_and_merge() {
+        let mut a = AdvanceStats { quorum: 3, timeout: 1 };
+        a.merge(&AdvanceStats { quorum: 2, timeout: 5 });
+        assert_eq!(a, AdvanceStats { quorum: 5, timeout: 6 });
+        assert_eq!(a.total(), 11);
     }
 
     #[test]

@@ -61,6 +61,7 @@ use meba_core::{
     AlwaysValid, Bb, Decision, LockstepAdapter, StrongBa, SubProtocol, SystemConfig, WeakBa,
 };
 use meba_crypto::{trusted_setup, ProcessId};
+pub use meba_engine::{default_quorum, AdvanceCause, RoundDriverConfig};
 use meba_engine::{run_des_cluster, ClusterReport, DesConfig};
 use meba_fallback::RecursiveBaFactory;
 use meba_sim::faults::BernoulliDrop;
@@ -168,6 +169,172 @@ fn des_config(faults: &[Fault], seed: u64) -> DesConfig {
         max_rounds: round_budget(faults.len()),
         ..DesConfig::default()
     }
+}
+
+/// A timing scenario for the DES backend: the round driver plus the
+/// clock-skew and GST hazards of [`DesConfig`]. The default
+/// ([`Timing::lockstep`]) reproduces the pre-refactor global schedule
+/// exactly, so a `Timing`-parameterized run with defaults is
+/// byte-identical to the plain `*_des` runners.
+///
+/// ```
+/// use meba_testkit::{bb_des_timed, bb_report_decisions, assert_agreement, Fault, Timing};
+/// use meba_core::Decision;
+///
+/// // Mis-estimated δ (timer at 0.5× the nominal δ) on a network whose
+/// // real delays and skew honor the paper's precondition for that
+/// // timer (delay + skew < round length): the run still decides the
+/// // sender's value.
+/// let faults = vec![Fault::None; 5];
+/// let timing = Timing::quorum_or_timeout(0.5)
+///     .with_quorum(5)
+///     .with_link_cap(Timing::DELTA_NS / 4)
+///     .with_skew(Timing::DELTA_NS / 8);
+/// let report = bb_des_timed(0, 7, &faults, 0x71ae, &timing);
+/// assert!(report.completed);
+/// assert_eq!(assert_agreement(&bb_report_decisions(&report, &faults)), Decision::Value(7));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Timing {
+    /// How rounds advance (see [`RoundDriverConfig`]).
+    pub driver: RoundDriverConfig,
+    /// Maximum seeded per-process clock-skew offset in virtual ns.
+    pub max_skew_ns: u64,
+    /// Global stabilization time on the virtual timeline (0 =
+    /// synchronous from the start).
+    pub gst_ns: u64,
+    /// Latency cap for messages sent before GST (0 = GST changes
+    /// nothing).
+    pub pre_gst_delay_ns: u64,
+    /// True post-GST network-delay cap (`None` = the nominal δ). Timing
+    /// scenarios with a δ-estimate below δ set this so the paper's
+    /// precondition delay + skew < round length can actually hold.
+    pub link_cap_ns: Option<u64>,
+}
+
+impl Timing {
+    /// The testkit's DES round duration: [`DesConfig::default`]'s
+    /// `delta_ns`. Skew and GST knobs are naturally expressed in
+    /// multiples of this.
+    pub const DELTA_NS: u64 = 1_000_000;
+
+    /// The pre-refactor timing model: global lockstep schedule, aligned
+    /// clocks, no GST.
+    pub fn lockstep() -> Self {
+        Timing {
+            driver: RoundDriverConfig::Lockstep,
+            max_skew_ns: 0,
+            gst_ns: 0,
+            pre_gst_delay_ns: 0,
+            link_cap_ns: None,
+        }
+    }
+
+    /// Quorum-or-timeout partial synchrony with the protocol quorum and
+    /// a δ-estimate of `timeout_factor · δ` (1.0 = perfect estimate).
+    pub fn quorum_or_timeout(timeout_factor: f64) -> Self {
+        Timing {
+            driver: RoundDriverConfig::QuorumOrTimeout { quorum: None, timeout_factor },
+            ..Timing::lockstep()
+        }
+    }
+
+    /// Overrides the advance quorum (default: the protocol quorum
+    /// `n - t`). `Some(n)` advances early only on a complete inbox —
+    /// latency win without stranding straggler traffic. No effect under
+    /// the lockstep driver.
+    pub fn with_quorum(mut self, quorum: usize) -> Self {
+        if let RoundDriverConfig::QuorumOrTimeout { quorum: q, .. } = &mut self.driver {
+            *q = Some(quorum);
+        }
+        self
+    }
+
+    /// Bounds real post-GST link delay below `link_cap_ns` (instead of
+    /// the nominal δ).
+    pub fn with_link_cap(mut self, link_cap_ns: u64) -> Self {
+        self.link_cap_ns = Some(link_cap_ns);
+        self
+    }
+
+    /// Adds seeded per-process clock skew up to `max_skew_ns`.
+    pub fn with_skew(mut self, max_skew_ns: u64) -> Self {
+        self.max_skew_ns = max_skew_ns;
+        self
+    }
+
+    /// Adds a pre-GST asynchronous period: messages sent before `gst_ns`
+    /// may take up to `pre_gst_delay_ns` (typically ≫ δ) to arrive.
+    pub fn with_gst(mut self, gst_ns: u64, pre_gst_delay_ns: u64) -> Self {
+        self.gst_ns = gst_ns;
+        self.pre_gst_delay_ns = pre_gst_delay_ns;
+        self
+    }
+
+    /// Applies this scenario to a [`DesConfig`].
+    fn apply(&self, config: DesConfig) -> DesConfig {
+        DesConfig {
+            driver: self.driver,
+            max_skew_ns: self.max_skew_ns,
+            gst_ns: self.gst_ns,
+            pre_gst_delay_ns: self.pre_gst_delay_ns,
+            link_cap_ns: self.link_cap_ns,
+            ..config
+        }
+    }
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        Timing::lockstep()
+    }
+}
+
+/// [`bb_des`] under an explicit [`Timing`] scenario.
+///
+/// # Panics
+///
+/// Panics if `faults.len()` is not a valid system size (odd, ≥ 3) or the
+/// timing scenario is invalid (e.g. a non-positive timeout factor).
+pub fn bb_des_timed(
+    sender: u32,
+    input: u64,
+    faults: &[Fault],
+    seed: u64,
+    timing: &Timing,
+) -> ClusterReport<BbM> {
+    run_des_cluster(bb_actors(sender, input, faults), None, timing.apply(des_config(faults, seed)))
+        .expect("testkit timing scenario is valid")
+}
+
+/// [`weak_ba_des`] under an explicit [`Timing`] scenario.
+///
+/// # Panics
+///
+/// Panics if the fault matrix or timing scenario is invalid.
+pub fn weak_ba_des_timed(
+    inputs: &[u64],
+    faults: &[Fault],
+    seed: u64,
+    timing: &Timing,
+) -> ClusterReport<WbaM> {
+    run_des_cluster(weak_ba_actors(inputs, faults), None, timing.apply(des_config(faults, seed)))
+        .expect("testkit timing scenario is valid")
+}
+
+/// [`strong_ba_des`] under an explicit [`Timing`] scenario.
+///
+/// # Panics
+///
+/// Panics if the fault matrix or timing scenario is invalid.
+pub fn strong_ba_des_timed(
+    inputs: &[bool],
+    faults: &[Fault],
+    seed: u64,
+    timing: &Timing,
+) -> ClusterReport<SbaM> {
+    run_des_cluster(strong_ba_actors(inputs, faults), None, timing.apply(des_config(faults, seed)))
+        .expect("testkit timing scenario is valid")
 }
 
 /// Builds the fault-wrapped adaptive-BB actor vector; `faults[i]`

@@ -18,9 +18,10 @@ use meba_core::Decision;
 use meba_crypto::ProcessId;
 use meba_net::{run_cluster, ClusterConfig};
 use meba_testkit::{
-    assert_agreement, bb_actors, bb_decisions, bb_des, bb_report_decisions, bb_sim, corrupt_ids,
-    round_budget, strong_ba_decisions, strong_ba_des, strong_ba_report_decisions, strong_ba_sim,
-    weak_ba_decisions, weak_ba_des, weak_ba_report_decisions, weak_ba_sim, Fault,
+    assert_agreement, bb_actors, bb_decisions, bb_des, bb_des_timed, bb_report_decisions, bb_sim,
+    corrupt_ids, round_budget, strong_ba_decisions, strong_ba_des, strong_ba_report_decisions,
+    strong_ba_sim, weak_ba_decisions, weak_ba_des, weak_ba_report_decisions, weak_ba_sim, Fault,
+    Timing,
 };
 use proptest::prelude::*;
 use std::time::Duration;
@@ -89,6 +90,40 @@ proptest! {
             "correct word totals diverge across backends"
         );
         prop_assert_eq!(sim.metrics().rounds, report.rounds, "round counts diverge");
+    }
+
+    // The event-driven refactor's compatibility contract: driving the
+    // DES backend through the explicit lockstep `RoundDriver` produces
+    // *byte-identical* serialized metrics to the pre-refactor global
+    // schedule (which `DesConfig::default()` preserves) — for every
+    // system size, sender, fault placement, and latency seed. Not just
+    // the same decisions: the same words, rounds, per-link stats, and
+    // advance causes, byte for byte.
+    #[test]
+    fn lockstep_driver_is_byte_identical_to_the_global_schedule(
+        pick in 0usize..3,
+        sender_raw in 0u32..7,
+        idle_raw in 0u32..8,
+        input in 1u64..1_000_000,
+        seed in any::<u64>(),
+    ) {
+        let n = [3usize, 5, 7][pick];
+        let sender = sender_raw % n as u32;
+        let mut faults = vec![Fault::None; n];
+        let idle = (idle_raw % (n as u32 + 1)) as usize;
+        if idle < n && idle as u32 != sender {
+            faults[idle] = Fault::Idle;
+        }
+
+        let default_run = bb_des(sender, input, &faults, seed);
+        let driven_run = bb_des_timed(sender, input, &faults, seed, &Timing::lockstep());
+        prop_assert!(default_run.completed && driven_run.completed);
+        prop_assert_eq!(default_run.rounds, driven_run.rounds);
+        prop_assert_eq!(
+            serde_json::to_string(&default_run.metrics).unwrap(),
+            serde_json::to_string(&driven_run.metrics).unwrap(),
+            "lockstep RoundDriver must reproduce the global schedule byte-identically"
+        );
     }
 }
 

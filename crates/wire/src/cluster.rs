@@ -33,8 +33,8 @@ use crate::WireError;
 use meba_core::SystemConfig;
 use meba_crypto::{ProcessId, WireCodec};
 use meba_engine::{
-    run_live_round, DeadlinePacer, Delivery, LinkPolicySendAdapter, Pacer, RoundState, SendPolicy,
-    Transport,
+    run_live_round, DeadlinePacer, Delivery, LinkPolicySendAdapter, Pacer, RoundDriverConfig,
+    RoundState, SendPolicy, Transport, MAX_BACKOFF_SHIFT,
 };
 use meba_net::{ActorRebuilder, ClusterConfig, ClusterReport};
 use meba_sim::{AnyActor, Message, Metrics};
@@ -337,11 +337,22 @@ pub struct MeshDriveConfig {
     /// Extra rounds to keep running after the local actor reports done,
     /// so it can still answer peers' help requests.
     pub linger_rounds: u64,
+    /// How the local process advances rounds: the fixed δ schedule from
+    /// its own epoch ([`RoundDriverConfig::Lockstep`], default) or
+    /// quorum-or-local-timeout ([`RoundDriverConfig::QuorumOrTimeout`]),
+    /// which tolerates cross-process epoch skew by re-synchronizing on
+    /// observed traffic.
+    pub driver: RoundDriverConfig,
 }
 
 impl Default for MeshDriveConfig {
     fn default() -> Self {
-        MeshDriveConfig { delta: Duration::from_millis(20), max_rounds: 10_000, linger_rounds: 8 }
+        MeshDriveConfig {
+            delta: Duration::from_millis(20),
+            max_rounds: 10_000,
+            linger_rounds: 8,
+            driver: RoundDriverConfig::Lockstep,
+        }
     }
 }
 
@@ -391,11 +402,50 @@ pub fn drive_mesh<M: Message + WireCodec>(
     let mut state = RoundState::new();
     let mut policy: Option<Box<dyn SendPolicy>> = None;
     let pacer = DeadlinePacer::new(Instant::now(), cfg.delta);
+    let quorum = cfg.driver.effective_quorum(n);
+    let mut sched_deadline = Instant::now();
+    let mut backoff_shift = 0u32;
     let mut linger = cfg.linger_rounds;
     let mut round = 0u64;
     while round < cfg.max_rounds {
-        pacer.wait_for_round(round);
-        let done = run_live_round(
+        let quorum_ready = match cfg.driver {
+            RoundDriverConfig::Lockstep => {
+                pacer.wait_for_round(round);
+                round >= 1 && state.ready_senders(actor.id(), round, &mut transport) >= quorum
+            }
+            RoundDriverConfig::QuorumOrTimeout { .. } => {
+                let timeout = cfg
+                    .driver
+                    .timeout_duration(cfg.delta)
+                    .saturating_mul(1u32 << backoff_shift.min(MAX_BACKOFF_SHIFT));
+                let now = Instant::now();
+                let deadline = sched_deadline.max(now).min(now + timeout) + timeout;
+                sched_deadline = deadline;
+                let mut ready = false;
+                loop {
+                    if round >= 1
+                        && state.ready_senders(actor.id(), round, &mut transport) >= quorum
+                    {
+                        ready = true;
+                        break;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    std::thread::sleep((deadline - now).min(Duration::from_micros(200)));
+                }
+                ready
+            }
+        };
+        if round >= 1 {
+            let mut m = metrics.lock();
+            match quorum_ready {
+                true => m.advance.quorum += 1,
+                false => m.advance.timeout += 1,
+            }
+        }
+        let outcome = run_live_round(
             actor,
             &mut transport,
             &mut state,
@@ -405,6 +455,15 @@ pub fn drive_mesh<M: Message + WireCodec>(
             true,
             &metrics,
         );
+        if !cfg.driver.is_lockstep()
+            && outcome.late_admitted > 0
+            && backoff_shift < MAX_BACKOFF_SHIFT
+        {
+            // Late traffic: the local δ-estimate outpaced the network —
+            // double the round timer.
+            backoff_shift += 1;
+        }
+        let done = outcome.done;
         round += 1;
         if done {
             if linger == 0 {

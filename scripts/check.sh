@@ -36,6 +36,9 @@ cargo test --release --locked -p meba-testkit --test large_n -- --include-ignore
 echo "== reactor-mesh scale (real loopback sockets: n = 65 smoke, n = 101 acceptance; words vs DES, O(n) threads) =="
 cargo test --release --locked -p meba-testkit --test tcp_scale -- --include-ignored
 
+echo "== timing chaos (event-driven rounds: skew, mis-estimated delta, GST matrix) =="
+cargo test --release --locked -p meba-testkit --test timing_chaos
+
 echo "== example smoke (101-replica log on the discrete-event backend) =="
 cargo run --release --locked --example large_n
 
