@@ -292,5 +292,50 @@ fn main() {
     println!("agreement still holds; `timing_sweep` publishes this table as");
     println!("BENCH_E17_timing.json.)");
 
+    section("E18 — client-service throughput (n = 9, f = 0, 256 ops)");
+    println!("Client ops spread round-robin over all replicas' admission ports;");
+    println!("batching amortizes each slot's O(n(f+1))-word agreement across whole");
+    println!("batches. The last row oversubscribes ports bounded at 8 ops: the");
+    println!("overflow is rejected *typed* (`Overloaded`), never silently dropped");
+    println!("or buffered unboundedly.");
+    println!();
+    println!("| batch | W | slots | rounds | ops/round | p50 rounds | p99 rounds | words/op | accepted | rejected |");
+    println!("|---|---|---|---|---|---|---|---|---|---|");
+    let mut e18 = Vec::new();
+    for batch in [1usize, 16, 64, 256] {
+        for w in [1u64, 4] {
+            let s = run_service_throughput(9, 256, batch, w, 256);
+            assert!(s.agreement, "E18 batch={batch} W={w}: replicas agree");
+            e18.push(s.clone());
+            println!(
+                "| {batch} | {w} | {} | {} | {:.3} | {} | {} | {:.1} | {} | {} |",
+                s.slots,
+                s.rounds,
+                s.ops_per_round,
+                s.latency_p50_rounds,
+                s.latency_p99_rounds,
+                s.words_per_op,
+                s.accepted,
+                s.rejected
+            );
+        }
+    }
+    let over = run_service_throughput(9, 256, 64, 4, 8);
+    assert!(over.agreement && over.rejected > 0, "E18 overload: typed rejections");
+    println!(
+        "| 64 | 4 | {} | {} | {:.3} | {} | {} | {:.1} | {} | {} |",
+        over.slots,
+        over.rounds,
+        over.ops_per_round,
+        over.latency_p50_rounds,
+        over.latency_p99_rounds,
+        over.words_per_op,
+        over.accepted,
+        over.rejected
+    );
+    println!();
+    println!("(`service_throughput` publishes this table as BENCH_E18_service.json");
+    println!("and asserts the ≥10× ops/round and ops/sec gains from batch 1 → 256.)");
+
     println!("\n_Report complete._");
 }

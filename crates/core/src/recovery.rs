@@ -146,10 +146,14 @@ impl<P: SubProtocol> Recoverable<P> {
                     let _ = me.registry.record(context, *digest);
                 }
                 // State for these is reconstructed by Step replay; the
-                // records are audit metadata.
+                // records are audit metadata. `Proposed`/`Committed`
+                // belong to the service layer above the protocol
+                // instance (`meba-service` replays them itself).
                 Record::CertReceived { .. }
                 | Record::CommitLevel { .. }
-                | Record::Decided { .. } => {}
+                | Record::Decided { .. }
+                | Record::Proposed { .. }
+                | Record::Committed { .. } => {}
             }
         }
         Ok(me)

@@ -55,6 +55,27 @@ pub enum Record {
         /// Canonical encoding of the decided value.
         value: Vec<u8>,
     },
+    /// A service-level proposal bound to a log slot, journaled before
+    /// the slot's instance may externalize it (`meba-service`): after a
+    /// crash the replica knows exactly which batch is in doubt for
+    /// which slot, and an auditor can check that no replica ever bound
+    /// two different values to one slot.
+    Proposed {
+        /// The log slot the value was bound to.
+        slot: u64,
+        /// Canonical encoding of the proposed value (batch).
+        value: Vec<u8>,
+    },
+    /// A log slot's agreed value applied to the service state machine,
+    /// journaled before client-visible `Committed` replies leave the
+    /// process — replay rebuilds the `(client, seq)` dedup table and
+    /// the applied state exactly.
+    Committed {
+        /// The applied slot.
+        slot: u64,
+        /// Canonical encoding of the slot's agreed value.
+        value: Vec<u8>,
+    },
 }
 
 const TAG_STEP: u32 = 0;
@@ -62,6 +83,8 @@ const TAG_SIGNED: u32 = 1;
 const TAG_CERT: u32 = 2;
 const TAG_COMMIT: u32 = 3;
 const TAG_DECIDED: u32 = 4;
+const TAG_PROPOSED: u32 = 5;
+const TAG_COMMITTED: u32 = 6;
 
 impl WireCodec for Record {
     fn encode_wire(&self, enc: &mut Encoder) {
@@ -91,6 +114,16 @@ impl WireCodec for Record {
             }
             Record::Decided { value } => {
                 enc.put_u32(TAG_DECIDED);
+                enc.put_bytes(value);
+            }
+            Record::Proposed { slot, value } => {
+                enc.put_u32(TAG_PROPOSED);
+                enc.put_u64(*slot);
+                enc.put_bytes(value);
+            }
+            Record::Committed { slot, value } => {
+                enc.put_u32(TAG_COMMITTED);
+                enc.put_u64(*slot);
                 enc.put_bytes(value);
             }
         }
@@ -123,6 +156,16 @@ impl WireCodec for Record {
             }
             TAG_COMMIT => Ok(Record::CommitLevel { level: dec.get_u64()? }),
             TAG_DECIDED => Ok(Record::Decided { value: dec.get_bytes()? }),
+            TAG_PROPOSED => {
+                let slot = dec.get_u64()?;
+                let value = dec.get_bytes()?;
+                Ok(Record::Proposed { slot, value })
+            }
+            TAG_COMMITTED => {
+                let slot = dec.get_u64()?;
+                let value = dec.get_bytes()?;
+                Ok(Record::Committed { slot, value })
+            }
             _ => Err(DecodeError::Invalid { what: "unknown journal record tag" }),
         }
     }
@@ -143,6 +186,8 @@ mod tests {
             Record::CertReceived { kind: 2, step: 9 },
             Record::CommitLevel { level: 3 },
             Record::Decided { value: vec![0xAA; 16] },
+            Record::Proposed { slot: 4, value: vec![1, 2, 3, 4] },
+            Record::Committed { slot: 4, value: vec![1, 2, 3, 4] },
         ]
     }
 

@@ -1,0 +1,226 @@
+//! Admission control: the bounded queue between clients and a replica.
+//!
+//! A [`ServicePort`] is the only way client traffic enters a
+//! [`crate::ServiceReplica`]. Its submit queue is bounded by the
+//! pipeline's capacity; when it is full, [`ServicePort::submit`] returns
+//! the typed [`SubmitError::Overloaded`] — the service *never* silently
+//! drops an accepted op and never queues without bound. The port is
+//! `Arc`-shared: gateways (or in-process test drivers) push requests and
+//! drain replies from one side while the replica drains requests and
+//! pushes replies from its round loop on the other.
+
+use crate::batch::Op;
+use crate::protocol::{ReadMode, ServiceReply};
+use meba_sim::ClientStats;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// A rejected submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is at capacity: the pipeline window is full
+    /// and the replica has not yet drained earlier submissions. The op
+    /// was not enqueued.
+    Overloaded {
+        /// Queue occupancy at rejection time.
+        queue_len: usize,
+        /// The queue's capacity bound.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded { queue_len, capacity } => {
+                write!(f, "service overloaded: queue {queue_len}/{capacity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A queued read request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadRequest {
+    /// Requesting client (routes the reply).
+    pub client: u64,
+    /// Key to read.
+    pub key: u64,
+    /// Consistency mode.
+    pub mode: ReadMode,
+}
+
+/// Front-door counters: submissions seen, admitted, and rejected, total
+/// and per client. Rejections happen here — the replica never sees them —
+/// so the port owns these numbers; [`crate::ServiceReplica::stats`]
+/// merges them into its [`meba_sim::ServiceStats`].
+#[derive(Clone, Debug, Default)]
+pub struct PortCounters {
+    /// Submissions offered (accepted + rejected).
+    pub submitted: u64,
+    /// Submissions admitted into the queue.
+    pub accepted: u64,
+    /// Submissions rejected with [`SubmitError::Overloaded`].
+    pub rejected: u64,
+    /// The same three counters per client id.
+    pub per_client: BTreeMap<u64, ClientStats>,
+}
+
+#[derive(Default)]
+struct Inner {
+    submits: VecDeque<Op>,
+    reads: VecDeque<ReadRequest>,
+    events: VecDeque<ServiceReply>,
+    counters: PortCounters,
+}
+
+/// The bounded, `Arc`-shared queue pair between clients and one replica.
+pub struct ServicePort {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl ServicePort {
+    /// A port whose submit and read queues each hold at most `capacity`
+    /// entries.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(ServicePort { capacity: capacity.max(1), inner: Mutex::new(Inner::default()) })
+    }
+
+    /// The queue capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offers `op` for replication.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when the queue is full; the op is not
+    /// enqueued and the rejection is counted — never a silent drop.
+    pub fn submit(&self, op: Op) -> Result<(), SubmitError> {
+        let mut g = self.inner.lock().unwrap();
+        g.counters.submitted += 1;
+        g.counters.per_client.entry(op.client).or_default().submitted += 1;
+        if g.submits.len() >= self.capacity {
+            g.counters.rejected += 1;
+            g.counters.per_client.entry(op.client).or_default().rejected += 1;
+            return Err(SubmitError::Overloaded {
+                queue_len: g.submits.len(),
+                capacity: self.capacity,
+            });
+        }
+        g.submits.push_back(op);
+        g.counters.accepted += 1;
+        g.counters.per_client.entry(op.client).or_default().accepted += 1;
+        Ok(())
+    }
+
+    /// Offers a read request.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when the read queue is full.
+    pub fn read(&self, client: u64, key: u64, mode: ReadMode) -> Result<(), SubmitError> {
+        let mut g = self.inner.lock().unwrap();
+        if g.reads.len() >= self.capacity {
+            return Err(SubmitError::Overloaded {
+                queue_len: g.reads.len(),
+                capacity: self.capacity,
+            });
+        }
+        g.reads.push_back(ReadRequest { client, key, mode });
+        Ok(())
+    }
+
+    /// Current submit-queue occupancy.
+    pub fn queue_len(&self) -> usize {
+        self.inner.lock().unwrap().submits.len()
+    }
+
+    /// Replica side: takes up to `max` queued submissions, FIFO.
+    pub fn drain_submits(&self, max: usize) -> Vec<Op> {
+        let mut g = self.inner.lock().unwrap();
+        let take = max.min(g.submits.len());
+        g.submits.drain(..take).collect()
+    }
+
+    /// Replica side: takes every queued read request.
+    pub fn drain_reads(&self) -> Vec<ReadRequest> {
+        self.inner.lock().unwrap().reads.drain(..).collect()
+    }
+
+    /// Replica side: publishes a reply event for the gateway to route.
+    /// The event queue is drained by the gateway every poll interval and
+    /// is bounded in total by the replies the bounded submit/read queues
+    /// can generate.
+    pub fn push_event(&self, ev: ServiceReply) {
+        self.inner.lock().unwrap().events.push_back(ev);
+    }
+
+    /// Gateway side: takes every pending reply event, FIFO.
+    pub fn drain_events(&self) -> Vec<ServiceReply> {
+        self.inner.lock().unwrap().events.drain(..).collect()
+    }
+
+    /// Snapshot of the front-door counters.
+    pub fn counters(&self) -> PortCounters {
+        self.inner.lock().unwrap().counters.clone()
+    }
+}
+
+impl std::fmt::Debug for ServicePort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.inner.lock().unwrap();
+        f.debug_struct("ServicePort")
+            .field("capacity", &self.capacity)
+            .field("queued", &g.submits.len())
+            .field("events", &g.events.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(seq: u64) -> Op {
+        Op { client: 1, seq, key: 0, value: 0 }
+    }
+
+    #[test]
+    fn full_queue_rejects_typed_never_drops() {
+        let port = ServicePort::new(2);
+        assert!(port.submit(op(0)).is_ok());
+        assert!(port.submit(op(1)).is_ok());
+        assert_eq!(port.submit(op(2)), Err(SubmitError::Overloaded { queue_len: 2, capacity: 2 }));
+        let c = port.counters();
+        assert_eq!(c.submitted, 3);
+        assert_eq!(c.accepted + c.rejected, c.submitted, "no silent drops");
+        assert_eq!(c.rejected, 1);
+        // Draining makes room again.
+        assert_eq!(port.drain_submits(10).len(), 2);
+        assert!(port.submit(op(2)).is_ok());
+    }
+
+    #[test]
+    fn drains_are_fifo_and_events_flow() {
+        let port = ServicePort::new(8);
+        for s in 0..3 {
+            port.submit(op(s)).unwrap();
+        }
+        let drained = port.drain_submits(2);
+        assert_eq!(drained.iter().map(|o| o.seq).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(port.queue_len(), 1);
+        port.push_event(ServiceReply::Accepted { client: 1, seq: 0 });
+        assert_eq!(port.drain_events().len(), 1);
+        assert!(port.drain_events().is_empty());
+        port.read(1, 5, ReadMode::Fast).unwrap();
+        assert_eq!(
+            port.drain_reads(),
+            vec![ReadRequest { client: 1, key: 5, mode: ReadMode::Fast }]
+        );
+    }
+}

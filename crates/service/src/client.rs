@@ -1,0 +1,165 @@
+//! A blocking TCP client for the service gateway.
+//!
+//! [`ServiceClient`] speaks the `crate::protocol` frames over one
+//! socket: connect + hello handshake, submit with retry-aware reply
+//! matching, reads, and commit-ack collection. Replies arrive on the
+//! same socket in gateway order; replies that do not answer the call in
+//! progress (e.g. `Committed` acks landing while a submit awaits its
+//! `Accepted`) are buffered and surfaced through
+//! [`ServiceClient::poll_event`].
+
+use crate::batch::Op;
+use crate::protocol::{
+    service_config_digest, ClientHello, ClientRequest, ReadMode, ServiceReply, SERVICE_VERSION,
+};
+use meba_core::SystemConfig;
+use meba_crypto::WireCodec;
+use meba_wire::frame::{read_frame, write_frame};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A connected, handshaken service client.
+pub struct ServiceClient {
+    stream: TcpStream,
+    client: u64,
+    buffered: VecDeque<ServiceReply>,
+}
+
+fn wire_err(e: meba_wire::WireError) -> io::Error {
+    io::Error::other(e.to_string())
+}
+
+impl ServiceClient {
+    /// Connects to a gateway and completes the hello handshake.
+    ///
+    /// # Errors
+    ///
+    /// Connection, frame, or handshake-rejection failures.
+    pub fn connect(addr: SocketAddr, client: u64, cfg: &SystemConfig) -> io::Result<Self> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        let hello = ClientHello {
+            version: SERVICE_VERSION,
+            client,
+            config_digest: service_config_digest(cfg),
+        };
+        write_frame(&mut stream, &hello.to_wire_bytes()).map_err(wire_err)?;
+        let reply = read_frame(&mut stream).map_err(wire_err)?;
+        match ServiceReply::from_wire_bytes(&reply) {
+            Ok(ServiceReply::HelloOk { .. }) => {
+                Ok(ServiceClient { stream, client, buffered: VecDeque::new() })
+            }
+            _ => Err(io::Error::new(io::ErrorKind::PermissionDenied, "handshake rejected")),
+        }
+    }
+
+    /// This client's identity.
+    pub fn client_id(&self) -> u64 {
+        self.client
+    }
+
+    fn send(&mut self, req: &ClientRequest) -> io::Result<()> {
+        write_frame(&mut self.stream, &req.to_wire_bytes()).map_err(wire_err)
+    }
+
+    fn recv(&mut self) -> io::Result<ServiceReply> {
+        let frame = read_frame(&mut self.stream).map_err(wire_err)?;
+        ServiceReply::from_wire_bytes(&frame)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad service reply"))
+    }
+
+    /// Submits `op` and waits for its `Accepted` or `Overloaded` verdict.
+    /// Out-of-band replies received meanwhile are buffered.
+    ///
+    /// # Errors
+    ///
+    /// Socket or codec failures.
+    pub fn submit(&mut self, op: Op) -> io::Result<ServiceReply> {
+        self.send(&ClientRequest::Submit { op })?;
+        loop {
+            let reply = self.recv()?;
+            match &reply {
+                ServiceReply::Accepted { client, seq }
+                | ServiceReply::Overloaded { client, seq, .. }
+                    if *client == op.client && *seq == op.seq =>
+                {
+                    return Ok(reply);
+                }
+                // A retry of a committed op is answered by the dedup
+                // table with the original Committed instead of Accepted.
+                ServiceReply::Committed { client, seq, .. }
+                    if *client == op.client && *seq == op.seq =>
+                {
+                    return Ok(reply);
+                }
+                _ => self.buffered.push_back(reply),
+            }
+        }
+    }
+
+    /// Issues a read and waits for its `ReadResult` (or `Overloaded`).
+    ///
+    /// # Errors
+    ///
+    /// Socket or codec failures.
+    pub fn read(&mut self, key: u64, mode: ReadMode) -> io::Result<ServiceReply> {
+        self.send(&ClientRequest::Read { client: self.client, key, mode })?;
+        loop {
+            let reply = self.recv()?;
+            match &reply {
+                ServiceReply::ReadResult { client, key: k, .. }
+                    if *client == self.client && *k == key =>
+                {
+                    return Ok(reply);
+                }
+                ServiceReply::Overloaded { client, seq: 0, .. } if *client == self.client => {
+                    return Ok(reply);
+                }
+                _ => self.buffered.push_back(reply),
+            }
+        }
+    }
+
+    /// Returns the next buffered or incoming out-of-band reply, or
+    /// `None` once `deadline` passes with nothing received.
+    pub fn poll_event(&mut self, deadline: Instant) -> Option<ServiceReply> {
+        if let Some(ev) = self.buffered.pop_front() {
+            return Some(ev);
+        }
+        while Instant::now() < deadline {
+            let wait =
+                deadline.saturating_duration_since(Instant::now()).max(Duration::from_millis(1));
+            if self.stream.set_read_timeout(Some(wait)).is_err() {
+                return None;
+            }
+            match self.recv() {
+                Ok(ev) => return Some(ev),
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => return None,
+                Err(_) => continue, // timeout slice; re-check the deadline
+            }
+        }
+        None
+    }
+
+    /// Waits until `Committed` acks have arrived for all `(seq)` in
+    /// `seqs`, returning the set actually acked by `deadline`.
+    pub fn collect_commits(&mut self, seqs: &[u64], deadline: Instant) -> Vec<u64> {
+        let mut want: Vec<u64> = seqs.to_vec();
+        let mut got = Vec::new();
+        while !want.is_empty() && Instant::now() < deadline {
+            let Some(ev) = self.poll_event(deadline) else { break };
+            if let ServiceReply::Committed { client, seq, .. } = ev {
+                if client == self.client {
+                    if let Some(pos) = want.iter().position(|s| *s == seq) {
+                        want.remove(pos);
+                        got.push(seq);
+                    }
+                }
+            }
+        }
+        got
+    }
+}

@@ -1,0 +1,387 @@
+//! The client-facing wire protocol.
+//!
+//! Mirrors the replica-to-replica link discipline of
+//! `meba_wire::handshake`: before any request flows, a client sends one
+//! [`ClientHello`] frame pinning the protocol version and the digest of
+//! the cluster configuration it believes it is talking to, and the
+//! gateway validates it. Every message is a canonical [`WireCodec`]
+//! frame: one value, one byte representation.
+
+use crate::batch::Op;
+use meba_core::SystemConfig;
+use meba_crypto::{DecodeError, Decoder, Digest, Encoder, ProcessId, WireCodec};
+
+/// Client protocol version. Bumped on any change to the request/reply
+/// codecs; there is no cross-version negotiation.
+pub const SERVICE_VERSION: u32 = 1;
+
+/// How a read is served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadMode {
+    /// Leader-local fast read: answered from the replica's own applied
+    /// state immediately. May trail the cluster by in-flight slots.
+    Fast,
+    /// Quorum-confirmed read: held until every slot that had opened when
+    /// the read arrived has committed and been applied, so the answer
+    /// reflects a quorum-certified prefix covering all in-flight writes.
+    Confirmed,
+}
+
+const MODE_FAST: u32 = 0;
+const MODE_CONFIRMED: u32 = 1;
+
+impl WireCodec for ReadMode {
+    fn encode_wire(&self, enc: &mut Encoder) {
+        enc.put_u32(match self {
+            ReadMode::Fast => MODE_FAST,
+            ReadMode::Confirmed => MODE_CONFIRMED,
+        });
+    }
+
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u32()? {
+            MODE_FAST => Ok(ReadMode::Fast),
+            MODE_CONFIRMED => Ok(ReadMode::Confirmed),
+            _ => Err(DecodeError::Invalid { what: "unknown read mode" }),
+        }
+    }
+}
+
+/// The first (and only) handshake frame a client sends.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClientHello {
+    /// Sender's client protocol version ([`SERVICE_VERSION`]).
+    pub version: u32,
+    /// The client's self-assigned identity; the gateway routes this
+    /// client's [`ServiceReply::Committed`] acks by it.
+    pub client: u64,
+    /// Digest of the cluster configuration the client expects
+    /// ([`service_config_digest`]).
+    pub config_digest: Digest,
+}
+
+impl WireCodec for ClientHello {
+    fn encode_wire(&self, enc: &mut Encoder) {
+        enc.put_u32(self.version);
+        enc.put_u64(self.client);
+        enc.put_digest(&self.config_digest);
+    }
+
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(ClientHello {
+            version: dec.get_u32()?,
+            client: dec.get_u64()?,
+            config_digest: dec.get_digest()?,
+        })
+    }
+}
+
+/// The configuration digest a client pins in its hello: the same
+/// `(n, t, quorum, session)` digest replica links agree on.
+pub fn service_config_digest(cfg: &SystemConfig) -> Digest {
+    meba_wire::config_digest(cfg)
+}
+
+/// A rejected client handshake.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HelloError {
+    /// Client built against a different client-protocol version.
+    VersionMismatch {
+        /// The gateway's version.
+        ours: u32,
+        /// The client's version.
+        theirs: u32,
+    },
+    /// Client configured for a different cluster.
+    ConfigMismatch,
+}
+
+impl std::fmt::Display for HelloError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HelloError::VersionMismatch { ours, theirs } => {
+                write!(f, "client protocol version mismatch: ours {ours}, theirs {theirs}")
+            }
+            HelloError::ConfigMismatch => write!(f, "client pinned a different cluster config"),
+        }
+    }
+}
+
+impl std::error::Error for HelloError {}
+
+/// Validates a client hello against the serving cluster.
+///
+/// # Errors
+///
+/// Returns the typed mismatch; the gateway closes the connection on any.
+pub fn validate_client_hello(expected: &Digest, hello: &ClientHello) -> Result<(), HelloError> {
+    if hello.version != SERVICE_VERSION {
+        return Err(HelloError::VersionMismatch { ours: SERVICE_VERSION, theirs: hello.version });
+    }
+    if hello.config_digest != *expected {
+        return Err(HelloError::ConfigMismatch);
+    }
+    Ok(())
+}
+
+/// A client request frame (post-handshake).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientRequest {
+    /// Submit one operation for replication. `op.client`/`op.seq`
+    /// identify it for dedup and for the eventual
+    /// [`ServiceReply::Committed`] ack.
+    Submit {
+        /// The operation.
+        op: Op,
+    },
+    /// Read a key from the replicated state.
+    Read {
+        /// Requesting client (routes the [`ServiceReply::ReadResult`]).
+        client: u64,
+        /// Key to read.
+        key: u64,
+        /// Consistency mode.
+        mode: ReadMode,
+    },
+}
+
+const REQ_SUBMIT: u32 = 0;
+const REQ_READ: u32 = 1;
+
+impl WireCodec for ClientRequest {
+    fn encode_wire(&self, enc: &mut Encoder) {
+        match self {
+            ClientRequest::Submit { op } => {
+                enc.put_u32(REQ_SUBMIT);
+                op.encode_wire(enc);
+            }
+            ClientRequest::Read { client, key, mode } => {
+                enc.put_u32(REQ_READ);
+                enc.put_u64(*client);
+                enc.put_u64(*key);
+                mode.encode_wire(enc);
+            }
+        }
+    }
+
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u32()? {
+            REQ_SUBMIT => Ok(ClientRequest::Submit { op: Op::decode_wire(dec)? }),
+            REQ_READ => Ok(ClientRequest::Read {
+                client: dec.get_u64()?,
+                key: dec.get_u64()?,
+                mode: ReadMode::decode_wire(dec)?,
+            }),
+            _ => Err(DecodeError::Invalid { what: "unknown client request tag" }),
+        }
+    }
+}
+
+/// A reply frame from the service to a client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceReply {
+    /// Handshake accepted.
+    HelloOk {
+        /// The replica serving this connection.
+        replica: ProcessId,
+    },
+    /// The submit was admitted into the batching pipeline. Not yet
+    /// durable — wait for [`ServiceReply::Committed`].
+    Accepted {
+        /// Echoed dedup key.
+        client: u64,
+        /// Echoed dedup key.
+        seq: u64,
+    },
+    /// The submit was rejected: the replica's admission queue is full
+    /// (pipeline window exhausted). The op was **not** enqueued; retry
+    /// later. A full service never drops silently — it says so.
+    Overloaded {
+        /// Echoed dedup key.
+        client: u64,
+        /// Echoed dedup key.
+        seq: u64,
+        /// Queue occupancy at rejection time.
+        queue_len: u64,
+        /// The queue's capacity bound.
+        capacity: u64,
+    },
+    /// The op's batch committed in the replicated log and was applied.
+    Committed {
+        /// Echoed dedup key.
+        client: u64,
+        /// Echoed dedup key.
+        seq: u64,
+        /// The log slot the op's batch occupies.
+        slot: u64,
+        /// The op's index within the batch.
+        batch_index: u32,
+    },
+    /// Answer to a [`ClientRequest::Read`].
+    ReadResult {
+        /// Requesting client.
+        client: u64,
+        /// Key read.
+        key: u64,
+        /// The value, or `None` if the key was never written.
+        value: Option<u64>,
+        /// Number of contiguously applied slots backing the answer.
+        applied_slots: u64,
+        /// The mode the read was served under.
+        mode: ReadMode,
+    },
+}
+
+const REP_HELLO_OK: u32 = 0;
+const REP_ACCEPTED: u32 = 1;
+const REP_OVERLOADED: u32 = 2;
+const REP_COMMITTED: u32 = 3;
+const REP_READ_RESULT: u32 = 4;
+
+impl WireCodec for ServiceReply {
+    fn encode_wire(&self, enc: &mut Encoder) {
+        match self {
+            ServiceReply::HelloOk { replica } => {
+                enc.put_u32(REP_HELLO_OK);
+                enc.put_id(*replica);
+            }
+            ServiceReply::Accepted { client, seq } => {
+                enc.put_u32(REP_ACCEPTED);
+                enc.put_u64(*client);
+                enc.put_u64(*seq);
+            }
+            ServiceReply::Overloaded { client, seq, queue_len, capacity } => {
+                enc.put_u32(REP_OVERLOADED);
+                enc.put_u64(*client);
+                enc.put_u64(*seq);
+                enc.put_u64(*queue_len);
+                enc.put_u64(*capacity);
+            }
+            ServiceReply::Committed { client, seq, slot, batch_index } => {
+                enc.put_u32(REP_COMMITTED);
+                enc.put_u64(*client);
+                enc.put_u64(*seq);
+                enc.put_u64(*slot);
+                enc.put_u32(*batch_index);
+            }
+            ServiceReply::ReadResult { client, key, value, applied_slots, mode } => {
+                enc.put_u32(REP_READ_RESULT);
+                enc.put_u64(*client);
+                enc.put_u64(*key);
+                enc.put_option(value, |e, v| e.put_u64(*v));
+                enc.put_u64(*applied_slots);
+                mode.encode_wire(enc);
+            }
+        }
+    }
+
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u32()? {
+            REP_HELLO_OK => Ok(ServiceReply::HelloOk { replica: dec.get_id()? }),
+            REP_ACCEPTED => {
+                Ok(ServiceReply::Accepted { client: dec.get_u64()?, seq: dec.get_u64()? })
+            }
+            REP_OVERLOADED => Ok(ServiceReply::Overloaded {
+                client: dec.get_u64()?,
+                seq: dec.get_u64()?,
+                queue_len: dec.get_u64()?,
+                capacity: dec.get_u64()?,
+            }),
+            REP_COMMITTED => Ok(ServiceReply::Committed {
+                client: dec.get_u64()?,
+                seq: dec.get_u64()?,
+                slot: dec.get_u64()?,
+                batch_index: dec.get_u32()?,
+            }),
+            REP_READ_RESULT => Ok(ServiceReply::ReadResult {
+                client: dec.get_u64()?,
+                key: dec.get_u64()?,
+                value: dec.get_option(|d| d.get_u64())?,
+                applied_slots: dec.get_u64()?,
+                mode: ReadMode::decode_wire(dec)?,
+            }),
+            _ => Err(DecodeError::Invalid { what: "unknown service reply tag" }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<ServiceReply> {
+        vec![
+            ServiceReply::HelloOk { replica: ProcessId(2) },
+            ServiceReply::Accepted { client: 7, seq: 3 },
+            ServiceReply::Overloaded { client: 7, seq: 4, queue_len: 64, capacity: 64 },
+            ServiceReply::Committed { client: 7, seq: 3, slot: 9, batch_index: 5 },
+            ServiceReply::ReadResult {
+                client: 7,
+                key: 11,
+                value: Some(42),
+                applied_slots: 10,
+                mode: ReadMode::Confirmed,
+            },
+            ServiceReply::ReadResult {
+                client: 7,
+                key: 12,
+                value: None,
+                applied_slots: 0,
+                mode: ReadMode::Fast,
+            },
+        ]
+    }
+
+    #[test]
+    fn replies_roundtrip_canonically() {
+        for r in samples() {
+            let bytes = r.to_wire_bytes();
+            let back = ServiceReply::from_wire_bytes(&bytes).unwrap();
+            assert_eq!(back, r);
+            assert_eq!(back.to_wire_bytes(), bytes);
+        }
+    }
+
+    #[test]
+    fn requests_and_hello_roundtrip() {
+        let reqs = vec![
+            ClientRequest::Submit { op: Op { client: 1, seq: 2, key: 3, value: 4 } },
+            ClientRequest::Read { client: 1, key: 3, mode: ReadMode::Fast },
+            ClientRequest::Read { client: 1, key: 3, mode: ReadMode::Confirmed },
+        ];
+        for r in &reqs {
+            let bytes = r.to_wire_bytes();
+            assert_eq!(&ClientRequest::from_wire_bytes(&bytes).unwrap(), r);
+        }
+        let hello =
+            ClientHello { version: SERVICE_VERSION, client: 9, config_digest: Digest::of(b"c") };
+        let bytes = hello.to_wire_bytes();
+        assert_eq!(ClientHello::from_wire_bytes(&bytes).unwrap(), hello);
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_u32(99);
+        let bytes = enc.into_bytes();
+        assert!(ClientRequest::from_wire_bytes(&bytes).is_err());
+        assert!(ServiceReply::from_wire_bytes(&bytes).is_err());
+        assert!(ReadMode::from_wire_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn hello_validation_pins_version_and_config() {
+        let cfg = SystemConfig::new(5, 0x51).unwrap();
+        let digest = service_config_digest(&cfg);
+        let ok = ClientHello { version: SERVICE_VERSION, client: 1, config_digest: digest };
+        assert_eq!(validate_client_hello(&digest, &ok), Ok(()));
+        let bad_ver = ClientHello { version: SERVICE_VERSION + 1, ..ok.clone() };
+        assert_eq!(
+            validate_client_hello(&digest, &bad_ver),
+            Err(HelloError::VersionMismatch { ours: SERVICE_VERSION, theirs: SERVICE_VERSION + 1 })
+        );
+        let other = SystemConfig::new(5, 0x52).unwrap();
+        let bad_cfg = ClientHello { config_digest: service_config_digest(&other), ..ok };
+        assert_eq!(validate_client_hello(&digest, &bad_cfg), Err(HelloError::ConfigMismatch));
+    }
+}

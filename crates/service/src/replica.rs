@@ -1,0 +1,507 @@
+//! A serving replica: the replicated log plus the client-facing state
+//! machine.
+//!
+//! [`ServiceReplica`] wraps a [`ReplicatedLog`] and runs, inside the same
+//! round loop, the full client pipeline: admission (drain the bounded
+//! [`ServicePort`] while the pipeline window has room), batching, the
+//! write-ahead journal discipline, apply-with-dedup, and the read path.
+//! It is an ordinary [`Actor`] over the same wire messages as the bare
+//! log, so it runs unchanged on all four backends (lockstep, threaded,
+//! TCP, discrete-event).
+//!
+//! # Journal discipline
+//!
+//! Two service-level records extend the `meba-journal` vocabulary:
+//!
+//! * [`Record::Proposed`] — written (and flushed) *before* this replica
+//!   binds a batch to one of its proposer slots, i.e. before the batch
+//!   can leave in a signed `SenderValue`. On crash-restart the journaled
+//!   bindings are replayed as the log's initial command queue, so the
+//!   rebuilt replica re-binds byte-identical values to the same slots and
+//!   the deterministic signer reproduces the same signatures — a restart
+//!   can never equivocate about a slot binding.
+//! * [`Record::Committed`] — written (and flushed) *before* the
+//!   client-visible `Committed` ack leaves the process. Replay rebuilds
+//!   the `(client, seq)` dedup table and the applied state exactly, so a
+//!   restarted replica never acks the same op twice.
+//!
+//! A slot whose critical rounds the replica missed while down may retire
+//! as `⊥` locally even when the surviving quorum committed a value there
+//! (the outage counts toward `f` for that instance); the replica's KV
+//! state can therefore trail until client retries re-land the ops in a
+//! later slot — state transfer is future work, documented in
+//! `docs/CORRECTNESS.md`.
+
+use crate::admission::{ReadRequest, ServicePort};
+use crate::batch::{Batch, BatchPolicy, Batcher, Op};
+use crate::protocol::{ReadMode, ServiceReply};
+use meba_core::bb::BbBaValue;
+use meba_core::{Decision, FallbackFactory, SubProtocol, SystemConfig};
+use meba_crypto::{Pki, ProcessId, SecretKey, WireCodec};
+use meba_journal::{Journal, Record};
+use meba_sim::{Actor, RoundCtx, ServiceStats};
+use meba_smr::{LogEntry, ReplicatedLog, SmrMsg};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// The fallback's wire-message type over [`Batch`] values.
+pub type ServiceFbMsg<F> = <<F as FallbackFactory<BbBaValue<Batch>>>::Protocol as SubProtocol>::Msg;
+
+/// A service replica's wire-message type: identical to the bare
+/// [`ReplicatedLog`]'s, so every backend and adversary that drives the
+/// log drives the service.
+pub type ServiceMsg<F> = SmrMsg<Batch, ServiceFbMsg<F>>;
+
+/// Sizing of one service deployment.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Slots the log runs.
+    pub total_slots: u64,
+    /// Pipeline window `W`.
+    pub window: u64,
+    /// Batch close policy.
+    pub batch: BatchPolicy,
+    /// Admission-queue bound of the replica's [`ServicePort`].
+    pub queue_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            total_slots: 8,
+            window: 2,
+            batch: BatchPolicy::default(),
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// One replica of the replicated service. See the module docs.
+pub struct ServiceReplica<F>
+where
+    F: FallbackFactory<BbBaValue<Batch>>,
+{
+    log: ReplicatedLog<Batch, F>,
+    port: Arc<ServicePort>,
+    batcher: Batcher,
+    journal: Option<Journal>,
+    /// Replicated KV state: last committed write per key.
+    kv: BTreeMap<u64, u64>,
+    /// `(client, seq)` → `(slot, batch_index)` of its unique commit —
+    /// the dedup table, authoritative at apply time.
+    committed_at: BTreeMap<(u64, u64), (u64, u32)>,
+    /// Slots already applied (pre-crash applies replayed from the
+    /// journal stay in here so fast-forward does not re-apply them).
+    applied: BTreeSet<u64>,
+    /// Next slot to apply; applies are strictly contiguous.
+    apply_cursor: u64,
+    /// In-flight admissions: `(client, seq)` → admit round.
+    admitted: BTreeMap<(u64, u64), u64>,
+    /// Slots whose binding this replica has already journaled.
+    journaled_proposals: BTreeSet<u64>,
+    pending_reads: Vec<(ReadRequest, u64)>,
+    stats: ServiceStats,
+}
+
+impl<F> ServiceReplica<F>
+where
+    F: FallbackFactory<BbBaValue<Batch>>,
+{
+    /// A fresh replica. `journal` is the service-level write-ahead log
+    /// (`None` disables crash durability; fine for lockstep tests).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        cfg: SystemConfig,
+        me: ProcessId,
+        key: SecretKey,
+        pki: Pki,
+        factory: F,
+        service: ServiceConfig,
+        port: Arc<ServicePort>,
+        journal: Option<Journal>,
+    ) -> Self {
+        Self::with_commands(cfg, me, key, pki, factory, service, port, journal, Vec::new())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn with_commands(
+        cfg: SystemConfig,
+        me: ProcessId,
+        key: SecretKey,
+        pki: Pki,
+        factory: F,
+        service: ServiceConfig,
+        port: Arc<ServicePort>,
+        journal: Option<Journal>,
+        commands: Vec<Batch>,
+    ) -> Self {
+        let log = ReplicatedLog::new(
+            cfg,
+            me,
+            key,
+            pki,
+            factory,
+            service.total_slots,
+            commands,
+            Batch::noop(),
+        )
+        .with_window(service.window);
+        ServiceReplica {
+            log,
+            port,
+            batcher: Batcher::new(service.batch),
+            journal,
+            kv: BTreeMap::new(),
+            committed_at: BTreeMap::new(),
+            applied: BTreeSet::new(),
+            apply_cursor: 0,
+            admitted: BTreeMap::new(),
+            journaled_proposals: BTreeSet::new(),
+            pending_reads: Vec::new(),
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// Rebuilds a crashed replica from its journal: replays
+    /// [`Record::Committed`] into the KV state and the dedup table, and
+    /// [`Record::Proposed`] into the log's initial command queue so
+    /// fast-forward re-binds byte-identical values to the same slots.
+    /// Returns the rebuilt replica and the number of records replayed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal I/O or decode failures (a torn tail is fine —
+    /// replay stops at the last intact record).
+    #[allow(clippy::too_many_arguments)]
+    pub fn rebuild(
+        cfg: SystemConfig,
+        me: ProcessId,
+        key: SecretKey,
+        pki: Pki,
+        factory: F,
+        service: ServiceConfig,
+        port: Arc<ServicePort>,
+        mut journal: Journal,
+    ) -> std::io::Result<(Self, u64)> {
+        let report = journal.replay()?;
+        let replayed = report.records.len() as u64;
+        let mut proposals: Vec<(u64, Batch)> = Vec::new();
+        let mut committed: Vec<(u64, Option<Batch>)> = Vec::new();
+        for rec in report.records {
+            match rec {
+                Record::Proposed { slot, value } => {
+                    let batch = Batch::from_wire_bytes(&value).map_err(|_| {
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, "bad Proposed batch")
+                    })?;
+                    proposals.push((slot, batch));
+                }
+                Record::Committed { slot, value } => {
+                    // Empty bytes encode a ⊥ slot; a batch otherwise.
+                    let entry = if value.is_empty() {
+                        None
+                    } else {
+                        Some(Batch::from_wire_bytes(&value).map_err(|_| {
+                            std::io::Error::new(
+                                std::io::ErrorKind::InvalidData,
+                                "bad Committed batch",
+                            )
+                        })?)
+                    };
+                    committed.push((slot, entry));
+                }
+                _ => {}
+            }
+        }
+        let commands: Vec<Batch> = proposals.iter().map(|(_, b)| b.clone()).collect();
+        let mut replica =
+            Self::with_commands(cfg, me, key, pki, factory, service, port, Some(journal), commands);
+        replica.journaled_proposals = proposals.into_iter().map(|(s, _)| s).collect();
+        for (slot, entry) in committed {
+            replica.applied.insert(slot);
+            match entry {
+                None => replica.stats.skipped_slots += 1,
+                Some(batch) => {
+                    for (i, op) in batch.ops().iter().enumerate() {
+                        replica.replay_op(slot, i as u32, *op);
+                    }
+                }
+            }
+        }
+        while replica.applied.contains(&replica.apply_cursor) {
+            replica.apply_cursor += 1;
+        }
+        Ok((replica, replayed))
+    }
+
+    /// Replays one committed op during rebuild: state and dedup only, no
+    /// journal write and no client event (the pre-crash incarnation
+    /// already acked it).
+    fn replay_op(&mut self, slot: u64, idx: u32, op: Op) {
+        let dedup = (op.client, op.seq);
+        if self.committed_at.contains_key(&dedup) {
+            self.stats.ops_deduped += 1;
+            return;
+        }
+        self.committed_at.insert(dedup, (slot, idx));
+        self.kv.insert(op.key, op.value);
+        self.stats.ops_committed += 1;
+        self.stats.client_mut(op.client).committed += 1;
+    }
+
+    /// The replica's port (the handle gateways and test drivers share).
+    pub fn port(&self) -> &Arc<ServicePort> {
+        &self.port
+    }
+
+    /// The underlying replicated log.
+    pub fn log(&self) -> &ReplicatedLog<Batch, F> {
+        &self.log
+    }
+
+    /// The applied KV state.
+    pub fn kv(&self) -> &BTreeMap<u64, u64> {
+        &self.kv
+    }
+
+    /// Where `(client, seq)` committed, if it has.
+    pub fn committed_at(&self, client: u64, seq: u64) -> Option<(u64, u32)> {
+        self.committed_at.get(&(client, seq)).copied()
+    }
+
+    /// Number of contiguously applied slots.
+    pub fn applied_slots(&self) -> u64 {
+        self.apply_cursor
+    }
+
+    /// Service metrics: the replica's pipeline counters merged with the
+    /// port's front-door (submitted/accepted/rejected) counters.
+    pub fn stats(&self) -> ServiceStats {
+        let mut s = self.stats.clone();
+        let c = self.port.counters();
+        s.ops_submitted = c.submitted;
+        s.ops_accepted = c.accepted;
+        s.ops_rejected = c.rejected;
+        for (client, pc) in c.per_client {
+            let m = s.client_mut(client);
+            m.submitted = pc.submitted;
+            m.accepted = pc.accepted;
+            m.rejected = pc.rejected;
+        }
+        s
+    }
+
+    fn journal_append(&mut self, rec: &Record) {
+        if let Some(j) = &mut self.journal {
+            j.append(rec).expect("service journal append");
+            j.flush().expect("service journal flush");
+        }
+    }
+
+    /// WAL discipline for slot bindings: if a slot opens this round with
+    /// us as proposer, journal the exact value about to bind *before*
+    /// the spawn can externalize it, then spawn through the
+    /// collision-checked path.
+    fn bind_due_slot(&mut self, round: u64) {
+        let Some(slot) = self.log.due_slot(round) else { return };
+        if self.log.proposer_of(slot) == self.log.id() && !self.journaled_proposals.contains(&slot)
+        {
+            // Don't waste our proposer slot on a no-op while ops sit in
+            // the open batch: close it early so the slot carries them.
+            if self.log.queued() == 0 {
+                if let Some(batch) = self.batcher.close() {
+                    self.enqueue_batch(batch);
+                }
+            }
+            let value = self.log.queued_front().cloned().unwrap_or_else(Batch::noop);
+            self.journal_append(&Record::Proposed { slot, value: value.to_wire_bytes() });
+            self.journaled_proposals.insert(slot);
+        }
+        if self.log.spawn_due(round).is_err() {
+            self.stats.session_collisions += 1;
+        }
+    }
+
+    /// Drains the port while the pipeline window has room. Backpressure:
+    /// once `W` batches sit unbound, draining stops, the bounded port
+    /// fills, and clients get typed `Overloaded` rejections.
+    fn drain_admissions(&mut self, round: u64) {
+        while (self.log.queued() as u64) < self.log.window() {
+            let ops = self.port.drain_submits(self.batcher.policy().max_batch_ops);
+            if ops.is_empty() {
+                break;
+            }
+            for op in ops {
+                self.admit(op, round);
+            }
+        }
+    }
+
+    fn admit(&mut self, op: Op, round: u64) {
+        let dedup = (op.client, op.seq);
+        if let Some(&(slot, batch_index)) = self.committed_at.get(&dedup) {
+            // Client retry of an already-committed op: idempotent re-ack.
+            self.stats.ops_deduped += 1;
+            self.port.push_event(ServiceReply::Committed {
+                client: op.client,
+                seq: op.seq,
+                slot,
+                batch_index,
+            });
+            return;
+        }
+        if self.admitted.contains_key(&dedup) {
+            // Retry while the first copy is still in flight: the pending
+            // copy's eventual commit acks both.
+            self.stats.ops_deduped += 1;
+            return;
+        }
+        self.admitted.insert(dedup, round);
+        if let Some(batch) = self.batcher.push(op, round) {
+            self.enqueue_batch(batch);
+        }
+    }
+
+    fn enqueue_batch(&mut self, batch: Batch) {
+        self.stats.batches_proposed += 1;
+        self.stats.batched_ops += batch.len() as u64;
+        self.log.enqueue(batch);
+    }
+
+    /// Applies newly committed slots in strict slot order.
+    fn apply_committed(&mut self, round: u64) {
+        loop {
+            if self.applied.contains(&self.apply_cursor) {
+                // Replayed from the journal pre-crash.
+                self.apply_cursor += 1;
+                continue;
+            }
+            let cursor = self.apply_cursor;
+            let Ok(i) = self.log.log().binary_search_by_key(&cursor, |e| e.slot) else {
+                break;
+            };
+            let entry = self.log.log()[i].clone();
+            self.apply_slot(&entry, round);
+            self.apply_cursor += 1;
+        }
+    }
+
+    fn apply_slot(&mut self, entry: &LogEntry<Batch>, round: u64) {
+        // Journal before the client-visible ack can leave.
+        let bytes = match &entry.entry {
+            Decision::Value(b) => b.to_wire_bytes(),
+            Decision::Bot => Vec::new(),
+        };
+        self.journal_append(&Record::Committed { slot: entry.slot, value: bytes });
+        self.applied.insert(entry.slot);
+        match &entry.entry {
+            Decision::Bot => self.stats.skipped_slots += 1,
+            Decision::Value(batch) => {
+                for (i, op) in batch.ops().iter().enumerate() {
+                    self.apply_live_op(entry.slot, i as u32, *op, round);
+                }
+            }
+        }
+    }
+
+    fn apply_live_op(&mut self, slot: u64, idx: u32, op: Op, round: u64) {
+        let dedup = (op.client, op.seq);
+        if self.committed_at.contains_key(&dedup) {
+            // The same (client, seq) landed in an earlier slot (e.g. a
+            // resubmission accepted by another replica): first commit
+            // wins, deterministically, on every replica.
+            self.stats.ops_deduped += 1;
+            return;
+        }
+        self.committed_at.insert(dedup, (slot, idx));
+        self.kv.insert(op.key, op.value);
+        self.stats.ops_committed += 1;
+        self.stats.client_mut(op.client).committed += 1;
+        if let Some(admit_round) = self.admitted.remove(&dedup) {
+            self.stats.commit_latency_rounds.record_us(round.saturating_sub(admit_round));
+        }
+        self.port.push_event(ServiceReply::Committed {
+            client: op.client,
+            seq: op.seq,
+            slot,
+            batch_index: idx,
+        });
+    }
+
+    /// The highest slot that has opened by `round` — a confirmed read
+    /// waits until the applied prefix covers it.
+    fn confirm_barrier(&self, round: u64) -> u64 {
+        (round / self.log.stride()).min(self.log.total_slots().saturating_sub(1))
+    }
+
+    fn take_reads(&mut self, round: u64) {
+        for req in self.port.drain_reads() {
+            let barrier = match req.mode {
+                ReadMode::Fast => 0,
+                ReadMode::Confirmed => self.confirm_barrier(round),
+            };
+            self.pending_reads.push((req, barrier));
+        }
+    }
+
+    fn serve_reads(&mut self) {
+        let cursor = self.apply_cursor;
+        let mut keep = Vec::new();
+        for (req, barrier) in std::mem::take(&mut self.pending_reads) {
+            let ready = matches!(req.mode, ReadMode::Fast) || cursor > barrier;
+            if ready {
+                self.port.push_event(ServiceReply::ReadResult {
+                    client: req.client,
+                    key: req.key,
+                    value: self.kv.get(&req.key).copied(),
+                    applied_slots: cursor,
+                    mode: req.mode,
+                });
+            } else {
+                keep.push((req, barrier));
+            }
+        }
+        self.pending_reads = keep;
+    }
+}
+
+impl<F> Actor for ServiceReplica<F>
+where
+    F: FallbackFactory<BbBaValue<Batch>>,
+{
+    type Msg = ServiceMsg<F>;
+
+    fn id(&self) -> ProcessId {
+        self.log.id()
+    }
+
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, Self::Msg>) {
+        let round = ctx.round().as_u64();
+        self.drain_admissions(round);
+        if let Some(batch) = self.batcher.tick(round) {
+            self.enqueue_batch(batch);
+        }
+        self.bind_due_slot(round);
+        self.log.on_round(ctx);
+        self.apply_committed(round);
+        self.take_reads(round);
+        self.serve_reads();
+    }
+
+    fn done(&self) -> bool {
+        self.log.done() && self.pending_reads.is_empty()
+    }
+}
+
+impl<F> std::fmt::Debug for ServiceReplica<F>
+where
+    F: FallbackFactory<BbBaValue<Batch>>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceReplica")
+            .field("me", &self.log.id())
+            .field("applied", &self.apply_cursor)
+            .field("queued", &self.log.queued())
+            .field("keys", &self.kv.len())
+            .finish_non_exhaustive()
+    }
+}

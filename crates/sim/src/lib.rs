@@ -59,8 +59,14 @@ pub use faults::{
     BernoulliDrop, Link, LinkFate, LinkPolicy, OneShotPartition, PolicyStack, RandomDelay,
     ReliableLinks,
 };
-pub use metrics::{Counters, LatencyHistogram, LinkStats, Metrics, RecoveryStats, SessionStats};
+pub use metrics::{
+    ClientStats, Counters, LatencyHistogram, LinkStats, Metrics, RecoveryStats, ServiceStats,
+    SessionStats,
+};
 pub use round::Round;
 pub use runner::{AnyActor, RunError, SimBuilder, Simulation};
-pub use session::{Instance, Mux, MuxHost, RecoveryEvent, SessionEnvelope, SessionId, SubProtocol};
+pub use session::{
+    Instance, Mux, MuxHost, RecoveryEvent, SessionEnvelope, SessionId, SessionSpawnError,
+    SubProtocol,
+};
 pub use trace::{Trace, TraceEvent};

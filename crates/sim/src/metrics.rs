@@ -288,6 +288,110 @@ impl RecoveryStats {
     }
 }
 
+/// Per-client accounting at the service front door (`meba-service`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Submit attempts this client made at this replica's port.
+    pub submitted: u64,
+    /// Submits admitted into the batcher.
+    pub accepted: u64,
+    /// Submits refused with a typed `Overloaded` rejection.
+    pub rejected: u64,
+    /// Ops of this client applied (committed exactly once) here.
+    pub committed: u64,
+}
+
+serde::impl_serde_struct!(ClientStats { submitted, accepted, rejected, committed });
+
+/// Client-facing service accounting for one replica.
+///
+/// Owned by a `meba-service` replica and published next to [`Metrics`]:
+/// where the protocol counters measure *words per agreement*, these
+/// measure what the amortization buys — *ops per slot* — plus the
+/// admission-control decisions (accepted vs. typed rejections; a
+/// rejection is load shed, never a silent drop) and the commit latency
+/// every accepted op experienced.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Submit attempts seen at this replica's port.
+    pub ops_submitted: u64,
+    /// Ops admitted into the batcher.
+    pub ops_accepted: u64,
+    /// Ops refused with a typed `Overloaded` rejection (backpressure).
+    pub ops_rejected: u64,
+    /// First-time `(client, seq)` commits applied to the state machine.
+    pub ops_committed: u64,
+    /// Duplicate `(client, seq)` occurrences suppressed at apply time.
+    pub ops_deduped: u64,
+    /// Batches this replica closed and proposed.
+    pub batches_proposed: u64,
+    /// Total ops across all closed batches (mean occupancy =
+    /// `batched_ops / batches_proposed`).
+    pub batched_ops: u64,
+    /// Admit→apply latency of locally admitted ops, in *rounds* (the
+    /// histogram's µs naming is cosmetic; buckets are powers of two).
+    pub commit_latency_rounds: LatencyHistogram,
+    /// Typed session-id collisions the dynamic spawn path surfaced
+    /// (`meba_sim::SessionSpawnError`); 0 in any healthy run.
+    pub session_collisions: u64,
+    /// Slots this replica skipped (committed cluster-wide while it was
+    /// down); non-zero only after a crash-restart without state transfer.
+    pub skipped_slots: u64,
+    /// Per-client breakdown, keyed by client id.
+    pub per_client: BTreeMap<u64, ClientStats>,
+}
+
+serde::impl_serde_struct!(ServiceStats {
+    ops_submitted,
+    ops_accepted,
+    ops_rejected,
+    ops_committed,
+    ops_deduped,
+    batches_proposed,
+    batched_ops,
+    commit_latency_rounds,
+    session_collisions,
+    skipped_slots,
+    per_client,
+});
+
+impl ServiceStats {
+    /// Mean ops per closed batch (0 when no batch closed).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.batches_proposed == 0 {
+            0.0
+        } else {
+            self.batched_ops as f64 / self.batches_proposed as f64
+        }
+    }
+
+    /// Per-client counters for `client`, created on first use.
+    pub fn client_mut(&mut self, client: u64) -> &mut ClientStats {
+        self.per_client.entry(client).or_default()
+    }
+
+    /// Component-wise sum (histograms merged bucket-wise).
+    pub fn merge(&mut self, other: &ServiceStats) {
+        self.ops_submitted += other.ops_submitted;
+        self.ops_accepted += other.ops_accepted;
+        self.ops_rejected += other.ops_rejected;
+        self.ops_committed += other.ops_committed;
+        self.ops_deduped += other.ops_deduped;
+        self.batches_proposed += other.batches_proposed;
+        self.batched_ops += other.batched_ops;
+        self.commit_latency_rounds.merge(&other.commit_latency_rounds);
+        self.session_collisions += other.session_collisions;
+        self.skipped_slots += other.skipped_slots;
+        for (client, stats) in &other.per_client {
+            let mine = self.per_client.entry(*client).or_default();
+            mine.submitted += stats.submitted;
+            mine.accepted += stats.accepted;
+            mine.rejected += stats.rejected;
+            mine.committed += stats.committed;
+        }
+    }
+}
+
 /// Full accounting for one simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
@@ -503,6 +607,40 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.max_us(), 100);
         assert_eq!(a.mean_us(), 39);
+    }
+
+    #[test]
+    fn service_stats_occupancy_merge_and_clients() {
+        let mut a = ServiceStats {
+            ops_submitted: 10,
+            ops_accepted: 8,
+            ops_rejected: 2,
+            ops_committed: 8,
+            batches_proposed: 2,
+            batched_ops: 8,
+            ..Default::default()
+        };
+        a.commit_latency_rounds.record_us(40);
+        let c = a.client_mut(7);
+        c.submitted = 10;
+        c.accepted = 8;
+        c.rejected = 2;
+        c.committed = 8;
+        assert_eq!(a.mean_occupancy(), 4.0);
+        let mut b = ServiceStats {
+            ops_rejected: 1,
+            batches_proposed: 1,
+            batched_ops: 6,
+            ..Default::default()
+        };
+        b.client_mut(7).rejected = 1;
+        b.client_mut(9).accepted = 6;
+        a.merge(&b);
+        assert_eq!(a.ops_rejected, 3);
+        assert_eq!(a.batched_ops, 14);
+        assert_eq!(a.per_client[&7].rejected, 3);
+        assert_eq!(a.per_client[&9].accepted, 6);
+        assert_eq!(ServiceStats::default().mean_occupancy(), 0.0);
     }
 
     #[test]

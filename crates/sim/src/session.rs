@@ -107,6 +107,40 @@ pub trait SubProtocol: Send + 'static {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SessionId(pub u64);
 
+/// Why an explicit, collision-checked session spawn was rejected.
+///
+/// The mux's *schedule-driven* open path ([`MuxHost::due`]) is
+/// deliberately idempotent: a host may re-announce a session every round
+/// and the duplicate opens are silently ignored. A *dynamic* allocator —
+/// e.g. the `meba-service` front door binding client batches to fresh
+/// slot sessions — must instead learn that an id it computed is already
+/// taken, or a collision silently aliases two protocol instances onto
+/// one signature domain. [`Mux::try_open`] surfaces exactly that.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionSpawnError {
+    /// The id belongs to an instance that is currently running.
+    Live(SessionId),
+    /// The id was already retired (ran to completion, hit its step cap,
+    /// or was refused earlier) and may never be reused.
+    Retired(SessionId),
+    /// The host's [`MuxHost::create`] refused to build the instance
+    /// (e.g. out-of-range slot). The id is recorded as retired so stray
+    /// traffic cannot retrigger creation.
+    Refused(SessionId),
+}
+
+impl std::fmt::Display for SessionSpawnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionSpawnError::Live(sid) => write!(f, "session {sid} is already live"),
+            SessionSpawnError::Retired(sid) => write!(f, "session {sid} was already retired"),
+            SessionSpawnError::Refused(sid) => write!(f, "host refused to create session {sid}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionSpawnError {}
+
 impl std::fmt::Display for SessionId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "s{}", self.0)
@@ -304,15 +338,35 @@ impl<H: MuxHost> Mux<H> {
     }
 
     fn open(&mut self, sid: SessionId) {
-        if self.live.contains_key(&sid) || self.retired.contains(&sid) {
-            return;
+        // Schedule-driven opens are idempotent: hosts may re-announce a
+        // session every round, so collisions are silently ignored here.
+        let _ = self.try_open(sid);
+    }
+
+    /// Explicitly spawns `sid` now, collision-checked against the live
+    /// and retired instance sets.
+    ///
+    /// This is the entry point for *dynamically allocated* sessions
+    /// (the `meba-service` batcher binding work to fresh slot ids):
+    /// unlike the idempotent [`MuxHost::due`] path, an id that is
+    /// already live or retired is a typed [`SessionSpawnError`], not a
+    /// silent no-op — reusing it would alias two instances onto one
+    /// per-session signature domain.
+    pub fn try_open(&mut self, sid: SessionId) -> Result<(), SessionSpawnError> {
+        if self.live.contains_key(&sid) {
+            return Err(SessionSpawnError::Live(sid));
+        }
+        if self.retired.contains(&sid) {
+            return Err(SessionSpawnError::Retired(sid));
         }
         if let Some(proto) = self.host.create(sid) {
             self.live.insert(sid, Instance::new(proto));
+            Ok(())
         } else {
             // Refused: remember the refusal so stray traffic for this
             // session cannot retrigger `create` every round.
             self.retired.insert(sid);
+            Err(SessionSpawnError::Refused(sid))
         }
     }
 }
@@ -509,6 +563,44 @@ mod tests {
         assert!(mux.done());
         assert_eq!(mux.host().finished.len(), 2);
         assert_eq!(mux.host().finished[1], (SessionId(1), 0), "late ping never reached s1");
+    }
+
+    /// Regression for the service front door's dynamic slot allocation:
+    /// an id already live or retired must surface as a typed error from
+    /// [`Mux::try_open`], never a silent dedupe — while the schedule
+    /// path (`due`) stays idempotent.
+    #[test]
+    fn dynamic_spawn_collisions_are_typed_errors() {
+        let host = StaggeredHost { total: 3, finished: vec![] };
+        let mut mux = Mux::new(ProcessId(0), host);
+        // Round 0 opens session 0 through the schedule path.
+        drive(&mut mux, 0, &[]);
+        assert_eq!(mux.live_sessions(), vec![SessionId(0)]);
+        // A dynamic allocator picking the same id gets a collision, and
+        // the instance is untouched.
+        assert_eq!(mux.try_open(SessionId(0)), Err(SessionSpawnError::Live(SessionId(0))));
+        assert_eq!(mux.live_sessions(), vec![SessionId(0)]);
+        // A fresh id spawns fine.
+        assert_eq!(mux.try_open(SessionId(1)), Ok(()));
+        assert_eq!(mux.live_sessions(), vec![SessionId(0), SessionId(1)]);
+        // An out-of-range id is refused by the host, and the refusal is
+        // sticky: the second attempt reports it as retired.
+        assert_eq!(mux.try_open(SessionId(9)), Err(SessionSpawnError::Refused(SessionId(9))));
+        assert_eq!(mux.try_open(SessionId(9)), Err(SessionSpawnError::Retired(SessionId(9))));
+        // Run session 0 to retirement; its id may never be reused.
+        for r in 1..4 {
+            drive(&mut mux, r, &[]);
+        }
+        assert!(!mux.live_sessions().contains(&SessionId(0)));
+        assert_eq!(mux.try_open(SessionId(0)), Err(SessionSpawnError::Retired(SessionId(0))));
+        // The schedule path still silently tolerates re-announcing an id
+        // it already opened (hosts re-announce every stride): session 1
+        // was due again at round 3 during the loop above while live, and
+        // it simply keeps running — one instance, one retirement.
+        drive(&mut mux, 4, &[]); // s1 reaches its lifetime and retires
+        assert_eq!(mux.host().finished.iter().filter(|(sid, _)| *sid == SessionId(1)).count(), 1);
+        let err = SessionSpawnError::Live(SessionId(1));
+        assert_eq!(format!("{err}"), "session s1 is already live");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use meba_core::bb::{Bb, BbBaValue, BbMsg};
 use meba_core::{Decision, FallbackFactory, SubProtocol, SystemConfig, Value};
 use meba_crypto::{Pki, ProcessId, SecretKey};
-use meba_sim::{Actor, Mux, MuxHost, RoundCtx, SessionEnvelope, SessionId};
+use meba_sim::{Actor, Mux, MuxHost, RoundCtx, SessionEnvelope, SessionId, SessionSpawnError};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Message type of the fallback for the BB value domain.
@@ -209,6 +209,61 @@ where
     pub fn total_rounds(&self) -> u64 {
         let host = self.mux.host();
         (host.total_slots.saturating_sub(1)) * host.stride + host.slot_cap
+    }
+
+    /// Queues `cmd` for proposal the next time this replica is a slot
+    /// proposer and its queue head comes up. The dynamic feed the
+    /// `meba-service` batcher uses: closed client batches enter here and
+    /// bind to slots as they open.
+    pub fn enqueue(&mut self, cmd: V) {
+        self.mux.host_mut().pending.push_back(cmd);
+    }
+
+    /// Number of queued commands not yet bound to a slot.
+    pub fn queued(&self) -> usize {
+        self.mux.host().pending.len()
+    }
+
+    /// The command that will bind to this replica's next proposer slot.
+    pub fn queued_front(&self) -> Option<&V> {
+        self.mux.host().pending.front()
+    }
+
+    /// Total number of slots this log runs.
+    pub fn total_slots(&self) -> u64 {
+        self.mux.host().total_slots
+    }
+
+    /// The designated proposer of `slot` (`p_{slot mod n}`).
+    pub fn proposer_of(&self, slot: u64) -> ProcessId {
+        ProcessId((slot % self.mux.host().cfg.n() as u64) as u32)
+    }
+
+    /// The slot scheduled to open at `round`, if any (`round / stride`
+    /// when `round` is a stride multiple and in range).
+    pub fn due_slot(&self, round: u64) -> Option<u64> {
+        let host = self.mux.host();
+        (round.is_multiple_of(host.stride) && round / host.stride < host.total_slots)
+            .then(|| round / host.stride)
+    }
+
+    /// Collision-checked spawn of `slot`'s session, for dynamic
+    /// allocators ([`Mux::try_open`]): an id already live or retired is
+    /// a typed error, never a silent alias onto the existing instance.
+    pub fn try_open_slot(&mut self, slot: u64) -> Result<(), SessionSpawnError> {
+        self.mux.try_open(SessionId(slot))
+    }
+
+    /// Spawns the slot due at `round` (if any) through the
+    /// collision-checked path. The mux's own schedule-driven open later
+    /// in the round is idempotent, so a slot spawned here is not opened
+    /// twice; a collision — an id some other allocation already took —
+    /// surfaces as the typed error instead of silently aliasing.
+    pub fn spawn_due(&mut self, round: u64) -> Result<(), SessionSpawnError> {
+        match self.due_slot(round) {
+            Some(slot) => self.try_open_slot(slot),
+            None => Ok(()),
+        }
     }
 
     /// The committed log so far, in slot order. Under pipelining slots
@@ -468,6 +523,54 @@ mod tests {
         assert!(pip.total_rounds() < seq.total_rounds());
         // W = 0 is clamped to 1, not a division by zero.
         assert_eq!(mk(0).stride(), sr);
+    }
+
+    /// The service-facing seam: dynamically enqueued commands bind to
+    /// proposer slots, and explicit slot spawning is collision-checked
+    /// with a typed error instead of silently aliasing the live session.
+    #[test]
+    fn enqueue_and_dynamic_spawn_seam() {
+        use meba_sim::SessionSpawnError;
+        let n = 5;
+        let cfg = SystemConfig::new(n, 9).unwrap();
+        let (pki, keys) = trusted_setup(n, 77);
+        let factory = RecursiveBaFactory::new(cfg, keys[0].clone(), pki.clone());
+        let mut log = ReplicatedLog::<u64, RecursiveBaFactory>::new(
+            cfg,
+            ProcessId(0),
+            keys[0].clone(),
+            pki,
+            factory,
+            6,
+            vec![],
+            0,
+        );
+        assert_eq!(log.queued(), 0);
+        log.enqueue(111);
+        log.enqueue(222);
+        assert_eq!(log.queued(), 2);
+        assert_eq!(log.queued_front(), Some(&111));
+        assert_eq!(log.total_slots(), 6);
+        assert_eq!(log.proposer_of(0), ProcessId(0));
+        assert_eq!(log.proposer_of(7), ProcessId(2));
+        let stride = log.stride();
+        assert_eq!(log.due_slot(0), Some(0));
+        assert_eq!(log.due_slot(1), None);
+        assert_eq!(log.due_slot(stride), Some(1));
+        assert_eq!(log.due_slot(6 * stride), None, "past the last slot");
+        // Spawning slot 0 binds the queue head; spawning it again is a
+        // typed collision, and the queue is untouched.
+        assert_eq!(log.spawn_due(0), Ok(()));
+        assert_eq!(log.queued(), 1, "slot 0 popped the queue head");
+        assert_eq!(
+            log.try_open_slot(0),
+            Err(SessionSpawnError::Live(meba_sim::SessionId(0))),
+            "reusing a live slot id must surface, not alias"
+        );
+        assert_eq!(log.queued(), 1, "collision must not consume a command");
+        // Out-of-range slots are refused, stickily.
+        assert_eq!(log.try_open_slot(99), Err(SessionSpawnError::Refused(meba_sim::SessionId(99))));
+        assert_eq!(log.try_open_slot(99), Err(SessionSpawnError::Retired(meba_sim::SessionId(99))));
     }
 
     #[test]

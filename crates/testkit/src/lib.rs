@@ -51,10 +51,12 @@
 #![forbid(unsafe_code)]
 
 pub mod recovery;
+pub mod service;
 
 pub use recovery::{
     recoverable_decision, DoubleSign, DoubleSignDetector, RecWbaProc, WeakBaRecoveryHarness,
 };
+pub use service::{audit_proposals, service_replica, ServiceHarness, ServiceM, ServiceProc};
 
 use meba_adversary::{ChaosActor, CrashActor, LossyLinkActor};
 use meba_core::{

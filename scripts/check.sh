@@ -42,6 +42,12 @@ cargo test --release --locked -p meba-testkit --test timing_chaos
 echo "== example smoke (101-replica log on the discrete-event backend) =="
 cargo run --release --locked --example large_n
 
+echo "== service integration (admission control + crash-restart exactly-once) =="
+cargo test --release --locked --test service_integration
+
+echo "== example smoke (SMR service: 3 replicas + 2 client processes over loopback, one client killed and relaunched) =="
+cargo run --release --locked --example smr_service
+
 echo "== experiments (release) =="
 cargo bench -p meba-bench
 

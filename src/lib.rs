@@ -21,6 +21,7 @@
 //! | [`journal`] | `meba-journal` | crash-recovery write-ahead journal with CRC framing |
 //! | [`adversary`] | `meba-adversary` | Byzantine strategies |
 //! | [`smr`] | `meba-smr` | replicated log over repeated BB instances |
+//! | [`service`] | `meba-service` | client front door: sessions, batching, admission control, reads |
 //! | [`testkit`] | `meba-testkit` | fault-matrix harness for adversarial testing |
 //! | [`engine`] | `meba-engine` | backend-agnostic round engine: transports, pacers, fates, discrete-event backend |
 //! | [`net`] | `meba-net` | threaded wall-clock cluster runtime |
@@ -71,6 +72,7 @@ pub use meba_engine as engine;
 pub use meba_fallback as fallback;
 pub use meba_journal as journal;
 pub use meba_net as net;
+pub use meba_service as service;
 pub use meba_sim as sim;
 pub use meba_smr as smr;
 pub use meba_testkit as testkit;
@@ -85,6 +87,10 @@ pub mod prelude {
     };
     pub use meba_crypto::{trusted_setup, Pki, ProcessId, SecretKey, WordCost};
     pub use meba_fallback::{DolevStrongBb, RecursiveBa, RecursiveBaFactory};
+    pub use meba_service::{
+        Batch, BatchPolicy, Op, ServiceClient, ServiceConfig, ServiceGateway, ServicePort,
+        ServiceReplica,
+    };
     pub use meba_sim::{
         Actor, AnyActor, IdleActor, Message, Metrics, Mux, MuxHost, Round, SessionEnvelope,
         SessionId, SimBuilder, Simulation,

@@ -1,0 +1,369 @@
+//! Service integration: admission control under overload and
+//! exactly-once commits across crash-restart of a serving replica, on
+//! the lockstep, threaded, and TCP runtimes.
+//!
+//! The overload property is the paper's economy applied to the front
+//! door: a full pipeline yields a *typed* `Overloaded` rejection — the
+//! client always learns the fate of its op — and everything accepted is
+//! committed exactly once. The crash tests then kill the serving
+//! replica mid-slot and require the same exactly-once guarantee from
+//! the journal-replay restart, including against client retries that
+//! race the crash.
+
+mod common;
+
+use common::*;
+use meba::net::{
+    run_cluster_with_recovery, ClusterConfig, OverrunAction, ProcessFate, ProcessFateFactory,
+};
+use meba::prelude::*;
+use meba::service::SubmitError;
+use meba::sim::RoundCtx;
+use meba::wire::{run_tcp_cluster_with_recovery, TcpClusterConfig};
+use meba_testkit::service::{audit_proposals, service_replica, ServiceHarness, ServiceM};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const N: usize = 3;
+
+fn submit_all(port: &ServicePort, client: u64, seqs: std::ops::Range<u64>) {
+    for seq in seqs {
+        port.submit(Op { client, seq, key: client * 100 + seq, value: seq + 1 })
+            .expect("capacity sized for the script");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Overload: typed rejection, never a silent drop
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    // Oversubscribing a bounded port rejects exactly the overflow with
+    // the typed `Overloaded` error, and every accepted `(client, seq)`
+    // is committed exactly once on every replica.
+    #[test]
+    fn full_queue_rejects_typed_and_accepted_ops_commit(
+        offered in 1u64..40,
+        capacity in 1usize..8,
+    ) {
+        let service = ServiceConfig {
+            total_slots: 3,
+            queue_capacity: capacity,
+            ..ServiceConfig::default()
+        };
+        let h = Arc::new(ServiceHarness::new(N, service));
+        let port = h.port(0);
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        for seq in 0..offered {
+            match port.submit(Op { client: 1, seq, key: seq, value: seq + 1 }) {
+                Ok(()) => accepted += 1,
+                Err(SubmitError::Overloaded { queue_len, capacity: c }) => {
+                    prop_assert_eq!(c, capacity, "rejection reports the true bound");
+                    prop_assert_eq!(queue_len, capacity, "rejection fired on a full queue");
+                    rejected += 1;
+                }
+            }
+        }
+        prop_assert_eq!(accepted, offered.min(capacity as u64), "FIFO fills to the bound");
+        prop_assert_eq!(accepted + rejected, offered, "no silent drop");
+        let c = port.counters();
+        prop_assert_eq!(c.submitted, offered);
+        prop_assert_eq!(c.accepted + c.rejected, c.submitted);
+
+        let mut sim = SimBuilder::new(h.actors()).build();
+        sim.run_until_done(log_round_budget(N, 3)).unwrap();
+        for i in 0..N {
+            let r = service_replica(sim.actor(ProcessId(i as u32)));
+            prop_assert_eq!(r.stats().ops_committed, accepted, "replica {} commit count", i);
+            for seq in 0..accepted {
+                prop_assert!(r.committed_at(1, seq).is_some(), "replica {} seq {}", i, seq);
+                prop_assert_eq!(r.kv().get(&seq), Some(&(seq + 1)));
+            }
+            for seq in accepted..offered {
+                prop_assert!(r.committed_at(1, seq).is_none(), "rejected op must not commit");
+            }
+        }
+    }
+}
+
+/// Sustained oversubmission against a tiny window: the queue never grows
+/// past its bound (backpressure is rejection, not buffering), rejections
+/// are typed, and the committed set is exactly the accepted prefix that
+/// fit the log's proposer slots.
+#[test]
+fn sustained_overload_bounds_queue_and_commits_exactly_once() {
+    let service =
+        ServiceConfig { total_slots: 4, window: 1, queue_capacity: 2, ..ServiceConfig::default() };
+    let h = Arc::new(ServiceHarness::new(N, service));
+    let port = h.port(0);
+    let mut sim = SimBuilder::new(h.actors()).build();
+    let mut accepted: Vec<u64> = Vec::new();
+    let mut rejected = 0u64;
+    let mut seq = 0u64;
+    for _ in 0..log_round_budget(N, 4) {
+        if sim.correct_done() {
+            break;
+        }
+        // Three ops per round against a queue of two.
+        for _ in 0..3 {
+            match port.submit(Op { client: 2, seq, key: 7, value: seq }) {
+                Ok(()) => accepted.push(seq),
+                Err(SubmitError::Overloaded { queue_len, capacity }) => {
+                    assert_eq!(capacity, 2);
+                    assert!(queue_len <= capacity, "queue never exceeds its bound");
+                    rejected += 1;
+                }
+            }
+            seq += 1;
+        }
+        assert!(port.queue_len() <= 2, "backpressure holds mid-run");
+        sim.step();
+    }
+    assert!(rejected > 0, "sustained oversubmission must hit the bound");
+    assert_eq!(accepted.len() as u64 + rejected, seq, "every submit got a typed verdict");
+
+    // Exactly-once: each committed (client, seq) appears in exactly one
+    // slot of the final log, identically on every replica.
+    let logs: Vec<Vec<LogEntry<Batch>>> = (0..N)
+        .map(|i| service_replica(sim.actor(ProcessId(i as u32))).log().log().to_vec())
+        .collect();
+    for log in &logs[1..] {
+        assert_eq!(log.len(), logs[0].len(), "replicas agree on the log length");
+        for (a, b) in logs[0].iter().zip(log) {
+            assert_eq!(a.slot, b.slot);
+            assert_eq!(a.entry, b.entry, "replicas agree on slot {}", a.slot);
+        }
+    }
+    let r0 = service_replica(sim.actor(ProcessId(0)));
+    let committed = r0.stats().ops_committed as usize;
+    assert!(committed > 0, "some accepted ops committed");
+    assert!(committed <= accepted.len(), "only accepted ops can commit");
+    // Admission and batching preserve FIFO order, so the committed set
+    // is exactly the prefix of the accepted ops that fit the proposer's
+    // slots; everything past it was accepted but ran out of slots, and
+    // nothing rejected ever commits.
+    for &s in &accepted[..committed] {
+        assert!(r0.committed_at(2, s).is_some(), "committed prefix seq {s}");
+    }
+    for &s in &accepted[committed..] {
+        assert!(r0.committed_at(2, s).is_none(), "past the slot capacity seq {s}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-restart: exactly-once across journal-replay recovery
+// ---------------------------------------------------------------------------
+
+/// Submits scripted ops into a replica's port at fixed rounds, from
+/// inside the round loop — so the script replays identically during a
+/// crash-restart fast-forward, which is exactly the client-retry storm
+/// the dedup machinery must absorb.
+struct ClientScript {
+    inner: Box<dyn AnyActor<Msg = ServiceM>>,
+    port: Arc<ServicePort>,
+    resubmit_round: u64,
+}
+
+impl ClientScript {
+    fn run(&self, round: u64) {
+        if round == 0 {
+            // Phase 1: client 1's ops, bound to slot 0 pre-crash.
+            submit_all(&self.port, 1, 0..4);
+        }
+        if round == self.resubmit_round {
+            // Post-rejoin: client 1 retries everything (it never saw an
+            // ack), and client 2 is new traffic.
+            submit_all(&self.port, 1, 0..4);
+            submit_all(&self.port, 2, 0..3);
+        }
+    }
+}
+
+impl Actor for ClientScript {
+    type Msg = ServiceM;
+    fn id(&self) -> ProcessId {
+        self.inner.id()
+    }
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, ServiceM>) {
+        self.run(ctx.round().as_u64());
+        self.inner.on_round(ctx);
+    }
+    fn done(&self) -> bool {
+        self.inner.done()
+    }
+    fn refused_equivocations(&self) -> u64 {
+        self.inner.refused_equivocations()
+    }
+}
+
+/// The seven distinct ops the crash script offers.
+fn script_pairs() -> Vec<(u64, u64)> {
+    (0..4).map(|s| (1, s)).chain((0..3).map(|s| (2, s))).collect()
+}
+
+fn crash_service() -> ServiceConfig {
+    ServiceConfig {
+        total_slots: 6,
+        window: 2,
+        queue_capacity: 64,
+        // Batches close only when a proposer slot opens, so retries and
+        // new traffic ride the victim's next slot whenever it comes.
+        batch: BatchPolicy { max_batch_delay: u64::MAX, ..BatchPolicy::default() },
+    }
+}
+
+fn crash_fate(victim: u32, at_round: u64, rejoin_after: u64) -> ProcessFateFactory {
+    Arc::new(move |p: ProcessId| {
+        if p.index() == victim as usize {
+            ProcessFate::CrashRestart { at_round, rejoin_after }
+        } else {
+            ProcessFate::Run
+        }
+    })
+}
+
+fn scripted_actors(
+    h: &ServiceHarness,
+    resubmit_round: u64,
+) -> Vec<Box<dyn AnyActor<Msg = ServiceM>>> {
+    h.actors()
+        .into_iter()
+        .enumerate()
+        .map(|(i, inner)| {
+            if i == 0 {
+                Box::new(ClientScript { inner, port: h.port(0), resubmit_round })
+                    as Box<dyn AnyActor<Msg = ServiceM>>
+            } else {
+                inner
+            }
+        })
+        .collect()
+}
+
+fn scripted_rebuilder(
+    h: &Arc<ServiceHarness>,
+    resubmit_round: u64,
+) -> meba_net::ActorRebuilder<ServiceM> {
+    let base = h.rebuilder();
+    let port = h.port(0);
+    Arc::new(move |me| {
+        let rb = base(me);
+        meba_net::RebuiltActor {
+            actor: Box::new(ClientScript { inner: rb.actor, port: port.clone(), resubmit_round }),
+            resume_step: rb.resume_step,
+            replayed_records: rb.replayed_records,
+            journal_fsyncs: rb.journal_fsyncs,
+        }
+    })
+}
+
+fn replica_of(a: &dyn AnyActor<Msg = ServiceM>) -> &meba_testkit::service::ServiceProc {
+    match a.as_any().downcast_ref::<ClientScript>() {
+        Some(s) => service_replica(s.inner.as_ref()),
+        None => service_replica(a),
+    }
+}
+
+/// Asserts the exactly-once outcome of a crash run.
+///
+/// The surviving quorum (replicas 1 and 2) must agree on the full log
+/// and commit every scripted op at one identical `(slot, index)`. The
+/// restarted victim counts toward `f` for the slot whose critical
+/// rounds it missed — it may retire that slot as `⊥` locally (state
+/// transfer is future work) — but the retry storm re-lands those ops in
+/// its next proposer slot, so *per replica* every distinct op still
+/// commits exactly once, and the victim's journal shows each of its
+/// slots bound to exactly one value across the restart.
+fn assert_exactly_once(actors: &[Box<dyn AnyActor<Msg = ServiceM>>], h: &ServiceHarness) {
+    let pairs = script_pairs();
+    let survivors: Vec<_> = (1..N).map(|i| replica_of(actors[i].as_ref())).collect();
+    let logs: Vec<_> = survivors.iter().map(|r| r.log().log()).collect();
+    assert_eq!(logs[0], logs[1], "surviving quorum agrees on the full log");
+    for &(c, s) in &pairs {
+        let place = survivors[0].committed_at(c, s);
+        assert!(place.is_some(), "survivors committed op ({c}, {s})");
+        assert_eq!(place, survivors[1].committed_at(c, s), "one place across survivors");
+    }
+    for (i, a) in actors.iter().enumerate() {
+        let r = replica_of(a.as_ref());
+        assert_eq!(
+            r.stats().ops_committed,
+            pairs.len() as u64,
+            "replica {i}: each distinct op commits exactly once"
+        );
+        for &(c, s) in &pairs {
+            assert!(r.committed_at(c, s).is_some(), "replica {i}: op ({c}, {s}) committed");
+        }
+    }
+    // The WAL discipline across the restart: the victim never bound one
+    // of its slots to two different values.
+    audit_proposals(h.journal_buffer(0));
+}
+
+/// Threaded runtime: the serving replica crashes four rounds in — after
+/// binding (and journaling) slot 0, before it commits — restarts from
+/// its journal, and absorbs a full client retry storm. Every distinct
+/// op commits exactly once on every replica, including the rebuilt one.
+#[test]
+fn crash_restart_of_serving_replica_is_exactly_once_threaded() {
+    let h = Arc::new(ServiceHarness::new(N, crash_service()));
+    let resubmit = 12;
+    let config = ClusterConfig {
+        delta: Duration::from_millis(2),
+        max_rounds: log_round_budget(N, 6),
+        process_fate: Some(crash_fate(0, 4, 4)),
+        overrun_action: OverrunAction::Escalate {
+            multiplier: 2,
+            max_delta: Duration::from_millis(250),
+        },
+        ..ClusterConfig::default()
+    };
+    let report = run_cluster_with_recovery(
+        scripted_actors(&h, resubmit),
+        Some(scripted_rebuilder(&h, resubmit)),
+        config,
+    );
+    assert!(report.completed, "cluster must terminate: {report:?}");
+    assert_eq!(report.metrics.recovery.crash_restarts, 1);
+    assert!(report.metrics.recovery.replayed_records > 0, "slot 0's binding must replay");
+    assert_exactly_once(&report.actors, &h);
+}
+
+/// The same crash script over real TCP: the restart goes through socket
+/// teardown and re-handshake, and the exactly-once guarantee holds.
+#[test]
+fn crash_restart_of_serving_replica_is_exactly_once_tcp() {
+    let h = Arc::new(ServiceHarness::new(N, crash_service()));
+    let resubmit = 12;
+    let config = TcpClusterConfig {
+        cluster: ClusterConfig {
+            delta: Duration::from_millis(8),
+            max_rounds: log_round_budget(N, 6),
+            process_fate: Some(crash_fate(0, 4, 4)),
+            overrun_action: OverrunAction::Escalate {
+                multiplier: 2,
+                max_delta: Duration::from_millis(250),
+            },
+            reconnect_backoff_cap: Duration::from_millis(20),
+            reconnect_jitter: Duration::from_millis(2),
+            ..ClusterConfig::default()
+        },
+        domain: 18,
+        ..TcpClusterConfig::default()
+    };
+    let report = run_tcp_cluster_with_recovery(
+        scripted_actors(&h, resubmit),
+        Some(scripted_rebuilder(&h, resubmit)),
+        &h.config(),
+        config,
+    )
+    .expect("mesh establishment");
+    assert!(report.report.completed, "TCP cluster must terminate: {report:?}");
+    assert_eq!(report.report.metrics.recovery.crash_restarts, 1);
+    assert!(report.report.metrics.recovery.replayed_records > 0);
+    assert_exactly_once(&report.report.actors, &h);
+}
