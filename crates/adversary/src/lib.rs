@@ -16,7 +16,10 @@
 //! * [`bb_attacks`] — the equivocating designated sender;
 //! * [`fallback_attacks`] — Dolev–Strong equivocation, graded-agreement
 //!   certificate splits;
-//! * [`strong_ba_attacks`] — the equivocating strong-BA leader.
+//! * [`strong_ba_attacks`] — the equivocating strong-BA leader;
+//! * [`transfer_attacks`] — the lying state-transfer donor (forged
+//!   commit certificates, fabricated uncertified claims, unsolicited
+//!   spam) against recovering replicas.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,6 +30,7 @@ pub mod fallback_attacks;
 pub mod link_faults;
 pub mod smr_attacks;
 pub mod strong_ba_attacks;
+pub mod transfer_attacks;
 pub mod wasteful;
 pub mod weak_ba_attacks;
 pub mod wrappers;
@@ -37,6 +41,7 @@ pub use fallback_attacks::{DsEquivocatingSender, GaSplitEchoer};
 pub use link_faults::LossyLinkActor;
 pub use smr_attacks::{MuxHelpRequester, SessionReplayer};
 pub use strong_ba_attacks::EquivocatingStrongLeader;
+pub use transfer_attacks::LyingDonor;
 pub use wasteful::{WastefulBbLeader, WastefulWeakLeader};
 pub use weak_ba_attacks::{LateHelperLeader, SplitVoteLeader};
 pub use wrappers::{send_only_to, AmnesiacActor, CrashActor, TransformActor};

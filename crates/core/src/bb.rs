@@ -28,7 +28,7 @@
 
 use crate::config::SystemConfig;
 use crate::decision::Decision;
-use crate::signing::{sign_payload, verify_payload, BbIdkSig, BbValueSig};
+use crate::signing::{sign_payload, verify_payload, BbIdkSig, BbValueSig, DecideProof};
 use crate::subprotocol::{FallbackFactory, SubProtocol};
 use crate::validity::Validity;
 use crate::value::Value;
@@ -380,6 +380,29 @@ where
     /// The BB decision: the sender's value, or `⊥`.
     pub fn decision(&self) -> Option<&Decision<V>> {
         self.decision.as_ref()
+    }
+
+    /// The transferable commit evidence for this instance's decision:
+    /// the BA-level value the embedded weak BA decided, plus the quorum
+    /// [`DecideProof`] certifying it under this instance's session.
+    ///
+    /// Present exactly when the embedded BA finalized through the fast
+    /// path (a `decide` quorum); fallback-path decisions settle without
+    /// a `DecideProof` and return `None`. A third party that trusts the
+    /// PKI can re-derive the BB decision from the pair alone: verify the
+    /// proof against the BA value, then map `Signed` values that
+    /// validate under [`BbValidity`] to the sender's value and
+    /// everything else to `⊥` — exactly the mapping `on_step` applies
+    /// when the BA completes. State transfer (DESIGN.md §16) ships this
+    /// pair so restarted replicas accept committed slots from a single
+    /// donor without trusting it.
+    pub fn commit_evidence(&self) -> Option<(&BbBaValue<V>, &DecideProof)> {
+        let ba = self.ba.as_ref()?;
+        let proof = ba.decide_proof()?;
+        match ba.decision()? {
+            Decision::Value(v) => Some((v, proof)),
+            Decision::Bot => None,
+        }
     }
 
     /// Step at which the decision was reached (for latency profiles).

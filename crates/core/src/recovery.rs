@@ -153,7 +153,10 @@ impl<P: SubProtocol> Recoverable<P> {
                 | Record::CommitLevel { .. }
                 | Record::Decided { .. }
                 | Record::Proposed { .. }
-                | Record::Committed { .. } => {}
+                | Record::Committed { .. }
+                | Record::Transferred { .. }
+                | Record::Evidence { .. }
+                | Record::Snapshot { .. } => {}
             }
         }
         Ok(me)

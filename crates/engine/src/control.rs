@@ -275,11 +275,8 @@ fn run_paced_process<M: Message, T: Transport<M>>(
             if overran {
                 ctrl.overruns.fetch_add(1, Ordering::Relaxed);
             }
-            if !cfg.driver.is_lockstep()
-                && status.late_admitted > 0
-                && backoff_shift < crate::driver::MAX_BACKOFF_SHIFT
-            {
-                backoff_shift += 1;
+            if !cfg.driver.is_lockstep() {
+                crate::driver::update_backoff_shift(&mut backoff_shift, status.late_admitted);
             }
         }
         ctrl.done_flags[i].store(status.done, Ordering::SeqCst);

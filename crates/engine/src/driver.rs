@@ -131,9 +131,12 @@ impl RoundDriverConfig {
     /// doubling the local timeout (once per such round), so any finite
     /// underestimate self-corrects after `O(log(δ/estimate))` rounds —
     /// the standard partial-synchrony argument for eventually exceeding
-    /// the unknown network bound. Lockstep mode never backs off: its
-    /// deadlines are the global schedule, and pre-GST lateness there is
-    /// the scenario under test, not a pacing error.
+    /// the unknown network bound. Clean rounds walk the shift back down
+    /// (see [`update_backoff_shift`]), so a transient burst — e.g. a
+    /// restarted process catching up from round 0 — does not pin the
+    /// timer at the cap. Lockstep mode never backs off: its deadlines
+    /// are the global schedule, and pre-GST lateness there is the
+    /// scenario under test, not a pacing error.
     pub fn backed_off_timeout_ns(&self, delta_ns: u64, shift: u32) -> u64 {
         self.timeout_ns(delta_ns).saturating_mul(1u64 << shift.min(MAX_BACKOFF_SHIFT))
     }
@@ -188,6 +191,30 @@ impl std::error::Error for DriverConfigError {}
 /// δ-estimate has exhausted any plausible mis-estimate, and capping the
 /// shift keeps the `u64` arithmetic saturating instead of wrapping.
 pub const MAX_BACKOFF_SHIFT: u32 = 16;
+
+/// Adapts a backend's late-delivery backoff shift after one executed
+/// round: up by one (timer doubles) when the round admitted late
+/// traffic, down by one (timer halves) when it was clean.
+///
+/// The decay half is what keeps a cluster live across real process
+/// churn. A replica restarted as a fresh OS process re-enters at round
+/// 0 and fast-forwards on buffered quorum evidence, but until it
+/// reaches the frontier every message it sends is stamped with an old
+/// round and admitted *late* at its peers. Under increase-only backoff
+/// each such peer round ratchets the timer toward
+/// `2^MAX_BACKOFF_SHIFT · δ` with no way back down, so one rejoin burst
+/// can freeze the whole schedule. With symmetric decay the burst still
+/// doubles the timer while it lasts — the partial-synchrony
+/// self-correction is untouched, since persistent lateness holds the
+/// shift up — but once the rejoiner is caught up, clean rounds walk the
+/// timer back to the δ-estimate in `O(shift)` rounds.
+pub fn update_backoff_shift(shift: &mut u32, late_admitted: u64) {
+    if late_admitted > 0 {
+        *shift = (*shift + 1).min(MAX_BACKOFF_SHIFT);
+    } else {
+        *shift = shift.saturating_sub(1);
+    }
+}
 
 /// The paper's quorum: `n - t` with `t = ⌊(n-1)/2⌋`. Since `n ≥ 2t + 1`
 /// this gives `n - t ≥ t + 1`, so every quorum contains at least one
@@ -248,6 +275,33 @@ mod tests {
         );
         // …and the multiply saturates instead of wrapping.
         assert_eq!(d.backed_off_timeout_ns(u64::MAX / 2, MAX_BACKOFF_SHIFT), u64::MAX);
+    }
+
+    #[test]
+    fn backoff_shift_ratchets_up_on_late_rounds_and_decays_on_clean_ones() {
+        let mut shift = 0u32;
+        // Persistent lateness ratchets to the cap and holds there…
+        for _ in 0..MAX_BACKOFF_SHIFT + 5 {
+            update_backoff_shift(&mut shift, 3);
+        }
+        assert_eq!(shift, MAX_BACKOFF_SHIFT);
+        // …clean rounds walk it back down one doubling at a time…
+        update_backoff_shift(&mut shift, 0);
+        update_backoff_shift(&mut shift, 0);
+        assert_eq!(shift, MAX_BACKOFF_SHIFT - 2);
+        // …alternating late/clean traffic oscillates instead of
+        // ratcheting (a chronically half-step-behind peer must not
+        // freeze the schedule)…
+        let mut shift = 0u32;
+        for _ in 0..100 {
+            update_backoff_shift(&mut shift, 1);
+            update_backoff_shift(&mut shift, 0);
+        }
+        assert!(shift <= 1, "alternating lateness stays bounded, got {shift}");
+        // …and a fully clean history saturates at zero.
+        update_backoff_shift(&mut shift, 0);
+        update_backoff_shift(&mut shift, 0);
+        assert_eq!(shift, 0);
     }
 
     #[test]

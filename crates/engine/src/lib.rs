@@ -54,7 +54,8 @@ pub use config::{ClusterConfig, ClusterReport, Escalation, LinkPolicyFactory, Ov
 pub use control::run_threaded_cluster;
 pub use des::{run_des_cluster, DesConfig, DesConfigError, LinkDelayFloor};
 pub use driver::{
-    default_quorum, AdvanceCause, DriverConfigError, RoundDriverConfig, MAX_BACKOFF_SHIFT,
+    default_quorum, update_backoff_shift, AdvanceCause, DriverConfigError, RoundDriverConfig,
+    MAX_BACKOFF_SHIFT,
 };
 pub use fate::{
     resolve_fate, resolve_fates, ActorRebuilder, ProcessFate, ProcessFateFactory, RebuiltActor,

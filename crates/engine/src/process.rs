@@ -322,6 +322,7 @@ impl<M: Message> EngineProcess<M> {
                     self.actor.on_round(&mut ctx);
                     drop(ctx.take_outbox());
                 }
+                self.actor.on_rejoin(Round(round));
                 self.dead = false;
                 self.rejoin_round = Some(round);
             }

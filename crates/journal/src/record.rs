@@ -76,6 +76,37 @@ pub enum Record {
         /// Canonical encoding of the slot's agreed value.
         value: Vec<u8>,
     },
+    /// A slot adopted via certified state transfer rather than local
+    /// agreement (DESIGN.md §16), journaled before the transferred value
+    /// is applied — replay distinguishes "this replica decided" from
+    /// "this replica caught up", and a restart mid-transfer resumes
+    /// from the watermark instead of re-fetching.
+    Transferred {
+        /// The adopted slot.
+        slot: u64,
+        /// Canonical encoding of the slot's agreed value (empty = `⊥`).
+        value: Vec<u8>,
+    },
+    /// Transferable commit evidence for a slot this replica holds
+    /// (the encoded BA-level value plus its finalize certificate),
+    /// journaled so a restarted replica can keep serving *certified*
+    /// state transfer for slots it committed in a previous lifetime.
+    Evidence {
+        /// The certified slot.
+        slot: u64,
+        /// Canonical encoding of the slot's `CommitEvidence`.
+        evidence: Vec<u8>,
+    },
+    /// A compaction point: the opaque service snapshot covering every
+    /// slot below `upto_slot`. Written by `Journal::compact` as the
+    /// first record of the rewritten log; replay seeds state from it
+    /// and earlier per-slot records are gone.
+    Snapshot {
+        /// Slots `< upto_slot` are covered by `state`.
+        upto_slot: u64,
+        /// Opaque service-encoded state (KV, dedup table, watermarks).
+        state: Vec<u8>,
+    },
 }
 
 const TAG_STEP: u32 = 0;
@@ -85,6 +116,9 @@ const TAG_COMMIT: u32 = 3;
 const TAG_DECIDED: u32 = 4;
 const TAG_PROPOSED: u32 = 5;
 const TAG_COMMITTED: u32 = 6;
+const TAG_TRANSFERRED: u32 = 7;
+const TAG_EVIDENCE: u32 = 8;
+const TAG_SNAPSHOT: u32 = 9;
 
 impl WireCodec for Record {
     fn encode_wire(&self, enc: &mut Encoder) {
@@ -126,6 +160,21 @@ impl WireCodec for Record {
                 enc.put_u64(*slot);
                 enc.put_bytes(value);
             }
+            Record::Transferred { slot, value } => {
+                enc.put_u32(TAG_TRANSFERRED);
+                enc.put_u64(*slot);
+                enc.put_bytes(value);
+            }
+            Record::Evidence { slot, evidence } => {
+                enc.put_u32(TAG_EVIDENCE);
+                enc.put_u64(*slot);
+                enc.put_bytes(evidence);
+            }
+            Record::Snapshot { upto_slot, state } => {
+                enc.put_u32(TAG_SNAPSHOT);
+                enc.put_u64(*upto_slot);
+                enc.put_bytes(state);
+            }
         }
     }
 
@@ -166,6 +215,21 @@ impl WireCodec for Record {
                 let value = dec.get_bytes()?;
                 Ok(Record::Committed { slot, value })
             }
+            TAG_TRANSFERRED => {
+                let slot = dec.get_u64()?;
+                let value = dec.get_bytes()?;
+                Ok(Record::Transferred { slot, value })
+            }
+            TAG_EVIDENCE => {
+                let slot = dec.get_u64()?;
+                let evidence = dec.get_bytes()?;
+                Ok(Record::Evidence { slot, evidence })
+            }
+            TAG_SNAPSHOT => {
+                let upto_slot = dec.get_u64()?;
+                let state = dec.get_bytes()?;
+                Ok(Record::Snapshot { upto_slot, state })
+            }
             _ => Err(DecodeError::Invalid { what: "unknown journal record tag" }),
         }
     }
@@ -188,6 +252,10 @@ mod tests {
             Record::Decided { value: vec![0xAA; 16] },
             Record::Proposed { slot: 4, value: vec![1, 2, 3, 4] },
             Record::Committed { slot: 4, value: vec![1, 2, 3, 4] },
+            Record::Transferred { slot: 5, value: vec![7, 7] },
+            Record::Transferred { slot: 6, value: vec![] },
+            Record::Evidence { slot: 5, evidence: vec![0xC0; 40] },
+            Record::Snapshot { upto_slot: 7, state: vec![9, 8, 7] },
         ]
     }
 

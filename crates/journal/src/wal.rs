@@ -30,6 +30,9 @@ pub trait Storage: Send {
     fn sync(&mut self) -> io::Result<()>;
     /// Reads the entire current contents.
     fn read_all(&mut self) -> io::Result<Vec<u8>>;
+    /// Discards everything, leaving an empty log ([`Journal::compact`]'s
+    /// rewrite step).
+    fn reset(&mut self) -> io::Result<()>;
 }
 
 /// A shareable in-memory journal backing store.
@@ -103,6 +106,10 @@ impl Storage for MemStorage {
     fn read_all(&mut self) -> io::Result<Vec<u8>> {
         Ok(self.buf.contents())
     }
+    fn reset(&mut self) -> io::Result<()> {
+        self.buf.bytes.lock().expect("journal buffer poisoned").clear();
+        Ok(())
+    }
 }
 
 /// [`Storage`] over an append-only file, with real `fsync`
@@ -140,6 +147,11 @@ impl Storage for FileStorage {
         self.file.read_to_end(&mut out)?;
         self.file.seek(io::SeekFrom::Start(pos))?;
         Ok(out)
+    }
+    fn reset(&mut self) -> io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.seek(io::SeekFrom::Start(0))?;
+        Ok(())
     }
 }
 
@@ -280,6 +292,34 @@ impl Journal {
         Ok(())
     }
 
+    /// Compacts the journal to a snapshot point: rewrites the log as
+    /// `[snapshot, tail...]` and syncs. Everything the snapshot covers
+    /// (per-slot `Proposed`/`Committed`/`Transferred` records below its
+    /// `upto_slot`) is dropped by the caller choosing `tail`; replay
+    /// afterwards sees the snapshot first and seeds state from it.
+    ///
+    /// The rewrite is not crash-atomic: a crash between the reset and
+    /// the final sync can leave a shorter (or empty) log. That is safe
+    /// for the service's use — the snapshot only covers state every
+    /// correct replica already committed, so a replica that loses it
+    /// re-converges through certified state transfer rather than by
+    /// re-externalizing anything. A production WAL would shadow-write
+    /// and rename instead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors; on error the journal contents are
+    /// unspecified but replay still yields only intact frames.
+    pub fn compact(&mut self, snapshot: &Record, tail: &[Record]) -> io::Result<()> {
+        self.storage.reset()?;
+        self.unsynced = 0;
+        self.append(snapshot)?;
+        for rec in tail {
+            self.append(rec)?;
+        }
+        self.flush()
+    }
+
     /// Scans the journal from the start, CRC-checking every frame, and
     /// returns the intact prefix. A truncated length/CRC header, a
     /// payload shorter than its length prefix, a CRC mismatch, or an
@@ -399,6 +439,30 @@ mod tests {
         let report = Journal::in_memory(disk).replay().unwrap();
         assert!(report.records.is_empty());
         assert_eq!(report.torn_bytes, 16);
+    }
+
+    #[test]
+    fn compact_rewrites_to_snapshot_plus_tail() {
+        let disk = MemBuffer::new();
+        let mut j = Journal::in_memory(disk.clone());
+        for r in sample_records() {
+            j.append(&r).unwrap();
+        }
+        j.flush().unwrap();
+        let before = disk.len();
+        let snapshot = Record::Snapshot { upto_slot: 4, state: vec![1, 2, 3] };
+        let tail = [Record::Committed { slot: 4, value: vec![9] }];
+        j.compact(&snapshot, &tail).unwrap();
+        assert!(disk.len() < before, "compaction must shrink the log");
+        let report = Journal::in_memory(disk.clone()).replay().unwrap();
+        assert_eq!(report.records, vec![snapshot.clone(), tail[0].clone()]);
+        assert_eq!(report.torn_bytes, 0);
+        // Appends after compaction land after the retained tail.
+        j.append(&Record::CommitLevel { level: 5 }).unwrap();
+        j.flush().unwrap();
+        let report = Journal::in_memory(disk).replay().unwrap();
+        assert_eq!(report.records.len(), 3);
+        assert_eq!(report.records[0], snapshot);
     }
 
     #[test]

@@ -307,6 +307,7 @@ mod tests {
         id: ProcessId,
         rounds: u64,
         target: u64,
+        rejoined_at: Option<u64>,
     }
     impl Actor for Ticker {
         type Msg = Ping;
@@ -322,6 +323,9 @@ mod tests {
         fn done(&self) -> bool {
             self.rounds >= self.target
         }
+        fn on_rejoin(&mut self, round: meba_sim::Round) {
+            self.rejoined_at = Some(round.as_u64());
+        }
     }
 
     #[test]
@@ -329,7 +333,7 @@ mod tests {
         let n = 3;
         let target = 8u64;
         let mk = move |i: u32| -> Box<dyn AnyActor<Msg = Ping>> {
-            Box::new(Ticker { id: ProcessId(i), rounds: 0, target })
+            Box::new(Ticker { id: ProcessId(i), rounds: 0, target, rejoined_at: None })
         };
         let fate: ProcessFateFactory = Arc::new(|me: ProcessId| {
             if me == ProcessId(1) {
@@ -356,6 +360,9 @@ mod tests {
         assert!(report.metrics.recovery.recovery_rounds > 0, "rejoined before done");
         let t: &Ticker = report.actors[1].as_any().downcast_ref().unwrap();
         assert!(t.rounds >= target, "rebuilt actor caught up to the cluster clock");
+        // The rejoin signal carries the first live round (crash at 2 +
+        // rejoin_after 2), after the empty-inbox fast-forward.
+        assert_eq!(t.rejoined_at, Some(4), "on_rejoin fired with the first live round");
     }
 
     #[test]
@@ -371,7 +378,9 @@ mod tests {
         // p1 dies at round 1 and never rejoins: the run exhausts its
         // round budget instead of completing.
         let actors: Vec<Box<dyn AnyActor<Msg = Ping>>> = (0..2)
-            .map(|i| Box::new(Ticker { id: ProcessId(i), rounds: 0, target: 4 }) as _)
+            .map(|i| {
+                Box::new(Ticker { id: ProcessId(i), rounds: 0, target: 4, rejoined_at: None }) as _
+            })
             .collect();
         let report = run_cluster_with_recovery(actors, None, cfg);
         assert!(!report.completed);

@@ -19,6 +19,10 @@
 //! * [`replica`] — [`ServiceReplica`]: the [`meba_smr::ReplicatedLog`]
 //!   plus batching, WAL discipline, apply-with-dedup, and reads, as one
 //!   backend-agnostic [`meba_sim::Actor`].
+//! * [`transfer`] — certified anti-entropy state transfer: a restarted
+//!   replica fetches the committed prefix it missed and verifies every
+//!   slot against its quorum commit certificate (or `t + 1` matching
+//!   donors) before applying (DESIGN.md §16).
 //! * [`gateway`] / [`client`] — the readiness-driven TCP gateway thread
 //!   and the blocking [`ServiceClient`].
 //!
@@ -66,6 +70,7 @@ pub mod client;
 pub mod gateway;
 pub mod protocol;
 pub mod replica;
+pub mod transfer;
 
 pub use admission::{PortCounters, ReadRequest, ServicePort, SubmitError};
 pub use batch::{Batch, BatchPolicy, Batcher, Op, OP_WORDS};
@@ -75,4 +80,8 @@ pub use protocol::{
     service_config_digest, validate_client_hello, ClientHello, ClientRequest, HelloError, ReadMode,
     ServiceReply, SERVICE_VERSION,
 };
-pub use replica::{ServiceConfig, ServiceFbMsg, ServiceMsg, ServiceReplica};
+pub use replica::{ReplicaMsg, ServiceConfig, ServiceFbMsg, ServiceMsg, ServiceReplica};
+pub use transfer::{
+    claimed_decision, verify_certified, ServiceSnapshot, TransferEntry, TransferMsg,
+    DEFAULT_FETCH_BUDGET,
+};

@@ -24,33 +24,121 @@
 //!   client-visible `Committed` ack leaves the process. Replay rebuilds
 //!   the `(client, seq)` dedup table and the applied state exactly, so a
 //!   restarted replica never acks the same op twice.
+//! * [`Record::Transferred`] — written (and flushed) *before* a slot
+//!   adopted via certified state transfer is applied, and
+//!   [`Record::Evidence`] preserves the slot certificates this replica
+//!   holds so it can keep serving certified transfer after a restart.
+//!
+//! # State transfer
 //!
 //! A slot whose critical rounds the replica missed while down may retire
 //! as `⊥` locally even when the surviving quorum committed a value there
-//! (the outage counts toward `f` for that instance); the replica's KV
-//! state can therefore trail until client retries re-land the ops in a
-//! later slot — state transfer is future work, documented in
-//! `docs/CORRECTNESS.md`.
+//! (the outage counts toward `f` for that instance). A rebuilt replica
+//! therefore runs in *recovering* mode: it never applies a locally
+//! `⊥`-retired slot on its own authority. Instead it fetches the slot
+//! from a donor ([`TransferMsg::FetchCommitted`]) and adopts the donor's
+//! claim only when the attached quorum commit certificate re-derives it
+//! ([`crate::transfer::verify_certified`]), or when `t + 1` distinct
+//! donors claim byte-identical decisions — so Byzantine donors cannot
+//! forge history, and the applied prefix converges to the cluster's
+//! committed prefix without waiting for client retries (DESIGN.md §16,
+//! `docs/CORRECTNESS.md` §13).
 
 use crate::admission::{ReadRequest, ServicePort};
 use crate::batch::{Batch, BatchPolicy, Batcher, Op};
 use crate::protocol::{ReadMode, ServiceReply};
+use crate::transfer::{
+    claimed_decision, verify_certified, ServiceSnapshot, TransferEntry, TransferMsg,
+    DEFAULT_FETCH_BUDGET,
+};
 use meba_core::bb::BbBaValue;
 use meba_core::{Decision, FallbackFactory, SubProtocol, SystemConfig};
-use meba_crypto::{Pki, ProcessId, SecretKey, WireCodec};
+use meba_crypto::{DecodeError, Decoder, Encoder, Pki, ProcessId, SecretKey, WireCodec};
 use meba_journal::{Journal, Record};
-use meba_sim::{Actor, RoundCtx, ServiceStats};
-use meba_smr::{LogEntry, ReplicatedLog, SmrMsg};
+use meba_sim::{Actor, Dest, Envelope, Message, Round, RoundCtx, ServiceStats};
+use meba_smr::{CommitEvidence, LogEntry, ReplicatedLog, SmrMsg};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// The fallback's wire-message type over [`Batch`] values.
 pub type ServiceFbMsg<F> = <<F as FallbackFactory<BbBaValue<Batch>>>::Protocol as SubProtocol>::Msg;
 
-/// A service replica's wire-message type: identical to the bare
+/// A service replica's *log* wire-message type: identical to the bare
 /// [`ReplicatedLog`]'s, so every backend and adversary that drives the
 /// log drives the service.
 pub type ServiceMsg<F> = SmrMsg<Batch, ServiceFbMsg<F>>;
+
+/// The full wire-message type of a [`ServiceReplica`]: log traffic plus
+/// the state-transfer family, multiplexed on the same transport seams —
+/// both variants ride one mesh link / one channel, on every backend.
+#[derive(Clone, Debug)]
+pub enum ReplicaMsg<M> {
+    /// Agreement traffic of the replicated log.
+    Log(M),
+    /// Anti-entropy state transfer (DESIGN.md §16).
+    Transfer(TransferMsg),
+}
+
+impl<M: Message + WireCodec> Message for ReplicaMsg<M> {
+    fn words(&self) -> u64 {
+        match self {
+            ReplicaMsg::Log(m) => m.words(),
+            ReplicaMsg::Transfer(t) => t.words(),
+        }
+    }
+    fn constituent_sigs(&self) -> u64 {
+        match self {
+            ReplicaMsg::Log(m) => m.constituent_sigs(),
+            ReplicaMsg::Transfer(t) => t.constituent_sigs(),
+        }
+    }
+    fn component(&self) -> &'static str {
+        match self {
+            ReplicaMsg::Log(m) => m.component(),
+            ReplicaMsg::Transfer(t) => t.component(),
+        }
+    }
+    fn session(&self) -> Option<u64> {
+        match self {
+            ReplicaMsg::Log(m) => m.session(),
+            ReplicaMsg::Transfer(_) => None,
+        }
+    }
+    fn wire_bytes(&self) -> u64 {
+        self.wire_len()
+    }
+}
+
+const REPLICA_MSG_LOG: u32 = 0;
+const REPLICA_MSG_TRANSFER: u32 = 1;
+
+/// Rounds between `FetchCommitted` probes while recovering: long enough
+/// for a reply (request + reply is one round trip) plus the local apply,
+/// short enough that catch-up latency stays a small multiple of the
+/// outage.
+const FETCH_INTERVAL_ROUNDS: u64 = 4;
+
+impl<M: WireCodec> WireCodec for ReplicaMsg<M> {
+    fn encode_wire(&self, enc: &mut Encoder) {
+        match self {
+            ReplicaMsg::Log(m) => {
+                enc.put_u32(REPLICA_MSG_LOG);
+                m.encode_wire(enc);
+            }
+            ReplicaMsg::Transfer(t) => {
+                enc.put_u32(REPLICA_MSG_TRANSFER);
+                t.encode_wire(enc);
+            }
+        }
+    }
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u32()? {
+            REPLICA_MSG_LOG => Ok(ReplicaMsg::Log(M::decode_wire(dec)?)),
+            REPLICA_MSG_TRANSFER => Ok(ReplicaMsg::Transfer(TransferMsg::decode_wire(dec)?)),
+            _ => Err(DecodeError::Invalid { what: "unknown replica message tag" }),
+        }
+    }
+}
 
 /// Sizing of one service deployment.
 #[derive(Clone, Copy, Debug)]
@@ -81,6 +169,8 @@ pub struct ServiceReplica<F>
 where
     F: FallbackFactory<BbBaValue<Batch>>,
 {
+    cfg: SystemConfig,
+    pki: Pki,
     log: ReplicatedLog<Batch, F>,
     port: Arc<ServicePort>,
     batcher: Batcher,
@@ -97,9 +187,41 @@ where
     apply_cursor: u64,
     /// In-flight admissions: `(client, seq)` → admit round.
     admitted: BTreeMap<(u64, u64), u64>,
-    /// Slots whose binding this replica has already journaled.
-    journaled_proposals: BTreeSet<u64>,
+    /// Slots whose binding this replica has already journaled, with the
+    /// exact journaled bytes (carried into snapshots so compaction can
+    /// never lose a binding and re-open the equivocation window).
+    journaled_proposals: BTreeMap<u64, Vec<u8>>,
     pending_reads: Vec<(ReadRequest, u64)>,
+    /// Canonical bytes of every applied slot's decision (empty = `⊥`) —
+    /// the donor-side source of truth for state transfer; rebuilt from
+    /// the journal on restart.
+    applied_values: BTreeMap<u64, Vec<u8>>,
+    /// Commit certificates this replica holds, for serving *certified*
+    /// transfer (journaled as [`Record::Evidence`] to survive restarts).
+    evidence: BTreeMap<u64, CommitEvidence>,
+    /// Whether this replica was rebuilt from a journal and must treat
+    /// locally `⊥`-retired slots as suspect until donor-confirmed.
+    recovering: bool,
+    /// First slot whose opening round this replica observed after the
+    /// restart (pinned on the first post-rebuild round). Slots below it
+    /// may have had critical rounds eaten by the outage and need donor
+    /// confirmation; slots at or above it are watched end-to-end, so
+    /// once the cursor reaches the horizon recovering mode ends and the
+    /// fetch cadence stops — transfer cost scales with the outage, not
+    /// with how much log remains (E19).
+    recovery_horizon: Option<u64>,
+    /// Donor decisions adopted but not yet applied (waiting for the
+    /// strict-order cursor), with the certificate that earned adoption.
+    transferred: BTreeMap<u64, (Decision<Batch>, Option<CommitEvidence>)>,
+    /// Uncertified donor claims: slot → claimed bytes → distinct donors.
+    vouches: BTreeMap<u64, BTreeMap<Vec<u8>, BTreeSet<ProcessId>>>,
+    /// Round of the last `FetchCommitted` this replica sent.
+    last_fetch_round: Option<u64>,
+    /// Apply cursor at the last fetch — no movement means the donor gave
+    /// us nothing usable and we rotate.
+    last_fetch_cursor: u64,
+    /// Rotating donor index into the peer list.
+    donor_cursor: u64,
     stats: ServiceStats,
 }
 
@@ -139,7 +261,7 @@ where
             cfg,
             me,
             key,
-            pki,
+            pki.clone(),
             factory,
             service.total_slots,
             commands,
@@ -147,6 +269,8 @@ where
         )
         .with_window(service.window);
         ServiceReplica {
+            cfg,
+            pki,
             log,
             port,
             batcher: Batcher::new(service.batch),
@@ -156,16 +280,32 @@ where
             applied: BTreeSet::new(),
             apply_cursor: 0,
             admitted: BTreeMap::new(),
-            journaled_proposals: BTreeSet::new(),
+            journaled_proposals: BTreeMap::new(),
             pending_reads: Vec::new(),
+            applied_values: BTreeMap::new(),
+            evidence: BTreeMap::new(),
+            recovering: false,
+            recovery_horizon: None,
+            transferred: BTreeMap::new(),
+            vouches: BTreeMap::new(),
+            last_fetch_round: None,
+            last_fetch_cursor: 0,
+            donor_cursor: 0,
             stats: ServiceStats::default(),
         }
     }
 
     /// Rebuilds a crashed replica from its journal: replays
-    /// [`Record::Committed`] into the KV state and the dedup table, and
-    /// [`Record::Proposed`] into the log's initial command queue so
-    /// fast-forward re-binds byte-identical values to the same slots.
+    /// [`Record::Committed`] / [`Record::Transferred`] into the KV state
+    /// and the dedup table, [`Record::Proposed`] into the log's initial
+    /// command queue so fast-forward re-binds byte-identical values to
+    /// the same slots, and [`Record::Evidence`] into the certificate
+    /// store so this replica keeps serving certified transfer. A
+    /// [`Record::Snapshot`] (written by [`Self::compact_journal`]) seeds
+    /// all of the above before the remaining records replay on top.
+    ///
+    /// The rebuilt replica is in *recovering* mode: locally `⊥`-retired
+    /// slots are held back until donor-confirmed (see module docs).
     /// Returns the rebuilt replica and the number of records replayed.
     ///
     /// # Errors
@@ -183,54 +323,83 @@ where
         port: Arc<ServicePort>,
         mut journal: Journal,
     ) -> std::io::Result<(Self, u64)> {
+        let bad = |what: &'static str| std::io::Error::new(std::io::ErrorKind::InvalidData, what);
         let report = journal.replay()?;
         let replayed = report.records.len() as u64;
-        let mut proposals: Vec<(u64, Batch)> = Vec::new();
-        let mut committed: Vec<(u64, Option<Batch>)> = Vec::new();
+        let mut proposals: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut applied: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut evidence: Vec<(u64, CommitEvidence)> = Vec::new();
         for rec in report.records {
             match rec {
-                Record::Proposed { slot, value } => {
-                    let batch = Batch::from_wire_bytes(&value).map_err(|_| {
-                        std::io::Error::new(std::io::ErrorKind::InvalidData, "bad Proposed batch")
-                    })?;
-                    proposals.push((slot, batch));
+                Record::Snapshot { upto_slot: _, state } => {
+                    let snap = ServiceSnapshot::from_wire_bytes(&state)
+                        .map_err(|_| bad("bad Snapshot state"))?;
+                    proposals = snap.proposals;
+                    applied = snap.applied;
+                    evidence = snap.evidence;
                 }
-                Record::Committed { slot, value } => {
-                    // Empty bytes encode a ⊥ slot; a batch otherwise.
-                    let entry = if value.is_empty() {
-                        None
-                    } else {
-                        Some(Batch::from_wire_bytes(&value).map_err(|_| {
-                            std::io::Error::new(
-                                std::io::ErrorKind::InvalidData,
-                                "bad Committed batch",
-                            )
-                        })?)
-                    };
-                    committed.push((slot, entry));
+                Record::Proposed { slot, value } => proposals.push((slot, value)),
+                Record::Committed { slot, value } | Record::Transferred { slot, value } => {
+                    applied.push((slot, value));
+                }
+                Record::Evidence { slot, evidence: bytes } => {
+                    let ev = CommitEvidence::from_wire_bytes(&bytes)
+                        .map_err(|_| bad("bad Evidence record"))?;
+                    evidence.push((slot, ev));
                 }
                 _ => {}
             }
         }
-        let commands: Vec<Batch> = proposals.iter().map(|(_, b)| b.clone()).collect();
+        let commands: Vec<Batch> = proposals
+            .iter()
+            .map(|(_, b)| Batch::from_wire_bytes(b).map_err(|_| bad("bad Proposed batch")))
+            .collect::<Result<_, _>>()?;
         let mut replica =
             Self::with_commands(cfg, me, key, pki, factory, service, port, Some(journal), commands);
-        replica.journaled_proposals = proposals.into_iter().map(|(s, _)| s).collect();
-        for (slot, entry) in committed {
+        replica.journaled_proposals = proposals.into_iter().collect();
+        replica.evidence = evidence.into_iter().collect();
+        for (slot, bytes) in applied {
             replica.applied.insert(slot);
-            match entry {
-                None => replica.stats.skipped_slots += 1,
-                Some(batch) => {
-                    for (i, op) in batch.ops().iter().enumerate() {
-                        replica.replay_op(slot, i as u32, *op);
-                    }
+            if bytes.is_empty() {
+                replica.stats.skipped_slots += 1;
+            } else {
+                let batch =
+                    Batch::from_wire_bytes(&bytes).map_err(|_| bad("bad Committed batch"))?;
+                for (i, op) in batch.ops().iter().enumerate() {
+                    replica.replay_op(slot, i as u32, *op);
                 }
             }
+            replica.applied_values.insert(slot, bytes);
         }
         while replica.applied.contains(&replica.apply_cursor) {
             replica.apply_cursor += 1;
         }
+        replica.recovering = true;
         Ok((replica, replayed))
+    }
+
+    /// Compacts the journal to a [`Record::Snapshot`] covering every
+    /// applied slot (KV, dedup, applied decisions, slot bindings, and
+    /// commit certificates all re-seed from it on the next rebuild). The
+    /// per-slot records it subsumes are dropped; slot bindings are
+    /// carried inside the snapshot, so compaction can never re-open the
+    /// equivocation window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal I/O errors. No-op without a journal.
+    pub fn compact_journal(&mut self) -> std::io::Result<()> {
+        let snap = ServiceSnapshot {
+            upto_slot: self.apply_cursor,
+            applied: self.applied_values.iter().map(|(s, v)| (*s, v.clone())).collect(),
+            proposals: self.journaled_proposals.iter().map(|(s, v)| (*s, v.clone())).collect(),
+            evidence: self.evidence.iter().map(|(s, e)| (*s, e.clone())).collect(),
+        };
+        let rec = Record::Snapshot { upto_slot: self.apply_cursor, state: snap.to_wire_bytes() };
+        match &mut self.journal {
+            Some(j) => j.compact(&rec, &[]),
+            None => Ok(()),
+        }
     }
 
     /// Replays one committed op during rebuild: state and dedup only, no
@@ -303,7 +472,8 @@ where
     /// collision-checked path.
     fn bind_due_slot(&mut self, round: u64) {
         let Some(slot) = self.log.due_slot(round) else { return };
-        if self.log.proposer_of(slot) == self.log.id() && !self.journaled_proposals.contains(&slot)
+        if self.log.proposer_of(slot) == self.log.id()
+            && !self.journaled_proposals.contains_key(&slot)
         {
             // Don't waste our proposer slot on a no-op while ops sit in
             // the open batch: close it early so the slot carries them.
@@ -313,8 +483,9 @@ where
                 }
             }
             let value = self.log.queued_front().cloned().unwrap_or_else(Batch::noop);
-            self.journal_append(&Record::Proposed { slot, value: value.to_wire_bytes() });
-            self.journaled_proposals.insert(slot);
+            let bytes = value.to_wire_bytes();
+            self.journal_append(&Record::Proposed { slot, value: bytes.clone() });
+            self.journaled_proposals.insert(slot, bytes);
         }
         if self.log.spawn_due(round).is_err() {
             self.stats.session_collisions += 1;
@@ -367,21 +538,57 @@ where
         self.log.enqueue(batch);
     }
 
-    /// Applies newly committed slots in strict slot order.
+    /// Applies newly committed slots in strict slot order. Locally
+    /// decided slots apply directly — except a `⊥` retirement on a
+    /// *recovering* replica, which is suspect (the outage may have eaten
+    /// the slot's critical rounds) and waits for donor confirmation.
+    /// Donor-confirmed slots fill the same cursor gap.
     fn apply_committed(&mut self, round: u64) {
         loop {
             if self.applied.contains(&self.apply_cursor) {
-                // Replayed from the journal pre-crash.
+                // Replayed from the journal pre-crash, or transferred.
                 self.apply_cursor += 1;
                 continue;
             }
             let cursor = self.apply_cursor;
-            let Ok(i) = self.log.log().binary_search_by_key(&cursor, |e| e.slot) else {
+            let local = self
+                .log
+                .log()
+                .binary_search_by_key(&cursor, |e| e.slot)
+                .ok()
+                .map(|i| self.log.log()[i].clone());
+            let trust_local = match &local {
+                Some(e) => !self.recovering || matches!(e.entry, Decision::Value(_)),
+                None => false,
+            };
+            if trust_local {
+                let entry = local.expect("trust_local implies a local entry");
+                if let Some((transferred, _)) = self.transferred.get(&cursor) {
+                    if *transferred != entry.entry {
+                        // A certified donor decision disagreeing with our
+                        // own retirement would be a safety violation —
+                        // count it loudly (must stay zero in every run).
+                        self.stats.applied_conflicts += 1;
+                    }
+                }
+                self.apply_slot(&entry, round);
+                self.apply_cursor += 1;
+                continue;
+            }
+            // No trusted local decision: only a donor-confirmed decision
+            // advances the cursor.
+            let Some((decision, cert)) = self.transferred.get(&cursor).cloned() else {
                 break;
             };
-            let entry = self.log.log()[i].clone();
-            self.apply_slot(&entry, round);
+            self.apply_transferred(cursor, decision, cert, round);
             self.apply_cursor += 1;
+        }
+        if self.recovering
+            && self.apply_cursor >= self.recovery_horizon.unwrap_or(self.log.total_slots())
+        {
+            // Caught up past every slot the outage could have touched:
+            // back to ordinary trust rules, and the fetch cadence stops.
+            self.recovering = false;
         }
     }
 
@@ -391,13 +598,58 @@ where
             Decision::Value(b) => b.to_wire_bytes(),
             Decision::Bot => Vec::new(),
         };
-        self.journal_append(&Record::Committed { slot: entry.slot, value: bytes });
+        self.journal_append(&Record::Committed { slot: entry.slot, value: bytes.clone() });
+        if let Some(ev) = self.log.evidence(entry.slot).cloned() {
+            self.journal_append(&Record::Evidence {
+                slot: entry.slot,
+                evidence: ev.to_wire_bytes(),
+            });
+            self.evidence.insert(entry.slot, ev);
+        }
         self.applied.insert(entry.slot);
+        self.applied_values.insert(entry.slot, bytes);
+        self.transferred.remove(&entry.slot);
+        self.vouches.remove(&entry.slot);
         match &entry.entry {
             Decision::Bot => self.stats.skipped_slots += 1,
             Decision::Value(batch) => {
                 for (i, op) in batch.ops().iter().enumerate() {
                     self.apply_live_op(entry.slot, i as u32, *op, round);
+                }
+            }
+        }
+    }
+
+    /// Applies a donor-confirmed decision to a slot this replica could
+    /// not (or, recovering, would not) decide locally. Same WAL-before-
+    /// externalize discipline as [`Self::apply_slot`], under
+    /// [`Record::Transferred`] so a rebuild can tell the paths apart.
+    fn apply_transferred(
+        &mut self,
+        slot: u64,
+        decision: Decision<Batch>,
+        cert: Option<CommitEvidence>,
+        round: u64,
+    ) {
+        let bytes = match &decision {
+            Decision::Value(b) => b.to_wire_bytes(),
+            Decision::Bot => Vec::new(),
+        };
+        self.journal_append(&Record::Transferred { slot, value: bytes.clone() });
+        if let Some(ev) = cert {
+            self.journal_append(&Record::Evidence { slot, evidence: ev.to_wire_bytes() });
+            self.evidence.insert(slot, ev);
+        }
+        self.applied.insert(slot);
+        self.applied_values.insert(slot, bytes);
+        self.transferred.remove(&slot);
+        self.vouches.remove(&slot);
+        self.stats.slots_transferred += 1;
+        match &decision {
+            Decision::Bot => self.stats.skipped_slots += 1,
+            Decision::Value(batch) => {
+                for (i, op) in batch.ops().iter().enumerate() {
+                    self.apply_live_op(slot, i as u32, *op, round);
                 }
             }
         }
@@ -425,6 +677,131 @@ where
             slot,
             batch_index: idx,
         });
+    }
+
+    /// Serves a donor reply: contiguous applied slots from `from_slot`,
+    /// certificates attached where held, bounded by `budget` payload
+    /// bytes (always at least one entry when one exists, so progress
+    /// never stalls on a tight budget). Empty when we have nothing past
+    /// `from_slot` — the requester rotates to another donor.
+    fn serve_fetch(&self, from_slot: u64, budget: u64) -> TransferMsg {
+        let mut entries = Vec::new();
+        let mut used = 0u64;
+        let mut slot = from_slot;
+        while slot < self.apply_cursor {
+            let Some(value) = self.applied_values.get(&slot) else { break };
+            let entry = TransferEntry {
+                slot,
+                value: value.clone(),
+                cert: self.evidence.get(&slot).cloned(),
+            };
+            let cost = entry.to_wire_bytes().len() as u64;
+            if !entries.is_empty() && used + cost > budget {
+                break;
+            }
+            used += cost;
+            entries.push(entry);
+            slot += 1;
+        }
+        TransferMsg::CommittedBatch { from_slot, entries }
+    }
+
+    /// One round of the anti-entropy protocol: answer incoming fetches
+    /// from our applied prefix, sift incoming donor batches through the
+    /// certificate / `t + 1`-vouch filters, and (when recovering and
+    /// stalled) ask the next donor for our missing range. Returns the
+    /// outgoing transfer messages.
+    fn on_transfer(
+        &mut self,
+        round: u64,
+        inbox: &[(ProcessId, TransferMsg)],
+    ) -> Vec<(ProcessId, TransferMsg)> {
+        let mut out = Vec::new();
+        for (from, msg) in inbox {
+            match msg {
+                TransferMsg::FetchCommitted { from_slot, budget } => {
+                    out.push((*from, self.serve_fetch(*from_slot, *budget)));
+                }
+                TransferMsg::CommittedBatch { entries, .. } => {
+                    for entry in entries {
+                        self.sift_entry(*from, entry);
+                    }
+                }
+            }
+        }
+        if self.recovering
+            && self.apply_cursor < self.log.total_slots()
+            && self.last_fetch_round.is_none_or(|r| round >= r + FETCH_INTERVAL_ROUNDS)
+        {
+            if self.last_fetch_round.is_some() && self.apply_cursor == self.last_fetch_cursor {
+                // The last donor gave us nothing usable: rotate.
+                self.donor_cursor += 1;
+                self.stats.transfer_donor_retries += 1;
+            }
+            let me = self.log.id().0 as u64;
+            let n = self.cfg.n() as u64;
+            let peers = n - 1;
+            let donor = ProcessId((((me + 1) + self.donor_cursor % peers) % n) as u32);
+            debug_assert_ne!(donor, self.log.id());
+            out.push((
+                donor,
+                TransferMsg::FetchCommitted {
+                    from_slot: self.apply_cursor,
+                    budget: DEFAULT_FETCH_BUDGET,
+                },
+            ));
+            self.last_fetch_round = Some(round);
+            self.last_fetch_cursor = self.apply_cursor;
+        }
+        out
+    }
+
+    /// Filters one donor-claimed slot. Certified claims are adopted iff
+    /// the certificate re-derives the claim; uncertified claims are
+    /// tallied per donor and adopted at `t + 1` byte-identical matches.
+    /// Forgeries are counted and dropped.
+    fn sift_entry(&mut self, from: ProcessId, entry: &TransferEntry) {
+        if self.applied.contains(&entry.slot) || self.transferred.contains_key(&entry.slot) {
+            return;
+        }
+        if entry.cert.is_some() {
+            match verify_certified(&self.cfg, &self.pki, entry) {
+                Some(decision) => {
+                    self.stats.transfer_certs_verified += 1;
+                    self.stats.transfer_bytes += entry.to_wire_bytes().len() as u64;
+                    self.transferred.insert(entry.slot, (decision, entry.cert.clone()));
+                }
+                None => self.stats.transfer_certs_rejected += 1,
+            }
+            return;
+        }
+        let Some(decision) = claimed_decision(entry) else {
+            self.stats.transfer_certs_rejected += 1;
+            return;
+        };
+        let donors =
+            self.vouches.entry(entry.slot).or_default().entry(entry.value.clone()).or_default();
+        donors.insert(from);
+        if donors.len() >= self.cfg.idk_threshold() {
+            self.stats.transfer_vouches_accepted += 1;
+            self.stats.transfer_bytes += entry.to_wire_bytes().len() as u64;
+            self.transferred.insert(entry.slot, (decision, None));
+        }
+    }
+
+    /// Whether this replica is still in post-restart recovering mode.
+    pub fn recovering(&self) -> bool {
+        self.recovering
+    }
+
+    /// The canonical bytes applied at `slot` (empty = `⊥`), if applied.
+    pub fn applied_value(&self, slot: u64) -> Option<&[u8]> {
+        self.applied_values.get(&slot).map(Vec::as_slice)
+    }
+
+    /// The commit certificate held for `slot`, if any.
+    pub fn slot_evidence(&self, slot: u64) -> Option<&CommitEvidence> {
+        self.evidence.get(&slot)
     }
 
     /// The highest slot that has opened by `round` — a confirmed read
@@ -468,7 +845,7 @@ impl<F> Actor for ServiceReplica<F>
 where
     F: FallbackFactory<BbBaValue<Batch>>,
 {
-    type Msg = ServiceMsg<F>;
+    type Msg = ReplicaMsg<ServiceMsg<F>>;
 
     fn id(&self) -> ProcessId {
         self.log.id()
@@ -476,19 +853,53 @@ where
 
     fn on_round(&mut self, ctx: &mut RoundCtx<'_, Self::Msg>) {
         let round = ctx.round().as_u64();
+        // Demultiplex: log traffic drives the agreement engine through a
+        // nested context, transfer traffic feeds the anti-entropy path.
+        let mut log_inbox: Vec<Envelope<ServiceMsg<F>>> = Vec::new();
+        let mut transfer_inbox: Vec<(ProcessId, TransferMsg)> = Vec::new();
+        for env in ctx.inbox() {
+            match &env.msg {
+                ReplicaMsg::Log(m) => {
+                    log_inbox.push(Envelope { from: env.from, msg: m.clone() });
+                }
+                ReplicaMsg::Transfer(t) => transfer_inbox.push((env.from, t.clone())),
+            }
+        }
         self.drain_admissions(round);
         if let Some(batch) = self.batcher.tick(round) {
             self.enqueue_batch(batch);
         }
         self.bind_due_slot(round);
-        self.log.on_round(ctx);
+        let mut inner = RoundCtx::new(ctx.round(), ctx.me(), ctx.n(), &log_inbox);
+        self.log.on_round(&mut inner);
+        for (dest, msg) in inner.take_outbox() {
+            match dest {
+                Dest::To(p) => ctx.send(p, ReplicaMsg::Log(msg)),
+                Dest::All => ctx.broadcast(ReplicaMsg::Log(msg)),
+            }
+        }
+        for (to, msg) in self.on_transfer(round, &transfer_inbox) {
+            ctx.send(to, ReplicaMsg::Transfer(msg));
+        }
         self.apply_committed(round);
         self.take_reads(round);
         self.serve_reads();
     }
 
     fn done(&self) -> bool {
-        self.log.done() && self.pending_reads.is_empty()
+        self.log.done()
+            && self.pending_reads.is_empty()
+            && (!self.recovering || self.apply_cursor >= self.log.total_slots())
+    }
+
+    fn on_rejoin(&mut self, round: Round) {
+        // Every slot opening from this round on is watched end-to-end,
+        // so only slots below the horizon need donor confirmation. The
+        // runtime only delivers this signal on a fate-driven in-process
+        // rejoin; a relaunched OS process never gets it and keeps the
+        // conservative full-log horizon.
+        self.recovery_horizon =
+            Some(round.as_u64().div_ceil(self.log.stride()).min(self.log.total_slots()));
     }
 }
 

@@ -1,0 +1,356 @@
+//! Certified state transfer: the anti-entropy protocol a restarted (or
+//! stranded) replica uses to converge to the cluster's committed prefix
+//! without waiting for client retries (DESIGN.md §16).
+//!
+//! A recovering replica broadcasts nothing: it asks one donor at a time
+//! for a range of its applied prefix ([`TransferMsg::FetchCommitted`]),
+//! and the donor answers with [`TransferMsg::CommittedBatch`] — per-slot
+//! claimed decisions, each carrying the slot's quorum commit certificate
+//! ([`CommitEvidence`]) when the donor holds one. The receiver trusts
+//! **certificates, not donors**:
+//!
+//! * A certified entry is accepted iff the [`meba_smr::verify_slot_evidence`]
+//!   re-derivation — threshold check, domain-separated session, and the
+//!   `BB_valid` mapping — yields exactly the claimed decision. A forged,
+//!   stale, or replayed-for-another-slot certificate is rejected and
+//!   counted, never adopted.
+//! * An uncertified entry (the slot settled through the fallback path,
+//!   or the donor itself restarted and lost the certificate) is adopted
+//!   only once `t + 1` *distinct* donors claim byte-identical decisions:
+//!   any `t + 1` replicas include a correct one, so the matched value is
+//!   the committed one.
+//!
+//! Either way the receiver journals [`meba_journal::Record::Transferred`]
+//! before applying, preserving the WAL-before-externalize discipline.
+//!
+//! The word/byte cost of transfer is accounted under its own component
+//! tag (`service/transfer`), so experiment E19 can check the property
+//! that matters for an adaptive protocol: transfer traffic scales with
+//! the *outage length* (the slots actually missed), not with the total
+//! log length.
+
+use crate::batch::Batch;
+use meba_core::{Decision, SystemConfig};
+use meba_crypto::{DecodeError, Decoder, Encoder, Pki, WireCodec, WordCost};
+use meba_sim::Message;
+use meba_smr::{verify_slot_evidence, CommitEvidence};
+
+/// Default budget (maximum reply payload bytes) a recovering replica
+/// grants per [`TransferMsg::FetchCommitted`].
+pub const DEFAULT_FETCH_BUDGET: u64 = 64 * 1024;
+
+/// One slot of a donor's applied prefix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransferEntry {
+    /// The slot.
+    pub slot: u64,
+    /// The donor's claimed decision: canonical [`Batch`] bytes, empty
+    /// for `⊥`.
+    pub value: Vec<u8>,
+    /// The slot's commit certificate, when the donor holds one. `None`
+    /// means the receiver must collect `t + 1` matching claims instead.
+    pub cert: Option<CommitEvidence>,
+}
+
+/// The state-transfer message family, riding the same transport seams as
+/// the log traffic (wrapped in [`crate::replica::ReplicaMsg`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransferMsg {
+    /// "Send me your applied prefix from `from_slot`, up to `budget`
+    /// payload bytes." Sent by a recovering replica to one donor.
+    FetchCommitted {
+        /// First slot the requester is missing.
+        from_slot: u64,
+        /// Maximum total payload bytes the donor may return.
+        budget: u64,
+    },
+    /// A donor's answer: contiguous applied slots starting at
+    /// `from_slot`, certificates attached where held.
+    CommittedBatch {
+        /// Echo of the request's `from_slot`.
+        from_slot: u64,
+        /// Contiguous entries `from_slot, from_slot + 1, …`.
+        entries: Vec<TransferEntry>,
+    },
+}
+
+const TAG_FETCH: u32 = 0;
+const TAG_BATCH: u32 = 1;
+
+impl WireCodec for TransferEntry {
+    fn encode_wire(&self, enc: &mut Encoder) {
+        enc.put_u64(self.slot);
+        enc.put_bytes(&self.value);
+        enc.put_option(&self.cert, |e, c| c.encode_wire(e));
+    }
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let slot = dec.get_u64()?;
+        let value = dec.get_bytes()?;
+        let cert = dec.get_option(CommitEvidence::decode_wire)?;
+        Ok(TransferEntry { slot, value, cert })
+    }
+}
+
+impl WireCodec for TransferMsg {
+    fn encode_wire(&self, enc: &mut Encoder) {
+        match self {
+            TransferMsg::FetchCommitted { from_slot, budget } => {
+                enc.put_u32(TAG_FETCH);
+                enc.put_u64(*from_slot);
+                enc.put_u64(*budget);
+            }
+            TransferMsg::CommittedBatch { from_slot, entries } => {
+                enc.put_u32(TAG_BATCH);
+                enc.put_u64(*from_slot);
+                enc.put_u64(entries.len() as u64);
+                for e in entries {
+                    e.encode_wire(enc);
+                }
+            }
+        }
+    }
+
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u32()? {
+            TAG_FETCH => {
+                let from_slot = dec.get_u64()?;
+                let budget = dec.get_u64()?;
+                Ok(TransferMsg::FetchCommitted { from_slot, budget })
+            }
+            TAG_BATCH => {
+                let from_slot = dec.get_u64()?;
+                let len = dec.get_u64()?;
+                let len = usize::try_from(len)
+                    .map_err(|_| DecodeError::Invalid { what: "transfer entry count" })?;
+                let mut entries = Vec::new();
+                for _ in 0..len {
+                    entries.push(TransferEntry::decode_wire(dec)?);
+                }
+                Ok(TransferMsg::CommittedBatch { from_slot, entries })
+            }
+            _ => Err(DecodeError::Invalid { what: "unknown transfer message tag" }),
+        }
+    }
+}
+
+impl Message for TransferMsg {
+    fn words(&self) -> u64 {
+        match self {
+            TransferMsg::FetchCommitted { .. } => 2,
+            TransferMsg::CommittedBatch { entries, .. } => {
+                1 + entries
+                    .iter()
+                    .map(|e| {
+                        let cert = e.cert.as_ref().map_or(0, |c| {
+                            (c.ba_value.len() as u64).div_ceil(8) + 1 + c.proof.qc.words()
+                        });
+                        1 + (e.value.len() as u64).div_ceil(8) + cert
+                    })
+                    .sum::<u64>()
+            }
+        }
+    }
+
+    fn constituent_sigs(&self) -> u64 {
+        match self {
+            TransferMsg::FetchCommitted { .. } => 0,
+            TransferMsg::CommittedBatch { entries, .. } => entries
+                .iter()
+                .filter_map(|e| e.cert.as_ref())
+                .map(|c| c.proof.qc.constituent_sigs())
+                .sum(),
+        }
+    }
+
+    fn component(&self) -> &'static str {
+        "service/transfer"
+    }
+
+    fn wire_bytes(&self) -> u64 {
+        self.wire_len()
+    }
+}
+
+/// The compaction snapshot a replica writes as
+/// [`meba_journal::Record::Snapshot`] state: everything a rebuild needs
+/// that the dropped per-slot records used to carry. KV state and the
+/// dedup table are *not* stored — both re-derive deterministically by
+/// replaying `applied` in slot order.
+///
+/// `proposals` must travel with the snapshot: dropping a journaled slot
+/// binding would let a restarted replica re-bind a different value to
+/// the same slot, i.e. equivocate on the wire.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceSnapshot {
+    /// The applied prefix is `[0, upto_slot)`.
+    pub upto_slot: u64,
+    /// Applied decisions, `(slot, canonical batch bytes)`; empty bytes
+    /// encode `⊥`.
+    pub applied: Vec<(u64, Vec<u8>)>,
+    /// Journaled slot bindings, `(slot, canonical batch bytes)`.
+    pub proposals: Vec<(u64, Vec<u8>)>,
+    /// Commit certificates held, `(slot, evidence)`.
+    pub evidence: Vec<(u64, CommitEvidence)>,
+}
+
+impl WireCodec for ServiceSnapshot {
+    fn encode_wire(&self, enc: &mut Encoder) {
+        enc.put_u64(self.upto_slot);
+        enc.put_u64(self.applied.len() as u64);
+        for (slot, value) in &self.applied {
+            enc.put_u64(*slot);
+            enc.put_bytes(value);
+        }
+        enc.put_u64(self.proposals.len() as u64);
+        for (slot, value) in &self.proposals {
+            enc.put_u64(*slot);
+            enc.put_bytes(value);
+        }
+        enc.put_u64(self.evidence.len() as u64);
+        for (slot, ev) in &self.evidence {
+            enc.put_u64(*slot);
+            ev.encode_wire(enc);
+        }
+    }
+
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        fn count(dec: &mut Decoder<'_>) -> Result<usize, DecodeError> {
+            usize::try_from(dec.get_u64()?)
+                .map_err(|_| DecodeError::Invalid { what: "snapshot entry count" })
+        }
+        let upto_slot = dec.get_u64()?;
+        let mut applied = Vec::new();
+        for _ in 0..count(dec)? {
+            let slot = dec.get_u64()?;
+            applied.push((slot, dec.get_bytes()?));
+        }
+        let mut proposals = Vec::new();
+        for _ in 0..count(dec)? {
+            let slot = dec.get_u64()?;
+            proposals.push((slot, dec.get_bytes()?));
+        }
+        let mut evidence = Vec::new();
+        for _ in 0..count(dec)? {
+            let slot = dec.get_u64()?;
+            evidence.push((slot, CommitEvidence::decode_wire(dec)?));
+        }
+        Ok(ServiceSnapshot { upto_slot, applied, proposals, evidence })
+    }
+}
+
+/// The claimed decision of a [`TransferEntry`], decoded: empty bytes are
+/// `⊥`, anything else must be a canonical [`Batch`].
+///
+/// Returns `None` for malformed (or non-canonical) value bytes — the
+/// entry is then unusable whatever its certificate says.
+pub fn claimed_decision(entry: &TransferEntry) -> Option<Decision<Batch>> {
+    if entry.value.is_empty() {
+        return Some(Decision::Bot);
+    }
+    let batch = Batch::from_wire_bytes(&entry.value).ok()?;
+    if batch.to_wire_bytes() != entry.value {
+        return None;
+    }
+    Some(Decision::Value(batch))
+}
+
+/// Verifies a *certified* transfer entry: the certificate must re-derive
+/// (under `slot`'s domain-separated session and the `BB_valid` mapping)
+/// exactly the decision the donor claims. Returns the decision on
+/// success, `None` on any forgery: bad value bytes, bad certificate, a
+/// certificate for another slot, or a genuine certificate attached to a
+/// different claimed value.
+pub fn verify_certified(
+    cfg: &SystemConfig,
+    pki: &Pki,
+    entry: &TransferEntry,
+) -> Option<Decision<Batch>> {
+    let cert = entry.cert.as_ref()?;
+    let claimed = claimed_decision(entry)?;
+    let derived = verify_slot_evidence::<Batch>(cfg, pki, entry.slot, cert)?;
+    (derived == claimed).then_some(claimed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meba_core::DecideProof;
+    use meba_crypto::trusted_setup;
+
+    /// A structurally valid certificate that certifies nothing relevant:
+    /// a real quorum signature over an unrelated message.
+    fn fake_cert() -> CommitEvidence {
+        let (pki, keys) = trusted_setup(5, 0x99);
+        let shares: Vec<_> = keys.iter().take(3).map(|k| k.sign(b"unrelated")).collect();
+        let qc = pki.combine(3, b"unrelated", &shares).unwrap();
+        CommitEvidence { ba_value: vec![1, 2, 3], proof: DecideProof { phase: 1, qc } }
+    }
+
+    fn samples() -> Vec<TransferMsg> {
+        vec![
+            TransferMsg::FetchCommitted { from_slot: 3, budget: 4096 },
+            TransferMsg::CommittedBatch { from_slot: 0, entries: vec![] },
+            TransferMsg::CommittedBatch {
+                from_slot: 2,
+                entries: vec![
+                    TransferEntry { slot: 2, value: vec![], cert: None },
+                    TransferEntry { slot: 3, value: vec![9, 9, 9], cert: Some(fake_cert()) },
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn transfer_msgs_roundtrip_canonically() {
+        for m in samples() {
+            let bytes = m.to_wire_bytes();
+            let back = TransferMsg::from_wire_bytes(&bytes).unwrap();
+            assert_eq!(back, m);
+            assert_eq!(back.to_wire_bytes(), bytes);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_and_truncation_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_u32(7);
+        assert!(TransferMsg::from_wire_bytes(&enc.into_bytes()).is_err());
+        for m in samples() {
+            let bytes = m.to_wire_bytes();
+            for cut in 0..bytes.len() {
+                assert!(TransferMsg::from_wire_bytes(&bytes[..cut]).is_err(), "prefix {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_canonically() {
+        let snap = ServiceSnapshot {
+            upto_slot: 4,
+            applied: vec![(0, vec![1, 2]), (1, vec![]), (2, vec![3]), (3, vec![4, 5, 6])],
+            proposals: vec![(0, vec![1, 2]), (3, vec![4, 5, 6])],
+            evidence: vec![(0, fake_cert()), (2, fake_cert())],
+        };
+        let bytes = snap.to_wire_bytes();
+        let back = ServiceSnapshot::from_wire_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.to_wire_bytes(), bytes);
+        for cut in 0..bytes.len() {
+            assert!(ServiceSnapshot::from_wire_bytes(&bytes[..cut]).is_err(), "prefix {cut}");
+        }
+    }
+
+    #[test]
+    fn forged_cert_is_rejected() {
+        let n = 5;
+        let cfg = SystemConfig::new(n, 0x77).unwrap();
+        let (pki, _) = trusted_setup(n, 0x88);
+        let entry = TransferEntry { slot: 0, value: vec![], cert: Some(fake_cert()) };
+        assert!(verify_certified(&cfg, &pki, &entry).is_none());
+        // Uncertified entries are never "verified certified".
+        let bare = TransferEntry { slot: 0, value: vec![], cert: None };
+        assert!(verify_certified(&cfg, &pki, &bare).is_none());
+        // But their claimed decision still parses (⊥ here) for vouching.
+        assert_eq!(claimed_decision(&bare), Some(Decision::Bot));
+    }
+}

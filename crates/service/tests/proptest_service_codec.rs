@@ -8,11 +8,26 @@
 //!    errors or decodes to a message that re-encodes to exactly the
 //!    mutated bytes — the decoder accepts only canonical encodings.
 
-use meba_crypto::{Digest, ProcessId, WireCodec};
+use meba_core::DecideProof;
+use meba_crypto::{trusted_setup, Digest, ProcessId, WireCodec};
 use meba_service::{
-    Batch, ClientHello, ClientRequest, Op, ReadMode, ServiceReply, SERVICE_VERSION,
+    Batch, ClientHello, ClientRequest, Op, ReadMode, ReplicaMsg, ServiceReply, ServiceSnapshot,
+    TransferEntry, TransferMsg, SERVICE_VERSION,
 };
+use meba_smr::CommitEvidence;
 use proptest::prelude::*;
+
+/// A structurally valid commit certificate over `value`'s bytes (a real
+/// threshold signature under a throwaway setup — the codec does not
+/// verify, it only round-trips the structure).
+fn dummy_cert(value: u64) -> CommitEvidence {
+    let n = 3;
+    let (pki, keys) = trusted_setup(n, 0x0dec);
+    let bytes = value.to_le_bytes();
+    let shares: Vec<_> = keys.iter().map(|k| k.sign(&bytes)).collect();
+    let qc = pki.combine(n, &bytes, &shares).expect("shares combine");
+    CommitEvidence { ba_value: bytes.to_vec(), proof: DecideProof { phase: 1, qc } }
+}
 
 /// One instance of every client-protocol frame family, parameterized by
 /// the generated scalars.
@@ -60,10 +75,40 @@ fn corpus(client: u64, seq: u64, key: u64, value: u64, ops: usize) -> Vec<Vec<u8
     out.extend(replies.iter().map(|m| m.to_wire_bytes()));
 
     out.push(batch.to_wire_bytes());
+
+    // The anti-entropy (state transfer) frame families: the fetch
+    // request, a donor batch mixing bare and certified entries, the two
+    // entry shapes on their own, the journal-compaction snapshot, and
+    // both arms of the replica envelope that multiplexes log and
+    // transfer traffic over one link.
+    let bare = TransferEntry { slot: key, value: batch.to_wire_bytes(), cert: None };
+    let certified = TransferEntry {
+        slot: key.wrapping_add(1),
+        value: Vec::new(),
+        cert: Some(dummy_cert(value)),
+    };
+    let fetch = TransferMsg::FetchCommitted { from_slot: key, budget: value };
+    out.push(fetch.to_wire_bytes());
+    let donor_batch = TransferMsg::CommittedBatch {
+        from_slot: key,
+        entries: vec![bare.clone(), certified.clone()],
+    };
+    out.push(donor_batch.to_wire_bytes());
+    out.push(bare.to_wire_bytes());
+    out.push(certified.to_wire_bytes());
+    let snapshot = ServiceSnapshot {
+        upto_slot: seq,
+        applied: vec![(key, batch.to_wire_bytes()), (key.wrapping_add(1), Vec::new())],
+        proposals: vec![(key, batch.to_wire_bytes())],
+        evidence: vec![(key, dummy_cert(value))],
+    };
+    out.push(snapshot.to_wire_bytes());
+    out.push(ReplicaMsg::Log(batch).to_wire_bytes());
+    out.push(ReplicaMsg::<Batch>::Transfer(fetch).to_wire_bytes());
     out
 }
 
-const FAMILIES: usize = 11;
+const FAMILIES: usize = 18;
 
 /// Decodes `bytes` with the family that produced corpus index `i`,
 /// returning the re-encoding if decoding succeeded.
@@ -76,6 +121,10 @@ fn redecode(i: usize, bytes: &[u8]) -> Option<Vec<u8>> {
         1..=3 => via::<ClientRequest>(bytes),
         4..=9 => via::<ServiceReply>(bytes),
         10 => via::<Batch>(bytes),
+        11 | 12 => via::<TransferMsg>(bytes),
+        13 | 14 => via::<TransferEntry>(bytes),
+        15 => via::<ServiceSnapshot>(bytes),
+        16 | 17 => via::<ReplicaMsg<Batch>>(bytes),
         _ => unreachable!("corpus has {FAMILIES} entries"),
     }
 }

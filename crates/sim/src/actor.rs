@@ -161,6 +161,14 @@ pub trait Actor: Send {
     fn refused_equivocations(&self) -> u64 {
         0
     }
+
+    /// Called once on an actor that was rebuilt from its journal, after
+    /// the runtime has fast-forwarded it (empty-inbox rounds `0..round`)
+    /// but before its first live round. `round` is therefore the first
+    /// round this actor actually observes after the outage — recovery-
+    /// aware actors use it to bound which part of the schedule the
+    /// outage could have touched. The default ignores the signal.
+    fn on_rejoin(&mut self, _round: Round) {}
 }
 
 #[cfg(test)]

@@ -334,9 +334,31 @@ pub struct ServiceStats {
     /// Typed session-id collisions the dynamic spawn path surfaced
     /// (`meba_sim::SessionSpawnError`); 0 in any healthy run.
     pub session_collisions: u64,
-    /// Slots this replica skipped (committed cluster-wide while it was
-    /// down); non-zero only after a crash-restart without state transfer.
+    /// Slots this replica applied as `⊥` — genuine cluster-wide no-op
+    /// slots (faulty proposer), plus, before state transfer existed,
+    /// slots it missed while down.
     pub skipped_slots: u64,
+    /// Slots adopted via certified state transfer instead of local
+    /// agreement (DESIGN.md §16).
+    pub slots_transferred: u64,
+    /// Donor commit certificates that verified (value adopted).
+    pub transfer_certs_verified: u64,
+    /// Donor commit certificates that failed verification (forged,
+    /// stale, or replayed for the wrong slot) — counted, never adopted.
+    pub transfer_certs_rejected: u64,
+    /// Uncertified slots adopted because `t + 1` distinct donors
+    /// returned byte-identical values.
+    pub transfer_vouches_accepted: u64,
+    /// Wire bytes of `CommittedBatch` payloads this replica accepted
+    /// while catching up.
+    pub transfer_bytes: u64,
+    /// Times the recovering replica rotated to a different donor after
+    /// a donor stayed silent or served nothing usable.
+    pub transfer_donor_retries: u64,
+    /// Transferred certified values that contradicted a value this
+    /// replica had already applied for the same slot. Any nonzero value
+    /// is an agreement-safety violation; the churn tests assert 0.
+    pub applied_conflicts: u64,
     /// Per-client breakdown, keyed by client id.
     pub per_client: BTreeMap<u64, ClientStats>,
 }
@@ -352,6 +374,13 @@ serde::impl_serde_struct!(ServiceStats {
     commit_latency_rounds,
     session_collisions,
     skipped_slots,
+    slots_transferred,
+    transfer_certs_verified,
+    transfer_certs_rejected,
+    transfer_vouches_accepted,
+    transfer_bytes,
+    transfer_donor_retries,
+    applied_conflicts,
     per_client,
 });
 
@@ -382,6 +411,13 @@ impl ServiceStats {
         self.commit_latency_rounds.merge(&other.commit_latency_rounds);
         self.session_collisions += other.session_collisions;
         self.skipped_slots += other.skipped_slots;
+        self.slots_transferred += other.slots_transferred;
+        self.transfer_certs_verified += other.transfer_certs_verified;
+        self.transfer_certs_rejected += other.transfer_certs_rejected;
+        self.transfer_vouches_accepted += other.transfer_vouches_accepted;
+        self.transfer_bytes += other.transfer_bytes;
+        self.transfer_donor_retries += other.transfer_donor_retries;
+        self.applied_conflicts += other.applied_conflicts;
         for (client, stats) in &other.per_client {
             let mine = self.per_client.entry(*client).or_default();
             mine.submitted += stats.submitted;

@@ -27,4 +27,4 @@
 
 pub mod log;
 
-pub use log::{LogEntry, ReplicatedLog, SmrMsg};
+pub use log::{slot_config, verify_slot_evidence, CommitEvidence, LogEntry, ReplicatedLog, SmrMsg};

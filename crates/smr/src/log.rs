@@ -11,9 +11,10 @@
 //! mixed into every signed payload) keeps the concurrent instances
 //! non-interfering — see `docs/CORRECTNESS.md`.
 
-use meba_core::bb::{Bb, BbBaValue, BbMsg};
-use meba_core::{Decision, FallbackFactory, SubProtocol, SystemConfig, Value};
-use meba_crypto::{Pki, ProcessId, SecretKey};
+use meba_core::bb::{Bb, BbBaValue, BbMsg, BbValidity};
+use meba_core::signing::DecideProof;
+use meba_core::{Decision, FallbackFactory, SubProtocol, SystemConfig, Validity, Value};
+use meba_crypto::{Pki, ProcessId, SecretKey, WireCodec};
 use meba_sim::{Actor, Mux, MuxHost, RoundCtx, SessionEnvelope, SessionId, SessionSpawnError};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -32,6 +33,75 @@ pub struct LogEntry<V> {
     pub proposer: ProcessId,
     /// The agreed entry; `⊥` means the slot was skipped (faulty proposer).
     pub entry: Decision<V>,
+}
+
+/// Transferable commit evidence for a retired slot: the encoded BA-level
+/// [`BbBaValue`] the slot's embedded weak BA finalized, plus the quorum
+/// [`DecideProof`] over it. A third party re-derives the slot's decision
+/// from the pair alone via [`verify_slot_evidence`] — no trust in the
+/// donor required. Slots that settled through the fallback path carry no
+/// proof and are absent from the evidence map; state transfer falls back
+/// to `t + 1` matching donors for those.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommitEvidence {
+    /// Canonical wire bytes of the decided [`BbBaValue`].
+    pub ba_value: Vec<u8>,
+    /// The finalize certificate over those bytes, under the slot's
+    /// domain-separated session.
+    pub proof: DecideProof,
+}
+
+impl meba_crypto::WireCodec for CommitEvidence {
+    fn encode_wire(&self, enc: &mut meba_crypto::Encoder) {
+        enc.put_bytes(&self.ba_value);
+        self.proof.encode_wire(enc);
+    }
+    fn decode_wire(dec: &mut meba_crypto::Decoder<'_>) -> Result<Self, meba_crypto::DecodeError> {
+        let ba_value = dec.get_bytes()?;
+        let proof = DecideProof::decode_wire(dec)?;
+        Ok(CommitEvidence { ba_value, proof })
+    }
+}
+
+/// Verifies transferred commit evidence for `slot` and re-derives the
+/// slot's decision, exactly as the slot's own BB instance would have:
+/// the [`DecideProof`] must certify the BA value under the slot's
+/// domain-separated config, and a `Signed` BA value maps to the
+/// proposer's value only if it validates under [`BbValidity`] —
+/// everything else is `⊥`. Returns `None` if the evidence is forged
+/// (bad bytes, wrong session, wrong threshold, or an out-of-range
+/// phase).
+pub fn verify_slot_evidence<V: Value>(
+    cfg: &SystemConfig,
+    pki: &Pki,
+    slot: u64,
+    ev: &CommitEvidence,
+) -> Option<Decision<V>> {
+    if ev.proof.phase == 0 || ev.proof.phase as usize > cfg.n() {
+        return None;
+    }
+    let slot_cfg = slot_config(cfg, slot);
+    let ba_value = BbBaValue::<V>::from_wire_bytes(&ev.ba_value).ok()?;
+    if !ev.proof.verify(&slot_cfg, pki, &ba_value) {
+        return None;
+    }
+    let proposer = ProcessId((slot % cfg.n() as u64) as u32);
+    let validity = BbValidity::new(slot_cfg, pki.clone(), proposer);
+    Some(match &ba_value {
+        BbBaValue::Signed { value, .. }
+            if Validity::<BbBaValue<V>>::validate(&validity, &ba_value) =>
+        {
+            Decision::Value(value.clone())
+        }
+        _ => Decision::Bot,
+    })
+}
+
+/// The domain-separated config slot `k`'s BB instance signs under —
+/// free-function form of [`ReplicatedLog::slot_cfg`], usable without
+/// naming a fallback factory type.
+pub fn slot_config(cfg: &SystemConfig, slot: u64) -> SystemConfig {
+    cfg.with_session(cfg.session().wrapping_mul(1_000_003).wrapping_add(slot))
 }
 
 /// The [`MuxHost`] half of a log replica: opens slot `k` at round
@@ -53,6 +123,7 @@ where
     noop: V,
     pending: VecDeque<V>,
     entries: BTreeMap<u64, LogEntry<V>>,
+    evidence: BTreeMap<u64, CommitEvidence>,
     log: Vec<LogEntry<V>>,
 }
 
@@ -111,6 +182,13 @@ where
         // only be a Byzantine-scheduled wrapper; a correct replica
         // records ⊥ and stays aligned with its peers.
         let entry = bb.output().unwrap_or(Decision::Bot);
+        // Keep the finalize certificate (when the embedded BA produced
+        // one) so this replica can later serve the slot to a recovering
+        // peer as self-verifying state transfer (DESIGN.md §16).
+        if let Some((v, proof)) = bb.commit_evidence() {
+            self.evidence
+                .insert(slot, CommitEvidence { ba_value: v.to_wire_bytes(), proof: proof.clone() });
+        }
         self.entries.insert(slot, LogEntry { slot, proposer, entry });
         // Slots can retire out of order under pipelining; the BTreeMap
         // keeps the committed view in slot order.
@@ -170,6 +248,7 @@ where
             noop,
             pending: commands.into(),
             entries: BTreeMap::new(),
+            evidence: BTreeMap::new(),
             log: Vec::new(),
         };
         ReplicatedLog { mux: Mux::new(me, host), window: 1 }
@@ -277,11 +356,36 @@ where
         self.log().iter().filter_map(|e| e.entry.value())
     }
 
+    /// The committed entry of `slot`, if this replica has retired it.
+    pub fn entry(&self, slot: u64) -> Option<&LogEntry<V>> {
+        self.mux.host().entries.get(&slot)
+    }
+
+    /// The transferable commit evidence this replica holds for `slot`:
+    /// present when the slot's embedded BA finalized with a quorum
+    /// [`DecideProof`] in this process's lifetime, absent for
+    /// fallback-path decisions and for slots committed before a restart.
+    pub fn evidence(&self, slot: u64) -> Option<&CommitEvidence> {
+        self.mux.host().evidence.get(&slot)
+    }
+
+    /// The committed prefix: number of contiguous slots from 0 this
+    /// replica has retired. Under pipelining slots retire out of order,
+    /// so this can trail [`ReplicatedLog::log`]'s length.
+    pub fn committed_prefix(&self) -> u64 {
+        let entries = &self.mux.host().entries;
+        let mut prefix = 0u64;
+        while entries.contains_key(&prefix) {
+            prefix += 1;
+        }
+        prefix
+    }
+
     /// The domain-separated system config slot `k`'s BB instance signs
     /// under. Exposed so tests and adversaries can reproduce a slot's
     /// signature domain.
     pub fn slot_cfg(cfg: &SystemConfig, slot: u64) -> SystemConfig {
-        cfg.with_session(cfg.session().wrapping_mul(1_000_003).wrapping_add(slot))
+        slot_config(cfg, slot)
     }
 }
 
@@ -571,6 +675,42 @@ mod tests {
         // Out-of-range slots are refused, stickily.
         assert_eq!(log.try_open_slot(99), Err(SessionSpawnError::Refused(meba_sim::SessionId(99))));
         assert_eq!(log.try_open_slot(99), Err(SessionSpawnError::Retired(meba_sim::SessionId(99))));
+    }
+
+    /// Acceptance for the state-transfer seam: every failure-free slot
+    /// retires with commit evidence; the evidence re-derives exactly the
+    /// committed decision for a third party; and replayed-to-another-slot
+    /// or bit-flipped evidence is rejected, not mis-verified.
+    #[test]
+    fn evidence_certifies_committed_slots_and_rejects_forgeries() {
+        let n = 5;
+        let commands: Vec<Vec<u64>> = (0..n).map(|i| vec![100 + i as u64]).collect();
+        let mut sim = make_sim(n, 3, 1, commands, &[]);
+        sim.run_until_done(100_000).unwrap();
+        let cfg = SystemConfig::new(n, 9).unwrap();
+        let (pki, _) = trusted_setup(n, 77);
+        let l: &Log = sim.actor(ProcessId(0)).as_any().downcast_ref().unwrap();
+        assert_eq!(l.committed_prefix(), 3);
+        for slot in 0..3u64 {
+            let ev = l.evidence(slot).expect("fast-path slot carries evidence");
+            let d = verify_slot_evidence::<u64>(&cfg, &pki, slot, ev)
+                .expect("genuine evidence verifies");
+            assert_eq!(d, l.entry(slot).unwrap().entry, "slot {slot} decision re-derived");
+            // Cross-slot replay: the per-slot session domain must refuse
+            // slot k's certificate presented for slot k + 7.
+            assert!(
+                verify_slot_evidence::<u64>(&cfg, &pki, slot + 7, ev).is_none(),
+                "slot {slot} evidence replayed for another slot must fail"
+            );
+            // Tampered value bytes: the proof's digest no longer matches.
+            let mut forged = ev.clone();
+            let last = forged.ba_value.len() - 1;
+            forged.ba_value[last] ^= 1;
+            assert!(
+                verify_slot_evidence::<u64>(&cfg, &pki, slot, &forged).is_none(),
+                "slot {slot} tampered evidence must fail"
+            );
+        }
     }
 
     #[test]

@@ -33,8 +33,8 @@ use crate::WireError;
 use meba_core::SystemConfig;
 use meba_crypto::{ProcessId, WireCodec};
 use meba_engine::{
-    run_live_round, DeadlinePacer, Delivery, LinkPolicySendAdapter, Pacer, RoundDriverConfig,
-    RoundState, SendPolicy, Transport, MAX_BACKOFF_SHIFT,
+    run_live_round, update_backoff_shift, DeadlinePacer, Delivery, LinkPolicySendAdapter, Pacer,
+    RoundDriverConfig, RoundState, SendPolicy, Transport, MAX_BACKOFF_SHIFT,
 };
 use meba_net::{ActorRebuilder, ClusterConfig, ClusterReport};
 use meba_sim::{AnyActor, Message, Metrics};
@@ -300,13 +300,13 @@ pub fn run_tcp_cluster_with_recovery<M: Message + WireCodec>(
     let mut handshake_rejects = 0;
     let mut frames_dropped = 0;
     for stats in &mesh_stats {
-        let (f, b, r, d, hs, _bp, fd) = stats.snapshot();
-        frames_sent += f;
-        socket_bytes += b;
-        reconnects += r;
-        decode_errors += d;
-        handshake_rejects += hs;
-        frames_dropped += fd;
+        let snap = stats.snapshot();
+        frames_sent += snap.frames_sent;
+        socket_bytes += snap.bytes_sent;
+        reconnects += snap.reconnects;
+        decode_errors += snap.decode_errors;
+        handshake_rejects += snap.handshake_rejects;
+        frames_dropped += snap.frames_dropped;
         // Backpressure already flows through the engine's transport
         // accounting into `report.backpressure`.
     }
@@ -455,13 +455,13 @@ pub fn drive_mesh<M: Message + WireCodec>(
             true,
             &metrics,
         );
-        if !cfg.driver.is_lockstep()
-            && outcome.late_admitted > 0
-            && backoff_shift < MAX_BACKOFF_SHIFT
-        {
+        if !cfg.driver.is_lockstep() {
             // Late traffic: the local δ-estimate outpaced the network —
-            // double the round timer.
-            backoff_shift += 1;
+            // double the round timer. Clean rounds halve it back, so a
+            // rejoining process's catch-up burst (every send stamped
+            // with a stale round) slows peers only while it lasts
+            // instead of ratcheting their timers to the cap for good.
+            update_backoff_shift(&mut backoff_shift, outcome.late_admitted);
         }
         let done = outcome.done;
         round += 1;

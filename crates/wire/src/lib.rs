@@ -50,7 +50,7 @@ pub use cluster::{
 pub use error::WireError;
 pub use frame::MAX_FRAME_BYTES;
 pub use handshake::{config_digest, Hello, PROTOCOL_VERSION};
-pub use mesh::{Inbound, MeshConfig, MeshStats, TcpMesh};
+pub use mesh::{Inbound, MeshConfig, MeshSnapshot, MeshStats, TcpMesh};
 pub use poller::raise_nofile_limit;
 pub use proxy::{
     adapt_link_policy, SeverAt, SocketFate, SocketPolicy, SocketPolicyFactory, SocketSendAdapter,

@@ -68,20 +68,38 @@ pub struct MeshStats {
     pub frames_dropped: AtomicU64,
 }
 
+/// A plain-number copy of [`MeshStats`] at one instant — named fields,
+/// so call sites don't index into a positional tuple.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MeshSnapshot {
+    /// [`MeshStats::frames_sent`].
+    pub frames_sent: u64,
+    /// [`MeshStats::bytes_sent`].
+    pub bytes_sent: u64,
+    /// [`MeshStats::reconnects`].
+    pub reconnects: u64,
+    /// [`MeshStats::decode_errors`].
+    pub decode_errors: u64,
+    /// [`MeshStats::handshake_rejects`].
+    pub handshake_rejects: u64,
+    /// [`MeshStats::backpressure`].
+    pub backpressure: u64,
+    /// [`MeshStats::frames_dropped`].
+    pub frames_dropped: u64,
+}
+
 impl MeshStats {
-    /// Plain-number snapshot `(frames_sent, bytes_sent, reconnects,
-    /// decode_errors, handshake_rejects, backpressure, frames_dropped)`.
-    #[allow(clippy::type_complexity)]
-    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64, u64, u64) {
-        (
-            self.frames_sent.load(Ordering::Relaxed),
-            self.bytes_sent.load(Ordering::Relaxed),
-            self.reconnects.load(Ordering::Relaxed),
-            self.decode_errors.load(Ordering::Relaxed),
-            self.handshake_rejects.load(Ordering::Relaxed),
-            self.backpressure.load(Ordering::Relaxed),
-            self.frames_dropped.load(Ordering::Relaxed),
-        )
+    /// Plain-number snapshot of every counter.
+    pub fn snapshot(&self) -> MeshSnapshot {
+        MeshSnapshot {
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            handshake_rejects: self.handshake_rejects.load(Ordering::Relaxed),
+            backpressure: self.backpressure.load(Ordering::Relaxed),
+            frames_dropped: self.frames_dropped.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -438,11 +456,11 @@ mod tests {
         meshes[0].drain_into(&mut own);
         assert_eq!(own.len(), 1);
         assert_eq!(own[0].msg, Num(42));
-        let (frames, bytes, _, _, _, _, dropped) = meshes[0].stats().snapshot();
-        assert_eq!(frames, 1, "self-delivery must not touch a socket");
+        let snap = meshes[0].stats().snapshot();
+        assert_eq!(snap.frames_sent, 1, "self-delivery must not touch a socket");
         // frame = 4-byte prefix + 9-byte round + 9-byte Num encoding
-        assert_eq!(bytes, 22);
-        assert_eq!(dropped, 0);
+        assert_eq!(snap.bytes_sent, 22);
+        assert_eq!(snap.frames_dropped, 0);
         for m in meshes {
             m.shutdown();
         }
@@ -459,8 +477,7 @@ mod tests {
         let got = recv_one(&meshes[1], Duration::from_secs(5));
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].msg, Num(2));
-        let (_, _, reconnects, _, _, _, _) = meshes[0].stats().snapshot();
-        assert_eq!(reconnects, 1);
+        assert_eq!(meshes[0].stats().snapshot().reconnects, 1);
         for m in meshes {
             m.shutdown();
         }
@@ -514,7 +531,7 @@ mod tests {
         // Second failure: every re-dial during the flush fails too.
         let stats = sender.stats().clone();
         sender.shutdown();
-        let (_, _, _, _, _, _, dropped) = stats.snapshot();
+        let dropped = stats.snapshot().frames_dropped;
         assert!(dropped >= 3, "expected ≥3 dropped frames counted, got {dropped}");
     }
 
@@ -598,8 +615,7 @@ mod tests {
         // After the deadline the loris is reaped and counted.
         let start = Instant::now();
         loop {
-            let (_, _, _, _, rejects, _, _) = m0.stats().snapshot();
-            if rejects >= 1 {
+            if m0.stats().snapshot().handshake_rejects >= 1 {
                 break;
             }
             assert!(start.elapsed() < Duration::from_secs(5), "stalled handshake was never reaped");

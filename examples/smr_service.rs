@@ -8,8 +8,10 @@
 //! ```
 //!
 //! * three **replica processes**, each running a [`ServiceReplica`]
-//!   (replicated log + batcher + WAL + dedup) over a handshaked TCP
-//!   mesh, with a [`ServiceGateway`] thread serving its client port;
+//!   (replicated log + batcher + WAL + dedup + certified state
+//!   transfer) over a handshaked TCP mesh with the quorum-or-timeout
+//!   round driver, and a [`ServiceGateway`] thread serving its client
+//!   port;
 //! * two **client processes** speaking the framed client protocol
 //!   through [`ServiceClient`]: hello handshake, paced submits, commit
 //!   ack collection, and a read;
@@ -18,13 +20,25 @@
 //!   resubmits its whole sequence range: ops the cluster already
 //!   committed are re-acked idempotently from the dedup table, ops
 //!   still in flight are absorbed silently, and the rest are admitted
-//!   fresh — exactly-once either way.
+//!   fresh — exactly-once either way;
+//! * one **replica is killed mid-stream** (a real SIGKILL, taken only
+//!   after the first write has demonstrably committed) and relaunched
+//!   with its journal **wiped** — a disk-loss restart. The restart
+//!   rejoins the mesh, fast-forwards its round clock on observed
+//!   quorum traffic, and catches its applied prefix up to the
+//!   cluster's committed prefix via certified state transfer — **no
+//!   client resubmits anything** for those slots (at n = 3 the commit
+//!   quorum is all three replicas, so fresh agreement could never
+//!   re-produce them); the restart asserts it applied every slot and
+//!   that at least one slot arrived by transfer rather than local
+//!   agreement.
 //!
 //! Every process asserts its own invariants and exits nonzero on
 //! violation; the orchestrator asserts every child succeeded.
 
+use meba::engine::RoundDriverConfig;
 use meba::prelude::*;
-use meba::service::{ReadMode, ServiceMsg, ServiceReply};
+use meba::service::{ReadMode, ReplicaMsg, ServiceMsg, ServiceReply};
 use meba::wire::{
     config_digest, drive_mesh, Hello, MeshConfig, MeshDriveConfig, TcpMesh, PROTOCOL_VERSION,
 };
@@ -34,11 +48,11 @@ use std::process::{Child, Command};
 use std::time::{Duration, Instant};
 
 type ServiceProc = ServiceReplica<RecursiveBaFactory>;
-type ServiceM = ServiceMsg<RecursiveBaFactory>;
+type ServiceM = ReplicaMsg<ServiceMsg<RecursiveBaFactory>>;
 
 const N: usize = 3;
 const SEED: u64 = 0x5e8;
-const TOTAL_SLOTS: u64 = 9;
+const TOTAL_SLOTS: u64 = 12;
 const WINDOW: u64 = 2;
 const QUEUE_CAPACITY: usize = 64;
 /// Ops per client: client 1 submits seqs `0..4`, client 2 seqs `0..6`.
@@ -70,11 +84,26 @@ fn gateway_addr(base: u16, i: usize) -> SocketAddr {
 // Replica process: mesh member + serving gateway.
 // ---------------------------------------------------------------------
 
+/// Binds with retry: a relaunched replica re-binds the port its killed
+/// predecessor held, which can transiently fail while the kernel reaps
+/// the old socket.
+fn bind_with_retry(addr: SocketAddr) -> std::io::Result<TcpListener> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match TcpListener::bind(addr) {
+            Ok(l) => return Ok(l),
+            Err(e) if Instant::now() >= deadline => return Err(e),
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
 fn replica(
     i: usize,
     base: u16,
     journal: PathBuf,
     delta_ms: u64,
+    rebuild: bool,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let cfg = SystemConfig::new(N, SEED)?;
     let (pki, keys) = trusted_setup(N, SEED);
@@ -84,13 +113,31 @@ fn replica(
 
     let port = ServicePort::new(QUEUE_CAPACITY);
     let wal = meba::journal::Journal::open_file(&journal)?;
-    let svc =
-        ServiceReplica::new(cfg, id, key, pki, factory, service_config(), port.clone(), Some(wal));
+    let svc = if rebuild {
+        let (svc, replayed) = ServiceReplica::rebuild(
+            cfg,
+            id,
+            key,
+            pki,
+            factory,
+            service_config(),
+            port.clone(),
+            wal,
+        )?;
+        println!(
+            "replica {i}: rebuilt from journal ({replayed} records, {} slots applied pre-crash), \
+             recovering via state transfer",
+            svc.applied_slots()
+        );
+        svc
+    } else {
+        ServiceReplica::new(cfg, id, key, pki, factory, service_config(), port.clone(), Some(wal))
+    };
     let gateway = ServiceGateway::spawn(&gateway_addr(base, i).to_string(), &cfg, id, port)?;
     println!("replica {i}: gateway serving clients on {}", gateway.addr());
 
     let peers: Vec<SocketAddr> = (0..N).map(|p| mesh_addr(base, p)).collect();
-    let listener = TcpListener::bind(peers[i])?;
+    let listener = bind_with_retry(peers[i])?;
     let hello =
         Hello { version: PROTOCOL_VERSION, id, config_digest: config_digest(&cfg), domain: 0x19 };
     let mut mesh_cfg = MeshConfig::new(id, hello);
@@ -99,14 +146,17 @@ fn replica(
     println!("replica {i}: mesh up, driving {TOTAL_SLOTS} slots (W = {WINDOW})");
 
     let mut actor: Box<dyn AnyActor<Msg = ServiceM>> = Box::new(svc);
-    // Lockstep pacing: every replica walks the same δ schedule from its
-    // own epoch, so a δ that dominates start skew keeps the slot
-    // timetable aligned across processes — the clients' resubmissions
-    // must land before their replica's last proposer slot binds.
+    // Quorum-or-timeout pacing: rounds advance on observed quorum
+    // traffic, falling back to the δ timer. This is what lets a
+    // relaunched replica *fast-forward* — its buffered backlog of
+    // later-round traffic advances its round clock without crawling
+    // timer by timer, so it re-synchronizes with the cluster schedule.
+    // Generous linger keeps finished replicas around as transfer donors.
     let drive = MeshDriveConfig {
         delta: Duration::from_millis(delta_ms),
         max_rounds: 6_000,
-        ..MeshDriveConfig::default()
+        linger_rounds: if rebuild { 8 } else { 150 },
+        driver: RoundDriverConfig::quorum_or_timeout(),
     };
     let (rounds, _) = drive_mesh(&mesh, actor.as_mut(), &drive);
     // Let the gateway flush the final commit acks to client sockets
@@ -119,6 +169,24 @@ fn replica(
     let stats = svc.stats();
     assert_eq!(svc.applied_slots(), TOTAL_SLOTS, "replica {i}: applied every slot");
     assert_eq!(stats.session_collisions, 0, "replica {i}: no session collisions");
+    assert_eq!(stats.applied_conflicts, 0, "replica {i}: no certified/local conflicts");
+    if rebuild {
+        // The whole point of the exercise: the outage's slots arrived by
+        // certified transfer, not by clients resubmitting anything.
+        assert!(
+            stats.slots_transferred > 0,
+            "replica {i}: restart should adopt at least one transferred slot"
+        );
+        assert!(!svc.recovering(), "replica {i}: recovery must complete");
+        println!(
+            "replica {i}: caught up — {} slots by state transfer \
+             ({} certified, {} vouched, {} forged rejected)",
+            stats.slots_transferred,
+            stats.transfer_certs_verified,
+            stats.transfer_vouches_accepted,
+            stats.transfer_certs_rejected,
+        );
+    }
     println!(
         "replica {i}: done in {rounds} rounds — {} ops committed in {} batches, \
          {} deduped, {} slots ⊥, {} keys",
@@ -154,6 +222,30 @@ fn op_for(client: u64, seq: u64) -> Op {
     Op { client, seq, key: client * 100 + seq, value: seq + 1 }
 }
 
+/// A read that survives gateway stalls: a confirmed read legitimately
+/// blocks past the client's socket timeout while a restarted replica
+/// catches the applied prefix up, so a timed-out socket is "ask again"
+/// (reads are idempotent), not a failure. Reconnects on each retry —
+/// the stale socket may still get the old answer delivered, and a fresh
+/// connection keeps request/reply pairing unambiguous.
+fn read_with_retry(
+    cli: &mut ServiceClient,
+    gateway: SocketAddr,
+    id: u64,
+    cfg: &SystemConfig,
+    key: u64,
+    mode: ReadMode,
+) -> std::io::Result<ServiceReply> {
+    let deadline = Instant::now() + Duration::from_secs(90);
+    loop {
+        match cli.read(key, mode) {
+            Ok(reply) => return Ok(reply),
+            Err(e) if Instant::now() >= deadline => return Err(e),
+            Err(_) => *cli = connect_with_retry(gateway, id, cfg)?,
+        }
+    }
+}
+
 fn client(
     id: u64,
     gateway: SocketAddr,
@@ -164,8 +256,13 @@ fn client(
     let mut cli = connect_with_retry(gateway, id, &cfg)?;
     println!("client {id}: connected to {gateway}, submitting seqs 0..{seqs}");
 
+    // Short per-attempt ack windows, many attempts: an op bound into a
+    // slot that `⊥`-retires during the replica outage is only re-landed
+    // by a *resubmission that arrives after the retirement* — a client
+    // that waits out one long window can miss the cluster's remaining
+    // proposer slots entirely.
     let mut missing: Vec<u64> = (0..seqs).collect();
-    for attempt in 0..3 {
+    for attempt in 0..8 {
         let mut still_pending = Vec::new();
         for &seq in &missing {
             let op = op_for(id, seq);
@@ -184,7 +281,7 @@ fn client(
                 std::thread::sleep(Duration::from_millis(pace_ms));
             }
         }
-        let acked = cli.collect_commits(&still_pending, Instant::now() + Duration::from_secs(30));
+        let acked = cli.collect_commits(&still_pending, Instant::now() + Duration::from_secs(5));
         missing = still_pending.into_iter().filter(|s| !acked.contains(s)).collect();
         if missing.is_empty() {
             break;
@@ -196,12 +293,14 @@ fn client(
 
     // Leader-local fast read of our first write, then a quorum-confirmed
     // one — the confirmed reply waits for the full applied prefix.
-    let ServiceReply::ReadResult { value, .. } = cli.read(id * 100, ReadMode::Fast)? else {
+    let ServiceReply::ReadResult { value, .. } =
+        read_with_retry(&mut cli, gateway, id, &cfg, id * 100, ReadMode::Fast)?
+    else {
         panic!("client {id}: fast read rejected");
     };
     assert_eq!(value, Some(1), "client {id}: fast read sees our committed write");
     let ServiceReply::ReadResult { value, applied_slots, .. } =
-        cli.read(id * 100 + seqs - 1, ReadMode::Confirmed)?
+        read_with_retry(&mut cli, gateway, id, &cfg, id * 100 + seqs - 1, ReadMode::Confirmed)?
     else {
         panic!("client {id}: confirmed read rejected");
     };
@@ -211,8 +310,8 @@ fn client(
 }
 
 // ---------------------------------------------------------------------
-// Orchestrator: three replicas, two clients, one client killed and
-// relaunched mid-stream.
+// Orchestrator: three replicas, two clients; one client AND one replica
+// killed and relaunched mid-stream.
 // ---------------------------------------------------------------------
 
 fn spawn_self(args: &[String]) -> std::io::Result<Child> {
@@ -224,25 +323,26 @@ fn wait_ok(label: &str, mut child: Child) {
     assert!(status.success(), "{label} exited with {status}");
 }
 
+fn replica_args(i: usize, base: u16, dir: &std::path::Path, delta_ms: u64) -> Vec<String> {
+    vec![
+        "--replica".into(),
+        i.to_string(),
+        "--base-port".into(),
+        base.to_string(),
+        "--journal".into(),
+        dir.join(format!("replica-{i}.wal")).display().to_string(),
+        "--delta-ms".into(),
+        delta_ms.to_string(),
+    ]
+}
+
 fn orchestrate(base: u16, delta_ms: u64) -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join(format!("smr_service_{}", std::process::id()));
     std::fs::create_dir_all(&dir)?;
     println!("orchestrator: {N} replicas on ports {base}.., journals in {}", dir.display());
 
-    let replicas: Vec<Child> = (0..N)
-        .map(|i| {
-            let journal = dir.join(format!("replica-{i}.wal"));
-            spawn_self(&[
-                "--replica".into(),
-                i.to_string(),
-                "--base-port".into(),
-                base.to_string(),
-                "--journal".into(),
-                journal.display().to_string(),
-                "--delta-ms".into(),
-                delta_ms.to_string(),
-            ])
-        })
+    let mut replicas: Vec<Child> = (0..N)
+        .map(|i| spawn_self(&replica_args(i, base, &dir, delta_ms)))
         .collect::<Result<_, _>>()?;
 
     // Gate the clients on every gateway accepting connections.
@@ -273,20 +373,60 @@ fn orchestrate(base: u16, delta_ms: u64) -> Result<(), Box<dyn std::error::Error
     // relaunched under the same identity to resubmit the whole range.
     let mut doomed = spawn_self(&client_args(2, 1, CLIENT2_OPS, 150))?;
     std::thread::sleep(Duration::from_millis(450));
-    doomed.kill()?;
+    let killed = doomed.kill();
     doomed.wait()?;
+    killed?;
     println!("orchestrator: client 2 killed mid-stream, relaunching");
     let c2 = spawn_self(&client_args(2, 1, CLIENT2_OPS, 0))?;
 
+    // Replica N-1 gets killed for real mid-stream too (no client talks
+    // to its gateway, so nothing is resubmitted on its behalf). The kill
+    // waits until at least one write has demonstrably committed, and the
+    // relaunch starts from a *wiped* journal — a disk-loss restart — so
+    // the pre-crash committed prefix is guaranteed to be a gap the
+    // restart can only close via certified state transfer: at n = 3 the
+    // commit quorum is all three replicas, so no client resubmission or
+    // fresh agreement can ever re-produce those slots for it.
+    {
+        let cfg = SystemConfig::new(N, SEED)?;
+        let mut probe = connect_with_retry(gateway_addr(base, 0), 99, &cfg)?;
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            if let ServiceReply::ReadResult { value: Some(1), .. } =
+                probe.read(op_for(1, 0).key, ReadMode::Fast)?
+            {
+                break;
+            }
+            assert!(Instant::now() < deadline, "client 1's first write never committed");
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    }
+    let mut doomed_replica = replicas.pop().expect("replica child");
+    let killed = doomed_replica.kill();
+    doomed_replica.wait()?;
+    killed?;
+    let wal = dir.join(format!("replica-{}.wal", N - 1));
+    std::fs::remove_file(&wal)?;
+    println!(
+        "orchestrator: replica {} killed after the first commit, journal wiped, relaunching",
+        N - 1
+    );
+    std::thread::sleep(Duration::from_millis(800));
+    let mut restart_args = replica_args(N - 1, base, &dir, delta_ms);
+    restart_args.push("--rebuild".into());
+    let restarted = spawn_self(&restart_args)?;
+
     wait_ok("client 1", c1);
     wait_ok("client 2 (relaunched)", c2);
+    wait_ok(&format!("replica {} (relaunched)", N - 1), restarted);
     for (i, r) in replicas.into_iter().enumerate() {
         wait_ok(&format!("replica {i}"), r);
     }
     let _ = std::fs::remove_dir_all(&dir);
     println!(
         "\nSMR service demo complete: {} client ops committed exactly once across \
-         {N} replicas, one client killed and relaunched without a duplicate.",
+         {N} replicas; one client and one replica killed and relaunched — the client \
+         without a duplicate, the replica catching up by certified state transfer.",
         CLIENT1_OPS + CLIENT2_OPS
     );
     Ok(())
@@ -302,6 +442,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut delta_ms = 50u64;
     let mut seqs = 0u64;
     let mut pace_ms = 0u64;
+    let mut rebuild = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = || it.next().cloned().ok_or(format!("{a} needs a value"));
@@ -314,6 +455,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--delta-ms" => delta_ms = val()?.parse()?,
             "--seqs" => seqs = val()?.parse()?,
             "--pace-ms" => pace_ms = val()?.parse()?,
+            "--rebuild" => rebuild = true,
             other => {
                 // Bare positional: the orchestrator's base port.
                 base_port = other.parse().map_err(|_| format!("unknown flag {other}"))?;
@@ -323,7 +465,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     match (replica_idx, client_id) {
         (Some(i), None) => {
             let journal = journal.ok_or("--replica needs --journal")?;
-            replica(i, base_port, journal, delta_ms)
+            replica(i, base_port, journal, delta_ms, rebuild)
         }
         (None, Some(id)) => {
             let gateway = gateway.ok_or("--client needs --gateway")?;

@@ -48,6 +48,9 @@ cargo test --release --locked --test service_integration
 echo "== example smoke (SMR service: 3 replicas + 2 client processes over loopback, one client killed and relaunched) =="
 cargo run --release --locked --example smr_service
 
+echo "== state-transfer churn (rolling restarts converge to the committed prefix; lying donor rejected) =="
+cargo test --release --locked --test state_transfer
+
 echo "== experiments (release) =="
 cargo bench -p meba-bench
 

@@ -273,11 +273,14 @@ fn replica_of(a: &dyn AnyActor<Msg = ServiceM>) -> &meba_testkit::service::Servi
 /// The surviving quorum (replicas 1 and 2) must agree on the full log
 /// and commit every scripted op at one identical `(slot, index)`. The
 /// restarted victim counts toward `f` for the slot whose critical
-/// rounds it missed — it may retire that slot as `⊥` locally (state
-/// transfer is future work) — but the retry storm re-lands those ops in
-/// its next proposer slot, so *per replica* every distinct op still
-/// commits exactly once, and the victim's journal shows each of its
-/// slots bound to exactly one value across the restart.
+/// rounds it missed; certified state transfer (and, before transfer
+/// closes the gap, the retry storm re-landing ops in its next proposer
+/// slot) brings its prefix back to the cluster's, so *per replica*
+/// every distinct op still commits exactly once, and the victim's
+/// journal shows each of its slots bound to exactly one value across
+/// the restart. The dedicated convergence assertions (identical
+/// applied prefixes under full rolling churn) live in
+/// `tests/state_transfer.rs`.
 fn assert_exactly_once(actors: &[Box<dyn AnyActor<Msg = ServiceM>>], h: &ServiceHarness) {
     let pairs = script_pairs();
     let survivors: Vec<_> = (1..N).map(|i| replica_of(actors[i].as_ref())).collect();

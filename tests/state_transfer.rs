@@ -1,0 +1,312 @@
+//! Certified state transfer under churn: every replica of a five-process
+//! cluster is crash-restarted once, mid-stream, with outages placed so
+//! each victim misses a slot's critical rounds entirely — and every
+//! replica still converges to the *identical, ⊥-free* applied prefix,
+//! on the threaded and TCP runtimes. A third test wraps a donor in
+//! [`LyingDonor`] and asserts forged history is rejected-and-counted
+//! while recovery converges through the honest donors.
+//!
+//! This is the retirement test for the PR-8 restart contract ("a
+//! restarted replica may retire a missed slot as ⊥ locally and wait for
+//! client retries"): here *nothing is resubmitted*, outages are placed
+//! exactly on slot openings, and the assertions demand value-for-value
+//! convergence with zero ⊥-retired slots and zero double-signs.
+
+mod common;
+
+use common::*;
+use meba::adversary::transfer_attacks::LyingDonor;
+use meba::net::{
+    run_cluster_with_recovery, ClusterConfig, OverrunAction, ProcessFate, ProcessFateFactory,
+};
+use meba::prelude::*;
+use meba::service::ServiceMsg;
+use meba::wire::{run_tcp_cluster_with_recovery, TcpClusterConfig};
+use meba_testkit::service::{
+    audit_proposals, service_replica, ServiceHarness, ServiceM, ServiceProc,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// n = 5 ⇒ t = 2, quorum = 4: one replica down at a time leaves the
+/// cluster committing values, and `t + 1 = 3` honest donors exist for
+/// the vouch path even with one Byzantine donor and one crashed victim.
+const N: usize = 5;
+const SLOTS: u64 = 10;
+const OPS_PER_CLIENT: u64 = 4;
+
+fn churn_service() -> ServiceConfig {
+    ServiceConfig {
+        total_slots: SLOTS,
+        window: 2,
+        queue_capacity: 64,
+        // Batches close when a proposer slot opens, so pre-submitted ops
+        // ride each replica's first proposer slot deterministically.
+        batch: BatchPolicy { max_batch_delay: u64::MAX, ..BatchPolicy::default() },
+    }
+}
+
+/// The slot-opening stride the replicas will run under — the unit the
+/// churn schedule is phrased in.
+fn probe_stride(h: &ServiceHarness) -> u64 {
+    let probe = h.actor(0);
+    service_replica(probe.as_ref()).log().stride()
+}
+
+fn submit(port: &ServicePort, client: u64) {
+    for seq in 0..OPS_PER_CLIENT {
+        port.submit(Op { client, seq, key: client * 100 + seq, value: seq + 1 })
+            .expect("capacity sized for the script");
+    }
+}
+
+/// Rolling-restart schedule, one victim at a time, each outage covering
+/// a slot opening *whose proposer is someone else*.
+///
+/// With stride `s`, slot `k` opens at round `k·s` and replica `i` is
+/// critical (proposing slots `i` and `i + 5`) during `[i·s, (i+2)·s]`
+/// and `[(i+5)·s, (i+7)·s]`. Victim windows are `[0.7s + k·s, 1.5s +
+/// k·s]` for `k = 0..5`, assigned so window `k` covers the opening of
+/// slot `k + 1` and stays clear of its victim's own proposer slots:
+///
+/// | k | victim | covers slot | proposer of that slot |
+/// |---|--------|-------------|-----------------------|
+/// | 0 | 3      | 1           | 1                     |
+/// | 1 | 4      | 2           | 2                     |
+/// | 2 | 0      | 3           | 3                     |
+/// | 3 | 1      | 4           | 4                     |
+/// | 4 | 2      | 5           | 0                     |
+///
+/// Windows are pairwise disjoint with ≥ 0.2s gaps, so at most one
+/// replica is ever down and the remaining four are exactly a quorum:
+/// every slot commits a *value* cluster-wide, and each victim must fill
+/// the slot it slept through by certified transfer, not local agreement.
+fn churn_fate(s: u64, jitter: u64) -> ProcessFateFactory {
+    Arc::new(move |p: ProcessId| {
+        let k = match p.index() {
+            3 => 0u64,
+            4 => 1,
+            0 => 2,
+            1 => 3,
+            2 => 4,
+            _ => unreachable!("churn schedule is sized for n = 5"),
+        };
+        ProcessFate::CrashRestart {
+            at_round: s * 7 / 10 + k * s + jitter,
+            rejoin_after: s * 8 / 10,
+        }
+    })
+}
+
+/// The post-churn contract: identical applied prefixes, zero ⊥-retired
+/// slots, zero certified/local conflicts, zero double-signed bindings —
+/// and the catch-up visibly went through the transfer path.
+fn assert_churn_converged(actors: &[Box<dyn AnyActor<Msg = ServiceM>>], h: &ServiceHarness) {
+    let replicas: Vec<&ServiceProc> = actors.iter().map(|a| service_replica(a.as_ref())).collect();
+    let reference: Vec<Vec<u8>> = (0..SLOTS)
+        .map(|slot| replicas[0].applied_value(slot).expect("replica 0 applied every slot").to_vec())
+        .collect();
+    for (i, r) in replicas.iter().enumerate() {
+        assert_eq!(r.applied_slots(), SLOTS, "replica {i}: applied the whole log");
+        assert!(!r.recovering(), "replica {i}: recovery must complete");
+        let st = r.stats();
+        assert_eq!(st.applied_conflicts, 0, "replica {i}: no certified/local conflicts");
+        assert_eq!(st.skipped_slots, 0, "replica {i}: zero ⊥-retired slots");
+        assert_eq!(st.session_collisions, 0, "replica {i}: no session collisions");
+        for slot in 0..SLOTS {
+            let v = r
+                .applied_value(slot)
+                .unwrap_or_else(|| panic!("replica {i}: slot {slot} must be applied"));
+            assert!(!v.is_empty(), "replica {i}: slot {slot} applied as ⊥");
+            assert_eq!(
+                v,
+                &reference[slot as usize][..],
+                "replica {i}: applied prefix diverges at slot {slot}"
+            );
+        }
+        // No client ever resubmitted, yet every op is committed at the
+        // same (slot, index) everywhere — transferred slots included.
+        for client in [1u64, 2] {
+            for seq in 0..OPS_PER_CLIENT {
+                let place = r.committed_at(client, seq);
+                assert!(place.is_some(), "replica {i}: op ({client}, {seq}) committed");
+                assert_eq!(place, replicas[0].committed_at(client, seq));
+                assert_eq!(r.kv().get(&(client * 100 + seq)), Some(&(seq + 1)));
+            }
+        }
+    }
+    let transferred: u64 = replicas.iter().map(|r| r.stats().slots_transferred).sum();
+    assert!(transferred >= N as u64, "every victim slept through a slot opening: {transferred}");
+    // The WAL discipline across all five restarts: no slot was ever
+    // bound to two different values by any replica.
+    for i in 0..N {
+        audit_proposals(h.journal_buffer(i));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    // Threaded runtime: all five replicas crash-restart once, staggered
+    // across the stream (with a proptest-driven phase jitter of up to
+    // 0.1 stride), and the cluster converges to one ⊥-free prefix.
+    #[test]
+    fn rolling_restart_churn_converges_threaded(jitter_tenths in 0u64..10) {
+        let h = Arc::new(ServiceHarness::new(N, churn_service()));
+        submit(&h.port(0), 1);
+        submit(&h.port(1), 2);
+        let s = probe_stride(&h);
+        let config = ClusterConfig {
+            delta: Duration::from_millis(2),
+            max_rounds: log_round_budget(N, SLOTS),
+            process_fate: Some(churn_fate(s, s * jitter_tenths / 100)),
+            overrun_action: OverrunAction::Escalate {
+                multiplier: 2,
+                max_delta: Duration::from_millis(250),
+            },
+            ..ClusterConfig::default()
+        };
+        let report = run_cluster_with_recovery(h.actors(), Some(h.rebuilder()), config);
+        prop_assert!(report.completed, "cluster must terminate: {:?}", report.rounds);
+        prop_assert_eq!(report.metrics.recovery.crash_restarts, N as u64);
+        assert_churn_converged(&report.actors, &h);
+    }
+}
+
+/// The same rolling-restart schedule over real TCP: each restart goes
+/// through socket teardown, re-handshake, and round fast-forward, and
+/// the converged-⊥-free-prefix contract still holds.
+#[test]
+fn rolling_restart_churn_converges_tcp() {
+    let h = Arc::new(ServiceHarness::new(N, churn_service()));
+    submit(&h.port(0), 1);
+    submit(&h.port(1), 2);
+    let s = probe_stride(&h);
+    let config = TcpClusterConfig {
+        cluster: ClusterConfig {
+            delta: Duration::from_millis(8),
+            max_rounds: log_round_budget(N, SLOTS),
+            process_fate: Some(churn_fate(s, 0)),
+            overrun_action: OverrunAction::Escalate {
+                multiplier: 2,
+                max_delta: Duration::from_millis(250),
+            },
+            reconnect_backoff_cap: Duration::from_millis(20),
+            reconnect_jitter: Duration::from_millis(2),
+            ..ClusterConfig::default()
+        },
+        domain: 19,
+        ..TcpClusterConfig::default()
+    };
+    let report =
+        run_tcp_cluster_with_recovery(h.actors(), Some(h.rebuilder()), &h.config(), config)
+            .expect("mesh establishment");
+    assert!(report.report.completed, "TCP cluster must terminate");
+    assert_eq!(report.report.metrics.recovery.crash_restarts, N as u64);
+    assert_churn_converged(&report.report.actors, &h);
+}
+
+// ---------------------------------------------------------------------------
+// Byzantine donor: forged history is rejected-and-counted
+// ---------------------------------------------------------------------------
+
+const LIE_SLOTS: u64 = 6;
+
+fn lying_service() -> ServiceConfig {
+    ServiceConfig {
+        total_slots: LIE_SLOTS,
+        window: 2,
+        queue_capacity: 64,
+        batch: BatchPolicy { max_batch_delay: u64::MAX, ..BatchPolicy::default() },
+    }
+}
+
+type Liar = LyingDonor<ServiceMsg<RecursiveBaFactory>>;
+
+fn replica_of(a: &dyn AnyActor<Msg = ServiceM>) -> &ServiceProc {
+    match a.as_any().downcast_ref::<Liar>() {
+        Some(d) => service_replica(d.inner()),
+        None => service_replica(a),
+    }
+}
+
+/// Replica 1 is a [`LyingDonor`]: honest in agreement, but it answers
+/// fetches with — and spams — forged `CommittedBatch` history (forged
+/// quorum certificates on odd slots, bare claims on even ones). Replica
+/// 0 crash-restarts across slot 1's opening and must recover anyway:
+/// every certified lie is rejected *and counted*, no bare lie ever
+/// reaches the `t + 1` vouch threshold, and convergence arrives through
+/// the honest donors — without any client resubmission.
+#[test]
+fn lying_donor_is_rejected_and_counted_while_recovery_converges() {
+    let h = Arc::new(ServiceHarness::new(N, lying_service()));
+    submit(&h.port(0), 1);
+    let s = probe_stride(&h);
+    let actors: Vec<Box<dyn AnyActor<Msg = ServiceM>>> = (0..N)
+        .map(|i| {
+            let a = h.actor(i);
+            if i == 1 {
+                Box::new(Liar::new(a, N, LIE_SLOTS)) as Box<dyn AnyActor<Msg = ServiceM>>
+            } else {
+                a
+            }
+        })
+        .collect();
+    let fate: ProcessFateFactory = Arc::new(move |p: ProcessId| {
+        if p.index() == 0 {
+            // Down across slot 1's opening: the victim misses its
+            // critical rounds outright and must transfer it.
+            ProcessFate::CrashRestart { at_round: s / 2, rejoin_after: s }
+        } else {
+            ProcessFate::Run
+        }
+    });
+    let config = ClusterConfig {
+        delta: Duration::from_millis(2),
+        max_rounds: log_round_budget(N, LIE_SLOTS),
+        process_fate: Some(fate),
+        overrun_action: OverrunAction::Escalate {
+            multiplier: 2,
+            max_delta: Duration::from_millis(250),
+        },
+        ..ClusterConfig::default()
+    };
+    let report = run_cluster_with_recovery(actors, Some(h.rebuilder()), config);
+    assert!(report.completed, "cluster must terminate");
+    assert_eq!(report.metrics.recovery.crash_restarts, 1);
+
+    let victim = service_replica(report.actors[0].as_ref());
+    let st = victim.stats();
+    assert!(st.transfer_certs_rejected > 0, "forged certificates rejected and counted");
+    assert!(st.slots_transferred > 0, "the slot slept through arrives by transfer");
+    assert!(st.transfer_certs_verified > 0, "honest certified entries do verify");
+    assert_eq!(victim.applied_slots(), LIE_SLOTS, "victim caught all the way up");
+    assert!(!victim.recovering(), "recovery must complete");
+    for seq in 0..OPS_PER_CLIENT {
+        assert!(victim.committed_at(1, seq).is_some(), "no client resubmission needed");
+    }
+
+    // Convergence came from honest donors: the victim's prefix matches
+    // an honest replica's, value for value — and the fabricated op never
+    // surfaced in any replica's state.
+    let honest = replica_of(report.actors[2].as_ref());
+    for slot in 0..LIE_SLOTS {
+        assert_eq!(
+            victim.applied_value(slot),
+            honest.applied_value(slot),
+            "victim and honest replica agree on slot {slot}"
+        );
+    }
+    for (i, a) in report.actors.iter().enumerate() {
+        let r = replica_of(a.as_ref());
+        assert_eq!(r.stats().applied_conflicts, 0, "replica {i}: no conflicts");
+        assert!(r.kv().get(&0xbad).is_none(), "replica {i}: forged op never applied");
+        for slot in 0..LIE_SLOTS {
+            assert!(r.committed_at(0xbad, slot).is_none(), "replica {i}: forged op absent");
+        }
+    }
+    let liar = report.actors[1].as_any().downcast_ref::<Liar>().expect("liar survives the run");
+    assert!(liar.lies_broadcast() > 0, "the attack actually ran");
+    audit_proposals(h.journal_buffer(0));
+}
