@@ -1,0 +1,327 @@
+//! E20 — the zero-copy hot path: what the borrowed codec, pooled frame
+//! buffers, primed-MAC batch verification, and calendar-queue DES buy.
+//!
+//! Four measurements, published as `BENCH_E20_hotpath.json`:
+//!
+//! 1. **Codec pipeline msgs/sec** — one message's full wire trip
+//!    (encode → frame → read back → decode) under the *pre-refactor
+//!    allocation pattern* (fresh `Vec` per encoder, per frame, per read,
+//!    owned copies for decoded byte strings — reconstructed here
+//!    faithfully from the retired implementations) against the zero-copy
+//!    path (reused scratch encoder, reused frame/read buffers, borrowed
+//!    decode). The acceptance bar is ≥ 2×.
+//! 2. **Signature verification** — per-share `verify` vs `verify_batch`
+//!    at certificate sizes k ∈ {5, 9, 17}, plus threshold-certificate
+//!    verifications/sec. (Both sides ride the primed-MAC states; the
+//!    pre-refactor per-verify key derivation measured ≈ 340k sigs/sec on
+//!    this hardware — see EXPERIMENTS.md E20.)
+//! 3. **DES n-sweep** — failure-free BB wall clock at n ∈ {257, 1025,
+//!    4097} (and n = 10⁴ when `MEBA_E20_STRETCH=1`), with events/sec
+//!    (process-steps per wall-clock second, n × rounds / elapsed). The
+//!    acceptance bar is ≥ 1.5× events/sec against the pre-refactor
+//!    BinaryHeap DES, whose committed n = 1025 baseline is 1.99 s.
+//! 4. **Regression gate** — before overwriting the JSON, the committed
+//!    `gate` floors are parsed back and each fresh measurement must stay
+//!    above its floor (floors are committed at (1 − 0.15) × the baseline
+//!    measurement, so a > 15% regression fails `cargo bench`).
+
+use meba_bench::runs::run_des_bb;
+use meba_bench::table::{flt, num, Table};
+use meba_core::{signing::VoteSig, CommitProof, SystemConfig};
+use meba_crypto::{
+    trusted_setup, Decoder, Digest, Encoder, ProcessId, Signable, Signature, WireCodec,
+};
+use meba_wire::frame::{read_frame, write_frame};
+use std::time::Instant;
+
+const JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_E20_hotpath.json");
+
+/// Pre-refactor DES wall clock for the n = 1025 failure-free sweep point
+/// (BinaryHeap event queue, per-delivery message clones), measured at
+/// this PR's base commit on the same hardware as the committed JSON.
+const BEFORE_DES_N1025_SECS: f64 = 1.99;
+
+/// A round's certificate-bearing vote — the heaviest message shape on
+/// the BB hot path (commit proof + signature share).
+#[derive(Clone, Debug)]
+struct HotMsg {
+    round: u64,
+    from: ProcessId,
+    value: u64,
+    proof: CommitProof,
+    share: Signature,
+}
+
+impl WireCodec for HotMsg {
+    fn encode_wire(&self, enc: &mut Encoder) {
+        enc.put_u64(self.round);
+        enc.put_id(self.from);
+        enc.put_u64(self.value);
+        self.proof.encode_wire(enc);
+        self.share.encode_wire(enc);
+    }
+    fn decode_wire(dec: &mut Decoder<'_>) -> Result<Self, meba_crypto::DecodeError> {
+        Ok(HotMsg {
+            round: dec.get_u64()?,
+            from: dec.get_id()?,
+            value: dec.get_u64()?,
+            proof: CommitProof::decode_wire(dec)?,
+            share: Signature::decode_wire(dec)?,
+        })
+    }
+}
+
+/// The decoded fields of [`HotMsg`] under the *pre-refactor* byte-string
+/// semantics: every length-prefixed field becomes an owned `Vec<u8>`
+/// (the retired `get_bytes` copied; `Signature`/`ThresholdSignature`
+/// decoding then converted the copy into its fixed array). Field-for-
+/// field the same wire layout, so the two decoders read identical bytes.
+#[allow(dead_code)]
+struct OldHotMsg {
+    round: u64,
+    from: ProcessId,
+    value: u64,
+    level: u32,
+    threshold: u64,
+    digest: Digest,
+    qc_tag: Vec<u8>,
+    signer: ProcessId,
+    sig_tag: Vec<u8>,
+}
+
+fn decode_old_style(bytes: &[u8]) -> OldHotMsg {
+    let mut dec = Decoder::new(bytes);
+    let out = OldHotMsg {
+        round: dec.get_u64().unwrap(),
+        from: dec.get_id().unwrap(),
+        value: dec.get_u64().unwrap(),
+        level: dec.get_u32().unwrap(),
+        threshold: dec.get_u64().unwrap(),
+        digest: dec.get_digest().unwrap(),
+        qc_tag: dec.get_bytes().unwrap(),
+        signer: dec.get_id().unwrap(),
+        sig_tag: dec.get_bytes().unwrap(),
+    };
+    dec.finish().unwrap();
+    out
+}
+
+fn per_sec(iters: u64, started: Instant) -> f64 {
+    iters as f64 / started.elapsed().as_secs_f64()
+}
+
+/// Extracts `"key": <number>` from a flat JSON string (the bench JSONs
+/// are written by this file, so the shape is known; no serde needed).
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
+    let rest = json[at..].trim_start();
+    let end = rest.find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())?;
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    println!("=== E20: zero-copy hot path (codec, batch verify, calendar-queue DES) ===\n");
+    let committed = std::fs::read_to_string(JSON_PATH).ok();
+
+    let cfg = SystemConfig::new(33, 7).unwrap();
+    let (pki, keys) = trusted_setup(33, 0xbeef);
+    let value = 42u64;
+    let payload = VoteSig { session: cfg.session(), value: &value, level: 3 };
+    let shares: Vec<_> =
+        keys.iter().take(cfg.quorum()).map(|k| k.sign(&payload.signing_bytes())).collect();
+    let qc = pki.combine(cfg.quorum(), &payload.signing_bytes(), &shares).unwrap();
+    let msg = HotMsg {
+        round: 9,
+        from: ProcessId(3),
+        value,
+        proof: CommitProof { level: 3, qc },
+        share: shares[0].clone(),
+    };
+    let msg_bytes = msg.to_wire_bytes().len();
+
+    // 1) Codec pipeline: encode → frame → read → decode, before vs after.
+    let iters = 1_000_000u64;
+    let mut sink = 0u64;
+    let started = Instant::now();
+    for _ in 0..iters {
+        // Pre-refactor shape: every stage allocates.
+        let payload = msg.to_wire_bytes();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let mut r = &wire[..];
+        let len = u32::from_be_bytes(wire[..4].try_into().unwrap()) as usize;
+        r = &r[4..];
+        let frame = r[..len].to_vec(); // old read_frame: fresh Vec per frame
+        sink ^= decode_old_style(&frame).round;
+    }
+    let before_codec = per_sec(iters, started);
+
+    let mut enc = Encoder::new();
+    let mut wire = Vec::new();
+    let mut scratch = Vec::new();
+    let started = Instant::now();
+    for _ in 0..iters {
+        // Zero-copy shape: reused encoder, reused frame + read buffers,
+        // borrowed decode.
+        msg.encode_wire_into(&mut enc);
+        wire.clear();
+        write_frame(&mut wire, enc.as_bytes()).unwrap();
+        let mut r = &wire[..];
+        read_frame(&mut r, &mut scratch).unwrap();
+        let mut dec = Decoder::new(&scratch);
+        sink ^= HotMsg::decode_wire(&mut dec).unwrap().round;
+        dec.finish().unwrap();
+    }
+    let after_codec = per_sec(iters, started);
+    let codec_speedup = after_codec / before_codec;
+
+    let mut tab = Table::new(&["codec pipeline", "msgs/sec", "ns/msg"]);
+    tab.row(&["before (alloc per stage)".into(), flt(before_codec), flt(1e9 / before_codec)]);
+    tab.row(&["after (zero-copy)".into(), flt(after_codec), flt(1e9 / after_codec)]);
+    tab.print();
+    println!(
+        "{msg_bytes}-byte certificate message; speedup {codec_speedup:.2}x (sink {})\n",
+        sink & 1
+    );
+    assert!(
+        codec_speedup >= 2.0,
+        "E20 acceptance: zero-copy codec must be >= 2x the pre-refactor \
+         pipeline (got {codec_speedup:.2}x)"
+    );
+
+    // 2) Verification: single vs batch at k ∈ {5, 9, 17}.
+    let pre = payload.signing_bytes();
+    let mut tab = Table::new(&["k", "single sigs/sec", "batch sigs/sec"]);
+    let mut verify_rows = Vec::new();
+    let mut batch_at_9 = 0.0f64;
+    for k in [5usize, 9, 17] {
+        let ks: Vec<_> = shares.iter().take(k).cloned().collect();
+        let reps = 400_000u64 / k as u64;
+        let started = Instant::now();
+        for _ in 0..reps {
+            for s in &ks {
+                pki.verify(&pre, s).unwrap();
+            }
+        }
+        let single = per_sec(reps * k as u64, started);
+        let started = Instant::now();
+        for _ in 0..reps {
+            pki.verify_batch(&pre, &ks).unwrap();
+        }
+        let batch = per_sec(reps * k as u64, started);
+        if k == 9 {
+            batch_at_9 = batch;
+        }
+        tab.row(&[num(k as u64), flt(single), flt(batch)]);
+        verify_rows.push(format!(
+            "    {{\"k\": {k}, \"single_sigs_per_sec\": {single:.0}, \
+             \"batch_sigs_per_sec\": {batch:.0}}}"
+        ));
+    }
+    tab.print();
+
+    let reps = 400_000u64;
+    let started = Instant::now();
+    for _ in 0..reps {
+        pki.verify_threshold(&pre, &msg.proof.qc).unwrap();
+    }
+    let certs = per_sec(reps, started);
+    println!("threshold certificates: {certs:.0} verifies/sec\n");
+
+    // 3) DES n-sweep (failure-free BB, seed 0xe20).
+    let stretch = std::env::var("MEBA_E20_STRETCH").is_ok_and(|v| v == "1");
+    let mut ns = vec![257usize, 1025, 4097];
+    if stretch {
+        ns.push(10_000);
+    }
+    let mut tab = Table::new(&["n", "seconds", "words", "words/n", "rounds", "events/sec"]);
+    let mut sweep_rows = Vec::new();
+    let mut events_1025 = 0.0f64;
+    let mut speedup_1025 = 0.0f64;
+    for n in ns {
+        let started = Instant::now();
+        let s = run_des_bb(n, 0, 0xe20);
+        let secs = started.elapsed().as_secs_f64();
+        assert!(s.agreement, "E20 n={n}: agreement");
+        let events = (n as u64 * s.rounds) as f64;
+        let events_per_sec = events / secs;
+        if n == 1025 {
+            events_1025 = events_per_sec;
+            speedup_1025 = BEFORE_DES_N1025_SECS / secs;
+        }
+        tab.row(&[
+            num(n as u64),
+            flt(secs),
+            num(s.words),
+            flt(s.words as f64 / n as f64),
+            num(s.rounds),
+            flt(events_per_sec),
+        ]);
+        sweep_rows.push(format!(
+            "    {{\"n\": {n}, \"seconds\": {secs:.3}, \"words\": {}, \"rounds\": {}, \
+             \"events_per_sec\": {events_per_sec:.0}}}",
+            s.words, s.rounds
+        ));
+    }
+    tab.print();
+    println!(
+        "n=1025 speedup vs pre-refactor BinaryHeap DES ({BEFORE_DES_N1025_SECS} s): \
+         {speedup_1025:.2}x\n"
+    );
+    assert!(
+        speedup_1025 >= 1.5,
+        "E20 acceptance: calendar-queue DES must be >= 1.5x the pre-refactor \
+         events/sec at n=1025 (got {speedup_1025:.2}x)"
+    );
+
+    // 4) Regression gate against the committed floors.
+    if let Some(json) = &committed {
+        let checks = [
+            ("gate_codec_msgs_per_sec", after_codec),
+            ("gate_verify_sigs_per_sec", batch_at_9),
+            ("gate_des_events_per_sec", events_1025),
+        ];
+        for (key, fresh) in checks {
+            let floor = json_number(json, key)
+                .unwrap_or_else(|| panic!("committed BENCH_E20_hotpath.json lacks {key}"));
+            assert!(
+                fresh >= floor,
+                "E20 regression gate: {key} fell below the committed floor \
+                 ({fresh:.0} < {floor:.0}; floors are 0.85x the committed baseline, \
+                 so this is a > 15% regression)"
+            );
+            println!("gate ok: {key} {fresh:.0} >= floor {floor:.0}");
+        }
+    } else {
+        println!("gate skipped: no committed BENCH_E20_hotpath.json yet");
+    }
+
+    // Floors at (1 - 0.15) x this run's measurements; committed once and
+    // then stable, so later runs are compared against the PR's baseline.
+    let (floor_codec, floor_verify, floor_events) = match &committed {
+        Some(json) => (
+            json_number(json, "gate_codec_msgs_per_sec").unwrap(),
+            json_number(json, "gate_verify_sigs_per_sec").unwrap(),
+            json_number(json, "gate_des_events_per_sec").unwrap(),
+        ),
+        None => (after_codec * 0.85, batch_at_9 * 0.85, events_1025 * 0.85),
+    };
+    let json = format!(
+        "{{\n  \"experiment\": \"E20\",\n  \"msg_bytes\": {msg_bytes},\n  \
+         \"codec\": {{\"before_msgs_per_sec\": {before_codec:.0}, \
+         \"after_msgs_per_sec\": {after_codec:.0}, \"speedup\": {codec_speedup:.2}}},\n  \
+         \"verify\": [\n{}\n  ],\n  \
+         \"verify_threshold_certs_per_sec\": {certs:.0},\n  \
+         \"des_sweep\": [\n{}\n  ],\n  \
+         \"des_speedup_n1025_vs_binaryheap\": {speedup_1025:.2},\n  \
+         \"gate_tolerance\": 0.15,\n  \
+         \"gate_codec_msgs_per_sec\": {floor_codec:.0},\n  \
+         \"gate_verify_sigs_per_sec\": {floor_verify:.0},\n  \
+         \"gate_des_events_per_sec\": {floor_events:.0}\n}}\n",
+        verify_rows.join(",\n"),
+        sweep_rows.join(",\n"),
+    );
+    std::fs::write(JSON_PATH, &json).expect("write BENCH_E20_hotpath.json");
+    println!("\nwrote BENCH_E20_hotpath.json");
+}

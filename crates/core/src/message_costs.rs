@@ -50,25 +50,17 @@ fn weak_ba_message_costs() {
             2,
             cfg.quorum() as u64,
         ),
-        (
-            WeakBaMsg::CommitCert { phase: 1, value: v, proof: commit.clone() },
-            2,
-            cfg.quorum() as u64,
-        ),
+        (WeakBaMsg::CommitCert { phase: 1, value: v, proof: commit }, 2, cfg.quorum() as u64),
         (WeakBaMsg::Decide { phase: 1, value: v, sig: decide_sig }, 2, 1),
         (
             WeakBaMsg::FinalizeCert { phase: 1, value: v, proof: decide.clone() },
             2,
             cfg.quorum() as u64,
         ),
-        (WeakBaMsg::HelpReq { sig: vote_sig.clone() }, 1, 1),
+        (WeakBaMsg::HelpReq { sig: vote_sig }, 1, 1),
         (WeakBaMsg::Help { value: v, proof: decide.clone() }, 2, cfg.quorum() as u64),
         (WeakBaMsg::FallbackCert { qc: qc.clone(), decision: None }, 1, cfg.quorum() as u64),
-        (
-            WeakBaMsg::FallbackCert { qc: qc.clone(), decision: Some((v, decide.clone())) },
-            3,
-            2 * cfg.quorum() as u64,
-        ),
+        (WeakBaMsg::FallbackCert { qc, decision: Some((v, decide)) }, 3, 2 * cfg.quorum() as u64),
         (WeakBaMsg::Fallback(SkewEnvelope { vstep: 0, msg: EchoMsg(9u64) }), 1, 0),
     ];
     for (msg, words, sigs) in cases {

@@ -325,7 +325,7 @@ mod tests {
         assert!(proof.verify(&cfg, &pki, &value));
         assert!(!proof.verify(&cfg, &pki, &43u64));
         // Tampering with the level breaks verification.
-        let bad = CommitProof { level: 4, qc: proof.qc.clone() };
+        let bad = CommitProof { level: 4, qc: proof.qc };
         assert!(!bad.verify(&cfg, &pki, &value));
     }
 
@@ -353,7 +353,7 @@ mod tests {
         let qc = pki.combine(cfg.quorum(), &payload.signing_bytes(), &shares).unwrap();
         let proof = DecideProof { phase: 2, qc };
         assert!(proof.verify(&cfg, &pki, &value));
-        assert!(!DecideProof { phase: 3, qc: proof.qc.clone() }.verify(&cfg, &pki, &value));
+        assert!(!DecideProof { phase: 3, qc: proof.qc }.verify(&cfg, &pki, &value));
     }
 
     #[test]

@@ -28,6 +28,8 @@
 use crate::error::DecodeError;
 use crate::ids::ProcessId;
 use crate::sha256::Digest;
+use std::borrow::Cow;
+use std::cell::Cell;
 
 /// Canonical, unambiguous byte encoder.
 #[derive(Debug, Default)]
@@ -39,6 +41,40 @@ impl Encoder {
     /// Creates an empty encoder.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an encoder with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Encoder { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Wraps an existing buffer, clearing its contents but keeping its
+    /// capacity. This is the reuse entry point: callers that encode in a
+    /// loop hand the same `Vec` back in and steady-state encoding stops
+    /// allocating.
+    pub fn from_vec(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Encoder { buf }
+    }
+
+    /// Clears the encoded bytes, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// The bytes encoded so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Number of bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
     }
 
     /// Appends a fixed-width big-endian `u32`.
@@ -93,6 +129,27 @@ impl Encoder {
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
     }
+}
+
+thread_local! {
+    /// Per-thread scratch buffer behind [`with_scratch_encoder`]. A `Cell`
+    /// (not `RefCell`) so reentrant use degrades to a fresh allocation
+    /// instead of a panic: an inner call takes an empty `Vec`, and the
+    /// outer call's buffer wins the final `set`.
+    static SCRATCH: Cell<Vec<u8>> = const { Cell::new(Vec::new()) };
+}
+
+/// Runs `f` with a thread-local scratch [`Encoder`] whose allocation is
+/// reused across calls. After warm-up this encodes without touching the
+/// heap, which is what lets `wire_len` / `signing_digest` sit on hot
+/// paths without a per-call `Vec`.
+pub fn with_scratch_encoder<R>(f: impl FnOnce(&mut Encoder) -> R) -> R {
+    SCRATCH.with(|slot| {
+        let mut enc = Encoder::from_vec(slot.take());
+        let out = f(&mut enc);
+        slot.set(enc.into_bytes());
+        out
+    })
 }
 
 /// Bounds-checked reader for the [`Encoder`]'s canonical format.
@@ -187,16 +244,32 @@ impl<'a> Decoder<'a> {
         Ok(ProcessId(u32::from_be_bytes(b.try_into().expect("4 bytes"))))
     }
 
-    /// Reads a length-prefixed byte string (counterpart of
-    /// [`Encoder::put_bytes`]). The length prefix is validated against
-    /// the remaining input *before* any allocation, so a forged length
-    /// cannot trigger an out-of-memory.
-    pub fn get_bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+    /// Reads a length-prefixed byte string as a borrowed view into the
+    /// input buffer (zero-copy counterpart of [`Encoder::put_bytes`]).
+    /// The length prefix is validated against the remaining input, so a
+    /// forged length cannot read past the buffer or trigger an
+    /// out-of-memory. Consumes and validates exactly the same bytes as
+    /// [`Decoder::get_bytes`] and fails with the same errors.
+    pub fn get_bytes_borrowed(&mut self) -> Result<&'a [u8], DecodeError> {
         self.tag(b's')?;
         let len = u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes"));
         let len = usize::try_from(len)
             .map_err(|_| DecodeError::Invalid { what: "byte-string length overflows usize" })?;
-        Ok(self.take(len)?.to_vec())
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed byte string into an owned `Vec<u8>`. This
+    /// is the owned escape hatch over [`Decoder::get_bytes_borrowed`] for
+    /// decoded values that must outlive the frame buffer.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        Ok(self.get_bytes_borrowed()?.to_vec())
+    }
+
+    /// Reads a length-prefixed byte string as a [`Cow`] borrowing from
+    /// the input. Call `.into_owned()` only on values that escape the
+    /// frame's lifetime.
+    pub fn get_bytes_cow(&mut self) -> Result<Cow<'a, [u8]>, DecodeError> {
+        Ok(Cow::Borrowed(self.get_bytes_borrowed()?))
     }
 
     /// Reads a digest (counterpart of [`Encoder::put_digest`]).
@@ -252,6 +325,15 @@ pub trait WireCodec: Sized {
         enc.into_bytes()
     }
 
+    /// Writes the canonical encoding into a reusable encoder, replacing
+    /// its previous contents. Looping callers that keep the encoder
+    /// around reuse its allocation and produce bytes identical to
+    /// [`WireCodec::to_wire_bytes`] without a fresh `Vec` per message.
+    fn encode_wire_into(&self, enc: &mut Encoder) {
+        enc.clear();
+        self.encode_wire(enc);
+    }
+
     /// Decodes a standalone byte string, rejecting trailing bytes.
     fn from_wire_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
         let mut dec = Decoder::new(bytes);
@@ -260,9 +342,14 @@ pub trait WireCodec: Sized {
         Ok(v)
     }
 
-    /// Length of the canonical encoding in bytes.
+    /// Length of the canonical encoding in bytes. The default measures
+    /// by encoding into the thread-local scratch buffer, so it does not
+    /// allocate after warm-up.
     fn wire_len(&self) -> u64 {
-        self.to_wire_bytes().len() as u64
+        with_scratch_encoder(|enc| {
+            self.encode_wire(enc);
+            enc.len() as u64
+        })
     }
 }
 
@@ -292,17 +379,39 @@ pub trait Signable {
     /// Writes the message fields into `enc`.
     fn encode_fields(&self, enc: &mut Encoder);
 
+    /// Writes the exact signed byte string (domain tag + fields) into a
+    /// reusable encoder, replacing its previous contents. Byte-identical
+    /// to [`Signable::signing_bytes`] without the fresh `Vec`.
+    fn encode_signing(&self, enc: &mut Encoder) {
+        enc.clear();
+        enc.put_bytes(Self::DOMAIN.as_bytes());
+        self.encode_fields(enc);
+    }
+
     /// The exact bytes that are signed / verified for this message.
     fn signing_bytes(&self) -> Vec<u8> {
         let mut enc = Encoder::new();
-        enc.put_bytes(Self::DOMAIN.as_bytes());
-        self.encode_fields(&mut enc);
+        self.encode_signing(&mut enc);
         enc.into_bytes()
     }
 
-    /// Digest of the signing bytes.
+    /// Digest of the signing bytes, computed in the thread-local scratch
+    /// buffer without the encode-to-temporary round trip.
     fn signing_digest(&self) -> Digest {
-        Digest::of(&self.signing_bytes())
+        with_scratch_encoder(|enc| {
+            self.encode_signing(enc);
+            Digest::of(enc.as_bytes())
+        })
+    }
+
+    /// Runs `f` over the signing bytes assembled in the thread-local
+    /// scratch buffer — the zero-allocation path for sign/verify call
+    /// sites that only need a transient view of the preimage.
+    fn with_signing_bytes<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        with_scratch_encoder(|enc| {
+            self.encode_signing(enc);
+            f(enc.as_bytes())
+        })
     }
 }
 
@@ -427,6 +536,94 @@ mod tests {
             dec.get_option(|d| d.get_u32()),
             Err(DecodeError::Invalid { what: "option presence byte not 0/1" })
         );
+    }
+
+    #[test]
+    fn borrowed_bytes_match_owned_bytes() {
+        let mut enc = Encoder::new();
+        enc.put_bytes(b"zero-copy");
+        let bytes = enc.into_bytes();
+
+        let mut owned = Decoder::new(&bytes);
+        let mut borrowed = Decoder::new(&bytes);
+        let mut cow = Decoder::new(&bytes);
+        assert_eq!(owned.get_bytes().unwrap(), b"zero-copy");
+        assert_eq!(borrowed.get_bytes_borrowed().unwrap(), b"zero-copy");
+        assert!(matches!(cow.get_bytes_cow().unwrap(), Cow::Borrowed(b"zero-copy")));
+        assert_eq!(owned.remaining(), borrowed.remaining());
+        assert_eq!(owned.remaining(), cow.remaining());
+    }
+
+    #[test]
+    fn borrowed_bytes_fail_like_owned_bytes() {
+        // Truncated at every prefix, the borrowed getter must consume and
+        // reject exactly as the owned one does.
+        let mut enc = Encoder::new();
+        enc.put_bytes(b"hello");
+        let bytes = enc.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut owned = Decoder::new(&bytes[..cut]);
+            let mut borrowed = Decoder::new(&bytes[..cut]);
+            let o = owned.get_bytes();
+            let b = borrowed.get_bytes_borrowed();
+            assert_eq!(o.err(), b.err(), "divergent errors at cut {cut}");
+            assert_eq!(owned.remaining(), borrowed.remaining());
+        }
+    }
+
+    #[test]
+    fn encoder_reuse_keeps_capacity_and_bytes() {
+        let mut enc = Encoder::with_capacity(64);
+        enc.put_id(ProcessId(1));
+        let first = enc.as_bytes().to_vec();
+        let cap = enc.into_bytes().capacity();
+
+        let mut enc = Encoder::from_vec(Vec::with_capacity(cap));
+        for _ in 0..100 {
+            ProcessId(1).encode_wire_into(&mut enc);
+            assert_eq!(enc.as_bytes(), &first[..]);
+        }
+        assert_eq!(enc.into_bytes().capacity(), cap, "reuse must not reallocate");
+    }
+
+    #[test]
+    fn scratch_encoder_is_reentrancy_safe() {
+        let outer = with_scratch_encoder(|enc| {
+            enc.put_u32(7);
+            let inner = with_scratch_encoder(|enc2| {
+                enc2.put_u64(9);
+                enc2.as_bytes().to_vec()
+            });
+            assert_eq!(inner, {
+                let mut e = Encoder::new();
+                e.put_u64(9);
+                e.into_bytes()
+            });
+            enc.as_bytes().to_vec()
+        });
+        assert_eq!(outer, {
+            let mut e = Encoder::new();
+            e.put_u32(7);
+            e.into_bytes()
+        });
+    }
+
+    #[test]
+    fn wire_len_matches_full_encoding() {
+        let d = Digest::of(b"x");
+        assert_eq!(d.wire_len(), d.to_wire_bytes().len() as u64);
+        assert_eq!(ProcessId(3).wire_len(), ProcessId(3).to_wire_bytes().len() as u64);
+    }
+
+    #[test]
+    fn signing_helpers_agree_with_signing_bytes() {
+        let m = M(5);
+        let via_scratch = m.with_signing_bytes(|b| b.to_vec());
+        assert_eq!(via_scratch, m.signing_bytes());
+        assert_eq!(m.signing_digest(), Digest::of(&m.signing_bytes()));
+        let mut enc = Encoder::from_vec(vec![1, 2, 3]);
+        m.encode_signing(&mut enc);
+        assert_eq!(enc.as_bytes(), &m.signing_bytes()[..]);
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod pki;
 pub mod sha256;
 pub mod words;
 
-pub use encoding::{Decoder, Encoder, Signable, WireCodec};
+pub use encoding::{with_scratch_encoder, Decoder, Encoder, Signable, WireCodec};
 pub use error::{CryptoError, DecodeError};
 pub use guard::{EquivocationError, GuardedKey, SignContext, SignRegistry};
 pub use ids::ProcessId;

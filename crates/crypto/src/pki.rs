@@ -53,24 +53,42 @@ const DOM_SK: &[u8] = b"meba/sk/v1";
 pub fn trusted_setup(n: usize, seed: u64) -> (Pki, Vec<SecretKey>) {
     assert!(n > 0, "a system needs at least one process");
     let master = hmac_sha256(&seed.to_be_bytes(), b"meba master secret");
-    let inner = Arc::new(PkiInner { master, n });
-    let pki = Pki { inner: inner.clone() };
-    let keys = ProcessId::all(n).map(|id| SecretKey { id, key: inner.secret_for(id) }).collect();
+    // Pre-absorb key pads and domain tags once per scheme so every
+    // sign/verify afterwards clones a primed MAC state instead of
+    // re-deriving the per-signer secret and re-running key setup. The
+    // resulting tags are byte-identical to the unprimed construction.
+    let sig_macs = ProcessId::all(n)
+        .map(|id| {
+            let mut mac = HmacSha256::new(&derive_secret(&master, id));
+            mac.update(DOM_SIGN);
+            mac
+        })
+        .collect();
+    let mut thresh_mac = HmacSha256::new(&master);
+    thresh_mac.update(DOM_THRESH);
+    let mut agg_mac = HmacSha256::new(&master);
+    agg_mac.update(DOM_AGG);
+    let inner = Arc::new(PkiInner { n, sig_macs, thresh_mac, agg_mac });
+    let pki = Pki { inner };
+    let keys = ProcessId::all(n).map(|id| SecretKey::new(id, derive_secret(&master, id))).collect();
     (pki, keys)
 }
 
-struct PkiInner {
-    master: [u8; 32],
-    n: usize,
+fn derive_secret(master: &[u8; 32], id: ProcessId) -> [u8; 32] {
+    let mut mac = HmacSha256::new(master);
+    mac.update(DOM_SK);
+    mac.update(&id.0.to_be_bytes());
+    mac.finalize()
 }
 
-impl PkiInner {
-    fn secret_for(&self, id: ProcessId) -> [u8; 32] {
-        let mut mac = HmacSha256::new(&self.master);
-        mac.update(DOM_SK);
-        mac.update(&id.0.to_be_bytes());
-        mac.finalize()
-    }
+struct PkiInner {
+    n: usize,
+    /// Per-signer HMAC states with key pads + `DOM_SIGN` already absorbed.
+    sig_macs: Vec<HmacSha256>,
+    /// Master-keyed HMAC state with `DOM_THRESH` absorbed.
+    thresh_mac: HmacSha256,
+    /// Master-keyed HMAC state with `DOM_AGG` absorbed.
+    agg_mac: HmacSha256,
 }
 
 /// Public verification handle for the system's signature schemes.
@@ -102,10 +120,10 @@ impl Pki {
         }
     }
 
+    /// Tag for a checked signer: clones the primed per-signer MAC state,
+    /// so per-verify cost is only the message absorption + finalize.
     fn sig_tag(&self, signer: ProcessId, msg: &[u8]) -> [u8; 32] {
-        let sk = self.inner.secret_for(signer);
-        let mut mac = HmacSha256::new(&sk);
-        mac.update(DOM_SIGN);
+        let mut mac = self.inner.sig_macs[signer.index()].clone();
         mac.update(msg);
         mac.finalize()
     }
@@ -125,9 +143,18 @@ impl Pki {
         }
     }
 
+    /// Verifies a batch of individual signatures on one message — the
+    /// shape of a certificate's `k` shares. Exactly equivalent to calling
+    /// [`Pki::verify`] on each signature in slice order and returning the
+    /// first error; the batch form exists so call sites verifying a
+    /// certificate's shares go through one amortized entry point (primed
+    /// MAC states, no per-signature key derivation or pad absorption).
+    pub fn verify_batch(&self, msg: &[u8], sigs: &[Signature]) -> Result<(), CryptoError> {
+        sigs.iter().try_for_each(|sig| self.verify(msg, sig))
+    }
+
     fn thresh_tag(&self, k: usize, digest: &Digest) -> [u8; 32] {
-        let mut mac = HmacSha256::new(&self.inner.master);
-        mac.update(DOM_THRESH);
+        let mut mac = self.inner.thresh_mac.clone();
         mac.update(&(k as u64).to_be_bytes());
         mac.update(digest.as_bytes());
         mac.finalize()
@@ -188,20 +215,52 @@ impl Pki {
     /// [`CryptoError::MessageMismatch`] if the certificate was issued for a
     /// different message or its tag does not verify.
     pub fn verify_threshold(&self, msg: &[u8], ts: &ThresholdSignature) -> Result<(), CryptoError> {
-        let digest = Digest::of(msg);
-        if digest != ts.digest {
+        self.verify_threshold_digest(&Digest::of(msg), ts)
+    }
+
+    fn verify_threshold_digest(
+        &self,
+        digest: &Digest,
+        ts: &ThresholdSignature,
+    ) -> Result<(), CryptoError> {
+        if *digest != ts.digest {
             return Err(CryptoError::MessageMismatch);
         }
-        if ct_eq(&self.thresh_tag(ts.threshold, &digest), &ts.tag) {
+        if ct_eq(&self.thresh_tag(ts.threshold, digest), &ts.tag) {
             Ok(())
         } else {
             Err(CryptoError::MessageMismatch)
         }
     }
 
+    /// Verifies a batch of threshold certificates, each against its own
+    /// preimage. Exactly equivalent to calling [`Pki::verify_threshold`]
+    /// on each pair in order and returning the first error. Consecutive
+    /// entries certifying the same preimage — the common shape when one
+    /// round admits many copies of a certificate — share a single
+    /// message digest, on top of the primed master-MAC state every
+    /// verification reuses.
+    pub fn verify_threshold_batch(
+        &self,
+        items: &[(&[u8], &ThresholdSignature)],
+    ) -> Result<(), CryptoError> {
+        let mut memo: Option<(&[u8], Digest)> = None;
+        for &(msg, ts) in items {
+            let digest = match &memo {
+                Some((m, d)) if *m == msg => *d,
+                _ => {
+                    let d = Digest::of(msg);
+                    memo = Some((msg, d));
+                    d
+                }
+            };
+            self.verify_threshold_digest(&digest, ts)?;
+        }
+        Ok(())
+    }
+
     fn agg_tag(&self, signers: &BTreeSet<ProcessId>, digest: &Digest) -> [u8; 32] {
-        let mut mac = HmacSha256::new(&self.inner.master);
-        mac.update(DOM_AGG);
+        let mut mac = self.inner.agg_mac.clone();
         for s in signers {
             mac.update(&s.0.to_be_bytes());
         }
@@ -295,7 +354,9 @@ impl Pki {
 #[derive(Clone)]
 pub struct SecretKey {
     id: ProcessId,
-    key: [u8; 32],
+    /// HMAC state with the key pads and `DOM_SIGN` pre-absorbed; each
+    /// `sign` clones it and absorbs only the message.
+    primed: HmacSha256,
 }
 
 impl fmt::Debug for SecretKey {
@@ -305,6 +366,12 @@ impl fmt::Debug for SecretKey {
 }
 
 impl SecretKey {
+    fn new(id: ProcessId, key: [u8; 32]) -> Self {
+        let mut primed = HmacSha256::new(&key);
+        primed.update(DOM_SIGN);
+        SecretKey { id, primed }
+    }
+
     /// The identity this key signs for.
     pub fn id(&self) -> ProcessId {
         self.id
@@ -323,8 +390,7 @@ impl SecretKey {
     /// assert!(pki.verify(b"proposal", &sig).is_ok());
     /// ```
     pub fn sign(&self, msg: &[u8]) -> Signature {
-        let mut mac = HmacSha256::new(&self.key);
-        mac.update(DOM_SIGN);
+        let mut mac = self.primed.clone();
         mac.update(msg);
         Signature { signer: self.id, tag: mac.finalize() }
     }
@@ -357,9 +423,10 @@ impl Signature {
     /// genuine, so the ideal-scheme unforgeability argument is unchanged.
     pub fn decode(dec: &mut crate::encoding::Decoder<'_>) -> Result<Self, DecodeError> {
         let signer = dec.get_id()?;
-        let tag = dec.get_bytes()?;
-        let tag: [u8; 32] =
-            tag.try_into().map_err(|_| DecodeError::Invalid { what: "signature tag length" })?;
+        let tag: [u8; 32] = dec
+            .get_bytes_borrowed()?
+            .try_into()
+            .map_err(|_| DecodeError::Invalid { what: "signature tag length" })?;
         Ok(Signature { signer, tag })
     }
 }
@@ -413,9 +480,10 @@ impl ThresholdSignature {
         let threshold = usize::try_from(threshold)
             .map_err(|_| DecodeError::Invalid { what: "threshold overflows usize" })?;
         let digest = dec.get_digest()?;
-        let tag = dec.get_bytes()?;
-        let tag: [u8; 32] =
-            tag.try_into().map_err(|_| DecodeError::Invalid { what: "certificate tag length" })?;
+        let tag: [u8; 32] = dec
+            .get_bytes_borrowed()?
+            .try_into()
+            .map_err(|_| DecodeError::Invalid { what: "certificate tag length" })?;
         Ok(ThresholdSignature { threshold, digest, tag })
     }
 }
@@ -499,9 +567,10 @@ impl AggregateSignature {
             signers.insert(id);
         }
         let digest = dec.get_digest()?;
-        let tag = dec.get_bytes()?;
-        let tag: [u8; 32] =
-            tag.try_into().map_err(|_| DecodeError::Invalid { what: "aggregate tag length" })?;
+        let tag: [u8; 32] = dec
+            .get_bytes_borrowed()?
+            .try_into()
+            .map_err(|_| DecodeError::Invalid { what: "aggregate tag length" })?;
         Ok(AggregateSignature { signers, digest, tag })
     }
 }
@@ -657,6 +726,44 @@ mod tests {
         assert!(matches!(pki.aggregate(b"v", &[]), Err(CryptoError::InsufficientShares { .. })));
         let agg = pki.aggregate(b"v", &[keys[0].sign(b"v")]).unwrap();
         assert_eq!(pki.verify_aggregate(b"w", &agg), Err(CryptoError::MessageMismatch));
+    }
+
+    #[test]
+    fn verify_batch_matches_sequential_verify() {
+        let (pki, keys) = setup(6);
+        let mut shares: Vec<_> = keys.iter().take(4).map(|k| k.sign(b"v")).collect();
+        assert!(pki.verify_batch(b"v", &shares).is_ok());
+        assert!(pki.verify_batch(b"v", &[]).is_ok());
+
+        // A forged share in the middle: first error in slice order.
+        shares[2] = keys[2].sign(b"other");
+        let sequential = shares.iter().try_for_each(|s| pki.verify(b"v", s));
+        assert_eq!(pki.verify_batch(b"v", &shares), sequential);
+        assert_eq!(
+            pki.verify_batch(b"v", &shares),
+            Err(CryptoError::BadSignature { signer: ProcessId(2) })
+        );
+    }
+
+    #[test]
+    fn verify_threshold_batch_matches_sequential() {
+        let (pki, keys) = setup(5);
+        let sh_v: Vec<_> = keys.iter().take(3).map(|k| k.sign(b"v")).collect();
+        let sh_w: Vec<_> = keys.iter().take(3).map(|k| k.sign(b"w")).collect();
+        let qc_v = pki.combine(3, b"v", &sh_v).unwrap();
+        let qc_w = pki.combine(3, b"w", &sh_w).unwrap();
+
+        // Mixed preimages, including the digest-memo repeat path.
+        let items: Vec<(&[u8], &ThresholdSignature)> =
+            vec![(b"v", &qc_v), (b"v", &qc_v), (b"w", &qc_w), (b"v", &qc_v)];
+        assert!(pki.verify_threshold_batch(&items).is_ok());
+
+        let bad: Vec<(&[u8], &ThresholdSignature)> =
+            vec![(b"v", &qc_v), (b"v", &qc_w), (b"w", &qc_w)];
+        let sequential = bad.iter().try_for_each(|(m, ts)| pki.verify_threshold(m, ts));
+        assert_eq!(pki.verify_threshold_batch(&bad), sequential);
+        assert_eq!(pki.verify_threshold_batch(&bad), Err(CryptoError::MessageMismatch));
+        assert!(pki.verify_threshold_batch(&[]).is_ok());
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Equivalence properties for the zero-copy refactor.
+//!
+//! Two families of properties pin the refactor to the semantics it
+//! replaced:
+//!
+//! 1. **Borrowed ≡ owned decoding.** The pre-refactor owned byte-string
+//!    decoder is reimplemented here verbatim as an independent reference
+//!    (`reference_owned_get_bytes`). Over valid encodings, truncations,
+//!    mutations, and raw junk, the current `get_bytes`,
+//!    `get_bytes_borrowed`, and `get_bytes_cow` must return exactly the
+//!    same bytes on accepts, exactly the same [`DecodeError`] on
+//!    rejects, and consume exactly the same number of input bytes.
+//! 2. **Batch ≡ sequential verification.** On every mixed valid/forged
+//!    subset — wrong message, tampered tag, out-of-range signer —
+//!    [`Pki::verify_batch`] must agree with folding [`Pki::verify`] over
+//!    the slice, including *which* error surfaces first; likewise
+//!    [`Pki::verify_threshold_batch`] against [`Pki::verify_threshold`].
+
+use meba_crypto::{
+    trusted_setup, DecodeError, Decoder, Encoder, Signature, ThresholdSignature, WireCodec,
+};
+use proptest::prelude::*;
+use std::borrow::Cow;
+
+// ---------------------------------------------------------------------
+// 1. Borrowed ≡ owned decoding
+// ---------------------------------------------------------------------
+
+/// Cursor-advancing slice read, as the pre-refactor decoder performed it.
+fn ref_take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], DecodeError> {
+    let remaining = buf.len() - *pos;
+    if remaining < n {
+        return Err(DecodeError::UnexpectedEnd { needed: n, remaining });
+    }
+    let out = &buf[*pos..*pos + n];
+    *pos += n;
+    Ok(out)
+}
+
+/// The old owned byte-string decoder, reimplemented independently of
+/// `Decoder` so the property is an external check, not a tautology:
+/// tag `b's'`, 8-byte big-endian length validated against the remaining
+/// input, then an owned copy of the payload.
+fn reference_owned_get_bytes(buf: &[u8], pos: &mut usize) -> Result<Vec<u8>, DecodeError> {
+    let found = ref_take(buf, pos, 1)?[0];
+    if found != b's' {
+        return Err(DecodeError::TypeTag { expected: b's', found });
+    }
+    let len = u64::from_be_bytes(ref_take(buf, pos, 8)?.try_into().expect("8 bytes"));
+    let len = usize::try_from(len)
+        .map_err(|_| DecodeError::Invalid { what: "byte-string length overflows usize" })?;
+    Ok(ref_take(buf, pos, len)?.to_vec())
+}
+
+/// Builds one input that exercises an accept/reject path of the
+/// byte-string decoder, selected by `mode`: a canonical encoding (with
+/// trailing bytes left for the cursor checks), a truncated canonical
+/// encoding, a canonical encoding with one byte mutated anywhere (tag,
+/// length prefix, or payload), or raw junk.
+fn byte_string_input(
+    data: &[u8],
+    junk: Vec<u8>,
+    mode: u8,
+    cut: usize,
+    at: usize,
+    x: u8,
+) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_bytes(data);
+    let mut out = enc.into_bytes();
+    match mode {
+        0 => out.extend_from_slice(&junk),
+        1 => out.truncate(cut % (out.len() + 1)),
+        2 => {
+            let at = at % out.len();
+            out[at] ^= x;
+        }
+        _ => out = junk,
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn borrowed_owned_and_cow_decoders_are_equivalent(
+        data in proptest::collection::vec(any::<u8>(), 0..48),
+        junk in proptest::collection::vec(any::<u8>(), 0..64),
+        mode in 0u8..4,
+        cut in any::<usize>(),
+        at in any::<usize>(),
+        x in 1u8..=255u8,
+    ) {
+        let input = byte_string_input(&data, junk, mode, cut, at, x);
+        let mut ref_pos = 0usize;
+        let reference = reference_owned_get_bytes(&input, &mut ref_pos);
+
+        let mut owned = Decoder::new(&input);
+        let mut borrowed = Decoder::new(&input);
+        let mut cow = Decoder::new(&input);
+        let o = owned.get_bytes();
+        let b = borrowed.get_bytes_borrowed();
+        let c = cow.get_bytes_cow();
+
+        if let Ok(view) = &c {
+            prop_assert!(
+                matches!(view, Cow::Borrowed(_)),
+                "cow getter must borrow, never copy"
+            );
+        }
+
+        // Same accept/reject, same bytes, same error.
+        let b_owned = b.map(<[u8]>::to_vec);
+        let c_owned = c.map(Cow::into_owned);
+        prop_assert_eq!(&o, &reference, "owned getter diverged from reference");
+        prop_assert_eq!(&b_owned, &reference, "borrowed getter diverged from reference");
+        prop_assert_eq!(&c_owned, &reference, "cow getter diverged from reference");
+
+        // Same cursor advance — a decoder that consumed different bytes
+        // would desynchronize every field that follows.
+        prop_assert_eq!(input.len() - owned.remaining(), ref_pos);
+        prop_assert_eq!(owned.remaining(), borrowed.remaining());
+        prop_assert_eq!(owned.remaining(), cow.remaining());
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. Batch ≡ sequential verification
+// ---------------------------------------------------------------------
+
+/// Flips one bit of the signature's MAC tag via its wire encoding
+/// (signer id, then the 32-byte tag as a length-prefixed byte string).
+fn tamper_tag(sig: &Signature) -> Signature {
+    let mut bytes = sig.to_wire_bytes();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    Signature::from_wire_bytes(&bytes).expect("tampered tag still decodes")
+}
+
+/// Rewrites the claimed signer to an id outside the system (wire layout:
+/// `b'p'` + 4 big-endian id bytes at offsets 1..5).
+fn tamper_signer(sig: &Signature, n: usize) -> Signature {
+    let mut bytes = sig.to_wire_bytes();
+    bytes[1..5].copy_from_slice(&(n as u32 + 7).to_be_bytes());
+    Signature::from_wire_bytes(&bytes).expect("tampered signer still decodes")
+}
+
+proptest! {
+    #[test]
+    fn verify_batch_agrees_with_sequential_verify_on_mixed_subsets(
+        n in 2usize..10,
+        modes in proptest::collection::vec(0u8..4, 0..12),
+    ) {
+        let (pki, keys) = trusted_setup(n, 0x5eed);
+        let msg = b"batch-equivalence";
+        let sigs: Vec<Signature> = modes
+            .iter()
+            .enumerate()
+            .map(|(i, mode)| {
+                let key = &keys[i % n];
+                match mode {
+                    0 => key.sign(msg),
+                    1 => key.sign(b"a different message"),
+                    2 => tamper_tag(&key.sign(msg)),
+                    _ => tamper_signer(&key.sign(msg), n),
+                }
+            })
+            .collect();
+
+        let sequential = sigs.iter().try_for_each(|s| pki.verify(msg, s));
+        let batch = pki.verify_batch(msg, &sigs);
+        prop_assert_eq!(
+            batch.clone(), sequential,
+            "batch must return the first sequential error (or Ok)"
+        );
+        let every = sigs.iter().all(|s| pki.verify(msg, s).is_ok());
+        prop_assert_eq!(batch.is_ok(), every, "batch accepts iff every share verifies");
+    }
+
+    #[test]
+    fn verify_threshold_batch_agrees_with_sequential_verify_threshold(
+        n in 3usize..8,
+        modes in proptest::collection::vec(0u8..4, 0..10),
+    ) {
+        let (pki, keys) = trusted_setup(n, 0xcafe);
+        let k = n / 2 + 1;
+        let certify = |msg: &[u8]| -> ThresholdSignature {
+            let shares: Vec<_> = keys.iter().take(k).map(|key| key.sign(msg)).collect();
+            pki.combine(k, msg, &shares).expect("valid shares combine")
+        };
+        let msg_a: &[u8] = b"cert-preimage-a";
+        let msg_b: &[u8] = b"cert-preimage-b";
+        let qa = certify(msg_a);
+        let qb = certify(msg_b);
+        let qa_bad = {
+            let mut bytes = qa.to_wire_bytes();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x01;
+            ThresholdSignature::from_wire_bytes(&bytes).expect("tampered cert still decodes")
+        };
+
+        // Mixed list: valid on two distinct preimages (exercising the
+        // consecutive-same-preimage digest memo), cross-wired pairs, and
+        // a tampered tag.
+        let items: Vec<(&[u8], &ThresholdSignature)> = modes
+            .iter()
+            .map(|mode| match mode {
+                0 => (msg_a, &qa),
+                1 => (msg_b, &qb),
+                2 => (msg_b, &qa),
+                _ => (msg_a, &qa_bad),
+            })
+            .collect();
+
+        let sequential = items.iter().try_for_each(|(m, ts)| pki.verify_threshold(m, ts));
+        prop_assert_eq!(
+            pki.verify_threshold_batch(&items), sequential,
+            "threshold batch must match the sequential fold exactly"
+        );
+    }
+}

@@ -1,5 +1,6 @@
 //! Deterministic discrete-event backend: a seeded virtual clock, a
-//! binary-heap event queue, and no threads.
+//! calendar-bucket event queue (see [`crate::calendar`]), and no
+//! threads.
 //!
 //! Every inter-process message becomes an event on a virtual nanosecond
 //! timeline with a seeded per-message link latency strictly inside
@@ -39,6 +40,7 @@
 //! the one lockstep feature this backend does not model: corrupt actors
 //! observe a round's traffic one round later, like everyone else.
 
+use crate::calendar::{CalendarQueue, TimeKeyed};
 use crate::config::{ClusterReport, LinkPolicyFactory};
 use crate::driver::{AdvanceCause, DriverConfigError, RoundDriverConfig};
 use crate::fate::{resolve_fates, ActorRebuilder, ProcessFateFactory};
@@ -49,8 +51,6 @@ use meba_crypto::ProcessId;
 use meba_sim::{AnyActor, Message, Metrics};
 use parking_lot::Mutex;
 use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -215,11 +215,28 @@ impl<M> Ord for Event<M> {
     }
 }
 
-/// The shared virtual network: clock, in-flight arrival heap, and
-/// per-process mailboxes of already-arrived deliveries (tagged with
+impl<M> TimeKeyed for Event<M> {
+    fn time_ns(&self) -> u128 {
+        self.at_ns
+    }
+}
+
+/// A scheduled round deadline `(at_ns, process, round)`; simultaneous
+/// deadlines resolve in process-id order, matching the pre-refactor
+/// heap's tuple ordering.
+type DeadlineEntry = (u128, u64, u64);
+
+impl TimeKeyed for DeadlineEntry {
+    fn time_ns(&self) -> u128 {
+        self.0
+    }
+}
+
+/// The shared virtual network: clock, in-flight arrival calendar queue,
+/// and per-process mailboxes of already-arrived deliveries (tagged with
 /// their global send sequence so drains surface send order, the
 /// per-round FIFO every other backend produces).
-struct DesNet<M> {
+struct DesNet<M: Message> {
     now_ns: u128,
     seq: u64,
     seed: u64,
@@ -227,8 +244,14 @@ struct DesNet<M> {
     pre_gst_delay_ns: u64,
     link_floor_ns: Option<LinkDelayFloor>,
     link_cap_ns: u64,
-    heap: BinaryHeap<Reverse<Event<M>>>,
+    arrivals: CalendarQueue<Event<M>>,
     mailboxes: Vec<Vec<(u64, Delivery<M>)>>,
+}
+
+/// Calendar-bucket width: δ/256, so one round window spans ~256 buckets
+/// and the queue's ring (1024 buckets) covers 4δ of schedule.
+pub(crate) fn calendar_width_ns(delta_ns: u64) -> u64 {
+    (delta_ns / 256).max(1)
 }
 
 impl<M: Message> DesNet<M> {
@@ -245,8 +268,8 @@ impl<M: Message> DesNet<M> {
             },
             link_floor_ns: config.link_floor_ns.clone(),
             link_cap_ns: config.link_cap_ns.unwrap_or(config.delta_ns).min(config.delta_ns),
-            heap: BinaryHeap::new(),
-            mailboxes: (0..n).map(|_| Vec::new()).collect(),
+            arrivals: CalendarQueue::new(calendar_width_ns(config.delta_ns)),
+            mailboxes: (0..n).map(|_| Vec::with_capacity(16)).collect(),
         }
     }
 
@@ -277,16 +300,16 @@ impl<M: Message> DesNet<M> {
         let seq = self.seq;
         self.seq += 1;
         let at_ns = self.now_ns + u128::from(self.latency_ns(from, to, seq));
-        self.heap.push(Reverse(Event {
+        self.arrivals.push(Event {
             at_ns,
             seq,
             to: to.index(),
             delivery: Delivery { from, sent_round, msg },
-        }));
+        });
     }
 
-    fn next_arrival_at(&self) -> Option<u128> {
-        self.heap.peek().map(|Reverse(e)| e.at_ns)
+    fn next_arrival_at(&mut self) -> Option<u128> {
+        self.arrivals.peek().map(|e| e.at_ns)
     }
 }
 
@@ -307,8 +330,9 @@ impl<M: Message> Transport<M> for DesTransport<M> {
         // Send (`seq`) order, not arrival order: the per-round FIFO
         // order every other backend produces, so inbox order (and thus
         // any order-sensitive tie-break in an actor) is
-        // backend-independent.
-        mailbox.sort_by_key(|(seq, _)| *seq);
+        // backend-independent. `seq` is unique, so the unstable sort is
+        // deterministic.
+        mailbox.sort_unstable_by_key(|(seq, _)| *seq);
         out.extend(mailbox.drain(..).map(|(_, d)| d));
     }
 
@@ -357,13 +381,24 @@ struct Running<'a, M: Message> {
     metrics: &'a Mutex<Metrics>,
     next_round: &'a mut [u64],
     done: &'a mut [bool],
+    corrupt: &'a [bool],
+    // Count of correct processes whose `done` flag is false — the O(1)
+    // replacement for scanning all n flags at every instant boundary.
+    // `done` is only ever toggled inside `execute`, which keeps this
+    // counter in sync (including done → not-done reversals).
+    pending_correct: &'a mut usize,
+    // Advance-cause tallies accumulated locally and flushed into
+    // `metrics.advance` once after the loop, so per-round execution does
+    // not take the metrics lock just to bump a counter.
+    adv_quorum: &'a mut u64,
+    adv_timeout: &'a mut u64,
     backoff: &'a mut [u32],
     // Scheduled deadline of each process's next round (event mode's
     // local grid anchor; mirrors the live entry in `deadlines`).
     sched_deadline: &'a mut [u128],
     // (at_ns, process, round); entries whose round is no longer the
     // process's next are stale and skipped lazily.
-    deadlines: &'a mut BinaryHeap<Reverse<(u128, u64, u64)>>,
+    deadlines: &'a mut CalendarQueue<DeadlineEntry>,
 }
 
 impl<M: Message> Running<'_, M> {
@@ -374,10 +409,9 @@ impl<M: Message> Running<'_, M> {
         let round = self.next_round[i];
         let status = self.procs[i].step(round, &mut self.transports[i], self.metrics);
         if status.executed && round >= 1 {
-            let mut m = self.metrics.lock();
             match cause {
-                AdvanceCause::QuorumReached => m.advance.quorum += 1,
-                AdvanceCause::TimeoutFired => m.advance.timeout += 1,
+                AdvanceCause::QuorumReached => *self.adv_quorum += 1,
+                AdvanceCause::TimeoutFired => *self.adv_timeout += 1,
             }
         }
         if !sched.lockstep
@@ -391,12 +425,19 @@ impl<M: Message> Running<'_, M> {
             // exceeds the true bound.
             self.backoff[i] += 1;
         }
+        if self.done[i] != status.done && !self.corrupt[i] {
+            if status.done {
+                *self.pending_correct -= 1;
+            } else {
+                *self.pending_correct += 1;
+            }
+        }
         self.done[i] = status.done;
         self.next_round[i] = round + 1;
         if round + 1 < sched.max_rounds {
             let at = sched.deadline(i, round + 1, self.sched_deadline[i], now, self.backoff[i]);
             self.sched_deadline[i] = at;
-            self.deadlines.push(Reverse((at, i as u64, round + 1)));
+            self.deadlines.push((at, i as u64, round + 1));
         }
     }
 
@@ -492,11 +533,14 @@ pub fn run_des_cluster<M: Message>(
     let mut done = vec![false; n];
     let mut backoff = vec![0u32; n];
     let mut sched_deadline: Vec<u128> = (0..n).map(|i| u128::from(sched.skews[i])).collect();
-    let mut deadlines: BinaryHeap<Reverse<(u128, u64, u64)>> = BinaryHeap::new();
+    let mut deadlines: CalendarQueue<DeadlineEntry> =
+        CalendarQueue::new(calendar_width_ns(sched.delta_ns));
     for i in 0..n {
-        deadlines.push(Reverse((u128::from(sched.skews[i]), i as u64, 0)));
+        deadlines.push((u128::from(sched.skews[i]), i as u64, 0));
     }
-    let all_correct_done = |done: &[bool]| (0..n).filter(|&j| !corrupt[j]).all(|j| done[j]);
+    let mut pending_correct = corrupt.iter().filter(|c| !**c).count();
+    let mut adv_quorum = 0u64;
+    let mut adv_timeout = 0u64;
     let mut completed = false;
     let mut last_instant = 0u128;
     let mut run = Running {
@@ -505,6 +549,10 @@ pub fn run_des_cluster<M: Message>(
         metrics: &metrics,
         next_round: &mut next_round,
         done: &mut done,
+        corrupt: &corrupt,
+        pending_correct: &mut pending_correct,
+        adv_quorum: &mut adv_quorum,
+        adv_timeout: &mut adv_timeout,
         backoff: &mut backoff,
         sched_deadline: &mut sched_deadline,
         deadlines: &mut deadlines,
@@ -516,14 +564,14 @@ pub fn run_des_cluster<M: Message>(
         // process-id order: under the lockstep driver this is exactly
         // the pre-refactor global loop ("deliver everything due ≤ t,
         // then step every process in id order at t").
-        while let Some(&Reverse((_, i, r))) = run.deadlines.peek() {
+        while let Some(&(_, i, r)) = run.deadlines.peek() {
             if run.next_round[i as usize] == r {
                 break;
             }
             run.deadlines.pop();
         }
-        let arrival_at = net.borrow().next_arrival_at();
-        let deadline_at = run.deadlines.peek().map(|&Reverse((at, i, _))| (at, i as usize));
+        let arrival_at = net.borrow_mut().next_arrival_at();
+        let deadline_at = run.deadlines.peek().map(|&(at, i, _)| (at, i as usize));
         let (at, is_arrival) = match (arrival_at, deadline_at) {
             (None, None) => break,
             (Some(a), None) => (a, true),
@@ -541,7 +589,7 @@ pub fn run_des_cluster<M: Message>(
         // completing instant still runs — as in the global loop, which
         // stepped all n processes before checking.
         if at > last_instant {
-            if all_correct_done(run.done) {
+            if *run.pending_correct == 0 {
                 completed = true;
                 break;
             }
@@ -549,13 +597,13 @@ pub fn run_des_cluster<M: Message>(
         }
         net.borrow_mut().now_ns = at;
         if is_arrival {
-            let Reverse(ev) = net.borrow_mut().heap.pop().expect("peeked arrival");
+            let ev = net.borrow_mut().arrivals.pop().expect("peeked arrival");
             net.borrow_mut().mailboxes[ev.to].push((ev.seq, ev.delivery));
             if quorum_mode {
                 run.quorum_advance(&sched, ev.to, at);
             }
         } else {
-            let Reverse((_, i, round)) = run.deadlines.pop().expect("peeked deadline");
+            let (_, i, round) = run.deadlines.pop().expect("peeked deadline");
             let i = i as usize;
             let quorum_ready =
                 run.procs[i].ready_senders(round, &mut run.transports[i]) >= sched.quorum;
@@ -568,7 +616,12 @@ pub fn run_des_cluster<M: Message>(
         }
     }
     let _ = run;
-    if !completed && all_correct_done(&done) {
+    {
+        let mut m = metrics.lock();
+        m.advance.quorum += adv_quorum;
+        m.advance.timeout += adv_timeout;
+    }
+    if !completed && pending_correct == 0 {
         completed = true;
     }
 

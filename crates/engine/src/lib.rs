@@ -28,8 +28,9 @@
 //!   (the machinery behind `meba_net::run_cluster` and
 //!   `meba_wire::run_tcp_cluster`).
 //! * [`run_des_cluster`] — the fourth backend: seeded virtual clock,
-//!   binary-heap event queue, no threads; n = 100–200 runs in
-//!   milliseconds for asymptotic word/round curves.
+//!   calendar-bucket event queue ([`calendar`]), no threads; n = 100–200
+//!   runs in milliseconds for asymptotic word/round curves, and
+//!   failure-free runs scale past n = 4000.
 //!
 //! Fates are resolved exactly once per process, up front
 //! ([`resolve_fates`]): a `CrashRestart` without a rebuilder is rejected
@@ -39,6 +40,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod calendar;
 pub mod channel;
 pub mod config;
 pub mod control;
@@ -49,6 +51,7 @@ pub mod pacer;
 pub mod process;
 pub mod transport;
 
+pub use calendar::{CalendarQueue, TimeKeyed};
 pub use channel::{channel_mesh, ChannelTransport};
 pub use config::{ClusterConfig, ClusterReport, Escalation, LinkPolicyFactory, OverrunAction};
 pub use control::run_threaded_cluster;

@@ -16,17 +16,34 @@ use std::collections::BTreeMap;
 pub struct RoundState<M: Message> {
     buffer: Vec<Delivery<M>>,
     pending: BTreeMap<u64, Vec<(ProcessId, u64, M)>>,
+    // Scratch storage reused across rounds so the steady-state round
+    // body allocates nothing: this round's inbox, the kept-for-later
+    // deliveries, and the distinct-sender marks of `ready_senders`
+    // (generation-stamped so clearing is a counter bump).
+    inbox_scratch: Vec<Envelope<M>>,
+    keep_scratch: Vec<Delivery<M>>,
+    seen_gen: u64,
+    seen_mark: Vec<u64>,
 }
 
 impl<M: Message> RoundState<M> {
     /// Empty state, as at process start (and after a crash).
     pub fn new() -> Self {
-        RoundState { buffer: Vec::new(), pending: BTreeMap::new() }
+        RoundState {
+            buffer: Vec::new(),
+            pending: BTreeMap::new(),
+            inbox_scratch: Vec::new(),
+            keep_scratch: Vec::new(),
+            seen_gen: 0,
+            seen_mark: Vec::new(),
+        }
     }
 
     fn clear(&mut self) {
         self.buffer.clear();
         self.pending.clear();
+        self.inbox_scratch.clear();
+        self.keep_scratch.clear();
     }
 
     /// How many distinct senders (including `me` itself) have already
@@ -56,13 +73,37 @@ impl<M: Message> RoundState<M> {
         transport: &mut dyn Transport<M>,
     ) -> usize {
         transport.drain(&mut self.buffer);
-        let mut seen: Vec<ProcessId> = vec![me];
-        for d in &self.buffer {
-            if d.sent_round + 1 >= round && !seen.contains(&d.from) {
-                seen.push(d.from);
+        if self.buffer.is_empty() {
+            return 1; // `me` always counts
+        }
+        self.seen_gen += 1;
+        let gen = self.seen_gen;
+        self.mark(me, gen);
+        let mut count = 1usize;
+        for idx in 0..self.buffer.len() {
+            let d = &self.buffer[idx];
+            if d.sent_round + 1 >= round {
+                let from = d.from;
+                if self.mark(from, gen) {
+                    count += 1;
+                }
             }
         }
-        seen.len()
+        count
+    }
+
+    /// Stamps `p` with `gen`; true when `p` was not yet stamped.
+    fn mark(&mut self, p: ProcessId, gen: u64) -> bool {
+        let idx = p.index();
+        if idx >= self.seen_mark.len() {
+            self.seen_mark.resize(idx + 1, 0);
+        }
+        if self.seen_mark[idx] == gen {
+            false
+        } else {
+            self.seen_mark[idx] = gen;
+            true
+        }
     }
 }
 
@@ -105,21 +146,28 @@ pub fn run_live_round<M: Message>(
     let me = actor.id();
     let i = me.index();
 
-    if let Some(due) = state.pending.remove(&round) {
-        for (to, sent_round, msg) in due {
-            transport.send(to, sent_round, &msg);
+    if !state.pending.is_empty() {
+        if let Some(due) = state.pending.remove(&round) {
+            for (to, sent_round, msg) in due {
+                transport.send(to, sent_round, &msg);
+            }
         }
     }
 
     transport.drain(&mut state.buffer);
-    let mut inbox: Vec<Envelope<M>> = Vec::new();
-    let mut keep: Vec<Delivery<M>> = Vec::new();
+    let mut inbox = std::mem::take(&mut state.inbox_scratch);
+    let mut keep = std::mem::take(&mut state.keep_scratch);
+    inbox.clear();
+    keep.clear();
     let mut late_admitted = 0u64;
-    {
-        let mut metrics = metrics.lock();
+    if !state.buffer.is_empty() {
+        // Lock lazily: idle rounds (no remote deliveries) must not pay
+        // for the metrics mutex.
+        let mut guard = None;
         for d in state.buffer.drain(..) {
             if d.sent_round < round {
                 if d.from != me {
+                    let metrics = guard.get_or_insert_with(|| metrics.lock());
                     metrics.link_mut(d.from, me).delivered += 1;
                     // A round-`r` message belongs in round `r + 1`;
                     // admission later than that means the local round
@@ -136,7 +184,10 @@ pub fn run_live_round<M: Message>(
             }
         }
     }
-    state.buffer = keep;
+    // Keep both allocations alive: the drained buffer becomes the next
+    // round's keep scratch and vice versa.
+    std::mem::swap(&mut state.buffer, &mut keep);
+    state.keep_scratch = keep;
 
     let mut ctx = RoundCtx::new(Round(round), me, n, &inbox);
     actor.on_round(&mut ctx);
@@ -147,10 +198,10 @@ pub fn run_live_round<M: Message>(
         let bytes = msg.wire_bytes();
         let component = msg.component();
         let session = msg.session();
-        let targets: Vec<usize> = match dest {
-            Dest::To(p) if p.index() < n => vec![p.index()],
-            Dest::To(_) => vec![],
-            Dest::All => (0..n).collect(),
+        let targets = match dest {
+            Dest::To(p) if p.index() < n => p.index()..p.index() + 1,
+            Dest::To(_) => 0..0,
+            Dest::All => 0..n,
         };
         for target in targets {
             if target == i {
@@ -186,6 +237,10 @@ pub fn run_live_round<M: Message>(
             }
         }
     }
+    // Return the inbox's allocation for the next round (its envelopes
+    // were only borrowed by the actor through `RoundCtx`).
+    inbox.clear();
+    state.inbox_scratch = inbox;
     LiveRoundOutcome { done: actor.done(), late_admitted }
 }
 

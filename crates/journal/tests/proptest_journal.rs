@@ -52,7 +52,7 @@ proptest! {
         // sees the identical history.
         let again = once.replay().unwrap();
         prop_assert_eq!(&again.records, &records);
-        let mut fresh = Journal::in_memory(buf.clone());
+        let mut fresh = Journal::in_memory(buf);
         prop_assert_eq!(&fresh.replay().unwrap().records, &records);
     }
 

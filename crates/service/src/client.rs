@@ -25,6 +25,8 @@ pub struct ServiceClient {
     stream: TcpStream,
     client: u64,
     buffered: VecDeque<ServiceReply>,
+    /// Reused frame-read scratch: steady-state receives don't allocate.
+    scratch: Vec<u8>,
 }
 
 fn wire_err(e: meba_wire::WireError) -> io::Error {
@@ -47,10 +49,11 @@ impl ServiceClient {
             config_digest: service_config_digest(cfg),
         };
         write_frame(&mut stream, &hello.to_wire_bytes()).map_err(wire_err)?;
-        let reply = read_frame(&mut stream).map_err(wire_err)?;
+        let mut reply = Vec::new();
+        read_frame(&mut stream, &mut reply).map_err(wire_err)?;
         match ServiceReply::from_wire_bytes(&reply) {
             Ok(ServiceReply::HelloOk { .. }) => {
-                Ok(ServiceClient { stream, client, buffered: VecDeque::new() })
+                Ok(ServiceClient { stream, client, buffered: VecDeque::new(), scratch: reply })
             }
             _ => Err(io::Error::new(io::ErrorKind::PermissionDenied, "handshake rejected")),
         }
@@ -66,8 +69,8 @@ impl ServiceClient {
     }
 
     fn recv(&mut self) -> io::Result<ServiceReply> {
-        let frame = read_frame(&mut self.stream).map_err(wire_err)?;
-        ServiceReply::from_wire_bytes(&frame)
+        read_frame(&mut self.stream, &mut self.scratch).map_err(wire_err)?;
+        ServiceReply::from_wire_bytes(&self.scratch)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad service reply"))
     }
 

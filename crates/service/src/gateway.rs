@@ -40,6 +40,8 @@ const FRAME_TIMEOUT: Duration = Duration::from_secs(2);
 struct Conn {
     stream: TcpStream,
     client: Option<u64>,
+    /// Reused frame-read scratch: steady-state requests don't allocate.
+    scratch: Vec<u8>,
 }
 
 /// A running gateway thread serving one replica's clients.
@@ -118,7 +120,7 @@ fn gateway_loop(
         if fds[0].readable() {
             while let Ok((stream, _)) = listener.accept() {
                 if stream.set_nonblocking(true).is_ok() {
-                    conns.push(Conn { stream, client: None });
+                    conns.push(Conn { stream, client: None, scratch: Vec::new() });
                 }
             }
         }
@@ -162,18 +164,19 @@ fn serve_readable(
     replica: ProcessId,
     port: &Arc<ServicePort>,
 ) -> io::Result<()> {
-    let frame = read_one_frame(&mut conn.stream)?;
-    match conn.client {
+    let Conn { stream, client, scratch } = conn;
+    read_one_frame(stream, scratch)?;
+    match *client {
         None => {
-            let hello = ClientHello::from_wire_bytes(&frame)
+            let hello = ClientHello::from_wire_bytes(scratch)
                 .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad client hello"))?;
             validate_client_hello(digest, &hello)
                 .map_err(|e| io::Error::new(io::ErrorKind::PermissionDenied, e.to_string()))?;
-            conn.client = Some(hello.client);
-            write_reply(&mut conn.stream, &ServiceReply::HelloOk { replica })
+            *client = Some(hello.client);
+            write_reply(stream, &ServiceReply::HelloOk { replica })
         }
         Some(client) => {
-            let req = ClientRequest::from_wire_bytes(&frame)
+            let req = ClientRequest::from_wire_bytes(scratch)
                 .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad client request"))?;
             match req {
                 ClientRequest::Submit { op } => {
@@ -188,13 +191,13 @@ fn serve_readable(
                             }
                         }
                     };
-                    write_reply(&mut conn.stream, &reply)
+                    write_reply(stream, &reply)
                 }
                 ClientRequest::Read { client: c, key, mode } => {
                     match port.read(c, key, mode) {
                         Ok(()) => Ok(()), // the ReadResult event answers
                         Err(SubmitError::Overloaded { queue_len, capacity }) => write_reply(
-                            &mut conn.stream,
+                            stream,
                             &ServiceReply::Overloaded {
                                 client,
                                 seq: 0,
@@ -214,13 +217,13 @@ fn serve_readable(
 /// (requests are a few dozen bytes), so the switch cannot stall the loop
 /// meaningfully; the deadline bounds a half-written frame from a dying
 /// client.
-fn read_one_frame(stream: &mut TcpStream) -> io::Result<Vec<u8>> {
+fn read_one_frame(stream: &mut TcpStream, payload: &mut Vec<u8>) -> io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(FRAME_TIMEOUT))?;
-    let frame =
-        read_frame(stream).map_err(|e| io::Error::new(io::ErrorKind::UnexpectedEof, e.to_string()));
+    let res = read_frame(stream, payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::UnexpectedEof, e.to_string()));
     stream.set_nonblocking(true)?;
-    frame
+    res
 }
 
 fn write_reply(stream: &mut TcpStream, reply: &ServiceReply) -> io::Result<()> {

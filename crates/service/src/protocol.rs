@@ -375,7 +375,7 @@ mod tests {
         let digest = service_config_digest(&cfg);
         let ok = ClientHello { version: SERVICE_VERSION, client: 1, config_digest: digest };
         assert_eq!(validate_client_hello(&digest, &ok), Ok(()));
-        let bad_ver = ClientHello { version: SERVICE_VERSION + 1, ..ok.clone() };
+        let bad_ver = ClientHello { version: SERVICE_VERSION + 1, ..ok };
         assert_eq!(
             validate_client_hello(&digest, &bad_ver),
             Err(HelloError::VersionMismatch { ours: SERVICE_VERSION, theirs: SERVICE_VERSION + 1 })

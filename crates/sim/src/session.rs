@@ -220,8 +220,10 @@ impl<P: SubProtocol> Instance<P> {
     /// one; returns the step index that just ran.
     pub fn step(&mut self, out: &mut Vec<(Dest, P::Msg)>) -> u64 {
         let step = self.next_step;
-        let inbox = std::mem::take(&mut self.inbox);
-        self.proto.on_step(step, &inbox, out);
+        self.proto.on_step(step, &self.inbox, out);
+        // Clear rather than take: the inbox allocation is reused by the
+        // next step's deliveries.
+        self.inbox.clear();
         self.next_step = step + 1;
         step
     }

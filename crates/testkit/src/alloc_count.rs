@@ -1,0 +1,93 @@
+//! A counting global allocator for zero-allocation regression tests.
+//!
+//! The hot path of every backend — encode into the scratch encoder,
+//! frame, read back, decode, verify — is written to reuse buffers in
+//! steady state. This module makes that a *testable* property instead
+//! of a code-review convention: install [`CountingAlloc`] as the
+//! `#[global_allocator]` of a dedicated test binary and wrap the
+//! steady-state section in [`count_allocations`]:
+//!
+//! ```ignore
+//! use meba_testkit::alloc_count::{count_allocations, CountingAlloc};
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAlloc = CountingAlloc::new();
+//!
+//! // ... warm up the buffers, then:
+//! let (allocs, _) = count_allocations(|| hot_loop());
+//! assert_eq!(allocs, 0);
+//! ```
+//!
+//! The counter is process-global (it observes every thread), so
+//! zero-allocation assertions belong in single-threaded test binaries —
+//! `crates/testkit/tests/zero_alloc.rs` is the canonical user.
+//!
+//! This is the only module in the crate allowed to use `unsafe`: a
+//! `GlobalAlloc` impl cannot be written without it, and both functions
+//! only delegate to [`System`].
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// A `#[global_allocator]` that delegates to [`System`] and, while a
+/// [`count_allocations`] section is active, counts every allocation
+/// (including `realloc` growth and zeroed allocations). Deallocations
+/// are free and uncounted.
+#[derive(Debug, Default)]
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// A new counting allocator (const, so it can be a `static`).
+    #[must_use]
+    pub const fn new() -> Self {
+        CountingAlloc
+    }
+}
+
+fn tick() {
+    if COUNTING.load(Ordering::Relaxed) {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[allow(unsafe_code)]
+// SAFETY: every method delegates directly to `System`, which upholds the
+// `GlobalAlloc` contract; the counter has no effect on the returned
+// memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        tick();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        tick();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        tick();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+}
+
+/// Runs `f` with allocation counting enabled and returns
+/// `(allocations_during_f, f's result)`.
+///
+/// Counting is process-global: allocations from *any* thread during `f`
+/// are included. Sections are not reentrant — nested calls reset the
+/// shared counter.
+pub fn count_allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    let out = f();
+    COUNTING.store(false, Ordering::SeqCst);
+    (ALLOCS.load(Ordering::SeqCst), out)
+}

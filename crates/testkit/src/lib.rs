@@ -48,8 +48,9 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // allowed only inside `alloc_count` (the GlobalAlloc impl)
 
+pub mod alloc_count;
 pub mod recovery;
 pub mod service;
 

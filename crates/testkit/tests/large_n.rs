@@ -1,11 +1,11 @@
 //! Large-n protocol runs on the discrete-event backend.
 //!
-//! These system sizes (n = 65, 129) are far beyond what the paced
+//! These system sizes (n = 65 … 4097) are far beyond what the paced
 //! runtimes can reach in a test suite — two OS threads per process and a
 //! real δ of wall clock per round — but the DES backend runs them in
-//! milliseconds of host time, which is the point of having it: the
-//! `O(n(f+1))` adaptive claim gets checked where the asymptotics
-//! actually show.
+//! milliseconds to seconds of host time, which is the point of having
+//! it: the `O(n(f+1))` adaptive claim gets checked where the
+//! asymptotics actually show.
 
 use meba_core::Decision;
 use meba_testkit::{assert_agreement, bb_des, bb_report_decisions, Fault};
@@ -70,4 +70,26 @@ fn des_bb_n129_failure_free_is_linear_and_fast() {
         "failure-free words must stay linear: {words} > 25·{n}"
     );
     assert!(elapsed.as_secs() < 5, "n={n} DES run took {elapsed:?}, budget is 5s");
+}
+
+/// The zero-copy acceptance run: n = 4097 (t = 2048) failure-free BB to
+/// decision on the calendar-queue engine, in under a minute of release
+/// wall clock with the word total still linear in n. Ignored in the
+/// default (debug) suite; CI runs it in release.
+#[test]
+#[ignore = "large-n acceptance run; executed in release by scripts/check.sh"]
+fn des_bb_n4097_failure_free_is_linear_and_fast() {
+    let n = 4097;
+    let faults = vec![Fault::None; n];
+    let started = std::time::Instant::now();
+    let report = bb_des(0, 7, &faults, 0x44);
+    let elapsed = started.elapsed();
+    assert!(report.completed, "n={n} failure-free BB must decide");
+    assert_eq!(assert_agreement(&bb_report_decisions(&report, &faults)), Decision::Value(7));
+    let words = report.metrics.correct.words;
+    assert!(
+        words <= FAILURE_FREE_WORDS_PER_N * n as u64,
+        "failure-free words must stay linear: {words} > 25·{n}"
+    );
+    assert!(elapsed.as_secs() < 60, "n={n} DES run took {elapsed:?}, budget is 60s");
 }

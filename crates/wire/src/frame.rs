@@ -28,17 +28,24 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), WireError>
     Ok(())
 }
 
-/// Reads one frame, enforcing the size cap before allocating.
-pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, WireError> {
+/// Reads one frame into `payload`, enforcing the size cap before any
+/// buffer growth.
+///
+/// `payload` is cleared and then filled with exactly the frame's bytes;
+/// its capacity is reused across calls, so a steady-state read loop
+/// performs no allocation once the scratch buffer has grown to the
+/// largest frame seen (regression-tested below).
+pub fn read_frame<R: Read>(r: &mut R, payload: &mut Vec<u8>) -> Result<(), WireError> {
     let mut len_buf = [0u8; 4];
     r.read_exact(&mut len_buf)?;
     let len = u32::from_be_bytes(len_buf) as usize;
     if len > MAX_FRAME_BYTES {
         return Err(WireError::FrameTooLarge { len, max: MAX_FRAME_BYTES });
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok(payload)
+    payload.clear();
+    payload.resize(len, 0);
+    r.read_exact(payload)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -51,9 +58,35 @@ mod tests {
         write_frame(&mut buf, b"hello").unwrap();
         write_frame(&mut buf, b"").unwrap();
         let mut r = &buf[..];
-        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
-        assert_eq!(read_frame(&mut r).unwrap(), b"");
-        assert!(matches!(read_frame(&mut r), Err(WireError::PeerClosed)));
+        let mut payload = Vec::new();
+        read_frame(&mut r, &mut payload).unwrap();
+        assert_eq!(payload, b"hello");
+        read_frame(&mut r, &mut payload).unwrap();
+        assert_eq!(payload, b"");
+        assert!(matches!(read_frame(&mut r, &mut payload), Err(WireError::PeerClosed)));
+    }
+
+    #[test]
+    fn steady_state_reads_reuse_scratch_capacity() {
+        // Regression for the per-frame `vec![0u8; len]`: once the scratch
+        // has grown to the largest frame seen, subsequent reads must not
+        // reallocate (same backing pointer, same capacity).
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[0xabu8; 512]).unwrap();
+        for k in 0..32u8 {
+            write_frame(&mut wire, &[k; 64]).unwrap();
+        }
+        let mut r = &wire[..];
+        let mut payload = Vec::new();
+        read_frame(&mut r, &mut payload).unwrap();
+        assert_eq!(payload.len(), 512);
+        let (ptr, cap) = (payload.as_ptr(), payload.capacity());
+        for k in 0..32u8 {
+            read_frame(&mut r, &mut payload).unwrap();
+            assert_eq!(payload, [k; 64]);
+            assert_eq!(payload.as_ptr(), ptr, "scratch was reallocated");
+            assert_eq!(payload.capacity(), cap);
+        }
     }
 
     #[test]
@@ -61,10 +94,12 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(&u32::MAX.to_be_bytes());
         let mut r = &buf[..];
-        match read_frame(&mut r) {
+        let mut payload = Vec::new();
+        match read_frame(&mut r, &mut payload) {
             Err(WireError::FrameTooLarge { len, max }) => {
                 assert_eq!(len, u32::MAX as usize);
                 assert_eq!(max, MAX_FRAME_BYTES);
+                assert_eq!(payload.capacity(), 0, "rejected frame must not grow the scratch");
             }
             other => panic!("expected FrameTooLarge, got {other:?}"),
         }
@@ -76,7 +111,8 @@ mod tests {
         buf.extend_from_slice(&8u32.to_be_bytes());
         buf.extend_from_slice(b"onl");
         let mut r = &buf[..];
-        assert!(matches!(read_frame(&mut r), Err(WireError::PeerClosed)));
+        let mut payload = Vec::new();
+        assert!(matches!(read_frame(&mut r, &mut payload), Err(WireError::PeerClosed)));
     }
 
     #[test]

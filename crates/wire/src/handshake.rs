@@ -114,7 +114,8 @@ pub fn client_handshake<S: Read + Write>(
     n: usize,
 ) -> Result<Hello, WireError> {
     write_frame(stream, &ours.to_wire_bytes())?;
-    let reply = read_frame(stream)?;
+    let mut reply = Vec::new();
+    read_frame(stream, &mut reply)?;
     let theirs = Hello::from_wire_bytes(&reply)?;
     validate(ours, &theirs, Some(expect_peer), n)?;
     Ok(theirs)
@@ -128,7 +129,8 @@ pub fn server_handshake<S: Read + Write>(
     ours: &Hello,
     n: usize,
 ) -> Result<Hello, WireError> {
-    let first = read_frame(stream)?;
+    let mut first = Vec::new();
+    read_frame(stream, &mut first)?;
     let theirs = Hello::from_wire_bytes(&first)?;
     validate(ours, &theirs, None, n)?;
     write_frame(stream, &ours.to_wire_bytes())?;

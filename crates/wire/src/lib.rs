@@ -39,6 +39,7 @@ pub mod frame;
 pub mod handshake;
 pub mod mesh;
 pub mod poller;
+pub mod pool;
 pub mod proxy;
 pub mod reactor;
 
@@ -52,6 +53,7 @@ pub use frame::MAX_FRAME_BYTES;
 pub use handshake::{config_digest, Hello, PROTOCOL_VERSION};
 pub use mesh::{Inbound, MeshConfig, MeshSnapshot, MeshStats, TcpMesh};
 pub use poller::raise_nofile_limit;
+pub use pool::BufPool;
 pub use proxy::{
     adapt_link_policy, SeverAt, SocketFate, SocketPolicy, SocketPolicyFactory, SocketSendAdapter,
 };

@@ -23,6 +23,10 @@
 //! * **No silent drops** — a protocol frame the mesh gives up on
 //!   (permanent handshake rejection, shutdown flush deadline) is
 //!   counted in [`MeshStats::frames_dropped`] and reported on stderr.
+//! * **Pooled frames** — outbound frames are built (length prefix
+//!   included) in buffers from a [`crate::pool::BufPool`] shared with
+//!   the reactor, which returns each buffer after its socket write;
+//!   steady-state sends and link reads allocate nothing.
 //! * **Total decoding** — inbound frames decode with the canonical
 //!   [`WireCodec`]; a frame that fails to decode is counted
 //!   ([`MeshStats::decode_errors`]) and dropped without disturbing
@@ -34,9 +38,10 @@
 use crate::error::WireError;
 use crate::handshake::Hello;
 use crate::poller::{wake_pair, WakeHandle};
+use crate::pool::BufPool;
 use crate::reactor::{Cmd, Reactor, ReactorConfig, Shared};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use meba_crypto::{Encoder, ProcessId, WireCodec};
+use meba_crypto::{with_scratch_encoder, ProcessId, WireCodec};
 use meba_sim::Message;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -178,6 +183,9 @@ pub struct TcpMesh<M> {
     links: Vec<Option<Sender<Cmd>>>,
     stats: Arc<MeshStats>,
     shared: Arc<Shared>,
+    /// Outbound frame buffers, cycled with the reactor: [`TcpMesh::send`]
+    /// takes one, the reactor returns it after the socket write.
+    pool: Arc<BufPool>,
     wake: WakeHandle,
     reactor: Option<JoinHandle<()>>,
 }
@@ -199,6 +207,7 @@ impl<M: Message + WireCodec> TcpMesh<M> {
         let (inbox_tx, inbox_rx) = bounded(config.inbox_capacity.max(1));
         let stats = Arc::new(MeshStats::default());
         let shared = Arc::new(Shared::new(n));
+        let pool = Arc::new(BufPool::new());
         let (wake, wake_rx) = wake_pair().map_err(WireError::Io)?;
 
         let mut links: Vec<Option<Sender<Cmd>>> = (0..n).map(|_| None).collect();
@@ -229,6 +238,7 @@ impl<M: Message + WireCodec> TcpMesh<M> {
             stats.clone(),
             shared.clone(),
             wake_rx,
+            pool.clone(),
         );
         let reactor_handle = std::thread::Builder::new()
             .name(format!("mesh-reactor-{}", me.0))
@@ -243,6 +253,7 @@ impl<M: Message + WireCodec> TcpMesh<M> {
             links,
             stats,
             shared,
+            pool,
             wake,
             reactor: Some(reactor_handle),
         };
@@ -302,6 +313,10 @@ impl<M: Message + WireCodec> TcpMesh<M> {
     /// the sockets (process memory cannot fail); remote sends encode one
     /// frame and hand it to the reactor, blocking (and counting
     /// backpressure) when the link's outbox is full.
+    ///
+    /// The frame (`4-byte BE length ‖ sent_round ‖ message`) is built in
+    /// a pooled buffer via the thread-local scratch encoder: steady-state
+    /// sends allocate nothing once the pool has warmed up.
     pub fn send(&self, to: ProcessId, sent_round: u64, msg: &M) {
         if to == self.me {
             let _ = self.loopback.send(Inbound { from: self.me, sent_round, msg: msg.clone() });
@@ -310,10 +325,17 @@ impl<M: Message + WireCodec> TcpMesh<M> {
         let Some(tx) = self.links.get(to.index()).and_then(|l| l.as_ref()) else {
             return;
         };
-        let mut enc = Encoder::new();
-        enc.put_u64(sent_round);
-        msg.encode_wire(&mut enc);
-        match tx.try_send(Cmd::Frame(enc.into_bytes())) {
+        let framed = with_scratch_encoder(|enc| {
+            enc.put_u64(sent_round);
+            msg.encode_wire(enc);
+            let payload = enc.as_bytes();
+            let mut framed = self.pool.take();
+            let len = u32::try_from(payload.len()).unwrap_or(u32::MAX);
+            framed.extend_from_slice(&len.to_be_bytes());
+            framed.extend_from_slice(payload);
+            framed
+        });
+        match tx.try_send(Cmd::Frame(framed)) {
             Ok(()) => self.wake.wake(),
             Err(TrySendError::Full(cmd)) => {
                 self.stats.backpressure.fetch_add(1, Ordering::Relaxed);
@@ -370,7 +392,7 @@ mod tests {
     use super::*;
     use crate::handshake::{config_digest, PROTOCOL_VERSION};
     use meba_core::SystemConfig;
-    use meba_crypto::{DecodeError, Decoder};
+    use meba_crypto::{DecodeError, Decoder, Encoder};
     use std::io::Write as _;
     use std::net::TcpStream;
 

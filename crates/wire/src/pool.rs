@@ -1,0 +1,100 @@
+//! A shared pool of reusable frame buffers.
+//!
+//! [`TcpMesh::send`](crate::mesh::TcpMesh::send) builds each outbound
+//! frame (`4-byte BE length ‖ sent_round ‖ message`) in a buffer taken
+//! from this pool; the reactor returns the buffer once the frame has
+//! been fully written to its socket. In steady state a mesh therefore
+//! cycles a small working set of buffers between the process thread and
+//! the I/O thread instead of allocating and freeing one `Vec` per frame.
+//!
+//! The pool is deliberately lossy: taking from an empty pool allocates,
+//! and returning to a full pool (or returning an over-grown buffer)
+//! drops the buffer. Both caps bound worst-case memory retention; losing
+//! a buffer only costs a future allocation, never correctness.
+
+use parking_lot::Mutex;
+
+/// Most buffers the pool retains; beyond this, returns are dropped.
+const MAX_POOLED: usize = 256;
+
+/// Largest capacity worth keeping. Protocol frames are a few hundred
+/// bytes; a buffer that ballooned (e.g. a state-transfer frame) is
+/// dropped rather than pinning its capacity forever.
+const MAX_RETAINED_CAPACITY: usize = 16 * 1024;
+
+/// Lock-guarded free list of cleared byte buffers.
+#[derive(Debug, Default)]
+pub struct BufPool {
+    free: Mutex<Vec<Vec<u8>>>,
+}
+
+impl BufPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a cleared buffer, reusing pooled capacity when available.
+    pub fn take(&self) -> Vec<u8> {
+        self.free.lock().pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool for reuse. Cleared here, so takers
+    /// always see an empty buffer.
+    pub fn put(&self, mut buf: Vec<u8>) {
+        if buf.capacity() == 0 || buf.capacity() > MAX_RETAINED_CAPACITY {
+            return;
+        }
+        buf.clear();
+        let mut free = self.free.lock();
+        if free.len() < MAX_POOLED {
+            free.push(buf);
+        }
+    }
+
+    /// Number of buffers currently pooled (test/diagnostic aid).
+    pub fn pooled(&self) -> usize {
+        self.free.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_returned_capacity() {
+        let pool = BufPool::new();
+        let mut b = pool.take();
+        assert_eq!(b.capacity(), 0);
+        b.extend_from_slice(&[1, 2, 3, 4]);
+        let ptr = b.as_ptr();
+        let cap = b.capacity();
+        pool.put(b);
+        assert_eq!(pool.pooled(), 1);
+        let b2 = pool.take();
+        assert!(b2.is_empty(), "pooled buffers are cleared");
+        assert_eq!(b2.as_ptr(), ptr, "capacity is reused, not reallocated");
+        assert_eq!(b2.capacity(), cap);
+        assert_eq!(pool.pooled(), 0);
+    }
+
+    #[test]
+    fn oversized_and_empty_buffers_are_not_retained() {
+        let pool = BufPool::new();
+        pool.put(Vec::new());
+        pool.put(Vec::with_capacity(MAX_RETAINED_CAPACITY + 1));
+        assert_eq!(pool.pooled(), 0);
+        pool.put(Vec::with_capacity(64));
+        assert_eq!(pool.pooled(), 1);
+    }
+
+    #[test]
+    fn pool_size_is_capped() {
+        let pool = BufPool::new();
+        for _ in 0..(MAX_POOLED + 10) {
+            pool.put(Vec::with_capacity(8));
+        }
+        assert_eq!(pool.pooled(), MAX_POOLED);
+    }
+}

@@ -46,7 +46,9 @@ use std::time::{Duration, Instant};
 
 /// What the mesh handle sends down a link's command channel.
 pub(crate) enum Cmd {
-    /// One encoded data-frame payload (`sent_round ‖ message`).
+    /// One fully framed data frame (`4-byte BE length ‖ sent_round ‖
+    /// message`), built in a buffer from the mesh's [`crate::pool::BufPool`]
+    /// and returned there once written to the socket.
     Frame(Vec<u8>),
     /// Tear the connection down; the next frame re-dials.
     Sever,
@@ -138,24 +140,32 @@ pub fn reconnect_delay(
 /// Incremental reader for one length-prefixed frame over a nonblocking
 /// stream: accumulates across `WouldBlock` boundaries and yields at most
 /// one complete payload per call. The size cap is enforced before the
-/// payload allocation, exactly like the blocking
+/// payload buffer grows, exactly like the blocking
 /// [`crate::frame::read_frame`].
+///
+/// The payload buffer is owned by the accumulator and reused across
+/// frames: a yielded payload is borrowed, and its bytes stay valid until
+/// the next `poll_frame` call starts the next payload. Steady-state link
+/// reads therefore allocate nothing once the buffer has grown to the
+/// largest frame seen — the per-link read buffer.
 pub(crate) struct FrameAccum {
     header: [u8; 4],
     have: usize,
-    payload: Option<Vec<u8>>,
+    /// True while `payload` is being filled for the current frame.
+    in_payload: bool,
+    payload: Vec<u8>,
     filled: usize,
 }
 
 impl FrameAccum {
     pub(crate) fn new() -> Self {
-        FrameAccum { header: [0; 4], have: 0, payload: None, filled: 0 }
+        FrameAccum { header: [0; 4], have: 0, in_payload: false, payload: Vec::new(), filled: 0 }
     }
 
     /// Pulls bytes until a frame completes (`Ok(Some(payload))`), the
     /// stream would block (`Ok(None)`), or the link is dead.
-    pub(crate) fn poll_frame<R: Read>(&mut self, r: &mut R) -> Result<Option<Vec<u8>>, WireError> {
-        if self.payload.is_none() {
+    pub(crate) fn poll_frame<R: Read>(&mut self, r: &mut R) -> Result<Option<&[u8]>, WireError> {
+        if !self.in_payload {
             while self.have < 4 {
                 match r.read(&mut self.header[self.have..]) {
                     Ok(0) => return Err(WireError::PeerClosed),
@@ -169,12 +179,13 @@ impl FrameAccum {
             if len > MAX_FRAME_BYTES {
                 return Err(WireError::FrameTooLarge { len, max: MAX_FRAME_BYTES });
             }
-            self.payload = Some(vec![0u8; len]);
+            self.payload.clear();
+            self.payload.resize(len, 0);
             self.filled = 0;
+            self.in_payload = true;
         }
-        let buf = self.payload.as_mut().expect("payload allocated above");
-        while self.filled < buf.len() {
-            match r.read(&mut buf[self.filled..]) {
+        while self.filled < self.payload.len() {
+            match r.read(&mut self.payload[self.filled..]) {
                 Ok(0) => return Err(WireError::PeerClosed),
                 Ok(k) => self.filled += k,
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
@@ -182,16 +193,18 @@ impl FrameAccum {
                 Err(e) => return Err(e.into()),
             }
         }
-        let frame = self.payload.take().expect("payload complete");
         self.have = 0;
-        Ok(Some(frame))
+        self.in_payload = false;
+        Ok(Some(&self.payload))
     }
 }
 
 /// Per-link outbound queue of fully framed byte strings, with partial
-/// write tracking. Frames survive reconnects: on teardown the partial
-/// offset resets and the head frame is resent whole (the receiver's
-/// half-read copy died with the connection).
+/// write tracking. Frames arrive already framed (the mesh handle builds
+/// `prefix ‖ payload` in a pooled buffer), so queueing is a move, not a
+/// copy. Frames survive reconnects: on teardown the partial offset
+/// resets and the head frame is resent whole (the receiver's half-read
+/// copy died with the connection).
 struct SendQueue {
     frames: VecDeque<Vec<u8>>,
     head_written: usize,
@@ -202,10 +215,8 @@ impl SendQueue {
         SendQueue { frames: VecDeque::new(), head_written: 0 }
     }
 
-    fn push(&mut self, payload: Vec<u8>) {
-        let mut framed = Vec::with_capacity(payload.len() + 4);
-        framed.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-        framed.extend_from_slice(&payload);
+    fn push(&mut self, framed: Vec<u8>) {
+        debug_assert!(framed.len() >= 4, "frames arrive with their length prefix");
         self.frames.push_back(framed);
     }
 
@@ -228,9 +239,14 @@ impl SendQueue {
         n
     }
 
-    /// Writes as much as the socket accepts. Returns
+    /// Writes as much as the socket accepts, returning each completed
+    /// frame's buffer to `pool`. Returns
     /// `(frames_completed, bytes_of_completed_frames, wrote_anything)`.
-    fn pump<W: Write>(&mut self, w: &mut W) -> io::Result<(u64, u64, bool)> {
+    fn pump<W: Write>(
+        &mut self,
+        w: &mut W,
+        pool: &crate::pool::BufPool,
+    ) -> io::Result<(u64, u64, bool)> {
         let mut frames = 0u64;
         let mut bytes = 0u64;
         let mut progress = false;
@@ -243,7 +259,9 @@ impl SendQueue {
                     if self.head_written == head.len() {
                         bytes += head.len() as u64;
                         frames += 1;
-                        self.frames.pop_front();
+                        if let Some(done) = self.frames.pop_front() {
+                            pool.put(done);
+                        }
                         self.head_written = 0;
                     }
                 }
@@ -400,11 +418,14 @@ pub(crate) struct Reactor<M: Message + WireCodec> {
     stats: Arc<MeshStats>,
     shared: Arc<Shared>,
     wake: WakeFd,
+    /// Frame buffers cycled back to the mesh handle after socket writes.
+    pool: Arc<crate::pool::BufPool>,
     outs: Vec<OutLink>,
     ins: Vec<InLink<M>>,
 }
 
 impl<M: Message + WireCodec> Reactor<M> {
+    #[allow(clippy::too_many_arguments)] // construction-only plumbing from the mesh
     pub(crate) fn new(
         cfg: ReactorConfig,
         listener: TcpListener,
@@ -413,6 +434,7 @@ impl<M: Message + WireCodec> Reactor<M> {
         stats: Arc<MeshStats>,
         shared: Arc<Shared>,
         wake: WakeFd,
+        pool: Arc<crate::pool::BufPool>,
     ) -> Self {
         let now = Instant::now();
         let outs = cfg
@@ -433,7 +455,7 @@ impl<M: Message + WireCodec> Reactor<M> {
             })
             .collect();
         let n = cfg.addrs.len();
-        Reactor { cfg, n, listener, rxs, inbox, stats, shared, wake, outs, ins: Vec::new() }
+        Reactor { cfg, n, listener, rxs, inbox, stats, shared, wake, pool, outs, ins: Vec::new() }
     }
 
     /// The reactor thread body: loops until stop + flush completes.
@@ -498,8 +520,9 @@ impl<M: Message + WireCodec> Reactor<M> {
             let mut disconnected = false;
             while link.queue.len() < self.cfg.outbox_capacity {
                 match rx.try_recv() {
-                    Ok(Cmd::Frame(payload)) => {
-                        if payload.len() > MAX_FRAME_BYTES {
+                    Ok(Cmd::Frame(framed)) => {
+                        // `framed` includes its 4-byte length prefix.
+                        if framed.len().saturating_sub(4) > MAX_FRAME_BYTES {
                             report_dropped(
                                 &self.stats,
                                 self.cfg.me,
@@ -507,6 +530,7 @@ impl<M: Message + WireCodec> Reactor<M> {
                                 1,
                                 "frame exceeds MAX_FRAME_BYTES",
                             );
+                            self.pool.put(framed);
                             continue;
                         }
                         if matches!(link.conn, OutConn::Failed) {
@@ -517,12 +541,13 @@ impl<M: Message + WireCodec> Reactor<M> {
                                 1,
                                 "link permanently rejected by handshake",
                             );
+                            self.pool.put(framed);
                             continue;
                         }
                         if link.queue.is_empty() {
                             link.last_progress = Instant::now();
                         }
-                        link.queue.push(payload);
+                        link.queue.push(framed);
                     }
                     Ok(Cmd::Sever) => {
                         if matches!(
@@ -859,7 +884,7 @@ impl<M: Message + WireCodec> Reactor<M> {
                     if matches!(act, OutAct::None) && readable {
                         match acc.poll_frame(conn) {
                             Ok(None) => {}
-                            Ok(Some(frame)) => match Hello::from_wire_bytes(&frame) {
+                            Ok(Some(frame)) => match Hello::from_wire_bytes(frame) {
                                 Ok(theirs) => {
                                     match validate(
                                         &self.cfg.hello,
@@ -903,7 +928,7 @@ impl<M: Message + WireCodec> Reactor<M> {
                         }
                     }
                     if matches!(act, OutAct::None) && writable && !link.queue.is_empty() {
-                        match link.queue.pump(conn) {
+                        match link.queue.pump(conn, &self.pool) {
                             Ok((frames, bytes, progress)) => {
                                 if frames > 0 {
                                     self.stats.frames_sent.fetch_add(frames, Ordering::Relaxed);
@@ -940,7 +965,7 @@ impl<M: Message + WireCodec> Reactor<M> {
                         match acc.poll_frame(&mut l.conn) {
                             Ok(None) => return,
                             Ok(Some(frame)) => {
-                                let verdict = Hello::from_wire_bytes(&frame)
+                                let verdict = Hello::from_wire_bytes(frame)
                                     .map_err(WireError::from)
                                     .and_then(|theirs| {
                                         validate(&self.cfg.hello, &theirs, None, self.n)
@@ -994,7 +1019,7 @@ impl<M: Message + WireCodec> Reactor<M> {
                         match acc.poll_frame(&mut l.conn) {
                             Ok(None) => return,
                             Ok(Some(payload)) => {
-                                let mut dec = Decoder::new(&payload);
+                                let mut dec = Decoder::new(payload);
                                 let decoded = dec
                                     .get_u64()
                                     .and_then(|sent_round| {
@@ -1075,7 +1100,7 @@ mod tests {
         let mut frames = Vec::new();
         loop {
             match acc.poll_frame(&mut src) {
-                Ok(Some(f)) => frames.push(f),
+                Ok(Some(f)) => frames.push(f.to_vec()),
                 Ok(None) => {
                     if src.pos >= src.data.len() {
                         break;
@@ -1085,6 +1110,28 @@ mod tests {
             }
         }
         assert_eq!(frames, vec![b"hello world".to_vec(), Vec::new()]);
+    }
+
+    #[test]
+    fn frame_accum_reuses_its_payload_buffer() {
+        // The per-link read buffer: after the first (largest) frame, the
+        // accumulator must serve subsequent frames from the same backing
+        // allocation.
+        let mut wire = Vec::new();
+        crate::frame::write_frame(&mut wire, &[7u8; 256]).unwrap();
+        for k in 0..16u8 {
+            crate::frame::write_frame(&mut wire, &[k; 32]).unwrap();
+        }
+        let mut src = &wire[..];
+        let mut acc = FrameAccum::new();
+        let first = acc.poll_frame(&mut src).unwrap().expect("first frame complete");
+        assert_eq!(first.len(), 256);
+        let ptr = first.as_ptr();
+        for k in 0..16u8 {
+            let f = acc.poll_frame(&mut src).unwrap().expect("frame complete");
+            assert_eq!(f, [k; 32]);
+            assert_eq!(f.as_ptr(), ptr, "read buffer was reallocated");
+        }
     }
 
     #[test]
@@ -1124,22 +1171,33 @@ mod tests {
                 Ok(())
             }
         }
+        fn framed(payload: &[u8]) -> Vec<u8> {
+            let mut f = Vec::with_capacity(payload.len() + 4);
+            f.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+            f.extend_from_slice(payload);
+            f
+        }
+        let pool = crate::pool::BufPool::new();
         let mut q = SendQueue::new();
-        q.push(b"abcdef".to_vec());
-        q.push(b"gh".to_vec());
+        q.push(framed(b"abcdef"));
+        q.push(framed(b"gh"));
         let mut sink = Throttle { out: Vec::new(), budget: 5 };
-        let (frames, bytes, progress) = q.pump(&mut sink).unwrap();
+        let (frames, bytes, progress) = q.pump(&mut sink, &pool).unwrap();
         assert_eq!((frames, bytes), (0, 0));
         assert!(progress);
         assert!(!q.is_empty());
         sink.budget = 1024;
-        let (frames, bytes, _) = q.pump(&mut sink).unwrap();
+        let (frames, bytes, _) = q.pump(&mut sink, &pool).unwrap();
         assert_eq!(frames, 2);
         assert_eq!(bytes, (4 + 6) + (4 + 2));
         assert!(q.is_empty());
+        assert_eq!(pool.pooled(), 2, "completed frame buffers are recycled");
         let mut check = &sink.out[..];
-        assert_eq!(crate::frame::read_frame(&mut check).unwrap(), b"abcdef");
-        assert_eq!(crate::frame::read_frame(&mut check).unwrap(), b"gh");
+        let mut payload = Vec::new();
+        crate::frame::read_frame(&mut check, &mut payload).unwrap();
+        assert_eq!(payload, b"abcdef");
+        crate::frame::read_frame(&mut check, &mut payload).unwrap();
+        assert_eq!(payload, b"gh");
     }
 
     #[test]

@@ -12,6 +12,12 @@
 //!    is exactly the mutated bytes — i.e. the decoder accepts *only*
 //!    canonical encodings, so no two distinct byte strings decode to
 //!    messages with the same encoding.
+//! 4. **Borrowed ≡ owned**: decoding a message at an offset inside a
+//!    shared frame buffer (the reactor's zero-copy path) accepts exactly
+//!    the same byte strings as decoding it from a standalone owned
+//!    buffer — same [`DecodeError`] on rejects, byte-identical
+//!    re-encodes on accepts — over the full message-family corpus plus
+//!    its truncations and mutations.
 
 use meba_core::bb::{BbBaValue, BbMsg};
 use meba_core::fallback::EchoMsg;
@@ -20,7 +26,7 @@ use meba_core::strong_ba::StrongBaMsg;
 use meba_core::subprotocol::SkewEnvelope;
 use meba_core::weak_ba::WeakBaMsg;
 use meba_core::SystemConfig;
-use meba_crypto::{trusted_setup, Decoder, Signable, WireCodec};
+use meba_crypto::{trusted_setup, DecodeError, Decoder, Encoder, Signable, WireCodec};
 use meba_fallback::{InstanceId, RecBaMsg, Scope};
 use meba_sim::{SessionEnvelope, SessionId};
 use meba_wire::Hello;
@@ -60,7 +66,7 @@ fn corpus(v: u64, phase: u32, session: u64) -> Vec<Vec<u8>> {
         WeakBaMsg::HelpReq { sig: sig.clone() },
         WeakBaMsg::Help { value: v, proof: decide.clone() },
         WeakBaMsg::FallbackCert { qc: qc.clone(), decision: None },
-        WeakBaMsg::FallbackCert { qc: qc.clone(), decision: Some((v, decide.clone())) },
+        WeakBaMsg::FallbackCert { qc: qc.clone(), decision: Some((v, decide)) },
         WeakBaMsg::Fallback(SkewEnvelope { vstep: session, msg: EchoMsg(v) }),
     ];
     out.extend(wba.iter().map(|m| m.to_wire_bytes()));
@@ -104,7 +110,7 @@ fn corpus(v: u64, phase: u32, session: u64) -> Vec<Vec<u8>> {
             c1b: qc.clone(),
         },
         RecBaMsg::GaCert2 { inst, value: v, c2: qc },
-        RecBaMsg::DsForward { inst, ds_sender: keys[1].id(), value: v, agg: agg.clone() },
+        RecBaMsg::DsForward { inst, ds_sender: keys[1].id(), value: v, agg },
         RecBaMsg::GcSend { inst, value: v, sig: sig.clone() },
         RecBaMsg::CertShare { inst, value: v, sig },
     ];
@@ -135,6 +141,47 @@ fn redecode(i: usize, bytes: &[u8]) -> Option<Vec<u8>> {
         28..=33 => via::<SbaM>(bytes),
         34..=41 => via::<RecM>(bytes),
         42 => via::<Hello>(bytes),
+        _ => unreachable!("corpus has 43 entries"),
+    }
+}
+
+/// Decodes `bytes` with the family that produced index `i` two ways —
+/// standalone from an owned buffer (`from_wire_bytes`, the pre-refactor
+/// shape) and embedded at an offset inside a larger frame via a shared
+/// [`Decoder`] (the reactor's borrowed zero-copy path: `get_u64` round
+/// header, `decode_wire`, `finish`) — returning `(owned, borrowed)`
+/// results so properties can assert they are identical, errors included.
+#[allow(clippy::type_complexity)]
+fn redecode_both(
+    i: usize,
+    bytes: &[u8],
+) -> (Result<Vec<u8>, DecodeError>, Result<Vec<u8>, DecodeError>) {
+    fn standalone<M: WireCodec>(bytes: &[u8]) -> Result<Vec<u8>, DecodeError> {
+        M::from_wire_bytes(bytes).map(|m| m.to_wire_bytes())
+    }
+    fn framed<M: WireCodec>(bytes: &[u8]) -> Result<Vec<u8>, DecodeError> {
+        let mut enc = Encoder::new();
+        enc.put_u64(0x0dd_ba11);
+        let mut frame = enc.into_bytes();
+        frame.extend_from_slice(bytes);
+        let mut dec = Decoder::new(&frame);
+        dec.get_u64().expect("frame header decodes");
+        let m = M::decode_wire(&mut dec)?;
+        dec.finish()?;
+        Ok(m.to_wire_bytes())
+    }
+    fn both<M: WireCodec>(
+        bytes: &[u8],
+    ) -> (Result<Vec<u8>, DecodeError>, Result<Vec<u8>, DecodeError>) {
+        (standalone::<M>(bytes), framed::<M>(bytes))
+    }
+    match i {
+        0..=10 => both::<WbaM>(bytes),
+        11..=21 => both::<SessionEnvelope<WbaM>>(bytes),
+        22..=27 => both::<BbM>(bytes),
+        28..=33 => both::<SbaM>(bytes),
+        34..=41 => both::<RecM>(bytes),
+        42 => both::<Hello>(bytes),
         _ => unreachable!("corpus has 43 entries"),
     }
 }
@@ -199,6 +246,55 @@ proptest! {
                     i
                 );
             }
+        }
+    }
+
+    #[test]
+    fn borrowed_frame_decode_equals_owned_standalone_decode(
+        v in any::<u64>(),
+        phase in 1u32..64,
+        session in any::<u64>(),
+        flip in any::<u64>(),
+    ) {
+        let corpus = corpus(v, phase, session);
+        for (i, bytes) in corpus.iter().enumerate() {
+            // Exact encodings: both paths accept with byte-identical
+            // re-encodes.
+            let (owned, borrowed) = redecode_both(i, bytes);
+            prop_assert_eq!(
+                owned.as_deref().ok(),
+                Some(&bytes[..]),
+                "family {}: owned decode of canonical bytes must round-trip",
+                i
+            );
+            prop_assert_eq!(
+                owned, borrowed,
+                "family {}: borrowed decode diverged on canonical bytes",
+                i
+            );
+
+            // Every truncation: both paths reject with the same error.
+            for cut in 0..bytes.len() {
+                let (o, b) = redecode_both(i, &bytes[..cut]);
+                prop_assert!(o.is_err(), "family {}: prefix {} must not decode", i, cut);
+                prop_assert_eq!(
+                    o, b,
+                    "family {}: divergent result at truncation {}",
+                    i, cut
+                );
+            }
+
+            // One bit flip: identical accept/reject decision, identical
+            // error or identical re-encode.
+            let mut mutated = bytes.clone();
+            let bit = (flip as usize) % (mutated.len() * 8);
+            mutated[bit / 8] ^= 1 << (bit % 8);
+            let (o, b) = redecode_both(i, &mutated);
+            prop_assert_eq!(
+                o, b,
+                "family {}: divergent result on bit-flip {}",
+                i, bit
+            );
         }
     }
 }

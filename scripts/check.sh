@@ -9,8 +9,10 @@ cargo fmt --all -- --check
 echo "== build =="
 cargo build --workspace --all-targets --locked
 
-echo "== clippy =="
-cargo clippy --workspace --all-targets --locked -- -D warnings
+echo "== clippy (incl. perf lints: redundant_clone, needless_collect) =="
+cargo clippy --workspace --all-targets --locked -- \
+  -D warnings -D clippy::perf \
+  -D clippy::redundant_clone -D clippy::needless_collect
 
 echo "== tests =="
 cargo test --workspace --locked
@@ -30,7 +32,7 @@ cargo test --release --locked --test recovery_integration
 echo "== example smoke (TCP cluster; includes one process killed and relaunched) =="
 cargo run --release --locked --example tcp_cluster
 
-echo "== large-n smoke (discrete-event backend: n = 65 f=0 and f=t, n = 129 acceptance) =="
+echo "== large-n smoke (discrete-event backend: n = 65 f=0 and f=t, n = 129 and n = 4097 acceptance) =="
 cargo test --release --locked -p meba-testkit --test large_n -- --include-ignored
 
 echo "== reactor-mesh scale (real loopback sockets: n = 65 smoke, n = 101 acceptance; words vs DES, O(n) threads) =="

@@ -281,9 +281,8 @@ fn partition_heals_and_cluster_completes() {
     // everyone catches up and completes.
     let n = 5usize;
     let left = vec![ProcessId(0), ProcessId(1)];
-    let left_for_factory = left.clone();
     let factory: LinkPolicyFactory = Arc::new(move |_me: ProcessId| -> Box<dyn LinkPolicy> {
-        Box::new(OneShotPartition::new(1, 5, left_for_factory.clone()))
+        Box::new(OneShotPartition::new(1, 5, left.clone()))
     });
     let config = ClusterConfig { link_policy: Some(factory), ..cluster_config(vec![]) };
     let report = run_cluster(chatties(n, 25, None), config);
